@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation: the three feature-vector encodings on equal footing.
+ *
+ *  - permutation (rotation) encoding: the paper's baseline (Eq. 1);
+ *  - record (ID-value binding) encoding: OnlineHD and much related
+ *    work;
+ *  - LookHD chunked lookup encoding (Eqs. 2-3).
+ *
+ * Same level memory, same equalized quantizer, same class-sum +
+ * perceptron training; reports accuracy and the encoding work per
+ * data point (element operations), which is the quantity the
+ * hardware sections turn into cycles.
+ */
+
+#include <memory>
+
+#include "common.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/record_encoder.hpp"
+#include "hdc/trainer.hpp"
+#include "lookhd/lookup_encoder.hpp"
+#include "quant/equalized_quantizer.hpp"
+
+int
+main()
+{
+    using namespace lookhd;
+    using namespace lookhd::hdc;
+    bench::banner("Ablation: permutation vs record vs lookup "
+                  "encodings (D = 2000, q = 4)");
+
+    for (const char *name : {"ACTIVITY", "PHYSICAL"}) {
+        const auto &app = data::appByName(name);
+        const auto tt = bench::appData(app);
+
+        util::Rng rng(19);
+        auto levels = std::make_shared<LevelMemory>(2000, 4, rng);
+        auto quantizer =
+            std::make_shared<quant::EqualizedQuantizer>(4);
+        const auto vals = tt.train.allValues();
+        quantizer->fit(
+            std::vector<double>(vals.begin(), vals.end()));
+
+        BaselineEncoder permutation(levels, quantizer);
+        RecordEncoder record(levels, quantizer, app.numFeatures,
+                             rng);
+        LookupEncoder lookup(levels, quantizer,
+                             ChunkSpec(app.numFeatures,
+                                       app.chunkSize),
+                             rng);
+
+        auto accuracy = [&](auto &encoder) {
+            ClassModel model(2000, app.numClasses);
+            std::vector<IntHv> encoded;
+            for (std::size_t i = 0; i < tt.train.size(); ++i) {
+                encoded.push_back(encoder.encode(tt.train.row(i)));
+                model.accumulate(tt.train.label(i), encoded.back());
+            }
+            model.normalize();
+            for (int epoch = 0; epoch < 3; ++epoch) {
+                for (std::size_t i = 0; i < encoded.size(); ++i) {
+                    const std::size_t pred =
+                        model.predict(encoded[i]);
+                    if (pred != tt.train.label(i)) {
+                        model.update(tt.train.label(i), pred,
+                                     encoded[i]);
+                        model.normalize();
+                    }
+                }
+            }
+            std::size_t ok = 0;
+            for (std::size_t i = 0; i < tt.test.size(); ++i)
+                ok += model.predict(encoder.encode(
+                          tt.test.row(i))) == tt.test.label(i);
+            return static_cast<double>(ok) /
+                   static_cast<double>(tt.test.size());
+        };
+
+        const double n = static_cast<double>(app.numFeatures);
+        const double d = 2000.0;
+        const double m = static_cast<double>(
+            lookup.chunks().numChunks());
+
+        util::Table table({"encoding", "accuracy",
+                           "element ops / point", "HV memory"});
+        table.addRow({"permutation (Eq. 1)",
+                      util::fmtPercent(accuracy(permutation)),
+                      util::fmtSi(n * d, 1),
+                      util::fmtSi(4.0 * d / 8.0, 1) + " B levels"});
+        table.addRow({"record (ID binding)",
+                      util::fmtPercent(accuracy(record)),
+                      util::fmtSi(2.0 * n * d, 1),
+                      util::fmtSi((4.0 + n) * d / 8.0, 1) +
+                          " B levels+IDs"});
+        table.addRow(
+            {"LookHD lookup (Eq. 3)",
+             util::fmtPercent(accuracy(lookup)),
+             util::fmtSi(2.0 * m * d, 1),
+             util::fmtSi(static_cast<double>(
+                             lookup.materializedBytes()),
+                         1) +
+                 " B tables"});
+        std::printf("%s:\n%s\n", name, table.render().c_str());
+    }
+    std::printf("All three encodings reach comparable accuracy; "
+                "lookup encoding does ~r x fewer element operations "
+                "per point by trading table memory - the paper's "
+                "computation-reuse bargain.\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Regenerates paper Fig. 2: the execution-time breakdown of baseline
+ * HDC during training (encoding vs model update) and inference
+ * (encoding vs associative search), both from the embedded-CPU cost
+ * model and from wall-clock measurements of this library's own
+ * kernels.
+ */
+
+#include <memory>
+
+#include "common.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/trainer.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/report.hpp"
+#include "quant/linear_quantizer.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace lookhd;
+
+/** Wall-clock breakdown of our baseline kernels on one app. */
+struct Measured
+{
+    double encodeFracTrain;
+    double searchFracInfer;
+};
+
+Measured
+measure(const data::AppSpec &app)
+{
+    auto tt = bench::appData(app);
+    util::Rng rng(3);
+    auto levels =
+        std::make_shared<hdc::LevelMemory>(2000, app.paperQ, rng);
+    auto quant = std::make_shared<quant::LinearQuantizer>(app.paperQ);
+    const auto vals = tt.train.allValues();
+    quant->fit(std::vector<double>(vals.begin(), vals.end()));
+    hdc::BaselineEncoder encoder(levels, quant);
+
+    // Training: encoding vs class accumulation.
+    util::Timer timer;
+    std::vector<hdc::IntHv> encoded;
+    encoded.reserve(tt.train.size());
+    for (std::size_t i = 0; i < tt.train.size(); ++i)
+        encoded.push_back(encoder.encode(tt.train.row(i)));
+    const double t_encode = timer.seconds();
+
+    timer.reset();
+    hdc::ClassModel model(2000, app.numClasses);
+    for (std::size_t i = 0; i < tt.train.size(); ++i)
+        model.accumulate(tt.train.label(i), encoded[i]);
+    model.normalize();
+    const double t_accumulate = timer.seconds();
+
+    // Inference: encoding vs associative search.
+    timer.reset();
+    std::vector<hdc::IntHv> queries;
+    queries.reserve(tt.test.size());
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        queries.push_back(encoder.encode(tt.test.row(i)));
+    const double t_query_encode = timer.seconds();
+
+    timer.reset();
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        correct += model.predict(queries[i]) == tt.test.label(i);
+    const double t_search = timer.seconds();
+
+    return {t_encode / (t_encode + t_accumulate),
+            t_search / (t_query_encode + t_search)};
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lookhd;
+    bench::banner("Fig. 2: baseline HDC time breakdown (train: "
+                  "encoding share; infer: search share)");
+
+    hw::CpuModel cpu;
+    util::Table table({"Application", "train enc% (model)",
+                       "train enc% (measured)", "infer search% (model)",
+                       "infer search% (measured)"});
+    double model_enc = 0.0, model_search = 0.0;
+    double meas_enc = 0.0, meas_search = 0.0;
+    for (const auto &app : data::paperApps()) {
+        const hw::AppParams p =
+            hw::appParamsFor(app, 2000, app.paperQ, 5);
+        const Measured m = measure(app);
+        const double enc = cpu.baselineTrainEncodingFraction(p);
+        const double search = cpu.baselineInferSearchFraction(p);
+        model_enc += enc;
+        model_search += search;
+        meas_enc += m.encodeFracTrain;
+        meas_search += m.searchFracInfer;
+        table.addRow({app.name, util::fmtPercent(enc),
+                      util::fmtPercent(m.encodeFracTrain),
+                      util::fmtPercent(search),
+                      util::fmtPercent(m.searchFracInfer)});
+    }
+    table.addRow({"average", util::fmtPercent(model_enc / 5.0),
+                  util::fmtPercent(meas_enc / 5.0),
+                  util::fmtPercent(model_search / 5.0),
+                  util::fmtPercent(meas_search / 5.0)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nPaper: encoding ~80%% of training (90%% for SPEECH);"
+                " associative search ~83%% of inference on average.\n"
+                "Our x86 kernels vectorize the search better than the "
+                "paper's A53 float path, so the measured search share "
+                "is lower; the trend (search share grows with k, "
+                "encoding dominates training) reproduces.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates paper Fig. 4: SPEECH classification accuracy as the
+ * number of quantization levels sweeps over q in {2,4,8,16}, for the
+ * conventional linear quantization vs the proposed equalized
+ * quantization.
+ */
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace lookhd;
+    bench::banner("Fig. 4: linear vs equalized quantization accuracy "
+                  "(SPEECH, D = 2000, r = 5)");
+
+    const auto &app = data::appByName("SPEECH");
+    const auto tt = bench::appData(app);
+
+    // The quantization axis is isolated on the uncompressed model
+    // (the paper's Fig. 4 compares quantization policies on the HD
+    // classifier); the last column adds the full LookHD pipeline
+    // (equalized + compressed) for reference.
+    util::Table table({"q", "linear (uncompressed)",
+                       "equalized (uncompressed)",
+                       "equalized (LookHD full)"});
+    for (std::size_t q : {2, 4, 8, 16}) {
+        ClassifierConfig cfg = bench::appConfig(app);
+        cfg.quantLevels = q;
+        cfg.compressModel = false;
+        cfg.quantization = QuantizationKind::kLinear;
+        const double lin = bench::accuracyOf(cfg, tt);
+        cfg.quantization = QuantizationKind::kEqualized;
+        const double eq = bench::accuracyOf(cfg, tt);
+        cfg.compressModel = true;
+        const double full = bench::accuracyOf(cfg, tt);
+        table.addRow({std::to_string(q), util::fmtPercent(lin),
+                      util::fmtPercent(eq), util::fmtPercent(full)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nPaper: equalized quantization reaches peak accuracy "
+                "already at q = 4 (1.2%% above linear q = 16); linear "
+                "quantization needs large q and degrades sharply at "
+                "small q. On top of that, equalized quantization keeps "
+                "the encodings diverse enough for the compressed model "
+                "to work - with linear quantization most features share "
+                "one level and compression crosstalk dominates.\n");
+    return 0;
+}

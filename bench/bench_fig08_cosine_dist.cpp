@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates paper Fig. 8: the distribution of query-to-class cosine
+ * similarities on ACTIVITY, for the original trained model (tightly
+ * clustered near 1: classes share a large common component) and after
+ * the decorrelation of Sec. IV-C (much wider spread, robust to
+ * compression noise). Reported over 1000 test queries as in the paper.
+ */
+
+#include <memory>
+
+#include "common.hpp"
+#include "hdc/similarity.hpp"
+#include "lookhd/compressed_model.hpp"
+#include "lookhd/counter_trainer.hpp"
+#include "quant/equalized_quantizer.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+int
+main()
+{
+    using namespace lookhd;
+    bench::banner("Fig. 8: cosine distribution, original vs "
+                  "decorrelated model (ACTIVITY, 1000 queries)");
+
+    const auto &app = data::appByName("ACTIVITY");
+    auto tt = data::makeTrainTest(app.synthetic(1),
+                                  60 * app.numClasses, 1000);
+
+    util::Rng rng(9);
+    auto levels =
+        std::make_shared<hdc::LevelMemory>(2000, app.lookhdQ, rng);
+    auto quant =
+        std::make_shared<quant::EqualizedQuantizer>(app.lookhdQ);
+    const auto vals = tt.train.allValues();
+    quant->fit(std::vector<double>(vals.begin(), vals.end()));
+    LookupEncoder encoder(levels, quant,
+                          ChunkSpec(app.numFeatures, app.chunkSize),
+                          rng);
+    CounterTrainer trainer(encoder);
+    const hdc::ClassModel model = trainer.train(tt.train);
+    const auto decorrelated = decorrelateClasses(model);
+
+    std::vector<double> cos_orig, cos_decor;
+    for (std::size_t i = 0; i < tt.test.size(); ++i) {
+        const hdc::IntHv q = encoder.encode(tt.test.row(i));
+        const hdc::RealHv qr = hdc::toReal(q);
+        for (std::size_t c = 0; c < model.numClasses(); ++c) {
+            cos_orig.push_back(
+                hdc::cosine(qr, hdc::toReal(model.classHv(c))));
+            cos_decor.push_back(hdc::cosine(qr, decorrelated[c]));
+        }
+    }
+
+    auto show = [](const char *name, const std::vector<double> &v) {
+        const auto s = util::summarize(v);
+        std::printf("%s: mean=%.3f stddev=%.3f range=[%.3f, %.3f]\n",
+                    name, s.mean, s.stddev, s.min, s.max);
+        util::Histogram hist(-0.2, 1.0, 24);
+        hist.addAll(v);
+        std::printf("%s\n", hist.render(44).c_str());
+    };
+    show("original model   ", cos_orig);
+    show("decorrelated model", cos_decor);
+
+    std::printf("Paper: original cosines cluster in [0.9, 1.0]; "
+                "decorrelation widens the distribution so compression "
+                "noise stops flipping the top-class ranking.\n");
+    return 0;
+}

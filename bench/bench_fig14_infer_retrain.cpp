@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates paper Fig. 14: (a) execution time and energy of a
+ * single inference query and (b) of a single retraining iteration,
+ * LookHD vs baseline HDC, on the FPGA and CPU models.
+ */
+
+#include "common.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/fpga_model.hpp"
+#include "hw/report.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace lookhd;
+using namespace lookhd::hw;
+
+template <typename BaseFn, typename LookFn>
+void
+section(const char *title, BaseFn base_fn, LookFn look_fn)
+{
+    util::Table table({"App", "baseline (t / E)", "LookHD (t / E)",
+                       "speedup", "energy gain"});
+    std::vector<double> speed, energy;
+    for (const auto &app : data::paperApps()) {
+        const AppParams p = appParamsFor(app, 2000, app.lookhdQ, 5);
+        const Cost base = base_fn(p);
+        const Cost look = look_fn(p);
+        const Gain g = gainOver(base, look);
+        speed.push_back(g.speedup);
+        energy.push_back(g.energy);
+        table.addRow({app.name, costCell(base), costCell(look),
+                      util::fmtRatio(g.speedup),
+                      util::fmtRatio(g.energy)});
+    }
+    table.addRow({"geomean", "", "",
+                  util::fmtRatio(util::geomean(speed)),
+                  util::fmtRatio(util::geomean(energy))});
+    std::printf("%s\n%s\n", title, table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 14: single-query inference and per-epoch "
+                  "retraining cost (r = 5, D = 2000)");
+
+    FpgaModel fpga;
+    CpuModel cpu;
+
+    section("Fig. 14a - FPGA inference (per query):",
+            [&](const AppParams &p) { return fpga.baselineInferQuery(p); },
+            [&](const AppParams &p) { return fpga.lookhdInferQuery(p); });
+    section("Fig. 14a - CPU inference (per query):",
+            [&](const AppParams &p) { return cpu.baselineInferQuery(p); },
+            [&](const AppParams &p) { return cpu.lookhdInferQuery(p); });
+    section("Fig. 14b - FPGA retraining (per epoch):",
+            [&](const AppParams &p) {
+                return fpga.baselineRetrainEpoch(p);
+            },
+            [&](const AppParams &p) { return fpga.lookhdRetrainEpoch(p); });
+    section("Fig. 14b - CPU retraining (per epoch):",
+            [&](const AppParams &p) { return cpu.baselineRetrainEpoch(p); },
+            [&](const AppParams &p) { return cpu.lookhdRetrainEpoch(p); });
+
+    std::printf("Paper: inference 2.2x faster / 4.1x more efficient "
+                "on FPGA (1.7x / 2.3x on CPU); retraining 2.4x / 4.5x "
+                "on FPGA (1.8x / 2.3x on CPU), largest for SPEECH "
+                "(most classes).\n");
+    return 0;
+}

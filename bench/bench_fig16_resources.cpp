@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regenerates paper Fig. 16: FPGA resource utilization of LookHD in
+ * the training and inference phases (SPEECH: k = 26, n = 617), plus
+ * FACE as the paper's small-k contrast case.
+ */
+
+#include "common.hpp"
+#include "hw/fpga_model.hpp"
+#include "hw/report.hpp"
+
+namespace {
+
+using namespace lookhd;
+using namespace lookhd::hw;
+
+void
+show(const char *label, const Utilization &u, const FpgaDevice &dev)
+{
+    std::printf("%-22s LUT %5.1f%%  FF %5.1f%%  DSP %5.1f%%  "
+                "BRAM %5.1f%%\n",
+                label, 100.0 * u.lutFrac(dev), 100.0 * u.ffFrac(dev),
+                100.0 * u.dspFrac(dev), 100.0 * u.bramFrac(dev));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 16: LookHD FPGA resource utilization "
+                  "(Kintex-7 KC705)");
+
+    FpgaModel fpga;
+    const FpgaDevice &dev = fpga.device();
+
+    for (const char *name : {"SPEECH", "FACE"}) {
+        const auto &app = data::appByName(name);
+        const AppParams p = appParamsFor(app, 2000, app.lookhdQ, 5);
+        std::printf("%s (k=%zu, n=%zu, q=%zu):\n", name, p.k, p.n,
+                    p.q);
+        show("  LookHD training", fpga.lookhdTrainUtilization(p), dev);
+        show("  LookHD inference", fpga.lookhdInferUtilization(p),
+             dev);
+        show("  baseline training",
+             fpga.baselineTrainUtilization(p), dev);
+        show("  baseline inference",
+             fpga.baselineInferUtilization(p), dev);
+        std::printf("\n");
+    }
+    std::printf("Paper: for SPEECH, inference is DSP-limited while "
+                "training is LUT-limited; for FACE (k=2 << n) LUTs "
+                "bound both phases.\n");
+    return 0;
+}

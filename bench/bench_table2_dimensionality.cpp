@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Regenerates paper Table II: the impact of hypervector
+ * dimensionality on LookHD accuracy (r = 5, per-app q from the
+ * paper). Accuracy is robust down to D ~ 1000-2000.
+ */
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace lookhd;
+    bench::banner("Table II: accuracy vs dimensionality (r = 5)");
+
+    const std::vector<std::size_t> dims{1000, 2000, 4000, 8000, 10000};
+    std::vector<std::string> header{"App", "q"};
+    for (auto d : dims)
+        header.push_back("D=" + std::to_string(d));
+    util::Table table(header);
+
+    for (const auto &app : data::paperApps()) {
+        const auto tt = bench::appData(app);
+        std::vector<std::string> row{app.name,
+                                     std::to_string(app.lookhdQ)};
+        for (auto d : dims) {
+            ClassifierConfig cfg = bench::appConfig(app, d);
+            row.push_back(util::fmtPercent(bench::accuracyOf(cfg, tt)));
+        }
+        table.addRow(row);
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nPaper Table II: SPEECH 94.8->95.5%%, ACTIVITY "
+                "97.3->98.2%%, PHYSICAL 91.4->93.1%%, FACE 95.7->"
+                "96.8%%, EXTRA 72.5->73.4%% from D=1000 to 10000 - "
+                "i.e. < 1%% change; D = 2000 is within 0.3%% of "
+                "D = 10000.\n");
+    return 0;
+}

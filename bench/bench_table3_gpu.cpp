@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Regenerates paper Table III: LookHD (FPGA) vs the TensorFlow HDC on
+ * an NVIDIA GTX 1080, with everything normalized to the embedded-CPU
+ * implementation as in the paper. Also reports the reduced-dimension
+ * LookHD point (the paper's "<2% quality loss" configuration).
+ */
+
+#include "common.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/fpga_model.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/report.hpp"
+#include "util/stats.hpp"
+
+int
+main()
+{
+    using namespace lookhd;
+    using namespace lookhd::hw;
+    bench::banner("Table III: LookHD (FPGA) vs GPU baseline HDC, "
+                  "normalized to CPU");
+
+    FpgaModel fpga;
+    CpuModel cpu;
+    GpuModel gpu;
+
+    struct Row
+    {
+        const char *name;
+        std::vector<double> train_speed, train_energy;
+        std::vector<double> infer_speed, infer_energy;
+    };
+    Row rows[] = {{"Baseline HD (FPGA)", {}, {}, {}, {}},
+                  {"HD on GPU (GTX 1080)", {}, {}, {}, {}},
+                  {"LookHD (FPGA, D=2000)", {}, {}, {}, {}},
+                  {"LookHD (FPGA, D=1000)", {}, {}, {}, {}}};
+
+    for (const auto &app : data::paperApps()) {
+        const AppParams p = appParamsFor(app, 2000, app.lookhdQ, 5);
+        AppParams p_small = p;
+        p_small.dim = 1000;
+
+        const Cost cpu_train = cpu.baselineTrain(p);
+        const Cost cpu_infer = cpu.baselineInferQuery(p);
+
+        auto push = [&](Row &row, const Cost &train,
+                        const Cost &infer) {
+            row.train_speed.push_back(cpu_train.seconds /
+                                      train.seconds);
+            row.train_energy.push_back(cpu_train.energyJ() /
+                                       train.energyJ());
+            row.infer_speed.push_back(cpu_infer.seconds /
+                                      infer.seconds);
+            row.infer_energy.push_back(cpu_infer.energyJ() /
+                                       infer.energyJ());
+        };
+        push(rows[0], fpga.baselineTrain(p),
+             fpga.baselineInferQuery(p));
+        push(rows[1], gpu.baselineTrain(p),
+             gpu.baselineInferQuery(p));
+        push(rows[2], fpga.lookhdTrain(p), fpga.lookhdInferQuery(p));
+        push(rows[3], fpga.lookhdTrain(p_small),
+             fpga.lookhdInferQuery(p_small));
+    }
+
+    util::Table table({"Design", "train speedup", "train energy",
+                       "infer speedup", "infer energy"});
+    for (const Row &row : rows) {
+        table.addRow({row.name,
+                      util::fmtRatio(util::geomean(row.train_speed)),
+                      util::fmtRatio(util::geomean(row.train_energy)),
+                      util::fmtRatio(util::geomean(row.infer_speed)),
+                      util::fmtRatio(util::geomean(row.infer_energy))});
+    }
+    std::printf("%s", table.render().c_str());
+
+    const double train_vs_gpu =
+        util::geomean(rows[2].train_speed) /
+        util::geomean(rows[1].train_speed);
+    const double infer_vs_gpu =
+        util::geomean(rows[2].infer_speed) /
+        util::geomean(rows[1].infer_speed);
+    const double train_e_vs_gpu =
+        util::geomean(rows[2].train_energy) /
+        util::geomean(rows[1].train_energy);
+    const double infer_e_vs_gpu =
+        util::geomean(rows[2].infer_energy) /
+        util::geomean(rows[1].infer_energy);
+    std::printf("\nLookHD vs GPU: %.2fx train / %.2fx infer speed; "
+                "%.1fx / %.1fx energy.\n",
+                train_vs_gpu, infer_vs_gpu, train_e_vs_gpu,
+                infer_e_vs_gpu);
+    std::printf("Paper: LookHD 1.1x / 1.5x faster than GPU and 67.5x /"
+                " 112.7x more energy-efficient (train / infer); GPU "
+                "1.5x (1.3x) faster than baseline FPGA.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the per-table/figure bench binaries.
+ *
+ * Every bench regenerates one table or figure from the paper on the
+ * synthetic stand-in workloads (see DESIGN.md for the substitution
+ * rationale). Sample counts are scaled relative to the full app specs
+ * through kTrainPerClass/kTestPerClass so the whole harness runs in
+ * minutes on one core; pass more budget by editing those constants.
+ */
+
+#ifndef LOOKHD_BENCH_COMMON_HPP
+#define LOOKHD_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "data/apps.hpp"
+#include "lookhd/classifier.hpp"
+#include "util/table.hpp"
+
+namespace lookhd::bench {
+
+/** Training samples per class used by the accuracy benches. */
+inline constexpr std::size_t kTrainPerClass = 60;
+/** Test samples per class used by the accuracy benches. */
+inline constexpr std::size_t kTestPerClass = 30;
+
+/** Train/test pair for one paper app at bench scale. */
+inline data::TrainTest
+appData(const data::AppSpec &app, std::uint64_t seed = 1)
+{
+    return data::makeTrainTest(app.synthetic(seed),
+                               kTrainPerClass * app.numClasses,
+                               kTestPerClass * app.numClasses);
+}
+
+/** LookHD configuration for one app at the paper's defaults. */
+inline ClassifierConfig
+appConfig(const data::AppSpec &app, hdc::Dim dim = 2000)
+{
+    ClassifierConfig cfg;
+    cfg.dim = dim;
+    cfg.quantLevels = app.lookhdQ;
+    cfg.chunkSize = app.chunkSize;
+    cfg.retrainEpochs = 5;
+    return cfg;
+}
+
+/** Train a classifier and return its test accuracy. */
+inline double
+accuracyOf(const ClassifierConfig &cfg, const data::TrainTest &tt)
+{
+    Classifier clf(cfg);
+    clf.fit(tt.train);
+    return clf.evaluate(tt.test);
+}
+
+/** Print a header line identifying the experiment. */
+inline void
+banner(const std::string &what)
+{
+    std::printf("==============================================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("==============================================\n");
+}
+
+} // namespace lookhd::bench
+
+#endif // LOOKHD_BENCH_COMMON_HPP

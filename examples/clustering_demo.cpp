@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unsupervised workflow: cluster unlabeled sensor windows in
+ * hyperdimensional space (the HDCluster/DUAL line of work the paper
+ * cites), then inspect how well the discovered clusters line up with
+ * the hidden activity labels.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "data/synthetic.hpp"
+#include "hdc/clustering.hpp"
+#include "hdc/encoder.hpp"
+#include "quant/equalized_quantizer.hpp"
+
+int
+main()
+{
+    using namespace lookhd;
+    using namespace lookhd::hdc;
+
+    // Unlabeled-looking data: we generate with 5 hidden classes and
+    // pretend not to know them until evaluation.
+    data::SyntheticSpec spec;
+    spec.numFeatures = 48;
+    spec.numClasses = 5;
+    spec.classSeparation = 1.4;
+    spec.informativeFraction = 0.7;
+    spec.seed = 13;
+    data::SyntheticProblem problem(spec);
+    const data::Dataset ds = problem.sample(500);
+
+    // Encode with the standard pipeline.
+    util::Rng rng(17);
+    auto levels = std::make_shared<LevelMemory>(2000, 4, rng);
+    auto quantizer = std::make_shared<quant::EqualizedQuantizer>(4);
+    const auto vals = ds.allValues();
+    quantizer->fit(std::vector<double>(vals.begin(), vals.end()));
+    BaselineEncoder encoder(levels, quantizer);
+
+    std::vector<IntHv> points;
+    points.reserve(ds.size());
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        points.push_back(encoder.encode(ds.row(i)));
+
+    std::printf("%-4s %-11s %-10s %-9s\n", "k", "iterations",
+                "cohesion", "purity");
+    for (std::size_t k : {2, 3, 5, 8}) {
+        ClusterOptions opts;
+        opts.seed = 23;
+        const ClusterResult result = clusterEncoded(points, k, opts);
+        std::printf("%-4zu %-11zu %-10.3f %-9.3f%s\n", k,
+                    result.iterations, result.cohesion,
+                    clusterPurity(result.assignments, ds.labels(), k,
+                                  spec.numClasses),
+                    k == spec.numClasses ? "  <- true class count"
+                                         : "");
+    }
+    std::printf("\nCohesion rises with k as always; purity jumps at "
+                "the true class count - hyperdimensional bundles act "
+                "as centroids with plain cosine assignment.\n");
+    return 0;
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerate everything: build, run the full test suite, run every
+# table/figure bench, and leave the transcripts at the repo root
+# (test_output.txt, bench_output.txt) referenced by EXPERIMENTS.md.
+set -e
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+    echo "##### $(basename "$b")" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

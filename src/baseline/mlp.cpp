@@ -1,0 +1,224 @@
+#include "baseline/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hdc/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace lookhd::baseline {
+
+Mlp::Mlp(std::size_t inputs, std::size_t classes, MlpConfig config)
+    : inputs_(inputs), classes_(classes), config_(std::move(config))
+{
+    if (inputs == 0 || classes == 0)
+        throw std::invalid_argument("mlp shape must be nonzero");
+
+    sizes_.push_back(inputs_);
+    for (std::size_t h : config_.hiddenSizes) {
+        if (h == 0)
+            throw std::invalid_argument("hidden size must be nonzero");
+        sizes_.push_back(h);
+    }
+    sizes_.push_back(classes_);
+
+    util::Rng rng(config_.seed);
+    layers_.reserve(sizes_.size() - 1);
+    for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+        Layer layer;
+        layer.in = sizes_[l];
+        layer.out = sizes_[l + 1];
+        layer.weights.resize(layer.in * layer.out);
+        layer.biases.assign(layer.out, 0.0);
+        // He initialization for the ReLU layers.
+        const double scale =
+            std::sqrt(2.0 / static_cast<double>(layer.in));
+        for (auto &w : layer.weights)
+            w = rng.nextGaussian(0.0, scale);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+std::vector<double>
+Mlp::prepare(std::span<const double> x) const
+{
+    if (x.size() != inputs_)
+        throw std::invalid_argument("input width mismatch");
+    std::vector<double> out(x.begin(), x.end());
+    if (config_.standardizeInputs && !featureMean_.empty()) {
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] = (out[i] - featureMean_[i]) / featureStd_[i];
+    }
+    return out;
+}
+
+void
+Mlp::forward(std::span<const double> x,
+             std::vector<std::vector<double>> &activations) const
+{
+    activations.clear();
+    activations.emplace_back(x.begin(), x.end());
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer &layer = layers_[l];
+        const std::vector<double> &in = activations.back();
+        std::vector<double> out(layer.out);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            double z = layer.biases[o];
+            const double *w = &layer.weights[o * layer.in];
+            for (std::size_t i = 0; i < layer.in; ++i)
+                z += w[i] * in[i];
+            out[o] = z;
+        }
+        const bool hidden = l + 1 < layers_.size();
+        if (hidden) {
+            for (auto &v : out)
+                v = std::max(v, 0.0);
+        } else {
+            // Softmax with max-shift for stability.
+            const double mx =
+                *std::max_element(out.begin(), out.end());
+            double sum = 0.0;
+            for (auto &v : out) {
+                v = std::exp(v - mx);
+                sum += v;
+            }
+            for (auto &v : out)
+                v /= sum;
+        }
+        activations.push_back(std::move(out));
+    }
+}
+
+void
+Mlp::fit(const data::Dataset &train)
+{
+    if (train.numFeatures() != inputs_ ||
+        train.numClasses() != classes_) {
+        throw std::invalid_argument("dataset shape mismatch");
+    }
+    if (train.empty())
+        throw std::invalid_argument("empty training set");
+
+    if (config_.standardizeInputs) {
+        featureMean_.assign(inputs_, 0.0);
+        featureStd_.assign(inputs_, 0.0);
+        for (std::size_t i = 0; i < train.size(); ++i) {
+            const auto row = train.row(i);
+            for (std::size_t f = 0; f < inputs_; ++f)
+                featureMean_[f] += row[f];
+        }
+        const double count = static_cast<double>(train.size());
+        for (auto &m : featureMean_)
+            m /= count;
+        for (std::size_t i = 0; i < train.size(); ++i) {
+            const auto row = train.row(i);
+            for (std::size_t f = 0; f < inputs_; ++f) {
+                const double d = row[f] - featureMean_[f];
+                featureStd_[f] += d * d;
+            }
+        }
+        for (auto &s : featureStd_)
+            s = std::max(std::sqrt(s / count), 1e-9);
+    }
+
+    util::Rng rng(config_.seed ^ 0xabcdef12345ULL);
+    std::vector<std::size_t> order(train.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    std::vector<std::vector<double>> activations;
+    std::vector<std::vector<double>> deltas(layers_.size());
+
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (std::size_t idx : order) {
+            const std::vector<double> x = prepare(train.row(idx));
+            forward(x, activations);
+
+            // Output delta: softmax + cross-entropy -> p - y.
+            std::vector<double> &out_delta = deltas.back();
+            out_delta = activations.back();
+            out_delta[train.label(idx)] -= 1.0;
+
+            // Backpropagate through hidden layers.
+            for (std::size_t l = layers_.size(); l-- > 1;) {
+                const Layer &layer = layers_[l];
+                std::vector<double> &below = deltas[l - 1];
+                below.assign(layer.in, 0.0);
+                for (std::size_t o = 0; o < layer.out; ++o) {
+                    const double d = deltas[l][o];
+                    const double *w = &layer.weights[o * layer.in];
+                    for (std::size_t i = 0; i < layer.in; ++i)
+                        below[i] += w[i] * d;
+                }
+                // ReLU derivative on the hidden activation.
+                const std::vector<double> &act = activations[l];
+                for (std::size_t i = 0; i < layer.in; ++i) {
+                    if (act[i] <= 0.0)
+                        below[i] = 0.0;
+                }
+            }
+
+            // SGD step (per-sample; batchSize kept for cost modeling).
+            const double lr = config_.learningRate;
+            for (std::size_t l = 0; l < layers_.size(); ++l) {
+                Layer &layer = layers_[l];
+                const std::vector<double> &in = activations[l];
+                for (std::size_t o = 0; o < layer.out; ++o) {
+                    const double d = deltas[l][o];
+                    double *w = &layer.weights[o * layer.in];
+                    for (std::size_t i = 0; i < layer.in; ++i)
+                        w[i] -= lr * d * in[i];
+                    layer.biases[o] -= lr * d;
+                }
+            }
+        }
+    }
+    fitted_ = true;
+}
+
+std::vector<double>
+Mlp::probabilities(std::span<const double> x) const
+{
+    std::vector<std::vector<double>> activations;
+    forward(prepare(x), activations);
+    return activations.back();
+}
+
+std::size_t
+Mlp::predict(std::span<const double> x) const
+{
+    return hdc::argmax(probabilities(x));
+}
+
+double
+Mlp::evaluate(const data::Dataset &test) const
+{
+    if (test.empty())
+        throw std::invalid_argument("empty test set");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i)
+        correct += predict(test.row(i)) == test.label(i);
+    return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+std::size_t
+Mlp::parameterCount() const
+{
+    std::size_t params = 0;
+    for (const Layer &layer : layers_)
+        params += layer.weights.size() + layer.biases.size();
+    return params;
+}
+
+std::size_t
+Mlp::macsPerInference() const
+{
+    std::size_t macs = 0;
+    for (const Layer &layer : layers_)
+        macs += layer.in * layer.out;
+    return macs;
+}
+
+} // namespace lookhd::baseline

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Multi-layer perceptron baseline (the Table IV comparator).
+ *
+ * A small feed-forward network with ReLU hidden layers, softmax
+ * output, cross-entropy loss and mini-batch SGD. The paper compares
+ * LookHD on FPGA against MLP implementations (DNNWeaver for inference,
+ * FPDeep for training); this class provides the algorithmic side -
+ * real training with real accuracy - while mlp_fpga_model maps its
+ * operation counts onto the FPGA cost model.
+ */
+
+#ifndef LOOKHD_BASELINE_MLP_HPP
+#define LOOKHD_BASELINE_MLP_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace lookhd::baseline {
+
+/** MLP hyperparameters. */
+struct MlpConfig
+{
+    /** Hidden layer widths, input->output order. */
+    std::vector<std::size_t> hiddenSizes = {128};
+    double learningRate = 0.05;
+    std::size_t epochs = 30;
+    std::size_t batchSize = 32;
+    std::uint64_t seed = 7;
+    /** Standardize inputs with train-set mean/stddev per feature. */
+    bool standardizeInputs = true;
+};
+
+/** Feed-forward classifier trained with SGD. */
+class Mlp
+{
+  public:
+    /**
+     * @param inputs Feature count.
+     * @param classes Output classes.
+     */
+    Mlp(std::size_t inputs, std::size_t classes, MlpConfig config = {});
+
+    std::size_t inputs() const { return inputs_; }
+    std::size_t classes() const { return classes_; }
+    const MlpConfig &config() const { return config_; }
+
+    /** Train on @p train for config().epochs epochs. */
+    void fit(const data::Dataset &train);
+
+    /** Class probabilities (softmax) of one feature vector. */
+    std::vector<double> probabilities(std::span<const double> x) const;
+
+    /** argmax of probabilities(). */
+    std::size_t predict(std::span<const double> x) const;
+
+    /** Accuracy on a labeled dataset. */
+    double evaluate(const data::Dataset &test) const;
+
+    /** Trainable parameters (weights + biases). */
+    std::size_t parameterCount() const;
+
+    /** Multiply-accumulates of one forward pass. */
+    std::size_t macsPerInference() const;
+
+    /** Layer widths including input and output. */
+    const std::vector<std::size_t> &layerSizes() const
+    {
+        return sizes_;
+    }
+
+  private:
+    /** One dense layer: weights [out x in] row-major + biases [out]. */
+    struct Layer
+    {
+        std::size_t in = 0;
+        std::size_t out = 0;
+        std::vector<double> weights;
+        std::vector<double> biases;
+    };
+
+    /** Forward pass storing per-layer activations. */
+    void forward(std::span<const double> x,
+                 std::vector<std::vector<double>> &activations) const;
+
+    /** Standardize a raw input vector with the fitted statistics. */
+    std::vector<double> prepare(std::span<const double> x) const;
+
+    std::size_t inputs_;
+    std::size_t classes_;
+    MlpConfig config_;
+    std::vector<std::size_t> sizes_;
+    std::vector<Layer> layers_;
+    std::vector<double> featureMean_;
+    std::vector<double> featureStd_;
+    bool fitted_ = false;
+};
+
+} // namespace lookhd::baseline
+
+#endif // LOOKHD_BASELINE_MLP_HPP

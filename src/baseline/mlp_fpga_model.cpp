@@ -1,0 +1,69 @@
+#include "baseline/mlp_fpga_model.hpp"
+
+#include <stdexcept>
+
+namespace lookhd::baseline {
+
+MlpFpgaModel::MlpFpgaModel(hw::FpgaDevice device, hw::EnergyTable energy)
+    : device_(std::move(device)), energy_(energy)
+{
+}
+
+std::size_t
+MlpFpgaModel::forwardMacs(const std::vector<std::size_t> &layer_sizes)
+{
+    if (layer_sizes.size() < 2)
+        throw std::invalid_argument("mlp needs at least two layers");
+    std::size_t macs = 0;
+    for (std::size_t l = 0; l + 1 < layer_sizes.size(); ++l)
+        macs += layer_sizes[l] * layer_sizes[l + 1];
+    return macs;
+}
+
+std::size_t
+MlpFpgaModel::modelBytes(const std::vector<std::size_t> &layer_sizes)
+{
+    std::size_t params = 0;
+    for (std::size_t l = 0; l + 1 < layer_sizes.size(); ++l)
+        params += layer_sizes[l] * layer_sizes[l + 1] +
+                  layer_sizes[l + 1];
+    return params * 4;
+}
+
+hw::Cost
+MlpFpgaModel::fromMacs(double macs) const
+{
+    // Generated accelerators do not keep every DSP busy every cycle;
+    // published DNNWeaver/FPDeep designs sustain roughly a third of
+    // peak on layer shapes like these (drain/fill, memory stalls).
+    constexpr double dsp_utilization = 0.35;
+    const double cycles = macs / (dsp_utilization *
+                                  static_cast<double>(device_.dsps));
+    hw::Cost cost;
+    cost.cycles = cycles;
+    cost.seconds = cycles * device_.clockNs * 1e-9;
+    // Each MAC also streams one weight from BRAM.
+    cost.dynamicJ =
+        macs * energy_.dspMacJ + macs * 4.0 * energy_.bramReadJ;
+    cost.staticJ = energy_.staticPowerW * cost.seconds;
+    return cost;
+}
+
+hw::Cost
+MlpFpgaModel::inferQuery(
+    const std::vector<std::size_t> &layer_sizes) const
+{
+    return fromMacs(static_cast<double>(forwardMacs(layer_sizes)));
+}
+
+hw::Cost
+MlpFpgaModel::train(const std::vector<std::size_t> &layer_sizes,
+                    std::size_t samples, std::size_t epochs) const
+{
+    const double fwd = static_cast<double>(forwardMacs(layer_sizes));
+    const double per_sample = 3.0 * fwd; // forward + backward + update
+    return fromMacs(per_sample * static_cast<double>(samples) *
+                    static_cast<double>(epochs));
+}
+
+} // namespace lookhd::baseline

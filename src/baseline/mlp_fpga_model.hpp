@@ -1,0 +1,61 @@
+/**
+ * @file
+ * FPGA cost model for MLP training and inference, standing in for the
+ * DNNWeaver (inference) and FPDeep (training) implementations the
+ * paper's Table IV compares against.
+ *
+ * Both tools map dense layers onto DSP multiply-accumulate arrays; the
+ * model charges one DSP MAC per weight per pass, with the backward
+ * pass and the weight update each costing another forward's worth of
+ * MACs (the standard 3x rule), run for the configured epoch count.
+ */
+
+#ifndef LOOKHD_BASELINE_MLP_FPGA_MODEL_HPP
+#define LOOKHD_BASELINE_MLP_FPGA_MODEL_HPP
+
+#include <vector>
+
+#include "hw/energy.hpp"
+#include "hw/resources.hpp"
+
+namespace lookhd::baseline {
+
+/** FPGA latency/energy model of a dense MLP. */
+class MlpFpgaModel
+{
+  public:
+    explicit MlpFpgaModel(
+        hw::FpgaDevice device = hw::kintex7Kc705(),
+        hw::EnergyTable energy = hw::defaultEnergyTable());
+
+    /**
+     * One forward pass.
+     * @param layer_sizes Widths including input and output.
+     */
+    hw::Cost inferQuery(const std::vector<std::size_t> &layer_sizes) const;
+
+    /**
+     * Full training run: epochs x samples x (forward + backward +
+     * update).
+     */
+    hw::Cost train(const std::vector<std::size_t> &layer_sizes,
+                   std::size_t samples, std::size_t epochs) const;
+
+    /** MACs of one forward pass. */
+    static std::size_t
+    forwardMacs(const std::vector<std::size_t> &layer_sizes);
+
+    /** Weights + biases in bytes (float32). */
+    static std::size_t
+    modelBytes(const std::vector<std::size_t> &layer_sizes);
+
+  private:
+    hw::Cost fromMacs(double macs) const;
+
+    hw::FpgaDevice device_;
+    hw::EnergyTable energy_;
+};
+
+} // namespace lookhd::baseline
+
+#endif // LOOKHD_BASELINE_MLP_FPGA_MODEL_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Specifications of the paper's five evaluation applications
+ * (Table I) and their synthetic stand-ins.
+ */
+
+#ifndef LOOKHD_DATA_APPS_HPP
+#define LOOKHD_DATA_APPS_HPP
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+
+namespace lookhd::data {
+
+/**
+ * One evaluation application: the paper's published characteristics
+ * plus the parameters of the synthetic workload standing in for the
+ * original dataset.
+ */
+struct AppSpec
+{
+    std::string name;        ///< Paper name, e.g. "SPEECH".
+    std::string description; ///< What the original dataset was.
+
+    // --- Published characteristics (paper Table I / Table II) ---
+    std::size_t numFeatures; ///< n
+    std::size_t numClasses;  ///< k
+    std::size_t paperQ;      ///< q giving max accuracy with linear quant.
+    std::size_t lookhdQ;     ///< q LookHD uses (Table II).
+    double paperAccuracy;    ///< Baseline HD accuracy (Table I).
+
+    // --- Synthetic stand-in parameters ---
+    double classSeparation;
+    double informativeFraction;
+    double skew;
+    double labelNoise;
+
+    // --- Default experiment sizes ---
+    std::size_t trainCount;
+    std::size_t testCount;
+
+    /** Default chunk size r (paper recommends r = 5). */
+    std::size_t chunkSize = 5;
+
+    /** Build the synthetic spec for this app with the given seed. */
+    SyntheticSpec synthetic(std::uint64_t seed = 1) const;
+};
+
+/** The five applications of the paper's evaluation, in paper order. */
+const std::vector<AppSpec> &paperApps();
+
+/** Lookup by paper name (e.g. "SPEECH"); throws if unknown. */
+const AppSpec &appByName(const std::string &name);
+
+/**
+ * A scaled-down copy of an app spec (fewer samples) for unit tests and
+ * quick sweeps; classification behaviour is preserved.
+ */
+AppSpec scaledDown(const AppSpec &app, std::size_t train_count,
+                   std::size_t test_count);
+
+} // namespace lookhd::data
+
+#endif // LOOKHD_DATA_APPS_HPP

@@ -1,0 +1,112 @@
+#include "data/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace lookhd::data {
+
+namespace {
+
+/** Parse one numeric field; throws with context on failure. */
+double
+parseField(const std::string &field, std::size_t line_no)
+{
+    const char *begin = field.c_str();
+    char *end = nullptr;
+    const double value = std::strtod(begin, &end);
+    // Allow surrounding whitespace only.
+    while (end && (*end == ' ' || *end == '\t' || *end == '\r'))
+        ++end;
+    if (end == begin || (end && *end != '\0')) {
+        throw std::runtime_error(
+            "unparsable CSV field '" + field + "' on line " +
+            std::to_string(line_no));
+    }
+    return value;
+}
+
+} // namespace
+
+Dataset
+readCsv(std::istream &in, const CsvOptions &options)
+{
+    std::vector<std::vector<double>> rows;
+    std::vector<long> raw_labels;
+
+    std::string line;
+    std::size_t line_no = 0;
+    std::size_t width = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line_no <= options.skipRows)
+            continue;
+        // Skip blank lines (trailing newline etc.).
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+
+        std::vector<std::string> fields;
+        std::stringstream ss(line);
+        std::string field;
+        while (std::getline(ss, field, options.delimiter))
+            fields.push_back(field);
+        if (fields.size() < 2) {
+            throw std::runtime_error(
+                "CSV row needs at least one feature and a label "
+                "(line " + std::to_string(line_no) + ")");
+        }
+        if (width == 0)
+            width = fields.size();
+        else if (fields.size() != width)
+            throw std::runtime_error(
+                "ragged CSV row on line " + std::to_string(line_no));
+
+        const std::size_t label_idx =
+            options.labelColumn == LabelColumn::kLast
+                ? fields.size() - 1
+                : 0;
+        const double raw_label =
+            parseField(fields[label_idx], line_no);
+        const long label = static_cast<long>(raw_label);
+        if (static_cast<double>(label) != raw_label) {
+            throw std::runtime_error(
+                "non-integer label on line " + std::to_string(line_no));
+        }
+
+        std::vector<double> features;
+        features.reserve(fields.size() - 1);
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            if (f == label_idx)
+                continue;
+            features.push_back(parseField(fields[f], line_no));
+        }
+        rows.push_back(std::move(features));
+        raw_labels.push_back(label);
+    }
+    if (rows.empty())
+        throw std::runtime_error("CSV contains no data rows");
+
+    // Remap labels to contiguous 0-based ids in order of appearance.
+    std::map<long, std::size_t> mapping;
+    for (long l : raw_labels)
+        mapping.emplace(l, mapping.size());
+
+    Dataset ds(rows.front().size(), mapping.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        ds.add(rows[i], mapping.at(raw_labels[i]));
+    return ds;
+}
+
+Dataset
+readCsvFile(const std::string &path, const CsvOptions &options)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    return readCsv(in, options);
+}
+
+} // namespace lookhd::data

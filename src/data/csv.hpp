@@ -1,0 +1,56 @@
+/**
+ * @file
+ * CSV dataset loader.
+ *
+ * The benchmarks run on synthetic stand-ins, but a downstream user of
+ * the library will want to feed the real UCI datasets (ISOLET,
+ * UCIHAR, ...). This loader reads the common "features...,label"
+ * layout: every row is numFeatures doubles followed by an integer
+ * class label (or the label in the first column).
+ */
+
+#ifndef LOOKHD_DATA_CSV_HPP
+#define LOOKHD_DATA_CSV_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace lookhd::data {
+
+/** Where the label sits in each CSV row. */
+enum class LabelColumn
+{
+    kLast,
+    kFirst,
+};
+
+/** Options for CSV parsing. */
+struct CsvOptions
+{
+    char delimiter = ',';
+    LabelColumn labelColumn = LabelColumn::kLast;
+    /** Skip this many leading lines (headers). */
+    std::size_t skipRows = 0;
+    /**
+     * Labels in the file may be 1-based (ISOLET) or arbitrary
+     * integers; they are remapped to contiguous 0-based class indices
+     * in order of first appearance.
+     */
+};
+
+/**
+ * Parse a CSV stream into a Dataset. The feature count is inferred
+ * from the first data row; the class count from the distinct labels.
+ * @throws std::runtime_error on ragged rows or unparsable fields.
+ */
+Dataset readCsv(std::istream &in, const CsvOptions &options = {});
+
+/** Parse a CSV file. @throws std::runtime_error if unreadable. */
+Dataset readCsvFile(const std::string &path,
+                    const CsvOptions &options = {});
+
+} // namespace lookhd::data
+
+#endif // LOOKHD_DATA_CSV_HPP

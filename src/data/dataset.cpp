@@ -1,0 +1,83 @@
+#include "data/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lookhd::data {
+
+Dataset::Dataset(std::size_t num_features, std::size_t num_classes)
+    : numFeatures_(num_features), numClasses_(num_classes)
+{
+    if (num_features == 0 || num_classes == 0)
+        throw std::invalid_argument("dataset shape must be nonzero");
+}
+
+void
+Dataset::add(std::span<const double> features, std::size_t label)
+{
+    if (features.size() != numFeatures_)
+        throw std::invalid_argument("feature vector width mismatch");
+    if (label >= numClasses_)
+        throw std::invalid_argument("label out of range");
+    for (double v : features) {
+        if (!std::isfinite(v))
+            throw std::invalid_argument(
+                "non-finite feature value rejected");
+    }
+    values_.insert(values_.end(), features.begin(), features.end());
+    labels_.push_back(label);
+}
+
+std::span<const double>
+Dataset::row(std::size_t index) const
+{
+    if (index >= size())
+        throw std::out_of_range("dataset row index");
+    return {values_.data() + index * numFeatures_, numFeatures_};
+}
+
+std::vector<double>
+Dataset::sampleValues(double fraction, util::Rng &rng) const
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        throw std::invalid_argument("sample fraction must be in (0, 1]");
+    const auto want = static_cast<std::size_t>(
+        fraction * static_cast<double>(values_.size()));
+    std::vector<double> out;
+    out.reserve(want);
+    for (std::size_t i = 0; i < want; ++i)
+        out.push_back(values_[rng.nextBelow(values_.size())]);
+    return out;
+}
+
+std::vector<std::size_t>
+Dataset::classCounts() const
+{
+    std::vector<std::size_t> counts(numClasses_, 0);
+    for (std::size_t l : labels_)
+        ++counts[l];
+    return counts;
+}
+
+std::pair<Dataset, Dataset>
+Dataset::split(double train_fraction, util::Rng &rng) const
+{
+    if (train_fraction <= 0.0 || train_fraction >= 1.0)
+        throw std::invalid_argument("train fraction must be in (0, 1)");
+    std::vector<std::size_t> order(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+
+    const auto cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(size()));
+    Dataset train(numFeatures_, numClasses_);
+    Dataset test(numFeatures_, numClasses_);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        Dataset &dst = i < cut ? train : test;
+        dst.add(row(order[i]), label(order[i]));
+    }
+    return {std::move(train), std::move(test)};
+}
+
+} // namespace lookhd::data

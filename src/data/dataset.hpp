@@ -1,0 +1,78 @@
+/**
+ * @file
+ * In-memory labeled dataset used by trainers, benchmarks and tests.
+ */
+
+#ifndef LOOKHD_DATA_DATASET_HPP
+#define LOOKHD_DATA_DATASET_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lookhd::data {
+
+/**
+ * Dense row-major feature matrix with integer class labels.
+ *
+ * Rows are data points; row(i) is a span over the i-th point's
+ * numFeatures() values. Labels are class indices in [0, numClasses()).
+ */
+class Dataset
+{
+  public:
+    /** Empty dataset with fixed shape metadata. */
+    Dataset(std::size_t num_features, std::size_t num_classes);
+
+    std::size_t numFeatures() const { return numFeatures_; }
+    std::size_t numClasses() const { return numClasses_; }
+    std::size_t size() const { return labels_.size(); }
+    bool empty() const { return labels_.empty(); }
+
+    /**
+     * Append one data point.
+     * @pre features.size() == numFeatures(), label < numClasses().
+     */
+    void add(std::span<const double> features, std::size_t label);
+
+    /** Feature vector of data point @p index. */
+    std::span<const double> row(std::size_t index) const;
+
+    /** Label of data point @p index. */
+    std::size_t label(std::size_t index) const { return labels_.at(index); }
+
+    /** All labels. */
+    const std::vector<std::size_t> &labels() const { return labels_; }
+
+    /** Flat view over every feature value (for quantizer fitting). */
+    std::span<const double> allValues() const { return values_; }
+
+    /**
+     * Uniform random subsample of feature values, as the paper uses a
+     * 5% sample to plot Fig. 3. @pre fraction in (0, 1].
+     */
+    std::vector<double> sampleValues(double fraction,
+                                     util::Rng &rng) const;
+
+    /** Number of points carrying each label. */
+    std::vector<std::size_t> classCounts() const;
+
+    /**
+     * Split into train/test by shuffling indices with @p rng;
+     * @p train_fraction of points go to the first returned dataset.
+     */
+    std::pair<Dataset, Dataset> split(double train_fraction,
+                                      util::Rng &rng) const;
+
+  private:
+    std::size_t numFeatures_;
+    std::size_t numClasses_;
+    std::vector<double> values_;
+    std::vector<std::size_t> labels_;
+};
+
+} // namespace lookhd::data
+
+#endif // LOOKHD_DATA_DATASET_HPP

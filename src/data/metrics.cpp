@@ -1,0 +1,103 @@
+#include "data/metrics.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace lookhd::data {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : classes_(classes), counts_(classes * classes, 0)
+{
+    if (classes == 0)
+        throw std::invalid_argument("confusion matrix needs classes");
+}
+
+void
+ConfusionMatrix::add(std::size_t truth, std::size_t predicted)
+{
+    if (truth >= classes_ || predicted >= classes_)
+        throw std::out_of_range("class index");
+    ++counts_[truth * classes_ + predicted];
+    ++total_;
+}
+
+std::size_t
+ConfusionMatrix::count(std::size_t truth, std::size_t pred) const
+{
+    if (truth >= classes_ || pred >= classes_)
+        throw std::out_of_range("class index");
+    return counts_[truth * classes_ + pred];
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t c = 0; c < classes_; ++c)
+        correct += counts_[c * classes_ + c];
+    return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+ClassMetrics
+ConfusionMatrix::classMetrics(std::size_t cls) const
+{
+    if (cls >= classes_)
+        throw std::out_of_range("class index");
+    std::size_t tp = counts_[cls * classes_ + cls];
+    std::size_t truth_total = 0, pred_total = 0;
+    for (std::size_t c = 0; c < classes_; ++c) {
+        truth_total += counts_[cls * classes_ + c];
+        pred_total += counts_[c * classes_ + cls];
+    }
+    ClassMetrics m;
+    m.support = truth_total;
+    m.precision = pred_total
+                      ? static_cast<double>(tp) /
+                            static_cast<double>(pred_total)
+                      : 0.0;
+    m.recall = truth_total
+                   ? static_cast<double>(tp) /
+                         static_cast<double>(truth_total)
+                   : 0.0;
+    m.f1 = (m.precision + m.recall) > 0.0
+               ? 2.0 * m.precision * m.recall /
+                     (m.precision + m.recall)
+               : 0.0;
+    return m;
+}
+
+double
+ConfusionMatrix::macroF1() const
+{
+    double sum = 0.0;
+    for (std::size_t c = 0; c < classes_; ++c)
+        sum += classMetrics(c).f1;
+    return sum / static_cast<double>(classes_);
+}
+
+std::string
+ConfusionMatrix::render() const
+{
+    std::string out = "truth \\ pred";
+    char buf[64];
+    for (std::size_t c = 0; c < classes_; ++c) {
+        std::snprintf(buf, sizeof(buf), "%8zu", c);
+        out += buf;
+    }
+    out += '\n';
+    for (std::size_t t = 0; t < classes_; ++t) {
+        std::snprintf(buf, sizeof(buf), "%12zu", t);
+        out += buf;
+        for (std::size_t p = 0; p < classes_; ++p) {
+            std::snprintf(buf, sizeof(buf), "%8zu",
+                          counts_[t * classes_ + p]);
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace lookhd::data

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Classification evaluation metrics: confusion matrix, per-class
+ * precision/recall/F1, macro averages.
+ *
+ * Accuracy alone hides per-class behaviour; the paper's workloads are
+ * balanced but real deployments of the library will not be, so the
+ * evaluation helpers report the standard panel.
+ */
+
+#ifndef LOOKHD_DATA_METRICS_HPP
+#define LOOKHD_DATA_METRICS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lookhd::data {
+
+/** Per-class precision/recall/F1. */
+struct ClassMetrics
+{
+    std::size_t support = 0; ///< True instances of the class.
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+};
+
+/** k x k confusion matrix with derived metrics. */
+class ConfusionMatrix
+{
+  public:
+    /** Empty matrix for @p classes classes. @pre classes > 0. */
+    explicit ConfusionMatrix(std::size_t classes);
+
+    /** Record one (truth, prediction) pair. */
+    void add(std::size_t truth, std::size_t predicted);
+
+    std::size_t numClasses() const { return classes_; }
+    std::size_t total() const { return total_; }
+
+    /** Count of points with true class @p truth predicted as @p pred. */
+    std::size_t count(std::size_t truth, std::size_t pred) const;
+
+    /** Overall accuracy (0 for an empty matrix). */
+    double accuracy() const;
+
+    /** Precision/recall/F1 of one class (0 where undefined). */
+    ClassMetrics classMetrics(std::size_t cls) const;
+
+    /** Unweighted mean of per-class F1 scores. */
+    double macroF1() const;
+
+    /** ASCII rendering (rows = truth, columns = prediction). */
+    std::string render() const;
+
+  private:
+    std::size_t classes_;
+    std::vector<std::size_t> counts_; ///< row-major truth x pred
+    std::size_t total_ = 0;
+};
+
+/**
+ * Build a confusion matrix by running @p predict over a dataset.
+ * @p predict maps a feature row to a class index.
+ */
+template <typename Dataset, typename Predictor>
+ConfusionMatrix
+confusionOf(const Dataset &ds, Predictor &&predict)
+{
+    ConfusionMatrix cm(ds.numClasses());
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        cm.add(ds.label(i), predict(ds.row(i)));
+    return cm;
+}
+
+} // namespace lookhd::data
+
+#endif // LOOKHD_DATA_METRICS_HPP

@@ -1,0 +1,37 @@
+#include "hdc/binary_model.hpp"
+
+#include "hdc/similarity.hpp"
+
+namespace lookhd::hdc {
+
+BinaryModel::BinaryModel(const ClassModel &model)
+    : dim_(model.dim())
+{
+    classes_.reserve(model.numClasses());
+    for (std::size_t c = 0; c < model.numClasses(); ++c)
+        classes_.emplace_back(sign(model.classHv(c)));
+}
+
+std::vector<double>
+BinaryModel::scores(const IntHv &query) const
+{
+    const PackedHv bq{sign(query)};
+    std::vector<double> out(classes_.size());
+    for (std::size_t c = 0; c < classes_.size(); ++c)
+        out[c] = hammingSimilarity(bq, classes_[c]);
+    return out;
+}
+
+std::size_t
+BinaryModel::predict(const IntHv &query) const
+{
+    return argmax(scores(query));
+}
+
+std::size_t
+BinaryModel::sizeBytes() const
+{
+    return (classes_.size() * dim_ + 7) / 8;
+}
+
+} // namespace lookhd::hdc

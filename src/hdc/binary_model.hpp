@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Binarized HDC model, the related-work baseline of Sec. VII.
+ *
+ * Several prior HDC systems (and most in-memory accelerators) keep
+ * only the element-wise sign of each trained class hypervector and
+ * classify with Hamming similarity on similarly binarized queries.
+ * The paper reports that this loses substantial accuracy on practical
+ * workloads (~17.5% below LookHD on average), which
+ * bench_binary_vs_lookhd reproduces in trend.
+ */
+
+#ifndef LOOKHD_HDC_BINARY_MODEL_HPP
+#define LOOKHD_HDC_BINARY_MODEL_HPP
+
+#include <vector>
+
+#include "hdc/bitpack.hpp"
+#include "hdc/model.hpp"
+
+namespace lookhd::hdc {
+
+/**
+ * Sign-binarized class model classified by Hamming similarity.
+ * Class hypervectors are stored bit-packed (one bit per dimension,
+ * the storage the binary accelerators of Sec. VII actually use) and
+ * similarity runs on popcounts.
+ */
+class BinaryModel
+{
+  public:
+    /** Binarize a trained non-binary model. */
+    explicit BinaryModel(const ClassModel &model);
+
+    Dim dim() const { return dim_; }
+    std::size_t numClasses() const { return classes_.size(); }
+
+    /** Packed class hypervector. */
+    const PackedHv &packedClassHv(std::size_t c) const
+    {
+        return classes_.at(c);
+    }
+
+    /** Unpacked view of one class (convenience for tests/inspection). */
+    BipolarHv classHv(std::size_t c) const
+    {
+        return classes_.at(c).unpack();
+    }
+
+    /** Hamming-similarity scores of a binarized query. */
+    std::vector<double> scores(const IntHv &query) const;
+
+    /** Predicted class of a (non-binarized) query. */
+    std::size_t predict(const IntHv &query) const;
+
+    /** Model size in bytes: one bit per dimension per class. */
+    std::size_t sizeBytes() const;
+
+  private:
+    Dim dim_;
+    std::vector<PackedHv> classes_;
+};
+
+} // namespace lookhd::hdc
+
+#endif // LOOKHD_HDC_BINARY_MODEL_HPP

@@ -1,0 +1,122 @@
+#include "hdc/bitpack.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace lookhd::hdc {
+
+PackedHv::PackedHv(const BipolarHv &hv)
+    : dim_(hv.size()), words_((hv.size() + 63) / 64, 0)
+{
+    for (std::size_t i = 0; i < hv.size(); ++i) {
+        if (hv[i] > 0)
+            words_[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+}
+
+PackedHv::PackedHv(Dim d) : dim_(d), words_((d + 63) / 64, 0) {}
+
+int
+PackedHv::at(std::size_t i) const
+{
+    if (i >= dim_)
+        throw std::out_of_range("packed hypervector index");
+    return (words_[i / 64] >> (i % 64)) & 1 ? 1 : -1;
+}
+
+void
+PackedHv::set(std::size_t i, bool positive)
+{
+    if (i >= dim_)
+        throw std::out_of_range("packed hypervector index");
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    if (positive)
+        words_[i / 64] |= mask;
+    else
+        words_[i / 64] &= ~mask;
+}
+
+BipolarHv
+PackedHv::unpack() const
+{
+    BipolarHv out(dim_);
+    for (std::size_t i = 0; i < dim_; ++i)
+        out[i] = static_cast<std::int8_t>(at(i));
+    return out;
+}
+
+void
+PackedHv::trimTail()
+{
+    const std::size_t tail = dim_ % 64;
+    if (tail != 0 && !words_.empty())
+        words_.back() &= (std::uint64_t{1} << tail) - 1;
+}
+
+PackedHv
+PackedHv::bind(const PackedHv &other) const
+{
+    if (dim_ != other.dim_)
+        throw std::invalid_argument("dimensionality mismatch");
+    PackedHv out(dim_);
+    // Bipolar product is +1 iff signs agree: XNOR of the bits.
+    for (std::size_t w = 0; w < words_.size(); ++w)
+        out.words_[w] = ~(words_[w] ^ other.words_[w]);
+    out.trimTail();
+    return out;
+}
+
+std::size_t
+matchCount(const PackedHv &a, const PackedHv &b)
+{
+    if (a.dim() != b.dim())
+        throw std::invalid_argument("dimensionality mismatch");
+    std::size_t matches = 0;
+    const std::size_t full_words = a.dim() / 64;
+    const auto &aw = a.data();
+    const auto &bw = b.data();
+    for (std::size_t w = 0; w < full_words; ++w)
+        matches += std::popcount(~(aw[w] ^ bw[w]));
+    const std::size_t tail = a.dim() % 64;
+    if (tail != 0) {
+        const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+        matches += std::popcount(~(aw[full_words] ^ bw[full_words]) &
+                                 mask);
+    }
+    return matches;
+}
+
+double
+hammingSimilarity(const PackedHv &a, const PackedHv &b)
+{
+    if (a.dim() == 0)
+        return 0.0;
+    return static_cast<double>(matchCount(a, b)) /
+           static_cast<double>(a.dim());
+}
+
+std::int64_t
+dot(const PackedHv &a, const PackedHv &b)
+{
+    // matches - mismatches = 2 * matches - D.
+    return 2 * static_cast<std::int64_t>(matchCount(a, b)) -
+           static_cast<std::int64_t>(a.dim());
+}
+
+std::int64_t
+dot(const IntHv &query, const PackedHv &packed)
+{
+    if (query.size() != packed.dim())
+        throw std::invalid_argument("dimensionality mismatch");
+    std::int64_t sum = 0;
+    const auto &words = packed.data();
+    for (std::size_t i = 0; i < query.size(); ++i) {
+        const bool positive =
+            (words[i / 64] >> (i % 64)) & 1;
+        sum += positive ? query[i] : -query[i];
+    }
+    return sum;
+}
+
+} // namespace lookhd::hdc

@@ -1,0 +1,153 @@
+#include "hdc/clustering.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hdc/similarity.hpp"
+#include "util/rng.hpp"
+
+namespace lookhd::hdc {
+
+namespace {
+
+/** Index of the centroid most similar to @p point. */
+std::size_t
+nearestCentroid(const IntHv &point,
+                const std::vector<RealHv> &normalized_centroids)
+{
+    std::size_t best = 0;
+    double best_score = -2.0;
+    for (std::size_t c = 0; c < normalized_centroids.size(); ++c) {
+        const double score = dot(point, normalized_centroids[c]);
+        if (score > best_score) {
+            best_score = score;
+            best = c;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+ClusterResult
+clusterEncoded(const std::vector<IntHv> &points, std::size_t k,
+               const ClusterOptions &options)
+{
+    if (points.empty())
+        throw std::invalid_argument("cannot cluster zero points");
+    if (k == 0 || k > points.size())
+        throw std::invalid_argument("cluster count out of range");
+    const Dim d = points.front().size();
+    for (const IntHv &p : points) {
+        if (p.size() != d)
+            throw std::invalid_argument("inconsistent dimensions");
+    }
+
+    ClusterResult result;
+    result.assignments.assign(points.size(), k); // "unassigned"
+
+    // Seed with k distinct points.
+    util::Rng rng(options.seed);
+    const auto seeds = rng.sampleIndices(points.size(), k);
+    result.centroids.clear();
+    for (std::size_t s : seeds)
+        result.centroids.push_back(points[s]);
+
+    // Normalized centroids for cosine ranking; query norms are
+    // constant per point, so plain dots with unit centroids suffice.
+    std::vector<RealHv> normalized_centroids(k);
+    auto refresh = [&] {
+        for (std::size_t c = 0; c < k; ++c)
+            normalized_centroids[c] = normalized(result.centroids[c]);
+    };
+    refresh();
+
+    for (std::size_t iter = 0; iter < options.maxIterations; ++iter) {
+        ++result.iterations;
+        // Assignment step.
+        std::size_t changed = 0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const std::size_t c =
+                nearestCentroid(points[i], normalized_centroids);
+            changed += c != result.assignments[i];
+            result.assignments[i] = c;
+        }
+
+        // Update step: re-bundle each cluster.
+        std::vector<IntHv> sums(k, IntHv(d, 0));
+        std::vector<std::size_t> sizes(k, 0);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            addInto(sums[result.assignments[i]], points[i]);
+            ++sizes[result.assignments[i]];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (sizes[c] > 0) {
+                result.centroids[c] = std::move(sums[c]);
+                continue;
+            }
+            // Empty cluster: re-seed with the point least similar to
+            // its own centroid (the worst-represented point).
+            std::size_t worst = 0;
+            double worst_score = 2.0;
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                const double score =
+                    dot(points[i],
+                        normalized_centroids[result.assignments[i]]) /
+                    std::max(norm(points[i]), 1e-12);
+                if (score < worst_score) {
+                    worst_score = score;
+                    worst = i;
+                }
+            }
+            result.centroids[c] = points[worst];
+            result.assignments[worst] = c;
+            ++changed;
+        }
+        refresh();
+
+        const double changed_fraction =
+            static_cast<double>(changed) /
+            static_cast<double>(points.size());
+        if (changed_fraction <= options.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    double cohesion = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        cohesion += cosine(
+            toReal(points[i]),
+            normalized_centroids[result.assignments[i]]);
+    }
+    result.cohesion = cohesion / static_cast<double>(points.size());
+    return result;
+}
+
+double
+clusterPurity(const std::vector<std::size_t> &assignments,
+              const std::vector<std::size_t> &labels,
+              std::size_t num_clusters, std::size_t num_labels)
+{
+    if (assignments.size() != labels.size() || assignments.empty())
+        throw std::invalid_argument("assignment/label size mismatch");
+    std::vector<std::size_t> counts(num_clusters * num_labels, 0);
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        if (assignments[i] >= num_clusters ||
+            labels[i] >= num_labels)
+            throw std::out_of_range("cluster or label index");
+        ++counts[assignments[i] * num_labels + labels[i]];
+    }
+    std::size_t majority_sum = 0;
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+        majority_sum += *std::max_element(
+            counts.begin() +
+                static_cast<std::ptrdiff_t>(c * num_labels),
+            counts.begin() +
+                static_cast<std::ptrdiff_t>((c + 1) * num_labels));
+    }
+    return static_cast<double>(majority_sum) /
+           static_cast<double>(assignments.size());
+}
+
+} // namespace lookhd::hdc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unsupervised clustering in hyperdimensional space.
+ *
+ * The paper's related work applies HDC beyond classification - the
+ * authors' own HDCluster/DUAL line ([19], [20]) clusters encoded
+ * points with k-means-style iterations where a centroid is simply the
+ * *bundle* (element-wise sum) of its members and similarity is
+ * cosine. This module provides that algorithm over any encoder's
+ * output, completing the library's coverage of the cognitive tasks
+ * Sec. VII surveys.
+ */
+
+#ifndef LOOKHD_HDC_CLUSTERING_HPP
+#define LOOKHD_HDC_CLUSTERING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace lookhd::hdc {
+
+/** Settings for hyperdimensional k-means. */
+struct ClusterOptions
+{
+    std::size_t maxIterations = 25;
+
+    /**
+     * Converged when at most this fraction of points changes cluster
+     * in an iteration.
+     */
+    double tolerance = 0.0;
+
+    /** Seed for centroid initialization. */
+    std::uint64_t seed = 17;
+};
+
+/** Outcome of a clustering run. */
+struct ClusterResult
+{
+    /** Bundled (integer) centroid hypervectors, one per cluster. */
+    std::vector<IntHv> centroids;
+    /** Cluster index per input point. */
+    std::vector<std::size_t> assignments;
+    std::size_t iterations = 0;
+    bool converged = false;
+
+    /**
+     * Mean cosine of each point to its centroid - the HDC analogue
+     * of k-means inertia (higher is tighter).
+     */
+    double cohesion = 0.0;
+};
+
+/**
+ * Cluster encoded hypervectors into @p k groups.
+ *
+ * Initialization picks k distinct input points as seeds; iterations
+ * assign each point to the most-similar centroid (cosine) and
+ * re-bundle. A cluster that empties is re-seeded with the point
+ * least similar to its current centroid.
+ *
+ * @pre points non-empty, 1 <= k <= points.size(), uniform dims.
+ */
+ClusterResult clusterEncoded(const std::vector<IntHv> &points,
+                             std::size_t k,
+                             const ClusterOptions &options = {});
+
+/**
+ * Clustering purity against reference labels: the fraction of points
+ * whose cluster's majority label matches their own. @pre equal sizes.
+ */
+double clusterPurity(const std::vector<std::size_t> &assignments,
+                     const std::vector<std::size_t> &labels,
+                     std::size_t num_clusters,
+                     std::size_t num_labels);
+
+} // namespace lookhd::hdc
+
+#endif // LOOKHD_HDC_CLUSTERING_HPP

@@ -1,0 +1,67 @@
+#include "hdc/encoder.hpp"
+
+#include <stdexcept>
+
+namespace lookhd::hdc {
+
+BaselineEncoder::BaselineEncoder(
+    std::shared_ptr<const LevelMemory> levels,
+    std::shared_ptr<const quant::Quantizer> quantizer)
+    : levels_(std::move(levels)), quantizer_(std::move(quantizer))
+{
+    if (!levels_ || !quantizer_)
+        throw std::invalid_argument("encoder needs levels and quantizer");
+    if (!quantizer_->fitted())
+        throw std::invalid_argument("quantizer must be fitted");
+    if (quantizer_->levels() != levels_->levels()) {
+        throw std::invalid_argument(
+            "quantizer levels do not match level memory");
+    }
+}
+
+BaselineEncoder::BaselineEncoder(
+    std::shared_ptr<const LevelMemory> levels,
+    std::shared_ptr<const quant::QuantizerBank> bank)
+    : levels_(std::move(levels)), bank_(std::move(bank))
+{
+    if (!levels_ || !bank_)
+        throw std::invalid_argument("encoder needs levels and bank");
+    if (!bank_->fitted())
+        throw std::invalid_argument("quantizer bank must be fitted");
+    if (bank_->levels() != levels_->levels()) {
+        throw std::invalid_argument(
+            "bank levels do not match level memory");
+    }
+}
+
+const quant::Quantizer &
+BaselineEncoder::quantizer() const
+{
+    if (!quantizer_)
+        throw std::logic_error("encoder uses a per-feature bank");
+    return *quantizer_;
+}
+
+IntHv
+BaselineEncoder::encode(std::span<const double> features) const
+{
+    IntHv acc(dim(), 0);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+        const std::size_t lvl = bank_
+                                    ? bank_->level(i, features[i])
+                                    : quantizer_->level(features[i]);
+        addRotated(acc, levels_->at(lvl), i);
+    }
+    return acc;
+}
+
+IntHv
+BaselineEncoder::encodeLevels(std::span<const std::size_t> levels) const
+{
+    IntHv acc(dim(), 0);
+    for (std::size_t i = 0; i < levels.size(); ++i)
+        addRotated(acc, levels_->at(levels[i]), i);
+    return acc;
+}
+
+} // namespace lookhd::hdc

@@ -1,0 +1,202 @@
+#include "hdc/hypervector.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lookhd::hdc {
+
+BipolarHv
+randomBipolar(Dim d, util::Rng &rng)
+{
+    return rng.signVector(d);
+}
+
+namespace {
+
+template <typename Hv>
+Hv
+rotateImpl(const Hv &hv, std::size_t shift)
+{
+    const std::size_t d = hv.size();
+    assert(d > 0);
+    shift %= d;
+    Hv out(d);
+    for (std::size_t i = 0; i < d; ++i)
+        out[(i + shift) % d] = hv[i];
+    return out;
+}
+
+} // namespace
+
+BipolarHv
+rotate(const BipolarHv &hv, std::size_t shift)
+{
+    return rotateImpl(hv, shift);
+}
+
+IntHv
+rotate(const IntHv &hv, std::size_t shift)
+{
+    return rotateImpl(hv, shift);
+}
+
+void
+addRotated(IntHv &acc, const BipolarHv &hv, std::size_t shift)
+{
+    const std::size_t d = acc.size();
+    assert(hv.size() == d);
+    shift %= d;
+    // Two contiguous loops instead of a modulo per element.
+    std::size_t i = 0;
+    for (std::size_t j = shift; j < d; ++j, ++i)
+        acc[j] += hv[i];
+    for (std::size_t j = 0; j < shift; ++j, ++i)
+        acc[j] += hv[i];
+}
+
+void
+addInto(IntHv &acc, const IntHv &hv)
+{
+    assert(acc.size() == hv.size());
+    for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] += hv[i];
+}
+
+void
+subtractFrom(IntHv &acc, const IntHv &hv)
+{
+    assert(acc.size() == hv.size());
+    for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] -= hv[i];
+}
+
+IntHv
+bind(const BipolarHv &key, const IntHv &hv)
+{
+    assert(key.size() == hv.size());
+    IntHv out(hv.size());
+    for (std::size_t i = 0; i < hv.size(); ++i)
+        out[i] = key[i] * hv[i];
+    return out;
+}
+
+BipolarHv
+bind(const BipolarHv &a, const BipolarHv &b)
+{
+    assert(a.size() == b.size());
+    BipolarHv out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = static_cast<std::int8_t>(a[i] * b[i]);
+    return out;
+}
+
+void
+bindInto(IntHv &hv, const BipolarHv &key)
+{
+    assert(key.size() == hv.size());
+    for (std::size_t i = 0; i < hv.size(); ++i)
+        hv[i] *= key[i];
+}
+
+BipolarHv
+sign(const IntHv &hv)
+{
+    BipolarHv out(hv.size());
+    for (std::size_t i = 0; i < hv.size(); ++i)
+        out[i] = hv[i] < 0 ? std::int8_t{-1} : std::int8_t{1};
+    return out;
+}
+
+std::int64_t
+dot(const IntHv &a, const IntHv &b)
+{
+    assert(a.size() == b.size());
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += static_cast<std::int64_t>(a[i]) * b[i];
+    return sum;
+}
+
+std::int64_t
+dot(const IntHv &a, const BipolarHv &b)
+{
+    assert(a.size() == b.size());
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += b[i] >= 0 ? a[i] : -a[i];
+    return sum;
+}
+
+std::int64_t
+dot(const BipolarHv &a, const BipolarHv &b)
+{
+    assert(a.size() == b.size());
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += static_cast<std::int64_t>(a[i]) * b[i];
+    return sum;
+}
+
+double
+dot(const IntHv &a, const RealHv &b)
+{
+    assert(a.size() == b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += static_cast<double>(a[i]) * b[i];
+    return sum;
+}
+
+double
+dot(const RealHv &a, const RealHv &b)
+{
+    assert(a.size() == b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+double
+norm(const IntHv &hv)
+{
+    double sum = 0.0;
+    for (auto v : hv)
+        sum += static_cast<double>(v) * v;
+    return std::sqrt(sum);
+}
+
+double
+norm(const RealHv &hv)
+{
+    return std::sqrt(dot(hv, hv));
+}
+
+RealHv
+toReal(const IntHv &hv)
+{
+    RealHv out(hv.size());
+    for (std::size_t i = 0; i < hv.size(); ++i)
+        out[i] = static_cast<double>(hv[i]);
+    return out;
+}
+
+RealHv
+normalized(const IntHv &hv)
+{
+    return normalized(toReal(hv));
+}
+
+RealHv
+normalized(const RealHv &hv)
+{
+    const double n = norm(hv);
+    if (n == 0.0)
+        return hv;
+    RealHv out(hv.size());
+    for (std::size_t i = 0; i < hv.size(); ++i)
+        out[i] = hv[i] / n;
+    return out;
+}
+
+} // namespace lookhd::hdc

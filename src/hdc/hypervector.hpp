@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Hypervector types and element-wise operations.
+ *
+ * HDC represents information as very wide vectors ("hypervectors",
+ * D in the thousands). Three concrete representations appear in the
+ * paper and in this library:
+ *
+ *  - BipolarHv: elements in {-1, +1}; level, position and key
+ *    hypervectors.
+ *  - IntHv: integer accumulations of bipolar hypervectors; encoded
+ *    data points and trained class hypervectors.
+ *  - RealHv: real-valued vectors; normalized class hypervectors and
+ *    decorrelated models.
+ *
+ * All operations take the dimensionality from the operands and check
+ * agreement with assertions (mismatched dimensions are programming
+ * errors, not user errors).
+ */
+
+#ifndef LOOKHD_HDC_HYPERVECTOR_HPP
+#define LOOKHD_HDC_HYPERVECTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lookhd::hdc {
+
+/** Hypervector dimensionality. */
+using Dim = std::size_t;
+
+/** Bipolar hypervector, elements constrained to -1 or +1. */
+using BipolarHv = std::vector<std::int8_t>;
+
+/** Integer hypervector (accumulation domain). */
+using IntHv = std::vector<std::int32_t>;
+
+/** Real-valued hypervector. */
+using RealHv = std::vector<double>;
+
+/** Generate a uniformly random bipolar hypervector of dimension d. */
+BipolarHv randomBipolar(Dim d, util::Rng &rng);
+
+/**
+ * Circular rotation by @p shift positions (the paper's permutation
+ * rho^shift). Element i of the result is element (i - shift) mod D of
+ * the input, i.e. the pattern moves "right".
+ */
+BipolarHv rotate(const BipolarHv &hv, std::size_t shift);
+
+/** Circular rotation of an integer hypervector. */
+IntHv rotate(const IntHv &hv, std::size_t shift);
+
+/**
+ * Accumulate @p hv rotated by @p shift into @p acc without
+ * materializing the rotation: acc[(i + shift) % D] += hv[i].
+ */
+void addRotated(IntHv &acc, const BipolarHv &hv, std::size_t shift);
+
+/** Element-wise acc += hv. */
+void addInto(IntHv &acc, const IntHv &hv);
+
+/** Element-wise acc -= hv. */
+void subtractFrom(IntHv &acc, const IntHv &hv);
+
+/**
+ * Binding: element-wise product with a bipolar key, i.e. a sign flip
+ * wherever the key is -1. Binding with the same key twice is the
+ * identity.
+ */
+IntHv bind(const BipolarHv &key, const IntHv &hv);
+
+/** Binding of two bipolar hypervectors (result is bipolar). */
+BipolarHv bind(const BipolarHv &a, const BipolarHv &b);
+
+/** In-place binding: hv *= key element-wise. */
+void bindInto(IntHv &hv, const BipolarHv &key);
+
+/** Element-wise sign; zero maps to +1 (a fixed tie-break). */
+BipolarHv sign(const IntHv &hv);
+
+/** Widening dot product of integer hypervectors. */
+std::int64_t dot(const IntHv &a, const IntHv &b);
+
+/** Dot product of an integer and a bipolar hypervector. */
+std::int64_t dot(const IntHv &a, const BipolarHv &b);
+
+/** Dot product of two bipolar hypervectors. */
+std::int64_t dot(const BipolarHv &a, const BipolarHv &b);
+
+/** Dot product of an integer and a real hypervector. */
+double dot(const IntHv &a, const RealHv &b);
+
+/** Dot product of two real hypervectors. */
+double dot(const RealHv &a, const RealHv &b);
+
+/** Euclidean norm. */
+double norm(const IntHv &hv);
+
+/** Euclidean norm. */
+double norm(const RealHv &hv);
+
+/** Convert to the real domain. */
+RealHv toReal(const IntHv &hv);
+
+/** Scale to unit Euclidean norm; an all-zero vector stays zero. */
+RealHv normalized(const IntHv &hv);
+
+/** Scale to unit Euclidean norm; an all-zero vector stays zero. */
+RealHv normalized(const RealHv &hv);
+
+} // namespace lookhd::hdc
+
+#endif // LOOKHD_HDC_HYPERVECTOR_HPP

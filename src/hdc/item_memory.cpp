@@ -1,0 +1,77 @@
+#include "hdc/item_memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lookhd::hdc {
+
+LevelMemory::LevelMemory(Dim dim, std::size_t levels, util::Rng &rng,
+                         LevelGen strategy)
+    : dim_(dim)
+{
+    if (levels < 2)
+        throw std::invalid_argument("level memory needs at least 2 levels");
+    if (dim < levels)
+        throw std::invalid_argument("dimensionality below level count");
+
+    hvs_.reserve(levels);
+    hvs_.push_back(randomBipolar(dim, rng));
+
+    if (strategy == LevelGen::kDistinctHalf) {
+        // One global random order of dimensions; each step flips the
+        // next D/(2(q-1)) of them, so flips never repeat and the total
+        // flipped after q-1 steps is D/2.
+        std::vector<std::size_t> order = rng.sampleIndices(dim, dim);
+        const std::size_t per_step = dim / (2 * (levels - 1));
+        std::size_t cursor = 0;
+        for (std::size_t lvl = 1; lvl < levels; ++lvl) {
+            BipolarHv next = hvs_.back();
+            for (std::size_t s = 0; s < per_step && cursor < dim;
+                 ++s, ++cursor) {
+                auto &e = next[order[cursor]];
+                e = static_cast<std::int8_t>(-e);
+            }
+            hvs_.push_back(std::move(next));
+        }
+    } else {
+        // Paper-literal: re-randomize D/q random dimensions per step.
+        const std::size_t per_step = std::max<std::size_t>(1, dim / levels);
+        for (std::size_t lvl = 1; lvl < levels; ++lvl) {
+            BipolarHv next = hvs_.back();
+            const auto picks = rng.sampleIndices(dim, per_step);
+            for (std::size_t idx : picks)
+                next[idx] = static_cast<std::int8_t>(rng.nextSign());
+            hvs_.push_back(std::move(next));
+        }
+    }
+}
+
+LevelMemory::LevelMemory(std::vector<BipolarHv> hvs)
+    : dim_(hvs.empty() ? 0 : hvs.front().size()), hvs_(std::move(hvs))
+{
+    if (hvs_.size() < 2)
+        throw std::invalid_argument("level memory needs at least 2 levels");
+    for (const auto &hv : hvs_) {
+        if (hv.size() != dim_)
+            throw std::invalid_argument("inconsistent level dimensions");
+    }
+}
+
+KeyMemory::KeyMemory(Dim dim, std::size_t count, util::Rng &rng)
+    : dim_(dim)
+{
+    hvs_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        hvs_.push_back(randomBipolar(dim, rng));
+}
+
+KeyMemory::KeyMemory(std::vector<BipolarHv> hvs)
+    : dim_(hvs.empty() ? 0 : hvs.front().size()), hvs_(std::move(hvs))
+{
+    for (const auto &hv : hvs_) {
+        if (hv.size() != dim_)
+            throw std::invalid_argument("inconsistent key dimensions");
+    }
+}
+
+} // namespace lookhd::hdc

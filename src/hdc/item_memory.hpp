@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Item memories: the stored hypervectors that encoders draw from.
+ *
+ * A LevelMemory holds the q "level" hypervectors L_1..L_q that stand
+ * for quantized feature values (paper Sec. II-A, "Alphabets
+ * Generation"). Neighboring levels are similar; the extreme levels are
+ * nearly orthogonal, mirroring the metric structure of the quantized
+ * value range.
+ *
+ * A KeyMemory holds independent random bipolar hypervectors used as
+ * binding keys: the chunk-position hypervectors P_1..P_m of Eq. 3 and
+ * the class keys P'_1..P'_k of Eq. 4 are both KeyMemories.
+ */
+
+#ifndef LOOKHD_HDC_ITEM_MEMORY_HPP
+#define LOOKHD_HDC_ITEM_MEMORY_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+#include "util/rng.hpp"
+
+namespace lookhd::hdc {
+
+/** How consecutive level hypervectors are derived from each other. */
+enum class LevelGen
+{
+    /**
+     * Flip D/(2(q-1)) *distinct* dimensions per step. After q-1 steps
+     * exactly D/2 dimensions differ, so delta(L_1, L_q) = 0 exactly
+     * (up to rounding). This matches the property the paper asserts
+     * ("L_q ... will be nearly orthogonal to L_1").
+     */
+    kDistinctHalf,
+
+    /**
+     * The paper's literal recipe: re-randomize ("fill") D/q randomly
+     * chosen dimensions of the previous level at each step, sampled
+     * independently per step. Gives high neighbor similarity and low
+     * (but nonzero, ~e^-2) end-to-end similarity.
+     */
+    kPaperRandom,
+};
+
+/** The q level hypervectors representing quantized feature values. */
+class LevelMemory
+{
+  public:
+    /**
+     * Generate level hypervectors.
+     *
+     * @param dim Hypervector dimensionality D.
+     * @param levels Number of quantization levels q. @pre levels >= 2.
+     * @param rng Randomness source (consumed).
+     * @param strategy Derivation rule for consecutive levels.
+     */
+    LevelMemory(Dim dim, std::size_t levels, util::Rng &rng,
+                LevelGen strategy = LevelGen::kDistinctHalf);
+
+    /**
+     * Restore from explicit hypervectors (deserialization). @pre at
+     * least two equal-dimension hypervectors.
+     */
+    explicit LevelMemory(std::vector<BipolarHv> hvs);
+
+    Dim dim() const { return dim_; }
+    std::size_t levels() const { return hvs_.size(); }
+
+    /** Level hypervector for quantized level @p index in [0, q). */
+    const BipolarHv &at(std::size_t index) const { return hvs_.at(index); }
+
+  private:
+    Dim dim_;
+    std::vector<BipolarHv> hvs_;
+};
+
+/** A bank of independent random bipolar binding keys. */
+class KeyMemory
+{
+  public:
+    /**
+     * Generate @p count independent random bipolar hypervectors of
+     * dimensionality @p dim.
+     */
+    KeyMemory(Dim dim, std::size_t count, util::Rng &rng);
+
+    /**
+     * Restore from explicit keys (deserialization). Keys must share
+     * one dimensionality; an empty vector yields a zero-key memory of
+     * dimension 0.
+     */
+    explicit KeyMemory(std::vector<BipolarHv> hvs);
+
+    Dim dim() const { return dim_; }
+    std::size_t count() const { return hvs_.size(); }
+
+    /** Key @p index in [0, count). */
+    const BipolarHv &at(std::size_t index) const { return hvs_.at(index); }
+
+  private:
+    Dim dim_;
+    std::vector<BipolarHv> hvs_;
+};
+
+} // namespace lookhd::hdc
+
+#endif // LOOKHD_HDC_ITEM_MEMORY_HPP

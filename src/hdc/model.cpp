@@ -1,0 +1,65 @@
+#include "hdc/model.hpp"
+
+#include <stdexcept>
+
+#include "hdc/similarity.hpp"
+
+namespace lookhd::hdc {
+
+ClassModel::ClassModel(Dim dim, std::size_t classes)
+    : dim_(dim), classes_(classes, IntHv(dim, 0))
+{
+    if (dim == 0 || classes == 0)
+        throw std::invalid_argument("model shape must be nonzero");
+}
+
+void
+ClassModel::accumulate(std::size_t c, const IntHv &encoded)
+{
+    addInto(classes_.at(c), encoded);
+    normalized_ = false;
+}
+
+void
+ClassModel::update(std::size_t correct, std::size_t wrong,
+                   const IntHv &encoded)
+{
+    addInto(classes_.at(correct), encoded);
+    subtractFrom(classes_.at(wrong), encoded);
+    normalized_ = false;
+}
+
+void
+ClassModel::normalize()
+{
+    norm_.clear();
+    norm_.reserve(classes_.size());
+    for (const IntHv &c : classes_)
+        norm_.push_back(lookhd::hdc::normalized(c));
+    normalized_ = true;
+}
+
+std::vector<double>
+ClassModel::scores(const IntHv &query) const
+{
+    if (!normalized_)
+        throw std::logic_error("model not normalized; call normalize()");
+    std::vector<double> out(norm_.size());
+    for (std::size_t c = 0; c < norm_.size(); ++c)
+        out[c] = dot(query, norm_[c]);
+    return out;
+}
+
+std::size_t
+ClassModel::predict(const IntHv &query) const
+{
+    return argmax(scores(query));
+}
+
+std::size_t
+ClassModel::sizeBytes(std::size_t bytes_per_element) const
+{
+    return classes_.size() * dim_ * bytes_per_element;
+}
+
+} // namespace lookhd::hdc

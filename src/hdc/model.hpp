@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Uncompressed HDC class model: one hypervector per class.
+ */
+
+#ifndef LOOKHD_HDC_MODEL_HPP
+#define LOOKHD_HDC_MODEL_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+
+namespace lookhd::hdc {
+
+/**
+ * Trained model of the conventional HDC classifier: k integer class
+ * hypervectors C_1..C_k plus a cached normalized copy used for
+ * inference (the pre-normalization of Sec. IV-A that turns cosine into
+ * a dot product).
+ */
+class ClassModel
+{
+  public:
+    /** All-zero model for @p classes classes of dimensionality @p dim. */
+    ClassModel(Dim dim, std::size_t classes);
+
+    Dim dim() const { return dim_; }
+    std::size_t numClasses() const { return classes_.size(); }
+
+    /** Mutable access to a class accumulator (training updates). */
+    IntHv &
+    classHv(std::size_t c)
+    {
+        normalized_ = false;
+        return classes_.at(c);
+    }
+    const IntHv &classHv(std::size_t c) const { return classes_.at(c); }
+
+    /** Add an encoded point into a class: C_c += H. */
+    void accumulate(std::size_t c, const IntHv &encoded);
+
+    /** Perceptron-style retraining update: C_correct += H, C_wrong -= H. */
+    void update(std::size_t correct, std::size_t wrong,
+                const IntHv &encoded);
+
+    /**
+     * Refresh the cached normalized class hypervectors. Must be called
+     * after training updates and before predict()/scores().
+     */
+    void normalize();
+
+    /** Whether normalize() is up to date with the accumulators. */
+    bool normalized() const { return normalized_; }
+
+    /** Dot-product scores against every normalized class hypervector. */
+    std::vector<double> scores(const IntHv &query) const;
+
+    /** Predicted class = argmax of scores(). */
+    std::size_t predict(const IntHv &query) const;
+
+    /**
+     * Model size in bytes: k x D elements at @p bytes_per_element.
+     * This is the quantity Fig. 15b's "model size reduction" compares.
+     */
+    std::size_t sizeBytes(std::size_t bytes_per_element = 4) const;
+
+    const std::vector<RealHv> &normalizedClasses() const { return norm_; }
+
+  private:
+    Dim dim_;
+    std::vector<IntHv> classes_;
+    std::vector<RealHv> norm_;
+    bool normalized_ = false;
+};
+
+} // namespace lookhd::hdc
+
+#endif // LOOKHD_HDC_MODEL_HPP

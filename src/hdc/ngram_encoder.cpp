@@ -1,0 +1,59 @@
+#include "hdc/ngram_encoder.hpp"
+
+#include <stdexcept>
+
+namespace lookhd::hdc {
+
+NgramEncoder::NgramEncoder(std::shared_ptr<const KeyMemory> symbols,
+                           std::size_t n)
+    : symbols_(std::move(symbols)), n_(n)
+{
+    if (!symbols_ || symbols_->count() == 0)
+        throw std::invalid_argument("encoder needs a symbol memory");
+    if (n == 0)
+        throw std::invalid_argument("n-gram order must be positive");
+}
+
+BipolarHv
+NgramEncoder::encodeGram(std::span<const std::size_t> gram) const
+{
+    if (gram.empty() || gram.size() > n_)
+        throw std::invalid_argument("gram length out of range");
+    const Dim d = dim();
+    BipolarHv acc(d, 1);
+    for (std::size_t j = 0; j < gram.size(); ++j) {
+        if (gram[j] >= alphabetSize())
+            throw std::invalid_argument("symbol out of alphabet");
+        // Position j (0 = oldest) is rotated by (len - 1 - j).
+        const BipolarHv rotated =
+            rotate(symbols_->at(gram[j]), gram.size() - 1 - j);
+        for (std::size_t i = 0; i < d; ++i)
+            acc[i] = static_cast<std::int8_t>(acc[i] * rotated[i]);
+    }
+    return acc;
+}
+
+IntHv
+NgramEncoder::encodeSequence(
+    std::span<const std::size_t> sequence) const
+{
+    if (sequence.empty())
+        throw std::invalid_argument("cannot encode an empty sequence");
+    IntHv acc(dim(), 0);
+    if (sequence.size() < n_) {
+        const BipolarHv gram = encodeGram(sequence);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] = gram[i];
+        return acc;
+    }
+    for (std::size_t start = 0; start + n_ <= sequence.size();
+         ++start) {
+        const BipolarHv gram =
+            encodeGram(sequence.subspan(start, n_));
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += gram[i];
+    }
+    return acc;
+}
+
+} // namespace lookhd::hdc

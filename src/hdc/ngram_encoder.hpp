@@ -1,0 +1,64 @@
+/**
+ * @file
+ * N-gram sequence encoder for symbolic data.
+ *
+ * The HDC literature the paper builds on (language identification,
+ * text classification, genome matching - Sec. VII) encodes symbol
+ * sequences by binding rotated symbol hypervectors over a sliding
+ * n-gram window and bundling the windows:
+ *
+ *   H = sum_i  rho^{n-1} S(x_i) * rho^{n-2} S(x_{i+1}) * ...
+ *              * S(x_{i+n-1})
+ *
+ * Binding makes each n-gram a quasi-orthogonal token; bundling turns
+ * the sequence into a histogram of its n-grams in hyperspace. This
+ * module rounds out the library so downstream users can run the
+ * classic text/time-series HDC workloads alongside LookHD.
+ */
+
+#ifndef LOOKHD_HDC_NGRAM_ENCODER_HPP
+#define LOOKHD_HDC_NGRAM_ENCODER_HPP
+
+#include <memory>
+#include <span>
+
+#include "hdc/item_memory.hpp"
+
+namespace lookhd::hdc {
+
+/** Rotate-and-bind n-gram encoder over a symbol alphabet. */
+class NgramEncoder
+{
+  public:
+    /**
+     * @param symbols One random hypervector per alphabet symbol.
+     * @param n N-gram order. @pre n >= 1.
+     */
+    NgramEncoder(std::shared_ptr<const KeyMemory> symbols,
+                 std::size_t n);
+
+    Dim dim() const { return symbols_->dim(); }
+    std::size_t order() const { return n_; }
+    std::size_t alphabetSize() const { return symbols_->count(); }
+
+    /**
+     * Encode one n-gram starting at gram[0]. @pre gram.size() == n,
+     * every symbol < alphabetSize().
+     */
+    BipolarHv
+    encodeGram(std::span<const std::size_t> gram) const;
+
+    /**
+     * Encode a whole sequence: bundle of all its n-grams. Sequences
+     * shorter than n yield the bundle of the single (shortened) gram.
+     */
+    IntHv encodeSequence(std::span<const std::size_t> sequence) const;
+
+  private:
+    std::shared_ptr<const KeyMemory> symbols_;
+    std::size_t n_;
+};
+
+} // namespace lookhd::hdc
+
+#endif // LOOKHD_HDC_NGRAM_ENCODER_HPP

@@ -1,0 +1,79 @@
+#include "hdc/online_trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hdc/similarity.hpp"
+#include "hdc/trainer.hpp"
+
+namespace lookhd::hdc {
+
+namespace {
+
+/** Scale-and-add: acc += weight * hv, rounded to keep integers. */
+void
+addScaled(IntHv &acc, const IntHv &hv, double weight)
+{
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] += static_cast<std::int32_t>(
+            std::lround(weight * static_cast<double>(hv[i])));
+    }
+}
+
+} // namespace
+
+OnlineTrainResult
+onlineTrain(const std::vector<IntHv> &encoded,
+            const std::vector<std::size_t> &labels, Dim dim,
+            std::size_t num_classes, const OnlineTrainOptions &options)
+{
+    if (encoded.size() != labels.size() || encoded.empty())
+        throw std::invalid_argument("encoded/labels size mismatch");
+    if (options.epochs == 0)
+        throw std::invalid_argument("online training needs >= 1 pass");
+
+    OnlineTrainResult result{ClassModel(dim, num_classes), {}};
+    ClassModel &model = result.model;
+    model.normalize();
+
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        for (std::size_t i = 0; i < encoded.size(); ++i) {
+            const IntHv &h = encoded[i];
+            const std::size_t truth = labels[i];
+
+            // Cosine similarities against the current model. An
+            // all-zero class (early in the first pass) scores 0.
+            std::vector<double> sims(num_classes);
+            const double h_norm = norm(h);
+            for (std::size_t c = 0; c < num_classes; ++c) {
+                const double c_norm = norm(model.classHv(c));
+                sims[c] = (h_norm > 0.0 && c_norm > 0.0)
+                              ? static_cast<double>(
+                                    dot(h, model.classHv(c))) /
+                                    (h_norm * c_norm)
+                              : 0.0;
+            }
+            const std::size_t pred = argmax(sims);
+
+            if (pred != truth) {
+                const double pull = options.learningRate *
+                                    (1.0 - sims[truth]);
+                const double push = options.learningRate *
+                                    (1.0 - sims[pred]);
+                addScaled(model.classHv(truth), h, pull);
+                addScaled(model.classHv(pred), h, -push);
+            } else if (options.updateOnCorrect) {
+                const double pull = options.learningRate *
+                                    (1.0 - sims[truth]);
+                addScaled(model.classHv(truth), h, pull);
+            }
+        }
+        model.normalize();
+        result.accuracyHistory.push_back(
+            evaluateEncoded(model, encoded, labels));
+    }
+    return result;
+}
+
+} // namespace lookhd::hdc

@@ -1,0 +1,87 @@
+#include "hdc/quantized_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "hdc/similarity.hpp"
+
+namespace lookhd::hdc {
+
+QuantizedModel::QuantizedModel(const ClassModel &model,
+                               std::size_t bits)
+    : dim_(model.dim()), bits_(bits)
+{
+    if (bits < 1 || bits > 16)
+        throw std::invalid_argument("bits must be in [1, 16]");
+
+    // Symmetric levels: b bits hold values in [-max_level, max_level]
+    // with max_level = 2^(b-1) - 1 (and 1-bit degenerates to +-1).
+    const double max_level =
+        bits == 1 ? 1.0
+                  : static_cast<double>((1 << (bits - 1)) - 1);
+
+    classes_.reserve(model.numClasses());
+    scales_.reserve(model.numClasses());
+    norms_.reserve(model.numClasses());
+    for (std::size_t c = 0; c < model.numClasses(); ++c) {
+        const IntHv &hv = model.classHv(c);
+        // Robust scale: map +-3 sigma onto the level range and let
+        // the tail saturate. Peak-based scaling would waste nearly
+        // every level on the heavy tail and round the bulk to zero.
+        double sum2 = 0.0;
+        for (auto v : hv)
+            sum2 += static_cast<double>(v) * v;
+        const double sigma =
+            std::sqrt(sum2 / static_cast<double>(dim_));
+        const double scale =
+            sigma > 0.0 ? 3.0 * sigma / max_level : 1.0;
+        scales_.push_back(scale);
+
+        std::vector<std::int16_t> q(dim_);
+        for (std::size_t i = 0; i < dim_; ++i) {
+            double level = std::round(
+                static_cast<double>(hv[i]) / scale);
+            if (bits == 1)
+                level = hv[i] < 0 ? -1.0 : 1.0;
+            level = std::clamp(level, -max_level, max_level);
+            q[i] = static_cast<std::int16_t>(level);
+        }
+        double norm2 = 0.0;
+        for (auto v : q)
+            norm2 += static_cast<double>(v) * v;
+        norms_.push_back(std::sqrt(std::max(norm2, 1e-12)));
+        classes_.push_back(std::move(q));
+    }
+}
+
+std::vector<double>
+QuantizedModel::scores(const IntHv &query) const
+{
+    if (query.size() != dim_)
+        throw std::invalid_argument("query dimensionality mismatch");
+    std::vector<double> out(classes_.size());
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+        std::int64_t sum = 0;
+        const auto &hv = classes_[c];
+        for (std::size_t i = 0; i < dim_; ++i)
+            sum += static_cast<std::int64_t>(query[i]) * hv[i];
+        out[c] = static_cast<double>(sum) / norms_[c];
+    }
+    return out;
+}
+
+std::size_t
+QuantizedModel::predict(const IntHv &query) const
+{
+    return argmax(scores(query));
+}
+
+std::size_t
+QuantizedModel::sizeBytes() const
+{
+    const std::size_t bits_total = classes_.size() * dim_ * bits_;
+    return (bits_total + 7) / 8 + classes_.size() * sizeof(float);
+}
+
+} // namespace lookhd::hdc

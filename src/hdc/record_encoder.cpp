@@ -1,0 +1,42 @@
+#include "hdc/record_encoder.hpp"
+
+#include <stdexcept>
+
+namespace lookhd::hdc {
+
+RecordEncoder::RecordEncoder(
+    std::shared_ptr<const LevelMemory> levels,
+    std::shared_ptr<const quant::Quantizer> quantizer,
+    std::size_t num_features, util::Rng &rng)
+    : levels_(std::move(levels)), quantizer_(std::move(quantizer)),
+      ids_(levels_ ? levels_->dim() : 0, num_features, rng)
+{
+    if (!levels_ || !quantizer_)
+        throw std::invalid_argument("encoder needs levels and quantizer");
+    if (!quantizer_->fitted())
+        throw std::invalid_argument("quantizer must be fitted");
+    if (quantizer_->levels() != levels_->levels()) {
+        throw std::invalid_argument(
+            "quantizer levels do not match level memory");
+    }
+    if (num_features == 0)
+        throw std::invalid_argument("encoder needs features");
+}
+
+IntHv
+RecordEncoder::encode(std::span<const double> features) const
+{
+    if (features.size() != ids_.count())
+        throw std::invalid_argument("feature vector width mismatch");
+    IntHv acc(dim(), 0);
+    for (std::size_t f = 0; f < features.size(); ++f) {
+        const BipolarHv &level =
+            levels_->at(quantizer_->level(features[f]));
+        const BipolarHv &id = ids_.at(f);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += id[i] * level[i];
+    }
+    return acc;
+}
+
+} // namespace lookhd::hdc

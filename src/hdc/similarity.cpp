@@ -1,0 +1,70 @@
+#include "hdc/similarity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace lookhd::hdc {
+
+double
+cosine(const IntHv &a, const IntHv &b)
+{
+    const double na = norm(a);
+    const double nb = norm(b);
+    if (na == 0.0 || nb == 0.0)
+        return 0.0;
+    return static_cast<double>(dot(a, b)) / (na * nb);
+}
+
+double
+cosine(const RealHv &a, const RealHv &b)
+{
+    const double na = norm(a);
+    const double nb = norm(b);
+    if (na == 0.0 || nb == 0.0)
+        return 0.0;
+    return dot(a, b) / (na * nb);
+}
+
+double
+cosine(const IntHv &a, const RealHv &b)
+{
+    const double na = norm(a);
+    const double nb = norm(b);
+    if (na == 0.0 || nb == 0.0)
+        return 0.0;
+    return dot(a, b) / (na * nb);
+}
+
+double
+cosine(const BipolarHv &a, const BipolarHv &b)
+{
+    assert(a.size() == b.size());
+    if (a.empty())
+        return 0.0;
+    return static_cast<double>(dot(a, b)) /
+           static_cast<double>(a.size());
+}
+
+double
+hammingSimilarity(const BipolarHv &a, const BipolarHv &b)
+{
+    assert(a.size() == b.size());
+    if (a.empty())
+        return 0.0;
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        agree += a[i] == b[i];
+    return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+std::size_t
+argmax(const std::vector<double> &scores)
+{
+    if (scores.empty())
+        throw std::invalid_argument("argmax of empty scores");
+    return static_cast<std::size_t>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+} // namespace lookhd::hdc

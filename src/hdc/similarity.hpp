@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Similarity metrics between hypervectors.
+ *
+ * HDC classification assigns a query to the class hypervector with the
+ * highest cosine similarity. The paper (Sec. IV-A) notes that with
+ * class hypervectors pre-normalized and the query magnitude shared
+ * across classes, maximizing cosine reduces to maximizing a plain dot
+ * product - the form the hardware implements.
+ */
+
+#ifndef LOOKHD_HDC_SIMILARITY_HPP
+#define LOOKHD_HDC_SIMILARITY_HPP
+
+#include "hdc/hypervector.hpp"
+
+namespace lookhd::hdc {
+
+/** Cosine similarity; 0 if either vector is all-zero. */
+double cosine(const IntHv &a, const IntHv &b);
+
+/** Cosine similarity; 0 if either vector is all-zero. */
+double cosine(const RealHv &a, const RealHv &b);
+
+/** Cosine similarity between an integer and a real hypervector. */
+double cosine(const IntHv &a, const RealHv &b);
+
+/** Cosine similarity of bipolar hypervectors: dot / D. */
+double cosine(const BipolarHv &a, const BipolarHv &b);
+
+/**
+ * Normalized Hamming similarity of bipolar hypervectors: fraction of
+ * agreeing positions, in [0, 1]. Related to cosine by
+ * cos = 2 * hamming - 1.
+ */
+double hammingSimilarity(const BipolarHv &a, const BipolarHv &b);
+
+/** Index of the maximum value; @pre scores non-empty. */
+std::size_t argmax(const std::vector<double> &scores);
+
+} // namespace lookhd::hdc
+
+#endif // LOOKHD_HDC_SIMILARITY_HPP

@@ -1,0 +1,103 @@
+#include "hdc/trainer.hpp"
+
+#include <stdexcept>
+
+namespace lookhd::hdc {
+
+std::vector<IntHv>
+BaselineTrainer::encodeAll(const data::Dataset &ds) const
+{
+    std::vector<IntHv> out;
+    out.reserve(ds.size());
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        out.push_back(encoder_.encode(ds.row(i)));
+    return out;
+}
+
+TrainResult
+BaselineTrainer::train(const data::Dataset &train,
+                       const TrainOptions &options) const
+{
+    return trainEncoded(encodeAll(train), train.labels(),
+                        train.numClasses(), options);
+}
+
+TrainResult
+BaselineTrainer::trainEncoded(const std::vector<IntHv> &encoded,
+                              const std::vector<std::size_t> &labels,
+                              std::size_t num_classes,
+                              const TrainOptions &options) const
+{
+    if (encoded.size() != labels.size() || encoded.empty())
+        throw std::invalid_argument("encoded/labels size mismatch");
+
+    TrainResult result{ClassModel(encoder_.dim(), num_classes), {}, 0};
+    ClassModel &model = result.model;
+
+    // Initial training: class sums.
+    for (std::size_t i = 0; i < encoded.size(); ++i)
+        model.accumulate(labels[i], encoded[i]);
+    model.normalize();
+    result.accuracyHistory.push_back(
+        evaluateEncoded(model, encoded, labels));
+
+    double best = result.accuracyHistory.back();
+    std::size_t stale = 0;
+
+    for (std::size_t epoch = 0; epoch < options.retrainEpochs; ++epoch) {
+        for (std::size_t i = 0; i < encoded.size(); ++i) {
+            const std::size_t pred = model.predict(encoded[i]);
+            if (pred != labels[i]) {
+                model.update(labels[i], pred, encoded[i]);
+                // Keep the normalized cache fresh so subsequent
+                // predictions in the same epoch see the update, as the
+                // sequential algorithm in the paper does.
+                model.normalize();
+            }
+        }
+        model.normalize();
+        ++result.epochsRun;
+        const double acc = evaluateEncoded(model, encoded, labels);
+        result.accuracyHistory.push_back(acc);
+
+        if (options.earlyStopDelta >= 0.0) {
+            if (acc > best + options.earlyStopDelta) {
+                best = acc;
+                stale = 0;
+            } else if (++stale >= options.earlyStopPatience) {
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+double
+BaselineTrainer::evaluate(const ClassModel &model,
+                          const data::Dataset &test) const
+{
+    if (test.empty())
+        throw std::invalid_argument("empty test set");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        const IntHv query = encoder_.encode(test.row(i));
+        correct += model.predict(query) == test.label(i);
+    }
+    return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double
+evaluateEncoded(const ClassModel &model,
+                const std::vector<IntHv> &encoded,
+                const std::vector<std::size_t> &labels)
+{
+    if (encoded.empty())
+        throw std::invalid_argument("empty evaluation set");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < encoded.size(); ++i)
+        correct += model.predict(encoded[i]) == labels[i];
+    return static_cast<double>(correct) /
+           static_cast<double>(encoded.size());
+}
+
+} // namespace lookhd::hdc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Baseline HDC training loop (paper Sec. II-B).
+ *
+ * Initial training sums the encoded hypervectors of each class;
+ * retraining then iterates over the training set and applies the
+ * perceptron-style correction C_correct += H, C_wrong -= H to every
+ * misclassified point, for a fixed number of epochs or until the
+ * validation accuracy stops improving.
+ */
+
+#ifndef LOOKHD_HDC_TRAINER_HPP
+#define LOOKHD_HDC_TRAINER_HPP
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/model.hpp"
+
+namespace lookhd::hdc {
+
+/** Settings for the baseline training loop. */
+struct TrainOptions
+{
+    /** Maximum retraining epochs (0 = initial training only). */
+    std::size_t retrainEpochs = 10;
+
+    /**
+     * Stop early when training accuracy fails to improve by more than
+     * this for patience consecutive epochs. Negative disables.
+     */
+    double earlyStopDelta = -1.0;
+    std::size_t earlyStopPatience = 3;
+};
+
+/** Result of a training run. */
+struct TrainResult
+{
+    ClassModel model;
+    /** Training-set accuracy after initial training and each epoch. */
+    std::vector<double> accuracyHistory;
+    std::size_t epochsRun = 0;
+};
+
+/** Trains and evaluates the conventional HDC classifier. */
+class BaselineTrainer
+{
+  public:
+    explicit BaselineTrainer(const BaselineEncoder &encoder)
+        : encoder_(encoder)
+    {}
+
+    /** Encode every data point once (retraining reuses encodings). */
+    std::vector<IntHv> encodeAll(const data::Dataset &ds) const;
+
+    /** Initial training + retraining per @p options. */
+    TrainResult train(const data::Dataset &train,
+                      const TrainOptions &options = {}) const;
+
+    /**
+     * Training from pre-encoded points (used when the caller wants to
+     * amortize the encoding cost across experiments).
+     */
+    TrainResult trainEncoded(const std::vector<IntHv> &encoded,
+                             const std::vector<std::size_t> &labels,
+                             std::size_t num_classes,
+                             const TrainOptions &options = {}) const;
+
+    /** Fraction of points in @p test predicted correctly. */
+    double evaluate(const ClassModel &model,
+                    const data::Dataset &test) const;
+
+  private:
+    const BaselineEncoder &encoder_;
+};
+
+/** Accuracy of @p model on pre-encoded points. */
+double evaluateEncoded(const ClassModel &model,
+                       const std::vector<IntHv> &encoded,
+                       const std::vector<std::size_t> &labels);
+
+} // namespace lookhd::hdc
+
+#endif // LOOKHD_HDC_TRAINER_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Workload parameters consumed by the hardware cost models.
+ */
+
+#ifndef LOOKHD_HW_APP_PARAMS_HPP
+#define LOOKHD_HW_APP_PARAMS_HPP
+
+#include <algorithm>
+#include <cstddef>
+
+namespace lookhd::hw {
+
+/**
+ * Everything a cost model needs to know about one classification
+ * workload and its HDC configuration. Derived quantities (chunk count,
+ * address-space size) are provided as methods so every model counts
+ * them the same way.
+ */
+struct AppParams
+{
+    std::size_t n = 0;   ///< Features per data point.
+    std::size_t q = 0;   ///< Quantization levels.
+    std::size_t r = 5;   ///< LookHD chunk size.
+    std::size_t k = 0;   ///< Classes.
+    std::size_t dim = 2000; ///< Hypervector dimensionality D.
+
+    std::size_t trainSamples = 0;
+
+    /**
+     * Average mispredictions corrected per retraining epoch (the paper
+     * reports retraining cost "considering the average number of
+     * updates during the entire training iterations").
+     */
+    std::size_t updatesPerEpoch = 0;
+
+    /** Compressed hypervectors (1 unless grouped compression). */
+    std::size_t modelGroups = 1;
+
+    /** Chunks m = ceil(n / r). */
+    std::size_t m() const { return (n + r - 1) / r; }
+
+    /** Address space q^r, saturating at 2^63. */
+    double
+    addressSpace() const
+    {
+        double space = 1.0;
+        for (std::size_t i = 0; i < r; ++i)
+            space *= static_cast<double>(q);
+        return space;
+    }
+
+    /** Average training samples per class. */
+    double
+    samplesPerClass() const
+    {
+        return k ? static_cast<double>(trainSamples) /
+                       static_cast<double>(k)
+                 : 0.0;
+    }
+
+    /**
+     * Counter rows with nonzero count per (class, chunk): bounded both
+     * by the address space and by how many samples the class saw.
+     * This is what the weighted accumulation actually touches.
+     */
+    double
+    activeRowsPerClassChunk() const
+    {
+        return std::min(addressSpace(), samplesPerClass());
+    }
+
+    /** Bits per pre-stored chunk-hypervector element (range [-r, r]). */
+    std::size_t
+    chunkElemBits() const
+    {
+        std::size_t bits = 1;
+        while ((std::size_t{1} << bits) < 2 * r + 1)
+            ++bits;
+        return bits;
+    }
+};
+
+} // namespace lookhd::hw
+
+#endif // LOOKHD_HW_APP_PARAMS_HPP

@@ -1,0 +1,164 @@
+#include "hw/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lookhd::hw {
+
+namespace {
+
+/** Expected distinct chunk addresses per class (see fpga_model.cpp). */
+double
+expectedActiveRows(double space, double samples)
+{
+    if (space <= 0.0 || samples <= 0.0)
+        return 0.0;
+    const double frac =
+        -std::expm1(samples * std::log1p(-1.0 / space));
+    return std::min(space * frac, samples);
+}
+
+} // namespace
+
+CpuModel::CpuModel(CpuDevice device, CpuKernelCosts costs)
+    : device_(std::move(device)), costs_(costs)
+{
+}
+
+Cost
+CpuModel::fromCycles(double cycles) const
+{
+    Cost cost;
+    cost.cycles = cycles;
+    cost.seconds = cycles / device_.clockHz;
+    cost.dynamicJ = device_.activePowerW * cost.seconds;
+    cost.staticJ = 0.0; // folded into active power
+    return cost;
+}
+
+double
+CpuModel::baselineEncodeCycles(const AppParams &app) const
+{
+    const double n = static_cast<double>(app.n);
+    const double d = static_cast<double>(app.dim);
+    return n * costs_.quantizePerFeature + n * d * costs_.encodeAdd;
+}
+
+double
+CpuModel::baselineSearchCycles(const AppParams &app) const
+{
+    return static_cast<double>(app.k) *
+           static_cast<double>(app.dim) * costs_.searchMac;
+}
+
+double
+CpuModel::lookhdEncodeCycles(const AppParams &app) const
+{
+    const double n = static_cast<double>(app.n);
+    const double d = static_cast<double>(app.dim);
+    const double m = static_cast<double>(app.m());
+    // Quantize, fetch m table rows, bind with P and aggregate: two
+    // element passes per chunk (load+bind, add).
+    return n * costs_.quantizePerFeature +
+           m * d * (costs_.encodeAdd + costs_.unbindAdd);
+}
+
+double
+CpuModel::lookhdSearchCycles(const AppParams &app) const
+{
+    const double d = static_cast<double>(app.dim);
+    // One real MAC pass per compressed group plus a cheap
+    // sign-resolved accumulation per class.
+    return static_cast<double>(app.modelGroups) * d *
+               costs_.searchMac +
+           static_cast<double>(app.k) * d * costs_.unbindAdd;
+}
+
+Cost
+CpuModel::baselineTrain(const AppParams &app) const
+{
+    const double d = static_cast<double>(app.dim);
+    const double per_sample =
+        baselineEncodeCycles(app) + d * costs_.updateAdd;
+    return fromCycles(per_sample *
+                      static_cast<double>(app.trainSamples));
+}
+
+Cost
+CpuModel::baselineInferQuery(const AppParams &app) const
+{
+    return fromCycles(baselineEncodeCycles(app) +
+                      baselineSearchCycles(app));
+}
+
+Cost
+CpuModel::baselineRetrainEpoch(const AppParams &app) const
+{
+    const double d = static_cast<double>(app.dim);
+    double cycles =
+        (baselineEncodeCycles(app) + baselineSearchCycles(app)) *
+        static_cast<double>(app.trainSamples);
+    cycles += 2.0 * d * costs_.updateAdd *
+              static_cast<double>(app.updatesPerEpoch);
+    return fromCycles(cycles);
+}
+
+double
+CpuModel::baselineTrainEncodingFraction(const AppParams &app) const
+{
+    const double d = static_cast<double>(app.dim);
+    const double enc = baselineEncodeCycles(app);
+    return enc / (enc + d * costs_.updateAdd);
+}
+
+double
+CpuModel::baselineInferSearchFraction(const AppParams &app) const
+{
+    const double enc = baselineEncodeCycles(app);
+    const double search = baselineSearchCycles(app);
+    return search / (enc + search);
+}
+
+Cost
+CpuModel::lookhdTrain(const AppParams &app) const
+{
+    const double d = static_cast<double>(app.dim);
+    const double m = static_cast<double>(app.m());
+    const double k = static_cast<double>(app.k);
+    const double s = static_cast<double>(app.trainSamples);
+
+    // Streaming: quantize + counter increments, no hypervector work.
+    const double per_sample =
+        static_cast<double>(app.n) * costs_.quantizePerFeature +
+        m * costs_.counterIncrement;
+
+    // Finalization: weighted accumulation over active counter rows
+    // plus one chunk-aggregation pass per class.
+    const double rows = expectedActiveRows(app.addressSpace(),
+                                           app.samplesPerClass());
+    const double finalize = k * m * rows * d * costs_.weightedMac +
+                            k * m * d * costs_.unbindAdd;
+
+    return fromCycles(per_sample * s + finalize);
+}
+
+Cost
+CpuModel::lookhdInferQuery(const AppParams &app) const
+{
+    return fromCycles(lookhdEncodeCycles(app) +
+                      lookhdSearchCycles(app));
+}
+
+Cost
+CpuModel::lookhdRetrainEpoch(const AppParams &app) const
+{
+    const double d = static_cast<double>(app.dim);
+    double cycles =
+        (lookhdEncodeCycles(app) + lookhdSearchCycles(app)) *
+        static_cast<double>(app.trainSamples);
+    cycles += 2.0 * d * costs_.updateAdd *
+              static_cast<double>(app.updatesPerEpoch);
+    return fromCycles(cycles);
+}
+
+} // namespace lookhd::hw

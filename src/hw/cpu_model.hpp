@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Analytical cost model of HDC kernels on an embedded CPU
+ * (ARM Cortex-A53 in the paper).
+ *
+ * The model charges each kernel phase cycles-per-element constants
+ * that reflect how the phase maps onto a small in-order SIMD core:
+ * bit/byte-wide streaming work vectorizes well, the float
+ * multiply-accumulate of the associative search does not. Energy is
+ * active power times task time. As with the FPGA model, the target is
+ * the *ratios* the paper's figures report.
+ */
+
+#ifndef LOOKHD_HW_CPU_MODEL_HPP
+#define LOOKHD_HW_CPU_MODEL_HPP
+
+#include "hw/app_params.hpp"
+#include "hw/energy.hpp"
+#include "hw/resources.hpp"
+
+namespace lookhd::hw {
+
+/** Per-element cycle costs of the CPU kernels. */
+struct CpuKernelCosts
+{
+    /** Baseline encoding aggregation (SIMD int16 add): cycles/elem. */
+    double encodeAdd = 0.125;
+    /**
+     * Associative-search multiply-accumulate: cycles/elem. The search
+     * runs on the non-binarized model in floating point, which the
+     * little in-order core cannot keep pipelined; this is what makes
+     * the search dominate inference for many-class apps (Fig. 2).
+     */
+    double searchMac = 4.0;
+    /** Quantization: cycles per feature (binary search over levels). */
+    double quantizePerFeature = 2.0;
+    /** Counter increment: cycles per chunk. */
+    double counterIncrement = 2.0;
+    /** Weighted-accumulation MAC (SIMD int16): cycles/elem. */
+    double weightedMac = 0.25;
+    /** Sign-resolved accumulate (unbinding): cycles/elem. */
+    double unbindAdd = 0.25;
+    /** Model update add/sub: cycles/elem. */
+    double updateAdd = 0.25;
+};
+
+/** CPU latency/energy model. */
+class CpuModel
+{
+  public:
+    explicit CpuModel(CpuDevice device = armCortexA53(),
+                      CpuKernelCosts costs = {});
+
+    const CpuDevice &device() const { return device_; }
+
+    // --- Baseline HDC ---
+    Cost baselineTrain(const AppParams &app) const;
+    Cost baselineInferQuery(const AppParams &app) const;
+    Cost baselineRetrainEpoch(const AppParams &app) const;
+
+    /** Fraction of baseline training spent in encoding (Fig. 2). */
+    double baselineTrainEncodingFraction(const AppParams &app) const;
+    /** Fraction of baseline inference spent in the search (Fig. 2). */
+    double baselineInferSearchFraction(const AppParams &app) const;
+
+    // --- LookHD ---
+    Cost lookhdTrain(const AppParams &app) const;
+    Cost lookhdInferQuery(const AppParams &app) const;
+    Cost lookhdRetrainEpoch(const AppParams &app) const;
+
+  private:
+    Cost fromCycles(double cycles) const;
+
+    /** Cycles to encode one point with the baseline encoder. */
+    double baselineEncodeCycles(const AppParams &app) const;
+    /** Cycles for one uncompressed associative search. */
+    double baselineSearchCycles(const AppParams &app) const;
+    /** Cycles to encode one point with the lookup encoder. */
+    double lookhdEncodeCycles(const AppParams &app) const;
+    /** Cycles for one compressed-model search. */
+    double lookhdSearchCycles(const AppParams &app) const;
+
+    CpuDevice device_;
+    CpuKernelCosts costs_;
+};
+
+} // namespace lookhd::hw
+
+#endif // LOOKHD_HW_CPU_MODEL_HPP

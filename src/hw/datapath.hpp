@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Datapath cost parameters shared by the analytical FPGA model
+ * (hw::FpgaModel) and the cycle-approximate pipeline simulator
+ * (hwsim). Keeping them in one struct guarantees the two estimators
+ * disagree only because of their abstraction level, never because of
+ * divergent constants.
+ */
+
+#ifndef LOOKHD_HW_DATAPATH_HPP
+#define LOOKHD_HW_DATAPATH_HPP
+
+#include <cstddef>
+
+#include "hw/resources.hpp"
+
+namespace lookhd::hw {
+
+/** Per-primitive datapath costs of the FPGA designs (Sec. V). */
+struct DatapathParams
+{
+    /** Fraction of the LUT budget usable as datapath (routing). */
+    double lutDatapathFraction = 0.8;
+
+    /** LUTs consumed per bit of a carry-chain adder lane. */
+    double lutsPerAdderBit = 1.5;
+
+    /** LUT-ops per 8-bit comparator in the quantization stage. */
+    double lutOpsPerCompare = 8.0;
+
+    /**
+     * LUT-ops per narrow (counter x chunk-element) multiply-
+     * accumulate; small because chunk elements are ~4 bits and the
+     * weighted accumulation also borrows DSPs (Sec. V-A).
+     */
+    double lutOpsPerNarrowMac = 3.0;
+
+    /** DDR3 bandwidth in bytes per FPGA cycle (~12.8 GB/s @200MHz). */
+    double dramBytesPerCycle = 64.0;
+
+    /** LUT-op throughput per cycle for a given device LUT count. */
+    double
+    lutOpsPerCycle(std::size_t device_luts) const
+    {
+        return lutDatapathFraction * static_cast<double>(device_luts);
+    }
+};
+
+/** Accumulator width for aggregation sums over @p items terms. */
+inline std::size_t
+accumulatorBits(std::size_t items)
+{
+    std::size_t bits = 1;
+    while ((std::size_t{1} << bits) < items + 1)
+        ++bits;
+    return bits + 1; // sign
+}
+
+/**
+ * Associative-search window width d': largest power of two <=
+ * DSPs / lanes, capped at 256 (Sec. V-B).
+ */
+inline std::size_t
+searchWindow(const FpgaDevice &device, std::size_t lanes)
+{
+    if (lanes == 0)
+        lanes = 1;
+    const std::size_t budget = device.dsps / lanes;
+    std::size_t window = 1;
+    while (window * 2 <= budget && window < 256)
+        window *= 2;
+    return window;
+}
+
+/** Aggregate BRAM port bandwidth: two 4-byte ports per BRAM36. */
+inline double
+bramBandwidth(const FpgaDevice &device)
+{
+    return static_cast<double>(device.bram36) * 2.0 * 4.0;
+}
+
+} // namespace lookhd::hw
+
+#endif // LOOKHD_HW_DATAPATH_HPP

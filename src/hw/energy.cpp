@@ -1,0 +1,36 @@
+#include "hw/energy.hpp"
+
+namespace lookhd::hw {
+
+EnergyTable
+defaultEnergyTable()
+{
+    return {};
+}
+
+Cost
+Cost::operator+(const Cost &other) const
+{
+    Cost sum = *this;
+    sum += other;
+    return sum;
+}
+
+Cost &
+Cost::operator+=(const Cost &other)
+{
+    cycles += other.cycles;
+    seconds += other.seconds;
+    dynamicJ += other.dynamicJ;
+    staticJ += other.staticJ;
+    return *this;
+}
+
+Cost
+Cost::scaled(double times) const
+{
+    return {cycles * times, seconds * times, dynamicJ * times,
+            staticJ * times};
+}
+
+} // namespace lookhd::hw

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-operation energy constants and the Cost record produced by the
+ * hardware models.
+ *
+ * Constants are representative 28 nm figures (order-of-magnitude
+ * correct); the reproduction targets efficiency *ratios* between
+ * designs on the same device, which depend on operation counts far
+ * more than on the absolute picojoules chosen here.
+ */
+
+#ifndef LOOKHD_HW_ENERGY_HPP
+#define LOOKHD_HW_ENERGY_HPP
+
+#include <cstddef>
+
+namespace lookhd::hw {
+
+/** Dynamic energy per primitive operation, in joules. */
+struct EnergyTable
+{
+    double lutOpJ = 0.2e-12;    ///< One LUT-level logic op (add slice).
+    double dspMacJ = 4.5e-12;   ///< One DSP multiply-accumulate.
+    double bramReadJ = 2.5e-12; ///< One BRAM byte read.
+    double regOpJ = 0.15e-12;   ///< One register/FF update.
+    double staticPowerW = 1.8;  ///< FPGA static + clocking power.
+};
+
+/** Default energy table used by the FPGA model. */
+EnergyTable defaultEnergyTable();
+
+/** Latency/energy outcome of a modeled task. */
+struct Cost
+{
+    double cycles = 0.0;
+    double seconds = 0.0;
+    double dynamicJ = 0.0;
+    double staticJ = 0.0;
+
+    double energyJ() const { return dynamicJ + staticJ; }
+
+    /** Energy-delay product (Fig. 15b's metric). */
+    double edp() const { return energyJ() * seconds; }
+
+    /** Component-wise sum of two costs (sequential composition). */
+    Cost operator+(const Cost &other) const;
+    Cost &operator+=(const Cost &other);
+
+    /** Cost of running this task @p times sequentially. */
+    Cost scaled(double times) const;
+};
+
+} // namespace lookhd::hw
+
+#endif // LOOKHD_HW_ENERGY_HPP

@@ -1,0 +1,398 @@
+#include "hw/fpga_model.hpp"
+
+#include "hw/datapath.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lookhd::hw {
+
+namespace {
+
+/** Fraction of the LUT budget usable as datapath (routing margin). */
+const DatapathParams kDatapath{};
+
+const double kLutDatapathFraction =
+    kDatapath.lutDatapathFraction;
+
+/** LUTs consumed per bit of a carry-chain adder lane. */
+const double kLutsPerAdderBit = kDatapath.lutsPerAdderBit;
+
+/** LUT-ops per 8-bit comparator in the quantization stage. */
+const double kLutOpsPerCompare = kDatapath.lutOpsPerCompare;
+
+/**
+ * LUT-ops per narrow (counter x chunk-element) multiply-accumulate.
+ * The chunk elements are only ~4 bits wide, and the weighted
+ * accumulation also borrows DSPs (Sec. V-A), so the effective LUT
+ * cost per MAC is small.
+ */
+const double kLutOpsPerNarrowMac =
+    kDatapath.lutOpsPerNarrowMac;
+
+/** DDR3 bandwidth in bytes per FPGA cycle (~12.8 GB/s at 200 MHz). */
+const double kDramBytesPerCycle = kDatapath.dramBytesPerCycle;
+
+/**
+ * Expected number of distinct chunk addresses observed for one class:
+ * occupancy of s samples thrown into a table of `space` rows. This is
+ * the number of counter rows the weighted accumulation touches.
+ */
+double
+expectedActiveRows(double space, double samples)
+{
+    if (space <= 0.0 || samples <= 0.0)
+        return 0.0;
+    // space * (1 - (1 - 1/space)^samples), numerically via expm1.
+    const double frac = -std::expm1(
+        samples * std::log1p(-1.0 / space));
+    return std::min(space * frac, samples);
+}
+
+} // namespace
+
+FpgaModel::FpgaModel(FpgaDevice device, EnergyTable energy)
+    : device_(std::move(device)), energy_(energy)
+{
+}
+
+double
+FpgaModel::lutLanes(std::size_t bits) const
+{
+    return kLutDatapathFraction * static_cast<double>(device_.luts) /
+           (kLutsPerAdderBit * static_cast<double>(bits));
+}
+
+double
+FpgaModel::bramBytesPerCycle() const
+{
+    return bramBandwidth(device_);
+}
+
+std::size_t
+FpgaModel::searchWindow(std::size_t lanes) const
+{
+    return hw::searchWindow(device_, lanes);
+}
+
+Cost
+FpgaModel::makeCost(double cycles, double lut_ops, double dsp_macs,
+                    double bram_bytes, double reg_ops) const
+{
+    Cost cost;
+    cost.cycles = cycles;
+    cost.seconds = cycles * device_.clockNs * 1e-9;
+    cost.dynamicJ = lut_ops * energy_.lutOpJ +
+                    dsp_macs * energy_.dspMacJ +
+                    bram_bytes * energy_.bramReadJ +
+                    reg_ops * energy_.regOpJ;
+    cost.staticJ = energy_.staticPowerW * cost.seconds;
+    return cost;
+}
+
+// ---------------------------------------------------------------------
+// Baseline HDC
+// ---------------------------------------------------------------------
+
+Cost
+FpgaModel::baselineTrain(const AppParams &app) const
+{
+    const double n = static_cast<double>(app.n);
+    const double d = static_cast<double>(app.dim);
+    const double s = static_cast<double>(app.trainSamples);
+    const std::size_t acc_bits = accumulatorBits(app.n);
+
+    // Per sample: quantize n features (q comparators each), aggregate
+    // n rotated level hypervectors into a D-wide accumulator, then add
+    // the encoded point into the class sum.
+    const double quant_ops =
+        n * static_cast<double>(app.q) * kLutOpsPerCompare;
+    const double agg_ops =
+        n * d * static_cast<double>(acc_bits) / 8.0 * 8.0; // 1 op/bit
+    const double class_ops = d * 32.0 / 8.0;
+    const double lut_ops_per_sample = quant_ops + agg_ops + class_ops;
+
+    // Level hypervectors are bipolar: n * D bits read per sample.
+    const double bram_per_sample = n * d / 8.0 + d * 4.0;
+
+    const double lut_throughput =
+        kLutDatapathFraction * static_cast<double>(device_.luts);
+    const double cycles_per_sample =
+        std::max(lut_ops_per_sample / lut_throughput,
+                 bram_per_sample / bramBytesPerCycle());
+
+    return makeCost(cycles_per_sample * s, lut_ops_per_sample * s, 0.0,
+                    bram_per_sample * s, d * s);
+}
+
+Cost
+FpgaModel::baselineInferQuery(const AppParams &app) const
+{
+    const double n = static_cast<double>(app.n);
+    const double d = static_cast<double>(app.dim);
+    const std::size_t acc_bits = accumulatorBits(app.n);
+
+    // Encoding stage (LUT/BRAM bound).
+    const double enc_lut_ops =
+        n * static_cast<double>(app.q) * kLutOpsPerCompare +
+        n * d * static_cast<double>(acc_bits);
+    const double enc_bram = n * d / 8.0;
+    const double lut_throughput =
+        kLutDatapathFraction * static_cast<double>(device_.luts);
+    const double enc_cycles =
+        std::max(enc_lut_ops / lut_throughput,
+                 enc_bram / bramBytesPerCycle());
+
+    // Associative search stage (DSP bound): all k classes in parallel
+    // over a d'-wide window.
+    const double window =
+        static_cast<double>(searchWindow(app.k));
+    const double search_cycles = d / window;
+    const double dsp_macs = static_cast<double>(app.k) * d;
+
+    // Pipelined stages: throughput set by the slower one.
+    const double cycles = std::max(enc_cycles, search_cycles);
+    return makeCost(cycles, enc_lut_ops, dsp_macs,
+                    enc_bram + static_cast<double>(app.k) * d * 4.0,
+                    d);
+}
+
+Cost
+FpgaModel::baselineRetrainEpoch(const AppParams &app) const
+{
+    // Each point is re-encoded and searched; mispredictions apply two
+    // D-wide updates.
+    const Cost per_query = baselineInferQuery(app);
+    Cost epoch = per_query.scaled(
+        static_cast<double>(app.trainSamples));
+
+    const double d = static_cast<double>(app.dim);
+    const double update_ops =
+        2.0 * d * 32.0 / 8.0 *
+        static_cast<double>(app.updatesPerEpoch);
+    const double lut_throughput =
+        kLutDatapathFraction * static_cast<double>(device_.luts);
+    epoch += makeCost(update_ops / lut_throughput, update_ops, 0.0,
+                      2.0 * d * 4.0 *
+                          static_cast<double>(app.updatesPerEpoch),
+                      0.0);
+    return epoch;
+}
+
+std::size_t
+FpgaModel::baselineModelBytes(const AppParams &app) const
+{
+    return app.k * app.dim * 4;
+}
+
+// ---------------------------------------------------------------------
+// LookHD
+// ---------------------------------------------------------------------
+
+Cost
+FpgaModel::lookhdTrain(const AppParams &app) const
+{
+    const double n = static_cast<double>(app.n);
+    const double d = static_cast<double>(app.dim);
+    const double s = static_cast<double>(app.trainSamples);
+    const double m = static_cast<double>(app.m());
+    const double k = static_cast<double>(app.k);
+    const double lut_throughput =
+        kLutDatapathFraction * static_cast<double>(device_.luts);
+
+    // Streaming phase, per sample: quantize + m counter updates
+    // (read-modify-write of 16-bit counters held in BRAM).
+    const double quant_ops =
+        n * static_cast<double>(app.q) * kLutOpsPerCompare;
+    const double counter_bram = m * 4.0;
+    const double stream_cycles_per_sample = std::max(
+        {quant_ops / lut_throughput,
+         counter_bram / bramBytesPerCycle(), 1.0});
+
+    // Finalization: weighted accumulation. Compute cost covers the
+    // nonzero counter rows of every (class, chunk); memory cost reads
+    // each pre-stored row once, shared across all chunks and classes
+    // (Sec. V-A reads d-wide windows of all q^r rows and applies them
+    // to every chunk's counters in parallel). Tables that exceed BRAM
+    // spill to external RAM and are bound by its bandwidth instead.
+    const double rows = expectedActiveRows(
+        app.addressSpace(), app.samplesPerClass());
+    const double macs = k * m * rows * d;
+    const double mac_ops = macs * kLutOpsPerNarrowMac;
+    const double agg_ops = k * m * d * 32.0 / 8.0;
+
+    const double elem_bytes =
+        static_cast<double>(app.chunkElemBits()) / 8.0;
+    const double table_bytes_total =
+        app.addressSpace() * d * elem_bytes;
+    const double rows_union = expectedActiveRows(
+        app.addressSpace(), static_cast<double>(app.trainSamples));
+    const double table_read = rows_union * d * elem_bytes;
+    const double mem_bw =
+        table_bytes_total <= static_cast<double>(device_.bramBytes())
+            ? bramBytesPerCycle()
+            : kDramBytesPerCycle;
+    const double fin_cycles = std::max(
+        (mac_ops + agg_ops) / lut_throughput, table_read / mem_bw);
+
+    return makeCost(stream_cycles_per_sample * s + fin_cycles,
+                    quant_ops * s + mac_ops + agg_ops, 0.0,
+                    counter_bram * s + table_read, m * s * 16.0);
+}
+
+Cost
+FpgaModel::lookhdInferQuery(const AppParams &app) const
+{
+    const double n = static_cast<double>(app.n);
+    const double d = static_cast<double>(app.dim);
+    const double m = static_cast<double>(app.m());
+    const double k = static_cast<double>(app.k);
+    const double groups = static_cast<double>(app.modelGroups);
+    const double lut_throughput =
+        kLutDatapathFraction * static_cast<double>(device_.luts);
+
+    // Encoding: quantize, fetch m chunk rows from BRAM, bind with P
+    // and aggregate m (not n) hypervectors.
+    const std::size_t acc_bits = accumulatorBits(app.m() * app.r);
+    const double quant_ops =
+        n * static_cast<double>(app.q) * kLutOpsPerCompare;
+    const double agg_ops = m * d * static_cast<double>(acc_bits);
+    const double enc_bram =
+        m * d * static_cast<double>(app.chunkElemBits()) / 8.0;
+    const double enc_cycles =
+        std::max((quant_ops + agg_ops) / lut_throughput,
+                 enc_bram / bramBytesPerCycle());
+
+    // Associative search on the compressed model: DSP multiplications
+    // against `groups` hypervectors, plus per-class sign-resolved
+    // accumulation on LUTs (the P' unbinding needs no multipliers).
+    const double window = static_cast<double>(
+        searchWindow(app.modelGroups));
+    const double search_cycles = d / window;
+    const double dsp_macs = groups * d;
+    const double unbind_ops = k * d * 2.0;
+    const double search_lut_cycles = unbind_ops / lut_throughput;
+
+    const double cycles = std::max(
+        {enc_cycles, search_cycles, search_lut_cycles});
+    return makeCost(cycles, quant_ops + agg_ops + unbind_ops, dsp_macs,
+                    enc_bram + groups * d * 4.0, d);
+}
+
+Cost
+FpgaModel::lookhdRetrainEpoch(const AppParams &app) const
+{
+    const Cost per_query = lookhdInferQuery(app);
+    Cost epoch = per_query.scaled(
+        static_cast<double>(app.trainSamples));
+
+    // Compressed-domain update: shift/negate/add of the query into the
+    // model copy (Sec. V-C), two classes per misprediction.
+    const double d = static_cast<double>(app.dim);
+    const double update_ops =
+        2.0 * d * 32.0 / 8.0 *
+        static_cast<double>(app.updatesPerEpoch);
+    const double lut_throughput =
+        kLutDatapathFraction * static_cast<double>(device_.luts);
+    epoch += makeCost(update_ops / lut_throughput, update_ops, 0.0,
+                      2.0 * d * 4.0 *
+                          static_cast<double>(app.updatesPerEpoch),
+                      0.0);
+    return epoch;
+}
+
+std::size_t
+FpgaModel::lookhdModelBytes(const AppParams &app) const
+{
+    return app.modelGroups * app.dim * 4 + (app.k * app.dim + 7) / 8;
+}
+
+// ---------------------------------------------------------------------
+// Resource utilization
+// ---------------------------------------------------------------------
+
+Utilization
+FpgaModel::baselineTrainUtilization(const AppParams &app) const
+{
+    Utilization u;
+    // Quantizers for all features plus as many adder lanes as the
+    // datapath budget allows; accumulators in FFs.
+    u.luts = std::min(
+        device_.luts,
+        static_cast<std::size_t>(
+            app.n * app.q * kLutOpsPerCompare +
+            kLutDatapathFraction * static_cast<double>(device_.luts)));
+    u.ffs = std::min(device_.ffs, app.dim * 32 + app.n * 8);
+    u.dsps = 0;
+    // Level hypervectors + class accumulators.
+    const std::size_t bytes =
+        app.q * app.dim / 8 + app.k * app.dim * 4;
+    u.bram36 = std::min(device_.bram36, bytes / 4608 + 1);
+    return u;
+}
+
+Utilization
+FpgaModel::baselineInferUtilization(const AppParams &app) const
+{
+    Utilization u = baselineTrainUtilization(app);
+    u.dsps = std::min(device_.dsps, searchWindow(app.k) * app.k);
+    return u;
+}
+
+Utilization
+FpgaModel::lookhdTrainUtilization(const AppParams &app) const
+{
+    Utilization u;
+    const double rows = app.addressSpace();
+    // Quantizers + narrow multiplier array + chunk aggregation adders.
+    u.luts = std::min(
+        device_.luts,
+        static_cast<std::size_t>(
+            app.n * app.q * kLutOpsPerCompare +
+            0.6 * static_cast<double>(device_.luts)));
+    u.ffs = std::min(device_.ffs, app.m() * 64 + app.dim * 32);
+    u.dsps = std::min(device_.dsps, device_.dsps / 4);
+    // Chunk table (q^r rows of D elements) + counters + model.
+    const double table_bytes =
+        rows * static_cast<double>(app.dim) *
+        static_cast<double>(app.chunkElemBits()) / 8.0;
+    const double counter_bytes =
+        static_cast<double>(app.m()) * rows * 2.0;
+    const double model_bytes =
+        static_cast<double>(app.k * app.dim) * 4.0;
+    u.bram36 = std::min(
+        device_.bram36,
+        static_cast<std::size_t>(
+            (table_bytes + counter_bytes + model_bytes) / 4608.0) +
+            1);
+    return u;
+}
+
+Utilization
+FpgaModel::lookhdInferUtilization(const AppParams &app) const
+{
+    Utilization u;
+    const double rows = app.addressSpace();
+    u.luts = std::min(
+        device_.luts,
+        static_cast<std::size_t>(
+            app.n * app.q * kLutOpsPerCompare + app.k * app.dim / 4 +
+            0.3 * static_cast<double>(device_.luts)));
+    u.ffs = std::min(device_.ffs, app.dim * 32 + app.k * 64);
+    u.dsps = std::min(device_.dsps,
+                      searchWindow(app.modelGroups) * app.modelGroups);
+    const double table_bytes =
+        rows * static_cast<double>(app.dim) *
+        static_cast<double>(app.chunkElemBits()) / 8.0;
+    const double model_bytes =
+        static_cast<double>(app.modelGroups * app.dim) * 4.0 +
+        static_cast<double>(app.k * app.dim) / 8.0;
+    u.bram36 = std::min(
+        device_.bram36,
+        static_cast<std::size_t>(
+            (table_bytes + model_bytes) / 4608.0) +
+            1);
+    return u;
+}
+
+} // namespace lookhd::hw

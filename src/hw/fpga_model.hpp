@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Analytical FPGA cost model for baseline HDC and LookHD (paper
+ * Sec. V, Figs. 10-11).
+ *
+ * The model reproduces the pipeline structure the paper describes and
+ * turns per-task operation counts into cycles under resource-limited
+ * parallelism:
+ *
+ *  - wide element-wise integer work (encoding aggregation, weighted
+ *    accumulation, chunk aggregation) runs on LUT/FF adder lanes;
+ *  - the associative search's query x class multiplications run on
+ *    DSPs, processed in d'-wide windows with all classes in parallel
+ *    (d' = largest power of two <= DSPs / classes, capped at 256);
+ *  - pre-stored chunk hypervectors and counters live in BRAM, whose
+ *    aggregate port bandwidth can bound the encoding pipeline;
+ *  - encoding and associative search are pipelined in inference, so a
+ *    query costs the maximum of the two stages, not the sum.
+ *
+ * Energy is operation counts times the EnergyTable plus static power
+ * for the task duration. The model is calibrated for *ratios* between
+ * designs on the same device (what the paper's figures report), not
+ * for absolute wall-clock of the authors' bitstreams.
+ */
+
+#ifndef LOOKHD_HW_FPGA_MODEL_HPP
+#define LOOKHD_HW_FPGA_MODEL_HPP
+
+#include "hw/app_params.hpp"
+#include "hw/energy.hpp"
+#include "hw/resources.hpp"
+
+namespace lookhd::hw {
+
+/** FPGA latency/energy/utilization model. */
+class FpgaModel
+{
+  public:
+    explicit FpgaModel(FpgaDevice device = kintex7Kc705(),
+                       EnergyTable energy = defaultEnergyTable());
+
+    const FpgaDevice &device() const { return device_; }
+
+    // --- Baseline HDC (the state-of-the-art comparison point) ---
+
+    /** Full initial training pass over the training set. */
+    Cost baselineTrain(const AppParams &app) const;
+
+    /** One inference query (encoding + associative search, pipelined). */
+    Cost baselineInferQuery(const AppParams &app) const;
+
+    /** One retraining epoch over the training set. */
+    Cost baselineRetrainEpoch(const AppParams &app) const;
+
+    /** Baseline model size in bytes (k x D x 4). */
+    std::size_t baselineModelBytes(const AppParams &app) const;
+
+    // --- LookHD ---
+
+    /** Counter training: streaming counts + one weighted accumulation. */
+    Cost lookhdTrain(const AppParams &app) const;
+
+    /** One inference query on the compressed model. */
+    Cost lookhdInferQuery(const AppParams &app) const;
+
+    /** One compressed-domain retraining epoch. */
+    Cost lookhdRetrainEpoch(const AppParams &app) const;
+
+    /** Compressed model size in bytes (groups x D x 4 + key bits). */
+    std::size_t lookhdModelBytes(const AppParams &app) const;
+
+    // --- Resource utilization (Fig. 16) ---
+
+    Utilization baselineTrainUtilization(const AppParams &app) const;
+    Utilization baselineInferUtilization(const AppParams &app) const;
+    Utilization lookhdTrainUtilization(const AppParams &app) const;
+    Utilization lookhdInferUtilization(const AppParams &app) const;
+
+    /** Associative-search window width d' for @p lanes competing units. */
+    std::size_t searchWindow(std::size_t lanes) const;
+
+  private:
+    /** LUT adder lanes available for @p bits-wide operations. */
+    double lutLanes(std::size_t bits) const;
+
+    /** BRAM bytes readable per cycle across all ports. */
+    double bramBytesPerCycle() const;
+
+    /** Convert cycle count + op counts into a Cost. */
+    Cost makeCost(double cycles, double lut_ops, double dsp_macs,
+                  double bram_bytes, double reg_ops) const;
+
+    FpgaDevice device_;
+    EnergyTable energy_;
+};
+
+} // namespace lookhd::hw
+
+#endif // LOOKHD_HW_FPGA_MODEL_HPP

@@ -1,0 +1,48 @@
+#include "hw/gpu_model.hpp"
+
+namespace lookhd::hw {
+
+GpuModel::GpuModel(GpuDevice device, std::size_t batch)
+    : device_(std::move(device)), batch_(batch ? batch : 1)
+{
+}
+
+Cost
+GpuModel::fromOps(double ops, double launches) const
+{
+    Cost cost;
+    cost.seconds = ops / device_.sustainedOpsPerSec +
+                   launches * device_.launchOverheadS;
+    cost.cycles = 0.0; // not meaningful across SMs
+    cost.dynamicJ = device_.activePowerW * cost.seconds;
+    cost.staticJ = 0.0;
+    return cost;
+}
+
+Cost
+GpuModel::baselineTrain(const AppParams &app) const
+{
+    const double n = static_cast<double>(app.n);
+    const double d = static_cast<double>(app.dim);
+    const double s = static_cast<double>(app.trainSamples);
+    // Encode + class accumulate for every sample; one launch per batch
+    // of samples.
+    const double ops = s * (n * d + d);
+    const double launches =
+        s / static_cast<double>(batch_) + 1.0;
+    return fromOps(ops, launches);
+}
+
+Cost
+GpuModel::baselineInferQuery(const AppParams &app) const
+{
+    const double n = static_cast<double>(app.n);
+    const double d = static_cast<double>(app.dim);
+    const double k = static_cast<double>(app.k);
+    // Queries processed in batches; per-query share of the launch.
+    const double ops = n * d + k * d;
+    const double launches = 1.0 / static_cast<double>(batch_);
+    return fromOps(ops, launches);
+}
+
+} // namespace lookhd::hw

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Analytical GPU cost model (NVIDIA GTX 1080 running the TensorFlow
+ * HDC implementation of Sec. VI-F / Table III).
+ *
+ * A GPU executes the baseline HDC kernels at very high streaming
+ * throughput but burns two orders of magnitude more power than the
+ * embedded platforms and pays per-launch overheads. Table III's
+ * comparison - GPU beats baseline FPGA on raw speed, LookHD FPGA beats
+ * GPU on both speed (by removing work) and energy (by two orders of
+ * magnitude) - follows from exactly those two properties.
+ */
+
+#ifndef LOOKHD_HW_GPU_MODEL_HPP
+#define LOOKHD_HW_GPU_MODEL_HPP
+
+#include "hw/app_params.hpp"
+#include "hw/energy.hpp"
+#include "hw/resources.hpp"
+
+namespace lookhd::hw {
+
+/** GPU latency/energy model for the baseline HDC kernels. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(GpuDevice device = nvidiaGtx1080(),
+                      std::size_t batch = 1024);
+
+    const GpuDevice &device() const { return device_; }
+
+    /** Full baseline training pass (encode + accumulate). */
+    Cost baselineTrain(const AppParams &app) const;
+
+    /** One inference query, amortized over the configured batch. */
+    Cost baselineInferQuery(const AppParams &app) const;
+
+  private:
+    Cost fromOps(double ops, double launches) const;
+
+    GpuDevice device_;
+    std::size_t batch_;
+};
+
+} // namespace lookhd::hw
+
+#endif // LOOKHD_HW_GPU_MODEL_HPP

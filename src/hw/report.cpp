@@ -1,0 +1,76 @@
+#include "hw/report.hpp"
+
+#include <cstdio>
+
+namespace lookhd::hw {
+
+AppParams
+appParamsFor(const data::AppSpec &app, std::size_t dim, std::size_t q,
+             std::size_t r, std::size_t groups)
+{
+    AppParams p;
+    p.n = app.numFeatures;
+    p.q = q;
+    p.r = r;
+    p.k = app.numClasses;
+    p.dim = dim;
+    p.trainSamples = app.trainCount;
+    // The paper charges retraining with the average number of updates
+    // per epoch; ~15% of the training set mispredicts on average
+    // across its applications.
+    p.updatesPerEpoch =
+        static_cast<std::size_t>(0.15 * static_cast<double>(
+                                            app.trainCount));
+    p.modelGroups = groups;
+    return p;
+}
+
+Gain
+gainOver(const Cost &baseline, const Cost &ours)
+{
+    Gain g;
+    if (ours.seconds > 0.0)
+        g.speedup = baseline.seconds / ours.seconds;
+    if (ours.energyJ() > 0.0)
+        g.energy = baseline.energyJ() / ours.energyJ();
+    return g;
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+    else if (seconds < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    return buf;
+}
+
+std::string
+formatJoules(double joules)
+{
+    char buf[64];
+    if (joules < 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.1f nJ", joules * 1e9);
+    else if (joules < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f uJ", joules * 1e6);
+    else if (joules < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f mJ", joules * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f J", joules);
+    return buf;
+}
+
+std::string
+costCell(const Cost &cost)
+{
+    return formatSeconds(cost.seconds) + " / " +
+           formatJoules(cost.energyJ());
+}
+
+} // namespace lookhd::hw

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Glue between workloads, cost models and the table printers used by
+ * the bench binaries.
+ */
+
+#ifndef LOOKHD_HW_REPORT_HPP
+#define LOOKHD_HW_REPORT_HPP
+
+#include <string>
+
+#include "data/apps.hpp"
+#include "hw/app_params.hpp"
+#include "hw/energy.hpp"
+
+namespace lookhd::hw {
+
+/**
+ * Build the model workload parameters for one paper application.
+ *
+ * @param app Application spec (n, k, sample counts).
+ * @param dim Hypervector dimensionality D.
+ * @param q Quantization levels.
+ * @param r Chunk size.
+ * @param groups Compressed hypervectors in the deployed model.
+ */
+AppParams appParamsFor(const data::AppSpec &app, std::size_t dim,
+                       std::size_t q, std::size_t r,
+                       std::size_t groups = 1);
+
+/** Speedup and energy-efficiency gain of @p ours over @p baseline. */
+struct Gain
+{
+    double speedup = 1.0;
+    double energy = 1.0;
+};
+
+/** baseline.seconds / ours.seconds and the same for energy. */
+Gain gainOver(const Cost &baseline, const Cost &ours);
+
+/** Render a cost as "12.3 us / 4.56 uJ" for table cells. */
+std::string costCell(const Cost &cost);
+
+/** Human-friendly time with unit (ns/us/ms/s). */
+std::string formatSeconds(double seconds);
+
+/** Human-friendly energy with unit (nJ/uJ/mJ/J). */
+std::string formatJoules(double joules);
+
+} // namespace lookhd::hw
+
+#endif // LOOKHD_HW_REPORT_HPP

@@ -1,0 +1,61 @@
+#include "hw/resources.hpp"
+
+namespace lookhd::hw {
+
+FpgaDevice
+kintex7Kc705()
+{
+    // XC7K325T-2FFG900C figures from the Kintex-7 data sheet.
+    return {"Kintex-7 KC705 (XC7K325T)", 203800, 407600, 840, 445, 5.0};
+}
+
+CpuDevice
+armCortexA53()
+{
+    // 1.2 GHz quad-issue in-order core; ~4 int32 lanes via NEON on
+    // streaming kernels; ~1.5 W active for the core cluster.
+    return {"ARM Cortex-A53", 1.2e9, 4.0, 1.5, 512 * 1024};
+}
+
+GpuDevice
+nvidiaGtx1080()
+{
+    // Sustained integer throughput of the TensorFlow HDC kernels:
+    // about half the card's 8.9 TFLOPS peak; kernels launch per batch.
+    // Calibrated so GPU training lands ~1.5x above the baseline FPGA,
+    // as the paper reports.
+    return {"NVIDIA GTX 1080", 4.8e12, 30e-6, 180.0};
+}
+
+double
+Utilization::lutFrac(const FpgaDevice &dev) const
+{
+    return static_cast<double>(luts) / static_cast<double>(dev.luts);
+}
+
+double
+Utilization::ffFrac(const FpgaDevice &dev) const
+{
+    return static_cast<double>(ffs) / static_cast<double>(dev.ffs);
+}
+
+double
+Utilization::dspFrac(const FpgaDevice &dev) const
+{
+    return static_cast<double>(dsps) / static_cast<double>(dev.dsps);
+}
+
+double
+Utilization::bramFrac(const FpgaDevice &dev) const
+{
+    return static_cast<double>(bram36) / static_cast<double>(dev.bram36);
+}
+
+bool
+Utilization::fits(const FpgaDevice &dev) const
+{
+    return luts <= dev.luts && ffs <= dev.ffs && dsps <= dev.dsps &&
+           bram36 <= dev.bram36;
+}
+
+} // namespace lookhd::hw

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hardware platform descriptions for the analytical cost models.
+ *
+ * The paper evaluates on a Kintex-7 KC705 FPGA (Vivado, 5 ns clock),
+ * an ARM Cortex-A53 CPU, and an NVIDIA GTX 1080 GPU. Those platforms
+ * are represented here by their published resource budgets and
+ * operating points; the models in fpga_model/cpu_model/gpu_model turn
+ * operation counts into cycles, time and energy against these budgets.
+ */
+
+#ifndef LOOKHD_HW_RESOURCES_HPP
+#define LOOKHD_HW_RESOURCES_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace lookhd::hw {
+
+/** FPGA device resource budget and operating point. */
+struct FpgaDevice
+{
+    std::string name;
+    std::size_t luts;
+    std::size_t ffs;
+    std::size_t dsps;
+    std::size_t bram36; ///< Number of 36 Kb block RAMs.
+    double clockNs;     ///< Cycle time in nanoseconds.
+
+    double clockHz() const { return 1e9 / clockNs; }
+    /** Total BRAM capacity in bytes. */
+    std::size_t bramBytes() const { return bram36 * 36 * 1024 / 8; }
+};
+
+/** The paper's FPGA: Kintex-7 KC705 (XC7K325T) at 5 ns. */
+FpgaDevice kintex7Kc705();
+
+/** Embedded CPU operating point. */
+struct CpuDevice
+{
+    std::string name;
+    double clockHz;
+    /** Effective integer ops per cycle (SIMD-aware average). */
+    double opsPerCycle;
+    /** Active power in watts. */
+    double activePowerW;
+    /** L1-resident bytes (model size beyond this pays slow accesses). */
+    std::size_t cacheBytes;
+};
+
+/** The paper's embedded CPU: ARM Cortex-A53. */
+CpuDevice armCortexA53();
+
+/** GPU operating point. */
+struct GpuDevice
+{
+    std::string name;
+    /** Sustained int32 throughput in ops/s for streaming kernels. */
+    double sustainedOpsPerSec;
+    /** Per-launch fixed overhead in seconds (kernel + transfer). */
+    double launchOverheadS;
+    double activePowerW;
+};
+
+/** The paper's GPU: NVIDIA GTX 1080 running the TensorFlow HDC. */
+GpuDevice nvidiaGtx1080();
+
+/** FPGA resource usage snapshot (Fig. 16). */
+struct Utilization
+{
+    std::size_t luts = 0;
+    std::size_t ffs = 0;
+    std::size_t dsps = 0;
+    std::size_t bram36 = 0;
+
+    /** Fractions of the device budget, each in [0, 1+]. */
+    double lutFrac(const FpgaDevice &dev) const;
+    double ffFrac(const FpgaDevice &dev) const;
+    double dspFrac(const FpgaDevice &dev) const;
+    double bramFrac(const FpgaDevice &dev) const;
+
+    /** Whether the design fits the device. */
+    bool fits(const FpgaDevice &dev) const;
+};
+
+} // namespace lookhd::hw
+
+#endif // LOOKHD_HW_RESOURCES_HPP

@@ -1,0 +1,276 @@
+#include "hwsim/lookhd_sim.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lookhd::hwsim {
+
+FpgaSimulator::FpgaSimulator(hw::FpgaDevice device,
+                             hw::DatapathParams datapath)
+    : device_(std::move(device)), datapath_(datapath)
+{
+}
+
+double
+FpgaSimulator::lutThroughput() const
+{
+    return datapath_.lutOpsPerCycle(device_.luts);
+}
+
+double
+FpgaSimulator::secondsOf(double cycles) const
+{
+    return cycles * device_.clockNs * 1e-9;
+}
+
+SimReport
+FpgaSimulator::fromTiming(const PipelineTiming &timing) const
+{
+    SimReport report;
+    report.totalCycles = timing.totalCycles;
+    report.seconds = secondsOf(timing.totalCycles);
+    report.stages = timing.stages;
+    report.bottleneck = timing.bottleneckName();
+    return report;
+}
+
+SimReport
+FpgaSimulator::lookhdTrain(const LookupEncoder &encoder,
+                           const data::Dataset &train) const
+{
+    const double n = static_cast<double>(train.numFeatures());
+    const double q = static_cast<double>(encoder.quantLevels());
+    const double d = static_cast<double>(encoder.dim());
+    const double m =
+        static_cast<double>(encoder.chunks().numChunks());
+    const double bram_bw = hw::bramBandwidth(device_);
+
+    // --- Streaming phase: run the real counting pass to obtain the
+    // data-dependent counter occupancy, then time the pipeline.
+    CounterTrainer trainer(encoder);
+    const CounterBank bank = trainer.countDataset(train);
+
+    Stage quantize{"quantize",
+                   std::max(1.0, n * q * datapath_.lutOpsPerCompare /
+                                     lutThroughput()),
+                   0.0};
+    quantize.latency = quantize.initiationInterval + 2.0;
+    Stage count{"counter-update",
+                std::max(1.0, m * 4.0 / bram_bw), 3.0};
+    const PipelineTiming streaming = streamThrough(
+        {quantize, count}, static_cast<double>(train.size()));
+
+    // --- Finalization: measured distinct rows per (class, chunk) for
+    // the MAC count; measured union of rows per shared table for the
+    // memory traffic (rows are read once and broadcast, Sec. V-A).
+    double active_rows = 0.0;
+    std::unordered_set<Address> full_union, tail_union;
+    const std::size_t chunks = encoder.chunks().numChunks();
+    const bool has_tail =
+        chunks > 1 && !encoder.chunks().uniform();
+    for (std::size_t c = 0; c < bank.numClasses(); ++c) {
+        for (std::size_t ch = 0; ch < chunks; ++ch) {
+            auto &dest = (has_tail && ch == chunks - 1) ? tail_union
+                                                        : full_union;
+            bank.at(c, ch).forEach(
+                [&](Address addr, std::uint32_t) {
+                    dest.insert(addr);
+                });
+            active_rows +=
+                static_cast<double>(bank.at(c, ch).distinct());
+        }
+    }
+
+    // Bits per pre-stored element: values span [-s, s] for a chunk of
+    // s features (the model uses the same rule).
+    const std::size_t value_count =
+        encoder.tableFor(0).chunkLen() * 2 + 1;
+    std::size_t elem_bits = 1;
+    while ((std::size_t{1} << elem_bits) < value_count)
+        ++elem_bits;
+
+    const double table_read_bytes =
+        (static_cast<double>(full_union.size()) +
+         static_cast<double>(tail_union.size())) *
+        d * static_cast<double>(elem_bits) / 8.0;
+    const double table_total_bytes =
+        static_cast<double>(encoder.tableFor(0).addressSpaceSize()) *
+        d * static_cast<double>(elem_bits) / 8.0;
+    const double mem_bw =
+        table_total_bytes <= static_cast<double>(device_.bramBytes())
+            ? bram_bw
+            : datapath_.dramBytesPerCycle;
+
+    const double mac_ops =
+        active_rows * d * datapath_.lutOpsPerNarrowMac;
+    const double accum_cycles =
+        std::max(mac_ops / lutThroughput(), table_read_bytes / mem_bw);
+
+    const double agg_ops = static_cast<double>(bank.numClasses()) * m *
+                           d * 4.0;
+    const double agg_cycles = agg_ops / lutThroughput();
+
+    // --- Compose the report.
+    SimReport report;
+    report.totalCycles =
+        streaming.totalCycles + accum_cycles + agg_cycles;
+    report.seconds = secondsOf(report.totalCycles);
+    report.stages = streaming.stages;
+    report.stages.push_back(
+        {"weighted-accumulation", accum_cycles, 0.0, false});
+    report.stages.push_back(
+        {"chunk-aggregation", agg_cycles, 0.0, false});
+    double max_busy = 0.0;
+    for (auto &stage : report.stages) {
+        stage.utilization =
+            std::min(1.0, stage.busyCycles / report.totalCycles);
+        stage.bottleneck = false;
+        if (stage.busyCycles > max_busy) {
+            max_busy = stage.busyCycles;
+            report.bottleneck = stage.name;
+        }
+    }
+    for (auto &stage : report.stages)
+        stage.bottleneck = stage.name == report.bottleneck;
+    return report;
+}
+
+SimReport
+FpgaSimulator::lookhdInfer(const LookupEncoder &encoder,
+                           std::size_t num_classes,
+                           std::size_t model_groups,
+                           std::size_t queries) const
+{
+    const double n =
+        static_cast<double>(encoder.chunks().numFeatures());
+    const double q = static_cast<double>(encoder.quantLevels());
+    const double d = static_cast<double>(encoder.dim());
+    const double m =
+        static_cast<double>(encoder.chunks().numChunks());
+    const double bram_bw = hw::bramBandwidth(device_);
+
+    std::size_t elem_bits = 1;
+    const std::size_t r = encoder.chunks().chunkSize();
+    while ((std::size_t{1} << elem_bits) < 2 * r + 1)
+        ++elem_bits;
+    const std::size_t acc_bits = hw::accumulatorBits(
+        encoder.chunks().numChunks() * r);
+
+    Stage quantize{"quantize",
+                   std::max(1.0, n * q * datapath_.lutOpsPerCompare /
+                                     lutThroughput()),
+                   0.0};
+    quantize.latency = quantize.initiationInterval + 2.0;
+    Stage fetch{"table-fetch",
+                std::max(1.0, m * d *
+                                  static_cast<double>(elem_bits) /
+                                  8.0 / bram_bw),
+                0.0};
+    fetch.latency = fetch.initiationInterval + 1.0;
+    Stage aggregate{"bind-aggregate",
+                    std::max(1.0, m * d *
+                                      static_cast<double>(acc_bits) /
+                                      lutThroughput()),
+                    0.0};
+    aggregate.latency = aggregate.initiationInterval + 3.0;
+    const double window = static_cast<double>(
+        hw::searchWindow(device_, model_groups));
+    Stage search{"dsp-search", std::max(1.0, d / window), 0.0};
+    search.latency = search.initiationInterval + 4.0;
+    Stage unbind{"unbind-accumulate",
+                 std::max(1.0, static_cast<double>(num_classes) * d *
+                                   2.0 / lutThroughput()),
+                 0.0};
+    unbind.latency = unbind.initiationInterval + 2.0;
+
+    return fromTiming(streamThrough(
+        {quantize, fetch, aggregate, search, unbind},
+        static_cast<double>(queries)));
+}
+
+SimReport
+FpgaSimulator::lookhdRetrainEpoch(const LookupEncoder &encoder,
+                                  std::size_t num_classes,
+                                  std::size_t model_groups,
+                                  std::size_t samples,
+                                  std::size_t updates) const
+{
+    SimReport report = lookhdInfer(encoder, num_classes,
+                                   model_groups, samples);
+    // Compressed-domain updates: two D-wide shift/negate/add passes
+    // per misprediction, applied to the model copy (Sec. V-C).
+    const double d = static_cast<double>(encoder.dim());
+    const double update_ops =
+        2.0 * d * 4.0 * static_cast<double>(updates);
+    const double update_cycles = update_ops / lutThroughput();
+    report.totalCycles += update_cycles;
+    report.seconds = secondsOf(report.totalCycles);
+    report.stages.push_back(
+        {"model-update", update_cycles,
+         std::min(1.0, update_cycles / report.totalCycles), false});
+    return report;
+}
+
+SimReport
+FpgaSimulator::baselineTrain(std::size_t n, std::size_t q,
+                             hdc::Dim dim, std::size_t samples) const
+{
+    const double nd = static_cast<double>(n);
+    const double d = static_cast<double>(dim);
+    const std::size_t acc_bits = hw::accumulatorBits(n);
+    const double bram_bw = hw::bramBandwidth(device_);
+
+    Stage quantize{"quantize",
+                   std::max(1.0, nd * static_cast<double>(q) *
+                                     datapath_.lutOpsPerCompare /
+                                     lutThroughput()),
+                   0.0};
+    quantize.latency = quantize.initiationInterval + 2.0;
+    Stage encode{"encode-aggregate",
+                 std::max({1.0,
+                           nd * d * static_cast<double>(acc_bits) /
+                               lutThroughput(),
+                           nd * d / 8.0 / bram_bw}),
+                 0.0};
+    encode.latency = encode.initiationInterval + 3.0;
+    Stage accumulate{"class-accumulate",
+                     std::max(1.0, d * 4.0 / lutThroughput()), 2.0};
+
+    return fromTiming(streamThrough(
+        {quantize, encode, accumulate},
+        static_cast<double>(samples)));
+}
+
+SimReport
+FpgaSimulator::baselineInfer(std::size_t n, std::size_t q,
+                             hdc::Dim dim, std::size_t num_classes,
+                             std::size_t queries) const
+{
+    const double nd = static_cast<double>(n);
+    const double d = static_cast<double>(dim);
+    const std::size_t acc_bits = hw::accumulatorBits(n);
+    const double bram_bw = hw::bramBandwidth(device_);
+
+    Stage quantize{"quantize",
+                   std::max(1.0, nd * static_cast<double>(q) *
+                                     datapath_.lutOpsPerCompare /
+                                     lutThroughput()),
+                   0.0};
+    quantize.latency = quantize.initiationInterval + 2.0;
+    Stage encode{"encode-aggregate",
+                 std::max({1.0,
+                           nd * d * static_cast<double>(acc_bits) /
+                               lutThroughput(),
+                           nd * d / 8.0 / bram_bw}),
+                 0.0};
+    encode.latency = encode.initiationInterval + 3.0;
+    const double window = static_cast<double>(
+        hw::searchWindow(device_, num_classes));
+    Stage search{"dsp-search", std::max(1.0, d / window), 0.0};
+    search.latency = search.initiationInterval + 4.0;
+
+    return fromTiming(streamThrough(
+        {quantize, encode, search}, static_cast<double>(queries)));
+}
+
+} // namespace lookhd::hwsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cycle-approximate simulation of the LookHD and baseline FPGA
+ * designs (paper Figs. 10-11), executing *real* workloads.
+ *
+ * Where hw::FpgaModel charges closed-form operation counts (with the
+ * expected counter occupancy), the simulator walks the actual
+ * dataset: it runs the real counter-training pass, measures the true
+ * number of distinct chunk patterns per class and the true union of
+ * table rows touched, and then times each hardware phase as a
+ * pipeline of stages with resource-derived initiation intervals. The
+ * two estimators share every datapath constant (hw/datapath.hpp), so
+ * their disagreement isolates exactly the data-dependent effects -
+ * tests pin the ratio between them.
+ */
+
+#ifndef LOOKHD_HWSIM_LOOKHD_SIM_HPP
+#define LOOKHD_HWSIM_LOOKHD_SIM_HPP
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hw/datapath.hpp"
+#include "hw/resources.hpp"
+#include "hwsim/pipeline.hpp"
+#include "lookhd/counter_trainer.hpp"
+#include "lookhd/lookup_encoder.hpp"
+
+namespace lookhd::hwsim {
+
+/** Outcome of simulating one hardware task. */
+struct SimReport
+{
+    double totalCycles = 0.0;
+    double seconds = 0.0;
+    /** Phase/stage breakdown, in execution order. */
+    std::vector<StageTiming> stages;
+    /** Name of the throughput-limiting stage. */
+    std::string bottleneck;
+};
+
+/** Simulator for the designs of Sec. V on one device. */
+class FpgaSimulator
+{
+  public:
+    explicit FpgaSimulator(hw::FpgaDevice device = hw::kintex7Kc705(),
+                           hw::DatapathParams datapath = {});
+
+    const hw::FpgaDevice &device() const { return device_; }
+
+    /**
+     * LookHD training (Fig. 10): streams the dataset through the
+     * quantize/count pipeline, then times the weighted accumulation
+     * and chunk aggregation using the dataset's *measured* counter
+     * occupancy.
+     */
+    SimReport lookhdTrain(const LookupEncoder &encoder,
+                          const data::Dataset &train) const;
+
+    /**
+     * LookHD inference (Fig. 11): encoding and compressed search
+     * pipelined over @p queries data points.
+     */
+    SimReport lookhdInfer(const LookupEncoder &encoder,
+                          std::size_t num_classes,
+                          std::size_t model_groups,
+                          std::size_t queries) const;
+
+    /** Baseline HDC training: full-vector encode + class accumulate. */
+    SimReport baselineTrain(std::size_t n, std::size_t q,
+                            hdc::Dim dim,
+                            std::size_t samples) const;
+
+    /** Baseline inference: encode pipelined with the k-class search. */
+    SimReport baselineInfer(std::size_t n, std::size_t q, hdc::Dim dim,
+                            std::size_t num_classes,
+                            std::size_t queries) const;
+
+    /**
+     * One LookHD retraining epoch (Sec. V-C): the inference pipeline
+     * over every training point plus the compressed-domain update of
+     * the mispredicted ones.
+     */
+    SimReport lookhdRetrainEpoch(const LookupEncoder &encoder,
+                                 std::size_t num_classes,
+                                 std::size_t model_groups,
+                                 std::size_t samples,
+                                 std::size_t updates) const;
+
+  private:
+    double lutThroughput() const;
+    double secondsOf(double cycles) const;
+    SimReport fromTiming(const PipelineTiming &timing) const;
+
+    hw::FpgaDevice device_;
+    hw::DatapathParams datapath_;
+};
+
+} // namespace lookhd::hwsim
+
+#endif // LOOKHD_HWSIM_LOOKHD_SIM_HPP

@@ -1,0 +1,57 @@
+#include "hwsim/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lookhd::hwsim {
+
+std::string
+PipelineTiming::bottleneckName() const
+{
+    for (const StageTiming &s : stages) {
+        if (s.bottleneck)
+            return s.name;
+    }
+    return "";
+}
+
+PipelineTiming
+streamThrough(const std::vector<Stage> &stages, double items)
+{
+    if (stages.empty())
+        throw std::invalid_argument("pipeline needs at least one stage");
+    if (items < 1.0)
+        throw std::invalid_argument("pipeline needs at least one item");
+    for (const Stage &s : stages) {
+        if (s.initiationInterval <= 0.0 || s.latency <= 0.0)
+            throw std::invalid_argument(
+                "stage intervals must be positive: " + s.name);
+    }
+
+    double fill = 0.0;
+    double max_ii = 0.0;
+    std::size_t bottleneck = 0;
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        fill += stages[i].latency;
+        if (stages[i].initiationInterval > max_ii) {
+            max_ii = stages[i].initiationInterval;
+            bottleneck = i;
+        }
+    }
+
+    PipelineTiming timing;
+    timing.totalCycles = fill + (items - 1.0) * max_ii;
+    timing.stages.reserve(stages.size());
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        StageTiming st;
+        st.name = stages[i].name;
+        st.busyCycles = items * stages[i].initiationInterval;
+        st.utilization =
+            std::min(1.0, st.busyCycles / timing.totalCycles);
+        st.bottleneck = i == bottleneck;
+        timing.stages.push_back(std::move(st));
+    }
+    return timing;
+}
+
+} // namespace lookhd::hwsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Generic pipelined-datapath timing: stages with an initiation
+ * interval and a latency, streaming a number of items.
+ *
+ * The FPGA designs of Sec. V are linear pipelines (quantize ->
+ * count, or encode -> search). For a stream of N items through
+ * stages with initiation intervals II_s and latencies L_s, the total
+ * time is the pipeline fill (sum of latencies for the first item)
+ * plus (N - 1) times the bottleneck initiation interval. Each
+ * stage's busy time is N * II_s, which yields per-stage utilization -
+ * the hardware analogue of the Fig. 2 breakdown.
+ */
+
+#ifndef LOOKHD_HWSIM_PIPELINE_HPP
+#define LOOKHD_HWSIM_PIPELINE_HPP
+
+#include <string>
+#include <vector>
+
+namespace lookhd::hwsim {
+
+/** One pipeline stage. */
+struct Stage
+{
+    std::string name;
+    /** Cycles between consecutive items entering this stage. */
+    double initiationInterval = 1.0;
+    /** Cycles from an item entering to leaving the stage. */
+    double latency = 1.0;
+};
+
+/** Timing of one stage within a finished run. */
+struct StageTiming
+{
+    std::string name;
+    double busyCycles = 0.0;
+    /** busyCycles / total pipeline cycles, in [0, 1]. */
+    double utilization = 0.0;
+    /** Whether this stage sets the pipeline's throughput. */
+    bool bottleneck = false;
+};
+
+/** Result of streaming items through a pipeline. */
+struct PipelineTiming
+{
+    double totalCycles = 0.0;
+    std::vector<StageTiming> stages;
+
+    /** The bottleneck stage's name ("" if empty pipeline). */
+    std::string bottleneckName() const;
+};
+
+/**
+ * Time @p items through @p stages. @pre items >= 1 and every stage
+ * has positive initiation interval and latency >= interval is not
+ * required (latency may exceed the interval for deep stages).
+ */
+PipelineTiming streamThrough(const std::vector<Stage> &stages,
+                             double items);
+
+} // namespace lookhd::hwsim
+
+#endif // LOOKHD_HWSIM_PIPELINE_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Feature-vector chunking (paper Sec. III-A).
+ *
+ * LookHD splits the n-feature vector into m chunks of (up to) r
+ * features each. Each chunk is encoded with the same shared encoding
+ * module, then bound to a per-chunk position hypervector P_i and
+ * summed (Eq. 3). Chunking is what shrinks the space of possible
+ * encodings from q^n to q^r and makes lookup encoding feasible.
+ */
+
+#ifndef LOOKHD_LOOKHD_CHUNKING_HPP
+#define LOOKHD_LOOKHD_CHUNKING_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace lookhd {
+
+/** Partition of n features into chunks of size r (last may be short). */
+class ChunkSpec
+{
+  public:
+    /**
+     * @param num_features n. @pre > 0.
+     * @param chunk_size r. @pre > 0.
+     */
+    ChunkSpec(std::size_t num_features, std::size_t chunk_size);
+
+    std::size_t numFeatures() const { return numFeatures_; }
+    std::size_t chunkSize() const { return chunkSize_; }
+
+    /** Number of chunks m = ceil(n / r). */
+    std::size_t numChunks() const { return numChunks_; }
+
+    /** First feature index of chunk @p c. */
+    std::size_t begin(std::size_t c) const { return c * chunkSize_; }
+
+    /** One-past-last feature index of chunk @p c. */
+    std::size_t end(std::size_t c) const;
+
+    /** Number of features in chunk @p c (r except possibly the last). */
+    std::size_t length(std::size_t c) const { return end(c) - begin(c); }
+
+    /** Whether every chunk has exactly r features. */
+    bool uniform() const { return numFeatures_ % chunkSize_ == 0; }
+
+  private:
+    std::size_t numFeatures_;
+    std::size_t chunkSize_;
+    std::size_t numChunks_;
+};
+
+} // namespace lookhd
+
+#endif // LOOKHD_LOOKHD_CHUNKING_HPP

@@ -1,0 +1,229 @@
+#include "lookhd/classifier.hpp"
+
+#include <stdexcept>
+
+#include "hdc/similarity.hpp"
+#include "quant/equalized_quantizer.hpp"
+#include "quant/linear_quantizer.hpp"
+
+namespace lookhd {
+
+Classifier::Classifier(ClassifierConfig config)
+    : config_(std::move(config))
+{
+    if (config_.dim == 0 || config_.quantLevels < 2 ||
+        config_.chunkSize == 0) {
+        throw std::invalid_argument("invalid classifier configuration");
+    }
+}
+
+Classifier
+Classifier::restore(ClassifierConfig config,
+                    std::shared_ptr<const hdc::LevelMemory> levels,
+                    std::shared_ptr<const quant::Quantizer> quantizer,
+                    std::shared_ptr<const quant::QuantizerBank> bank,
+                    std::unique_ptr<LookupEncoder> encoder,
+                    std::optional<hdc::ClassModel> model,
+                    std::optional<CompressedModel> compressed,
+                    std::vector<double> retrain_history)
+{
+    if (!levels || !encoder)
+        throw std::invalid_argument("restore needs levels and encoder");
+    if (config.perFeatureQuantization ? !bank : !quantizer)
+        throw std::invalid_argument(
+            "quantization source does not match configuration");
+    if (!model && !compressed)
+        throw std::invalid_argument("restore needs a model");
+
+    Classifier clf(std::move(config));
+    clf.levels_ = std::move(levels);
+    clf.quantizer_ = std::move(quantizer);
+    clf.bank_ = std::move(bank);
+    clf.encoder_ = std::move(encoder);
+    clf.model_ = std::move(model);
+    if (clf.model_)
+        clf.model_->normalize();
+    clf.compressed_ = std::move(compressed);
+    clf.retrainHistory_ = std::move(retrain_history);
+    return clf;
+}
+
+void
+Classifier::fit(const data::Dataset &train)
+{
+    if (train.empty())
+        throw std::invalid_argument("cannot fit on an empty dataset");
+
+    util::Rng rng(config_.seed);
+    util::Rng level_rng = rng.split();
+    util::Rng encoder_rng = rng.split();
+    util::Rng key_rng = rng.split();
+
+    // 1. Quantizer calibration: one global quantizer over every
+    // training value, or one per feature column.
+    quantizer_.reset();
+    bank_.reset();
+    if (config_.perFeatureQuantization) {
+        auto bank = std::make_shared<quant::QuantizerBank>(
+            config_.quantLevels,
+            config_.quantization == QuantizationKind::kEqualized
+                ? quant::BankKind::kEqualized
+                : quant::BankKind::kLinear);
+        bank->fit(train);
+        bank_ = std::move(bank);
+    } else {
+        std::unique_ptr<quant::Quantizer> q;
+        if (config_.quantization == QuantizationKind::kEqualized)
+            q = std::make_unique<quant::EqualizedQuantizer>(
+                config_.quantLevels);
+        else
+            q = std::make_unique<quant::LinearQuantizer>(
+                config_.quantLevels);
+        const auto values = train.allValues();
+        q->fit(std::vector<double>(values.begin(), values.end()));
+        quantizer_ = std::move(q);
+    }
+
+    // 2. Item memories and the lookup encoder.
+    levels_ = std::make_shared<hdc::LevelMemory>(
+        config_.dim, config_.quantLevels, level_rng, config_.levelGen);
+    const ChunkSpec chunks(train.numFeatures(), config_.chunkSize);
+    if (bank_) {
+        encoder_ = std::make_unique<LookupEncoder>(
+            levels_, bank_, chunks, encoder_rng, config_.encoder);
+    } else {
+        encoder_ = std::make_unique<LookupEncoder>(
+            levels_, quantizer_, chunks, encoder_rng, config_.encoder);
+    }
+
+    // 3. Counter-based initial training.
+    CounterTrainer trainer(*encoder_, config_.counters);
+    model_.emplace(trainer.train(train));
+
+    retrainHistory_.clear();
+    RetrainOptions opts = config_.retrain;
+    opts.epochs = config_.retrainEpochs;
+
+    if (config_.compressModel) {
+        // 4. Compress, then retrain in the compressed domain.
+        compressed_.emplace(*model_, key_rng, config_.compression);
+        Retrainer retrainer(*encoder_);
+        const RetrainResult rr =
+            retrainer.retrain(*compressed_, train, opts);
+        retrainHistory_ = rr.accuracyHistory;
+    } else {
+        // 4'. Exact mode: perceptron retraining on the uncompressed
+        // model with lookup-encoded queries.
+        compressed_.reset();
+        std::vector<hdc::IntHv> encoded;
+        encoded.reserve(train.size());
+        for (std::size_t i = 0; i < train.size(); ++i)
+            encoded.push_back(encoder_->encode(train.row(i)));
+
+        model_->normalize();
+        retrainHistory_.push_back(hdc::evaluateEncoded(
+            *model_, encoded, train.labels()));
+        for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+            for (std::size_t i = 0; i < encoded.size(); ++i) {
+                const std::size_t pred = model_->predict(encoded[i]);
+                if (pred != train.label(i)) {
+                    model_->update(train.label(i), pred, encoded[i]);
+                    model_->normalize();
+                }
+            }
+            retrainHistory_.push_back(hdc::evaluateEncoded(
+                *model_, encoded, train.labels()));
+        }
+    }
+}
+
+std::size_t
+Classifier::predict(std::span<const double> features) const
+{
+    return hdc::argmax(scores(features));
+}
+
+std::vector<double>
+Classifier::scores(std::span<const double> features) const
+{
+    if (!fitted())
+        throw std::logic_error("classifier not fitted");
+    const hdc::IntHv query = encoder_->encode(features);
+    if (compressed_)
+        return compressed_->scores(query);
+    return model_->scores(query);
+}
+
+double
+Classifier::evaluate(const data::Dataset &test) const
+{
+    if (test.empty())
+        throw std::invalid_argument("empty test set");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i)
+        correct += predict(test.row(i)) == test.label(i);
+    return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+data::ConfusionMatrix
+Classifier::evaluateDetailed(const data::Dataset &test) const
+{
+    if (test.empty())
+        throw std::invalid_argument("empty test set");
+    return data::confusionOf(
+        test, [this](auto row) { return predict(row); });
+}
+
+std::size_t
+Classifier::modelSizeBytes() const
+{
+    if (!fitted())
+        throw std::logic_error("classifier not fitted");
+    if (compressed_)
+        return compressed_->sizeBytes();
+    return model_->sizeBytes();
+}
+
+const LookupEncoder &
+Classifier::encoder() const
+{
+    if (!encoder_)
+        throw std::logic_error("classifier not fitted");
+    return *encoder_;
+}
+
+const hdc::ClassModel &
+Classifier::uncompressedModel() const
+{
+    if (!model_)
+        throw std::logic_error("classifier not fitted");
+    return *model_;
+}
+
+const CompressedModel &
+Classifier::compressedModel() const
+{
+    if (!compressed_)
+        throw std::logic_error("no compressed model");
+    return *compressed_;
+}
+
+const quant::Quantizer &
+Classifier::quantizer() const
+{
+    if (!quantizer_)
+        throw std::logic_error(
+            "classifier not fitted or uses a per-feature bank");
+    return *quantizer_;
+}
+
+const quant::QuantizerBank &
+Classifier::quantizerBank() const
+{
+    if (!bank_)
+        throw std::logic_error(
+            "classifier not fitted or uses a global quantizer");
+    return *bank_;
+}
+
+} // namespace lookhd

@@ -1,0 +1,334 @@
+#include "lookhd/compressed_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hdc/similarity.hpp"
+
+namespace lookhd {
+
+std::vector<hdc::RealHv>
+decorrelateClasses(const hdc::ClassModel &model)
+{
+    const std::size_t k = model.numClasses();
+    const hdc::Dim d = model.dim();
+
+    // Raw trained class hypervectors, as the paper's Sec. IV-C
+    // operates on the trained model directly.
+    std::vector<hdc::RealHv> classes;
+    classes.reserve(k);
+    for (std::size_t c = 0; c < k; ++c)
+        classes.push_back(hdc::toReal(model.classHv(c)));
+
+    hdc::RealHv average(d, 0.0);
+    for (const auto &c : classes)
+        for (std::size_t i = 0; i < d; ++i)
+            average[i] += c[i] / static_cast<double>(k);
+
+    // Remove each class's component along the common direction:
+    // C'_i = C_i - a_hat * <C_i, a_hat>. The paper writes this as
+    // C_i - C_ave * delta(C_i, C_ave); the projection form makes every
+    // residual exactly orthogonal to C_ave, so the (large, class-
+    // independent) common component of a query contributes zero to
+    // every score instead of a per-class bias.
+    const hdc::RealHv direction = hdc::normalized(average);
+    for (auto &c : classes) {
+        const double proj = hdc::dot(c, direction);
+        for (std::size_t i = 0; i < d; ++i)
+            c[i] -= direction[i] * proj;
+    }
+    return classes;
+}
+
+CompressedModel::CompressedModel(const hdc::ClassModel &model,
+                                 util::Rng &rng, CompressionConfig config)
+    : dim_(model.dim()), config_(config),
+      keys_(model.dim(), model.numClasses(), rng)
+{
+    const std::size_t k = model.numClasses();
+    groupSize_ = config_.maxClassesPerGroup == 0
+                     ? k
+                     : std::min(config_.maxClassesPerGroup, k);
+    const std::size_t num_groups = (k + groupSize_ - 1) / groupSize_;
+
+    // Per-class hypervectors to fold in: the raw trained sums,
+    // optionally decorrelated (Sec. IV-C). They enter the
+    // superposition at their natural magnitudes; per-class norms are
+    // recorded so scores() can reproduce the cosine ranking of the
+    // uncompressed model.
+    std::vector<hdc::RealHv> classes;
+    if (config_.decorrelate) {
+        classes = decorrelateClasses(model);
+        // Remember the removed common direction so retraining updates
+        // can stay out of it (see updateVector()).
+        hdc::RealHv average(dim_, 0.0);
+        for (std::size_t c = 0; c < k; ++c) {
+            const hdc::IntHv &cls = model.classHv(c);
+            for (std::size_t i = 0; i < dim_; ++i)
+                average[i] +=
+                    static_cast<double>(cls[i]) / static_cast<double>(k);
+        }
+        commonDir_ = hdc::normalized(average);
+    } else {
+        classes.reserve(k);
+        for (std::size_t c = 0; c < k; ++c)
+            classes.push_back(hdc::toReal(model.classHv(c)));
+    }
+
+    groups_.assign(num_groups, hdc::RealHv(dim_, 0.0));
+    norms_.assign(k, 1.0);
+    for (std::size_t cls = 0; cls < k; ++cls) {
+        hdc::RealHv &group = groups_[cls / groupSize_];
+        const hdc::BipolarHv &key = keys_.at(cls);
+        for (std::size_t i = 0; i < dim_; ++i)
+            group[i] += key[i] * classes[cls][i];
+        norms_[cls] = std::max(hdc::norm(classes[cls]), 1e-12);
+    }
+
+    if (config_.keepReference)
+        reference_ = std::move(classes);
+}
+
+CompressedModel::CompressedModel(CompressionConfig config,
+                                 hdc::KeyMemory keys,
+                                 std::vector<hdc::RealHv> groups,
+                                 std::vector<double> norms,
+                                 hdc::RealHv common_dir)
+    : dim_(keys.dim()), config_(config), keys_(std::move(keys)),
+      groups_(std::move(groups)), norms_(std::move(norms)),
+      commonDir_(std::move(common_dir))
+{
+    const std::size_t k = keys_.count();
+    if (k == 0 || groups_.empty())
+        throw std::invalid_argument("restored model must be nonempty");
+    groupSize_ = config_.maxClassesPerGroup == 0
+                     ? k
+                     : std::min(config_.maxClassesPerGroup, k);
+    if (groups_.size() != (k + groupSize_ - 1) / groupSize_)
+        throw std::invalid_argument("group count mismatch");
+    if (norms_.size() != k)
+        throw std::invalid_argument("norm count mismatch");
+    for (const auto &g : groups_) {
+        if (g.size() != dim_)
+            throw std::invalid_argument("group dimensionality mismatch");
+    }
+    if (!commonDir_.empty() && commonDir_.size() != dim_)
+        throw std::invalid_argument("common direction mismatch");
+    if (config_.keepReference) {
+        throw std::invalid_argument(
+            "restored models do not carry reference hypervectors");
+    }
+}
+
+std::size_t
+CompressedModel::groupOf(std::size_t cls) const
+{
+    if (cls >= numClasses())
+        throw std::out_of_range("class index");
+    return cls / groupSize_;
+}
+
+double
+CompressedModel::rawScore(std::size_t cls, const hdc::IntHv &query) const
+{
+    const hdc::RealHv &group = groups_[cls / groupSize_];
+    const hdc::BipolarHv &key = keys_.at(cls);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i)
+        sum += static_cast<double>(query[i]) * key[i] * group[i];
+    return sum;
+}
+
+std::vector<double>
+CompressedModel::scores(const hdc::IntHv &query) const
+{
+    if (query.size() != dim_)
+        throw std::invalid_argument("query dimensionality mismatch");
+    std::vector<double> out(numClasses());
+
+    // Form the element-wise product H * C_g once per group; each
+    // class score is then only a sign-resolved accumulation with its
+    // key - the multiplication-free unbinding the hardware exploits
+    // (Sec. IV-B).
+    hdc::RealHv product(dim_);
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        const hdc::RealHv &group = groups_[g];
+        for (std::size_t i = 0; i < dim_; ++i)
+            product[i] = static_cast<double>(query[i]) * group[i];
+
+        const std::size_t first = g * groupSize_;
+        const std::size_t last =
+            std::min(first + groupSize_, numClasses());
+        for (std::size_t c = first; c < last; ++c) {
+            const hdc::BipolarHv &key = keys_.at(c);
+            double sum = 0.0;
+            for (std::size_t i = 0; i < dim_; ++i)
+                sum += key[i] >= 0 ? product[i] : -product[i];
+            out[c] = sum;
+            if (config_.scaleScores && norms_[c] > 0.0)
+                out[c] /= norms_[c];
+        }
+    }
+    return out;
+}
+
+std::size_t
+CompressedModel::predict(const hdc::IntHv &query) const
+{
+    return hdc::argmax(scores(query));
+}
+
+std::vector<double>
+CompressedModel::scoresPrefix(const hdc::IntHv &query,
+                              std::size_t dims) const
+{
+    if (query.size() != dim_)
+        throw std::invalid_argument("query dimensionality mismatch");
+    if (dims == 0 || dims > dim_)
+        throw std::invalid_argument("prefix length out of range");
+
+    std::vector<double> out(numClasses());
+    hdc::RealHv product(dims);
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        const hdc::RealHv &group = groups_[g];
+        for (std::size_t i = 0; i < dims; ++i)
+            product[i] = static_cast<double>(query[i]) * group[i];
+        const std::size_t first = g * groupSize_;
+        const std::size_t last =
+            std::min(first + groupSize_, numClasses());
+        for (std::size_t c = first; c < last; ++c) {
+            const hdc::BipolarHv &key = keys_.at(c);
+            double sum = 0.0;
+            for (std::size_t i = 0; i < dims; ++i)
+                sum += key[i] >= 0 ? product[i] : -product[i];
+            out[c] = sum;
+            if (config_.scaleScores && norms_[c] > 0.0)
+                out[c] /= norms_[c];
+        }
+    }
+    return out;
+}
+
+std::size_t
+CompressedModel::predictProgressive(const hdc::IntHv &query,
+                                    std::size_t initial_dims,
+                                    double margin,
+                                    std::size_t *dims_used) const
+{
+    if (initial_dims == 0)
+        throw std::invalid_argument("initial window must be nonzero");
+    std::size_t dims = std::min(initial_dims, dim_);
+    for (;;) {
+        const std::vector<double> s = scoresPrefix(query, dims);
+        const std::size_t best = hdc::argmax(s);
+        if (dims >= dim_) {
+            if (dims_used)
+                *dims_used = dims;
+            return best;
+        }
+        // Margin relative to the score scale (mean absolute score).
+        double scale = 0.0;
+        double runner_up = -1e300;
+        for (std::size_t c = 0; c < s.size(); ++c) {
+            scale += std::abs(s[c]);
+            if (c != best)
+                runner_up = std::max(runner_up, s[c]);
+        }
+        scale = std::max(scale / static_cast<double>(s.size()),
+                         1e-12);
+        if ((s[best] - runner_up) / scale >= margin) {
+            if (dims_used)
+                *dims_used = dims;
+            return best;
+        }
+        dims = std::min(dim_, dims * 2);
+    }
+}
+
+std::vector<double>
+CompressedModel::exactScores(const hdc::IntHv &query) const
+{
+    if (!config_.keepReference)
+        throw std::logic_error("reference not kept; set keepReference");
+    std::vector<double> out(reference_.size());
+    for (std::size_t c = 0; c < reference_.size(); ++c)
+        out[c] = hdc::dot(query, reference_[c]);
+    return out;
+}
+
+void
+CompressedModel::applyUpdate(std::size_t correct, std::size_t wrong,
+                             const hdc::IntHv &query, double scale)
+{
+    if (correct >= numClasses() || wrong >= numClasses())
+        throw std::out_of_range("class index");
+    if (query.size() != dim_)
+        throw std::invalid_argument("query dimensionality mismatch");
+    if (correct == wrong)
+        return;
+
+    // Recover the current signals before the update mutates the
+    // groups; they feed the norm-estimate refresh below.
+    const double s_correct = rawScore(correct, query);
+    const double s_wrong = rawScore(wrong, query);
+
+    const hdc::RealHv u = updateVector(query);
+    double u_norm2 = 0.0;
+    for (double v : u)
+        u_norm2 += v * v;
+
+    hdc::RealHv &g_correct = groups_[correct / groupSize_];
+    hdc::RealHv &g_wrong = groups_[wrong / groupSize_];
+    const hdc::BipolarHv &k_correct = keys_.at(correct);
+    const hdc::BipolarHv &k_wrong = keys_.at(wrong);
+    for (std::size_t i = 0; i < dim_; ++i) {
+        const double delta = scale * u[i];
+        g_correct[i] += k_correct[i] * delta;
+        g_wrong[i] -= k_wrong[i] * delta;
+    }
+
+    // ||C +- s*u||^2 = ||C||^2 +- 2 s <C,u> + s^2 ||u||^2. The stored
+    // classes are (approximately) orthogonal to the common direction,
+    // so <C,u> = <C,H>, approximated by the recovered (noisy) signal.
+    auto refresh = [&](std::size_t cls, double signal, double sgn) {
+        const double n2 = norms_[cls] * norms_[cls] +
+                          sgn * 2.0 * scale * signal +
+                          scale * scale * u_norm2;
+        norms_[cls] = std::sqrt(std::max(n2, 1e-12));
+    };
+    refresh(correct, s_correct, +1.0);
+    refresh(wrong, s_wrong, -1.0);
+
+    if (config_.keepReference) {
+        for (std::size_t i = 0; i < dim_; ++i) {
+            const double delta = scale * u[i];
+            reference_[correct][i] += delta;
+            reference_[wrong][i] -= delta;
+        }
+    }
+}
+
+hdc::RealHv
+CompressedModel::updateVector(const hdc::IntHv &query) const
+{
+    hdc::RealHv u = hdc::toReal(query);
+    if (!commonDir_.empty()) {
+        double proj = 0.0;
+        for (std::size_t i = 0; i < dim_; ++i)
+            proj += u[i] * commonDir_[i];
+        for (std::size_t i = 0; i < dim_; ++i)
+            u[i] -= proj * commonDir_[i];
+    }
+    return u;
+}
+
+std::size_t
+CompressedModel::sizeBytes() const
+{
+    const std::size_t group_bytes =
+        numGroups() * dim_ * sizeof(float);
+    const std::size_t key_bytes = (numClasses() * dim_ + 7) / 8;
+    return group_bytes + key_bytes;
+}
+
+} // namespace lookhd

@@ -1,0 +1,161 @@
+#include "lookhd/counter_trainer.hpp"
+
+#include <stdexcept>
+
+namespace lookhd {
+
+ChunkCounters::ChunkCounters(Address space, Address dense_threshold)
+    : space_(space)
+{
+    if (space == 0)
+        throw std::invalid_argument("counter space must be nonzero");
+    if (space <= dense_threshold)
+        denseCounts_.assign(static_cast<std::size_t>(space), 0);
+}
+
+void
+ChunkCounters::increment(Address addr)
+{
+    if (addr >= space_)
+        throw std::out_of_range("counter address");
+    if (!denseCounts_.empty())
+        ++denseCounts_[static_cast<std::size_t>(addr)];
+    else
+        ++sparseCounts_[addr];
+    ++total_;
+}
+
+std::uint32_t
+ChunkCounters::count(Address addr) const
+{
+    if (addr >= space_)
+        throw std::out_of_range("counter address");
+    if (!denseCounts_.empty())
+        return denseCounts_[static_cast<std::size_t>(addr)];
+    const auto it = sparseCounts_.find(addr);
+    return it == sparseCounts_.end() ? 0 : it->second;
+}
+
+std::size_t
+ChunkCounters::distinct() const
+{
+    if (!denseCounts_.empty()) {
+        std::size_t n = 0;
+        for (auto c : denseCounts_)
+            n += c > 0;
+        return n;
+    }
+    return sparseCounts_.size();
+}
+
+void
+ChunkCounters::forEach(
+    const std::function<void(Address, std::uint32_t)> &fn) const
+{
+    if (!denseCounts_.empty()) {
+        for (std::size_t a = 0; a < denseCounts_.size(); ++a) {
+            if (denseCounts_[a] > 0)
+                fn(static_cast<Address>(a), denseCounts_[a]);
+        }
+    } else {
+        for (const auto &[addr, cnt] : sparseCounts_)
+            fn(addr, cnt);
+    }
+}
+
+CounterBank::CounterBank(const LookupEncoder &encoder,
+                         std::size_t num_classes,
+                         const CounterTrainerConfig &config)
+{
+    if (num_classes == 0)
+        throw std::invalid_argument("counter bank needs classes");
+    counters_.reserve(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        std::vector<ChunkCounters> per_chunk;
+        per_chunk.reserve(encoder.chunks().numChunks());
+        for (std::size_t ch = 0; ch < encoder.chunks().numChunks(); ++ch) {
+            per_chunk.emplace_back(
+                encoder.tableFor(ch).addressSpaceSize(),
+                config.denseCounterThreshold);
+        }
+        counters_.push_back(std::move(per_chunk));
+    }
+}
+
+std::size_t
+CounterBank::numChunks() const
+{
+    return counters_.empty() ? 0 : counters_.front().size();
+}
+
+void
+CounterBank::observe(std::size_t label,
+                     std::span<const Address> addresses)
+{
+    auto &per_chunk = counters_.at(label);
+    if (addresses.size() != per_chunk.size())
+        throw std::invalid_argument("address count mismatch");
+    for (std::size_t ch = 0; ch < addresses.size(); ++ch)
+        per_chunk[ch].increment(addresses[ch]);
+}
+
+const ChunkCounters &
+CounterBank::at(std::size_t cls, std::size_t chunk) const
+{
+    return counters_.at(cls).at(chunk);
+}
+
+CounterTrainer::CounterTrainer(const LookupEncoder &encoder,
+                               CounterTrainerConfig config)
+    : encoder_(encoder), config_(config)
+{
+}
+
+CounterBank
+CounterTrainer::countDataset(const data::Dataset &train) const
+{
+    CounterBank bank(encoder_, train.numClasses(), config_);
+    for (std::size_t i = 0; i < train.size(); ++i) {
+        const auto addresses = encoder_.chunkAddresses(train.row(i));
+        bank.observe(train.label(i), addresses);
+    }
+    return bank;
+}
+
+hdc::ClassModel
+CounterTrainer::finalize(const CounterBank &bank) const
+{
+    hdc::ClassModel model(encoder_.dim(), bank.numClasses());
+    const std::size_t m = encoder_.chunks().numChunks();
+    hdc::IntHv scratch;
+
+    for (std::size_t cls = 0; cls < bank.numClasses(); ++cls) {
+        hdc::IntHv &class_hv = model.classHv(cls);
+        for (std::size_t ch = 0; ch < m; ++ch) {
+            // Weighted accumulation: chunk_acc = sum count * Table[addr].
+            hdc::IntHv chunk_acc(encoder_.dim(), 0);
+            const ChunkLookupTable &table = encoder_.tableFor(ch);
+            bank.at(cls, ch).forEach(
+                [&](Address addr, std::uint32_t cnt) {
+                    const hdc::IntHv &row = table.row(addr, scratch);
+                    const auto w = static_cast<std::int32_t>(cnt);
+                    for (std::size_t d = 0; d < chunk_acc.size(); ++d)
+                        chunk_acc[d] += w * row[d];
+                });
+            // Chunk aggregation: bind the position key and accumulate.
+            const hdc::BipolarHv &key = encoder_.positionKeys().at(ch);
+            for (std::size_t d = 0; d < class_hv.size(); ++d)
+                class_hv[d] += key[d] * chunk_acc[d];
+        }
+    }
+    model.normalize();
+    return model;
+}
+
+hdc::ClassModel
+CounterTrainer::train(const data::Dataset &train) const
+{
+    return finalize(countDataset(train));
+}
+
+} // namespace lookhd

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * LookHD counter-based training (paper Sec. III-D, Fig. 6).
+ *
+ * Instead of encoding every data point and summing hypervectors,
+ * LookHD keeps, per class and per chunk, a q^r-entry counter array
+ * indexed by the chunk address, and just increments counters while
+ * streaming the training set. At the end, each class hypervector is
+ * produced once by the weighted accumulation
+ *
+ *   C_c = sum_chunks P_chunk * ( sum_addr count[c][chunk][addr]
+ *                                          * Table[addr] )
+ *
+ * which is exactly equal to summing the per-point encodings but
+ * performs the O(D) vector work once per *distinct* chunk pattern
+ * instead of once per data point.
+ *
+ * Counters are dense arrays when q^r is small (the hardware register
+ * file of Fig. 10) and hash maps otherwise, so experiments can sweep
+ * configurations where no real table would fit.
+ */
+
+#ifndef LOOKHD_LOOKHD_COUNTER_TRAINER_HPP
+#define LOOKHD_LOOKHD_COUNTER_TRAINER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "data/dataset.hpp"
+#include "hdc/model.hpp"
+#include "lookhd/lookup_encoder.hpp"
+
+namespace lookhd {
+
+/** Occurrence counters for one chunk (one class). */
+class ChunkCounters
+{
+  public:
+    /**
+     * @param space Address space q^s of the chunk.
+     * @param dense_threshold Use a dense array when space <= this.
+     */
+    ChunkCounters(Address space, Address dense_threshold);
+
+    /** Record one occurrence of @p addr. */
+    void increment(Address addr);
+
+    /** Occurrences recorded for @p addr. */
+    std::uint32_t count(Address addr) const;
+
+    /** Number of distinct addresses observed. */
+    std::size_t distinct() const;
+
+    /** Total increments. */
+    std::uint64_t total() const { return total_; }
+
+    /** Visit every (address, count) pair with count > 0. */
+    void forEach(
+        const std::function<void(Address, std::uint32_t)> &fn) const;
+
+    bool dense() const { return !denseCounts_.empty() || space_ == 0; }
+
+  private:
+    Address space_;
+    std::vector<std::uint32_t> denseCounts_;
+    std::unordered_map<Address, std::uint32_t> sparseCounts_;
+    std::uint64_t total_ = 0;
+};
+
+/** Settings for counter-based training. */
+struct CounterTrainerConfig
+{
+    /**
+     * Dense counter arrays up to this many addresses per chunk.
+     * Dense arrays mirror the hardware's register/BRAM counters but
+     * cost k x m x q^r words, so beyond this bound (q^r > 4096, e.g.
+     * q = 8 with r = 5) the trainer switches to hash maps, which hold
+     * only the addresses actually observed.
+     */
+    Address denseCounterThreshold = Address{1} << 12;
+};
+
+/** Counter state for the whole training set: [class][chunk]. */
+class CounterBank
+{
+  public:
+    CounterBank(const LookupEncoder &encoder, std::size_t num_classes,
+                const CounterTrainerConfig &config);
+
+    std::size_t numClasses() const { return counters_.size(); }
+    std::size_t numChunks() const;
+
+    /** Increment the counters of one data point's chunk addresses. */
+    void observe(std::size_t label, std::span<const Address> addresses);
+
+    const ChunkCounters &at(std::size_t cls, std::size_t chunk) const;
+
+  private:
+    std::vector<std::vector<ChunkCounters>> counters_;
+};
+
+/** LookHD trainer: stream counters, then weighted accumulation. */
+class CounterTrainer
+{
+  public:
+    explicit CounterTrainer(const LookupEncoder &encoder,
+                            CounterTrainerConfig config = {});
+
+    /**
+     * Full training pass: quantize + count every point, then produce
+     * the class model by weighted accumulation. The result is
+     * normalized and ready for inference.
+     */
+    hdc::ClassModel train(const data::Dataset &train) const;
+
+    /** Build and fill the counter bank without finalizing. */
+    CounterBank countDataset(const data::Dataset &train) const;
+
+    /** Weighted accumulation (step E-F of Fig. 6). */
+    hdc::ClassModel finalize(const CounterBank &bank) const;
+
+    const LookupEncoder &encoder() const { return encoder_; }
+
+  private:
+    const LookupEncoder &encoder_;
+    CounterTrainerConfig config_;
+};
+
+} // namespace lookhd
+
+#endif // LOOKHD_LOOKHD_COUNTER_TRAINER_HPP

@@ -1,0 +1,208 @@
+#include "lookhd/lookup_encoder.hpp"
+
+#include <stdexcept>
+
+namespace lookhd {
+
+LookupEncoder::LookupEncoder(
+    std::shared_ptr<const hdc::LevelMemory> levels,
+    std::shared_ptr<const quant::Quantizer> quantizer, ChunkSpec chunks,
+    util::Rng &rng, LookupEncoderConfig config)
+    : levels_(std::move(levels)), quantizer_(std::move(quantizer)),
+      chunks_(chunks),
+      positions_(levels_ ? levels_->dim() : 0, chunks.numChunks(), rng)
+{
+    if (!levels_ || !quantizer_)
+        throw std::invalid_argument("encoder needs levels and quantizer");
+    if (!quantizer_->fitted())
+        throw std::invalid_argument("quantizer must be fitted");
+    if (quantizer_->levels() != levels_->levels()) {
+        throw std::invalid_argument(
+            "quantizer levels do not match level memory");
+    }
+    buildTables(config);
+}
+
+LookupEncoder::LookupEncoder(
+    std::shared_ptr<const hdc::LevelMemory> levels,
+    std::shared_ptr<const quant::QuantizerBank> bank, ChunkSpec chunks,
+    util::Rng &rng, LookupEncoderConfig config)
+    : levels_(std::move(levels)), bank_(std::move(bank)),
+      chunks_(chunks),
+      positions_(levels_ ? levels_->dim() : 0, chunks.numChunks(), rng)
+{
+    if (!levels_ || !bank_)
+        throw std::invalid_argument("encoder needs levels and bank");
+    if (!bank_->fitted())
+        throw std::invalid_argument("quantizer bank must be fitted");
+    if (bank_->levels() != levels_->levels()) {
+        throw std::invalid_argument(
+            "bank levels do not match level memory");
+    }
+    if (bank_->numFeatures() != chunks_.numFeatures()) {
+        throw std::invalid_argument(
+            "bank feature count does not match chunk spec");
+    }
+    buildTables(config);
+}
+
+LookupEncoder::LookupEncoder(
+    std::shared_ptr<const hdc::LevelMemory> levels,
+    std::shared_ptr<const quant::Quantizer> quantizer, ChunkSpec chunks,
+    hdc::KeyMemory positions, LookupEncoderConfig config)
+    : levels_(std::move(levels)), quantizer_(std::move(quantizer)),
+      chunks_(chunks), positions_(std::move(positions))
+{
+    if (!levels_ || !quantizer_)
+        throw std::invalid_argument("encoder needs levels and quantizer");
+    if (!quantizer_->fitted())
+        throw std::invalid_argument("quantizer must be fitted");
+    if (quantizer_->levels() != levels_->levels())
+        throw std::invalid_argument(
+            "quantizer levels do not match level memory");
+    if (positions_.count() != chunks_.numChunks() ||
+        positions_.dim() != levels_->dim()) {
+        throw std::invalid_argument("position keys do not match shape");
+    }
+    buildTables(config);
+}
+
+LookupEncoder::LookupEncoder(
+    std::shared_ptr<const hdc::LevelMemory> levels,
+    std::shared_ptr<const quant::QuantizerBank> bank, ChunkSpec chunks,
+    hdc::KeyMemory positions, LookupEncoderConfig config)
+    : levels_(std::move(levels)), bank_(std::move(bank)),
+      chunks_(chunks), positions_(std::move(positions))
+{
+    if (!levels_ || !bank_)
+        throw std::invalid_argument("encoder needs levels and bank");
+    if (!bank_->fitted())
+        throw std::invalid_argument("quantizer bank must be fitted");
+    if (bank_->levels() != levels_->levels())
+        throw std::invalid_argument(
+            "bank levels do not match level memory");
+    if (bank_->numFeatures() != chunks_.numFeatures())
+        throw std::invalid_argument(
+            "bank feature count does not match chunk spec");
+    if (positions_.count() != chunks_.numChunks() ||
+        positions_.dim() != levels_->dim()) {
+        throw std::invalid_argument("position keys do not match shape");
+    }
+    buildTables(config);
+}
+
+void
+LookupEncoder::buildTables(const LookupEncoderConfig &config)
+{
+    const std::size_t full_len =
+        std::min(chunks_.chunkSize(), chunks_.numFeatures());
+    fullTable_ = std::make_shared<ChunkLookupTable>(
+        levels_, full_len, config.materializeBudgetBytes);
+    if (!chunks_.uniform()) {
+        const std::size_t tail_len =
+            chunks_.length(chunks_.numChunks() - 1);
+        if (tail_len != full_len) {
+            tailTable_ = std::make_shared<ChunkLookupTable>(
+                levels_, tail_len, config.materializeBudgetBytes);
+        }
+    }
+}
+
+std::vector<std::size_t>
+LookupEncoder::quantize(std::span<const double> features) const
+{
+    if (features.size() != chunks_.numFeatures())
+        throw std::invalid_argument("feature vector width mismatch");
+    if (bank_)
+        return bank_->levelsOf(features);
+    std::vector<std::size_t> out(features.size());
+    for (std::size_t i = 0; i < features.size(); ++i)
+        out[i] = quantizer_->level(features[i]);
+    return out;
+}
+
+const quant::Quantizer &
+LookupEncoder::quantizer() const
+{
+    if (!quantizer_)
+        throw std::logic_error("encoder uses a per-feature bank");
+    return *quantizer_;
+}
+
+const quant::QuantizerBank &
+LookupEncoder::quantizerBank() const
+{
+    if (!bank_)
+        throw std::logic_error("encoder uses a global quantizer");
+    return *bank_;
+}
+
+std::vector<Address>
+LookupEncoder::chunkAddresses(std::span<const double> features) const
+{
+    return chunkAddressesOfLevels(quantize(features));
+}
+
+std::vector<Address>
+LookupEncoder::chunkAddressesOfLevels(
+    std::span<const std::size_t> levels) const
+{
+    if (levels.size() != chunks_.numFeatures())
+        throw std::invalid_argument("level vector width mismatch");
+    std::vector<Address> out(chunks_.numChunks());
+    for (std::size_t c = 0; c < chunks_.numChunks(); ++c) {
+        out[c] = addressOf(
+            levels.subspan(chunks_.begin(c), chunks_.length(c)),
+            levels_->levels());
+    }
+    return out;
+}
+
+hdc::IntHv
+LookupEncoder::encode(std::span<const double> features) const
+{
+    const auto addresses = chunkAddresses(features);
+    return encodeFromAddresses(addresses);
+}
+
+hdc::IntHv
+LookupEncoder::encodeFromAddresses(
+    std::span<const Address> addresses) const
+{
+    if (addresses.size() != chunks_.numChunks())
+        throw std::invalid_argument("address count mismatch");
+    hdc::IntHv acc(dim(), 0);
+    hdc::IntHv scratch;
+    for (std::size_t c = 0; c < addresses.size(); ++c) {
+        const hdc::IntHv &chunk_hv =
+            tableFor(c).row(addresses[c], scratch);
+        const hdc::BipolarHv &key = positions_.at(c);
+        // acc += P_c * chunk_hv, fused to avoid a temporary.
+        for (std::size_t d = 0; d < acc.size(); ++d)
+            acc[d] += key[d] * chunk_hv[d];
+    }
+    return acc;
+}
+
+const ChunkLookupTable &
+LookupEncoder::tableFor(std::size_t c) const
+{
+    if (c >= chunks_.numChunks())
+        throw std::out_of_range("chunk index");
+    if (tailTable_ && c == chunks_.numChunks() - 1)
+        return *tailTable_;
+    return *fullTable_;
+}
+
+std::size_t
+LookupEncoder::materializedBytes() const
+{
+    std::size_t bytes = 0;
+    if (fullTable_->materialized())
+        bytes += fullTable_->tableBytes();
+    if (tailTable_ && tailTable_->materialized())
+        bytes += tailTable_->tableBytes();
+    return bytes;
+}
+
+} // namespace lookhd

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * LookHD lookup-based encoder (paper Sec. III, Eqs. 2-3, Fig. 5).
+ *
+ * Pipeline per data point:
+ *   1. quantize each feature to a level (codebook),
+ *   2. concatenate each chunk's codebooks into a direct address,
+ *   3. fetch the pre-stored encoded chunk hypervector,
+ *   4. bind each chunk hypervector with its position key P_i and sum.
+ *
+ * The result is bit-exact with encoding each chunk through Eq. 2
+ * directly - the lookup is pure computation reuse.
+ */
+
+#ifndef LOOKHD_LOOKHD_LOOKUP_ENCODER_HPP
+#define LOOKHD_LOOKHD_LOOKUP_ENCODER_HPP
+
+#include <memory>
+#include <span>
+
+#include "hdc/encoder.hpp"
+#include "hdc/item_memory.hpp"
+#include "lookhd/chunking.hpp"
+#include "lookhd/lookup_table.hpp"
+#include "quant/quantizer.hpp"
+#include "quant/quantizer_bank.hpp"
+
+namespace lookhd {
+
+/** Tunables of the lookup encoder. */
+struct LookupEncoderConfig
+{
+    /**
+     * Memory budget for materializing dense chunk tables. Tables
+     * beyond the budget fall back to on-the-fly row computation
+     * (identical results, no reuse).
+     */
+    std::size_t materializeBudgetBytes = std::size_t{64} << 20;
+};
+
+/** Chunked, lookup-backed encoder with position-key aggregation. */
+class LookupEncoder
+{
+  public:
+    /**
+     * @param levels Shared level memory (same alphabets as baseline).
+     * @param quantizer Fitted quantizer, levels() == levels->levels().
+     * @param chunks Chunking of the feature vector.
+     * @param rng Source for the m position hypervectors P_1..P_m.
+     */
+    LookupEncoder(std::shared_ptr<const hdc::LevelMemory> levels,
+                  std::shared_ptr<const quant::Quantizer> quantizer,
+                  ChunkSpec chunks, util::Rng &rng,
+                  LookupEncoderConfig config = {});
+
+    /**
+     * Per-feature quantization variant: each feature uses its own
+     * fitted quantizer from @p bank (levels() must match the level
+     * memory, numFeatures() must match the chunk spec).
+     */
+    LookupEncoder(std::shared_ptr<const hdc::LevelMemory> levels,
+                  std::shared_ptr<const quant::QuantizerBank> bank,
+                  ChunkSpec chunks, util::Rng &rng,
+                  LookupEncoderConfig config = {});
+
+    /**
+     * Restore variants (deserialization): position keys are supplied
+     * explicitly instead of generated. @pre positions.count() ==
+     * chunks.numChunks() and positions.dim() == levels->dim().
+     */
+    LookupEncoder(std::shared_ptr<const hdc::LevelMemory> levels,
+                  std::shared_ptr<const quant::Quantizer> quantizer,
+                  ChunkSpec chunks, hdc::KeyMemory positions,
+                  LookupEncoderConfig config = {});
+    LookupEncoder(std::shared_ptr<const hdc::LevelMemory> levels,
+                  std::shared_ptr<const quant::QuantizerBank> bank,
+                  ChunkSpec chunks, hdc::KeyMemory positions,
+                  LookupEncoderConfig config = {});
+
+    hdc::Dim dim() const { return levels_->dim(); }
+    const ChunkSpec &chunks() const { return chunks_; }
+    std::size_t quantLevels() const { return levels_->levels(); }
+
+    /** Quantize a raw feature vector into level indices. */
+    std::vector<std::size_t>
+    quantize(std::span<const double> features) const;
+
+    /** Per-chunk direct addresses of a raw feature vector. */
+    std::vector<Address>
+    chunkAddresses(std::span<const double> features) const;
+
+    /** Per-chunk addresses of pre-quantized levels. */
+    std::vector<Address>
+    chunkAddressesOfLevels(std::span<const std::size_t> levels) const;
+
+    /** Full LookHD encoding (Eq. 3) of a raw feature vector. */
+    hdc::IntHv encode(std::span<const double> features) const;
+
+    /** Eq. 3 aggregation from per-chunk addresses. */
+    hdc::IntHv
+    encodeFromAddresses(std::span<const Address> addresses) const;
+
+    /** The lookup table serving chunk @p c. */
+    const ChunkLookupTable &tableFor(std::size_t c) const;
+
+    /** Position hypervectors P_1..P_m. */
+    const hdc::KeyMemory &positionKeys() const { return positions_; }
+
+    const hdc::LevelMemory &levelMemory() const { return *levels_; }
+
+    /** Whether this encoder quantizes per feature. */
+    bool usesBank() const { return bank_ != nullptr; }
+
+    /** The global quantizer. @pre !usesBank(). */
+    const quant::Quantizer &quantizer() const;
+
+    /** The per-feature bank. @pre usesBank(). */
+    const quant::QuantizerBank &quantizerBank() const;
+
+    /** Total bytes of all materialized tables. */
+    std::size_t materializedBytes() const;
+
+  private:
+    /** Shared tail of both constructors. */
+    void buildTables(const LookupEncoderConfig &config);
+
+    std::shared_ptr<const hdc::LevelMemory> levels_;
+    std::shared_ptr<const quant::Quantizer> quantizer_;
+    std::shared_ptr<const quant::QuantizerBank> bank_;
+    ChunkSpec chunks_;
+    hdc::KeyMemory positions_;
+    /** Table for full-size chunks (shared by all of them). */
+    std::shared_ptr<ChunkLookupTable> fullTable_;
+    /** Table for the trailing short chunk, if n % r != 0. */
+    std::shared_ptr<ChunkLookupTable> tailTable_;
+};
+
+} // namespace lookhd
+
+#endif // LOOKHD_LOOKHD_LOOKUP_ENCODER_HPP

@@ -1,0 +1,57 @@
+#include "lookhd/lookup_table.hpp"
+
+#include <stdexcept>
+
+namespace lookhd {
+
+ChunkLookupTable::ChunkLookupTable(
+    std::shared_ptr<const hdc::LevelMemory> levels, std::size_t chunk_len,
+    std::size_t materialize_budget_bytes)
+    : levels_(std::move(levels)), chunkLen_(chunk_len)
+{
+    if (!levels_)
+        throw std::invalid_argument("lookup table needs a level memory");
+    if (chunk_len == 0)
+        throw std::invalid_argument("chunk length must be nonzero");
+    space_ = addressSpace(levels_->levels(), chunkLen_);
+
+    if (materialize_budget_bytes > 0 &&
+        tableFits(levels_->levels(), chunkLen_, dim(),
+                  materialize_budget_bytes)) {
+        rows_.emplace();
+        rows_->reserve(space_);
+        for (Address a = 0; a < space_; ++a)
+            rows_->push_back(encodeAddress(a));
+    }
+}
+
+std::size_t
+ChunkLookupTable::tableBytes() const
+{
+    return static_cast<std::size_t>(space_) * dim() *
+           sizeof(std::int32_t);
+}
+
+const hdc::IntHv &
+ChunkLookupTable::row(Address addr, hdc::IntHv &scratch) const
+{
+    if (addr >= space_)
+        throw std::out_of_range("chunk address");
+    if (rows_)
+        return (*rows_)[addr];
+    scratch = encodeAddress(addr);
+    return scratch;
+}
+
+hdc::IntHv
+ChunkLookupTable::encodeAddress(Address addr) const
+{
+    std::vector<std::size_t> lvls(chunkLen_);
+    decodeAddress(addr, levels_->levels(), lvls);
+    hdc::IntHv acc(dim(), 0);
+    for (std::size_t j = 0; j < chunkLen_; ++j)
+        hdc::addRotated(acc, levels_->at(lvls[j]), j);
+    return acc;
+}
+
+} // namespace lookhd

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Pre-stored encoded chunk hypervectors (paper Sec. III-C).
+ *
+ * The lookup table holds, for every possible address (every base-q
+ * level combination of a chunk), the chunk's Eq. 2 encoding
+ * H = L(l_0) + rho L(l_1) + ... + rho^{s-1} L(l_{s-1}). In hardware it
+ * lives in BRAM; here it is a dense vector of rows.
+ *
+ * The table is only materialized when q^s rows fit a memory budget;
+ * encodeAddress() computes the identical row on the fly otherwise, so
+ * experiments can sweep chunk sizes past what any real table would
+ * hold while staying bit-exact with the lookup semantics.
+ */
+
+#ifndef LOOKHD_LOOKHD_LOOKUP_TABLE_HPP
+#define LOOKHD_LOOKHD_LOOKUP_TABLE_HPP
+
+#include <memory>
+#include <optional>
+
+#include "hdc/item_memory.hpp"
+#include "lookhd/codebook.hpp"
+
+namespace lookhd {
+
+/** Encoded-chunk store for one chunk length. */
+class ChunkLookupTable
+{
+  public:
+    /**
+     * @param levels Level memory the encodings draw from.
+     * @param chunk_len Number of features in this chunk (s).
+     * @param materialize_budget_bytes Materialize the dense table only
+     *        if it fits this budget; 0 forces on-the-fly computation.
+     */
+    ChunkLookupTable(std::shared_ptr<const hdc::LevelMemory> levels,
+                     std::size_t chunk_len,
+                     std::size_t materialize_budget_bytes);
+
+    hdc::Dim dim() const { return levels_->dim(); }
+    std::size_t chunkLen() const { return chunkLen_; }
+    std::size_t quantLevels() const { return levels_->levels(); }
+
+    /** Number of addresses q^s. */
+    Address addressSpaceSize() const { return space_; }
+
+    /** Whether the dense table is resident in memory. */
+    bool materialized() const { return rows_.has_value(); }
+
+    /** Bytes of the dense table (whether or not materialized). */
+    std::size_t tableBytes() const;
+
+    /**
+     * The encoded chunk hypervector at @p addr. Returns a reference
+     * into the dense table when materialized; otherwise fills
+     * @p scratch and returns it.
+     */
+    const hdc::IntHv &row(Address addr, hdc::IntHv &scratch) const;
+
+    /** Compute the Eq. 2 encoding of @p addr from the level memory. */
+    hdc::IntHv encodeAddress(Address addr) const;
+
+  private:
+    std::shared_ptr<const hdc::LevelMemory> levels_;
+    std::size_t chunkLen_;
+    Address space_;
+    /** Dense table: rows_[addr] when materialized. */
+    std::optional<std::vector<hdc::IntHv>> rows_;
+};
+
+} // namespace lookhd
+
+#endif // LOOKHD_LOOKHD_LOOKUP_TABLE_HPP

@@ -1,0 +1,143 @@
+#include "lookhd/retrainer.hpp"
+
+#include <stdexcept>
+
+namespace lookhd {
+
+std::vector<hdc::IntHv>
+Retrainer::encodeAll(const data::Dataset &ds) const
+{
+    std::vector<hdc::IntHv> out;
+    out.reserve(ds.size());
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        out.push_back(encoder_.encode(ds.row(i)));
+    return out;
+}
+
+RetrainResult
+Retrainer::retrain(CompressedModel &model, const data::Dataset &train,
+                   const RetrainOptions &options) const
+{
+    return retrainEncoded(model, encodeAll(train), train.labels(),
+                          options);
+}
+
+RetrainResult
+Retrainer::retrainEncoded(CompressedModel &model,
+                          const std::vector<hdc::IntHv> &encoded,
+                          const std::vector<std::size_t> &labels,
+                          const RetrainOptions &options) const
+{
+    if (encoded.size() != labels.size() || encoded.empty())
+        throw std::invalid_argument("encoded/labels size mismatch");
+
+    RetrainResult result;
+    result.accuracyHistory.push_back(
+        evaluateCompressed(model, encoded, labels));
+
+    // Optional held-out validation split for early stopping.
+    std::vector<std::size_t> update_idx(encoded.size());
+    for (std::size_t i = 0; i < update_idx.size(); ++i)
+        update_idx[i] = i;
+    std::vector<std::size_t> val_idx;
+    if (options.validationFraction > 0.0) {
+        if (options.validationFraction >= 1.0)
+            throw std::invalid_argument(
+                "validation fraction must be below 1");
+        util::Rng rng(options.validationSeed);
+        rng.shuffle(update_idx);
+        const auto cut = static_cast<std::size_t>(
+            options.validationFraction *
+            static_cast<double>(update_idx.size()));
+        val_idx.assign(update_idx.begin(), update_idx.begin() + cut);
+        update_idx.erase(update_idx.begin(),
+                         update_idx.begin() + cut);
+        if (update_idx.empty())
+            throw std::invalid_argument(
+                "validation split leaves no training points");
+    }
+    auto validation_accuracy = [&](const CompressedModel &m) {
+        std::size_t ok = 0;
+        for (std::size_t i : val_idx)
+            ok += m.predict(encoded[i]) == labels[i];
+        return val_idx.empty()
+                   ? 0.0
+                   : static_cast<double>(ok) /
+                         static_cast<double>(val_idx.size());
+    };
+
+    double best_val = -1.0;
+    std::size_t stale = 0;
+    CompressedModel best_model = model;
+
+    for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        // The hardware applies updates to a copy while the original
+        // keeps serving similarity checks (Sec. V-C).
+        CompressedModel working = model;
+        CompressedModel &oracle = options.deferredSwap ? model : working;
+
+        for (std::size_t i : update_idx) {
+            const std::size_t pred = oracle.predict(encoded[i]);
+            if (pred == labels[i])
+                continue;
+            double scale = options.learningRate;
+            if (options.normalizeQueries) {
+                const double n = hdc::norm(encoded[i]);
+                if (n > 0.0)
+                    scale /= n;
+            }
+            working.applyUpdate(labels[i], pred, encoded[i], scale);
+            ++result.updates;
+        }
+        model = std::move(working);
+        ++result.epochsRun;
+        result.accuracyHistory.push_back(
+            evaluateCompressed(model, encoded, labels));
+
+        if (!val_idx.empty()) {
+            const double val = validation_accuracy(model);
+            result.validationHistory.push_back(val);
+            if (val > best_val) {
+                best_val = val;
+                best_model = model;
+                stale = 0;
+            } else if (++stale >= options.earlyStopPatience) {
+                result.stoppedEarly = true;
+                break;
+            }
+        }
+    }
+    if (!val_idx.empty())
+        model = std::move(best_model);
+    return result;
+}
+
+double
+Retrainer::evaluate(const CompressedModel &model,
+                    const data::Dataset &test) const
+{
+    if (test.empty())
+        throw std::invalid_argument("empty test set");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        const hdc::IntHv query = encoder_.encode(test.row(i));
+        correct += model.predict(query) == test.label(i);
+    }
+    return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double
+evaluateCompressed(const CompressedModel &model,
+                   const std::vector<hdc::IntHv> &encoded,
+                   const std::vector<std::size_t> &labels)
+{
+    if (encoded.empty())
+        throw std::invalid_argument("empty evaluation set");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < encoded.size(); ++i)
+        correct += model.predict(encoded[i]) == labels[i];
+    return static_cast<double>(correct) /
+           static_cast<double>(encoded.size());
+}
+
+} // namespace lookhd

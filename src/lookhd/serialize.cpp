@@ -1,0 +1,375 @@
+#include "lookhd/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "quant/boundary_quantizer.hpp"
+
+namespace lookhd {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'K', 'H', 'D'};
+constexpr std::uint8_t kVersion = 1;
+
+// --- Primitive writers/readers (little-endian, fixed width) ---
+
+void
+writeBytes(std::ostream &out, const void *data, std::size_t size)
+{
+    out.write(static_cast<const char *>(data),
+              static_cast<std::streamsize>(size));
+    if (!out)
+        throw std::runtime_error("write failure");
+}
+
+void
+readBytes(std::istream &in, void *data, std::size_t size)
+{
+    in.read(static_cast<char *>(data),
+            static_cast<std::streamsize>(size));
+    if (!in || in.gcount() != static_cast<std::streamsize>(size))
+        throw std::runtime_error("truncated or unreadable input");
+}
+
+void
+writeU8(std::ostream &out, std::uint8_t v)
+{
+    writeBytes(out, &v, 1);
+}
+
+std::uint8_t
+readU8(std::istream &in)
+{
+    std::uint8_t v;
+    readBytes(in, &v, 1);
+    return v;
+}
+
+void
+writeU64(std::ostream &out, std::uint64_t v)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    writeBytes(out, bytes, 8);
+}
+
+std::uint64_t
+readU64(std::istream &in)
+{
+    std::uint8_t bytes[8];
+    readBytes(in, bytes, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    return v;
+}
+
+void
+writeDouble(std::ostream &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    writeU64(out, bits);
+}
+
+double
+readDouble(std::istream &in)
+{
+    const std::uint64_t bits = readU64(in);
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+void
+writeDoubles(std::ostream &out, const std::vector<double> &v)
+{
+    writeU64(out, v.size());
+    for (double x : v)
+        writeDouble(out, x);
+}
+
+std::vector<double>
+readDoubles(std::istream &in, std::uint64_t cap = ~std::uint64_t{0})
+{
+    const std::uint64_t count = readU64(in);
+    if (count > cap)
+        throw std::runtime_error("implausible array length");
+    std::vector<double> v(count);
+    for (auto &x : v)
+        x = readDouble(in);
+    return v;
+}
+
+void
+writeBipolar(std::ostream &out, const hdc::BipolarHv &hv)
+{
+    writeU64(out, hv.size());
+    writeBytes(out, hv.data(), hv.size());
+}
+
+hdc::BipolarHv
+readBipolar(std::istream &in)
+{
+    const std::uint64_t size = readU64(in);
+    if (size > (std::uint64_t{1} << 28))
+        throw std::runtime_error("implausible hypervector size");
+    hdc::BipolarHv hv(size);
+    readBytes(in, hv.data(), size);
+    for (auto v : hv) {
+        if (v != 1 && v != -1)
+            throw std::runtime_error("corrupt bipolar element");
+    }
+    return hv;
+}
+
+void
+writeIntHv(std::ostream &out, const hdc::IntHv &hv)
+{
+    writeU64(out, hv.size());
+    for (auto v : hv)
+        writeU64(out, static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(v)));
+}
+
+hdc::IntHv
+readIntHv(std::istream &in)
+{
+    const std::uint64_t size = readU64(in);
+    if (size > (std::uint64_t{1} << 28))
+        throw std::runtime_error("implausible hypervector size");
+    hdc::IntHv hv(size);
+    for (auto &v : hv) {
+        v = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(readU64(in)));
+    }
+    return hv;
+}
+
+} // namespace
+
+void
+saveClassifier(const Classifier &clf, std::ostream &out)
+{
+    if (!clf.fitted())
+        throw std::invalid_argument("cannot save an unfitted classifier");
+    const ClassifierConfig &cfg = clf.config();
+
+    writeBytes(out, kMagic, 4);
+    writeU8(out, kVersion);
+
+    // Configuration.
+    writeU64(out, cfg.dim);
+    writeU64(out, cfg.quantLevels);
+    writeU64(out, cfg.chunkSize);
+    writeU8(out, cfg.quantization == QuantizationKind::kEqualized);
+    writeU8(out, cfg.perFeatureQuantization);
+    writeU8(out, cfg.levelGen == hdc::LevelGen::kDistinctHalf);
+    writeU8(out, cfg.compressModel);
+    writeU8(out, cfg.compression.decorrelate);
+    writeU64(out, cfg.compression.maxClassesPerGroup);
+    writeU8(out, cfg.compression.scaleScores);
+    writeU64(out, cfg.retrainEpochs);
+    writeU64(out, cfg.seed);
+
+    const LookupEncoder &encoder = clf.encoder();
+    writeU64(out, encoder.chunks().numFeatures());
+
+    // Quantization state (boundaries fully determine behaviour).
+    if (cfg.perFeatureQuantization) {
+        const quant::QuantizerBank &bank = clf.quantizerBank();
+        writeU64(out, bank.numFeatures());
+        for (std::size_t f = 0; f < bank.numFeatures(); ++f)
+            writeDoubles(out, bank.at(f).boundaries());
+    } else {
+        writeDoubles(out, clf.quantizer().boundaries());
+    }
+
+    // Level memory.
+    const hdc::LevelMemory &levels = encoder.levelMemory();
+    writeU64(out, levels.levels());
+    for (std::size_t l = 0; l < levels.levels(); ++l)
+        writeBipolar(out, levels.at(l));
+
+    // Position keys.
+    const hdc::KeyMemory &positions = encoder.positionKeys();
+    writeU64(out, positions.count());
+    for (std::size_t c = 0; c < positions.count(); ++c)
+        writeBipolar(out, positions.at(c));
+
+    // Models. Bit 0: compressed present; bit 1: uncompressed present.
+    const bool has_compressed = cfg.compressModel;
+    writeU8(out, static_cast<std::uint8_t>(
+                     (has_compressed ? 1 : 0) | 2));
+
+    if (has_compressed) {
+        const CompressedModel &cm = clf.compressedModel();
+        writeU64(out, cm.numClasses());
+        writeU64(out, cm.numGroups());
+        for (std::size_t g = 0; g < cm.numGroups(); ++g)
+            writeDoubles(out, cm.groupHv(g));
+        for (std::size_t c = 0; c < cm.numClasses(); ++c)
+            writeBipolar(out, cm.classKeys().at(c));
+        std::vector<double> norms(cm.numClasses());
+        for (std::size_t c = 0; c < cm.numClasses(); ++c)
+            norms[c] = cm.trackedNorm(c);
+        writeDoubles(out, norms);
+        writeDoubles(out, cm.commonDirection());
+    }
+    {
+        const hdc::ClassModel &model = clf.uncompressedModel();
+        writeU64(out, model.numClasses());
+        for (std::size_t c = 0; c < model.numClasses(); ++c)
+            writeIntHv(out, model.classHv(c));
+    }
+
+    writeDoubles(out, clf.retrainHistory());
+}
+
+Classifier
+loadClassifier(std::istream &in)
+{
+    char magic[4];
+    readBytes(in, magic, 4);
+    if (std::memcmp(magic, kMagic, 4) != 0)
+        throw std::runtime_error("not a LookHD model file");
+    if (readU8(in) != kVersion)
+        throw std::runtime_error("unsupported model version");
+
+    ClassifierConfig cfg;
+    cfg.dim = readU64(in);
+    cfg.quantLevels = readU64(in);
+    cfg.chunkSize = readU64(in);
+    cfg.quantization = readU8(in) ? QuantizationKind::kEqualized
+                                  : QuantizationKind::kLinear;
+    cfg.perFeatureQuantization = readU8(in) != 0;
+    cfg.levelGen = readU8(in) ? hdc::LevelGen::kDistinctHalf
+                              : hdc::LevelGen::kPaperRandom;
+    cfg.compressModel = readU8(in) != 0;
+    cfg.compression.decorrelate = readU8(in) != 0;
+    cfg.compression.maxClassesPerGroup = readU64(in);
+    cfg.compression.keepReference = false;
+    cfg.compression.scaleScores = readU8(in) != 0;
+    cfg.retrainEpochs = readU64(in);
+    cfg.seed = readU64(in);
+
+    const std::uint64_t num_features = readU64(in);
+
+    std::shared_ptr<const quant::Quantizer> quantizer;
+    std::shared_ptr<const quant::QuantizerBank> bank;
+    if (cfg.perFeatureQuantization) {
+        const std::uint64_t bank_features = readU64(in);
+        if (bank_features != num_features)
+            throw std::runtime_error("bank feature count mismatch");
+        std::vector<std::vector<double>> bounds(bank_features);
+        for (auto &b : bounds)
+            b = readDoubles(in, 1 << 20);
+        bank = std::make_shared<quant::QuantizerBank>(
+            quant::QuantizerBank::fromBoundaries(cfg.quantLevels,
+                                                 bounds));
+    } else {
+        auto bounds = readDoubles(in, 1 << 20);
+        if (bounds.size() + 1 != cfg.quantLevels)
+            throw std::runtime_error("quantizer boundary mismatch");
+        quantizer =
+            std::make_shared<quant::BoundaryQuantizer>(bounds);
+    }
+
+    const std::uint64_t num_levels = readU64(in);
+    if (num_levels != cfg.quantLevels)
+        throw std::runtime_error("level memory size mismatch");
+    std::vector<hdc::BipolarHv> level_hvs(num_levels);
+    for (auto &hv : level_hvs) {
+        hv = readBipolar(in);
+        if (hv.size() != cfg.dim)
+            throw std::runtime_error("level dimensionality mismatch");
+    }
+    auto levels = std::make_shared<hdc::LevelMemory>(
+        std::move(level_hvs));
+
+    const std::uint64_t num_positions = readU64(in);
+    std::vector<hdc::BipolarHv> position_hvs(num_positions);
+    for (auto &hv : position_hvs)
+        hv = readBipolar(in);
+    hdc::KeyMemory positions(std::move(position_hvs));
+
+    const ChunkSpec chunks(num_features, cfg.chunkSize);
+    std::unique_ptr<LookupEncoder> encoder;
+    if (bank) {
+        encoder = std::make_unique<LookupEncoder>(
+            levels, bank, chunks, std::move(positions), cfg.encoder);
+    } else {
+        encoder = std::make_unique<LookupEncoder>(
+            levels, quantizer, chunks, std::move(positions),
+            cfg.encoder);
+    }
+
+    const std::uint8_t model_flags = readU8(in);
+    std::optional<CompressedModel> compressed;
+    std::optional<hdc::ClassModel> model;
+
+    if (model_flags & 1) {
+        const std::uint64_t k = readU64(in);
+        const std::uint64_t num_groups = readU64(in);
+        std::vector<hdc::RealHv> groups(num_groups);
+        for (auto &g : groups) {
+            g = readDoubles(in, std::uint64_t{1} << 28);
+            if (g.size() != cfg.dim)
+                throw std::runtime_error("group dimensionality mismatch");
+        }
+        std::vector<hdc::BipolarHv> key_hvs(k);
+        for (auto &hv : key_hvs)
+            hv = readBipolar(in);
+        auto norms = readDoubles(in, k);
+        auto common = readDoubles(in, std::uint64_t{1} << 28);
+        CompressionConfig cc = cfg.compression;
+        cc.keepReference = false;
+        compressed.emplace(cc, hdc::KeyMemory(std::move(key_hvs)),
+                           std::move(groups), std::move(norms),
+                           std::move(common));
+    }
+    if (model_flags & 2) {
+        const std::uint64_t k = readU64(in);
+        hdc::ClassModel restored(cfg.dim, k);
+        for (std::size_t c = 0; c < k; ++c) {
+            hdc::IntHv hv = readIntHv(in);
+            if (hv.size() != cfg.dim)
+                throw std::runtime_error("class dimensionality mismatch");
+            restored.classHv(c) = std::move(hv);
+        }
+        model.emplace(std::move(restored));
+    }
+
+    auto history = readDoubles(in, 1 << 20);
+
+    return Classifier::restore(std::move(cfg), std::move(levels),
+                               std::move(quantizer), std::move(bank),
+                               std::move(encoder), std::move(model),
+                               std::move(compressed),
+                               std::move(history));
+}
+
+void
+saveClassifierFile(const Classifier &clf, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open " + path + " for write");
+    saveClassifier(clf, out);
+}
+
+Classifier
+loadClassifierFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    return loadClassifier(in);
+}
+
+} // namespace lookhd

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Binary serialization of trained LookHD models.
+ *
+ * The deployment story of the paper is an embedded device that
+ * receives a trained (compressed) model. This module writes and reads
+ * everything inference needs - quantizer boundaries, level memory,
+ * position keys, and either the compressed groups + class keys or the
+ * uncompressed class hypervectors - in a small versioned, tagged
+ * binary format. Loading reconstructs a ready-to-predict Classifier.
+ *
+ * The format is little-endian and uses fixed-width types throughout;
+ * a magic word and version byte guard against foreign input.
+ */
+
+#ifndef LOOKHD_LOOKHD_SERIALIZE_HPP
+#define LOOKHD_LOOKHD_SERIALIZE_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "lookhd/classifier.hpp"
+
+namespace lookhd {
+
+/**
+ * Write a fitted classifier to a binary stream.
+ * @pre clf.fitted().
+ * @throws std::runtime_error on stream failure.
+ */
+void saveClassifier(const Classifier &clf, std::ostream &out);
+
+/**
+ * Read a classifier back. The returned classifier is fitted and makes
+ * the same predictions as the one saved.
+ * @throws std::runtime_error on malformed input or stream failure.
+ */
+Classifier loadClassifier(std::istream &in);
+
+/** Convenience file wrappers. */
+void saveClassifierFile(const Classifier &clf, const std::string &path);
+Classifier loadClassifierFile(const std::string &path);
+
+} // namespace lookhd
+
+#endif // LOOKHD_LOOKHD_SERIALIZE_HPP

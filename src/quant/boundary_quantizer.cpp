@@ -1,0 +1,29 @@
+#include "quant/boundary_quantizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lookhd::quant {
+
+BoundaryQuantizer::BoundaryQuantizer(std::vector<double> bounds)
+    : bounds_(std::move(bounds))
+{
+    if (bounds_.empty())
+        throw std::invalid_argument("boundary quantizer needs bounds");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        throw std::invalid_argument("boundaries must be ascending");
+}
+
+void
+BoundaryQuantizer::fit(const std::vector<double> &)
+{
+    throw std::logic_error("boundary quantizer is fixed; cannot refit");
+}
+
+std::size_t
+BoundaryQuantizer::level(double value) const
+{
+    return binOf(bounds_, value);
+}
+
+} // namespace lookhd::quant

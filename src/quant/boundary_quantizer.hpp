@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Quantizer defined directly by its boundaries.
+ *
+ * Any fitted quantizer is fully described by its bin boundaries;
+ * serialization stores those and restores a BoundaryQuantizer, which
+ * behaves identically at level() time regardless of which policy
+ * originally placed the boundaries.
+ */
+
+#ifndef LOOKHD_QUANT_BOUNDARY_QUANTIZER_HPP
+#define LOOKHD_QUANT_BOUNDARY_QUANTIZER_HPP
+
+#include "quant/quantizer.hpp"
+
+namespace lookhd::quant {
+
+/** Pre-fitted quantizer carrying explicit boundaries. */
+class BoundaryQuantizer : public Quantizer
+{
+  public:
+    /**
+     * @param bounds Ascending internal boundaries; levels() is
+     *        bounds.size() + 1. @pre at least one boundary.
+     */
+    explicit BoundaryQuantizer(std::vector<double> bounds);
+
+    /** Refitting a fixed-boundary quantizer is an error. */
+    void fit(const std::vector<double> &sample) override;
+
+    std::size_t level(double value) const override;
+    std::size_t levels() const override { return bounds_.size() + 1; }
+    std::vector<double> boundaries() const override { return bounds_; }
+    bool fitted() const override { return true; }
+
+  private:
+    std::vector<double> bounds_;
+};
+
+} // namespace lookhd::quant
+
+#endif // LOOKHD_QUANT_BOUNDARY_QUANTIZER_HPP

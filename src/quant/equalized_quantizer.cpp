@@ -1,0 +1,44 @@
+#include "quant/equalized_quantizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lookhd::quant {
+
+EqualizedQuantizer::EqualizedQuantizer(std::size_t levels)
+    : levels_(levels)
+{
+    if (levels < 2)
+        throw std::invalid_argument("quantizer needs at least 2 levels");
+}
+
+void
+EqualizedQuantizer::fit(const std::vector<double> &sample)
+{
+    if (sample.empty())
+        throw std::invalid_argument("cannot fit quantizer on empty sample");
+    std::vector<double> sorted = sample;
+    std::sort(sorted.begin(), sorted.end());
+
+    bounds_.clear();
+    bounds_.reserve(levels_ - 1);
+    for (std::size_t i = 1; i < levels_; ++i) {
+        // Boundary at the i/q quantile. Index into the sorted sample;
+        // ties collapse bins, which level() handles naturally (the
+        // emptied bin simply never fires).
+        const std::size_t idx = std::min(
+            sorted.size() - 1, i * sorted.size() / levels_);
+        bounds_.push_back(sorted[idx]);
+    }
+    fitted_ = true;
+}
+
+std::size_t
+EqualizedQuantizer::level(double value) const
+{
+    if (!fitted_)
+        throw std::logic_error("quantizer not fitted");
+    return binOf(bounds_, value);
+}
+
+} // namespace lookhd::quant

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Equalized (quantile) quantizer - the paper's proposed quantization
+ * (Sec. III-B, Fig. 3b).
+ */
+
+#ifndef LOOKHD_QUANT_EQUALIZED_QUANTIZER_HPP
+#define LOOKHD_QUANT_EQUALIZED_QUANTIZER_HPP
+
+#include "quant/quantizer.hpp"
+
+namespace lookhd::quant {
+
+/**
+ * Places the q-1 bin boundaries at the i/q empirical quantiles of the
+ * fit sample, so each level captures (approximately) an equal number
+ * of training feature values. Skewed feature distributions then use
+ * all levels instead of crowding a few, which is what lets LookHD
+ * reach peak accuracy with q = 2 or 4.
+ */
+class EqualizedQuantizer : public Quantizer
+{
+  public:
+    /** @param levels Number of bins q. @pre levels >= 2. */
+    explicit EqualizedQuantizer(std::size_t levels);
+
+    void fit(const std::vector<double> &sample) override;
+    std::size_t level(double value) const override;
+    std::size_t levels() const override { return levels_; }
+    std::vector<double> boundaries() const override { return bounds_; }
+    bool fitted() const override { return fitted_; }
+
+  private:
+    std::size_t levels_;
+    std::vector<double> bounds_;
+    bool fitted_ = false;
+};
+
+} // namespace lookhd::quant
+
+#endif // LOOKHD_QUANT_EQUALIZED_QUANTIZER_HPP

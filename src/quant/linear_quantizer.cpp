@@ -1,0 +1,58 @@
+#include "quant/linear_quantizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lookhd::quant {
+
+std::size_t
+binOf(const std::vector<double> &bounds, double value)
+{
+    return static_cast<std::size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), value) -
+        bounds.begin());
+}
+
+LinearQuantizer::LinearQuantizer(std::size_t levels)
+    : levels_(levels)
+{
+    if (levels < 2)
+        throw std::invalid_argument("quantizer needs at least 2 levels");
+}
+
+void
+LinearQuantizer::fit(const std::vector<double> &sample)
+{
+    if (sample.empty())
+        throw std::invalid_argument("cannot fit quantizer on empty sample");
+    const auto [lo, hi] = std::minmax_element(sample.begin(), sample.end());
+    min_ = *lo;
+    max_ = *hi;
+    fitted_ = true;
+}
+
+std::size_t
+LinearQuantizer::level(double value) const
+{
+    if (!fitted_)
+        throw std::logic_error("quantizer not fitted");
+    if (max_ == min_)
+        return 0;
+    const double t = (value - min_) / (max_ - min_);
+    const auto bin = static_cast<long>(t * static_cast<double>(levels_));
+    return static_cast<std::size_t>(
+        std::clamp<long>(bin, 0, static_cast<long>(levels_) - 1));
+}
+
+std::vector<double>
+LinearQuantizer::boundaries() const
+{
+    std::vector<double> out;
+    out.reserve(levels_ - 1);
+    const double width = (max_ - min_) / static_cast<double>(levels_);
+    for (std::size_t i = 1; i < levels_; ++i)
+        out.push_back(min_ + width * static_cast<double>(i));
+    return out;
+}
+
+} // namespace lookhd::quant

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Conventional equal-width ("linear") quantizer (paper Sec. II-A).
+ */
+
+#ifndef LOOKHD_QUANT_LINEAR_QUANTIZER_HPP
+#define LOOKHD_QUANT_LINEAR_QUANTIZER_HPP
+
+#include "quant/quantizer.hpp"
+
+namespace lookhd::quant {
+
+/**
+ * Splits [f_min, f_max] observed during fit() into q equal-width bins.
+ * Out-of-range values clamp to the extreme levels.
+ */
+class LinearQuantizer : public Quantizer
+{
+  public:
+    /** @param levels Number of bins q. @pre levels >= 2. */
+    explicit LinearQuantizer(std::size_t levels);
+
+    void fit(const std::vector<double> &sample) override;
+    std::size_t level(double value) const override;
+    std::size_t levels() const override { return levels_; }
+    std::vector<double> boundaries() const override;
+    bool fitted() const override { return fitted_; }
+
+    double fitMin() const { return min_; }
+    double fitMax() const { return max_; }
+
+  private:
+    std::size_t levels_;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    bool fitted_ = false;
+};
+
+} // namespace lookhd::quant
+
+#endif // LOOKHD_QUANT_LINEAR_QUANTIZER_HPP

@@ -1,0 +1,99 @@
+#include "quant/quantizer_bank.hpp"
+
+#include <stdexcept>
+
+#include "quant/boundary_quantizer.hpp"
+#include "quant/equalized_quantizer.hpp"
+#include "quant/linear_quantizer.hpp"
+
+namespace lookhd::quant {
+
+QuantizerBank::QuantizerBank(std::size_t levels, BankKind kind)
+    : levels_(levels), kind_(kind)
+{
+    if (levels < 2)
+        throw std::invalid_argument("bank needs at least 2 levels");
+}
+
+QuantizerBank
+QuantizerBank::fromBoundaries(
+    std::size_t levels, const std::vector<std::vector<double>> &bounds)
+{
+    QuantizerBank bank(levels, BankKind::kEqualized);
+    std::vector<std::unique_ptr<Quantizer>> restored;
+    restored.reserve(bounds.size());
+    for (const auto &b : bounds) {
+        if (b.size() + 1 != levels)
+            throw std::invalid_argument("boundary count mismatch");
+        restored.push_back(std::make_unique<BoundaryQuantizer>(b));
+    }
+    if (restored.empty())
+        throw std::invalid_argument("bank needs at least one feature");
+    bank.quantizers_ = std::move(restored);
+    return bank;
+}
+
+void
+QuantizerBank::fit(const data::Dataset &ds)
+{
+    if (ds.empty())
+        throw std::invalid_argument("cannot fit bank on empty dataset");
+    std::vector<std::vector<double>> columns(ds.numFeatures());
+    for (auto &col : columns)
+        col.reserve(ds.size());
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        const auto row = ds.row(i);
+        for (std::size_t f = 0; f < row.size(); ++f)
+            columns[f].push_back(row[f]);
+    }
+    fitColumns(columns);
+}
+
+void
+QuantizerBank::fitColumns(
+    const std::vector<std::vector<double>> &columns)
+{
+    if (columns.empty())
+        throw std::invalid_argument("bank needs at least one feature");
+    std::vector<std::unique_ptr<Quantizer>> fitted;
+    fitted.reserve(columns.size());
+    for (const auto &col : columns) {
+        std::unique_ptr<Quantizer> q;
+        if (kind_ == BankKind::kEqualized)
+            q = std::make_unique<EqualizedQuantizer>(levels_);
+        else
+            q = std::make_unique<LinearQuantizer>(levels_);
+        q->fit(col);
+        fitted.push_back(std::move(q));
+    }
+    quantizers_ = std::move(fitted);
+}
+
+std::size_t
+QuantizerBank::level(std::size_t feature, double value) const
+{
+    return at(feature).level(value);
+}
+
+std::vector<std::size_t>
+QuantizerBank::levelsOf(std::span<const double> row) const
+{
+    if (row.size() != numFeatures())
+        throw std::invalid_argument("row width mismatch");
+    std::vector<std::size_t> out(row.size());
+    for (std::size_t f = 0; f < row.size(); ++f)
+        out[f] = quantizers_[f]->level(row[f]);
+    return out;
+}
+
+const Quantizer &
+QuantizerBank::at(std::size_t feature) const
+{
+    if (!fitted())
+        throw std::logic_error("bank not fitted");
+    if (feature >= quantizers_.size())
+        throw std::out_of_range("feature index");
+    return *quantizers_[feature];
+}
+
+} // namespace lookhd::quant

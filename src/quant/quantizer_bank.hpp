@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-feature quantizer bank.
+ *
+ * The paper calibrates one quantizer over the pooled feature values,
+ * which works when all features share a range (its datasets are
+ * normalized). Real sensor vectors often mix features with wildly
+ * different scales; a bank fits an independent quantizer per feature
+ * column so every feature uses all q levels. The bank plugs into
+ * both encoders as a drop-in alternative to a global quantizer.
+ */
+
+#ifndef LOOKHD_QUANT_QUANTIZER_BANK_HPP
+#define LOOKHD_QUANT_QUANTIZER_BANK_HPP
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "quant/quantizer.hpp"
+
+namespace lookhd::quant {
+
+/** Which quantizer kind the bank instantiates per feature. */
+enum class BankKind
+{
+    kLinear,
+    kEqualized,
+};
+
+/** One independent quantizer per feature column. */
+class QuantizerBank
+{
+  public:
+    /**
+     * @param levels Number of levels q (shared by every feature).
+     * @param kind Per-feature quantizer kind.
+     */
+    QuantizerBank(std::size_t levels, BankKind kind);
+
+    /**
+     * Restore a fitted bank from explicit per-feature boundaries
+     * (deserialization). Every feature must carry levels - 1
+     * boundaries.
+     */
+    static QuantizerBank
+    fromBoundaries(std::size_t levels,
+                   const std::vector<std::vector<double>> &bounds);
+
+    /** Fit each feature's quantizer on its column of @p ds. */
+    void fit(const data::Dataset &ds);
+
+    /**
+     * Fit from explicit columns: columns[f] is the sample for
+     * feature f. @pre every column non-empty.
+     */
+    void fitColumns(const std::vector<std::vector<double>> &columns);
+
+    std::size_t levels() const { return levels_; }
+    std::size_t numFeatures() const { return quantizers_.size(); }
+    bool fitted() const { return !quantizers_.empty(); }
+
+    /** Level of @p value in feature @p feature's quantizer. */
+    std::size_t level(std::size_t feature, double value) const;
+
+    /** Quantize a whole row. @pre row.size() == numFeatures(). */
+    std::vector<std::size_t> levelsOf(std::span<const double> row) const;
+
+    /** The fitted quantizer of one feature. */
+    const Quantizer &at(std::size_t feature) const;
+
+  private:
+    std::size_t levels_;
+    BankKind kind_;
+    std::vector<std::unique_ptr<Quantizer>> quantizers_;
+};
+
+} // namespace lookhd::quant
+
+#endif // LOOKHD_QUANT_QUANTIZER_BANK_HPP

@@ -1,0 +1,69 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lookhd::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (!(hi > lo) || bins == 0)
+        throw std::invalid_argument("histogram needs hi > lo and bins > 0");
+}
+
+void
+Histogram::add(double x)
+{
+    const double span = hi_ - lo_;
+    auto bin = static_cast<long>((x - lo_) / span *
+                                 static_cast<double>(counts_.size()));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+void
+Histogram::addAll(const std::vector<double> &values)
+{
+    for (double v : values)
+        add(v);
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double
+Histogram::fraction(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(bin)) /
+           static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    const std::size_t peak =
+        *std::max_element(counts_.begin(), counts_.end());
+    std::string out;
+    char line[160];
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const std::size_t bar =
+            peak ? counts_[b] * width / peak : 0;
+        std::snprintf(line, sizeof(line), "%10.4f | %-6zu ",
+                      binCenter(b), counts_[b]);
+        out += line;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace lookhd::util

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fixed-bin histogram with ASCII rendering, used to reproduce the
+ * distribution plots in the paper (Figs. 3 and 8).
+ */
+
+#ifndef LOOKHD_UTIL_HISTOGRAM_HPP
+#define LOOKHD_UTIL_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lookhd::util {
+
+/** Equal-width histogram over [lo, hi]. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin. @pre hi > lo.
+     * @param bins Number of bins. @pre bins > 0.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one observation; out-of-range values clamp to edge bins. */
+    void add(double x);
+
+    /** Add every value in the sample. */
+    void addAll(const std::vector<double> &values);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+    std::size_t total() const { return total_; }
+
+    /** Center of the given bin. */
+    double binCenter(std::size_t bin) const;
+
+    /** Fraction of observations in the given bin (0 if empty). */
+    double fraction(std::size_t bin) const;
+
+    /**
+     * Render a horizontal-bar ASCII plot, one line per bin, bars scaled
+     * so the fullest bin spans @p width characters.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace lookhd::util
+
+#endif // LOOKHD_UTIL_HISTOGRAM_HPP

@@ -1,0 +1,153 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace lookhd::util {
+
+namespace {
+
+/** splitmix64 step, used to expand a 64-bit seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasGaussSpare_) {
+        hasGaussSpare_ = false;
+        return gaussSpare_;
+    }
+    double u, v, s;
+    do {
+        u = nextDouble(-1.0, 1.0);
+        v = nextDouble(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    gaussSpare_ = v * factor;
+    hasGaussSpare_ = true;
+    return u * factor;
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    return mean + stddev * nextGaussian();
+}
+
+int
+Rng::nextSign()
+{
+    return (next() >> 63) ? 1 : -1;
+}
+
+std::vector<std::int8_t>
+Rng::signVector(std::size_t n)
+{
+    std::vector<std::int8_t> out(n);
+    std::size_t i = 0;
+    while (i + 64 <= n) {
+        std::uint64_t bits = next();
+        for (int b = 0; b < 64; ++b, ++i) {
+            out[i] = (bits & 1) ? std::int8_t{1} : std::int8_t{-1};
+            bits >>= 1;
+        }
+    }
+    if (i < n) {
+        std::uint64_t bits = next();
+        for (; i < n; ++i) {
+            out[i] = (bits & 1) ? std::int8_t{1} : std::int8_t{-1};
+            bits >>= 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+Rng::sampleIndices(std::size_t n, std::size_t k)
+{
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + nextBelow(n - i);
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+Rng
+Rng::split()
+{
+    // Mix two outputs into a fresh seed so the child stream is
+    // decorrelated from the parent's continuation.
+    const std::uint64_t a = next();
+    const std::uint64_t b = next();
+    return Rng(a ^ rotl(b, 29) ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace lookhd::util

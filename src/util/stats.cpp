@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lookhd::util {
+
+Summary
+summarize(const std::vector<double> &values)
+{
+    Summary s;
+    if (values.empty())
+        return s;
+    RunningStats acc;
+    for (double v : values)
+        acc.push(v);
+    s.count = acc.count();
+    s.mean = acc.mean();
+    s.stddev = acc.stddev();
+    s.min = acc.min();
+    s.max = acc.max();
+    return s;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    return summarize(values).mean;
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    return summarize(values).stddev;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logsum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            throw std::invalid_argument("geomean requires positive values");
+        logsum += std::log(v);
+    }
+    return std::exp(logsum / static_cast<double>(values.size()));
+}
+
+double
+quantile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        throw std::invalid_argument("quantile of empty sample");
+    p = std::clamp(p, 0.0, 1.0);
+    std::sort(values.begin(), values.end());
+    const double pos = p * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        throw std::invalid_argument("pearson needs two equal-length samples");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+void
+RunningStats::push(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace lookhd::util

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers used by experiments and tests.
+ */
+
+#ifndef LOOKHD_UTIL_STATS_HPP
+#define LOOKHD_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace lookhd::util {
+
+/** Summary statistics of a sample. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0; ///< Population standard deviation.
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Compute summary statistics of a sample; empty input gives zeros. */
+Summary summarize(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation; 0 for fewer than two values. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Geometric mean; the paper's "on average N x" speedups aggregate
+ * per-application ratios this way. @pre all values > 0.
+ */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Empirical quantile with linear interpolation, p in [0, 1].
+ * @pre values non-empty.
+ */
+double quantile(std::vector<double> values, double p);
+
+/** Pearson correlation of two equal-length samples. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/** Incremental mean/variance accumulator (Welford). */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void push(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace lookhd::util
+
+#endif // LOOKHD_UTIL_STATS_HPP

@@ -1,0 +1,124 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lookhd::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        throw std::invalid_argument("table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        throw std::invalid_argument("row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            line += ' ';
+            line += cells[c];
+            line.append(widths[c] - cells[c].size(), ' ');
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string rule = "+";
+    for (std::size_t w : widths) {
+        rule.append(w + 2, '-');
+        rule += '+';
+    }
+    rule += '\n';
+
+    std::string out = rule + renderRow(headers_) + rule;
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    out += rule;
+    return out;
+}
+
+std::string
+Table::renderCsv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string q = "\"";
+        for (char ch : cell) {
+            if (ch == '"')
+                q += '"';
+            q += ch;
+        }
+        q += '"';
+        return q;
+    };
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                line += ',';
+            line += quote(cells[c]);
+        }
+        line += '\n';
+        return line;
+    };
+    std::string out = renderRow(headers_);
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtRatio(double value, int decimals)
+{
+    return fmt(value, decimals) + "x";
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    return fmt(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+fmtSi(double value, int decimals)
+{
+    const double mag = value < 0 ? -value : value;
+    if (mag >= 1e9)
+        return fmt(value / 1e9, decimals) + "G";
+    if (mag >= 1e6)
+        return fmt(value / 1e6, decimals) + "M";
+    if (mag >= 1e3)
+        return fmt(value / 1e3, decimals) + "k";
+    return fmt(value, decimals);
+}
+
+} // namespace lookhd::util

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ASCII table and CSV emitters so every bench binary can print its
+ * table/figure in the same layout the paper reports.
+ */
+
+#ifndef LOOKHD_UTIL_TABLE_HPP
+#define LOOKHD_UTIL_TABLE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lookhd::util {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"App", "Speedup", "Energy"});
+ *   t.addRow({"SPEECH", "28.3x", "97.4x"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row. @pre cells.size() == number of headers. */
+    void addRow(std::vector<std::string> cells);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+    /** Render with box-drawing separators. */
+    std::string render() const;
+
+    /** Render as CSV (RFC-4180-style quoting for commas/quotes). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmt(double value, int decimals = 2);
+
+/** Format a ratio as e.g. "28.3x". */
+std::string fmtRatio(double value, int decimals = 1);
+
+/** Format a fraction as e.g. "94.1%". */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+/** Format with SI suffix (k, M, G) for large magnitudes. */
+std::string fmtSi(double value, int decimals = 2);
+
+} // namespace lookhd::util
+
+#endif // LOOKHD_UTIL_TABLE_HPP

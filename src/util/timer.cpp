@@ -1,0 +1,4 @@
+#include "util/timer.hpp"
+
+// Header-only; this translation unit exists so the build exposes the
+// header through the library target and catches header breakage early.

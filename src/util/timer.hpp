@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock timing helper for the CPU-side measurements.
+ */
+
+#ifndef LOOKHD_UTIL_TIMER_HPP
+#define LOOKHD_UTIL_TIMER_HPP
+
+#include <chrono>
+
+namespace lookhd::util {
+
+/** Monotonic stopwatch. Starts running on construction. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+    /** Elapsed microseconds. */
+    double microseconds() const { return seconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace lookhd::util
+
+#endif // LOOKHD_UTIL_TIMER_HPP

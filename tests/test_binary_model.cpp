@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the binarized HDC model (Sec. VII comparison point).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/synthetic.hpp"
+#include "hdc/binary_model.hpp"
+#include "hdc/encoder.hpp"
+#include "hdc/trainer.hpp"
+#include "quant/equalized_quantizer.hpp"
+
+namespace {
+
+using namespace lookhd;
+using namespace lookhd::hdc;
+
+TEST(BinaryModel, BinarizesSigns)
+{
+    ClassModel model(4, 2);
+    model.classHv(0) = IntHv{3, -2, 0, 7};
+    model.classHv(1) = IntHv{-1, 1, -9, 2};
+    const BinaryModel bin(model);
+    EXPECT_EQ(bin.classHv(0), (BipolarHv{1, -1, 1, 1}));
+    EXPECT_EQ(bin.classHv(1), (BipolarHv{-1, 1, -1, 1}));
+}
+
+TEST(BinaryModel, PredictsObviousQueries)
+{
+    ClassModel model(64, 2);
+    IntHv a(64), b(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        a[i] = i % 2 ? 5 : -5;
+        b[i] = i % 2 ? -5 : 5;
+    }
+    model.classHv(0) = a;
+    model.classHv(1) = b;
+    const BinaryModel bin(model);
+    EXPECT_EQ(bin.predict(a), 0u);
+    EXPECT_EQ(bin.predict(b), 1u);
+}
+
+TEST(BinaryModel, ScoresAreHammingFractions)
+{
+    ClassModel model(8, 1);
+    model.classHv(0) = IntHv{1, 1, 1, 1, -1, -1, -1, -1};
+    const BinaryModel bin(model);
+    const IntHv query{1, 1, 1, 1, 1, 1, 1, 1};
+    const auto s = bin.scores(query);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_DOUBLE_EQ(s[0], 0.5);
+}
+
+TEST(BinaryModel, SizeIsOneBitPerDimension)
+{
+    ClassModel model(2000, 26);
+    const BinaryModel bin(model);
+    EXPECT_EQ(bin.sizeBytes(), (26u * 2000u + 7u) / 8u);
+    // 32x smaller than the int32 model.
+    EXPECT_LT(bin.sizeBytes() * 30, model.sizeBytes());
+}
+
+TEST(BinaryModel, LosesAccuracyVersusNonBinaryOnHardProblem)
+{
+    // Sec. VII: binary models give up accuracy on practical (noisy,
+    // weakly separated) workloads.
+    data::SyntheticSpec spec;
+    spec.numFeatures = 60;
+    spec.numClasses = 6;
+    spec.classSeparation = 0.35;
+    spec.labelNoise = 0.05;
+    spec.seed = 23;
+    auto [train, test] = data::makeTrainTest(spec, 600, 300);
+
+    util::Rng rng(29);
+    auto levels = std::make_shared<LevelMemory>(2000, 4, rng);
+    auto quant = std::make_shared<quant::EqualizedQuantizer>(4);
+    const auto vals = train.allValues();
+    quant->fit(std::vector<double>(vals.begin(), vals.end()));
+    BaselineEncoder encoder(levels, quant);
+
+    BaselineTrainer trainer(encoder);
+    TrainOptions opts;
+    opts.retrainEpochs = 5;
+    const TrainResult result = trainer.train(train, opts);
+
+    const double full_acc = trainer.evaluate(result.model, test);
+    const BinaryModel bin(result.model);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i)
+        correct += bin.predict(encoder.encode(test.row(i))) ==
+                   test.label(i);
+    const double bin_acc =
+        static_cast<double>(correct) / static_cast<double>(test.size());
+    EXPECT_LE(bin_acc, full_acc + 0.02);
+}
+
+} // namespace

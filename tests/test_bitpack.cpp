@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for bit-packed bipolar hypervectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hdc/bitpack.hpp"
+#include "hdc/similarity.hpp"
+
+namespace {
+
+using namespace lookhd::hdc;
+using lookhd::util::Rng;
+
+TEST(Bitpack, PackUnpackRoundTrip)
+{
+    Rng rng(1);
+    for (Dim d : {1u, 63u, 64u, 65u, 1000u, 2048u}) {
+        const BipolarHv hv = randomBipolar(d, rng);
+        const PackedHv packed(hv);
+        EXPECT_EQ(packed.dim(), d);
+        EXPECT_EQ(packed.unpack(), hv) << "d=" << d;
+    }
+}
+
+TEST(Bitpack, ElementAccess)
+{
+    BipolarHv hv{1, -1, -1, 1, 1};
+    PackedHv packed(hv);
+    EXPECT_EQ(packed.at(0), 1);
+    EXPECT_EQ(packed.at(1), -1);
+    EXPECT_EQ(packed.at(4), 1);
+    EXPECT_THROW(packed.at(5), std::out_of_range);
+}
+
+TEST(Bitpack, SetFlipsElements)
+{
+    PackedHv packed(Dim{10});
+    EXPECT_EQ(packed.at(3), -1);
+    packed.set(3, true);
+    EXPECT_EQ(packed.at(3), 1);
+    packed.set(3, false);
+    EXPECT_EQ(packed.at(3), -1);
+}
+
+TEST(Bitpack, EightTimesSmallerThanInt8)
+{
+    Rng rng(2);
+    const BipolarHv hv = randomBipolar(2048, rng);
+    const PackedHv packed(hv);
+    EXPECT_EQ(packed.sizeBytes(), 2048u / 8u);
+}
+
+TEST(Bitpack, MatchCountAgreesWithUnpacked)
+{
+    Rng rng(3);
+    for (Dim d : {64u, 100u, 1000u}) {
+        const BipolarHv a = randomBipolar(d, rng);
+        const BipolarHv b = randomBipolar(d, rng);
+        std::size_t expected = 0;
+        for (std::size_t i = 0; i < d; ++i)
+            expected += a[i] == b[i];
+        EXPECT_EQ(matchCount(PackedHv(a), PackedHv(b)), expected)
+            << "d=" << d;
+    }
+}
+
+TEST(Bitpack, HammingMatchesUnpackedVersion)
+{
+    Rng rng(4);
+    const BipolarHv a = randomBipolar(777, rng);
+    const BipolarHv b = randomBipolar(777, rng);
+    EXPECT_DOUBLE_EQ(hammingSimilarity(PackedHv(a), PackedHv(b)),
+                     hammingSimilarity(a, b));
+}
+
+TEST(Bitpack, DotMatchesUnpackedVersion)
+{
+    Rng rng(5);
+    const BipolarHv a = randomBipolar(513, rng);
+    const BipolarHv b = randomBipolar(513, rng);
+    EXPECT_EQ(dot(PackedHv(a), PackedHv(b)), dot(a, b));
+}
+
+TEST(Bitpack, IntQueryDotMatchesUnpacked)
+{
+    Rng rng(6);
+    const BipolarHv key = randomBipolar(300, rng);
+    IntHv query(300);
+    for (auto &v : query)
+        v = static_cast<std::int32_t>(rng.nextBelow(41)) - 20;
+    EXPECT_EQ(dot(query, PackedHv(key)), dot(query, key));
+}
+
+TEST(Bitpack, BindIsXnorAndInvolution)
+{
+    Rng rng(7);
+    const BipolarHv a = randomBipolar(200, rng);
+    const BipolarHv b = randomBipolar(200, rng);
+    const PackedHv pa(a), pb(b);
+    const PackedHv bound = pa.bind(pb);
+    // Agreement with the unpacked product.
+    EXPECT_EQ(bound.unpack(), lookhd::hdc::bind(a, b));
+    // Binding twice with the same key restores the original.
+    EXPECT_EQ(bound.bind(pb), pa);
+}
+
+TEST(Bitpack, SelfSimilarityIsOne)
+{
+    Rng rng(8);
+    const PackedHv p(randomBipolar(129, rng));
+    EXPECT_DOUBLE_EQ(hammingSimilarity(p, p), 1.0);
+    EXPECT_EQ(dot(p, p), 129);
+}
+
+TEST(Bitpack, DimensionMismatchThrows)
+{
+    PackedHv a(Dim{64}), b(Dim{65});
+    EXPECT_THROW(matchCount(a, b), std::invalid_argument);
+    EXPECT_THROW(a.bind(b), std::invalid_argument);
+}
+
+TEST(Bitpack, EqualityIncludesTailBits)
+{
+    // Two packed vectors equal iff every in-range element matches,
+    // regardless of operations that touched the tail word.
+    Rng rng(9);
+    const BipolarHv hv = randomBipolar(70, rng);
+    PackedHv a(hv);
+    const PackedHv b = a.bind(PackedHv(BipolarHv(70, 1)));
+    EXPECT_EQ(a, b); // binding with all-ones is the identity
+}
+
+} // namespace

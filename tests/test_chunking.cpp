@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tests for the feature-vector chunking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lookhd/chunking.hpp"
+
+namespace {
+
+using lookhd::ChunkSpec;
+
+TEST(ChunkSpec, EvenSplit)
+{
+    ChunkSpec s(20, 5);
+    EXPECT_EQ(s.numChunks(), 4u);
+    EXPECT_TRUE(s.uniform());
+    for (std::size_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(s.begin(c), c * 5);
+        EXPECT_EQ(s.length(c), 5u);
+    }
+}
+
+TEST(ChunkSpec, RaggedTail)
+{
+    // SPEECH: 617 features with r = 5 leaves a 2-feature tail.
+    ChunkSpec s(617, 5);
+    EXPECT_EQ(s.numChunks(), 124u);
+    EXPECT_FALSE(s.uniform());
+    EXPECT_EQ(s.length(122), 5u);
+    EXPECT_EQ(s.begin(123), 615u);
+    EXPECT_EQ(s.end(123), 617u);
+    EXPECT_EQ(s.length(123), 2u);
+}
+
+TEST(ChunkSpec, ChunksCoverEveryFeatureOnce)
+{
+    ChunkSpec s(53, 7);
+    std::size_t covered = 0;
+    for (std::size_t c = 0; c < s.numChunks(); ++c) {
+        EXPECT_EQ(s.begin(c), covered);
+        covered = s.end(c);
+    }
+    EXPECT_EQ(covered, 53u);
+}
+
+TEST(ChunkSpec, SingleChunkWhenChunkBiggerThanVector)
+{
+    ChunkSpec s(3, 10);
+    EXPECT_EQ(s.numChunks(), 1u);
+    EXPECT_EQ(s.length(0), 3u);
+}
+
+TEST(ChunkSpec, ChunkSizeOne)
+{
+    ChunkSpec s(4, 1);
+    EXPECT_EQ(s.numChunks(), 4u);
+    EXPECT_TRUE(s.uniform());
+}
+
+TEST(ChunkSpec, Validation)
+{
+    EXPECT_THROW(ChunkSpec(0, 5), std::invalid_argument);
+    EXPECT_THROW(ChunkSpec(5, 0), std::invalid_argument);
+    ChunkSpec s(10, 5);
+    EXPECT_THROW(s.end(2), std::out_of_range);
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the high-level LookHD Classifier facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "lookhd/classifier.hpp"
+
+namespace {
+
+using namespace lookhd;
+
+data::SyntheticSpec
+spec4(std::uint64_t seed, double separation = 1.0)
+{
+    data::SyntheticSpec spec;
+    spec.numFeatures = 40;
+    spec.numClasses = 4;
+    spec.classSeparation = separation;
+    spec.seed = seed;
+    return spec;
+}
+
+ClassifierConfig
+smallConfig()
+{
+    ClassifierConfig cfg;
+    cfg.dim = 1000;
+    cfg.quantLevels = 4;
+    cfg.chunkSize = 5;
+    cfg.retrainEpochs = 5;
+    return cfg;
+}
+
+TEST(Classifier, FitPredictEvaluate)
+{
+    auto [train, test] = data::makeTrainTest(spec4(1), 400, 100);
+    Classifier clf(smallConfig());
+    EXPECT_FALSE(clf.fitted());
+    clf.fit(train);
+    EXPECT_TRUE(clf.fitted());
+    EXPECT_GT(clf.evaluate(test), 0.85);
+    EXPECT_LT(clf.predict(test.row(0)), 4u);
+    EXPECT_EQ(clf.scores(test.row(0)).size(), 4u);
+}
+
+TEST(Classifier, DeterministicWithSameSeed)
+{
+    auto [train, test] = data::makeTrainTest(spec4(3), 200, 50);
+    Classifier a(smallConfig()), b(smallConfig());
+    a.fit(train);
+    b.fit(train);
+    for (std::size_t i = 0; i < test.size(); ++i)
+        EXPECT_EQ(a.predict(test.row(i)), b.predict(test.row(i)));
+    EXPECT_EQ(a.retrainHistory(), b.retrainHistory());
+}
+
+TEST(Classifier, DifferentSeedsGiveDifferentModels)
+{
+    auto [train, test] = data::makeTrainTest(spec4(5), 200, 50);
+    ClassifierConfig cfg = smallConfig();
+    Classifier a(cfg);
+    cfg.seed = 777;
+    Classifier b(cfg);
+    a.fit(train);
+    b.fit(train);
+    bool differs = false;
+    for (std::size_t i = 0; i < test.size() && !differs; ++i)
+        differs = a.scores(test.row(i)) != b.scores(test.row(i));
+    EXPECT_TRUE(differs);
+}
+
+TEST(Classifier, UncompressedModeWorks)
+{
+    auto [train, test] = data::makeTrainTest(spec4(7), 300, 100);
+    ClassifierConfig cfg = smallConfig();
+    cfg.compressModel = false;
+    Classifier clf(cfg);
+    clf.fit(train);
+    EXPECT_GT(clf.evaluate(test), 0.85);
+    EXPECT_THROW(clf.compressedModel(), std::logic_error);
+    EXPECT_EQ(clf.modelSizeBytes(), clf.uncompressedModel().sizeBytes());
+}
+
+TEST(Classifier, CompressedModelIsSmaller)
+{
+    auto [train, test] = data::makeTrainTest(spec4(9), 200, 20);
+    Classifier clf(smallConfig());
+    clf.fit(train);
+    EXPECT_LT(clf.modelSizeBytes(),
+              clf.uncompressedModel().sizeBytes());
+}
+
+TEST(Classifier, CompressedAccuracyCloseToUncompressed)
+{
+    // k = 4 is well under the paper's 12-class loss-free bound.
+    auto [train, test] = data::makeTrainTest(spec4(11), 400, 200);
+    ClassifierConfig cfg = smallConfig();
+    Classifier compressed(cfg);
+    cfg.compressModel = false;
+    Classifier exact(cfg);
+    compressed.fit(train);
+    exact.fit(train);
+    EXPECT_NEAR(compressed.evaluate(test), exact.evaluate(test), 0.05);
+}
+
+TEST(Classifier, RetrainHistoryLength)
+{
+    auto [train, test] = data::makeTrainTest(spec4(13), 150, 10);
+    ClassifierConfig cfg = smallConfig();
+    cfg.retrainEpochs = 3;
+    Classifier clf(cfg);
+    clf.fit(train);
+    EXPECT_EQ(clf.retrainHistory().size(), 4u);
+}
+
+TEST(Classifier, EqualizedBeatsLinearOnSkewedData)
+{
+    // The Sec. III-B claim at q = 4, on strongly skewed features.
+    data::SyntheticSpec spec = spec4(15, 0.7);
+    spec.skew = 1.2;
+    auto [train, test] = data::makeTrainTest(spec, 500, 300);
+
+    ClassifierConfig cfg = smallConfig();
+    cfg.quantization = QuantizationKind::kEqualized;
+    Classifier eq(cfg);
+    cfg.quantization = QuantizationKind::kLinear;
+    Classifier lin(cfg);
+    eq.fit(train);
+    lin.fit(train);
+    EXPECT_GE(eq.evaluate(test), lin.evaluate(test) - 0.02);
+}
+
+TEST(Classifier, GroupedCompressionConfig)
+{
+    data::SyntheticSpec spec = spec4(17);
+    spec.numClasses = 9;
+    auto [train, test] = data::makeTrainTest(spec, 450, 90);
+    ClassifierConfig cfg = smallConfig();
+    cfg.compression.maxClassesPerGroup = 4;
+    Classifier clf(cfg);
+    clf.fit(train);
+    EXPECT_EQ(clf.compressedModel().numGroups(), 3u);
+    EXPECT_GT(clf.evaluate(test), 0.7);
+}
+
+TEST(Classifier, ErrorsBeforeFitAndOnBadConfig)
+{
+    Classifier clf(smallConfig());
+    EXPECT_THROW(clf.predict(std::vector<double>(40, 0.0)),
+                 std::logic_error);
+    EXPECT_THROW(clf.encoder(), std::logic_error);
+    EXPECT_THROW(clf.modelSizeBytes(), std::logic_error);
+
+    ClassifierConfig bad = smallConfig();
+    bad.quantLevels = 1;
+    EXPECT_THROW(Classifier{bad}, std::invalid_argument);
+    bad = smallConfig();
+    bad.dim = 0;
+    EXPECT_THROW(Classifier{bad}, std::invalid_argument);
+}
+
+TEST(Classifier, RejectsEmptyTrainingSet)
+{
+    Classifier clf(smallConfig());
+    data::Dataset empty(40, 4);
+    EXPECT_THROW(clf.fit(empty), std::invalid_argument);
+}
+
+/** Dimensionality sweep: accuracy is robust down to D ~ 1000. */
+class DimSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(DimSweep, AccuracyHoldsAcrossDimensions)
+{
+    auto [train, test] = data::makeTrainTest(spec4(19, 1.2), 300, 150);
+    ClassifierConfig cfg = smallConfig();
+    cfg.dim = GetParam();
+    Classifier clf(cfg);
+    clf.fit(train);
+    EXPECT_GT(clf.evaluate(test), 0.85) << "D = " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DimSweep,
+                         ::testing::Values(1000, 2000, 4000));
+
+} // namespace

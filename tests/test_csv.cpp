@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the CSV dataset loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/csv.hpp"
+
+namespace {
+
+using namespace lookhd::data;
+
+TEST(Csv, ParsesLabelLastLayout)
+{
+    std::stringstream in("1.0,2.0,0\n3.5,-1.25,1\n0.0,0.0,0\n");
+    const Dataset ds = readCsv(in);
+    EXPECT_EQ(ds.size(), 3u);
+    EXPECT_EQ(ds.numFeatures(), 2u);
+    EXPECT_EQ(ds.numClasses(), 2u);
+    EXPECT_DOUBLE_EQ(ds.row(1)[0], 3.5);
+    EXPECT_DOUBLE_EQ(ds.row(1)[1], -1.25);
+    EXPECT_EQ(ds.label(1), 1u);
+}
+
+TEST(Csv, ParsesLabelFirstLayout)
+{
+    std::stringstream in("2,1.0,9.0\n5,0.5,8.0\n");
+    CsvOptions opts;
+    opts.labelColumn = LabelColumn::kFirst;
+    const Dataset ds = readCsv(in, opts);
+    EXPECT_EQ(ds.numFeatures(), 2u);
+    EXPECT_DOUBLE_EQ(ds.row(0)[0], 1.0);
+    EXPECT_DOUBLE_EQ(ds.row(0)[1], 9.0);
+}
+
+TEST(Csv, RemapsLabelsToContiguousIds)
+{
+    // ISOLET-style 1-based (or arbitrary) labels become 0-based in
+    // order of first appearance.
+    std::stringstream in("0.1,7\n0.2,3\n0.3,7\n0.4,12\n");
+    const Dataset ds = readCsv(in);
+    EXPECT_EQ(ds.numClasses(), 3u);
+    EXPECT_EQ(ds.label(0), 0u); // 7
+    EXPECT_EQ(ds.label(1), 1u); // 3
+    EXPECT_EQ(ds.label(2), 0u); // 7 again
+    EXPECT_EQ(ds.label(3), 2u); // 12
+}
+
+TEST(Csv, SkipsHeaderRows)
+{
+    std::stringstream in("f1,f2,label\n1.0,2.0,0\n");
+    CsvOptions opts;
+    opts.skipRows = 1;
+    const Dataset ds = readCsv(in, opts);
+    EXPECT_EQ(ds.size(), 1u);
+}
+
+TEST(Csv, SkipsBlankLines)
+{
+    std::stringstream in("1.0,0\n\n2.0,1\n   \n");
+    const Dataset ds = readCsv(in);
+    EXPECT_EQ(ds.size(), 2u);
+}
+
+TEST(Csv, CustomDelimiter)
+{
+    std::stringstream in("1.0;2.0;0\n");
+    CsvOptions opts;
+    opts.delimiter = ';';
+    const Dataset ds = readCsv(in, opts);
+    EXPECT_EQ(ds.numFeatures(), 2u);
+}
+
+TEST(Csv, RejectsRaggedRows)
+{
+    std::stringstream in("1.0,2.0,0\n1.0,1\n");
+    EXPECT_THROW(readCsv(in), std::runtime_error);
+}
+
+TEST(Csv, RejectsGarbageFields)
+{
+    std::stringstream in("1.0,banana,0\n");
+    EXPECT_THROW(readCsv(in), std::runtime_error);
+}
+
+TEST(Csv, RejectsNonIntegerLabels)
+{
+    std::stringstream in("1.0,2.0,0.5\n");
+    EXPECT_THROW(readCsv(in), std::runtime_error);
+}
+
+TEST(Csv, RejectsEmptyInput)
+{
+    std::stringstream in("");
+    EXPECT_THROW(readCsv(in), std::runtime_error);
+    EXPECT_THROW(readCsvFile("/nonexistent.csv"), std::runtime_error);
+}
+
+TEST(Csv, HandlesWindowsLineEndings)
+{
+    std::stringstream in("1.0,2.0,0\r\n3.0,4.0,1\r\n");
+    const Dataset ds = readCsv(in);
+    EXPECT_EQ(ds.size(), 2u);
+    EXPECT_DOUBLE_EQ(ds.row(1)[1], 4.0);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the Dataset container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+
+namespace {
+
+using lookhd::data::Dataset;
+using lookhd::util::Rng;
+
+Dataset
+tinyDataset()
+{
+    Dataset ds(3, 2);
+    ds.add(std::vector<double>{1.0, 2.0, 3.0}, 0);
+    ds.add(std::vector<double>{4.0, 5.0, 6.0}, 1);
+    ds.add(std::vector<double>{7.0, 8.0, 9.0}, 0);
+    return ds;
+}
+
+TEST(Dataset, ShapeAndAccess)
+{
+    const Dataset ds = tinyDataset();
+    EXPECT_EQ(ds.size(), 3u);
+    EXPECT_EQ(ds.numFeatures(), 3u);
+    EXPECT_EQ(ds.numClasses(), 2u);
+    EXPECT_EQ(ds.label(1), 1u);
+    const auto row = ds.row(2);
+    EXPECT_DOUBLE_EQ(row[0], 7.0);
+    EXPECT_DOUBLE_EQ(row[2], 9.0);
+}
+
+TEST(Dataset, RejectsBadShapes)
+{
+    EXPECT_THROW(Dataset(0, 2), std::invalid_argument);
+    EXPECT_THROW(Dataset(3, 0), std::invalid_argument);
+    Dataset ds(3, 2);
+    EXPECT_THROW(ds.add(std::vector<double>{1.0}, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(ds.add(std::vector<double>{1.0, 2.0, 3.0}, 2),
+                 std::invalid_argument);
+    EXPECT_THROW(ds.row(0), std::out_of_range);
+}
+
+TEST(Dataset, ClassCounts)
+{
+    const Dataset ds = tinyDataset();
+    const auto counts = ds.classCounts();
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(Dataset, AllValuesFlat)
+{
+    const Dataset ds = tinyDataset();
+    const auto vals = ds.allValues();
+    ASSERT_EQ(vals.size(), 9u);
+    EXPECT_DOUBLE_EQ(vals[0], 1.0);
+    EXPECT_DOUBLE_EQ(vals[8], 9.0);
+}
+
+TEST(Dataset, SampleValuesSizeAndMembership)
+{
+    const Dataset ds = tinyDataset();
+    Rng rng(5);
+    const auto sample = ds.sampleValues(0.5, rng);
+    EXPECT_EQ(sample.size(), 4u); // floor(0.5 * 9)
+    for (double v : sample)
+        EXPECT_TRUE(v >= 1.0 && v <= 9.0);
+    EXPECT_THROW(ds.sampleValues(0.0, rng), std::invalid_argument);
+    EXPECT_THROW(ds.sampleValues(1.5, rng), std::invalid_argument);
+}
+
+TEST(Dataset, SplitPartitionsAllPoints)
+{
+    Dataset ds(2, 3);
+    for (int i = 0; i < 30; ++i)
+        ds.add(std::vector<double>{double(i), double(-i)},
+               static_cast<std::size_t>(i % 3));
+    Rng rng(7);
+    const auto [train, test] = ds.split(0.7, rng);
+    EXPECT_EQ(train.size(), 21u);
+    EXPECT_EQ(test.size(), 9u);
+    EXPECT_EQ(train.numFeatures(), 2u);
+    EXPECT_EQ(test.numClasses(), 3u);
+
+    // Every original first-feature value appears exactly once.
+    std::vector<double> seen;
+    for (std::size_t i = 0; i < train.size(); ++i)
+        seen.push_back(train.row(i)[0]);
+    for (std::size_t i = 0; i < test.size(); ++i)
+        seen.push_back(test.row(i)[0]);
+    std::sort(seen.begin(), seen.end());
+    for (int i = 0; i < 30; ++i)
+        EXPECT_DOUBLE_EQ(seen[static_cast<std::size_t>(i)], double(i));
+}
+
+TEST(Dataset, SplitValidatesFraction)
+{
+    const Dataset ds = tinyDataset();
+    Rng rng(9);
+    EXPECT_THROW(ds.split(0.0, rng), std::invalid_argument);
+    EXPECT_THROW(ds.split(1.0, rng), std::invalid_argument);
+}
+
+} // namespace

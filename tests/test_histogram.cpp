@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the fixed-bin histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+namespace {
+
+using lookhd::util::Histogram;
+
+TEST(Histogram, CountsLandInRightBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(5.9);
+    h.add(9.5);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(5), 2u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(42.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, UpperEdgeGoesToLastBin)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(1.0);
+    EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Histogram, FractionsSumToOne)
+{
+    Histogram h(0.0, 1.0, 8);
+    for (int i = 0; i < 100; ++i)
+        h.add(i / 100.0);
+    double sum = 0.0;
+    for (std::size_t b = 0; b < h.bins(); ++b)
+        sum += h.fraction(b);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, FractionOfEmptyIsZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.0);
+}
+
+TEST(Histogram, AddAll)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.addAll({0.5, 1.5, 2.5, 3.5});
+    for (std::size_t b = 0; b < 4; ++b)
+        EXPECT_EQ(h.count(b), 1u);
+}
+
+TEST(Histogram, RenderHasOneLinePerBin)
+{
+    Histogram h(0.0, 1.0, 6);
+    h.addAll({0.1, 0.1, 0.9});
+    const std::string out = h.render(20);
+    std::size_t lines = 0;
+    for (char c : out)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 6u);
+}
+
+TEST(Histogram, InvalidConstructionThrows)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Golden-value regression tests for the hardware cost models.
+ *
+ * The models are calibrated so the bench suite reproduces the paper's
+ * ratios (EXPERIMENTS.md); these tests pin the calibrated outputs
+ * within a tolerance so an accidental constant change shows up as a
+ * test failure instead of silently bending every figure. Update the
+ * goldens deliberately when recalibrating, together with
+ * EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/apps.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/fpga_model.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/report.hpp"
+
+namespace {
+
+using namespace lookhd;
+using namespace lookhd::hw;
+
+/** Expect value within +-15% of the golden. */
+void
+expectNear(double value, double golden, const char *what)
+{
+    EXPECT_GT(value, 0.85 * golden) << what;
+    EXPECT_LT(value, 1.15 * golden) << what;
+}
+
+AppParams
+speech()
+{
+    return appParamsFor(data::appByName("SPEECH"), 2000, 4, 5);
+}
+
+TEST(HwGolden, FpgaTrainingCosts)
+{
+    FpgaModel fpga;
+    const AppParams p = speech();
+    // Captured from the calibrated models (see EXPERIMENTS.md).
+    expectNear(fpga.baselineTrain(p).seconds, 1.09e-3,
+               "baseline FPGA train");
+    expectNear(fpga.lookhdTrain(p).seconds, 70.3e-6,
+               "LookHD FPGA train");
+}
+
+TEST(HwGolden, FpgaInferenceCosts)
+{
+    FpgaModel fpga;
+    const AppParams p = speech();
+    expectNear(fpga.baselineInferQuery(p).seconds, 418.7e-9,
+               "baseline FPGA infer");
+    expectNear(fpga.lookhdInferQuery(p).seconds, 174.2e-9,
+               "LookHD FPGA infer");
+}
+
+TEST(HwGolden, TrainingSpeedupRatios)
+{
+    // Fig. 13's headline numbers (geomean of per-app ratios is
+    // checked in the bench; here the SPEECH point).
+    FpgaModel fpga;
+    const AppParams q2 =
+        appParamsFor(data::appByName("SPEECH"), 2000, 2, 5);
+    const AppParams q4 = speech();
+    const double s2 = fpga.baselineTrain(q2).seconds /
+                      fpga.lookhdTrain(q2).seconds;
+    const double s4 = fpga.baselineTrain(q4).seconds /
+                      fpga.lookhdTrain(q4).seconds;
+    expectNear(s2, 33.9, "SPEECH q=2 train speedup");
+    expectNear(s4, 15.4, "SPEECH q=4 train speedup");
+}
+
+TEST(HwGolden, CpuCosts)
+{
+    CpuModel cpu;
+    const AppParams p = speech();
+    expectNear(cpu.baselineTrain(p).seconds, 0.338,
+               "baseline CPU train");
+    expectNear(cpu.baselineInferQuery(p).seconds, 302.9e-6,
+               "baseline CPU infer");
+    expectNear(cpu.lookhdInferQuery(p).seconds, 96.0e-6,
+               "LookHD CPU infer");
+}
+
+TEST(HwGolden, GpuRelativePosition)
+{
+    // Table III anchors: GPU train ~parity with baseline FPGA, infer
+    // ~1.5x above it.
+    FpgaModel fpga;
+    GpuModel gpu;
+    const AppParams p = speech();
+    const double train_ratio = fpga.baselineTrain(p).seconds /
+                               gpu.baselineTrain(p).seconds;
+    const double infer_ratio =
+        fpga.baselineInferQuery(p).seconds /
+        gpu.baselineInferQuery(p).seconds;
+    EXPECT_GT(train_ratio, 0.5);
+    EXPECT_LT(train_ratio, 2.5);
+    EXPECT_GT(infer_ratio, 0.8);
+    EXPECT_LT(infer_ratio, 3.0);
+}
+
+TEST(HwGolden, ModelSizes)
+{
+    FpgaModel fpga;
+    AppParams p = speech();
+    p.modelGroups = 3; // grouped <=12 for k = 26
+    EXPECT_EQ(fpga.baselineModelBytes(p), 26u * 2000u * 4u);
+    EXPECT_EQ(fpga.lookhdModelBytes(p),
+              3u * 2000u * 4u + (26u * 2000u + 7u) / 8u);
+}
+
+} // namespace

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Tests for the FPGA/CPU/GPU cost models: invariants the paper's
+ * efficiency claims rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/mlp_fpga_model.hpp"
+#include "data/apps.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/fpga_model.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/report.hpp"
+
+namespace {
+
+using namespace lookhd;
+using namespace lookhd::hw;
+
+AppParams
+speechParams(std::size_t q = 4)
+{
+    return appParamsFor(data::appByName("SPEECH"), 2000, q, 5);
+}
+
+TEST(Resources, Kc705Budget)
+{
+    const FpgaDevice dev = kintex7Kc705();
+    EXPECT_EQ(dev.dsps, 840u);
+    EXPECT_EQ(dev.bram36, 445u);
+    EXPECT_DOUBLE_EQ(dev.clockNs, 5.0);
+    EXPECT_DOUBLE_EQ(dev.clockHz(), 2e8);
+}
+
+TEST(Resources, UtilizationFits)
+{
+    const FpgaDevice dev = kintex7Kc705();
+    Utilization u;
+    u.luts = dev.luts;
+    u.dsps = dev.dsps;
+    EXPECT_TRUE(u.fits(dev));
+    u.dsps = dev.dsps + 1;
+    EXPECT_FALSE(u.fits(dev));
+    EXPECT_NEAR(u.lutFrac(dev), 1.0, 1e-12);
+}
+
+TEST(EnergyCost, Composition)
+{
+    Cost a{100, 1e-6, 2e-9, 1e-9};
+    Cost b{50, 5e-7, 1e-9, 5e-10};
+    const Cost sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.cycles, 150.0);
+    EXPECT_DOUBLE_EQ(sum.energyJ(), 4.5e-9);
+    const Cost twice = a.scaled(2.0);
+    EXPECT_DOUBLE_EQ(twice.seconds, 2e-6);
+    EXPECT_DOUBLE_EQ(a.edp(), a.energyJ() * a.seconds);
+}
+
+TEST(AppParamsTest, DerivedQuantities)
+{
+    AppParams p = speechParams();
+    EXPECT_EQ(p.m(), 124u); // ceil(617 / 5)
+    EXPECT_DOUBLE_EQ(p.addressSpace(), 1024.0);
+    EXPECT_NEAR(p.samplesPerClass(), 100.0, 0.1);
+    EXPECT_EQ(p.chunkElemBits(), 4u); // range [-5, 5] -> 11 values
+}
+
+TEST(AppParamsTest, ActiveRowsBounded)
+{
+    AppParams p = speechParams(2);
+    // q^r = 32 < 100 samples/class -> bounded by the address space.
+    EXPECT_LE(p.activeRowsPerClassChunk(), 32.0);
+    p = speechParams(8);
+    // q^r = 32768 >> 100 -> bounded by samples.
+    EXPECT_LE(p.activeRowsPerClassChunk(), p.samplesPerClass());
+}
+
+TEST(FpgaModelTest, SearchWindowMatchesPaperExamples)
+{
+    FpgaModel fpga;
+    // Sec. V-B: "for ACTIVITY and FACE with ... classes, our
+    // implementation can parallelize ... d' = 64 and d' = 256".
+    EXPECT_EQ(fpga.searchWindow(2), 256u);
+    EXPECT_LE(fpga.searchWindow(12), 64u);
+    EXPECT_GE(fpga.searchWindow(12), 32u);
+    EXPECT_GE(fpga.searchWindow(0), 1u);
+}
+
+TEST(FpgaModelTest, LookhdTrainsMuchFasterThanBaseline)
+{
+    FpgaModel fpga;
+    for (const auto &app : data::paperApps()) {
+        const AppParams p = appParamsFor(app, 2000, app.lookhdQ, 5);
+        const Cost base = fpga.baselineTrain(p);
+        const Cost look = fpga.lookhdTrain(p);
+        EXPECT_GT(base.seconds / look.seconds, 3.0) << app.name;
+        EXPECT_GT(base.energyJ() / look.energyJ(), 3.0) << app.name;
+    }
+}
+
+TEST(FpgaModelTest, SmallerQTrainsFaster)
+{
+    // Fig. 13's tradeoff: q = 2 beats q = 4 beats q = 8.
+    FpgaModel fpga;
+    const Cost q2 = fpga.lookhdTrain(speechParams(2));
+    const Cost q4 = fpga.lookhdTrain(speechParams(4));
+    const Cost q8 = fpga.lookhdTrain(speechParams(8));
+    EXPECT_LT(q2.seconds, q4.seconds);
+    EXPECT_LE(q4.seconds, q8.seconds * 1.001);
+}
+
+TEST(FpgaModelTest, LookhdInferenceFasterAndSmaller)
+{
+    FpgaModel fpga;
+    for (const auto &app : data::paperApps()) {
+        const AppParams p = appParamsFor(app, 2000, app.lookhdQ, 5);
+        const Cost base = fpga.baselineInferQuery(p);
+        const Cost look = fpga.lookhdInferQuery(p);
+        EXPECT_GT(base.seconds / look.seconds, 1.2) << app.name;
+        EXPECT_LT(fpga.lookhdModelBytes(p), fpga.baselineModelBytes(p))
+            << app.name;
+    }
+}
+
+TEST(FpgaModelTest, RetrainEpochFavorsLookhd)
+{
+    FpgaModel fpga;
+    const AppParams p = speechParams();
+    const Cost base = fpga.baselineRetrainEpoch(p);
+    const Cost look = fpga.lookhdRetrainEpoch(p);
+    EXPECT_GT(base.seconds / look.seconds, 1.2);
+}
+
+TEST(FpgaModelTest, UtilizationsFitDevice)
+{
+    FpgaModel fpga;
+    for (const auto &app : data::paperApps()) {
+        const AppParams p = appParamsFor(app, 2000, app.lookhdQ, 5);
+        EXPECT_TRUE(fpga.baselineTrainUtilization(p).fits(fpga.device()));
+        EXPECT_TRUE(fpga.baselineInferUtilization(p).fits(fpga.device()));
+        EXPECT_TRUE(fpga.lookhdTrainUtilization(p).fits(fpga.device()));
+        EXPECT_TRUE(fpga.lookhdInferUtilization(p).fits(fpga.device()));
+    }
+}
+
+TEST(FpgaModelTest, InferUtilizationUsesDsps)
+{
+    FpgaModel fpga;
+    const AppParams p = speechParams();
+    EXPECT_GT(fpga.lookhdInferUtilization(p).dsps, 0u);
+    EXPECT_EQ(fpga.baselineTrainUtilization(p).dsps, 0u);
+}
+
+TEST(FpgaModelTest, OversizedTablesSpillToDramAndSlowDown)
+{
+    // q = 8, r = 5 -> 32768 rows x 2000 dims exceeds the KC705's
+    // BRAM; the model must charge DRAM bandwidth for the weighted
+    // accumulation (the paper's "limited by the RAM bandwidth").
+    FpgaModel fpga;
+    const AppParams in_bram = speechParams(4);  // 1 MiB table
+    const AppParams in_dram = speechParams(8);  // 32 MiB table
+    const double bram_bytes =
+        in_bram.addressSpace() * static_cast<double>(in_bram.dim) *
+        static_cast<double>(in_bram.chunkElemBits()) / 8.0;
+    const double dram_bytes =
+        in_dram.addressSpace() * static_cast<double>(in_dram.dim) *
+        static_cast<double>(in_dram.chunkElemBits()) / 8.0;
+    ASSERT_LT(bram_bytes,
+              static_cast<double>(fpga.device().bramBytes()));
+    ASSERT_GT(dram_bytes,
+              static_cast<double>(fpga.device().bramBytes()));
+    // The spill makes q = 8 training clearly slower than q = 4 even
+    // though the active counter rows barely differ.
+    EXPECT_GT(fpga.lookhdTrain(in_dram).seconds,
+              fpga.lookhdTrain(in_bram).seconds * 1.5);
+}
+
+TEST(FpgaModelTest, CostsScaleWithDimensionality)
+{
+    FpgaModel fpga;
+    AppParams small = speechParams();
+    AppParams big = small;
+    big.dim = 4 * small.dim;
+    EXPECT_GT(fpga.baselineTrain(big).seconds,
+              fpga.baselineTrain(small).seconds * 2.0);
+    EXPECT_GT(fpga.lookhdInferQuery(big).seconds,
+              fpga.lookhdInferQuery(small).seconds * 1.5);
+}
+
+TEST(CpuModelTest, Fig2BreakdownFractions)
+{
+    // Fig. 2: encoding dominates baseline training (~80%); the
+    // associative search takes a major share of inference and
+    // dominates for many-class, few-feature apps like PHYSICAL.
+    CpuModel cpu;
+    double enc_frac_sum = 0.0, search_frac_sum = 0.0;
+    for (const auto &app : data::paperApps()) {
+        const AppParams p = appParamsFor(app, 2000, app.paperQ, 5);
+        enc_frac_sum += cpu.baselineTrainEncodingFraction(p);
+        search_frac_sum += cpu.baselineInferSearchFraction(p);
+    }
+    EXPECT_GT(enc_frac_sum / 5.0, 0.75);
+    EXPECT_GT(search_frac_sum / 5.0, 0.35);
+
+    const AppParams physical =
+        appParamsFor(data::appByName("PHYSICAL"), 2000, 8, 5);
+    EXPECT_GT(cpu.baselineInferSearchFraction(physical), 0.8);
+}
+
+TEST(CpuModelTest, LookhdFasterThanBaseline)
+{
+    CpuModel cpu;
+    for (const auto &app : data::paperApps()) {
+        const AppParams p = appParamsFor(app, 2000, app.lookhdQ, 5);
+        EXPECT_GT(cpu.baselineTrain(p).seconds,
+                  cpu.lookhdTrain(p).seconds)
+            << app.name;
+        EXPECT_GT(cpu.baselineInferQuery(p).seconds,
+                  cpu.lookhdInferQuery(p).seconds)
+            << app.name;
+        EXPECT_GT(cpu.baselineRetrainEpoch(p).seconds,
+                  cpu.lookhdRetrainEpoch(p).seconds)
+            << app.name;
+    }
+}
+
+TEST(CpuModelTest, FpgaBeatsCpuHandily)
+{
+    // The paper: baseline FPGA is orders of magnitude faster than the
+    // A53 for training.
+    FpgaModel fpga;
+    CpuModel cpu;
+    const AppParams p = speechParams();
+    EXPECT_GT(cpu.baselineTrain(p).seconds /
+                  fpga.baselineTrain(p).seconds,
+              50.0);
+}
+
+TEST(CpuModelTest, EnergyIsPowerTimesTime)
+{
+    CpuModel cpu;
+    const AppParams p = speechParams();
+    const Cost c = cpu.baselineTrain(p);
+    EXPECT_NEAR(c.energyJ(),
+                cpu.device().activePowerW * c.seconds,
+                1e-12 * c.energyJ());
+}
+
+TEST(GpuModelTest, FasterThanCpuButPowerHungry)
+{
+    GpuModel gpu;
+    CpuModel cpu;
+    const AppParams p = speechParams();
+    const Cost g = gpu.baselineTrain(p);
+    const Cost c = cpu.baselineTrain(p);
+    EXPECT_LT(g.seconds, c.seconds);      // faster
+    EXPECT_GT(g.energyJ() / g.seconds, 50.0); // but >50 W
+}
+
+TEST(GpuModelTest, LookhdFpgaBeatsGpuOnEnergy)
+{
+    // Table III: LookHD is ~60-110x more energy-efficient than GPU.
+    GpuModel gpu;
+    FpgaModel fpga;
+    const AppParams p = speechParams();
+    const double ratio = gpu.baselineTrain(p).energyJ() /
+                         fpga.lookhdTrain(p).energyJ();
+    EXPECT_GT(ratio, 10.0);
+}
+
+TEST(MlpFpgaModelTest, MacCounting)
+{
+    const std::vector<std::size_t> sizes{617, 128, 26};
+    EXPECT_EQ(baseline::MlpFpgaModel::forwardMacs(sizes),
+              617u * 128u + 128u * 26u);
+    EXPECT_EQ(baseline::MlpFpgaModel::modelBytes(sizes),
+              (617u * 128u + 128u + 128u * 26u + 26u) * 4u);
+    EXPECT_THROW(baseline::MlpFpgaModel::forwardMacs({10}),
+                 std::invalid_argument);
+}
+
+TEST(MlpFpgaModelTest, TrainingCostsThreePassesPerSample)
+{
+    baseline::MlpFpgaModel mlp;
+    const std::vector<std::size_t> sizes{100, 64, 10};
+    const Cost infer = mlp.inferQuery(sizes);
+    const Cost train = mlp.train(sizes, 10, 1);
+    EXPECT_NEAR(train.cycles, infer.cycles * 30.0, 1e-6);
+}
+
+TEST(MlpFpgaModelTest, LookhdBeatsMlpOnFpga)
+{
+    // Table IV's direction: LookHD trains and infers faster than the
+    // FPGA MLP for every app.
+    FpgaModel fpga;
+    baseline::MlpFpgaModel mlp;
+    for (const auto &app : data::paperApps()) {
+        const AppParams p = appParamsFor(app, 2000, app.lookhdQ, 5);
+        const std::vector<std::size_t> sizes{app.numFeatures, 128,
+                                             app.numClasses};
+        const Cost mlp_train = mlp.train(sizes, app.trainCount, 30);
+        const Cost mlp_infer = mlp.inferQuery(sizes);
+        EXPECT_GT(mlp_train.seconds, fpga.lookhdTrain(p).seconds)
+            << app.name;
+        EXPECT_GT(mlp_infer.seconds, fpga.lookhdInferQuery(p).seconds)
+            << app.name;
+    }
+}
+
+TEST(ReportTest, GainAndFormatting)
+{
+    Cost base{0, 2e-3, 4e-3, 0};
+    Cost ours{0, 1e-3, 1e-3, 0};
+    const Gain g = gainOver(base, ours);
+    EXPECT_DOUBLE_EQ(g.speedup, 2.0);
+    EXPECT_DOUBLE_EQ(g.energy, 4.0);
+    EXPECT_EQ(formatSeconds(2.5e-3), "2.50 ms");
+    EXPECT_EQ(formatSeconds(3e-9), "3.0 ns");
+    EXPECT_EQ(formatJoules(1.5e-6), "1.50 uJ");
+}
+
+} // namespace

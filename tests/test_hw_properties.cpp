@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Parameterized property tests for the hardware cost models:
+ * monotonicity and scaling laws that must hold for any workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/mlp_fpga_model.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/fpga_model.hpp"
+#include "hw/gpu_model.hpp"
+
+namespace {
+
+using namespace lookhd::hw;
+
+AppParams
+makeApp(std::size_t n, std::size_t q, std::size_t k, std::size_t dim,
+        std::size_t samples)
+{
+    AppParams p;
+    p.n = n;
+    p.q = q;
+    p.r = 5;
+    p.k = k;
+    p.dim = dim;
+    p.trainSamples = samples;
+    p.updatesPerEpoch = samples / 10;
+    p.modelGroups = (k + 11) / 12;
+    return p;
+}
+
+/** (n, k) pairs spanning the workload space. */
+class HwSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+  protected:
+    AppParams
+    app() const
+    {
+        const auto [n, k] = GetParam();
+        return makeApp(n, 4, k, 2000, 1000);
+    }
+};
+
+TEST_P(HwSweep, AllCostsArePositive)
+{
+    FpgaModel fpga;
+    CpuModel cpu;
+    GpuModel gpu;
+    const AppParams p = app();
+    for (const Cost &c :
+         {fpga.baselineTrain(p), fpga.lookhdTrain(p),
+          fpga.baselineInferQuery(p), fpga.lookhdInferQuery(p),
+          fpga.baselineRetrainEpoch(p), fpga.lookhdRetrainEpoch(p),
+          cpu.baselineTrain(p), cpu.lookhdTrain(p),
+          cpu.baselineInferQuery(p), cpu.lookhdInferQuery(p),
+          gpu.baselineTrain(p), gpu.baselineInferQuery(p)}) {
+        EXPECT_GT(c.seconds, 0.0);
+        EXPECT_GT(c.energyJ(), 0.0);
+        EXPECT_GE(c.edp(), 0.0);
+    }
+}
+
+TEST_P(HwSweep, MoreSamplesNeverCheaper)
+{
+    FpgaModel fpga;
+    CpuModel cpu;
+    AppParams small = app();
+    AppParams big = small;
+    big.trainSamples *= 4;
+    big.updatesPerEpoch *= 4;
+    EXPECT_GE(fpga.baselineTrain(big).seconds,
+              fpga.baselineTrain(small).seconds);
+    EXPECT_GE(fpga.lookhdTrain(big).seconds,
+              fpga.lookhdTrain(small).seconds);
+    EXPECT_GE(cpu.lookhdTrain(big).seconds,
+              cpu.lookhdTrain(small).seconds);
+}
+
+TEST_P(HwSweep, WiderHypervectorsNeverCheaper)
+{
+    FpgaModel fpga;
+    CpuModel cpu;
+    AppParams narrow = app();
+    AppParams wide = narrow;
+    wide.dim *= 4;
+    EXPECT_GE(fpga.lookhdInferQuery(wide).seconds,
+              fpga.lookhdInferQuery(narrow).seconds);
+    EXPECT_GE(cpu.baselineInferQuery(wide).seconds,
+              cpu.baselineInferQuery(narrow).seconds);
+    EXPECT_GE(fpga.lookhdTrain(wide).energyJ(),
+              fpga.lookhdTrain(narrow).energyJ());
+}
+
+TEST_P(HwSweep, ModelBytesScaleWithClasses)
+{
+    FpgaModel fpga;
+    const AppParams p = app();
+    EXPECT_EQ(fpga.baselineModelBytes(p), p.k * p.dim * 4);
+    EXPECT_LT(fpga.lookhdModelBytes(p), fpga.baselineModelBytes(p));
+}
+
+TEST_P(HwSweep, UtilizationAlwaysFitsDevice)
+{
+    FpgaModel fpga;
+    const AppParams p = app();
+    EXPECT_TRUE(fpga.lookhdTrainUtilization(p).fits(fpga.device()));
+    EXPECT_TRUE(fpga.lookhdInferUtilization(p).fits(fpga.device()));
+    EXPECT_TRUE(
+        fpga.baselineInferUtilization(p).fits(fpga.device()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, HwSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{52, 2},
+                      std::pair<std::size_t, std::size_t>{52, 12},
+                      std::pair<std::size_t, std::size_t>{225, 4},
+                      std::pair<std::size_t, std::size_t>{561, 6},
+                      std::pair<std::size_t, std::size_t>{617, 26},
+                      std::pair<std::size_t, std::size_t>{1024, 48}));
+
+TEST(HwProperties, SearchWindowMonotoneInClasses)
+{
+    FpgaModel fpga;
+    std::size_t prev = 1 << 20;
+    for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 512u}) {
+        const std::size_t w = fpga.searchWindow(k);
+        EXPECT_LE(w, prev) << "k=" << k;
+        EXPECT_GE(w, 1u);
+        prev = w;
+    }
+}
+
+TEST(HwProperties, GpuBatchAmortizesLaunches)
+{
+    const AppParams p = makeApp(600, 4, 10, 2000, 1000);
+    GpuModel batched(nvidiaGtx1080(), 4096);
+    GpuModel unbatched(nvidiaGtx1080(), 1);
+    EXPECT_LT(batched.baselineInferQuery(p).seconds,
+              unbatched.baselineInferQuery(p).seconds);
+}
+
+TEST(HwProperties, MlpCostsScaleWithWidth)
+{
+    lookhd::baseline::MlpFpgaModel mlp;
+    const std::vector<std::size_t> small{100, 64, 10};
+    const std::vector<std::size_t> large{100, 256, 10};
+    EXPECT_GT(mlp.inferQuery(large).seconds,
+              mlp.inferQuery(small).seconds);
+    EXPECT_GT(mlp.train(large, 100, 5).energyJ(),
+              mlp.train(small, 100, 5).energyJ());
+}
+
+} // namespace

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit and property tests for hypervector operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "hdc/hypervector.hpp"
+#include "hdc/similarity.hpp"
+
+namespace {
+
+using namespace lookhd::hdc;
+using lookhd::util::Rng;
+
+TEST(Hypervector, RandomBipolarElementsValid)
+{
+    Rng rng(1);
+    const BipolarHv hv = randomBipolar(1000, rng);
+    ASSERT_EQ(hv.size(), 1000u);
+    for (auto v : hv)
+        EXPECT_TRUE(v == 1 || v == -1);
+}
+
+TEST(Hypervector, RotateMovesPattern)
+{
+    BipolarHv hv{1, -1, 1, 1};
+    const BipolarHv r = rotate(hv, 1);
+    // Element i of the result is element (i-1) mod 4 of the input.
+    EXPECT_EQ(r[0], hv[3]);
+    EXPECT_EQ(r[1], hv[0]);
+    EXPECT_EQ(r[2], hv[1]);
+    EXPECT_EQ(r[3], hv[2]);
+}
+
+TEST(Hypervector, RotateByDimIsIdentity)
+{
+    Rng rng(2);
+    const BipolarHv hv = randomBipolar(64, rng);
+    EXPECT_EQ(rotate(hv, 64), hv);
+    EXPECT_EQ(rotate(hv, 0), hv);
+}
+
+TEST(Hypervector, RotateComposes)
+{
+    Rng rng(3);
+    const BipolarHv hv = randomBipolar(37, rng);
+    EXPECT_EQ(rotate(rotate(hv, 5), 9), rotate(hv, 14));
+}
+
+TEST(Hypervector, RotatePreservesMultiset)
+{
+    Rng rng(4);
+    const IntHv hv = [&] {
+        IntHv v(50);
+        for (auto &x : v)
+            x = static_cast<std::int32_t>(rng.nextBelow(100));
+        return v;
+    }();
+    IntHv r = rotate(hv, 13);
+    IntHv a = hv, b = r;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Hypervector, AddRotatedMatchesExplicitRotation)
+{
+    Rng rng(5);
+    const BipolarHv hv = randomBipolar(101, rng);
+    for (std::size_t shift : {0u, 1u, 50u, 100u, 101u, 202u}) {
+        IntHv acc1(101, 0);
+        addRotated(acc1, hv, shift);
+        const BipolarHv rot = rotate(hv, shift);
+        IntHv acc2(101, 0);
+        for (std::size_t i = 0; i < rot.size(); ++i)
+            acc2[i] = rot[i];
+        EXPECT_EQ(acc1, acc2) << "shift " << shift;
+    }
+}
+
+TEST(Hypervector, RotationNearlyOrthogonal)
+{
+    // The HDC property the paper relies on: delta(L, rho^i L) ~ 0.
+    Rng rng(6);
+    const BipolarHv hv = randomBipolar(10000, rng);
+    for (std::size_t shift : {1u, 7u, 100u}) {
+        const BipolarHv r = rotate(hv, shift);
+        EXPECT_LT(std::abs(cosine(hv, r)), 0.05) << "shift " << shift;
+    }
+}
+
+TEST(Hypervector, BindIsInvolution)
+{
+    Rng rng(7);
+    const BipolarHv key = randomBipolar(256, rng);
+    IntHv data(256);
+    for (auto &v : data)
+        v = static_cast<std::int32_t>(rng.nextBelow(21)) - 10;
+    const IntHv bound = lookhd::hdc::bind(key, data);
+    const IntHv unbound = lookhd::hdc::bind(key, bound);
+    EXPECT_EQ(unbound, data);
+}
+
+TEST(Hypervector, BindBipolarSelfIsOnes)
+{
+    Rng rng(8);
+    const BipolarHv key = randomBipolar(128, rng);
+    const BipolarHv self = lookhd::hdc::bind(key, key);
+    for (auto v : self)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(Hypervector, BindPreservesNorm)
+{
+    Rng rng(9);
+    const BipolarHv key = randomBipolar(512, rng);
+    IntHv data(512);
+    for (auto &v : data)
+        v = static_cast<std::int32_t>(rng.nextBelow(9)) - 4;
+    EXPECT_DOUBLE_EQ(norm(lookhd::hdc::bind(key, data)), norm(data));
+}
+
+TEST(Hypervector, BindIntoMatchesBind)
+{
+    Rng rng(10);
+    const BipolarHv key = randomBipolar(64, rng);
+    IntHv data(64);
+    for (auto &v : data)
+        v = static_cast<std::int32_t>(rng.nextBelow(100)) - 50;
+    IntHv copy = data;
+    bindInto(copy, key);
+    EXPECT_EQ(copy, lookhd::hdc::bind(key, data));
+}
+
+TEST(Hypervector, AddSubtractRoundTrip)
+{
+    IntHv acc{1, 2, 3};
+    const IntHv delta{10, -5, 7};
+    addInto(acc, delta);
+    EXPECT_EQ(acc, (IntHv{11, -3, 10}));
+    subtractFrom(acc, delta);
+    EXPECT_EQ(acc, (IntHv{1, 2, 3}));
+}
+
+TEST(Hypervector, SignZeroTieBreaksPositive)
+{
+    const IntHv hv{-3, 0, 5};
+    const BipolarHv s = sign(hv);
+    EXPECT_EQ(s, (BipolarHv{-1, 1, 1}));
+}
+
+TEST(Hypervector, DotAgreesAcrossOverloads)
+{
+    Rng rng(11);
+    const BipolarHv a = randomBipolar(333, rng);
+    const BipolarHv b = randomBipolar(333, rng);
+    IntHv ai(a.begin(), a.end());
+    IntHv bi(b.begin(), b.end());
+    const auto expected = dot(ai, bi);
+    EXPECT_EQ(dot(a, b), expected);
+    EXPECT_EQ(dot(ai, b), expected);
+    EXPECT_DOUBLE_EQ(dot(ai, toReal(bi)),
+                     static_cast<double>(expected));
+}
+
+TEST(Hypervector, DotWideningNoOverflow)
+{
+    // Values near int32 limits must not overflow the accumulator.
+    IntHv a(4, 1000000);
+    IntHv b(4, 1000000);
+    EXPECT_EQ(dot(a, b), 4ll * 1000000ll * 1000000ll);
+}
+
+TEST(Hypervector, NormalizedHasUnitNorm)
+{
+    IntHv hv{3, 4, 0};
+    const RealHv n = normalized(hv);
+    EXPECT_NEAR(norm(n), 1.0, 1e-12);
+    EXPECT_NEAR(n[0], 0.6, 1e-12);
+    EXPECT_NEAR(n[1], 0.8, 1e-12);
+}
+
+TEST(Hypervector, NormalizedZeroStaysZero)
+{
+    IntHv hv(8, 0);
+    const RealHv n = normalized(hv);
+    for (double v : n)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Similarity, CosineSelfIsOne)
+{
+    Rng rng(12);
+    const BipolarHv hv = randomBipolar(500, rng);
+    IntHv ih(hv.begin(), hv.end());
+    EXPECT_NEAR(cosine(ih, ih), 1.0, 1e-12);
+}
+
+TEST(Similarity, CosineOppositeIsMinusOne)
+{
+    IntHv a{1, 2, 3};
+    IntHv b{-1, -2, -3};
+    EXPECT_NEAR(cosine(a, b), -1.0, 1e-12);
+}
+
+TEST(Similarity, CosineZeroVectorIsZero)
+{
+    IntHv a{1, 2, 3};
+    IntHv z(3, 0);
+    EXPECT_DOUBLE_EQ(cosine(a, z), 0.0);
+}
+
+TEST(Similarity, RandomBipolarNearlyOrthogonal)
+{
+    Rng rng(13);
+    const BipolarHv a = randomBipolar(10000, rng);
+    const BipolarHv b = randomBipolar(10000, rng);
+    EXPECT_LT(std::abs(cosine(a, b)), 0.05);
+}
+
+TEST(Similarity, HammingRelatesToCosine)
+{
+    Rng rng(14);
+    const BipolarHv a = randomBipolar(2048, rng);
+    const BipolarHv b = randomBipolar(2048, rng);
+    EXPECT_NEAR(cosine(a, b), 2.0 * hammingSimilarity(a, b) - 1.0,
+                1e-12);
+}
+
+TEST(Similarity, ArgmaxFindsFirstMaximum)
+{
+    EXPECT_EQ(argmax({1.0, 5.0, 3.0}), 1u);
+    EXPECT_EQ(argmax({7.0}), 0u);
+    EXPECT_THROW(argmax({}), std::invalid_argument);
+}
+
+/** Property sweep: superposition retains its parts across dims. */
+class SuperpositionProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SuperpositionProperty, BundleIsSimilarToMembers)
+{
+    const std::size_t d = GetParam();
+    Rng rng(100 + d);
+    IntHv bundle(d, 0);
+    std::vector<BipolarHv> members;
+    for (int i = 0; i < 5; ++i) {
+        members.push_back(randomBipolar(d, rng));
+        for (std::size_t j = 0; j < d; ++j)
+            bundle[j] += members.back()[j];
+    }
+    const BipolarHv outsider = randomBipolar(d, rng);
+    IntHv oi(outsider.begin(), outsider.end());
+    for (const auto &m : members) {
+        IntHv mi(m.begin(), m.end());
+        EXPECT_GT(cosine(bundle, mi), cosine(bundle, oi) + 0.1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SuperpositionProperty,
+                         ::testing::Values(1000, 2000, 4000, 10000));
+
+} // namespace

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for level and key item memories: the similarity structure the
+ * paper's encoding depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/item_memory.hpp"
+#include "hdc/similarity.hpp"
+
+namespace {
+
+using namespace lookhd::hdc;
+using lookhd::util::Rng;
+
+TEST(LevelMemory, ShapeAndElements)
+{
+    Rng rng(1);
+    LevelMemory mem(2000, 8, rng);
+    EXPECT_EQ(mem.dim(), 2000u);
+    EXPECT_EQ(mem.levels(), 8u);
+    for (std::size_t l = 0; l < 8; ++l) {
+        ASSERT_EQ(mem.at(l).size(), 2000u);
+        for (auto v : mem.at(l))
+            EXPECT_TRUE(v == 1 || v == -1);
+    }
+}
+
+TEST(LevelMemory, NeighborsHighlySimilar)
+{
+    Rng rng(2);
+    LevelMemory mem(4000, 8, rng);
+    for (std::size_t l = 0; l + 1 < 8; ++l)
+        EXPECT_GT(cosine(mem.at(l), mem.at(l + 1)), 0.8);
+}
+
+TEST(LevelMemory, ExtremesNearlyOrthogonal)
+{
+    // The paper's claim: L_q corresponding to f_max will be nearly
+    // orthogonal to L_1.
+    Rng rng(3);
+    LevelMemory mem(10000, 16, rng, LevelGen::kDistinctHalf);
+    EXPECT_LT(std::abs(cosine(mem.at(0), mem.at(15))), 0.05);
+}
+
+TEST(LevelMemory, SimilarityDecreasesMonotonically)
+{
+    Rng rng(4);
+    LevelMemory mem(8000, 8, rng, LevelGen::kDistinctHalf);
+    double prev = 1.0;
+    for (std::size_t l = 1; l < 8; ++l) {
+        const double sim = cosine(mem.at(0), mem.at(l));
+        EXPECT_LT(sim, prev + 1e-9) << "level " << l;
+        prev = sim;
+    }
+}
+
+TEST(LevelMemory, DistinctHalfExactFlipBudget)
+{
+    // With q levels, exactly D/(2(q-1)) dims flip per step and no dim
+    // flips twice, so L_0 and L_{q-1} differ in (q-1)*per_step dims.
+    Rng rng(5);
+    const std::size_t d = 1024, q = 4;
+    LevelMemory mem(d, q, rng, LevelGen::kDistinctHalf);
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < d; ++i)
+        differing += mem.at(0)[i] != mem.at(q - 1)[i];
+    const std::size_t per_step = d / (2 * (q - 1));
+    EXPECT_EQ(differing, per_step * (q - 1));
+}
+
+TEST(LevelMemory, PaperRandomVariantStillOrdered)
+{
+    Rng rng(6);
+    LevelMemory mem(8000, 8, rng, LevelGen::kPaperRandom);
+    // Neighbors similar, extremes much less so.
+    EXPECT_GT(cosine(mem.at(0), mem.at(1)), 0.6);
+    EXPECT_LT(cosine(mem.at(0), mem.at(7)),
+              cosine(mem.at(0), mem.at(1)) - 0.3);
+}
+
+TEST(LevelMemory, RejectsDegenerateShapes)
+{
+    Rng rng(7);
+    EXPECT_THROW(LevelMemory(100, 1, rng), std::invalid_argument);
+    EXPECT_THROW(LevelMemory(4, 8, rng), std::invalid_argument);
+}
+
+TEST(LevelMemory, DeterministicGivenSeed)
+{
+    Rng a(42), b(42);
+    LevelMemory m1(512, 4, a), m2(512, 4, b);
+    for (std::size_t l = 0; l < 4; ++l)
+        EXPECT_EQ(m1.at(l), m2.at(l));
+}
+
+TEST(KeyMemory, KeysPairwiseNearlyOrthogonal)
+{
+    // Property behind Eq. 3 and Eq. 4: random keys don't interfere.
+    Rng rng(8);
+    KeyMemory keys(10000, 8, rng);
+    for (std::size_t i = 0; i < keys.count(); ++i) {
+        for (std::size_t j = i + 1; j < keys.count(); ++j) {
+            EXPECT_LT(std::abs(cosine(keys.at(i), keys.at(j))), 0.05)
+                << i << "," << j;
+        }
+    }
+}
+
+TEST(KeyMemory, CountAndDim)
+{
+    Rng rng(9);
+    KeyMemory keys(256, 12, rng);
+    EXPECT_EQ(keys.count(), 12u);
+    EXPECT_EQ(keys.dim(), 256u);
+    EXPECT_THROW(keys.at(12), std::out_of_range);
+}
+
+TEST(KeyMemory, ZeroKeysAllowed)
+{
+    Rng rng(10);
+    KeyMemory keys(64, 0, rng);
+    EXPECT_EQ(keys.count(), 0u);
+}
+
+/** Parameterized: the orthogonality budget holds across q. */
+class LevelSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(LevelSweep, EndToEndSimilarityNearZero)
+{
+    const std::size_t q = GetParam();
+    Rng rng(100 + q);
+    LevelMemory mem(10000, q, rng, LevelGen::kDistinctHalf);
+    EXPECT_LT(std::abs(cosine(mem.at(0), mem.at(q - 1))), 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantizations, LevelSweep,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+} // namespace

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Kitchen-sink integration: every optional feature enabled at once -
+ * per-feature quantization, grouped compression, validation early
+ * stopping, serialization, progressive inference, detailed metrics -
+ * exercised through the public API on one workload end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic.hpp"
+#include "hwsim/lookhd_sim.hpp"
+#include "lookhd/serialize.hpp"
+
+namespace {
+
+using namespace lookhd;
+
+TEST(KitchenSink, EverythingOnEndToEnd)
+{
+    data::SyntheticSpec spec;
+    spec.numFeatures = 37; // ragged tail with r = 5
+    spec.numClasses = 9;
+    spec.classSeparation = 1.1;
+    spec.informativeFraction = 0.6;
+    spec.seed = 42;
+    auto [train, test] = data::makeTrainTest(spec, 540, 270);
+
+    ClassifierConfig cfg;
+    cfg.dim = 1500;
+    cfg.quantLevels = 4;
+    cfg.chunkSize = 5;
+    cfg.perFeatureQuantization = true;
+    cfg.compression.maxClassesPerGroup = 4; // 3 groups of <=4
+    cfg.retrainEpochs = 12;
+    cfg.retrain.validationFraction = 0.2;
+    cfg.retrain.earlyStopPatience = 3;
+
+    Classifier clf(cfg);
+    clf.fit(train);
+
+    // Accuracy with everything on.
+    const double acc = clf.evaluate(test);
+    EXPECT_GT(acc, 0.8);
+    EXPECT_EQ(clf.compressedModel().numGroups(), 3u);
+
+    // Detailed metrics agree with plain accuracy.
+    const data::ConfusionMatrix cm = clf.evaluateDetailed(test);
+    EXPECT_NEAR(cm.accuracy(), acc, 1e-12);
+    EXPECT_GT(cm.macroF1(), 0.7);
+    EXPECT_EQ(cm.total(), test.size());
+
+    // Serialization round trip preserves all of it.
+    std::stringstream buffer;
+    saveClassifier(clf, buffer);
+    const Classifier restored = loadClassifier(buffer);
+    EXPECT_DOUBLE_EQ(restored.evaluate(test), acc);
+    EXPECT_TRUE(restored.config().perFeatureQuantization);
+    EXPECT_EQ(restored.compressedModel().numGroups(), 3u);
+
+    // Progressive inference on the restored model stays accurate.
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        const hdc::IntHv q =
+            restored.encoder().encode(test.row(i));
+        ok += restored.compressedModel().predictProgressive(
+                  q, 375, 1.5) == test.label(i);
+    }
+    EXPECT_GT(static_cast<double>(ok) /
+                  static_cast<double>(test.size()),
+              acc - 0.05);
+
+    // And the hardware simulator accepts the restored encoder.
+    hwsim::FpgaSimulator sim;
+    const hwsim::SimReport report = sim.lookhdRetrainEpoch(
+        restored.encoder(), 9, 3, train.size(), train.size() / 10);
+    EXPECT_GT(report.totalCycles, 0.0);
+    EXPECT_EQ(report.stages.back().name, "model-update");
+}
+
+} // namespace

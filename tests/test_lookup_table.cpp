@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the pre-stored chunk-hypervector lookup table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hdc/similarity.hpp"
+#include "lookhd/lookup_table.hpp"
+
+namespace {
+
+using namespace lookhd;
+using namespace lookhd::hdc;
+
+std::shared_ptr<LevelMemory>
+makeLevels(Dim d, std::size_t q, std::uint64_t seed = 1)
+{
+    util::Rng rng(seed);
+    return std::make_shared<LevelMemory>(d, q, rng);
+}
+
+TEST(ChunkLookupTable, AddressSpaceSize)
+{
+    auto levels = makeLevels(128, 4);
+    ChunkLookupTable table(levels, 5, std::size_t{64} << 20);
+    EXPECT_EQ(table.addressSpaceSize(), 1024u);
+    EXPECT_EQ(table.chunkLen(), 5u);
+    EXPECT_EQ(table.dim(), 128u);
+}
+
+TEST(ChunkLookupTable, MaterializesWithinBudget)
+{
+    auto levels = makeLevels(128, 2);
+    // 32 rows x 128 dims x 4 B = 16 KiB.
+    ChunkLookupTable table(levels, 5, 32 * 1024);
+    EXPECT_TRUE(table.materialized());
+    EXPECT_EQ(table.tableBytes(), 32u * 128u * 4u);
+}
+
+TEST(ChunkLookupTable, FallsBackBeyondBudget)
+{
+    auto levels = makeLevels(128, 2);
+    ChunkLookupTable table(levels, 5, 1024);
+    EXPECT_FALSE(table.materialized());
+}
+
+TEST(ChunkLookupTable, ZeroBudgetForcesOnTheFly)
+{
+    auto levels = makeLevels(64, 2);
+    ChunkLookupTable table(levels, 3, 0);
+    EXPECT_FALSE(table.materialized());
+}
+
+TEST(ChunkLookupTable, MaterializedAndOnTheFlyRowsIdentical)
+{
+    // Core computation-reuse invariant: the pre-stored rows are
+    // bit-exact with computing Eq. 2 on demand.
+    auto levels = makeLevels(256, 4, 7);
+    ChunkLookupTable dense(levels, 4, std::size_t{64} << 20);
+    ChunkLookupTable lazy(levels, 4, 0);
+    ASSERT_TRUE(dense.materialized());
+    ASSERT_FALSE(lazy.materialized());
+
+    IntHv scratch;
+    for (Address a = 0; a < dense.addressSpaceSize(); ++a) {
+        const IntHv &d = dense.row(a, scratch);
+        IntHv scratch2;
+        const IntHv &l = lazy.row(a, scratch2);
+        EXPECT_EQ(d, l) << "address " << a;
+    }
+}
+
+TEST(ChunkLookupTable, RowMatchesManualEquationTwo)
+{
+    auto levels = makeLevels(100, 3, 9);
+    ChunkLookupTable table(levels, 3, std::size_t{1} << 20);
+
+    const std::vector<std::size_t> lvls{2, 0, 1};
+    const Address addr = addressOf(lvls, 3);
+
+    IntHv manual(100, 0);
+    for (std::size_t j = 0; j < 3; ++j)
+        addRotated(manual, levels->at(lvls[j]), j);
+
+    IntHv scratch;
+    EXPECT_EQ(table.row(addr, scratch), manual);
+}
+
+TEST(ChunkLookupTable, RowElementsBoundedByChunkLen)
+{
+    auto levels = makeLevels(64, 2, 11);
+    ChunkLookupTable table(levels, 6, std::size_t{1} << 20);
+    IntHv scratch;
+    for (Address a = 0; a < table.addressSpaceSize(); ++a) {
+        for (auto v : table.row(a, scratch))
+            EXPECT_LE(std::abs(v), 6);
+    }
+}
+
+TEST(ChunkLookupTable, OutOfRangeAddressThrows)
+{
+    auto levels = makeLevels(64, 2);
+    ChunkLookupTable table(levels, 3, std::size_t{1} << 20);
+    IntHv scratch;
+    EXPECT_THROW(table.row(8, scratch), std::out_of_range);
+}
+
+TEST(ChunkLookupTable, Validation)
+{
+    auto levels = makeLevels(64, 2);
+    EXPECT_THROW(ChunkLookupTable(nullptr, 3, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(ChunkLookupTable(levels, 0, 0),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the confusion matrix and derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "data/metrics.hpp"
+
+namespace {
+
+using namespace lookhd::data;
+
+ConfusionMatrix
+sampleMatrix()
+{
+    // truth 0: 8 correct, 2 predicted as 1.
+    // truth 1: 5 correct, 5 predicted as 0.
+    ConfusionMatrix cm(2);
+    for (int i = 0; i < 8; ++i)
+        cm.add(0, 0);
+    for (int i = 0; i < 2; ++i)
+        cm.add(0, 1);
+    for (int i = 0; i < 5; ++i)
+        cm.add(1, 1);
+    for (int i = 0; i < 5; ++i)
+        cm.add(1, 0);
+    return cm;
+}
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy)
+{
+    const ConfusionMatrix cm = sampleMatrix();
+    EXPECT_EQ(cm.total(), 20u);
+    EXPECT_EQ(cm.count(0, 0), 8u);
+    EXPECT_EQ(cm.count(0, 1), 2u);
+    EXPECT_EQ(cm.count(1, 0), 5u);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 13.0 / 20.0);
+}
+
+TEST(ConfusionMatrixTest, PerClassMetrics)
+{
+    const ConfusionMatrix cm = sampleMatrix();
+    const ClassMetrics c0 = cm.classMetrics(0);
+    EXPECT_EQ(c0.support, 10u);
+    EXPECT_DOUBLE_EQ(c0.precision, 8.0 / 13.0);
+    EXPECT_DOUBLE_EQ(c0.recall, 0.8);
+    const double f1 = 2.0 * c0.precision * c0.recall /
+                      (c0.precision + c0.recall);
+    EXPECT_DOUBLE_EQ(c0.f1, f1);
+
+    const ClassMetrics c1 = cm.classMetrics(1);
+    EXPECT_DOUBLE_EQ(c1.precision, 5.0 / 7.0);
+    EXPECT_DOUBLE_EQ(c1.recall, 0.5);
+}
+
+TEST(ConfusionMatrixTest, MacroF1IsMeanOfClassF1s)
+{
+    const ConfusionMatrix cm = sampleMatrix();
+    EXPECT_NEAR(cm.macroF1(),
+                (cm.classMetrics(0).f1 + cm.classMetrics(1).f1) / 2.0,
+                1e-12);
+}
+
+TEST(ConfusionMatrixTest, EmptyAndDegenerate)
+{
+    ConfusionMatrix cm(3);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+    // A class never seen nor predicted has all-zero metrics.
+    cm.add(0, 0);
+    const ClassMetrics unseen = cm.classMetrics(2);
+    EXPECT_EQ(unseen.support, 0u);
+    EXPECT_DOUBLE_EQ(unseen.precision, 0.0);
+    EXPECT_DOUBLE_EQ(unseen.recall, 0.0);
+    EXPECT_DOUBLE_EQ(unseen.f1, 0.0);
+}
+
+TEST(ConfusionMatrixTest, Validation)
+{
+    EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+    ConfusionMatrix cm(2);
+    EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+    EXPECT_THROW(cm.count(0, 2), std::out_of_range);
+    EXPECT_THROW(cm.classMetrics(2), std::out_of_range);
+}
+
+TEST(ConfusionMatrixTest, RenderContainsCounts)
+{
+    const ConfusionMatrix cm = sampleMatrix();
+    const std::string out = cm.render();
+    EXPECT_NE(out.find("8"), std::string::npos);
+    EXPECT_NE(out.find("truth"), std::string::npos);
+}
+
+TEST(ConfusionMatrixTest, ConfusionOfHelper)
+{
+    Dataset ds(1, 2);
+    ds.add(std::vector<double>{0.0}, 0);
+    ds.add(std::vector<double>{1.0}, 1);
+    ds.add(std::vector<double>{2.0}, 1);
+    const ConfusionMatrix cm = confusionOf(
+        ds, [](auto row) { return row[0] > 0.5 ? 1u : 0u; });
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the MLP baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/mlp.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace lookhd;
+using baseline::Mlp;
+using baseline::MlpConfig;
+
+TEST(MlpTest, ShapeAccounting)
+{
+    MlpConfig cfg;
+    cfg.hiddenSizes = {32, 16};
+    Mlp mlp(10, 3, cfg);
+    EXPECT_EQ(mlp.inputs(), 10u);
+    EXPECT_EQ(mlp.classes(), 3u);
+    EXPECT_EQ(mlp.layerSizes(),
+              (std::vector<std::size_t>{10, 32, 16, 3}));
+    EXPECT_EQ(mlp.macsPerInference(),
+              10u * 32u + 32u * 16u + 16u * 3u);
+    EXPECT_EQ(mlp.parameterCount(),
+              10u * 32u + 32u + 32u * 16u + 16u + 16u * 3u + 3u);
+}
+
+TEST(MlpTest, ProbabilitiesSumToOne)
+{
+    Mlp mlp(5, 4);
+    const auto p = mlp.probabilities(std::vector<double>(5, 0.3));
+    ASSERT_EQ(p.size(), 4u);
+    double sum = 0.0;
+    for (double v : p) {
+        EXPECT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MlpTest, LearnsSeparableProblem)
+{
+    data::SyntheticSpec spec;
+    spec.numFeatures = 20;
+    spec.numClasses = 3;
+    spec.classSeparation = 1.2;
+    spec.seed = 5;
+    auto [train, test] = data::makeTrainTest(spec, 600, 200);
+
+    MlpConfig cfg;
+    cfg.hiddenSizes = {32};
+    cfg.epochs = 20;
+    Mlp mlp(20, 3, cfg);
+    mlp.fit(train);
+    EXPECT_GT(mlp.evaluate(test), 0.85);
+}
+
+TEST(MlpTest, StandardizationHelpsOnSkewedData)
+{
+    data::SyntheticSpec spec;
+    spec.numFeatures = 20;
+    spec.numClasses = 2;
+    spec.classSeparation = 0.8;
+    spec.skew = 1.5; // wildly varying feature scales
+    spec.seed = 7;
+    auto [train, test] = data::makeTrainTest(spec, 500, 200);
+
+    MlpConfig with;
+    with.epochs = 15;
+    MlpConfig without = with;
+    without.standardizeInputs = false;
+    without.learningRate = 0.001; // raw scale needs a tiny lr to move
+    Mlp a(20, 2, with), b(20, 2, without);
+    a.fit(train);
+    b.fit(train);
+    EXPECT_GE(a.evaluate(test) + 0.02, b.evaluate(test));
+    EXPECT_GT(a.evaluate(test), 0.75);
+}
+
+TEST(MlpTest, DeterministicWithSeed)
+{
+    data::SyntheticSpec spec;
+    spec.numFeatures = 8;
+    spec.numClasses = 2;
+    spec.seed = 9;
+    auto [train, test] = data::makeTrainTest(spec, 100, 20);
+    MlpConfig cfg;
+    cfg.epochs = 3;
+    Mlp a(8, 2, cfg), b(8, 2, cfg);
+    a.fit(train);
+    b.fit(train);
+    for (std::size_t i = 0; i < test.size(); ++i)
+        EXPECT_EQ(a.probabilities(test.row(i)),
+                  b.probabilities(test.row(i)));
+}
+
+TEST(MlpTest, Validation)
+{
+    EXPECT_THROW(Mlp(0, 2), std::invalid_argument);
+    EXPECT_THROW(Mlp(4, 0), std::invalid_argument);
+    MlpConfig cfg;
+    cfg.hiddenSizes = {0};
+    EXPECT_THROW(Mlp(4, 2, cfg), std::invalid_argument);
+
+    Mlp mlp(4, 2);
+    EXPECT_THROW(mlp.probabilities(std::vector<double>(3, 0.0)),
+                 std::invalid_argument);
+    data::Dataset wrong(5, 2);
+    EXPECT_THROW(mlp.fit(wrong), std::invalid_argument);
+}
+
+TEST(MlpTest, DeeperNetworkStillTrains)
+{
+    data::SyntheticSpec spec;
+    spec.numFeatures = 16;
+    spec.numClasses = 4;
+    spec.classSeparation = 1.5;
+    spec.seed = 11;
+    auto [train, test] = data::makeTrainTest(spec, 400, 100);
+    MlpConfig cfg;
+    cfg.hiddenSizes = {32, 16};
+    cfg.epochs = 25;
+    Mlp mlp(16, 4, cfg);
+    mlp.fit(train);
+    EXPECT_GT(mlp.evaluate(test), 0.8);
+}
+
+} // namespace

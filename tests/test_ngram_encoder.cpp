@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the n-gram sequence encoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hdc/ngram_encoder.hpp"
+#include "hdc/similarity.hpp"
+
+namespace {
+
+using namespace lookhd::hdc;
+using lookhd::util::Rng;
+
+std::shared_ptr<KeyMemory>
+alphabet(Dim d, std::size_t symbols, std::uint64_t seed = 1)
+{
+    Rng rng(seed);
+    return std::make_shared<KeyMemory>(d, symbols, rng);
+}
+
+TEST(NgramEncoder, GramIsBindOfRotatedSymbols)
+{
+    auto symbols = alphabet(256, 4);
+    NgramEncoder enc(symbols, 3);
+    const std::vector<std::size_t> gram{2, 0, 3};
+    const BipolarHv expected = lookhd::hdc::bind(
+        rotate(symbols->at(2), 2),
+        lookhd::hdc::bind(rotate(symbols->at(0), 1), symbols->at(3)));
+    EXPECT_EQ(enc.encodeGram(gram), expected);
+}
+
+TEST(NgramEncoder, SequenceIsBundleOfGrams)
+{
+    auto symbols = alphabet(128, 3);
+    NgramEncoder enc(symbols, 2);
+    const std::vector<std::size_t> seq{0, 1, 2};
+    IntHv expected(128, 0);
+    for (std::size_t s = 0; s + 2 <= seq.size(); ++s) {
+        const BipolarHv gram =
+            enc.encodeGram(std::span(seq).subspan(s, 2));
+        for (std::size_t i = 0; i < 128; ++i)
+            expected[i] += gram[i];
+    }
+    EXPECT_EQ(enc.encodeSequence(seq), expected);
+}
+
+TEST(NgramEncoder, OrderMatters)
+{
+    // "ab" and "ba" must encode to nearly orthogonal grams.
+    auto symbols = alphabet(10000, 2);
+    NgramEncoder enc(symbols, 2);
+    const BipolarHv ab =
+        enc.encodeGram(std::vector<std::size_t>{0, 1});
+    const BipolarHv ba =
+        enc.encodeGram(std::vector<std::size_t>{1, 0});
+    EXPECT_LT(std::abs(cosine(ab, ba)), 0.06);
+}
+
+TEST(NgramEncoder, SharedGramsMakeSequencesSimilar)
+{
+    auto symbols = alphabet(10000, 5);
+    NgramEncoder enc(symbols, 3);
+    const std::vector<std::size_t> a{0, 1, 2, 3, 4, 0, 1, 2};
+    const std::vector<std::size_t> b{0, 1, 2, 3, 4, 0, 1, 3};
+    std::vector<std::size_t> c{4, 4, 0, 3, 3, 1, 2, 0};
+    const IntHv ha = enc.encodeSequence(a);
+    const IntHv hb = enc.encodeSequence(b);
+    const IntHv hc = enc.encodeSequence(c);
+    EXPECT_GT(cosine(ha, hb), cosine(ha, hc) + 0.3);
+}
+
+TEST(NgramEncoder, ShortSequenceUsesShortGram)
+{
+    auto symbols = alphabet(64, 3);
+    NgramEncoder enc(symbols, 4);
+    const std::vector<std::size_t> seq{1, 2};
+    const IntHv encoded = enc.encodeSequence(seq);
+    const BipolarHv gram = enc.encodeGram(seq);
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_EQ(encoded[i], gram[i]);
+}
+
+TEST(NgramEncoder, DistinguishesMarkovSources)
+{
+    // Two synthetic "languages" (Markov chains over 6 symbols): class
+    // hypervectors built from n-gram encodings separate test samples.
+    const std::size_t symbols_n = 6;
+    auto symbols = alphabet(4000, symbols_n, 7);
+    NgramEncoder enc(symbols, 3);
+
+    Rng rng(11);
+    // Transition tables biased differently per source.
+    auto next_symbol = [&](std::size_t current, int source) {
+        if (rng.nextDouble() < 0.7) {
+            return source == 0 ? (current + 1) % symbols_n
+                               : (current + 2) % symbols_n;
+        }
+        return static_cast<std::size_t>(rng.nextBelow(symbols_n));
+    };
+    auto sample = [&](int source) {
+        std::vector<std::size_t> seq{rng.nextBelow(symbols_n)};
+        for (int i = 0; i < 40; ++i)
+            seq.push_back(next_symbol(seq.back(), source));
+        return seq;
+    };
+
+    IntHv class0(4000, 0), class1(4000, 0);
+    for (int i = 0; i < 20; ++i) {
+        addInto(class0, enc.encodeSequence(sample(0)));
+        addInto(class1, enc.encodeSequence(sample(1)));
+    }
+
+    int correct = 0, total = 0;
+    for (int i = 0; i < 30; ++i) {
+        for (int source = 0; source < 2; ++source) {
+            const IntHv q = enc.encodeSequence(sample(source));
+            const int pred =
+                cosine(q, class0) >= cosine(q, class1) ? 0 : 1;
+            correct += pred == source;
+            ++total;
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(NgramEncoder, Validation)
+{
+    auto symbols = alphabet(64, 3);
+    EXPECT_THROW(NgramEncoder(nullptr, 2), std::invalid_argument);
+    EXPECT_THROW(NgramEncoder(symbols, 0), std::invalid_argument);
+    NgramEncoder enc(symbols, 2);
+    EXPECT_THROW(enc.encodeSequence(std::vector<std::size_t>{}),
+                 std::invalid_argument);
+    EXPECT_THROW(enc.encodeGram(std::vector<std::size_t>{0, 5}),
+                 std::invalid_argument);
+    EXPECT_THROW(enc.encodeGram(std::vector<std::size_t>{0, 1, 2}),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for prefix scoring and progressive-precision inference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "hdc/similarity.hpp"
+#include "lookhd/classifier.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace lookhd;
+
+struct Trained
+{
+    data::Dataset test;
+    Classifier clf;
+
+    Trained(double separation, std::uint64_t seed)
+        : test(1, 1), clf([] {
+              ClassifierConfig cfg;
+              cfg.dim = 2000;
+              cfg.quantLevels = 4;
+              cfg.retrainEpochs = 3;
+              return cfg;
+          }())
+    {
+        data::SyntheticSpec spec;
+        spec.numFeatures = 40;
+        spec.numClasses = 4;
+        spec.classSeparation = separation;
+        spec.informativeFraction = 0.6;
+        spec.seed = seed;
+        data::SyntheticProblem problem(spec);
+        const data::Dataset train = problem.sample(400);
+        test = problem.sample(200);
+        clf.fit(train);
+    }
+};
+
+TEST(Progressive, FullPrefixEqualsScores)
+{
+    Trained t(1.0, 1);
+    const CompressedModel &model = t.clf.compressedModel();
+    const hdc::IntHv q = t.clf.encoder().encode(t.test.row(0));
+    const auto full = model.scores(q);
+    const auto prefix = model.scoresPrefix(q, model.dim());
+    ASSERT_EQ(full.size(), prefix.size());
+    for (std::size_t c = 0; c < full.size(); ++c)
+        EXPECT_NEAR(full[c], prefix[c],
+                    1e-9 * (std::abs(full[c]) + 1.0));
+}
+
+TEST(Progressive, PrefixScoresApproximateFullRanking)
+{
+    // Half the dimensions must already rank most queries correctly.
+    Trained t(1.2, 3);
+    const CompressedModel &model = t.clf.compressedModel();
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < t.test.size(); ++i) {
+        const hdc::IntHv q = t.clf.encoder().encode(t.test.row(i));
+        agree += hdc::argmax(model.scoresPrefix(q, 1000)) ==
+                 hdc::argmax(model.scores(q));
+    }
+    EXPECT_GT(static_cast<double>(agree) /
+                  static_cast<double>(t.test.size()),
+              0.9);
+}
+
+TEST(Progressive, HighMarginRunsToFullPrecision)
+{
+    Trained t(1.0, 5);
+    const CompressedModel &model = t.clf.compressedModel();
+    const hdc::IntHv q = t.clf.encoder().encode(t.test.row(0));
+    std::size_t used = 0;
+    const std::size_t pred =
+        model.predictProgressive(q, 125, 1e9, &used);
+    EXPECT_EQ(used, model.dim());
+    EXPECT_EQ(pred, model.predict(q));
+}
+
+TEST(Progressive, ZeroMarginStopsImmediately)
+{
+    Trained t(1.0, 7);
+    const CompressedModel &model = t.clf.compressedModel();
+    const hdc::IntHv q = t.clf.encoder().encode(t.test.row(0));
+    std::size_t used = 0;
+    model.predictProgressive(q, 125, 0.0, &used);
+    EXPECT_EQ(used, 125u);
+}
+
+TEST(Progressive, SavesDimensionsWithoutLosingAccuracy)
+{
+    Trained t(1.2, 9);
+    const CompressedModel &model = t.clf.compressedModel();
+    std::size_t full_correct = 0, prog_correct = 0;
+    util::RunningStats dims_used;
+    for (std::size_t i = 0; i < t.test.size(); ++i) {
+        const hdc::IntHv q = t.clf.encoder().encode(t.test.row(i));
+        full_correct += model.predict(q) == t.test.label(i);
+        std::size_t used = 0;
+        prog_correct +=
+            model.predictProgressive(q, 250, 1.2, &used) ==
+            t.test.label(i);
+        dims_used.push(static_cast<double>(used));
+    }
+    // Accuracy within ~2 points of full precision...
+    EXPECT_NEAR(static_cast<double>(prog_correct),
+                static_cast<double>(full_correct),
+                0.025 * static_cast<double>(t.test.size()) + 1.0);
+    // ...while consuming clearly fewer dimensions on average.
+    EXPECT_LT(dims_used.mean(), 0.75 * 2000.0);
+}
+
+TEST(Progressive, Validation)
+{
+    Trained t(1.0, 11);
+    const CompressedModel &model = t.clf.compressedModel();
+    const hdc::IntHv q = t.clf.encoder().encode(t.test.row(0));
+    EXPECT_THROW(model.scoresPrefix(q, 0), std::invalid_argument);
+    EXPECT_THROW(model.scoresPrefix(q, model.dim() + 1),
+                 std::invalid_argument);
+    EXPECT_THROW(model.predictProgressive(q, 0, 0.5),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the per-feature quantizer bank and its encoder/classifier
+ * integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/synthetic.hpp"
+#include "lookhd/classifier.hpp"
+#include "lookhd/lookup_encoder.hpp"
+#include "quant/quantizer_bank.hpp"
+
+namespace {
+
+using namespace lookhd;
+using namespace lookhd::quant;
+
+/** Dataset whose two features live on wildly different scales. */
+data::Dataset
+twoScaleData()
+{
+    data::Dataset ds(2, 2);
+    util::Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const std::size_t label = i % 2;
+        const double f0 =
+            rng.nextDouble() + (label ? 0.5 : 0.0); // ~[0, 1.5]
+        const double f1 =
+            1000.0 * (rng.nextDouble() + (label ? 0.5 : 0.0));
+        ds.add(std::vector<double>{f0, f1}, label);
+    }
+    return ds;
+}
+
+TEST(QuantizerBank, FitsOneQuantizerPerFeature)
+{
+    const data::Dataset ds = twoScaleData();
+    QuantizerBank bank(4, BankKind::kEqualized);
+    EXPECT_FALSE(bank.fitted());
+    bank.fit(ds);
+    EXPECT_TRUE(bank.fitted());
+    EXPECT_EQ(bank.numFeatures(), 2u);
+    // Each feature's boundaries live on its own scale.
+    EXPECT_LT(bank.at(0).boundaries().back(), 10.0);
+    EXPECT_GT(bank.at(1).boundaries().back(), 100.0);
+}
+
+TEST(QuantizerBank, AllLevelsUsedPerFeature)
+{
+    // The point of the bank: a small-scale feature still spreads over
+    // all q levels even though a global quantizer would crush it into
+    // level 0.
+    const data::Dataset ds = twoScaleData();
+    QuantizerBank bank(4, BankKind::kEqualized);
+    bank.fit(ds);
+    std::vector<bool> seen(4, false);
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        seen[bank.level(0, ds.row(i)[0])] = true;
+    for (std::size_t l = 0; l < 4; ++l)
+        EXPECT_TRUE(seen[l]) << "level " << l;
+}
+
+TEST(QuantizerBank, LevelsOfRow)
+{
+    const data::Dataset ds = twoScaleData();
+    QuantizerBank bank(4, BankKind::kLinear);
+    bank.fit(ds);
+    const auto lvls = bank.levelsOf(ds.row(0));
+    ASSERT_EQ(lvls.size(), 2u);
+    for (auto l : lvls)
+        EXPECT_LT(l, 4u);
+    EXPECT_THROW(bank.levelsOf(std::vector<double>{1.0}),
+                 std::invalid_argument);
+}
+
+TEST(QuantizerBank, FromBoundariesRestoresBehaviour)
+{
+    const data::Dataset ds = twoScaleData();
+    QuantizerBank bank(4, BankKind::kEqualized);
+    bank.fit(ds);
+    std::vector<std::vector<double>> bounds;
+    for (std::size_t f = 0; f < bank.numFeatures(); ++f)
+        bounds.push_back(bank.at(f).boundaries());
+    const QuantizerBank restored =
+        QuantizerBank::fromBoundaries(4, bounds);
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        EXPECT_EQ(restored.levelsOf(ds.row(i)),
+                  bank.levelsOf(ds.row(i)));
+}
+
+TEST(QuantizerBank, Validation)
+{
+    EXPECT_THROW(QuantizerBank(1, BankKind::kLinear),
+                 std::invalid_argument);
+    QuantizerBank bank(4, BankKind::kLinear);
+    EXPECT_THROW(bank.at(0), std::logic_error);
+    EXPECT_THROW(bank.fitColumns({}), std::invalid_argument);
+    EXPECT_THROW(QuantizerBank::fromBoundaries(4, {{1.0}}),
+                 std::invalid_argument);
+}
+
+TEST(QuantizerBank, EncoderIntegrationMatchesManualLevels)
+{
+    const data::Dataset ds = twoScaleData();
+    auto bank = std::make_shared<QuantizerBank>(
+        4, BankKind::kEqualized);
+    bank->fit(ds);
+
+    util::Rng rng(5);
+    auto levels = std::make_shared<hdc::LevelMemory>(512, 4, rng);
+    LookupEncoder encoder(levels, bank, ChunkSpec(2, 2), rng);
+    EXPECT_TRUE(encoder.usesBank());
+    EXPECT_THROW(encoder.quantizer(), std::logic_error);
+    EXPECT_EQ(encoder.quantize(ds.row(0)),
+              bank->levelsOf(ds.row(0)));
+}
+
+TEST(QuantizerBank, ClassifierPerFeatureBeatsGlobalOnMixedScales)
+{
+    // Heterogeneous feature scales: global quantization wastes levels,
+    // per-feature quantization does not.
+    data::SyntheticSpec spec;
+    spec.numFeatures = 40;
+    spec.numClasses = 4;
+    spec.classSeparation = 0.8;
+    spec.informativeFraction = 0.6;
+    spec.seed = 9;
+    data::SyntheticProblem problem(spec);
+    data::Dataset base_train = problem.sample(400);
+    data::Dataset base_test = problem.sample(200);
+
+    // Amplify the scale heterogeneity far beyond the generator's.
+    auto rescale = [](const data::Dataset &src) {
+        data::Dataset out(src.numFeatures(), src.numClasses());
+        for (std::size_t i = 0; i < src.size(); ++i) {
+            std::vector<double> row(src.row(i).begin(),
+                                    src.row(i).end());
+            for (std::size_t f = 0; f < row.size(); ++f) {
+                double scale = 1.0;
+                for (std::size_t p = 0; p < f % 5; ++p)
+                    scale *= 10.0;
+                row[f] *= scale;
+            }
+            out.add(row, src.label(i));
+        }
+        return out;
+    };
+    const data::Dataset train = rescale(base_train);
+    const data::Dataset test = rescale(base_test);
+
+    ClassifierConfig cfg;
+    cfg.dim = 1000;
+    cfg.quantLevels = 4;
+    cfg.retrainEpochs = 3;
+    cfg.perFeatureQuantization = true;
+    Classifier per_feature(cfg);
+    cfg.perFeatureQuantization = false;
+    Classifier global(cfg);
+    per_feature.fit(train);
+    global.fit(train);
+
+    EXPECT_GT(per_feature.evaluate(test),
+              global.evaluate(test) + 0.1);
+    EXPECT_NO_THROW(per_feature.quantizerBank());
+    EXPECT_THROW(per_feature.quantizer(), std::logic_error);
+}
+
+} // namespace

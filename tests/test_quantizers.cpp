@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the linear and equalized quantizers (paper Sec. III-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/equalized_quantizer.hpp"
+#include "quant/linear_quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lookhd::quant;
+using lookhd::util::Rng;
+
+std::vector<double>
+lognormalSample(std::size_t count, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(count);
+    for (auto &x : v)
+        x = std::exp(rng.nextGaussian());
+    return v;
+}
+
+TEST(LinearQuantizer, EqualWidthBins)
+{
+    LinearQuantizer q(4);
+    q.fit({0.0, 10.0});
+    EXPECT_EQ(q.level(0.0), 0u);
+    EXPECT_EQ(q.level(2.4), 0u);
+    EXPECT_EQ(q.level(2.6), 1u);
+    EXPECT_EQ(q.level(5.1), 2u);
+    EXPECT_EQ(q.level(9.9), 3u);
+    EXPECT_EQ(q.level(10.0), 3u);
+}
+
+TEST(LinearQuantizer, OutOfRangeClamps)
+{
+    LinearQuantizer q(8);
+    q.fit({-1.0, 1.0});
+    EXPECT_EQ(q.level(-100.0), 0u);
+    EXPECT_EQ(q.level(100.0), 7u);
+}
+
+TEST(LinearQuantizer, BoundariesEvenlySpaced)
+{
+    LinearQuantizer q(5);
+    q.fit({0.0, 10.0});
+    const auto b = q.boundaries();
+    ASSERT_EQ(b.size(), 4u);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_NEAR(b[i], 2.0 * (i + 1), 1e-12);
+}
+
+TEST(LinearQuantizer, ConstantSampleMapsToLevelZero)
+{
+    LinearQuantizer q(4);
+    q.fit({3.0, 3.0, 3.0});
+    EXPECT_EQ(q.level(3.0), 0u);
+    EXPECT_EQ(q.level(99.0), 0u);
+}
+
+TEST(LinearQuantizer, ErrorsOnMisuse)
+{
+    EXPECT_THROW(LinearQuantizer(1), std::invalid_argument);
+    LinearQuantizer q(4);
+    EXPECT_THROW(q.level(1.0), std::logic_error);
+    EXPECT_THROW(q.fit({}), std::invalid_argument);
+}
+
+TEST(EqualizedQuantizer, UniformOccupancyOnSkewedData)
+{
+    // The defining property: every level receives roughly the same
+    // share of the (heavily skewed) fit sample.
+    const auto sample = lognormalSample(20000, 1);
+    EqualizedQuantizer q(4);
+    q.fit(sample);
+    std::vector<std::size_t> counts(4, 0);
+    for (double v : sample)
+        ++counts[q.level(v)];
+    for (auto c : counts) {
+        EXPECT_GT(c, sample.size() / 4 - sample.size() / 40);
+        EXPECT_LT(c, sample.size() / 4 + sample.size() / 40);
+    }
+}
+
+TEST(EqualizedQuantizer, LinearCrowdsSkewedDataEqualizedDoesNot)
+{
+    // On log-normal data, linear quantization dumps most values into
+    // the first bin; equalized does not. This is Fig. 3 in a test.
+    const auto sample = lognormalSample(20000, 2);
+    LinearQuantizer lin(8);
+    EqualizedQuantizer eq(8);
+    lin.fit(sample);
+    eq.fit(sample);
+
+    std::vector<std::size_t> lin_counts(8, 0), eq_counts(8, 0);
+    for (double v : sample) {
+        ++lin_counts[lin.level(v)];
+        ++eq_counts[eq.level(v)];
+    }
+    const auto lin_max =
+        *std::max_element(lin_counts.begin(), lin_counts.end());
+    const auto eq_max =
+        *std::max_element(eq_counts.begin(), eq_counts.end());
+    EXPECT_GT(lin_max, sample.size() / 2);
+    EXPECT_LT(eq_max, sample.size() / 4);
+}
+
+TEST(EqualizedQuantizer, BoundariesAreAscending)
+{
+    const auto sample = lognormalSample(5000, 3);
+    EqualizedQuantizer q(16);
+    q.fit(sample);
+    const auto b = q.boundaries();
+    ASSERT_EQ(b.size(), 15u);
+    for (std::size_t i = 1; i < b.size(); ++i)
+        EXPECT_GE(b[i], b[i - 1]);
+}
+
+TEST(EqualizedQuantizer, MonotoneInValue)
+{
+    const auto sample = lognormalSample(5000, 4);
+    EqualizedQuantizer q(8);
+    q.fit(sample);
+    std::size_t prev = 0;
+    for (double v = 0.01; v < 20.0; v *= 1.3) {
+        const std::size_t lvl = q.level(v);
+        EXPECT_GE(lvl, prev);
+        prev = lvl;
+    }
+}
+
+TEST(EqualizedQuantizer, HandlesMassiveTies)
+{
+    // Half the sample is the same value; bins collapse but level()
+    // stays well-defined and in range.
+    std::vector<double> sample(1000, 5.0);
+    for (std::size_t i = 0; i < 1000; ++i)
+        sample.push_back(static_cast<double>(i));
+    EqualizedQuantizer q(4);
+    q.fit(sample);
+    for (double v : sample)
+        EXPECT_LT(q.level(v), 4u);
+}
+
+TEST(EqualizedQuantizer, ErrorsOnMisuse)
+{
+    EXPECT_THROW(EqualizedQuantizer(0), std::invalid_argument);
+    EqualizedQuantizer q(4);
+    EXPECT_THROW(q.level(1.0), std::logic_error);
+    EXPECT_THROW(q.fit({}), std::invalid_argument);
+}
+
+TEST(Quantizer, LevelsOfVector)
+{
+    LinearQuantizer q(2);
+    q.fit({0.0, 1.0});
+    const auto lvls = q.levelsOf({0.1, 0.9, 0.4});
+    EXPECT_EQ(lvls, (std::vector<std::size_t>{0, 1, 0}));
+}
+
+/** Parameterized sweep over q for both quantizer kinds. */
+class QuantizerSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(QuantizerSweep, AllLevelsReachableEqualized)
+{
+    const std::size_t q = GetParam();
+    const auto sample = lognormalSample(20000, 40 + q);
+    EqualizedQuantizer quant(q);
+    quant.fit(sample);
+    std::vector<bool> seen(q, false);
+    for (double v : sample)
+        seen[quant.level(v)] = true;
+    for (std::size_t l = 0; l < q; ++l)
+        EXPECT_TRUE(seen[l]) << "level " << l << " of q=" << q;
+}
+
+TEST_P(QuantizerSweep, LinearLevelsWithinRange)
+{
+    const std::size_t q = GetParam();
+    const auto sample = lognormalSample(5000, 80 + q);
+    LinearQuantizer quant(q);
+    quant.fit(sample);
+    for (double v : sample)
+        EXPECT_LT(quant.level(v), q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, QuantizerSweep,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+} // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using lookhd::util::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBelow(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, DoubleRangeRespected)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble(-2.5, 4.0);
+        EXPECT_GE(x, -2.5);
+        EXPECT_LT(x, 4.0);
+    }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard)
+{
+    Rng rng(17);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.nextGaussian();
+        sum += x;
+        sumsq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianShiftScale)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextGaussian(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, SignVectorBalanced)
+{
+    Rng rng(23);
+    const auto v = rng.signVector(10000);
+    ASSERT_EQ(v.size(), 10000u);
+    long sum = 0;
+    for (auto s : v) {
+        EXPECT_TRUE(s == 1 || s == -1);
+        sum += s;
+    }
+    EXPECT_LT(std::abs(sum), 400);
+}
+
+TEST(Rng, SignVectorOddLength)
+{
+    Rng rng(27);
+    // Exercises the non-multiple-of-64 tail path.
+    const auto v = rng.signVector(67);
+    ASSERT_EQ(v.size(), 67u);
+    for (auto s : v)
+        EXPECT_TRUE(s == 1 || s == -1);
+}
+
+TEST(Rng, SampleIndicesDistinct)
+{
+    Rng rng(29);
+    const auto idx = rng.sampleIndices(50, 20);
+    ASSERT_EQ(idx.size(), 20u);
+    std::set<std::size_t> unique(idx.begin(), idx.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (auto i : idx)
+        EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleIndicesFullPermutation)
+{
+    Rng rng(31);
+    const auto idx = rng.sampleIndices(10, 10);
+    std::set<std::size_t> unique(idx.begin(), idx.end());
+    EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(37);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = v;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(41);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, SignBalancedOverManyDraws)
+{
+    Rng rng(43);
+    long sum = 0;
+    for (int i = 0; i < 10000; ++i)
+        sum += rng.nextSign();
+    EXPECT_LT(std::abs(sum), 400);
+}
+
+} // namespace

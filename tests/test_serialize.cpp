@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for model serialization: round-trip fidelity and corrupt-input
+ * rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synthetic.hpp"
+#include "lookhd/serialize.hpp"
+
+namespace {
+
+using namespace lookhd;
+
+data::TrainTest
+smallProblem(std::uint64_t seed = 1)
+{
+    data::SyntheticSpec spec;
+    spec.numFeatures = 23; // ragged tail with r = 5
+    spec.numClasses = 4;
+    spec.classSeparation = 1.0;
+    spec.informativeFraction = 0.6;
+    spec.seed = seed;
+    return data::makeTrainTest(spec, 200, 80);
+}
+
+ClassifierConfig
+smallConfig()
+{
+    ClassifierConfig cfg;
+    cfg.dim = 500;
+    cfg.quantLevels = 4;
+    cfg.chunkSize = 5;
+    cfg.retrainEpochs = 3;
+    return cfg;
+}
+
+TEST(Serialize, RoundTripPredictionsIdentical)
+{
+    const auto tt = smallProblem();
+    Classifier original(smallConfig());
+    original.fit(tt.train);
+
+    std::stringstream buffer;
+    saveClassifier(original, buffer);
+    const Classifier restored = loadClassifier(buffer);
+
+    EXPECT_TRUE(restored.fitted());
+    for (std::size_t i = 0; i < tt.test.size(); ++i) {
+        EXPECT_EQ(restored.predict(tt.test.row(i)),
+                  original.predict(tt.test.row(i)))
+            << "row " << i;
+        const auto a = original.scores(tt.test.row(i));
+        const auto b = restored.scores(tt.test.row(i));
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t c = 0; c < a.size(); ++c)
+            EXPECT_NEAR(a[c], b[c], 1e-9 * (std::abs(a[c]) + 1.0));
+    }
+    EXPECT_EQ(restored.retrainHistory(), original.retrainHistory());
+    EXPECT_EQ(restored.modelSizeBytes(), original.modelSizeBytes());
+}
+
+TEST(Serialize, RoundTripUncompressedMode)
+{
+    const auto tt = smallProblem(3);
+    ClassifierConfig cfg = smallConfig();
+    cfg.compressModel = false;
+    Classifier original(cfg);
+    original.fit(tt.train);
+
+    std::stringstream buffer;
+    saveClassifier(original, buffer);
+    const Classifier restored = loadClassifier(buffer);
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        EXPECT_EQ(restored.predict(tt.test.row(i)),
+                  original.predict(tt.test.row(i)));
+    // The uncompressed class hypervectors round-trip exactly.
+    for (std::size_t c = 0; c < 4; ++c)
+        EXPECT_EQ(restored.uncompressedModel().classHv(c),
+                  original.uncompressedModel().classHv(c));
+}
+
+TEST(Serialize, RoundTripPerFeatureQuantization)
+{
+    const auto tt = smallProblem(5);
+    ClassifierConfig cfg = smallConfig();
+    cfg.perFeatureQuantization = true;
+    Classifier original(cfg);
+    original.fit(tt.train);
+
+    std::stringstream buffer;
+    saveClassifier(original, buffer);
+    const Classifier restored = loadClassifier(buffer);
+    EXPECT_TRUE(restored.config().perFeatureQuantization);
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        EXPECT_EQ(restored.predict(tt.test.row(i)),
+                  original.predict(tt.test.row(i)));
+}
+
+TEST(Serialize, RoundTripGroupedCompression)
+{
+    data::SyntheticSpec spec;
+    spec.numFeatures = 20;
+    spec.numClasses = 9;
+    spec.classSeparation = 1.2;
+    spec.seed = 7;
+    auto tt = data::makeTrainTest(spec, 360, 90);
+
+    ClassifierConfig cfg = smallConfig();
+    cfg.compression.maxClassesPerGroup = 4;
+    Classifier original(cfg);
+    original.fit(tt.train);
+    ASSERT_EQ(original.compressedModel().numGroups(), 3u);
+
+    std::stringstream buffer;
+    saveClassifier(original, buffer);
+    const Classifier restored = loadClassifier(buffer);
+    EXPECT_EQ(restored.compressedModel().numGroups(), 3u);
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        EXPECT_EQ(restored.predict(tt.test.row(i)),
+                  original.predict(tt.test.row(i)));
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const auto tt = smallProblem(9);
+    Classifier original(smallConfig());
+    original.fit(tt.train);
+
+    const std::string path =
+        ::testing::TempDir() + "/lookhd_model.bin";
+    saveClassifierFile(original, path);
+    const Classifier restored = loadClassifierFile(path);
+    EXPECT_DOUBLE_EQ(restored.evaluate(tt.test),
+                     original.evaluate(tt.test));
+}
+
+TEST(Serialize, RejectsUnfittedClassifier)
+{
+    Classifier clf(smallConfig());
+    std::stringstream buffer;
+    EXPECT_THROW(saveClassifier(clf, buffer), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsGarbageAndTruncation)
+{
+    std::stringstream garbage("not a model at all");
+    EXPECT_THROW(loadClassifier(garbage), std::runtime_error);
+
+    const auto tt = smallProblem(11);
+    Classifier original(smallConfig());
+    original.fit(tt.train);
+    std::stringstream buffer;
+    saveClassifier(original, buffer);
+    const std::string full = buffer.str();
+
+    std::stringstream truncated(full.substr(0, full.size() / 2));
+    EXPECT_THROW(loadClassifier(truncated), std::runtime_error);
+
+    std::string bad_magic = full;
+    bad_magic[0] = 'X';
+    std::stringstream corrupt(bad_magic);
+    EXPECT_THROW(loadClassifier(corrupt), std::runtime_error);
+}
+
+TEST(Serialize, RejectsFutureVersion)
+{
+    const auto tt = smallProblem(13);
+    Classifier original(smallConfig());
+    original.fit(tt.train);
+    std::stringstream buffer;
+    saveClassifier(original, buffer);
+    std::string blob = buffer.str();
+    blob[4] = static_cast<char>(blob[4] + 1); // bump the version byte
+    std::stringstream in(blob);
+    EXPECT_THROW(loadClassifier(in), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows)
+{
+    EXPECT_THROW(loadClassifierFile("/nonexistent/model.bin"),
+                 std::runtime_error);
+}
+
+} // namespace

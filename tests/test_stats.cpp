@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for descriptive-statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace lookhd::util;
+
+TEST(Stats, SummarizeBasic)
+{
+    const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyGivesZeros)
+{
+    const Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, MeanSingleValue)
+{
+    EXPECT_DOUBLE_EQ(mean({42.0}), 42.0);
+}
+
+TEST(Stats, StddevConstantSampleIsZero)
+{
+    EXPECT_DOUBLE_EQ(stddev({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(Stats, GeomeanOfRatios)
+{
+    // geomean(2, 8) = 4; this is how the paper's "on average Nx"
+    // speedups aggregate.
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), std::invalid_argument);
+    EXPECT_THROW(geomean({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Stats, QuantileEndpoints)
+{
+    std::vector<double> v{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_NEAR(quantile(v, 0.25), 2.5, 1e-12);
+}
+
+TEST(Stats, QuantileEmptyThrows)
+{
+    EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+    EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows)
+{
+    EXPECT_THROW(pearson({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(RunningStatsTest, MatchesBatchSummary)
+{
+    const std::vector<double> v{0.5, -1.0, 2.25, 7.0, 3.5};
+    RunningStats acc;
+    for (double x : v)
+        acc.push(x);
+    const Summary s = summarize(v);
+    EXPECT_EQ(acc.count(), s.count);
+    EXPECT_NEAR(acc.mean(), s.mean, 1e-12);
+    EXPECT_NEAR(acc.stddev(), s.stddev, 1e-12);
+    EXPECT_DOUBLE_EQ(acc.min(), s.min);
+    EXPECT_DOUBLE_EQ(acc.max(), s.max);
+}
+
+TEST(RunningStatsTest, EmptyIsZero)
+{
+    RunningStats acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator and the paper app specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/apps.hpp"
+#include "data/synthetic.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace lookhd::data;
+
+TEST(Synthetic, DeterministicForEqualSpecs)
+{
+    SyntheticSpec spec;
+    spec.numFeatures = 10;
+    spec.numClasses = 3;
+    spec.seed = 99;
+    SyntheticProblem p1(spec), p2(spec);
+    const Dataset a = p1.sample(30);
+    const Dataset b = p2.sample(30);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.label(i), b.label(i));
+        for (std::size_t f = 0; f < a.numFeatures(); ++f)
+            EXPECT_DOUBLE_EQ(a.row(i)[f], b.row(i)[f]);
+    }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    SyntheticSpec spec;
+    spec.numFeatures = 10;
+    spec.numClasses = 2;
+    spec.seed = 1;
+    SyntheticProblem p1(spec);
+    spec.seed = 2;
+    SyntheticProblem p2(spec);
+    const Dataset a = p1.sample(5);
+    const Dataset b = p2.sample(5);
+    bool any_diff = false;
+    for (std::size_t f = 0; f < a.numFeatures(); ++f)
+        any_diff |= a.row(0)[f] != b.row(0)[f];
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, BalancedClasses)
+{
+    SyntheticSpec spec;
+    spec.numFeatures = 4;
+    spec.numClasses = 5;
+    spec.labelNoise = 0.0;
+    SyntheticProblem p(spec);
+    const Dataset ds = p.sample(100);
+    for (auto c : ds.classCounts())
+        EXPECT_EQ(c, 20u);
+}
+
+TEST(Synthetic, SkewProducesRightSkewedMarginals)
+{
+    SyntheticSpec spec;
+    spec.numFeatures = 20;
+    spec.numClasses = 2;
+    spec.skew = 1.0;
+    SyntheticProblem p(spec);
+    const Dataset ds = p.sample(500);
+    const auto vals = ds.allValues();
+    std::vector<double> v(vals.begin(), vals.end());
+    // Log-normal-ish: mean well above median.
+    const double med = lookhd::util::quantile(v, 0.5);
+    const double avg = lookhd::util::mean(v);
+    EXPECT_GT(avg, med * 1.1);
+    for (double x : v)
+        EXPECT_GE(x, 0.0); // bounded warp keeps values non-negative
+}
+
+TEST(Synthetic, ZeroSkewGivesSymmetricValues)
+{
+    SyntheticSpec spec;
+    spec.numFeatures = 20;
+    spec.numClasses = 2;
+    spec.skew = 0.0;
+    SyntheticProblem p(spec);
+    const Dataset ds = p.sample(500);
+    const auto vals = ds.allValues();
+    bool any_negative = false;
+    for (double x : vals)
+        any_negative |= x < 0.0;
+    EXPECT_TRUE(any_negative);
+}
+
+TEST(Synthetic, LabelNoiseFlipsSomeLabels)
+{
+    SyntheticSpec spec;
+    spec.numFeatures = 4;
+    spec.numClasses = 4;
+    spec.labelNoise = 0.5;
+    SyntheticProblem p(spec);
+    const Dataset ds = p.sample(400);
+    // Without noise labels would be exactly round-robin i % 4.
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        mismatches += ds.label(i) != i % 4;
+    EXPECT_GT(mismatches, 100u);
+    EXPECT_LT(mismatches, 300u);
+}
+
+TEST(Synthetic, RejectsInvalidSpecs)
+{
+    SyntheticSpec spec;
+    spec.numFeatures = 0;
+    EXPECT_THROW(SyntheticProblem{spec}, std::invalid_argument);
+    spec.numFeatures = 4;
+    spec.informativeFraction = 1.5;
+    EXPECT_THROW(SyntheticProblem{spec}, std::invalid_argument);
+    spec.informativeFraction = 0.5;
+    spec.labelNoise = -0.1;
+    EXPECT_THROW(SyntheticProblem{spec}, std::invalid_argument);
+}
+
+TEST(Synthetic, MakeTrainTestShapes)
+{
+    SyntheticSpec spec;
+    spec.numFeatures = 8;
+    spec.numClasses = 2;
+    const auto tt = makeTrainTest(spec, 100, 40);
+    EXPECT_EQ(tt.train.size(), 100u);
+    EXPECT_EQ(tt.test.size(), 40u);
+    EXPECT_EQ(tt.train.numFeatures(), 8u);
+}
+
+TEST(Apps, FivePaperApplications)
+{
+    const auto &apps = paperApps();
+    ASSERT_EQ(apps.size(), 5u);
+    EXPECT_EQ(apps[0].name, "SPEECH");
+    EXPECT_EQ(apps[0].numFeatures, 617u);
+    EXPECT_EQ(apps[0].numClasses, 26u);
+    EXPECT_EQ(apps[0].paperQ, 16u);
+    EXPECT_EQ(apps[1].name, "ACTIVITY");
+    EXPECT_EQ(apps[1].numFeatures, 561u);
+    EXPECT_EQ(apps[2].name, "PHYSICAL");
+    EXPECT_EQ(apps[2].numClasses, 12u);
+    EXPECT_EQ(apps[3].name, "FACE");
+    EXPECT_EQ(apps[3].numClasses, 2u);
+    EXPECT_EQ(apps[4].name, "EXTRA");
+    EXPECT_EQ(apps[4].numFeatures, 225u);
+}
+
+TEST(Apps, LookupByName)
+{
+    EXPECT_EQ(appByName("FACE").numFeatures, 608u);
+    EXPECT_THROW(appByName("NOPE"), std::invalid_argument);
+}
+
+TEST(Apps, SyntheticSpecCarriesShape)
+{
+    const AppSpec &app = appByName("PHYSICAL");
+    const SyntheticSpec spec = app.synthetic(123);
+    EXPECT_EQ(spec.numFeatures, 52u);
+    EXPECT_EQ(spec.numClasses, 12u);
+    EXPECT_EQ(spec.seed, 123u);
+}
+
+TEST(Apps, ScaledDownKeepsEverythingButCounts)
+{
+    const AppSpec small = scaledDown(appByName("SPEECH"), 100, 50);
+    EXPECT_EQ(small.trainCount, 100u);
+    EXPECT_EQ(small.testCount, 50u);
+    EXPECT_EQ(small.numFeatures, 617u);
+    EXPECT_EQ(small.numClasses, 26u);
+}
+
+} // namespace

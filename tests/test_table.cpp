@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the ASCII table and formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lookhd::util;
+
+TEST(Table, RenderContainsHeadersAndCells)
+{
+    Table t({"App", "Speedup"});
+    t.addRow({"SPEECH", "28.3x"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("App"), std::string::npos);
+    EXPECT_NE(out.find("SPEECH"), std::string::npos);
+    EXPECT_NE(out.find("28.3x"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersThrow)
+{
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes)
+{
+    Table t({"name", "value"});
+    t.addRow({"a,b", "say \"hi\""});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted)
+{
+    Table t({"x"});
+    t.addRow({"plain"});
+    EXPECT_EQ(t.renderCsv(), "x\nplain\n");
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t({"h", "w"});
+    t.addRow({"longer-cell", "x"});
+    const std::string out = t.render();
+    // Every rendered line has the same width.
+    std::size_t first = out.find('\n');
+    std::size_t width = first;
+    for (std::size_t pos = 0; pos < out.size();) {
+        const std::size_t next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, width);
+        pos = next + 1;
+    }
+}
+
+TEST(Format, Fmt)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Format, Ratio)
+{
+    EXPECT_EQ(fmtRatio(28.34), "28.3x");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.941), "94.1%");
+}
+
+TEST(Format, SiSuffixes)
+{
+    EXPECT_EQ(fmtSi(1234.0, 2), "1.23k");
+    EXPECT_EQ(fmtSi(2.5e6, 1), "2.5M");
+    EXPECT_EQ(fmtSi(3.1e9, 1), "3.1G");
+    EXPECT_EQ(fmtSi(12.0, 0), "12");
+}
+
+} // namespace

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Compile check for the umbrella header: including everything at once
+ * must not produce conflicts, and the main entry points must be
+ * usable from it alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lookhd.hpp"
+
+namespace {
+
+TEST(Umbrella, EverythingCompilesTogether)
+{
+    lookhd::data::SyntheticSpec spec;
+    spec.numFeatures = 8;
+    spec.numClasses = 2;
+    spec.seed = 1;
+    auto [train, test] = lookhd::data::makeTrainTest(spec, 60, 20);
+
+    lookhd::ClassifierConfig cfg;
+    cfg.dim = 200;
+    cfg.retrainEpochs = 1;
+    lookhd::Classifier clf(cfg);
+    clf.fit(train);
+    EXPECT_GE(clf.evaluate(test), 0.0);
+
+    lookhd::hw::FpgaModel fpga;
+    lookhd::hwsim::FpgaSimulator sim;
+    EXPECT_GT(fpga.device().dsps, 0u);
+    EXPECT_GT(sim.device().luts, 0u);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal argv flag parser shared by the command-line tools.
+ */
+
+#ifndef LOOKHD_TOOLS_CLI_HPP
+#define LOOKHD_TOOLS_CLI_HPP
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lookhd::tools {
+
+/** Parsed command line: --key value options and --flag switches. */
+class Args
+{
+  public:
+    /**
+     * @param argc/argv Program arguments.
+     * @param flags Names (without --) that take no value.
+     */
+    Args(int argc, char **argv, const std::set<std::string> &flags)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0)
+                throw std::invalid_argument("unexpected argument: " +
+                                            arg);
+            const std::string name = arg.substr(2);
+            if (flags.count(name)) {
+                flags_.insert(name);
+            } else {
+                if (i + 1 >= argc)
+                    throw std::invalid_argument("missing value for --" +
+                                                name);
+                values_[name] = argv[++i];
+            }
+        }
+    }
+
+    bool has(const std::string &flag) const
+    {
+        return flags_.count(flag) > 0;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    std::string
+    require(const std::string &key) const
+    {
+        const auto it = values_.find(key);
+        if (it == values_.end())
+            throw std::invalid_argument("missing required --" + key);
+        return it->second;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        const auto it = values_.find(key);
+        if (it == values_.end())
+            return fallback;
+        return std::strtol(it->second.c_str(), nullptr, 10);
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto it = values_.find(key);
+        if (it == values_.end())
+            return fallback;
+        return std::strtod(it->second.c_str(), nullptr);
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::set<std::string> flags_;
+};
+
+} // namespace lookhd::tools
+
+#endif // LOOKHD_TOOLS_CLI_HPP

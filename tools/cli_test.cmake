@@ -1,0 +1,59 @@
+# CTest script: end-to-end round trip of the command-line tools.
+# Invoked as:
+#   cmake -DTRAIN=... -DPREDICT=... -DINFO=... -DWORKDIR=...
+#         -P cli_test.cmake
+
+# Deterministic two-class CSV: class from the sign of feature 0.
+set(csv "${WORKDIR}/cli_demo.csv")
+set(lines "")
+foreach(i RANGE 0 199)
+    math(EXPR cls "${i} % 2")
+    math(EXPR base "${cls} * 10")
+    math(EXPR f0 "${base} + (${i} % 5)")
+    math(EXPR f1 "20 - ${base} + (${i} % 3)")
+    math(EXPR f2 "(${i} % 7)")
+    string(APPEND lines "${f0}.5,${f1}.25,${f2}.0,${cls}\n")
+endforeach()
+file(WRITE "${csv}" "${lines}")
+
+set(model "${WORKDIR}/cli_demo_model.bin")
+
+execute_process(
+    COMMAND "${TRAIN}" --input "${csv}" --output "${model}"
+            --dim 500 --q 4 --r 3 --epochs 3 --quiet
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "lookhd_train failed (${rc})")
+endif()
+
+execute_process(
+    COMMAND "${INFO}" --model "${model}"
+    OUTPUT_VARIABLE info_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "lookhd_info failed (${rc})")
+endif()
+if(NOT info_out MATCHES "dimensionality D +500")
+    message(FATAL_ERROR "lookhd_info did not report D=500:\n${info_out}")
+endif()
+
+execute_process(
+    COMMAND "${PREDICT}" --model "${model}" --input "${csv}"
+    OUTPUT_VARIABLE pred_out ERROR_VARIABLE pred_err
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "lookhd_predict failed (${rc})")
+endif()
+# Perfectly separable data: the tool must report 100% on stderr.
+if(NOT pred_err MATCHES "accuracy: 100")
+    message(FATAL_ERROR "unexpected accuracy report: ${pred_err}")
+endif()
+
+# Error paths: bad model file must fail cleanly.
+execute_process(
+    COMMAND "${INFO}" --model "${csv}"
+    RESULT_VARIABLE rc ERROR_QUIET OUTPUT_QUIET)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "lookhd_info accepted a non-model file")
+endif()
+
+message(STATUS "cli round trip OK")

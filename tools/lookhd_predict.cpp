@@ -1,0 +1,64 @@
+/**
+ * @file
+ * lookhd_predict: classify a CSV dataset with a saved model.
+ *
+ * Usage:
+ *   lookhd_predict --model model.bin --input data.csv
+ *                  [--label-first] [--skip-rows N] [--quiet]
+ *
+ * Prints one predicted class index per input row. When the CSV
+ * carries labels (it must, structurally), accuracy and macro-F1 are
+ * reported on stderr so stdout stays machine-readable.
+ */
+
+#include <cstdio>
+
+#include "cli.hpp"
+#include "data/csv.hpp"
+#include "data/metrics.hpp"
+#include "lookhd/serialize.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lookhd;
+    try {
+        const tools::Args args(argc, argv,
+                               {"label-first", "quiet"});
+
+        const Classifier clf =
+            loadClassifierFile(args.require("model"));
+
+        data::CsvOptions csv;
+        csv.labelColumn = args.has("label-first")
+                              ? data::LabelColumn::kFirst
+                              : data::LabelColumn::kLast;
+        csv.skipRows =
+            static_cast<std::size_t>(args.getInt("skip-rows", 0));
+        const data::Dataset ds =
+            data::readCsvFile(args.require("input"), csv);
+
+        data::ConfusionMatrix cm(
+            std::max(ds.numClasses(), std::size_t{1}));
+        bool labels_usable = true;
+        for (std::size_t i = 0; i < ds.size(); ++i) {
+            const std::size_t pred = clf.predict(ds.row(i));
+            std::printf("%zu\n", pred);
+            if (pred < cm.numClasses())
+                cm.add(ds.label(i), pred);
+            else
+                labels_usable = false;
+        }
+        if (!args.has("quiet") && labels_usable && cm.total() > 0) {
+            std::fprintf(stderr,
+                         "accuracy: %.2f%%  macro-F1: %.3f over %zu "
+                         "points\n",
+                         100.0 * cm.accuracy(), cm.macroF1(),
+                         cm.total());
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lookhd_predict: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * lookhd_train: train a LookHD classifier on a CSV dataset and save
+ * the model.
+ *
+ * Usage:
+ *   lookhd_train --input data.csv --output model.bin
+ *                [--dim 2000] [--q 4] [--r 5] [--epochs 10]
+ *                [--seed 42] [--test-fraction 0.2]
+ *                [--linear] [--per-feature] [--no-compress]
+ *                [--label-first] [--skip-rows N] [--quiet]
+ *
+ * The CSV layout is features...,label (or label,features... with
+ * --label-first). A held-out test split reports accuracy and the
+ * confusion matrix before the model is written.
+ */
+
+#include <cstdio>
+
+#include "cli.hpp"
+#include "data/csv.hpp"
+#include "data/metrics.hpp"
+#include "lookhd/serialize.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lookhd;
+    try {
+        const tools::Args args(
+            argc, argv,
+            {"linear", "per-feature", "no-compress", "label-first",
+             "quiet"});
+
+        data::CsvOptions csv;
+        csv.labelColumn = args.has("label-first")
+                              ? data::LabelColumn::kFirst
+                              : data::LabelColumn::kLast;
+        csv.skipRows =
+            static_cast<std::size_t>(args.getInt("skip-rows", 0));
+        const data::Dataset full =
+            data::readCsvFile(args.require("input"), csv);
+
+        ClassifierConfig cfg;
+        cfg.dim = static_cast<std::size_t>(args.getInt("dim", 2000));
+        cfg.quantLevels =
+            static_cast<std::size_t>(args.getInt("q", 4));
+        cfg.chunkSize = static_cast<std::size_t>(args.getInt("r", 5));
+        cfg.retrainEpochs =
+            static_cast<std::size_t>(args.getInt("epochs", 10));
+        cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+        if (args.has("linear"))
+            cfg.quantization = QuantizationKind::kLinear;
+        cfg.perFeatureQuantization = args.has("per-feature");
+        cfg.compressModel = !args.has("no-compress");
+
+        const double test_fraction =
+            args.getDouble("test-fraction", 0.2);
+        util::Rng split_rng(cfg.seed ^ 0x5eedULL);
+
+        Classifier clf(cfg);
+        if (test_fraction > 0.0 && test_fraction < 1.0 &&
+            full.size() >= 10) {
+            const auto [train, test] =
+                full.split(1.0 - test_fraction, split_rng);
+            clf.fit(train);
+            if (!args.has("quiet")) {
+                const auto cm = data::confusionOf(
+                    test, [&](auto row) { return clf.predict(row); });
+                std::printf("train: %zu points, test: %zu points\n",
+                            train.size(), test.size());
+                std::printf("test accuracy: %.2f%%  macro-F1: %.3f\n",
+                            100.0 * cm.accuracy(), cm.macroF1());
+                if (full.numClasses() <= 16)
+                    std::printf("%s", cm.render().c_str());
+            }
+        } else {
+            clf.fit(full);
+            if (!args.has("quiet"))
+                std::printf("trained on all %zu points (no test "
+                            "split)\n",
+                            full.size());
+        }
+
+        saveClassifierFile(clf, args.require("output"));
+        if (!args.has("quiet")) {
+            std::printf("model written to %s (%zu model bytes)\n",
+                        args.require("output").c_str(),
+                        clf.modelSizeBytes());
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lookhd_train: %s\n", e.what());
+        return 1;
+    }
+}
