@@ -1,8 +1,8 @@
 #include "hdc/bitpack.hpp"
 
 #include <bit>
-#include <cassert>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace lookhd::hdc {
 
@@ -20,16 +20,14 @@ PackedHv::PackedHv(Dim d) : dim_(d), words_((d + 63) / 64, 0) {}
 int
 PackedHv::at(std::size_t i) const
 {
-    if (i >= dim_)
-        throw std::out_of_range("packed hypervector index");
+    LOOKHD_CHECK_BOUNDS(i, dim_);
     return (words_[i / 64] >> (i % 64)) & 1 ? 1 : -1;
 }
 
 void
 PackedHv::set(std::size_t i, bool positive)
 {
-    if (i >= dim_)
-        throw std::out_of_range("packed hypervector index");
+    LOOKHD_CHECK_BOUNDS(i, dim_);
     const std::uint64_t mask = std::uint64_t{1} << (i % 64);
     if (positive)
         words_[i / 64] |= mask;
@@ -57,8 +55,7 @@ PackedHv::trimTail()
 PackedHv
 PackedHv::bind(const PackedHv &other) const
 {
-    if (dim_ != other.dim_)
-        throw std::invalid_argument("dimensionality mismatch");
+    LOOKHD_CHECK(dim_ == other.dim_, "dimensionality mismatch");
     PackedHv out(dim_);
     // Bipolar product is +1 iff signs agree: XNOR of the bits.
     for (std::size_t w = 0; w < words_.size(); ++w)
@@ -70,8 +67,7 @@ PackedHv::bind(const PackedHv &other) const
 std::size_t
 matchCount(const PackedHv &a, const PackedHv &b)
 {
-    if (a.dim() != b.dim())
-        throw std::invalid_argument("dimensionality mismatch");
+    LOOKHD_CHECK(a.dim() == b.dim(), "dimensionality mismatch");
     std::size_t matches = 0;
     const std::size_t full_words = a.dim() / 64;
     const auto &aw = a.data();
@@ -107,8 +103,8 @@ dot(const PackedHv &a, const PackedHv &b)
 std::int64_t
 dot(const IntHv &query, const PackedHv &packed)
 {
-    if (query.size() != packed.dim())
-        throw std::invalid_argument("dimensionality mismatch");
+    LOOKHD_CHECK(query.size() == packed.dim(),
+                 "dimensionality mismatch");
     std::int64_t sum = 0;
     const auto &words = packed.data();
     for (std::size_t i = 0; i < query.size(); ++i) {

@@ -1,7 +1,8 @@
 #include "hdc/clustering.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 #include "hdc/similarity.hpp"
 #include "util/rng.hpp"
@@ -33,14 +34,11 @@ ClusterResult
 clusterEncoded(const std::vector<IntHv> &points, std::size_t k,
                const ClusterOptions &options)
 {
-    if (points.empty())
-        throw std::invalid_argument("cannot cluster zero points");
-    if (k == 0 || k > points.size())
-        throw std::invalid_argument("cluster count out of range");
+    LOOKHD_CHECK(!points.empty(), "cannot cluster zero points");
+    LOOKHD_CHECK(k != 0 && k <= points.size(), "cluster count out of range");
     const Dim d = points.front().size();
     for (const IntHv &p : points) {
-        if (p.size() != d)
-            throw std::invalid_argument("inconsistent dimensions");
+        LOOKHD_CHECK(p.size() == d, "inconsistent dimensions");
     }
 
     ClusterResult result;
@@ -129,13 +127,12 @@ clusterPurity(const std::vector<std::size_t> &assignments,
               const std::vector<std::size_t> &labels,
               std::size_t num_clusters, std::size_t num_labels)
 {
-    if (assignments.size() != labels.size() || assignments.empty())
-        throw std::invalid_argument("assignment/label size mismatch");
+    LOOKHD_CHECK(assignments.size() == labels.size() && !assignments.empty(),
+                 "assignment/label size mismatch");
     std::vector<std::size_t> counts(num_clusters * num_labels, 0);
     for (std::size_t i = 0; i < assignments.size(); ++i) {
-        if (assignments[i] >= num_clusters ||
-            labels[i] >= num_labels)
-            throw std::out_of_range("cluster or label index");
+        LOOKHD_CHECK(assignments[i] < num_clusters && labels[i] < num_labels,
+                     "cluster or label index");
         ++counts[assignments[i] * num_labels + labels[i]];
     }
     std::size_t majority_sum = 0;

@@ -1,6 +1,6 @@
 #include "hdc/encoder.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace lookhd::hdc {
 
@@ -9,14 +9,10 @@ BaselineEncoder::BaselineEncoder(
     std::shared_ptr<const quant::Quantizer> quantizer)
     : levels_(std::move(levels)), quantizer_(std::move(quantizer))
 {
-    if (!levels_ || !quantizer_)
-        throw std::invalid_argument("encoder needs levels and quantizer");
-    if (!quantizer_->fitted())
-        throw std::invalid_argument("quantizer must be fitted");
-    if (quantizer_->levels() != levels_->levels()) {
-        throw std::invalid_argument(
-            "quantizer levels do not match level memory");
-    }
+    LOOKHD_CHECK(levels_ && quantizer_, "encoder needs levels and quantizer");
+    LOOKHD_CHECK(quantizer_->fitted(), "quantizer must be fitted");
+    LOOKHD_CHECK(quantizer_->levels() == levels_->levels(),
+                 "quantizer levels do not match level memory");
 }
 
 BaselineEncoder::BaselineEncoder(
@@ -24,21 +20,16 @@ BaselineEncoder::BaselineEncoder(
     std::shared_ptr<const quant::QuantizerBank> bank)
     : levels_(std::move(levels)), bank_(std::move(bank))
 {
-    if (!levels_ || !bank_)
-        throw std::invalid_argument("encoder needs levels and bank");
-    if (!bank_->fitted())
-        throw std::invalid_argument("quantizer bank must be fitted");
-    if (bank_->levels() != levels_->levels()) {
-        throw std::invalid_argument(
-            "bank levels do not match level memory");
-    }
+    LOOKHD_CHECK(levels_ && bank_, "encoder needs levels and bank");
+    LOOKHD_CHECK(bank_->fitted(), "quantizer bank must be fitted");
+    LOOKHD_CHECK(bank_->levels() == levels_->levels(),
+                 "bank levels do not match level memory");
 }
 
 const quant::Quantizer &
 BaselineEncoder::quantizer() const
 {
-    if (!quantizer_)
-        throw std::logic_error("encoder uses a per-feature bank");
+    LOOKHD_CHECK(quantizer_, "encoder uses a per-feature bank");
     return *quantizer_;
 }
 

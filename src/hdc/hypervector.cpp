@@ -1,7 +1,8 @@
 #include "hdc/hypervector.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.hpp"
 
 namespace lookhd::hdc {
 
@@ -18,7 +19,7 @@ Hv
 rotateImpl(const Hv &hv, std::size_t shift)
 {
     const std::size_t d = hv.size();
-    assert(d > 0);
+    LOOKHD_DCHECK(d > 0, "rotate of empty hypervector");
     shift %= d;
     Hv out(d);
     for (std::size_t i = 0; i < d; ++i)
@@ -44,7 +45,7 @@ void
 addRotated(IntHv &acc, const BipolarHv &hv, std::size_t shift)
 {
     const std::size_t d = acc.size();
-    assert(hv.size() == d);
+    LOOKHD_DCHECK(hv.size() == d, "dimensionality mismatch");
     shift %= d;
     // Two contiguous loops instead of a modulo per element.
     std::size_t i = 0;
@@ -57,7 +58,7 @@ addRotated(IntHv &acc, const BipolarHv &hv, std::size_t shift)
 void
 addInto(IntHv &acc, const IntHv &hv)
 {
-    assert(acc.size() == hv.size());
+    LOOKHD_DCHECK(acc.size() == hv.size(), "dimensionality mismatch");
     for (std::size_t i = 0; i < acc.size(); ++i)
         acc[i] += hv[i];
 }
@@ -65,7 +66,7 @@ addInto(IntHv &acc, const IntHv &hv)
 void
 subtractFrom(IntHv &acc, const IntHv &hv)
 {
-    assert(acc.size() == hv.size());
+    LOOKHD_DCHECK(acc.size() == hv.size(), "dimensionality mismatch");
     for (std::size_t i = 0; i < acc.size(); ++i)
         acc[i] -= hv[i];
 }
@@ -73,7 +74,7 @@ subtractFrom(IntHv &acc, const IntHv &hv)
 IntHv
 bind(const BipolarHv &key, const IntHv &hv)
 {
-    assert(key.size() == hv.size());
+    LOOKHD_DCHECK(key.size() == hv.size(), "dimensionality mismatch");
     IntHv out(hv.size());
     for (std::size_t i = 0; i < hv.size(); ++i)
         out[i] = key[i] * hv[i];
@@ -83,7 +84,7 @@ bind(const BipolarHv &key, const IntHv &hv)
 BipolarHv
 bind(const BipolarHv &a, const BipolarHv &b)
 {
-    assert(a.size() == b.size());
+    LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
     BipolarHv out(a.size());
     for (std::size_t i = 0; i < a.size(); ++i)
         out[i] = static_cast<std::int8_t>(a[i] * b[i]);
@@ -93,7 +94,7 @@ bind(const BipolarHv &a, const BipolarHv &b)
 void
 bindInto(IntHv &hv, const BipolarHv &key)
 {
-    assert(key.size() == hv.size());
+    LOOKHD_DCHECK(key.size() == hv.size(), "dimensionality mismatch");
     for (std::size_t i = 0; i < hv.size(); ++i)
         hv[i] *= key[i];
 }
@@ -110,7 +111,7 @@ sign(const IntHv &hv)
 std::int64_t
 dot(const IntHv &a, const IntHv &b)
 {
-    assert(a.size() == b.size());
+    LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
     std::int64_t sum = 0;
     for (std::size_t i = 0; i < a.size(); ++i)
         sum += static_cast<std::int64_t>(a[i]) * b[i];
@@ -120,7 +121,7 @@ dot(const IntHv &a, const IntHv &b)
 std::int64_t
 dot(const IntHv &a, const BipolarHv &b)
 {
-    assert(a.size() == b.size());
+    LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
     std::int64_t sum = 0;
     for (std::size_t i = 0; i < a.size(); ++i)
         sum += b[i] >= 0 ? a[i] : -a[i];
@@ -130,7 +131,7 @@ dot(const IntHv &a, const BipolarHv &b)
 std::int64_t
 dot(const BipolarHv &a, const BipolarHv &b)
 {
-    assert(a.size() == b.size());
+    LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
     std::int64_t sum = 0;
     for (std::size_t i = 0; i < a.size(); ++i)
         sum += static_cast<std::int64_t>(a[i]) * b[i];
@@ -140,7 +141,7 @@ dot(const BipolarHv &a, const BipolarHv &b)
 double
 dot(const IntHv &a, const RealHv &b)
 {
-    assert(a.size() == b.size());
+    LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
     double sum = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i)
         sum += static_cast<double>(a[i]) * b[i];
@@ -150,7 +151,7 @@ dot(const IntHv &a, const RealHv &b)
 double
 dot(const RealHv &a, const RealHv &b)
 {
-    assert(a.size() == b.size());
+    LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
     double sum = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i)
         sum += a[i] * b[i];

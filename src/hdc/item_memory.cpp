@@ -1,7 +1,8 @@
 #include "hdc/item_memory.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace lookhd::hdc {
 
@@ -9,10 +10,8 @@ LevelMemory::LevelMemory(Dim dim, std::size_t levels, util::Rng &rng,
                          LevelGen strategy)
     : dim_(dim)
 {
-    if (levels < 2)
-        throw std::invalid_argument("level memory needs at least 2 levels");
-    if (dim < levels)
-        throw std::invalid_argument("dimensionality below level count");
+    LOOKHD_CHECK(levels >= 2, "level memory needs at least 2 levels");
+    LOOKHD_CHECK(dim >= levels, "dimensionality below level count");
 
     hvs_.reserve(levels);
     hvs_.push_back(randomBipolar(dim, rng));
@@ -49,11 +48,11 @@ LevelMemory::LevelMemory(Dim dim, std::size_t levels, util::Rng &rng,
 LevelMemory::LevelMemory(std::vector<BipolarHv> hvs)
     : dim_(hvs.empty() ? 0 : hvs.front().size()), hvs_(std::move(hvs))
 {
-    if (hvs_.size() < 2)
-        throw std::invalid_argument("level memory needs at least 2 levels");
+    LOOKHD_CHECK(hvs_.size() >= 2,
+                 "level memory needs at least 2 levels");
     for (const auto &hv : hvs_) {
-        if (hv.size() != dim_)
-            throw std::invalid_argument("inconsistent level dimensions");
+        LOOKHD_CHECK(hv.size() == dim_,
+                     "inconsistent level dimensions");
     }
 }
 
@@ -69,8 +68,8 @@ KeyMemory::KeyMemory(std::vector<BipolarHv> hvs)
     : dim_(hvs.empty() ? 0 : hvs.front().size()), hvs_(std::move(hvs))
 {
     for (const auto &hv : hvs_) {
-        if (hv.size() != dim_)
-            throw std::invalid_argument("inconsistent key dimensions");
+        LOOKHD_CHECK(hv.size() == dim_,
+                     "inconsistent key dimensions");
     }
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "hdc/hypervector.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace lookhd::hdc {
@@ -69,7 +70,12 @@ class LevelMemory
     std::size_t levels() const { return hvs_.size(); }
 
     /** Level hypervector for quantized level @p index in [0, q). */
-    const BipolarHv &at(std::size_t index) const { return hvs_.at(index); }
+    const BipolarHv &
+    at(std::size_t index) const
+    {
+        LOOKHD_CHECK_BOUNDS(index, hvs_.size());
+        return hvs_[index];
+    }
 
   private:
     Dim dim_;
@@ -97,7 +103,12 @@ class KeyMemory
     std::size_t count() const { return hvs_.size(); }
 
     /** Key @p index in [0, count). */
-    const BipolarHv &at(std::size_t index) const { return hvs_.at(index); }
+    const BipolarHv &
+    at(std::size_t index) const
+    {
+        LOOKHD_CHECK_BOUNDS(index, hvs_.size());
+        return hvs_[index];
+    }
 
   private:
     Dim dim_;

@@ -1,6 +1,6 @@
 #include "hdc/model.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 #include "hdc/similarity.hpp"
 
@@ -9,8 +9,7 @@ namespace lookhd::hdc {
 ClassModel::ClassModel(Dim dim, std::size_t classes)
     : dim_(dim), classes_(classes, IntHv(dim, 0))
 {
-    if (dim == 0 || classes == 0)
-        throw std::invalid_argument("model shape must be nonzero");
+    LOOKHD_CHECK(dim != 0 && classes != 0, "model shape must be nonzero");
 }
 
 void
@@ -42,8 +41,7 @@ ClassModel::normalize()
 std::vector<double>
 ClassModel::scores(const IntHv &query) const
 {
-    if (!normalized_)
-        throw std::logic_error("model not normalized; call normalize()");
+    LOOKHD_CHECK(normalized_, "model not normalized; call normalize()");
     std::vector<double> out(norm_.size());
     for (std::size_t c = 0; c < norm_.size(); ++c)
         out[c] = dot(query, norm_[c]);

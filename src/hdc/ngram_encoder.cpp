@@ -1,6 +1,6 @@
 #include "hdc/ngram_encoder.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace lookhd::hdc {
 
@@ -8,22 +8,20 @@ NgramEncoder::NgramEncoder(std::shared_ptr<const KeyMemory> symbols,
                            std::size_t n)
     : symbols_(std::move(symbols)), n_(n)
 {
-    if (!symbols_ || symbols_->count() == 0)
-        throw std::invalid_argument("encoder needs a symbol memory");
-    if (n == 0)
-        throw std::invalid_argument("n-gram order must be positive");
+    LOOKHD_CHECK(symbols_ && symbols_->count() != 0,
+                 "encoder needs a symbol memory");
+    LOOKHD_CHECK(n != 0, "n-gram order must be positive");
 }
 
 BipolarHv
 NgramEncoder::encodeGram(std::span<const std::size_t> gram) const
 {
-    if (gram.empty() || gram.size() > n_)
-        throw std::invalid_argument("gram length out of range");
+    LOOKHD_CHECK(!gram.empty() && gram.size() <= n_,
+                 "gram length out of range");
     const Dim d = dim();
     BipolarHv acc(d, 1);
     for (std::size_t j = 0; j < gram.size(); ++j) {
-        if (gram[j] >= alphabetSize())
-            throw std::invalid_argument("symbol out of alphabet");
+        LOOKHD_CHECK(gram[j] < alphabetSize(), "symbol out of alphabet");
         // Position j (0 = oldest) is rotated by (len - 1 - j).
         const BipolarHv rotated =
             rotate(symbols_->at(gram[j]), gram.size() - 1 - j);
@@ -37,8 +35,7 @@ IntHv
 NgramEncoder::encodeSequence(
     std::span<const std::size_t> sequence) const
 {
-    if (sequence.empty())
-        throw std::invalid_argument("cannot encode an empty sequence");
+    LOOKHD_CHECK(!sequence.empty(), "cannot encode an empty sequence");
     IntHv acc(dim(), 0);
     if (sequence.size() < n_) {
         const BipolarHv gram = encodeGram(sequence);

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 #include "hdc/similarity.hpp"
 #include "hdc/trainer.hpp"
@@ -28,10 +29,9 @@ onlineTrain(const std::vector<IntHv> &encoded,
             const std::vector<std::size_t> &labels, Dim dim,
             std::size_t num_classes, const OnlineTrainOptions &options)
 {
-    if (encoded.size() != labels.size() || encoded.empty())
-        throw std::invalid_argument("encoded/labels size mismatch");
-    if (options.epochs == 0)
-        throw std::invalid_argument("online training needs >= 1 pass");
+    LOOKHD_CHECK(encoded.size() == labels.size() && !encoded.empty(),
+                 "encoded/labels size mismatch");
+    LOOKHD_CHECK(options.epochs != 0, "online training needs >= 1 pass");
 
     OnlineTrainResult result{ClassModel(dim, num_classes), {}};
     ClassModel &model = result.model;

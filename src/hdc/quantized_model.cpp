@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 #include "hdc/similarity.hpp"
 
@@ -12,8 +13,7 @@ QuantizedModel::QuantizedModel(const ClassModel &model,
                                std::size_t bits)
     : dim_(model.dim()), bits_(bits)
 {
-    if (bits < 1 || bits > 16)
-        throw std::invalid_argument("bits must be in [1, 16]");
+    LOOKHD_CHECK(bits >= 1 && bits <= 16, "bits must be in [1, 16]");
 
     // Symmetric levels: b bits hold values in [-max_level, max_level]
     // with max_level = 2^(b-1) - 1 (and 1-bit degenerates to +-1).
@@ -58,8 +58,7 @@ QuantizedModel::QuantizedModel(const ClassModel &model,
 std::vector<double>
 QuantizedModel::scores(const IntHv &query) const
 {
-    if (query.size() != dim_)
-        throw std::invalid_argument("query dimensionality mismatch");
+    LOOKHD_CHECK(query.size() == dim_, "query dimensionality mismatch");
     std::vector<double> out(classes_.size());
     for (std::size_t c = 0; c < classes_.size(); ++c) {
         std::int64_t sum = 0;

@@ -1,6 +1,6 @@
 #include "hdc/record_encoder.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace lookhd::hdc {
 
@@ -11,23 +11,18 @@ RecordEncoder::RecordEncoder(
     : levels_(std::move(levels)), quantizer_(std::move(quantizer)),
       ids_(levels_ ? levels_->dim() : 0, num_features, rng)
 {
-    if (!levels_ || !quantizer_)
-        throw std::invalid_argument("encoder needs levels and quantizer");
-    if (!quantizer_->fitted())
-        throw std::invalid_argument("quantizer must be fitted");
-    if (quantizer_->levels() != levels_->levels()) {
-        throw std::invalid_argument(
-            "quantizer levels do not match level memory");
-    }
-    if (num_features == 0)
-        throw std::invalid_argument("encoder needs features");
+    LOOKHD_CHECK(levels_ && quantizer_, "encoder needs levels and quantizer");
+    LOOKHD_CHECK(quantizer_->fitted(), "quantizer must be fitted");
+    LOOKHD_CHECK(quantizer_->levels() == levels_->levels(),
+                 "quantizer levels do not match level memory");
+    LOOKHD_CHECK(num_features != 0, "encoder needs features");
 }
 
 IntHv
 RecordEncoder::encode(std::span<const double> features) const
 {
-    if (features.size() != ids_.count())
-        throw std::invalid_argument("feature vector width mismatch");
+    LOOKHD_CHECK(features.size() == ids_.count(),
+                 "feature vector width mismatch");
     IntHv acc(dim(), 0);
     for (std::size_t f = 0; f < features.size(); ++f) {
         const BipolarHv &level =

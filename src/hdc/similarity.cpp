@@ -1,8 +1,8 @@
 #include "hdc/similarity.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace lookhd::hdc {
 
@@ -39,7 +39,7 @@ cosine(const IntHv &a, const RealHv &b)
 double
 cosine(const BipolarHv &a, const BipolarHv &b)
 {
-    assert(a.size() == b.size());
+    LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
     if (a.empty())
         return 0.0;
     return static_cast<double>(dot(a, b)) /
@@ -49,7 +49,7 @@ cosine(const BipolarHv &a, const BipolarHv &b)
 double
 hammingSimilarity(const BipolarHv &a, const BipolarHv &b)
 {
-    assert(a.size() == b.size());
+    LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
     if (a.empty())
         return 0.0;
     std::size_t agree = 0;
@@ -61,8 +61,7 @@ hammingSimilarity(const BipolarHv &a, const BipolarHv &b)
 std::size_t
 argmax(const std::vector<double> &scores)
 {
-    if (scores.empty())
-        throw std::invalid_argument("argmax of empty scores");
+    LOOKHD_CHECK(!scores.empty(), "argmax of empty scores");
     return static_cast<std::size_t>(
         std::max_element(scores.begin(), scores.end()) - scores.begin());
 }

@@ -1,6 +1,6 @@
 #include "hdc/trainer.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace lookhd::hdc {
 
@@ -28,8 +28,8 @@ BaselineTrainer::trainEncoded(const std::vector<IntHv> &encoded,
                               std::size_t num_classes,
                               const TrainOptions &options) const
 {
-    if (encoded.size() != labels.size() || encoded.empty())
-        throw std::invalid_argument("encoded/labels size mismatch");
+    LOOKHD_CHECK(encoded.size() == labels.size() && !encoded.empty(),
+                 "encoded/labels size mismatch");
 
     TrainResult result{ClassModel(encoder_.dim(), num_classes), {}, 0};
     ClassModel &model = result.model;
@@ -76,8 +76,7 @@ double
 BaselineTrainer::evaluate(const ClassModel &model,
                           const data::Dataset &test) const
 {
-    if (test.empty())
-        throw std::invalid_argument("empty test set");
+    LOOKHD_CHECK(!test.empty(), "empty test set");
     std::size_t correct = 0;
     for (std::size_t i = 0; i < test.size(); ++i) {
         const IntHv query = encoder_.encode(test.row(i));
@@ -91,8 +90,7 @@ evaluateEncoded(const ClassModel &model,
                 const std::vector<IntHv> &encoded,
                 const std::vector<std::size_t> &labels)
 {
-    if (encoded.empty())
-        throw std::invalid_argument("empty evaluation set");
+    LOOKHD_CHECK(!encoded.empty(), "empty evaluation set");
     std::size_t correct = 0;
     for (std::size_t i = 0; i < encoded.size(); ++i)
         correct += model.predict(encoded[i]) == labels[i];

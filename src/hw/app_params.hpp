@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "util/check.hpp"
+
 namespace lookhd::hw {
 
 /**
@@ -36,6 +38,22 @@ struct AppParams
 
     /** Compressed hypervectors (1 unless grouped compression). */
     std::size_t modelGroups = 1;
+
+    /**
+     * Precondition check used by every cost-model entry point: a
+     * workload must have features, classes, at least two quantization
+     * levels, a nonzero chunk size and a nonzero dimensionality.
+     */
+    void
+    validate() const
+    {
+        LOOKHD_CHECK(n > 0, "app needs at least one feature");
+        LOOKHD_CHECK(q >= 2, "app needs at least 2 quantization levels");
+        LOOKHD_CHECK(r > 0, "chunk size must be nonzero");
+        LOOKHD_CHECK(k > 0, "app needs at least one class");
+        LOOKHD_CHECK(dim > 0, "dimensionality must be nonzero");
+        LOOKHD_CHECK(modelGroups > 0, "model group count must be nonzero");
+    }
 
     /** Chunks m = ceil(n / r). */
     std::size_t m() const { return (n + r - 1) / r; }

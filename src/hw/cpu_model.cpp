@@ -77,6 +77,7 @@ CpuModel::lookhdSearchCycles(const AppParams &app) const
 Cost
 CpuModel::baselineTrain(const AppParams &app) const
 {
+    app.validate();
     const double d = static_cast<double>(app.dim);
     const double per_sample =
         baselineEncodeCycles(app) + d * costs_.updateAdd;
@@ -87,6 +88,7 @@ CpuModel::baselineTrain(const AppParams &app) const
 Cost
 CpuModel::baselineInferQuery(const AppParams &app) const
 {
+    app.validate();
     return fromCycles(baselineEncodeCycles(app) +
                       baselineSearchCycles(app));
 }
@@ -94,6 +96,7 @@ CpuModel::baselineInferQuery(const AppParams &app) const
 Cost
 CpuModel::baselineRetrainEpoch(const AppParams &app) const
 {
+    app.validate();
     const double d = static_cast<double>(app.dim);
     double cycles =
         (baselineEncodeCycles(app) + baselineSearchCycles(app)) *
@@ -106,6 +109,7 @@ CpuModel::baselineRetrainEpoch(const AppParams &app) const
 double
 CpuModel::baselineTrainEncodingFraction(const AppParams &app) const
 {
+    app.validate();
     const double d = static_cast<double>(app.dim);
     const double enc = baselineEncodeCycles(app);
     return enc / (enc + d * costs_.updateAdd);
@@ -114,6 +118,7 @@ CpuModel::baselineTrainEncodingFraction(const AppParams &app) const
 double
 CpuModel::baselineInferSearchFraction(const AppParams &app) const
 {
+    app.validate();
     const double enc = baselineEncodeCycles(app);
     const double search = baselineSearchCycles(app);
     return search / (enc + search);
@@ -122,6 +127,7 @@ CpuModel::baselineInferSearchFraction(const AppParams &app) const
 Cost
 CpuModel::lookhdTrain(const AppParams &app) const
 {
+    app.validate();
     const double d = static_cast<double>(app.dim);
     const double m = static_cast<double>(app.m());
     const double k = static_cast<double>(app.k);
@@ -145,6 +151,7 @@ CpuModel::lookhdTrain(const AppParams &app) const
 Cost
 CpuModel::lookhdInferQuery(const AppParams &app) const
 {
+    app.validate();
     return fromCycles(lookhdEncodeCycles(app) +
                       lookhdSearchCycles(app));
 }
@@ -152,6 +159,7 @@ CpuModel::lookhdInferQuery(const AppParams &app) const
 Cost
 CpuModel::lookhdRetrainEpoch(const AppParams &app) const
 {
+    app.validate();
     const double d = static_cast<double>(app.dim);
     double cycles =
         (lookhdEncodeCycles(app) + lookhdSearchCycles(app)) *

@@ -97,6 +97,7 @@ FpgaModel::makeCost(double cycles, double lut_ops, double dsp_macs,
 Cost
 FpgaModel::baselineTrain(const AppParams &app) const
 {
+    app.validate();
     const double n = static_cast<double>(app.n);
     const double d = static_cast<double>(app.dim);
     const double s = static_cast<double>(app.trainSamples);
@@ -128,6 +129,7 @@ FpgaModel::baselineTrain(const AppParams &app) const
 Cost
 FpgaModel::baselineInferQuery(const AppParams &app) const
 {
+    app.validate();
     const double n = static_cast<double>(app.n);
     const double d = static_cast<double>(app.dim);
     const std::size_t acc_bits = accumulatorBits(app.n);
@@ -160,6 +162,7 @@ FpgaModel::baselineInferQuery(const AppParams &app) const
 Cost
 FpgaModel::baselineRetrainEpoch(const AppParams &app) const
 {
+    app.validate();
     // Each point is re-encoded and searched; mispredictions apply two
     // D-wide updates.
     const Cost per_query = baselineInferQuery(app);
@@ -182,6 +185,7 @@ FpgaModel::baselineRetrainEpoch(const AppParams &app) const
 std::size_t
 FpgaModel::baselineModelBytes(const AppParams &app) const
 {
+    app.validate();
     return app.k * app.dim * 4;
 }
 
@@ -192,6 +196,7 @@ FpgaModel::baselineModelBytes(const AppParams &app) const
 Cost
 FpgaModel::lookhdTrain(const AppParams &app) const
 {
+    app.validate();
     const double n = static_cast<double>(app.n);
     const double d = static_cast<double>(app.dim);
     const double s = static_cast<double>(app.trainSamples);
@@ -243,6 +248,7 @@ FpgaModel::lookhdTrain(const AppParams &app) const
 Cost
 FpgaModel::lookhdInferQuery(const AppParams &app) const
 {
+    app.validate();
     const double n = static_cast<double>(app.n);
     const double d = static_cast<double>(app.dim);
     const double m = static_cast<double>(app.m());
@@ -282,6 +288,7 @@ FpgaModel::lookhdInferQuery(const AppParams &app) const
 Cost
 FpgaModel::lookhdRetrainEpoch(const AppParams &app) const
 {
+    app.validate();
     const Cost per_query = lookhdInferQuery(app);
     Cost epoch = per_query.scaled(
         static_cast<double>(app.trainSamples));
@@ -304,6 +311,7 @@ FpgaModel::lookhdRetrainEpoch(const AppParams &app) const
 std::size_t
 FpgaModel::lookhdModelBytes(const AppParams &app) const
 {
+    app.validate();
     return app.modelGroups * app.dim * 4 + (app.k * app.dim + 7) / 8;
 }
 
@@ -314,6 +322,7 @@ FpgaModel::lookhdModelBytes(const AppParams &app) const
 Utilization
 FpgaModel::baselineTrainUtilization(const AppParams &app) const
 {
+    app.validate();
     Utilization u;
     // Quantizers for all features plus as many adder lanes as the
     // datapath budget allows; accumulators in FFs.
@@ -334,6 +343,7 @@ FpgaModel::baselineTrainUtilization(const AppParams &app) const
 Utilization
 FpgaModel::baselineInferUtilization(const AppParams &app) const
 {
+    app.validate();
     Utilization u = baselineTrainUtilization(app);
     u.dsps = std::min(device_.dsps, searchWindow(app.k) * app.k);
     return u;
@@ -342,6 +352,7 @@ FpgaModel::baselineInferUtilization(const AppParams &app) const
 Utilization
 FpgaModel::lookhdTrainUtilization(const AppParams &app) const
 {
+    app.validate();
     Utilization u;
     const double rows = app.addressSpace();
     // Quantizers + narrow multiplier array + chunk aggregation adders.
@@ -371,6 +382,7 @@ FpgaModel::lookhdTrainUtilization(const AppParams &app) const
 Utilization
 FpgaModel::lookhdInferUtilization(const AppParams &app) const
 {
+    app.validate();
     Utilization u;
     const double rows = app.addressSpace();
     u.luts = std::min(

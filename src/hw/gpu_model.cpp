@@ -22,6 +22,7 @@ GpuModel::fromOps(double ops, double launches) const
 Cost
 GpuModel::baselineTrain(const AppParams &app) const
 {
+    app.validate();
     const double n = static_cast<double>(app.n);
     const double d = static_cast<double>(app.dim);
     const double s = static_cast<double>(app.trainSamples);
@@ -36,6 +37,7 @@ GpuModel::baselineTrain(const AppParams &app) const
 Cost
 GpuModel::baselineInferQuery(const AppParams &app) const
 {
+    app.validate();
     const double n = static_cast<double>(app.n);
     const double d = static_cast<double>(app.dim);
     const double k = static_cast<double>(app.k);

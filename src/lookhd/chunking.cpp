@@ -1,23 +1,23 @@
 #include "lookhd/chunking.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace lookhd {
 
 ChunkSpec::ChunkSpec(std::size_t num_features, std::size_t chunk_size)
     : numFeatures_(num_features), chunkSize_(chunk_size)
 {
-    if (num_features == 0 || chunk_size == 0)
-        throw std::invalid_argument("chunk spec arguments must be nonzero");
+    LOOKHD_CHECK(num_features != 0 && chunk_size != 0,
+                 "chunk spec arguments must be nonzero");
     numChunks_ = (num_features + chunk_size - 1) / chunk_size;
 }
 
 std::size_t
 ChunkSpec::end(std::size_t c) const
 {
-    if (c >= numChunks_)
-        throw std::out_of_range("chunk index");
+    LOOKHD_CHECK_BOUNDS(c, numChunks_);
     return std::min(numFeatures_, (c + 1) * chunkSize_);
 }
 

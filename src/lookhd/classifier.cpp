@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 #include "hdc/similarity.hpp"
 #include "quant/equalized_quantizer.hpp"
 #include "quant/linear_quantizer.hpp"
@@ -11,10 +13,11 @@ namespace lookhd {
 Classifier::Classifier(ClassifierConfig config)
     : config_(std::move(config))
 {
-    if (config_.dim == 0 || config_.quantLevels < 2 ||
-        config_.chunkSize == 0) {
-        throw std::invalid_argument("invalid classifier configuration");
-    }
+    LOOKHD_CHECK(config_.dim > 0, "classifier dim must be nonzero");
+    LOOKHD_CHECK(config_.quantLevels >= 2,
+                 "classifier needs at least 2 quantization levels");
+    LOOKHD_CHECK(config_.chunkSize > 0,
+                 "classifier chunk size must be nonzero");
 }
 
 Classifier
@@ -27,13 +30,11 @@ Classifier::restore(ClassifierConfig config,
                     std::optional<CompressedModel> compressed,
                     std::vector<double> retrain_history)
 {
-    if (!levels || !encoder)
-        throw std::invalid_argument("restore needs levels and encoder");
-    if (config.perFeatureQuantization ? !bank : !quantizer)
-        throw std::invalid_argument(
-            "quantization source does not match configuration");
-    if (!model && !compressed)
-        throw std::invalid_argument("restore needs a model");
+    LOOKHD_CHECK(levels && encoder, "restore needs levels and encoder");
+    LOOKHD_CHECK(config.perFeatureQuantization ? bool(bank)
+                                                : bool(quantizer),
+                 "quantization source does not match configuration");
+    LOOKHD_CHECK(model || compressed, "restore needs a model");
 
     Classifier clf(std::move(config));
     clf.levels_ = std::move(levels);
@@ -51,8 +52,7 @@ Classifier::restore(ClassifierConfig config,
 void
 Classifier::fit(const data::Dataset &train)
 {
-    if (train.empty())
-        throw std::invalid_argument("cannot fit on an empty dataset");
+    LOOKHD_CHECK(!train.empty(), "cannot fit on an empty dataset");
 
     util::Rng rng(config_.seed);
     util::Rng level_rng = rng.split();
@@ -146,8 +146,7 @@ Classifier::predict(std::span<const double> features) const
 std::vector<double>
 Classifier::scores(std::span<const double> features) const
 {
-    if (!fitted())
-        throw std::logic_error("classifier not fitted");
+    LOOKHD_CHECK(fitted(), "classifier not fitted");
     const hdc::IntHv query = encoder_->encode(features);
     if (compressed_)
         return compressed_->scores(query);
@@ -157,8 +156,7 @@ Classifier::scores(std::span<const double> features) const
 double
 Classifier::evaluate(const data::Dataset &test) const
 {
-    if (test.empty())
-        throw std::invalid_argument("empty test set");
+    LOOKHD_CHECK(!test.empty(), "empty test set");
     std::size_t correct = 0;
     for (std::size_t i = 0; i < test.size(); ++i)
         correct += predict(test.row(i)) == test.label(i);
@@ -168,8 +166,7 @@ Classifier::evaluate(const data::Dataset &test) const
 data::ConfusionMatrix
 Classifier::evaluateDetailed(const data::Dataset &test) const
 {
-    if (test.empty())
-        throw std::invalid_argument("empty test set");
+    LOOKHD_CHECK(!test.empty(), "empty test set");
     return data::confusionOf(
         test, [this](auto row) { return predict(row); });
 }
@@ -177,8 +174,7 @@ Classifier::evaluateDetailed(const data::Dataset &test) const
 std::size_t
 Classifier::modelSizeBytes() const
 {
-    if (!fitted())
-        throw std::logic_error("classifier not fitted");
+    LOOKHD_CHECK(fitted(), "classifier not fitted");
     if (compressed_)
         return compressed_->sizeBytes();
     return model_->sizeBytes();
@@ -187,42 +183,36 @@ Classifier::modelSizeBytes() const
 const LookupEncoder &
 Classifier::encoder() const
 {
-    if (!encoder_)
-        throw std::logic_error("classifier not fitted");
+    LOOKHD_CHECK(encoder_, "classifier not fitted");
     return *encoder_;
 }
 
 const hdc::ClassModel &
 Classifier::uncompressedModel() const
 {
-    if (!model_)
-        throw std::logic_error("classifier not fitted");
+    LOOKHD_CHECK(model_, "classifier not fitted");
     return *model_;
 }
 
 const CompressedModel &
 Classifier::compressedModel() const
 {
-    if (!compressed_)
-        throw std::logic_error("no compressed model");
+    LOOKHD_CHECK(compressed_, "no compressed model");
     return *compressed_;
 }
 
 const quant::Quantizer &
 Classifier::quantizer() const
 {
-    if (!quantizer_)
-        throw std::logic_error(
-            "classifier not fitted or uses a per-feature bank");
+    LOOKHD_CHECK(quantizer_,
+                 "classifier not fitted or uses a per-feature bank");
     return *quantizer_;
 }
 
 const quant::QuantizerBank &
 Classifier::quantizerBank() const
 {
-    if (!bank_)
-        throw std::logic_error(
-            "classifier not fitted or uses a global quantizer");
+    LOOKHD_CHECK(bank_, "classifier not fitted or uses a global quantizer");
     return *bank_;
 }
 

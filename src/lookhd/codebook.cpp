@@ -2,13 +2,14 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace lookhd {
 
 std::size_t
 codebookBits(std::size_t q)
 {
-    if (q < 2)
-        throw std::invalid_argument("codebook needs q >= 2");
+    LOOKHD_CHECK(q >= 2, "codebook needs q >= 2");
     std::size_t bits = 0;
     std::size_t span = 1;
     while (span < q) {
@@ -24,14 +25,11 @@ addressOf(std::span<const std::size_t> levels, std::size_t q)
     Address addr = 0;
     Address scale = 1;
     for (std::size_t j = 0; j < levels.size(); ++j) {
-        if (levels[j] >= q)
-            throw std::invalid_argument("level index out of range");
-        addr += scale * levels[j];
-        if (j + 1 < levels.size()) {
-            if (scale > ~Address{0} / q)
-                throw std::overflow_error("chunk address overflows 64 bits");
-            scale *= q;
-        }
+        LOOKHD_CHECK(levels[j] < q, "level index out of range");
+        addr = util::checkedAdd(addr,
+                                util::checkedMul(scale, levels[j]));
+        if (j + 1 < levels.size())
+            scale = util::checkedMul(scale, q);
     }
     return addr;
 }
@@ -40,14 +38,13 @@ Address
 bitAddressOf(std::span<const std::size_t> levels, std::size_t q)
 {
     const std::size_t bits = codebookBits(q);
-    if ((std::size_t{1} << bits) != q)
-        throw std::invalid_argument("bit addressing requires power-of-2 q");
-    if (bits * levels.size() > 64)
-        throw std::overflow_error("chunk address overflows 64 bits");
+    LOOKHD_CHECK((std::size_t{1} << bits) == q,
+                 "bit addressing requires power-of-2 q");
+    LOOKHD_CHECK(bits * levels.size() <= 64,
+                 "chunk address overflows 64 bits");
     Address addr = 0;
     for (std::size_t j = 0; j < levels.size(); ++j) {
-        if (levels[j] >= q)
-            throw std::invalid_argument("level index out of range");
+        LOOKHD_CHECK(levels[j] < q, "level index out of range");
         addr |= static_cast<Address>(levels[j]) << (j * bits);
     }
     return addr;
@@ -61,20 +58,13 @@ decodeAddress(Address addr, std::size_t q,
         levels_out[j] = static_cast<std::size_t>(addr % q);
         addr /= q;
     }
-    if (addr != 0)
-        throw std::invalid_argument("address out of range for chunk");
+    LOOKHD_CHECK(addr == 0, "address out of range for chunk");
 }
 
 Address
 addressSpace(std::size_t q, std::size_t r)
 {
-    Address space = 1;
-    for (std::size_t j = 0; j < r; ++j) {
-        if (space > ~Address{0} / q)
-            throw std::overflow_error("q^r overflows 64 bits");
-        space *= q;
-    }
-    return space;
+    return util::checkedMulPow(q, r);
 }
 
 bool

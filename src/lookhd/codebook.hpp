@@ -45,8 +45,9 @@ void decodeAddress(Address addr, std::size_t q,
                    std::span<std::size_t> levels_out);
 
 /**
- * Number of distinct addresses for a chunk: q^r.
- * @throws std::overflow_error if it does not fit in 64 bits.
+ * Number of distinct addresses for a chunk: q^r, computed with
+ * util::checkedMulPow. @throws util::ContractViolation if it does not
+ * fit in 64 bits.
  */
 Address addressSpace(std::size_t q, std::size_t r);
 

@@ -1,7 +1,8 @@
 #include "lookhd/compressed_model.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 #include "hdc/similarity.hpp"
 
@@ -99,32 +100,27 @@ CompressedModel::CompressedModel(CompressionConfig config,
       commonDir_(std::move(common_dir))
 {
     const std::size_t k = keys_.count();
-    if (k == 0 || groups_.empty())
-        throw std::invalid_argument("restored model must be nonempty");
+    LOOKHD_CHECK(k != 0 && !groups_.empty(),
+                 "restored model must be nonempty");
     groupSize_ = config_.maxClassesPerGroup == 0
                      ? k
                      : std::min(config_.maxClassesPerGroup, k);
-    if (groups_.size() != (k + groupSize_ - 1) / groupSize_)
-        throw std::invalid_argument("group count mismatch");
-    if (norms_.size() != k)
-        throw std::invalid_argument("norm count mismatch");
+    LOOKHD_CHECK(groups_.size() == (k + groupSize_ - 1) / groupSize_,
+                 "group count mismatch");
+    LOOKHD_CHECK(norms_.size() == k, "norm count mismatch");
     for (const auto &g : groups_) {
-        if (g.size() != dim_)
-            throw std::invalid_argument("group dimensionality mismatch");
+        LOOKHD_CHECK(g.size() == dim_, "group dimensionality mismatch");
     }
-    if (!commonDir_.empty() && commonDir_.size() != dim_)
-        throw std::invalid_argument("common direction mismatch");
-    if (config_.keepReference) {
-        throw std::invalid_argument(
-            "restored models do not carry reference hypervectors");
-    }
+    LOOKHD_CHECK(!(!commonDir_.empty() && commonDir_.size() != dim_),
+                 "common direction mismatch");
+    LOOKHD_CHECK(!(config_.keepReference),
+                 "restored models do not carry reference hypervectors");
 }
 
 std::size_t
 CompressedModel::groupOf(std::size_t cls) const
 {
-    if (cls >= numClasses())
-        throw std::out_of_range("class index");
+    LOOKHD_CHECK_BOUNDS(cls, numClasses());
     return cls / groupSize_;
 }
 
@@ -142,8 +138,7 @@ CompressedModel::rawScore(std::size_t cls, const hdc::IntHv &query) const
 std::vector<double>
 CompressedModel::scores(const hdc::IntHv &query) const
 {
-    if (query.size() != dim_)
-        throw std::invalid_argument("query dimensionality mismatch");
+    LOOKHD_CHECK(query.size() == dim_, "query dimensionality mismatch");
     std::vector<double> out(numClasses());
 
     // Form the element-wise product H * C_g once per group; each
@@ -182,10 +177,8 @@ std::vector<double>
 CompressedModel::scoresPrefix(const hdc::IntHv &query,
                               std::size_t dims) const
 {
-    if (query.size() != dim_)
-        throw std::invalid_argument("query dimensionality mismatch");
-    if (dims == 0 || dims > dim_)
-        throw std::invalid_argument("prefix length out of range");
+    LOOKHD_CHECK(query.size() == dim_, "query dimensionality mismatch");
+    LOOKHD_CHECK(dims != 0 && dims <= dim_, "prefix length out of range");
 
     std::vector<double> out(numClasses());
     hdc::RealHv product(dims);
@@ -215,8 +208,7 @@ CompressedModel::predictProgressive(const hdc::IntHv &query,
                                     double margin,
                                     std::size_t *dims_used) const
 {
-    if (initial_dims == 0)
-        throw std::invalid_argument("initial window must be nonzero");
+    LOOKHD_CHECK(initial_dims != 0, "initial window must be nonzero");
     std::size_t dims = std::min(initial_dims, dim_);
     for (;;) {
         const std::vector<double> s = scoresPrefix(query, dims);
@@ -248,8 +240,8 @@ CompressedModel::predictProgressive(const hdc::IntHv &query,
 std::vector<double>
 CompressedModel::exactScores(const hdc::IntHv &query) const
 {
-    if (!config_.keepReference)
-        throw std::logic_error("reference not kept; set keepReference");
+    LOOKHD_CHECK(config_.keepReference,
+                 "reference not kept; set keepReference");
     std::vector<double> out(reference_.size());
     for (std::size_t c = 0; c < reference_.size(); ++c)
         out[c] = hdc::dot(query, reference_[c]);
@@ -260,10 +252,9 @@ void
 CompressedModel::applyUpdate(std::size_t correct, std::size_t wrong,
                              const hdc::IntHv &query, double scale)
 {
-    if (correct >= numClasses() || wrong >= numClasses())
-        throw std::out_of_range("class index");
-    if (query.size() != dim_)
-        throw std::invalid_argument("query dimensionality mismatch");
+    LOOKHD_CHECK(correct < numClasses() && wrong < numClasses(),
+                 "class index");
+    LOOKHD_CHECK(query.size() == dim_, "query dimensionality mismatch");
     if (correct == wrong)
         return;
 

@@ -1,14 +1,13 @@
 #include "lookhd/counter_trainer.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace lookhd {
 
 ChunkCounters::ChunkCounters(Address space, Address dense_threshold)
     : space_(space)
 {
-    if (space == 0)
-        throw std::invalid_argument("counter space must be nonzero");
+    LOOKHD_CHECK(space != 0, "counter space must be nonzero");
     if (space <= dense_threshold)
         denseCounts_.assign(static_cast<std::size_t>(space), 0);
 }
@@ -16,8 +15,7 @@ ChunkCounters::ChunkCounters(Address space, Address dense_threshold)
 void
 ChunkCounters::increment(Address addr)
 {
-    if (addr >= space_)
-        throw std::out_of_range("counter address");
+    LOOKHD_CHECK_BOUNDS(addr, space_);
     if (!denseCounts_.empty())
         ++denseCounts_[static_cast<std::size_t>(addr)];
     else
@@ -28,8 +26,7 @@ ChunkCounters::increment(Address addr)
 std::uint32_t
 ChunkCounters::count(Address addr) const
 {
-    if (addr >= space_)
-        throw std::out_of_range("counter address");
+    LOOKHD_CHECK_BOUNDS(addr, space_);
     if (!denseCounts_.empty())
         return denseCounts_[static_cast<std::size_t>(addr)];
     const auto it = sparseCounts_.find(addr);
@@ -67,8 +64,7 @@ CounterBank::CounterBank(const LookupEncoder &encoder,
                          std::size_t num_classes,
                          const CounterTrainerConfig &config)
 {
-    if (num_classes == 0)
-        throw std::invalid_argument("counter bank needs classes");
+    LOOKHD_CHECK(num_classes != 0, "counter bank needs classes");
     counters_.reserve(num_classes);
     for (std::size_t c = 0; c < num_classes; ++c) {
         std::vector<ChunkCounters> per_chunk;
@@ -92,9 +88,10 @@ void
 CounterBank::observe(std::size_t label,
                      std::span<const Address> addresses)
 {
-    auto &per_chunk = counters_.at(label);
-    if (addresses.size() != per_chunk.size())
-        throw std::invalid_argument("address count mismatch");
+    LOOKHD_CHECK_BOUNDS(label, counters_.size());
+    auto &per_chunk = counters_[label];
+    LOOKHD_CHECK(addresses.size() == per_chunk.size(),
+                 "address count mismatch");
     for (std::size_t ch = 0; ch < addresses.size(); ++ch)
         per_chunk[ch].increment(addresses[ch]);
 }
@@ -102,7 +99,9 @@ CounterBank::observe(std::size_t label,
 const ChunkCounters &
 CounterBank::at(std::size_t cls, std::size_t chunk) const
 {
-    return counters_.at(cls).at(chunk);
+    LOOKHD_CHECK_BOUNDS(cls, counters_.size());
+    LOOKHD_CHECK_BOUNDS(chunk, counters_[cls].size());
+    return counters_[cls][chunk];
 }
 
 CounterTrainer::CounterTrainer(const LookupEncoder &encoder,

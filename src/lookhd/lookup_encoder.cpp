@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace lookhd {
 
 LookupEncoder::LookupEncoder(
@@ -12,14 +14,10 @@ LookupEncoder::LookupEncoder(
       chunks_(chunks),
       positions_(levels_ ? levels_->dim() : 0, chunks.numChunks(), rng)
 {
-    if (!levels_ || !quantizer_)
-        throw std::invalid_argument("encoder needs levels and quantizer");
-    if (!quantizer_->fitted())
-        throw std::invalid_argument("quantizer must be fitted");
-    if (quantizer_->levels() != levels_->levels()) {
-        throw std::invalid_argument(
-            "quantizer levels do not match level memory");
-    }
+    LOOKHD_CHECK(levels_ && quantizer_, "encoder needs levels and quantizer");
+    LOOKHD_CHECK(quantizer_->fitted(), "quantizer must be fitted");
+    LOOKHD_CHECK(quantizer_->levels() == levels_->levels(),
+                 "quantizer levels do not match level memory");
     buildTables(config);
 }
 
@@ -31,18 +29,12 @@ LookupEncoder::LookupEncoder(
       chunks_(chunks),
       positions_(levels_ ? levels_->dim() : 0, chunks.numChunks(), rng)
 {
-    if (!levels_ || !bank_)
-        throw std::invalid_argument("encoder needs levels and bank");
-    if (!bank_->fitted())
-        throw std::invalid_argument("quantizer bank must be fitted");
-    if (bank_->levels() != levels_->levels()) {
-        throw std::invalid_argument(
-            "bank levels do not match level memory");
-    }
-    if (bank_->numFeatures() != chunks_.numFeatures()) {
-        throw std::invalid_argument(
-            "bank feature count does not match chunk spec");
-    }
+    LOOKHD_CHECK(levels_ && bank_, "encoder needs levels and bank");
+    LOOKHD_CHECK(bank_->fitted(), "quantizer bank must be fitted");
+    LOOKHD_CHECK(bank_->levels() == levels_->levels(),
+                 "bank levels do not match level memory");
+    LOOKHD_CHECK(bank_->numFeatures() == chunks_.numFeatures(),
+                 "bank feature count does not match chunk spec");
     buildTables(config);
 }
 
@@ -53,17 +45,14 @@ LookupEncoder::LookupEncoder(
     : levels_(std::move(levels)), quantizer_(std::move(quantizer)),
       chunks_(chunks), positions_(std::move(positions))
 {
-    if (!levels_ || !quantizer_)
-        throw std::invalid_argument("encoder needs levels and quantizer");
-    if (!quantizer_->fitted())
-        throw std::invalid_argument("quantizer must be fitted");
-    if (quantizer_->levels() != levels_->levels())
-        throw std::invalid_argument(
-            "quantizer levels do not match level memory");
-    if (positions_.count() != chunks_.numChunks() ||
-        positions_.dim() != levels_->dim()) {
-        throw std::invalid_argument("position keys do not match shape");
-    }
+    LOOKHD_CHECK(levels_ && quantizer_, "encoder needs levels and quantizer");
+    LOOKHD_CHECK(quantizer_->fitted(), "quantizer must be fitted");
+    LOOKHD_CHECK(quantizer_->levels() == levels_->levels(),
+                 "quantizer levels do not match level memory");
+    LOOKHD_CHECK(positions_.count() == chunks_.numChunks(),
+                 "position key count does not match chunk count");
+    LOOKHD_CHECK(positions_.dim() == levels_->dim(),
+                 "position key dimensionality mismatch");
     buildTables(config);
 }
 
@@ -74,20 +63,16 @@ LookupEncoder::LookupEncoder(
     : levels_(std::move(levels)), bank_(std::move(bank)),
       chunks_(chunks), positions_(std::move(positions))
 {
-    if (!levels_ || !bank_)
-        throw std::invalid_argument("encoder needs levels and bank");
-    if (!bank_->fitted())
-        throw std::invalid_argument("quantizer bank must be fitted");
-    if (bank_->levels() != levels_->levels())
-        throw std::invalid_argument(
-            "bank levels do not match level memory");
-    if (bank_->numFeatures() != chunks_.numFeatures())
-        throw std::invalid_argument(
-            "bank feature count does not match chunk spec");
-    if (positions_.count() != chunks_.numChunks() ||
-        positions_.dim() != levels_->dim()) {
-        throw std::invalid_argument("position keys do not match shape");
-    }
+    LOOKHD_CHECK(levels_ && bank_, "encoder needs levels and bank");
+    LOOKHD_CHECK(bank_->fitted(), "quantizer bank must be fitted");
+    LOOKHD_CHECK(bank_->levels() == levels_->levels(),
+                 "bank levels do not match level memory");
+    LOOKHD_CHECK(bank_->numFeatures() == chunks_.numFeatures(),
+                 "bank feature count does not match chunk spec");
+    LOOKHD_CHECK(positions_.count() == chunks_.numChunks(),
+                 "position key count does not match chunk count");
+    LOOKHD_CHECK(positions_.dim() == levels_->dim(),
+                 "position key dimensionality mismatch");
     buildTables(config);
 }
 
@@ -111,8 +96,8 @@ LookupEncoder::buildTables(const LookupEncoderConfig &config)
 std::vector<std::size_t>
 LookupEncoder::quantize(std::span<const double> features) const
 {
-    if (features.size() != chunks_.numFeatures())
-        throw std::invalid_argument("feature vector width mismatch");
+    LOOKHD_CHECK(features.size() == chunks_.numFeatures(),
+                 "feature vector width mismatch");
     if (bank_)
         return bank_->levelsOf(features);
     std::vector<std::size_t> out(features.size());
@@ -124,16 +109,14 @@ LookupEncoder::quantize(std::span<const double> features) const
 const quant::Quantizer &
 LookupEncoder::quantizer() const
 {
-    if (!quantizer_)
-        throw std::logic_error("encoder uses a per-feature bank");
+    LOOKHD_CHECK(quantizer_, "encoder uses a per-feature bank");
     return *quantizer_;
 }
 
 const quant::QuantizerBank &
 LookupEncoder::quantizerBank() const
 {
-    if (!bank_)
-        throw std::logic_error("encoder uses a global quantizer");
+    LOOKHD_CHECK(bank_, "encoder uses a global quantizer");
     return *bank_;
 }
 
@@ -147,8 +130,8 @@ std::vector<Address>
 LookupEncoder::chunkAddressesOfLevels(
     std::span<const std::size_t> levels) const
 {
-    if (levels.size() != chunks_.numFeatures())
-        throw std::invalid_argument("level vector width mismatch");
+    LOOKHD_CHECK(levels.size() == chunks_.numFeatures(),
+                 "level vector width mismatch");
     std::vector<Address> out(chunks_.numChunks());
     for (std::size_t c = 0; c < chunks_.numChunks(); ++c) {
         out[c] = addressOf(
@@ -169,8 +152,8 @@ hdc::IntHv
 LookupEncoder::encodeFromAddresses(
     std::span<const Address> addresses) const
 {
-    if (addresses.size() != chunks_.numChunks())
-        throw std::invalid_argument("address count mismatch");
+    LOOKHD_CHECK(addresses.size() == chunks_.numChunks(),
+                 "address count mismatch");
     hdc::IntHv acc(dim(), 0);
     hdc::IntHv scratch;
     for (std::size_t c = 0; c < addresses.size(); ++c) {
@@ -187,8 +170,7 @@ LookupEncoder::encodeFromAddresses(
 const ChunkLookupTable &
 LookupEncoder::tableFor(std::size_t c) const
 {
-    if (c >= chunks_.numChunks())
-        throw std::out_of_range("chunk index");
+    LOOKHD_CHECK_BOUNDS(c, chunks_.numChunks());
     if (tailTable_ && c == chunks_.numChunks() - 1)
         return *tailTable_;
     return *fullTable_;

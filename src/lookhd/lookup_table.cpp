@@ -1,6 +1,6 @@
 #include "lookhd/lookup_table.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace lookhd {
 
@@ -9,10 +9,8 @@ ChunkLookupTable::ChunkLookupTable(
     std::size_t materialize_budget_bytes)
     : levels_(std::move(levels)), chunkLen_(chunk_len)
 {
-    if (!levels_)
-        throw std::invalid_argument("lookup table needs a level memory");
-    if (chunk_len == 0)
-        throw std::invalid_argument("chunk length must be nonzero");
+    LOOKHD_CHECK(levels_, "lookup table needs a level memory");
+    LOOKHD_CHECK(chunk_len != 0, "chunk length must be nonzero");
     space_ = addressSpace(levels_->levels(), chunkLen_);
 
     if (materialize_budget_bytes > 0 &&
@@ -28,15 +26,14 @@ ChunkLookupTable::ChunkLookupTable(
 std::size_t
 ChunkLookupTable::tableBytes() const
 {
-    return static_cast<std::size_t>(space_) * dim() *
-           sizeof(std::int32_t);
+    return static_cast<std::size_t>(util::checkedMul(
+        util::checkedMul(space_, dim()), sizeof(std::int32_t)));
 }
 
 const hdc::IntHv &
 ChunkLookupTable::row(Address addr, hdc::IntHv &scratch) const
 {
-    if (addr >= space_)
-        throw std::out_of_range("chunk address");
+    LOOKHD_CHECK_BOUNDS(addr, space_);
     if (rows_)
         return (*rows_)[addr];
     scratch = encodeAddress(addr);

@@ -1,6 +1,6 @@
 #include "lookhd/retrainer.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace lookhd {
 
@@ -28,8 +28,8 @@ Retrainer::retrainEncoded(CompressedModel &model,
                           const std::vector<std::size_t> &labels,
                           const RetrainOptions &options) const
 {
-    if (encoded.size() != labels.size() || encoded.empty())
-        throw std::invalid_argument("encoded/labels size mismatch");
+    LOOKHD_CHECK(encoded.size() == labels.size() && !encoded.empty(),
+                 "encoded/labels size mismatch");
 
     RetrainResult result;
     result.accuracyHistory.push_back(
@@ -41,9 +41,8 @@ Retrainer::retrainEncoded(CompressedModel &model,
         update_idx[i] = i;
     std::vector<std::size_t> val_idx;
     if (options.validationFraction > 0.0) {
-        if (options.validationFraction >= 1.0)
-            throw std::invalid_argument(
-                "validation fraction must be below 1");
+        LOOKHD_CHECK(options.validationFraction < 1.0,
+                     "validation fraction must be below 1");
         util::Rng rng(options.validationSeed);
         rng.shuffle(update_idx);
         const auto cut = static_cast<std::size_t>(
@@ -52,9 +51,8 @@ Retrainer::retrainEncoded(CompressedModel &model,
         val_idx.assign(update_idx.begin(), update_idx.begin() + cut);
         update_idx.erase(update_idx.begin(),
                          update_idx.begin() + cut);
-        if (update_idx.empty())
-            throw std::invalid_argument(
-                "validation split leaves no training points");
+        LOOKHD_CHECK(!update_idx.empty(),
+                     "validation split leaves no training points");
     }
     auto validation_accuracy = [&](const CompressedModel &m) {
         std::size_t ok = 0;
@@ -116,8 +114,7 @@ double
 Retrainer::evaluate(const CompressedModel &model,
                     const data::Dataset &test) const
 {
-    if (test.empty())
-        throw std::invalid_argument("empty test set");
+    LOOKHD_CHECK(!test.empty(), "empty test set");
     std::size_t correct = 0;
     for (std::size_t i = 0; i < test.size(); ++i) {
         const hdc::IntHv query = encoder_.encode(test.row(i));
@@ -131,8 +128,7 @@ evaluateCompressed(const CompressedModel &model,
                    const std::vector<hdc::IntHv> &encoded,
                    const std::vector<std::size_t> &labels)
 {
-    if (encoded.empty())
-        throw std::invalid_argument("empty evaluation set");
+    LOOKHD_CHECK(!encoded.empty(), "empty evaluation set");
     std::size_t correct = 0;
     for (std::size_t i = 0; i < encoded.size(); ++i)
         correct += model.predict(encoded[i]) == labels[i];

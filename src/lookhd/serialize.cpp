@@ -4,9 +4,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 
 #include "quant/boundary_quantizer.hpp"
+#include "util/check.hpp"
 
 namespace lookhd {
 
@@ -14,6 +14,15 @@ namespace {
 
 constexpr char kMagic[4] = {'L', 'K', 'H', 'D'};
 constexpr std::uint8_t kVersion = 1;
+
+// Sanity caps applied to header fields before any allocation, so an
+// absurd or hostile header cannot trigger a multi-gigabyte reserve or
+// an overflowing size computation.
+constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 28;
+constexpr std::uint64_t kMaxQuantLevels = std::uint64_t{1} << 20;
+constexpr std::uint64_t kMaxFeatures = std::uint64_t{1} << 24;
+constexpr std::uint64_t kMaxClasses = std::uint64_t{1} << 20;
+constexpr std::uint64_t kMaxHistory = std::uint64_t{1} << 20;
 
 // --- Primitive writers/readers (little-endian, fixed width) ---
 
@@ -23,7 +32,7 @@ writeBytes(std::ostream &out, const void *data, std::size_t size)
     out.write(static_cast<const char *>(data),
               static_cast<std::streamsize>(size));
     if (!out)
-        throw std::runtime_error("write failure");
+        throw SerializeError("write failure");
 }
 
 void
@@ -32,7 +41,7 @@ readBytes(std::istream &in, void *data, std::size_t size)
     in.read(static_cast<char *>(data),
             static_cast<std::streamsize>(size));
     if (!in || in.gcount() != static_cast<std::streamsize>(size))
-        throw std::runtime_error("truncated or unreadable input");
+        throw SerializeError("truncated or unreadable input");
 }
 
 void
@@ -99,7 +108,7 @@ readDoubles(std::istream &in, std::uint64_t cap = ~std::uint64_t{0})
 {
     const std::uint64_t count = readU64(in);
     if (count > cap)
-        throw std::runtime_error("implausible array length");
+        throw SerializeError("implausible array length");
     std::vector<double> v(count);
     for (auto &x : v)
         x = readDouble(in);
@@ -118,12 +127,12 @@ readBipolar(std::istream &in)
 {
     const std::uint64_t size = readU64(in);
     if (size > (std::uint64_t{1} << 28))
-        throw std::runtime_error("implausible hypervector size");
+        throw SerializeError("implausible hypervector size");
     hdc::BipolarHv hv(size);
     readBytes(in, hv.data(), size);
     for (auto v : hv) {
         if (v != 1 && v != -1)
-            throw std::runtime_error("corrupt bipolar element");
+            throw SerializeError("corrupt bipolar element");
     }
     return hv;
 }
@@ -142,7 +151,7 @@ readIntHv(std::istream &in)
 {
     const std::uint64_t size = readU64(in);
     if (size > (std::uint64_t{1} << 28))
-        throw std::runtime_error("implausible hypervector size");
+        throw SerializeError("implausible hypervector size");
     hdc::IntHv hv(size);
     for (auto &v : hv) {
         v = static_cast<std::int32_t>(
@@ -156,8 +165,7 @@ readIntHv(std::istream &in)
 void
 saveClassifier(const Classifier &clf, std::ostream &out)
 {
-    if (!clf.fitted())
-        throw std::invalid_argument("cannot save an unfitted classifier");
+    LOOKHD_CHECK(clf.fitted(), "cannot save an unfitted classifier");
     const ClassifierConfig &cfg = clf.config();
 
     writeBytes(out, kMagic, 4);
@@ -231,20 +239,28 @@ saveClassifier(const Classifier &clf, std::ostream &out)
     writeDoubles(out, clf.retrainHistory());
 }
 
+namespace {
+
 Classifier
-loadClassifier(std::istream &in)
+loadClassifierImpl(std::istream &in)
 {
     char magic[4];
     readBytes(in, magic, 4);
     if (std::memcmp(magic, kMagic, 4) != 0)
-        throw std::runtime_error("not a LookHD model file");
+        throw SerializeError("not a LookHD model file");
     if (readU8(in) != kVersion)
-        throw std::runtime_error("unsupported model version");
+        throw SerializeError("unsupported model version");
 
     ClassifierConfig cfg;
     cfg.dim = readU64(in);
+    if (cfg.dim == 0 || cfg.dim > kMaxDim)
+        throw SerializeError("implausible dimensionality in header");
     cfg.quantLevels = readU64(in);
+    if (cfg.quantLevels < 2 || cfg.quantLevels > kMaxQuantLevels)
+        throw SerializeError("implausible quantization levels in header");
     cfg.chunkSize = readU64(in);
+    if (cfg.chunkSize == 0 || cfg.chunkSize > kMaxFeatures)
+        throw SerializeError("implausible chunk size in header");
     cfg.quantization = readU8(in) ? QuantizationKind::kEqualized
                                   : QuantizationKind::kLinear;
     cfg.perFeatureQuantization = readU8(in) != 0;
@@ -253,19 +269,24 @@ loadClassifier(std::istream &in)
     cfg.compressModel = readU8(in) != 0;
     cfg.compression.decorrelate = readU8(in) != 0;
     cfg.compression.maxClassesPerGroup = readU64(in);
+    if (cfg.compression.maxClassesPerGroup == 0 ||
+        cfg.compression.maxClassesPerGroup > kMaxClasses)
+        throw SerializeError("implausible group size in header");
     cfg.compression.keepReference = false;
     cfg.compression.scaleScores = readU8(in) != 0;
     cfg.retrainEpochs = readU64(in);
     cfg.seed = readU64(in);
 
     const std::uint64_t num_features = readU64(in);
+    if (num_features == 0 || num_features > kMaxFeatures)
+        throw SerializeError("implausible feature count in header");
 
     std::shared_ptr<const quant::Quantizer> quantizer;
     std::shared_ptr<const quant::QuantizerBank> bank;
     if (cfg.perFeatureQuantization) {
         const std::uint64_t bank_features = readU64(in);
         if (bank_features != num_features)
-            throw std::runtime_error("bank feature count mismatch");
+            throw SerializeError("bank feature count mismatch");
         std::vector<std::vector<double>> bounds(bank_features);
         for (auto &b : bounds)
             b = readDoubles(in, 1 << 20);
@@ -275,30 +296,35 @@ loadClassifier(std::istream &in)
     } else {
         auto bounds = readDoubles(in, 1 << 20);
         if (bounds.size() + 1 != cfg.quantLevels)
-            throw std::runtime_error("quantizer boundary mismatch");
+            throw SerializeError("quantizer boundary mismatch");
         quantizer =
             std::make_shared<quant::BoundaryQuantizer>(bounds);
     }
 
     const std::uint64_t num_levels = readU64(in);
     if (num_levels != cfg.quantLevels)
-        throw std::runtime_error("level memory size mismatch");
+        throw SerializeError("level memory size mismatch");
     std::vector<hdc::BipolarHv> level_hvs(num_levels);
     for (auto &hv : level_hvs) {
         hv = readBipolar(in);
         if (hv.size() != cfg.dim)
-            throw std::runtime_error("level dimensionality mismatch");
+            throw SerializeError("level dimensionality mismatch");
     }
     auto levels = std::make_shared<hdc::LevelMemory>(
         std::move(level_hvs));
 
+    const ChunkSpec chunks(num_features, cfg.chunkSize);
     const std::uint64_t num_positions = readU64(in);
+    if (num_positions != chunks.numChunks())
+        throw SerializeError("position key count does not match chunks");
     std::vector<hdc::BipolarHv> position_hvs(num_positions);
-    for (auto &hv : position_hvs)
+    for (auto &hv : position_hvs) {
         hv = readBipolar(in);
+        if (hv.size() != cfg.dim)
+            throw SerializeError("position key dimensionality mismatch");
+    }
     hdc::KeyMemory positions(std::move(position_hvs));
 
-    const ChunkSpec chunks(num_features, cfg.chunkSize);
     std::unique_ptr<LookupEncoder> encoder;
     if (bank) {
         encoder = std::make_unique<LookupEncoder>(
@@ -310,23 +336,36 @@ loadClassifier(std::istream &in)
     }
 
     const std::uint8_t model_flags = readU8(in);
+    if (model_flags == 0 || (model_flags & ~std::uint8_t{3}) != 0)
+        throw SerializeError("invalid model-presence flags");
     std::optional<CompressedModel> compressed;
     std::optional<hdc::ClassModel> model;
 
     if (model_flags & 1) {
         const std::uint64_t k = readU64(in);
+        if (k == 0 || k > kMaxClasses)
+            throw SerializeError("implausible class count");
         const std::uint64_t num_groups = readU64(in);
+        if (num_groups == 0 || num_groups > k)
+            throw SerializeError("implausible group count");
         std::vector<hdc::RealHv> groups(num_groups);
         for (auto &g : groups) {
-            g = readDoubles(in, std::uint64_t{1} << 28);
+            g = readDoubles(in, kMaxDim);
             if (g.size() != cfg.dim)
-                throw std::runtime_error("group dimensionality mismatch");
+                throw SerializeError("group dimensionality mismatch");
         }
         std::vector<hdc::BipolarHv> key_hvs(k);
-        for (auto &hv : key_hvs)
+        for (auto &hv : key_hvs) {
             hv = readBipolar(in);
+            if (hv.size() != cfg.dim)
+                throw SerializeError("class key dimensionality mismatch");
+        }
         auto norms = readDoubles(in, k);
-        auto common = readDoubles(in, std::uint64_t{1} << 28);
+        if (norms.size() != k)
+            throw SerializeError("per-class norm count mismatch");
+        auto common = readDoubles(in, kMaxDim);
+        if (!common.empty() && common.size() != cfg.dim)
+            throw SerializeError("common direction dimensionality mismatch");
         CompressionConfig cc = cfg.compression;
         cc.keepReference = false;
         compressed.emplace(cc, hdc::KeyMemory(std::move(key_hvs)),
@@ -335,17 +374,19 @@ loadClassifier(std::istream &in)
     }
     if (model_flags & 2) {
         const std::uint64_t k = readU64(in);
+        if (k == 0 || k > kMaxClasses)
+            throw SerializeError("implausible class count");
         hdc::ClassModel restored(cfg.dim, k);
         for (std::size_t c = 0; c < k; ++c) {
             hdc::IntHv hv = readIntHv(in);
             if (hv.size() != cfg.dim)
-                throw std::runtime_error("class dimensionality mismatch");
+                throw SerializeError("class dimensionality mismatch");
             restored.classHv(c) = std::move(hv);
         }
         model.emplace(std::move(restored));
     }
 
-    auto history = readDoubles(in, 1 << 20);
+    auto history = readDoubles(in, kMaxHistory);
 
     return Classifier::restore(std::move(cfg), std::move(levels),
                                std::move(quantizer), std::move(bank),
@@ -354,12 +395,28 @@ loadClassifier(std::istream &in)
                                std::move(history));
 }
 
+} // namespace
+
+Classifier
+loadClassifier(std::istream &in)
+{
+    // Constructors invoked during restore enforce their own contracts;
+    // a malformed file that trips one is still a bad *file*, so the
+    // violation is rethrown in the serialize error domain.
+    try {
+        return loadClassifierImpl(in);
+    } catch (const util::ContractViolation &e) {
+        throw SerializeError(std::string("inconsistent model file: ") +
+                             e.what());
+    }
+}
+
 void
 saveClassifierFile(const Classifier &clf, const std::string &path)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        throw std::runtime_error("cannot open " + path + " for write");
+        throw SerializeError("cannot open " + path + " for write");
     saveClassifier(clf, out);
 }
 
@@ -368,7 +425,7 @@ loadClassifierFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        throw std::runtime_error("cannot open " + path);
+        throw SerializeError("cannot open " + path);
     return loadClassifier(in);
 }
 

@@ -17,6 +17,7 @@
 #define LOOKHD_LOOKHD_SERIALIZE_HPP
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "lookhd/classifier.hpp"
@@ -24,16 +25,38 @@
 namespace lookhd {
 
 /**
+ * Thrown on malformed model input or stream failure. Derives from
+ * std::runtime_error (unlike util::ContractViolation): a bad file is
+ * an environmental condition the caller must handle, not a caller
+ * bug.
+ */
+class SerializeError : public std::runtime_error
+{
+  public:
+    explicit SerializeError(const std::string &message)
+        : std::runtime_error("lookhd model file: " + message)
+    {
+    }
+};
+
+/**
  * Write a fitted classifier to a binary stream.
- * @pre clf.fitted().
- * @throws std::runtime_error on stream failure.
+ * @pre clf.fitted() (util::ContractViolation otherwise).
+ * @throws SerializeError on stream failure.
  */
 void saveClassifier(const Classifier &clf, std::ostream &out);
 
 /**
  * Read a classifier back. The returned classifier is fitted and makes
  * the same predictions as the one saved.
- * @throws std::runtime_error on malformed input or stream failure.
+ *
+ * Malformed input never crashes or silently truncates: a magic word
+ * and version byte gate foreign files, every array length is bounded
+ * before allocation, cross-field consistency (dimensions, level
+ * counts, chunk shapes) is verified, and truncation is detected on
+ * every read.
+ *
+ * @throws SerializeError on malformed input or stream failure.
  */
 Classifier loadClassifier(std::istream &in);
 

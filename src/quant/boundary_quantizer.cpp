@@ -3,21 +3,22 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace lookhd::quant {
 
 BoundaryQuantizer::BoundaryQuantizer(std::vector<double> bounds)
     : bounds_(std::move(bounds))
 {
-    if (bounds_.empty())
-        throw std::invalid_argument("boundary quantizer needs bounds");
-    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
-        throw std::invalid_argument("boundaries must be ascending");
+    LOOKHD_CHECK(!bounds_.empty(), "boundary quantizer needs bounds");
+    LOOKHD_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "boundaries must be ascending");
 }
 
 void
 BoundaryQuantizer::fit(const std::vector<double> &)
 {
-    throw std::logic_error("boundary quantizer is fixed; cannot refit");
+    LOOKHD_CHECK(false, "boundary quantizer is fixed; cannot refit");
 }
 
 std::size_t

@@ -1,22 +1,21 @@
 #include "quant/equalized_quantizer.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace lookhd::quant {
 
 EqualizedQuantizer::EqualizedQuantizer(std::size_t levels)
     : levels_(levels)
 {
-    if (levels < 2)
-        throw std::invalid_argument("quantizer needs at least 2 levels");
+    LOOKHD_CHECK(levels >= 2, "quantizer needs at least 2 levels");
 }
 
 void
 EqualizedQuantizer::fit(const std::vector<double> &sample)
 {
-    if (sample.empty())
-        throw std::invalid_argument("cannot fit quantizer on empty sample");
+    LOOKHD_CHECK(!sample.empty(), "cannot fit quantizer on empty sample");
     std::vector<double> sorted = sample;
     std::sort(sorted.begin(), sorted.end());
 
@@ -36,8 +35,7 @@ EqualizedQuantizer::fit(const std::vector<double> &sample)
 std::size_t
 EqualizedQuantizer::level(double value) const
 {
-    if (!fitted_)
-        throw std::logic_error("quantizer not fitted");
+    LOOKHD_CHECK(fitted_, "quantizer not fitted");
     return binOf(bounds_, value);
 }
 

@@ -1,7 +1,8 @@
 #include "quant/linear_quantizer.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace lookhd::quant {
 
@@ -16,15 +17,13 @@ binOf(const std::vector<double> &bounds, double value)
 LinearQuantizer::LinearQuantizer(std::size_t levels)
     : levels_(levels)
 {
-    if (levels < 2)
-        throw std::invalid_argument("quantizer needs at least 2 levels");
+    LOOKHD_CHECK(levels >= 2, "quantizer needs at least 2 levels");
 }
 
 void
 LinearQuantizer::fit(const std::vector<double> &sample)
 {
-    if (sample.empty())
-        throw std::invalid_argument("cannot fit quantizer on empty sample");
+    LOOKHD_CHECK(!sample.empty(), "cannot fit quantizer on empty sample");
     const auto [lo, hi] = std::minmax_element(sample.begin(), sample.end());
     min_ = *lo;
     max_ = *hi;
@@ -34,8 +33,7 @@ LinearQuantizer::fit(const std::vector<double> &sample)
 std::size_t
 LinearQuantizer::level(double value) const
 {
-    if (!fitted_)
-        throw std::logic_error("quantizer not fitted");
+    LOOKHD_CHECK(fitted_, "quantizer not fitted");
     if (max_ == min_)
         return 0;
     const double t = (value - min_) / (max_ - min_);

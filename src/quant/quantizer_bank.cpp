@@ -1,6 +1,6 @@
 #include "quant/quantizer_bank.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 #include "quant/boundary_quantizer.hpp"
 #include "quant/equalized_quantizer.hpp"
@@ -11,8 +11,7 @@ namespace lookhd::quant {
 QuantizerBank::QuantizerBank(std::size_t levels, BankKind kind)
     : levels_(levels), kind_(kind)
 {
-    if (levels < 2)
-        throw std::invalid_argument("bank needs at least 2 levels");
+    LOOKHD_CHECK(levels >= 2, "bank needs at least 2 levels");
 }
 
 QuantizerBank
@@ -23,12 +22,10 @@ QuantizerBank::fromBoundaries(
     std::vector<std::unique_ptr<Quantizer>> restored;
     restored.reserve(bounds.size());
     for (const auto &b : bounds) {
-        if (b.size() + 1 != levels)
-            throw std::invalid_argument("boundary count mismatch");
+        LOOKHD_CHECK(b.size() + 1 == levels, "boundary count mismatch");
         restored.push_back(std::make_unique<BoundaryQuantizer>(b));
     }
-    if (restored.empty())
-        throw std::invalid_argument("bank needs at least one feature");
+    LOOKHD_CHECK(!restored.empty(), "bank needs at least one feature");
     bank.quantizers_ = std::move(restored);
     return bank;
 }
@@ -36,8 +33,7 @@ QuantizerBank::fromBoundaries(
 void
 QuantizerBank::fit(const data::Dataset &ds)
 {
-    if (ds.empty())
-        throw std::invalid_argument("cannot fit bank on empty dataset");
+    LOOKHD_CHECK(!ds.empty(), "cannot fit bank on empty dataset");
     std::vector<std::vector<double>> columns(ds.numFeatures());
     for (auto &col : columns)
         col.reserve(ds.size());
@@ -53,8 +49,7 @@ void
 QuantizerBank::fitColumns(
     const std::vector<std::vector<double>> &columns)
 {
-    if (columns.empty())
-        throw std::invalid_argument("bank needs at least one feature");
+    LOOKHD_CHECK(!columns.empty(), "bank needs at least one feature");
     std::vector<std::unique_ptr<Quantizer>> fitted;
     fitted.reserve(columns.size());
     for (const auto &col : columns) {
@@ -78,8 +73,7 @@ QuantizerBank::level(std::size_t feature, double value) const
 std::vector<std::size_t>
 QuantizerBank::levelsOf(std::span<const double> row) const
 {
-    if (row.size() != numFeatures())
-        throw std::invalid_argument("row width mismatch");
+    LOOKHD_CHECK(row.size() == numFeatures(), "row width mismatch");
     std::vector<std::size_t> out(row.size());
     for (std::size_t f = 0; f < row.size(); ++f)
         out[f] = quantizers_[f]->level(row[f]);
@@ -89,10 +83,8 @@ QuantizerBank::levelsOf(std::span<const double> row) const
 const Quantizer &
 QuantizerBank::at(std::size_t feature) const
 {
-    if (!fitted())
-        throw std::logic_error("bank not fitted");
-    if (feature >= quantizers_.size())
-        throw std::out_of_range("feature index");
+    LOOKHD_CHECK(fitted(), "bank not fitted");
+    LOOKHD_CHECK_BOUNDS(feature, quantizers_.size());
     return *quantizers_[feature];
 }
 

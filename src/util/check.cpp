@@ -1,0 +1,97 @@
+#include "util/check.hpp"
+
+namespace lookhd::util {
+
+namespace {
+
+std::string
+formatViolation(const char *expr, const char *file, int line,
+                const std::string &message)
+{
+    std::string out = "contract violation: ";
+    out += message;
+    if (expr != nullptr && expr[0] != '\0') {
+        out += " [failed: ";
+        out += expr;
+        out += "]";
+    }
+    out += " at ";
+    out += file;
+    out += ":";
+    out += std::to_string(line);
+    return out;
+}
+
+} // namespace
+
+ContractViolation::ContractViolation(const char *expr, const char *file,
+                                     int line,
+                                     const std::string &message)
+    : std::logic_error(formatViolation(expr, file, line, message)),
+      expr_(expr), file_(file), line_(line)
+{
+}
+
+void
+raiseContractViolation(const char *expr, const char *file, int line,
+                       const std::string &message)
+{
+    throw ContractViolation(expr, file, line, message);
+}
+
+void
+raiseBoundsViolation(const char *what, const char *file, int line,
+                     std::uint64_t index, std::uint64_t size)
+{
+    std::string msg = "index ";
+    msg += what;
+    msg += " = ";
+    msg += std::to_string(index);
+    msg += " out of range [0, ";
+    msg += std::to_string(size);
+    msg += ")";
+    throw ContractViolation("", file, line, msg);
+}
+
+std::uint64_t
+checkedMul(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t result = 0;
+    if (__builtin_mul_overflow(a, b, &result)) {
+        throw ContractViolation(
+            "", __FILE__, __LINE__,
+            "multiplication " + std::to_string(a) + " * " +
+                std::to_string(b) + " overflows 64 bits");
+    }
+    return result;
+}
+
+std::uint64_t
+checkedAdd(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t result = 0;
+    if (__builtin_add_overflow(a, b, &result)) {
+        throw ContractViolation(
+            "", __FILE__, __LINE__,
+            "addition " + std::to_string(a) + " + " +
+                std::to_string(b) + " overflows 64 bits");
+    }
+    return result;
+}
+
+std::uint64_t
+checkedMulPow(std::uint64_t base, std::uint64_t exp)
+{
+    std::uint64_t result = 1;
+    for (std::uint64_t i = 0; i < exp; ++i) {
+        if (__builtin_mul_overflow(result, base, &result)) {
+            throw ContractViolation(
+                "", __FILE__, __LINE__,
+                std::to_string(base) + "^" + std::to_string(exp) +
+                    " overflows the 64-bit address space");
+        }
+    }
+    return result;
+}
+
+} // namespace lookhd::util

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Contract-checking layer: precondition macros and overflow-checked
+ * arithmetic.
+ *
+ * Every public API in the library states its preconditions with these
+ * macros instead of ad-hoc `throw` statements, so violations carry a
+ * uniform exception type (ContractViolation), the failing expression,
+ * and the source location. The address-space arithmetic that LookHD's
+ * lookup encoding depends on (q^s table sizes, row-byte products) goes
+ * through the checked helpers, which refuse to wrap silently.
+ *
+ * Conventions:
+ *
+ *  - LOOKHD_CHECK: always-on precondition at a public API boundary.
+ *    Violations are caller bugs; the check throws ContractViolation so
+ *    callers and tests can react uniformly.
+ *  - LOOKHD_DCHECK: internal invariant on a hot path; compiled out
+ *    under NDEBUG exactly like assert(), but with a real message and
+ *    a throw (not abort) in debug builds.
+ *  - LOOKHD_CHECK_BOUNDS: index-in-range check that reports the index
+ *    and the size.
+ */
+
+#ifndef LOOKHD_UTIL_CHECK_HPP
+#define LOOKHD_UTIL_CHECK_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lookhd::util {
+
+/**
+ * Thrown when a LOOKHD_CHECK / LOOKHD_DCHECK / LOOKHD_CHECK_BOUNDS
+ * precondition fails or a checked arithmetic helper would overflow.
+ *
+ * Derives from std::logic_error: a contract violation is a programming
+ * error on the caller's side, not an environmental failure.
+ */
+class ContractViolation : public std::logic_error
+{
+  public:
+    ContractViolation(const char *expr, const char *file, int line,
+                      const std::string &message);
+
+    /** The stringified expression that failed (may be empty). */
+    const std::string &expression() const noexcept { return expr_; }
+
+    /** Source file of the failing check. */
+    const std::string &file() const noexcept { return file_; }
+
+    /** Source line of the failing check. */
+    int line() const noexcept { return line_; }
+
+  private:
+    std::string expr_;
+    std::string file_;
+    int line_;
+};
+
+/** Throw a ContractViolation for a failed check (cold path). */
+[[noreturn]] void raiseContractViolation(const char *expr,
+                                         const char *file, int line,
+                                         const std::string &message);
+
+/** Throw a ContractViolation for an out-of-range index (cold path). */
+[[noreturn]] void raiseBoundsViolation(const char *what,
+                                       const char *file, int line,
+                                       std::uint64_t index,
+                                       std::uint64_t size);
+
+/**
+ * a * b, throwing ContractViolation instead of wrapping on 64-bit
+ * overflow.
+ */
+std::uint64_t checkedMul(std::uint64_t a, std::uint64_t b);
+
+/** a + b with the same overflow policy as checkedMul. */
+std::uint64_t checkedAdd(std::uint64_t a, std::uint64_t b);
+
+/**
+ * base^exp by repeated checked multiplication: the q^s address-space
+ * computation. 0^0 is defined as 1. @throws ContractViolation if the
+ * result does not fit in 64 bits.
+ */
+std::uint64_t checkedMulPow(std::uint64_t base, std::uint64_t exp);
+
+} // namespace lookhd::util
+
+/**
+ * Always-on precondition check: throws ContractViolation with the
+ * failing expression, location and @p msg when @p cond is false.
+ */
+#define LOOKHD_CHECK(cond, msg)                                        \
+    do {                                                               \
+        if (!(cond)) [[unlikely]]                                      \
+            ::lookhd::util::raiseContractViolation(#cond, __FILE__,    \
+                                                   __LINE__, (msg));   \
+    } while (false)
+
+/**
+ * Index bounds check: @p index must be < @p size. Reports both values
+ * in the exception message.
+ */
+#define LOOKHD_CHECK_BOUNDS(index, size)                               \
+    do {                                                               \
+        const std::uint64_t lookhd_chk_idx_ =                          \
+            static_cast<std::uint64_t>(index);                         \
+        const std::uint64_t lookhd_chk_size_ =                         \
+            static_cast<std::uint64_t>(size);                          \
+        if (lookhd_chk_idx_ >= lookhd_chk_size_) [[unlikely]]          \
+            ::lookhd::util::raiseBoundsViolation(                      \
+                #index, __FILE__, __LINE__, lookhd_chk_idx_,           \
+                lookhd_chk_size_);                                     \
+    } while (false)
+
+/**
+ * Debug-only invariant check for hot paths: identical to LOOKHD_CHECK
+ * in debug builds, compiled out (condition not evaluated) under
+ * NDEBUG.
+ */
+#ifdef NDEBUG
+#define LOOKHD_DCHECK(cond, msg)                                       \
+    do {                                                               \
+    } while (false)
+#else
+#define LOOKHD_DCHECK(cond, msg) LOOKHD_CHECK(cond, msg)
+#endif
+
+#endif // LOOKHD_UTIL_CHECK_HPP

@@ -2,15 +2,16 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace lookhd::util {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0)
 {
-    if (!(hi > lo) || bins == 0)
-        throw std::invalid_argument("histogram needs hi > lo and bins > 0");
+    LOOKHD_CHECK(hi > lo, "histogram needs hi > lo");
+    LOOKHD_CHECK(bins > 0, "histogram needs at least one bin");
 }
 
 void
@@ -43,7 +44,8 @@ Histogram::fraction(std::size_t bin) const
 {
     if (total_ == 0)
         return 0.0;
-    return static_cast<double>(counts_.at(bin)) /
+    LOOKHD_CHECK_BOUNDS(bin, counts_.size());
+    return static_cast<double>(counts_[bin]) /
            static_cast<double>(total_);
 }
 

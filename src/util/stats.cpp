@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace lookhd::util {
 
@@ -42,8 +43,7 @@ geomean(const std::vector<double> &values)
         return 0.0;
     double logsum = 0.0;
     for (double v : values) {
-        if (v <= 0.0)
-            throw std::invalid_argument("geomean requires positive values");
+        LOOKHD_CHECK(v > 0.0, "geomean requires positive values");
         logsum += std::log(v);
     }
     return std::exp(logsum / static_cast<double>(values.size()));
@@ -52,8 +52,7 @@ geomean(const std::vector<double> &values)
 double
 quantile(std::vector<double> values, double p)
 {
-    if (values.empty())
-        throw std::invalid_argument("quantile of empty sample");
+    LOOKHD_CHECK(!values.empty(), "quantile of empty sample");
     p = std::clamp(p, 0.0, 1.0);
     std::sort(values.begin(), values.end());
     const double pos = p * static_cast<double>(values.size() - 1);
@@ -66,8 +65,9 @@ quantile(std::vector<double> values, double p)
 double
 pearson(const std::vector<double> &xs, const std::vector<double> &ys)
 {
-    if (xs.size() != ys.size() || xs.size() < 2)
-        throw std::invalid_argument("pearson needs two equal-length samples");
+    LOOKHD_CHECK(xs.size() == ys.size(),
+                 "pearson needs equal-length samples");
+    LOOKHD_CHECK(xs.size() >= 2, "pearson needs at least two points");
     const double mx = mean(xs);
     const double my = mean(ys);
     double sxy = 0.0, sxx = 0.0, syy = 0.0;

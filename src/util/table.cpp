@@ -2,22 +2,22 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace lookhd::util {
 
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers))
 {
-    if (headers_.empty())
-        throw std::invalid_argument("table needs at least one column");
+    LOOKHD_CHECK(!headers_.empty(), "table needs at least one column");
 }
 
 void
 Table::addRow(std::vector<std::string> cells)
 {
-    if (cells.size() != headers_.size())
-        throw std::invalid_argument("row width does not match header");
+    LOOKHD_CHECK(cells.size() == headers_.size(),
+                 "row width does not match header");
     rows_.push_back(std::move(cells));
 }
 

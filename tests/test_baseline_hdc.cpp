@@ -14,6 +14,7 @@
 #include "hdc/trainer.hpp"
 #include "quant/equalized_quantizer.hpp"
 #include "quant/linear_quantizer.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -106,10 +107,10 @@ TEST(BaselineEncoder, RejectsMismatchedQuantizer)
     auto quant8 = std::make_shared<quant::LinearQuantizer>(8);
     quant8->fit({0.0, 1.0});
     EXPECT_THROW(BaselineEncoder(levels, quant8),
-                 std::invalid_argument);
+                 util::ContractViolation);
     auto unfitted = std::make_shared<quant::LinearQuantizer>(4);
     EXPECT_THROW(BaselineEncoder(levels, unfitted),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 TEST(ClassModelTest, AccumulateAndPredict)

@@ -7,6 +7,7 @@
 
 #include "hdc/bitpack.hpp"
 #include "hdc/similarity.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -31,7 +32,7 @@ TEST(Bitpack, ElementAccess)
     EXPECT_EQ(packed.at(0), 1);
     EXPECT_EQ(packed.at(1), -1);
     EXPECT_EQ(packed.at(4), 1);
-    EXPECT_THROW(packed.at(5), std::out_of_range);
+    EXPECT_THROW(packed.at(5), lookhd::util::ContractViolation);
 }
 
 TEST(Bitpack, SetFlipsElements)
@@ -117,8 +118,8 @@ TEST(Bitpack, SelfSimilarityIsOne)
 TEST(Bitpack, DimensionMismatchThrows)
 {
     PackedHv a(Dim{64}), b(Dim{65});
-    EXPECT_THROW(matchCount(a, b), std::invalid_argument);
-    EXPECT_THROW(a.bind(b), std::invalid_argument);
+    EXPECT_THROW(matchCount(a, b), lookhd::util::ContractViolation);
+    EXPECT_THROW(a.bind(b), lookhd::util::ContractViolation);
 }
 
 TEST(Bitpack, EqualityIncludesTailBits)

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the contract layer: check macros, bounds checks, NDEBUG
+ * behaviour of LOOKHD_DCHECK, and the overflow-checked arithmetic
+ * behind the q^s address-space computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace {
+
+using lookhd::util::checkedAdd;
+using lookhd::util::checkedMul;
+using lookhd::util::checkedMulPow;
+using lookhd::util::ContractViolation;
+
+constexpr std::uint64_t kMax =
+    std::numeric_limits<std::uint64_t>::max();
+
+TEST(Check, PassingCheckIsSilent)
+{
+    EXPECT_NO_THROW(LOOKHD_CHECK(1 + 1 == 2, "arithmetic works"));
+    EXPECT_NO_THROW(LOOKHD_CHECK(true, "trivially true"));
+}
+
+TEST(Check, FailingCheckThrowsContractViolation)
+{
+    EXPECT_THROW(LOOKHD_CHECK(false, "must fail"), ContractViolation);
+    // ContractViolation is a logic_error, so call sites and tests that
+    // only care about the broad category keep working.
+    EXPECT_THROW(LOOKHD_CHECK(false, "must fail"), std::logic_error);
+}
+
+TEST(Check, ViolationCarriesExpressionAndLocation)
+{
+    try {
+        LOOKHD_CHECK(2 < 1, "two is not less than one");
+        FAIL() << "check did not throw";
+    } catch (const ContractViolation &e) {
+        EXPECT_EQ(e.expression(), "2 < 1");
+        EXPECT_NE(e.file().find("test_check.cpp"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("two is not less than one"),
+                  std::string::npos);
+        EXPECT_NE(what.find("2 < 1"), std::string::npos);
+        EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+    }
+}
+
+TEST(Check, BoundsCheckAcceptsInRangeIndices)
+{
+    const std::size_t size = 4;
+    for (std::size_t i = 0; i < size; ++i)
+        EXPECT_NO_THROW(LOOKHD_CHECK_BOUNDS(i, size));
+}
+
+TEST(Check, BoundsCheckReportsIndexAndSize)
+{
+    const std::size_t index = 7;
+    const std::size_t size = 3;
+    try {
+        LOOKHD_CHECK_BOUNDS(index, size);
+        FAIL() << "bounds check did not throw";
+    } catch (const ContractViolation &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("7"), std::string::npos);
+        EXPECT_NE(what.find("3"), std::string::npos);
+    }
+    // Zero-size ranges reject every index.
+    EXPECT_THROW(LOOKHD_CHECK_BOUNDS(0, 0), ContractViolation);
+}
+
+TEST(Check, DcheckMatchesBuildMode)
+{
+#ifdef NDEBUG
+    // Compiled out: neither throws nor evaluates the condition.
+    bool evaluated = false;
+    LOOKHD_DCHECK((evaluated = true), "never evaluated in NDEBUG");
+    EXPECT_FALSE(evaluated);
+    EXPECT_NO_THROW(LOOKHD_DCHECK(false, "compiled out"));
+#else
+    EXPECT_THROW(LOOKHD_DCHECK(false, "active in debug"),
+                 ContractViolation);
+    EXPECT_NO_THROW(LOOKHD_DCHECK(true, "passing"));
+#endif
+}
+
+TEST(Check, CheckedMulBasics)
+{
+    EXPECT_EQ(checkedMul(0, 0), 0u);
+    EXPECT_EQ(checkedMul(1, kMax), kMax);
+    EXPECT_EQ(checkedMul(3, 7), 21u);
+    // Largest exactly representable square root boundary.
+    EXPECT_EQ(checkedMul(std::uint64_t{1} << 32, std::uint64_t{1} << 31),
+              std::uint64_t{1} << 63);
+}
+
+TEST(Check, CheckedMulOverflowThrows)
+{
+    EXPECT_THROW(checkedMul(kMax, 2), ContractViolation);
+    EXPECT_THROW(checkedMul(std::uint64_t{1} << 32,
+                            std::uint64_t{1} << 32),
+                 ContractViolation);
+    // One below the overflow boundary is fine.
+    EXPECT_EQ(checkedMul(kMax, 1), kMax);
+}
+
+TEST(Check, CheckedAddOverflowThrows)
+{
+    EXPECT_EQ(checkedAdd(kMax - 1, 1), kMax);
+    EXPECT_THROW(checkedAdd(kMax, 1), ContractViolation);
+    EXPECT_EQ(checkedAdd(0, 0), 0u);
+}
+
+TEST(Check, CheckedMulPowEdgeCases)
+{
+    EXPECT_EQ(checkedMulPow(0, 0), 1u); // empty product convention
+    EXPECT_EQ(checkedMulPow(0, 3), 0u);
+    EXPECT_EQ(checkedMulPow(1, 1000), 1u);
+    EXPECT_EQ(checkedMulPow(2, 63), std::uint64_t{1} << 63);
+    EXPECT_EQ(checkedMulPow(16, 15), std::uint64_t{1} << 60);
+    EXPECT_EQ(checkedMulPow(kMax, 1), kMax);
+}
+
+TEST(Check, CheckedMulPowOverflowThrows)
+{
+    // 2^64 is exactly one doubling past the domain.
+    EXPECT_THROW(checkedMulPow(2, 64), ContractViolation);
+    // The q^s motivating case: 16 levels, 17-feature chunk = 2^68.
+    EXPECT_THROW(checkedMulPow(16, 17), ContractViolation);
+    EXPECT_THROW(checkedMulPow(kMax, 2), ContractViolation);
+    try {
+        checkedMulPow(10, 20);
+        FAIL() << "10^20 did not overflow";
+    } catch (const ContractViolation &e) {
+        EXPECT_NE(std::string(e.what()).find("10^20"),
+                  std::string::npos);
+    }
+}
+
+} // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "lookhd/chunking.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -61,10 +62,10 @@ TEST(ChunkSpec, ChunkSizeOne)
 
 TEST(ChunkSpec, Validation)
 {
-    EXPECT_THROW(ChunkSpec(0, 5), std::invalid_argument);
-    EXPECT_THROW(ChunkSpec(5, 0), std::invalid_argument);
+    EXPECT_THROW(ChunkSpec(0, 5), lookhd::util::ContractViolation);
+    EXPECT_THROW(ChunkSpec(5, 0), lookhd::util::ContractViolation);
     ChunkSpec s(10, 5);
-    EXPECT_THROW(s.end(2), std::out_of_range);
+    EXPECT_THROW(s.end(2), lookhd::util::ContractViolation);
 }
 
 } // namespace

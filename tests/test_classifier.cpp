@@ -7,6 +7,7 @@
 
 #include "data/synthetic.hpp"
 #include "lookhd/classifier.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -156,17 +157,17 @@ TEST(Classifier, ErrorsBeforeFitAndOnBadConfig)
 
     ClassifierConfig bad = smallConfig();
     bad.quantLevels = 1;
-    EXPECT_THROW(Classifier{bad}, std::invalid_argument);
+    EXPECT_THROW(Classifier{bad}, util::ContractViolation);
     bad = smallConfig();
     bad.dim = 0;
-    EXPECT_THROW(Classifier{bad}, std::invalid_argument);
+    EXPECT_THROW(Classifier{bad}, util::ContractViolation);
 }
 
 TEST(Classifier, RejectsEmptyTrainingSet)
 {
     Classifier clf(smallConfig());
     data::Dataset empty(40, 4);
-    EXPECT_THROW(clf.fit(empty), std::invalid_argument);
+    EXPECT_THROW(clf.fit(empty), util::ContractViolation);
 }
 
 /** Dimensionality sweep: accuracy is robust down to D ~ 1000. */

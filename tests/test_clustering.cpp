@@ -11,6 +11,7 @@
 #include "hdc/clustering.hpp"
 #include "hdc/encoder.hpp"
 #include "quant/equalized_quantizer.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -123,13 +124,13 @@ TEST(Clustering, MoreClustersNeverLowerCohesion)
 
 TEST(Clustering, Validation)
 {
-    EXPECT_THROW(clusterEncoded({}, 1, {}), std::invalid_argument);
+    EXPECT_THROW(clusterEncoded({}, 1, {}), util::ContractViolation);
     std::vector<IntHv> one{IntHv(16, 1)};
-    EXPECT_THROW(clusterEncoded(one, 0, {}), std::invalid_argument);
-    EXPECT_THROW(clusterEncoded(one, 2, {}), std::invalid_argument);
+    EXPECT_THROW(clusterEncoded(one, 0, {}), util::ContractViolation);
+    EXPECT_THROW(clusterEncoded(one, 2, {}), util::ContractViolation);
     std::vector<IntHv> ragged{IntHv(16, 1), IntHv(8, 1)};
     EXPECT_THROW(clusterEncoded(ragged, 1, {}),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 TEST(Clustering, PurityHelper)
@@ -141,8 +142,8 @@ TEST(Clustering, PurityHelper)
     EXPECT_DOUBLE_EQ(
         clusterPurity({0, 0, 0, 0}, {0, 1, 0, 1}, 1, 2), 0.5);
     EXPECT_THROW(clusterPurity({0}, {0, 1}, 1, 2),
-                 std::invalid_argument);
-    EXPECT_THROW(clusterPurity({5}, {0}, 2, 2), std::out_of_range);
+                 util::ContractViolation);
+    EXPECT_THROW(clusterPurity({5}, {0}, 2, 2), util::ContractViolation);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "lookhd/codebook.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -18,7 +19,7 @@ TEST(Codebook, BitsPerLevel)
     EXPECT_EQ(codebookBits(5), 3u);
     EXPECT_EQ(codebookBits(8), 3u);
     EXPECT_EQ(codebookBits(16), 4u);
-    EXPECT_THROW(codebookBits(1), std::invalid_argument);
+    EXPECT_THROW(codebookBits(1), util::ContractViolation);
 }
 
 TEST(Codebook, AddressOfBaseQ)
@@ -46,7 +47,7 @@ TEST(Codebook, BitAddressMatchesBaseQForPowersOfTwo)
 TEST(Codebook, BitAddressRejectsNonPowerOfTwo)
 {
     const std::vector<std::size_t> lvls{1, 2};
-    EXPECT_THROW(bitAddressOf(lvls, 3), std::invalid_argument);
+    EXPECT_THROW(bitAddressOf(lvls, 3), util::ContractViolation);
 }
 
 TEST(Codebook, DecodeInvertsEncode)
@@ -63,7 +64,7 @@ TEST(Codebook, DecodeRejectsOutOfRange)
 {
     std::vector<std::size_t> out(2);
     // 2 digits base 4 hold at most 15.
-    EXPECT_THROW(decodeAddress(16, 4, out), std::invalid_argument);
+    EXPECT_THROW(decodeAddress(16, 4, out), util::ContractViolation);
 }
 
 TEST(Codebook, RoundTripExhaustiveSmallSpace)
@@ -81,7 +82,7 @@ TEST(Codebook, RoundTripExhaustiveSmallSpace)
 TEST(Codebook, AddressOfRejectsBadLevel)
 {
     const std::vector<std::size_t> lvls{0, 4};
-    EXPECT_THROW(addressOf(lvls, 4), std::invalid_argument);
+    EXPECT_THROW(addressOf(lvls, 4), util::ContractViolation);
 }
 
 TEST(Codebook, AddressSpaceValues)
@@ -95,7 +96,7 @@ TEST(Codebook, AddressSpaceValues)
 TEST(Codebook, AddressSpaceOverflowThrows)
 {
     // 16^617 (the SPEECH naive lookup of Table I) cannot fit.
-    EXPECT_THROW(addressSpace(16, 617), std::overflow_error);
+    EXPECT_THROW(addressSpace(16, 617), util::ContractViolation);
 }
 
 TEST(Codebook, TableFitsRespectsBudget)

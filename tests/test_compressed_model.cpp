@@ -11,6 +11,7 @@
 #include "hdc/similarity.hpp"
 #include "lookhd/compressed_model.hpp"
 #include "util/stats.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -200,7 +201,7 @@ TEST(CompressedModelTest, GroupAssignment)
     EXPECT_EQ(compressed.groupOf(11), 0u);
     EXPECT_EQ(compressed.groupOf(12), 1u);
     EXPECT_EQ(compressed.groupOf(25), 2u);
-    EXPECT_THROW(compressed.groupOf(26), std::out_of_range);
+    EXPECT_THROW(compressed.groupOf(26), util::ContractViolation);
 }
 
 TEST(CompressedModelTest, SizeBytesMuchSmallerThanUncompressed)
@@ -304,9 +305,9 @@ TEST(CompressedModelTest, InputValidation)
     util::Rng rng(71);
     CompressedModel compressed(model, rng, {});
     IntHv wrong(100, 1);
-    EXPECT_THROW(compressed.scores(wrong), std::invalid_argument);
+    EXPECT_THROW(compressed.scores(wrong), util::ContractViolation);
     EXPECT_THROW(compressed.applyUpdate(0, 5, IntHv(500, 1), 1.0),
-                 std::out_of_range);
+                 util::ContractViolation);
 }
 
 } // namespace

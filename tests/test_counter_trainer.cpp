@@ -11,6 +11,7 @@
 #include "data/synthetic.hpp"
 #include "lookhd/counter_trainer.hpp"
 #include "quant/equalized_quantizer.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -95,8 +96,8 @@ TEST(ChunkCountersTest, ForEachVisitsExactlyNonzero)
 TEST(ChunkCountersTest, OutOfRangeThrows)
 {
     ChunkCounters counters(8, 1024);
-    EXPECT_THROW(counters.increment(8), std::out_of_range);
-    EXPECT_THROW(counters.count(9), std::out_of_range);
+    EXPECT_THROW(counters.increment(8), util::ContractViolation);
+    EXPECT_THROW(counters.count(9), util::ContractViolation);
 }
 
 TEST(CounterTrainerTest, ExactlyEqualsSumOfEncodings)
@@ -181,9 +182,9 @@ TEST(CounterBankTest, ObserveValidation)
     CounterTrainerConfig cfg;
     CounterBank bank(*fx.encoder, 2, cfg);
     const std::vector<Address> wrong(3, 0);
-    EXPECT_THROW(bank.observe(0, wrong), std::invalid_argument);
+    EXPECT_THROW(bank.observe(0, wrong), util::ContractViolation);
     EXPECT_THROW(bank.observe(5, std::vector<Address>(2, 0)),
-                 std::out_of_range);
+                 util::ContractViolation);
 }
 
 /** Parameterized exactness sweep over (q, r). */

@@ -15,6 +15,7 @@
 #include "data/synthetic.hpp"
 #include "lookhd/classifier.hpp"
 #include "lookhd/serialize.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -110,7 +111,7 @@ TEST(FailureInjection, SerializedModelSurvivesByteFlipOrRejects)
             (void)restored.predict(tt.test.row(0));
         } catch (const std::runtime_error &) {
             // Expected for structural corruption.
-        } catch (const std::invalid_argument &) {
+        } catch (const util::ContractViolation &) {
             // Also acceptable: shape validation fired.
         }
     }
@@ -176,9 +177,9 @@ TEST(FailureInjection, MismatchedQueryWidthThrows)
     Classifier clf(cfg);
     clf.fit(tt.train);
     EXPECT_THROW(clf.predict(std::vector<double>(7, 0.0)),
-                 std::invalid_argument);
+                 util::ContractViolation);
     EXPECT_THROW(clf.predict(std::vector<double>(9, 0.0)),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 } // namespace

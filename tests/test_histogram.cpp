@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "util/histogram.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -85,9 +86,9 @@ TEST(Histogram, RenderHasOneLinePerBin)
 
 TEST(Histogram, InvalidConstructionThrows)
 {
-    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
-    EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
-    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), lookhd::util::ContractViolation);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), lookhd::util::ContractViolation);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), lookhd::util::ContractViolation);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 
 #include "hdc/hypervector.hpp"
 #include "hdc/similarity.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -235,7 +236,7 @@ TEST(Similarity, ArgmaxFindsFirstMaximum)
 {
     EXPECT_EQ(argmax({1.0, 5.0, 3.0}), 1u);
     EXPECT_EQ(argmax({7.0}), 0u);
-    EXPECT_THROW(argmax({}), std::invalid_argument);
+    EXPECT_THROW(argmax({}), lookhd::util::ContractViolation);
 }
 
 /** Property sweep: superposition retains its parts across dims. */

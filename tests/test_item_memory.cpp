@@ -10,6 +10,7 @@
 
 #include "hdc/item_memory.hpp"
 #include "hdc/similarity.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -85,8 +86,8 @@ TEST(LevelMemory, PaperRandomVariantStillOrdered)
 TEST(LevelMemory, RejectsDegenerateShapes)
 {
     Rng rng(7);
-    EXPECT_THROW(LevelMemory(100, 1, rng), std::invalid_argument);
-    EXPECT_THROW(LevelMemory(4, 8, rng), std::invalid_argument);
+    EXPECT_THROW(LevelMemory(100, 1, rng), lookhd::util::ContractViolation);
+    EXPECT_THROW(LevelMemory(4, 8, rng), lookhd::util::ContractViolation);
 }
 
 TEST(LevelMemory, DeterministicGivenSeed)
@@ -116,7 +117,7 @@ TEST(KeyMemory, CountAndDim)
     KeyMemory keys(256, 12, rng);
     EXPECT_EQ(keys.count(), 12u);
     EXPECT_EQ(keys.dim(), 256u);
-    EXPECT_THROW(keys.at(12), std::out_of_range);
+    EXPECT_THROW(keys.at(12), lookhd::util::ContractViolation);
 }
 
 TEST(KeyMemory, ZeroKeysAllowed)

@@ -11,6 +11,7 @@
 #include "hdc/similarity.hpp"
 #include "lookhd/lookup_encoder.hpp"
 #include "quant/linear_quantizer.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -156,11 +157,11 @@ TEST(LookupEncoder, ValidationErrors)
 {
     Fixture fx(128, 4, 10, 5, 29);
     EXPECT_THROW(fx.encoder->encode(std::vector<double>(9, 0.5)),
-                 std::invalid_argument);
-    EXPECT_THROW(fx.encoder->tableFor(2), std::out_of_range);
+                 util::ContractViolation);
+    EXPECT_THROW(fx.encoder->tableFor(2), util::ContractViolation);
     const std::vector<Address> wrong(3, 0);
     EXPECT_THROW(fx.encoder->encodeFromAddresses(wrong),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 TEST(LookupEncoder, DeterministicAcrossInstancesWithSameSeed)

@@ -9,6 +9,7 @@
 
 #include "hdc/similarity.hpp"
 #include "lookhd/lookup_table.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -105,16 +106,16 @@ TEST(ChunkLookupTable, OutOfRangeAddressThrows)
     auto levels = makeLevels(64, 2);
     ChunkLookupTable table(levels, 3, std::size_t{1} << 20);
     IntHv scratch;
-    EXPECT_THROW(table.row(8, scratch), std::out_of_range);
+    EXPECT_THROW(table.row(8, scratch), util::ContractViolation);
 }
 
 TEST(ChunkLookupTable, Validation)
 {
     auto levels = makeLevels(64, 2);
     EXPECT_THROW(ChunkLookupTable(nullptr, 3, 0),
-                 std::invalid_argument);
+                 util::ContractViolation);
     EXPECT_THROW(ChunkLookupTable(levels, 0, 0),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 } // namespace

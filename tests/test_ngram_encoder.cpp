@@ -9,6 +9,7 @@
 
 #include "hdc/ngram_encoder.hpp"
 #include "hdc/similarity.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -130,15 +131,15 @@ TEST(NgramEncoder, DistinguishesMarkovSources)
 TEST(NgramEncoder, Validation)
 {
     auto symbols = alphabet(64, 3);
-    EXPECT_THROW(NgramEncoder(nullptr, 2), std::invalid_argument);
-    EXPECT_THROW(NgramEncoder(symbols, 0), std::invalid_argument);
+    EXPECT_THROW(NgramEncoder(nullptr, 2), lookhd::util::ContractViolation);
+    EXPECT_THROW(NgramEncoder(symbols, 0), lookhd::util::ContractViolation);
     NgramEncoder enc(symbols, 2);
     EXPECT_THROW(enc.encodeSequence(std::vector<std::size_t>{}),
-                 std::invalid_argument);
+                 lookhd::util::ContractViolation);
     EXPECT_THROW(enc.encodeGram(std::vector<std::size_t>{0, 5}),
-                 std::invalid_argument);
+                 lookhd::util::ContractViolation);
     EXPECT_THROW(enc.encodeGram(std::vector<std::size_t>{0, 1, 2}),
-                 std::invalid_argument);
+                 lookhd::util::ContractViolation);
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 #include "hdc/online_trainer.hpp"
 #include "hdc/trainer.hpp"
 #include "quant/equalized_quantizer.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -121,12 +122,12 @@ TEST(OnlineTrainer, SkipCorrectModeAlsoWorks)
 TEST(OnlineTrainer, Validation)
 {
     EXPECT_THROW(onlineTrain({}, {}, 100, 2, {}),
-                 std::invalid_argument);
+                 util::ContractViolation);
     std::vector<IntHv> one{IntHv(100, 1)};
     OnlineTrainOptions opts;
     opts.epochs = 0;
     EXPECT_THROW(onlineTrain(one, {0}, 100, 2, opts),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 } // namespace

@@ -9,6 +9,7 @@
 #include "hdc/similarity.hpp"
 #include "lookhd/classifier.hpp"
 #include "util/stats.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -120,11 +121,11 @@ TEST(Progressive, Validation)
     Trained t(1.0, 11);
     const CompressedModel &model = t.clf.compressedModel();
     const hdc::IntHv q = t.clf.encoder().encode(t.test.row(0));
-    EXPECT_THROW(model.scoresPrefix(q, 0), std::invalid_argument);
+    EXPECT_THROW(model.scoresPrefix(q, 0), util::ContractViolation);
     EXPECT_THROW(model.scoresPrefix(q, model.dim() + 1),
-                 std::invalid_argument);
+                 util::ContractViolation);
     EXPECT_THROW(model.predictProgressive(q, 0, 0.5),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 #include "data/synthetic.hpp"
 #include "hdc/quantized_model.hpp"
 #include "lookhd/classifier.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -123,11 +124,11 @@ TEST(QuantizedModel, Validation)
 {
     Trained t(11);
     EXPECT_THROW(QuantizedModel(t.clf.uncompressedModel(), 0),
-                 std::invalid_argument);
+                 util::ContractViolation);
     EXPECT_THROW(QuantizedModel(t.clf.uncompressedModel(), 17),
-                 std::invalid_argument);
+                 util::ContractViolation);
     const QuantizedModel qm(t.clf.uncompressedModel(), 4);
-    EXPECT_THROW(qm.scores(IntHv(10, 0)), std::invalid_argument);
+    EXPECT_THROW(qm.scores(IntHv(10, 0)), util::ContractViolation);
 }
 
 } // namespace

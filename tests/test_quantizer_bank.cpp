@@ -12,6 +12,7 @@
 #include "lookhd/classifier.hpp"
 #include "lookhd/lookup_encoder.hpp"
 #include "quant/quantizer_bank.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -73,7 +74,7 @@ TEST(QuantizerBank, LevelsOfRow)
     for (auto l : lvls)
         EXPECT_LT(l, 4u);
     EXPECT_THROW(bank.levelsOf(std::vector<double>{1.0}),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 TEST(QuantizerBank, FromBoundariesRestoresBehaviour)
@@ -94,12 +95,12 @@ TEST(QuantizerBank, FromBoundariesRestoresBehaviour)
 TEST(QuantizerBank, Validation)
 {
     EXPECT_THROW(QuantizerBank(1, BankKind::kLinear),
-                 std::invalid_argument);
+                 util::ContractViolation);
     QuantizerBank bank(4, BankKind::kLinear);
     EXPECT_THROW(bank.at(0), std::logic_error);
-    EXPECT_THROW(bank.fitColumns({}), std::invalid_argument);
+    EXPECT_THROW(bank.fitColumns({}), util::ContractViolation);
     EXPECT_THROW(QuantizerBank::fromBoundaries(4, {{1.0}}),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 TEST(QuantizerBank, EncoderIntegrationMatchesManualLevels)

@@ -10,6 +10,7 @@
 #include "quant/equalized_quantizer.hpp"
 #include "quant/linear_quantizer.hpp"
 #include "util/rng.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -66,10 +67,10 @@ TEST(LinearQuantizer, ConstantSampleMapsToLevelZero)
 
 TEST(LinearQuantizer, ErrorsOnMisuse)
 {
-    EXPECT_THROW(LinearQuantizer(1), std::invalid_argument);
+    EXPECT_THROW(LinearQuantizer(1), lookhd::util::ContractViolation);
     LinearQuantizer q(4);
     EXPECT_THROW(q.level(1.0), std::logic_error);
-    EXPECT_THROW(q.fit({}), std::invalid_argument);
+    EXPECT_THROW(q.fit({}), lookhd::util::ContractViolation);
 }
 
 TEST(EqualizedQuantizer, UniformOccupancyOnSkewedData)
@@ -150,10 +151,10 @@ TEST(EqualizedQuantizer, HandlesMassiveTies)
 
 TEST(EqualizedQuantizer, ErrorsOnMisuse)
 {
-    EXPECT_THROW(EqualizedQuantizer(0), std::invalid_argument);
+    EXPECT_THROW(EqualizedQuantizer(0), lookhd::util::ContractViolation);
     EqualizedQuantizer q(4);
     EXPECT_THROW(q.level(1.0), std::logic_error);
-    EXPECT_THROW(q.fit({}), std::invalid_argument);
+    EXPECT_THROW(q.fit({}), lookhd::util::ContractViolation);
 }
 
 TEST(Quantizer, LevelsOfVector)

@@ -15,6 +15,7 @@
 #include "hdc/trainer.hpp"
 #include "quant/equalized_quantizer.hpp"
 #include "quant/linear_quantizer.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -92,13 +93,13 @@ TEST(RecordEncoder, Validation)
 {
     Fixture fx(128, 4, 5);
     EXPECT_THROW(fx.encoder->encode(std::vector<double>(4, 0.0)),
-                 std::invalid_argument);
+                 util::ContractViolation);
     util::Rng rng(1);
     auto unfitted = std::make_shared<quant::LinearQuantizer>(4);
     EXPECT_THROW(RecordEncoder(fx.levels, unfitted, 5, rng),
-                 std::invalid_argument);
+                 util::ContractViolation);
     EXPECT_THROW(RecordEncoder(fx.levels, fx.quantizer, 0, rng),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 TEST(RecordEncoder, ComparableAccuracyToPermutationEncoding)

@@ -11,6 +11,7 @@
 #include "lookhd/counter_trainer.hpp"
 #include "lookhd/retrainer.hpp"
 #include "quant/equalized_quantizer.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -137,7 +138,7 @@ TEST(Retrainer, RejectsEmptyInput)
     Pipeline p(500, 2, 5, hardSpec(13), 50, 10, 13);
     Retrainer retrainer(*p.encoder);
     EXPECT_THROW(retrainer.retrainEncoded(*p.model, {}, {}, {}),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 TEST(Retrainer, ValidationEarlyStopHaltsOnPlateau)
@@ -185,7 +186,7 @@ TEST(Retrainer, ValidationFractionValidation)
     RetrainOptions opts;
     opts.validationFraction = 1.0;
     EXPECT_THROW(retrainer.retrain(*p.model, p.train, opts),
-                 std::invalid_argument);
+                 util::ContractViolation);
 }
 
 TEST(Retrainer, UpdateCountMatchesHistoryShape)

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "util/stats.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -50,8 +51,8 @@ TEST(Stats, GeomeanOfRatios)
 
 TEST(Stats, GeomeanRejectsNonPositive)
 {
-    EXPECT_THROW(geomean({1.0, 0.0}), std::invalid_argument);
-    EXPECT_THROW(geomean({1.0, -2.0}), std::invalid_argument);
+    EXPECT_THROW(geomean({1.0, 0.0}), lookhd::util::ContractViolation);
+    EXPECT_THROW(geomean({1.0, -2.0}), lookhd::util::ContractViolation);
 }
 
 TEST(Stats, QuantileEndpoints)
@@ -70,7 +71,7 @@ TEST(Stats, QuantileInterpolates)
 
 TEST(Stats, QuantileEmptyThrows)
 {
-    EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+    EXPECT_THROW(quantile({}, 0.5), lookhd::util::ContractViolation);
 }
 
 TEST(Stats, PearsonPerfectCorrelation)
@@ -86,7 +87,7 @@ TEST(Stats, PearsonDegenerateIsZero)
 
 TEST(Stats, PearsonSizeMismatchThrows)
 {
-    EXPECT_THROW(pearson({1, 2}, {1, 2, 3}), std::invalid_argument);
+    EXPECT_THROW(pearson({1, 2}, {1, 2, 3}), lookhd::util::ContractViolation);
 }
 
 TEST(RunningStatsTest, MatchesBatchSummary)

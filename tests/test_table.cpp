@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "util/table.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -24,12 +25,12 @@ TEST(Table, RenderContainsHeadersAndCells)
 TEST(Table, RowWidthMismatchThrows)
 {
     Table t({"a", "b"});
-    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+    EXPECT_THROW(t.addRow({"only-one"}), lookhd::util::ContractViolation);
 }
 
 TEST(Table, EmptyHeadersThrow)
 {
-    EXPECT_THROW(Table({}), std::invalid_argument);
+    EXPECT_THROW(Table({}), lookhd::util::ContractViolation);
 }
 
 TEST(Table, CsvEscapesCommasAndQuotes)

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Repo lint: determinism and header-guard conventions.
+
+The reproduction's core guarantee is that every experiment replays
+bit-exactly from a 64-bit seed, which only holds if *all* randomness
+flows through util::Rng (see CONTRIBUTING.md). This lint fails the
+build when banned nondeterminism sneaks into C++ sources:
+
+  - std::rand / srand
+  - std::random_device
+  - std::mt19937 / mt19937_64 (seeded or not: library code must draw
+    from Rng, not standard engines)
+  - wall-clock seeding: time(nullptr) / time(NULL) / time(0)
+
+`src/util/rng.*` is the single allowed home for raw generator code.
+<chrono>-based *measurement* (util/timer) is fine; *seeding* from the
+clock is not, so the lint looks for the C time() idiom rather than
+banning <chrono>.
+
+It also enforces the include-guard convention: every header carries a
+`#ifndef LOOKHD_... / #define LOOKHD_... / #endif` guard (no
+`#pragma once`, which gem5-style tooling here does not use).
+
+Exit status: 0 clean, 1 violations (printed one per line as
+`path:line: message`).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Directories scanned for C++ sources.
+SCAN_DIRS = ["src", "tests", "bench", "examples", "tools"]
+
+# Files allowed to contain raw generator machinery.
+ALLOWLIST = {
+    Path("src/util/rng.hpp"),
+    Path("src/util/rng.cpp"),
+}
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+BANNED = [
+    (re.compile(r"\bstd::rand\b"), "std::rand is banned; use util::Rng"),
+    (re.compile(r"\bsrand\s*\("), "srand is banned; use util::Rng"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device is nondeterministic; seed util::Rng instead"),
+    (re.compile(r"\bmt19937(_64)?\b"),
+     "standard engines are banned in library code; draw from util::Rng"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"),
+     "wall-clock seeding is banned; seeds are explicit parameters"),
+]
+
+GUARD_RE = re.compile(
+    r"#ifndef\s+(LOOKHD_[A-Z0-9_]+)\s*\n#define\s+\1\b")
+
+LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_RE = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string literals, preserving newlines so
+    reported line numbers stay accurate."""
+
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = BLOCK_COMMENT_RE.sub(blank, text)
+    text = LINE_COMMENT_RE.sub(blank, text)
+    text = STRING_RE.sub(blank, text)
+    return text
+
+
+def check_banned(rel: Path, text: str) -> list[str]:
+    problems = []
+    code = strip_comments_and_strings(text)
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        for pattern, message in BANNED:
+            if pattern.search(line):
+                problems.append(f"{rel}:{lineno}: {message}")
+    return problems
+
+
+def check_header_guard(rel: Path, text: str) -> list[str]:
+    if rel.suffix not in {".hpp", ".hh", ".h"}:
+        return []
+    if "#pragma once" in text:
+        return [f"{rel}:1: use LOOKHD_ include guards, not #pragma once"]
+    match = GUARD_RE.search(text)
+    if not match:
+        return [f"{rel}:1: missing LOOKHD_* include guard "
+                f"(#ifndef LOOKHD_... / #define LOOKHD_...)"]
+    if "#endif" not in text[match.end():]:
+        return [f"{rel}:1: include guard is never closed with #endif"]
+    return []
+
+
+def main() -> int:
+    problems: list[str] = []
+    for scan_dir in SCAN_DIRS:
+        base = REPO_ROOT / scan_dir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in CPP_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(REPO_ROOT)
+            text = path.read_text(encoding="utf-8", errors="replace")
+            if rel not in ALLOWLIST:
+                problems.extend(check_banned(rel, text))
+            problems.extend(check_header_guard(rel, text))
+
+    if problems:
+        print(f"lint_determinism: {len(problems)} violation(s)",
+              file=sys.stderr)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
