@@ -14,9 +14,10 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("ablation_compression", argc, argv);
     bench::banner("Ablation: compression recipe (test accuracy)");
 
     for (const char *name : {"ACTIVITY", "SPEECH"}) {
@@ -52,5 +53,6 @@ main()
     }
     std::printf("Defaults: decorrelate on, scaleScores off, grouping "
                 "<= 12 - the row that tracks exact mode.\n");
+    rep.write();
     return 0;
 }

@@ -23,9 +23,10 @@
 #include "quant/equalized_quantizer.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("ablation_encodings", argc, argv);
     using namespace lookhd::hdc;
     bench::banner("Ablation: permutation vs record vs lookup "
                   "encodings (D = 2000, q = 4)");
@@ -107,5 +108,6 @@ main()
                 "lookup encoding does ~r x fewer element operations "
                 "per point by trading table memory - the paper's "
                 "computation-reuse bargain.\n");
+    rep.write();
     return 0;
 }

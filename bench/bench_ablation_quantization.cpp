@@ -39,9 +39,10 @@ rescale(const data::Dataset &src)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("ablation_quantization", argc, argv);
     bench::banner("Ablation: quantizer calibration and table "
                   "materialization");
 
@@ -101,5 +102,6 @@ main()
                 "the on-the-fly path recomputes Eq. 2 per chunk and "
                 "serves configurations whose q^r would never fit in "
                 "any memory.\n");
+    rep.write();
     return 0;
 }

@@ -18,9 +18,10 @@
 #include "quant/equalized_quantizer.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("ablation_training", argc, argv);
     using namespace lookhd::hdc;
     bench::banner("Ablation: plain vs retrained vs adaptive (online) "
                   "training");
@@ -96,5 +97,6 @@ main()
     std::printf("Adaptive single-pass training approaches the "
                 "retrained accuracy with a fraction of the passes - "
                 "the OnlineHD result the paper cites.\n");
+    rep.write();
     return 0;
 }

@@ -14,9 +14,10 @@
 #include "quant/equalized_quantizer.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("binary_vs_lookhd", argc, argv);
     bench::banner("Sec. VII: binary HDC model vs LookHD accuracy");
 
     util::Table table({"App", "LookHD non-binary (exact)",
@@ -66,5 +67,6 @@ main()
                 "accuracy on magnitude-sensitive data - is discussed "
                 "in EXPERIMENTS.md.\n",
                 util::fmtPercent(gap_sum / 5.0).c_str());
+    rep.write();
     return 0;
 }

@@ -10,9 +10,10 @@
 #include "hw/report.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("dimension_tradeoff", argc, argv);
     using namespace lookhd::hw;
     bench::banner("Dimensionality tradeoff: accuracy vs modeled "
                   "efficiency (LookHD)");
@@ -47,5 +48,6 @@ main()
     std::printf("Paper (Table III): dropping D with <2%% quality loss "
                 "buys ~1.2x further speedup; accuracy saturates by "
                 "D ~ 2000 while cost keeps scaling with D.\n");
+    rep.write();
     return 0;
 }

@@ -12,9 +12,10 @@
 #include "util/stats.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("fig03_quantization", argc, argv);
     bench::banner("Fig. 3: feature-value distribution and quantization "
                   "boundaries (SPEECH, q = 4)");
 
@@ -57,5 +58,6 @@ main()
     std::printf("\nPaper: feature values are non-uniform; linear "
                 "levels go mostly unused while equalized boundaries "
                 "give every level an equal share (Fig. 3b).\n");
+    rep.write();
     return 0;
 }

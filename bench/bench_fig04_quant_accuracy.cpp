@@ -9,9 +9,10 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("fig04_quant_accuracy", argc, argv);
     bench::banner("Fig. 4: linear vs equalized quantization accuracy "
                   "(SPEECH, D = 2000, r = 5)");
 
@@ -46,5 +47,6 @@ main()
                 "the encodings diverse enough for the compressed model "
                 "to work - with linear quantization most features share "
                 "one level and compression crosstalk dominates.\n");
+    rep.write();
     return 0;
 }

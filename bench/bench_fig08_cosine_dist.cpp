@@ -18,9 +18,10 @@
 #include "util/stats.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("fig08_cosine_dist", argc, argv);
     bench::banner("Fig. 8: cosine distribution, original vs "
                   "decorrelated model (ACTIVITY, 1000 queries)");
 
@@ -67,5 +68,6 @@ main()
     std::printf("Paper: original cosines cluster in [0.9, 1.0]; "
                 "decorrelation widens the distribution so compression "
                 "noise stops flipping the top-class ranking.\n");
+    rep.write();
     return 0;
 }

@@ -8,9 +8,10 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("fig09_retraining", argc, argv);
     bench::banner("Fig. 9: accuracy across retraining iterations "
                   "(train-set accuracy per epoch)");
 
@@ -39,5 +40,6 @@ main()
     std::printf("%s", table.render().c_str());
     std::printf("\nPaper: accuracy climbs over the first few epochs "
                 "and stabilizes by ~10 iterations.\n");
+    rep.write();
     return 0;
 }

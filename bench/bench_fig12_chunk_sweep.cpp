@@ -10,9 +10,10 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("fig12_chunk_sweep", argc, argv);
     bench::banner("Fig. 12: accuracy vs chunk size r and quantization "
                   "q (D = 2000, equalized quantization)");
 
@@ -45,5 +46,6 @@ main()
                 "most applications; small chunks lose accuracy to the "
                 "extra position bindings; q = 2 or 4 with equalized "
                 "quantization matches larger q.\n");
+    rep.write();
     return 0;
 }

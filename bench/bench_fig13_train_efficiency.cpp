@@ -12,9 +12,10 @@
 #include "util/stats.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("fig13_train_efficiency", argc, argv);
     using namespace lookhd::hw;
     bench::banner("Fig. 13: LookHD training speedup & energy gain vs "
                   "baseline HDC (r = 5, D = 2000)");
@@ -55,6 +56,12 @@ main()
         for (std::size_t qi = 0; qi < qs.size(); ++qi) {
             avg.push_back(util::fmtRatio(util::geomean(speed[qi])));
             avg.push_back(util::fmtRatio(util::geomean(energy[qi])));
+            const std::string tag = std::string(platform) + ".q" +
+                                    std::to_string(qs[qi]);
+            rep.metric(tag + ".train_speedup.geomean",
+                       util::geomean(speed[qi]));
+            rep.metric(tag + ".train_energy_gain.geomean",
+                       util::geomean(energy[qi]));
         }
         table.addRow(avg);
         std::printf("%s training:\n%s\n", platform,
@@ -64,5 +71,6 @@ main()
                 "efficient; q=4 -> 14.1x / 48.7x. CPU q=2 -> 3.9x / "
                 "7.5x; q=4 -> 2.6x / 3.8x. Expected shape: big FPGA "
                 "gains shrinking as q grows, modest CPU gains.\n");
+    rep.write();
     return 0;
 }

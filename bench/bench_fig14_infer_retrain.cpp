@@ -43,8 +43,9 @@ section(const char *title, BaseFn base_fn, LookFn look_fn)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReporter rep("fig14_infer_retrain", argc, argv);
     bench::banner("Fig. 14: single-query inference and per-epoch "
                   "retraining cost (r = 5, D = 2000)");
 
@@ -70,5 +71,6 @@ main()
                 "on FPGA (1.7x / 2.3x on CPU); retraining 2.4x / 4.5x "
                 "on FPGA (1.8x / 2.3x on CPU), largest for SPEECH "
                 "(most classes).\n");
+    rep.write();
     return 0;
 }

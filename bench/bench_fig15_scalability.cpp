@@ -73,9 +73,10 @@ queryNear(const hdc::ClassModel &model, std::size_t cls,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("fig15_scalability", argc, argv);
     using namespace lookhd::hw;
     bench::banner("Fig. 15: compression scalability with class count "
                   "(D = 2000, 1000 queries per k)");
@@ -148,6 +149,14 @@ main()
              util::fmtPercent(static_cast<double>(ok_exact) / queries),
              util::fmt(noise_ratio.mean(), 3),
              util::fmtRatio(edp_gain), util::fmtRatio(size_gain)});
+        const std::string tag = "k" + std::to_string(k);
+        rep.metric(tag + ".acc_compressed",
+                   static_cast<double>(ok_comp) / queries);
+        rep.metric(tag + ".acc_exact",
+                   static_cast<double>(ok_exact) / queries);
+        rep.metric(tag + ".noise_signal", noise_ratio.mean());
+        rep.metric(tag + ".edp_gain", edp_gain);
+        rep.metric(tag + ".model_size_gain", size_gain);
     }
     std::printf("%s", table.render().c_str());
     std::printf("\nPaper: no accuracy loss up to 12 classes, <0.8%% "
@@ -155,5 +164,6 @@ main()
                 "gain 6.9x..14.6x and model size 12x..19.2x as k "
                 "grows. Multi-group compression (<=12 per group) "
                 "restores exactness at 8.7x size gain.\n");
+    rep.write();
     return 0;
 }

@@ -26,8 +26,9 @@ show(const char *label, const Utilization &u, const FpgaDevice &dev)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReporter rep("fig16_resources", argc, argv);
     bench::banner("Fig. 16: LookHD FPGA resource utilization "
                   "(Kintex-7 KC705)");
 
@@ -51,5 +52,6 @@ main()
     std::printf("Paper: for SPEECH, inference is DSP-limited while "
                 "training is LUT-limited; for FACE (k=2 << n) LUTs "
                 "bound both phases.\n");
+    rep.write();
     return 0;
 }

@@ -19,9 +19,10 @@
 #include "quant/linear_quantizer.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("grand_comparison", argc, argv);
     using namespace lookhd::hw;
     bench::banner("Grand comparison: accuracy / model bytes / modeled "
                   "FPGA latency (train, per-query infer)");
@@ -137,5 +138,6 @@ main()
                     app.numFeatures, app.numClasses,
                     table.render().c_str());
     }
+    rep.write();
     return 0;
 }

@@ -18,9 +18,10 @@
 #include "quant/equalized_quantizer.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("hwsim_crosscheck", argc, argv);
     using namespace lookhd::hwsim;
     bench::banner("Cross-check: analytical FPGA model vs pipeline "
                   "simulator (LookHD, D = 2000)");
@@ -109,5 +110,6 @@ main()
     std::printf("\nRatios near 1.0 validate the analytical model; the "
                 "spread reflects measured counter occupancy vs its "
                 "expectation and pipeline fill.\n");
+    rep.write();
     return 0;
 }

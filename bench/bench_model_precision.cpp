@@ -10,9 +10,10 @@
 #include "hdc/quantized_model.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("model_precision", argc, argv);
     using namespace lookhd::hdc;
     bench::banner("Model precision: accuracy vs bits per element "
                   "(uncompressed model)");
@@ -51,5 +52,6 @@ main()
     std::printf("A few bits per element retain nearly all the "
                 "accuracy (QuanHD's finding); 1-bit pays the "
                 "Sec. VII binary penalty on the harder workloads.\n");
+    rep.write();
     return 0;
 }

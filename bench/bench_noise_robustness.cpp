@@ -56,9 +56,10 @@ perturb(const data::Dataset &ds, const std::vector<double> &sigma,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("noise_robustness", argc, argv);
     bench::banner("Noise robustness: input perturbation and model "
                   "corruption (ACTIVITY)");
 
@@ -121,5 +122,6 @@ main()
                 "even 20-40%% zeroed model elements cost only a few "
                 "accuracy points, and moderate input noise hurts "
                 "LookHD no more than the MLP.\n");
+    rep.write();
     return 0;
 }

@@ -12,9 +12,10 @@
 #include "util/stats.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("progressive_inference", argc, argv);
     bench::banner("Progressive-precision inference: accuracy vs "
                   "average dimensions consumed");
 
@@ -67,5 +68,6 @@ main()
                 "dimensions; hard ones escalate to full precision - "
                 "average search work drops with bounded accuracy "
                 "cost.\n");
+    rep.write();
     return 0;
 }

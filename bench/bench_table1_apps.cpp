@@ -39,9 +39,10 @@ baselineAccuracy(const data::AppSpec &app, const data::TrainTest &tt)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("table1_apps", argc, argv);
     bench::banner("Table I: application characteristics and the naive "
                   "lookup size");
 
@@ -67,5 +68,6 @@ main()
                 "(PHYSICAL/FACE/EXTRA paper rows correspond to q=8/q=2/"
                 "q=16 variants; the point - far beyond any memory - "
                 "holds regardless).\n");
+    rep.write();
     return 0;
 }

@@ -8,9 +8,10 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("table2_dimensionality", argc, argv);
     bench::banner("Table II: accuracy vs dimensionality (r = 5)");
 
     const std::vector<std::size_t> dims{1000, 2000, 4000, 8000, 10000};
@@ -35,5 +36,6 @@ main()
                 "96.8%%, EXTRA 72.5->73.4%% from D=1000 to 10000 - "
                 "i.e. < 1%% change; D = 2000 is within 0.3%% of "
                 "D = 10000.\n");
+    rep.write();
     return 0;
 }

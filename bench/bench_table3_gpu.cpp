@@ -14,9 +14,10 @@
 #include "util/stats.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("table3_gpu", argc, argv);
     using namespace lookhd::hw;
     bench::banner("Table III: LookHD (FPGA) vs GPU baseline HDC, "
                   "normalized to CPU");
@@ -94,5 +95,6 @@ main()
     std::printf("Paper: LookHD 1.1x / 1.5x faster than GPU and 67.5x /"
                 " 112.7x more energy-efficient (train / infer); GPU "
                 "1.5x (1.3x) faster than baseline FPGA.\n");
+    rep.write();
     return 0;
 }

@@ -13,9 +13,10 @@
 #include "util/stats.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lookhd;
+    bench::BenchReporter rep("table4_mlp", argc, argv);
     using namespace lookhd::hw;
     bench::banner("Table IV: LookHD vs MLP on FPGA (speedup / energy "
                   "relative to the MLP)");
@@ -83,5 +84,6 @@ main()
                 "30.4-61.3x more efficient (avg 43.6x); test 7.9-17.3x"
                 " faster, 3.7-6.3x more efficient; 63.2x smaller "
                 "model.\n");
+    rep.write();
     return 0;
 }

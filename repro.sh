@@ -10,9 +10,21 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 : > bench_output.txt
+mkdir -p build/bench_json
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 for b in build/bench/bench_*; do
+    case "$b" in *.json) continue ;; esac
     echo "##### $(basename "$b")" | tee -a bench_output.txt
-    "$b" 2>&1 | tee -a bench_output.txt
+    case "$b" in
+        # google-benchmark binary: rejects the reporter flags
+        */bench_cpu_kernels)
+            "$b" 2>&1 | tee -a bench_output.txt ;;
+        *)
+            "$b" --out-dir build/bench_json --git-rev "$rev" 2>&1 |
+                tee -a bench_output.txt ;;
+    esac
 done
+python3 tools/validate_bench_json.py build/bench_json
 
-echo "done: test_output.txt, bench_output.txt"
+echo "done: test_output.txt, bench_output.txt," \
+     "build/bench_json/BENCH_*.json"

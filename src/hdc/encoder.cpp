@@ -1,5 +1,6 @@
 #include "hdc/encoder.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace lookhd::hdc {
@@ -36,6 +37,8 @@ BaselineEncoder::quantizer() const
 IntHv
 BaselineEncoder::encode(std::span<const double> features) const
 {
+    LOOKHD_SPAN("hdc.encode", "encode");
+    LOOKHD_COUNT_ADD("hdc.encode.calls", 1);
     IntHv acc(dim(), 0);
     for (std::size_t i = 0; i < features.size(); ++i) {
         const std::size_t lvl = bank_
@@ -49,6 +52,8 @@ BaselineEncoder::encode(std::span<const double> features) const
 IntHv
 BaselineEncoder::encodeLevels(std::span<const std::size_t> levels) const
 {
+    LOOKHD_SPAN("hdc.encode", "encode");
+    LOOKHD_COUNT_ADD("hdc.encode.calls", 1);
     IntHv acc(dim(), 0);
     for (std::size_t i = 0; i < levels.size(); ++i)
         addRotated(acc, levels_->at(levels[i]), i);

@@ -1,5 +1,6 @@
 #include "hdc/model.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 #include "hdc/similarity.hpp"
@@ -15,6 +16,7 @@ ClassModel::ClassModel(Dim dim, std::size_t classes)
 void
 ClassModel::accumulate(std::size_t c, const IntHv &encoded)
 {
+    LOOKHD_SPAN("hdc.train.accumulate", "train");
     addInto(classes_.at(c), encoded);
     normalized_ = false;
 }
@@ -41,6 +43,7 @@ ClassModel::normalize()
 std::vector<double>
 ClassModel::scores(const IntHv &query) const
 {
+    LOOKHD_SPAN("hdc.search", "search");
     LOOKHD_CHECK(normalized_, "model not normalized; call normalize()");
     std::vector<double> out(norm_.size());
     for (std::size_t c = 0; c < norm_.size(); ++c)

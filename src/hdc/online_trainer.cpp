@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 #include "hdc/similarity.hpp"
@@ -33,11 +34,15 @@ onlineTrain(const std::vector<IntHv> &encoded,
                  "encoded/labels size mismatch");
     LOOKHD_CHECK(options.epochs != 0, "online training needs >= 1 pass");
 
+    LOOKHD_SPAN("hdc.online_train", "train");
+    LOOKHD_COUNT_ADD("hdc.online_train.samples",
+                     encoded.size() * options.epochs);
     OnlineTrainResult result{ClassModel(dim, num_classes), {}};
     ClassModel &model = result.model;
     model.normalize();
 
     for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        LOOKHD_SPAN("hdc.online_train.epoch", "train");
         for (std::size_t i = 0; i < encoded.size(); ++i) {
             const IntHv &h = encoded[i];
             const std::size_t truth = labels[i];

@@ -1,5 +1,6 @@
 #include "hdc/trainer.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace lookhd::hdc {
@@ -7,6 +8,7 @@ namespace lookhd::hdc {
 std::vector<IntHv>
 BaselineTrainer::encodeAll(const data::Dataset &ds) const
 {
+    LOOKHD_SPAN("hdc.train.encode_all", "encode");
     std::vector<IntHv> out;
     out.reserve(ds.size());
     for (std::size_t i = 0; i < ds.size(); ++i)
@@ -31,6 +33,8 @@ BaselineTrainer::trainEncoded(const std::vector<IntHv> &encoded,
     LOOKHD_CHECK(encoded.size() == labels.size() && !encoded.empty(),
                  "encoded/labels size mismatch");
 
+    LOOKHD_SPAN("hdc.train", "train");
+    LOOKHD_COUNT_ADD("hdc.train.samples", encoded.size());
     TrainResult result{ClassModel(encoder_.dim(), num_classes), {}, 0};
     ClassModel &model = result.model;
 
@@ -45,6 +49,7 @@ BaselineTrainer::trainEncoded(const std::vector<IntHv> &encoded,
     std::size_t stale = 0;
 
     for (std::size_t epoch = 0; epoch < options.retrainEpochs; ++epoch) {
+        LOOKHD_SPAN("hdc.train.epoch", "train");
         for (std::size_t i = 0; i < encoded.size(); ++i) {
             const std::size_t pred = model.predict(encoded[i]);
             if (pred != labels[i]) {

@@ -1,7 +1,10 @@
 #include "hwsim/pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "obs/obs.hpp"
 
 namespace lookhd::hwsim {
 
@@ -39,8 +42,14 @@ streamThrough(const std::vector<Stage> &stages, double items)
         }
     }
 
+    LOOKHD_SPAN("hwsim.stream", "sim");
     PipelineTiming timing;
     timing.totalCycles = fill + (items - 1.0) * max_ii;
+    LOOKHD_COUNT_ADD("hwsim.stream.calls", 1);
+    LOOKHD_COUNT_ADD("hwsim.stream.cycles",
+                     std::llround(timing.totalCycles));
+    LOOKHD_GAUGE_SET("hwsim.stream.last_total_cycles",
+                     timing.totalCycles);
     timing.stages.reserve(stages.size());
     for (std::size_t i = 0; i < stages.size(); ++i) {
         StageTiming st;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 #include "hdc/similarity.hpp"
@@ -54,6 +55,14 @@ Classifier::fit(const data::Dataset &train)
 {
     LOOKHD_CHECK(!train.empty(), "cannot fit on an empty dataset");
 
+    LOOKHD_SPAN("classifier.fit", "train");
+    LOOKHD_COUNT_ADD("classifier.fit.calls", 1);
+    LOOKHD_GAUGE_SET("classifier.config.dim", config_.dim);
+    LOOKHD_GAUGE_SET("classifier.config.quant_levels",
+                     config_.quantLevels);
+    LOOKHD_GAUGE_SET("classifier.config.chunk_size", config_.chunkSize);
+    LOOKHD_GAUGE_SET("classifier.fit.samples", train.size());
+
     util::Rng rng(config_.seed);
     util::Rng level_rng = rng.split();
     util::Rng encoder_rng = rng.split();
@@ -61,44 +70,55 @@ Classifier::fit(const data::Dataset &train)
 
     // 1. Quantizer calibration: one global quantizer over every
     // training value, or one per feature column.
-    quantizer_.reset();
-    bank_.reset();
-    if (config_.perFeatureQuantization) {
-        auto bank = std::make_shared<quant::QuantizerBank>(
-            config_.quantLevels,
-            config_.quantization == QuantizationKind::kEqualized
-                ? quant::BankKind::kEqualized
-                : quant::BankKind::kLinear);
-        bank->fit(train);
-        bank_ = std::move(bank);
-    } else {
-        std::unique_ptr<quant::Quantizer> q;
-        if (config_.quantization == QuantizationKind::kEqualized)
-            q = std::make_unique<quant::EqualizedQuantizer>(
-                config_.quantLevels);
-        else
-            q = std::make_unique<quant::LinearQuantizer>(
-                config_.quantLevels);
-        const auto values = train.allValues();
-        q->fit(std::vector<double>(values.begin(), values.end()));
-        quantizer_ = std::move(q);
+    {
+        LOOKHD_SPAN("classifier.fit.quantize", "train");
+        quantizer_.reset();
+        bank_.reset();
+        if (config_.perFeatureQuantization) {
+            auto bank = std::make_shared<quant::QuantizerBank>(
+                config_.quantLevels,
+                config_.quantization == QuantizationKind::kEqualized
+                    ? quant::BankKind::kEqualized
+                    : quant::BankKind::kLinear);
+            bank->fit(train);
+            bank_ = std::move(bank);
+        } else {
+            std::unique_ptr<quant::Quantizer> q;
+            if (config_.quantization == QuantizationKind::kEqualized)
+                q = std::make_unique<quant::EqualizedQuantizer>(
+                    config_.quantLevels);
+            else
+                q = std::make_unique<quant::LinearQuantizer>(
+                    config_.quantLevels);
+            const auto values = train.allValues();
+            q->fit(std::vector<double>(values.begin(), values.end()));
+            quantizer_ = std::move(q);
+        }
     }
 
     // 2. Item memories and the lookup encoder.
-    levels_ = std::make_shared<hdc::LevelMemory>(
-        config_.dim, config_.quantLevels, level_rng, config_.levelGen);
-    const ChunkSpec chunks(train.numFeatures(), config_.chunkSize);
-    if (bank_) {
-        encoder_ = std::make_unique<LookupEncoder>(
-            levels_, bank_, chunks, encoder_rng, config_.encoder);
-    } else {
-        encoder_ = std::make_unique<LookupEncoder>(
-            levels_, quantizer_, chunks, encoder_rng, config_.encoder);
+    {
+        LOOKHD_SPAN("classifier.fit.build_encoder", "train");
+        levels_ = std::make_shared<hdc::LevelMemory>(
+            config_.dim, config_.quantLevels, level_rng,
+            config_.levelGen);
+        const ChunkSpec chunks(train.numFeatures(), config_.chunkSize);
+        if (bank_) {
+            encoder_ = std::make_unique<LookupEncoder>(
+                levels_, bank_, chunks, encoder_rng, config_.encoder);
+        } else {
+            encoder_ = std::make_unique<LookupEncoder>(
+                levels_, quantizer_, chunks, encoder_rng,
+                config_.encoder);
+        }
     }
 
     // 3. Counter-based initial training.
-    CounterTrainer trainer(*encoder_, config_.counters);
-    model_.emplace(trainer.train(train));
+    {
+        LOOKHD_SPAN("classifier.fit.count_train", "train");
+        CounterTrainer trainer(*encoder_, config_.counters);
+        model_.emplace(trainer.train(train));
+    }
 
     retrainHistory_.clear();
     RetrainOptions opts = config_.retrain;
@@ -106,7 +126,11 @@ Classifier::fit(const data::Dataset &train)
 
     if (config_.compressModel) {
         // 4. Compress, then retrain in the compressed domain.
-        compressed_.emplace(*model_, key_rng, config_.compression);
+        {
+            LOOKHD_SPAN("classifier.fit.compress", "train");
+            compressed_.emplace(*model_, key_rng, config_.compression);
+        }
+        LOOKHD_SPAN("classifier.fit.retrain", "retrain");
         Retrainer retrainer(*encoder_);
         const RetrainResult rr =
             retrainer.retrain(*compressed_, train, opts);
@@ -114,6 +138,7 @@ Classifier::fit(const data::Dataset &train)
     } else {
         // 4'. Exact mode: perceptron retraining on the uncompressed
         // model with lookup-encoded queries.
+        LOOKHD_SPAN("classifier.fit.retrain", "retrain");
         compressed_.reset();
         std::vector<hdc::IntHv> encoded;
         encoded.reserve(train.size());
@@ -147,6 +172,8 @@ std::vector<double>
 Classifier::scores(std::span<const double> features) const
 {
     LOOKHD_CHECK(fitted(), "classifier not fitted");
+    LOOKHD_SPAN("classifier.predict", "search");
+    LOOKHD_COUNT_ADD("classifier.predict.calls", 1);
     const hdc::IntHv query = encoder_->encode(features);
     if (compressed_)
         return compressed_->scores(query);

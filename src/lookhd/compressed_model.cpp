@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 #include "hdc/similarity.hpp"
@@ -138,6 +139,7 @@ CompressedModel::rawScore(std::size_t cls, const hdc::IntHv &query) const
 std::vector<double>
 CompressedModel::scores(const hdc::IntHv &query) const
 {
+    LOOKHD_SPAN("lookhd.search", "search");
     LOOKHD_CHECK(query.size() == dim_, "query dimensionality mismatch");
     std::vector<double> out(numClasses());
 

@@ -1,5 +1,6 @@
 #include "lookhd/counter_trainer.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace lookhd {
@@ -113,6 +114,8 @@ CounterTrainer::CounterTrainer(const LookupEncoder &encoder,
 CounterBank
 CounterTrainer::countDataset(const data::Dataset &train) const
 {
+    LOOKHD_SPAN("lookhd.count", "train");
+    LOOKHD_COUNT_ADD("lookhd.count.observations", train.size());
     CounterBank bank(encoder_, train.numClasses(), config_);
     for (std::size_t i = 0; i < train.size(); ++i) {
         const auto addresses = encoder_.chunkAddresses(train.row(i));
@@ -124,6 +127,7 @@ CounterTrainer::countDataset(const data::Dataset &train) const
 hdc::ClassModel
 CounterTrainer::finalize(const CounterBank &bank) const
 {
+    LOOKHD_SPAN("lookhd.finalize", "train");
     hdc::ClassModel model(encoder_.dim(), bank.numClasses());
     const std::size_t m = encoder_.chunks().numChunks();
     hdc::IntHv scratch;
@@ -154,6 +158,7 @@ CounterTrainer::finalize(const CounterBank &bank) const
 hdc::ClassModel
 CounterTrainer::train(const data::Dataset &train) const
 {
+    LOOKHD_SPAN("lookhd.train", "train");
     return finalize(countDataset(train));
 }
 

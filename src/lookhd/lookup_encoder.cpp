@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace lookhd {
@@ -144,6 +145,8 @@ LookupEncoder::chunkAddressesOfLevels(
 hdc::IntHv
 LookupEncoder::encode(std::span<const double> features) const
 {
+    LOOKHD_SPAN("lookhd.encode", "encode");
+    LOOKHD_COUNT_ADD("lookhd.encode.calls", 1);
     const auto addresses = chunkAddresses(features);
     return encodeFromAddresses(addresses);
 }

@@ -1,5 +1,6 @@
 #include "lookhd/retrainer.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace lookhd {
@@ -31,6 +32,7 @@ Retrainer::retrainEncoded(CompressedModel &model,
     LOOKHD_CHECK(encoded.size() == labels.size() && !encoded.empty(),
                  "encoded/labels size mismatch");
 
+    LOOKHD_SPAN("lookhd.retrain", "retrain");
     RetrainResult result;
     result.accuracyHistory.push_back(
         evaluateCompressed(model, encoded, labels));
@@ -69,6 +71,7 @@ Retrainer::retrainEncoded(CompressedModel &model,
     CompressedModel best_model = model;
 
     for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+        LOOKHD_SPAN("lookhd.retrain.epoch", "retrain");
         // The hardware applies updates to a copy while the original
         // keeps serving similarity checks (Sec. V-C).
         CompressedModel working = model;

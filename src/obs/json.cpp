@@ -1,0 +1,186 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lookhd::obs {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (!stack_.empty() && stack_.back() == Frame::kObject &&
+        !keyPending_) {
+        throw std::logic_error("JsonWriter: value in object needs key()");
+    }
+    if (keyPending_) {
+        keyPending_ = false;
+        return; // key() already placed the comma and the key.
+    }
+    if (!stack_.empty() && !firstInFrame_)
+        out_ += ',';
+    firstInFrame_ = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    stack_.push_back(Frame::kObject);
+    firstInFrame_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Frame::kObject ||
+        keyPending_) {
+        throw std::logic_error("JsonWriter: unbalanced endObject()");
+    }
+    stack_.pop_back();
+    out_ += '}';
+    firstInFrame_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    stack_.push_back(Frame::kArray);
+    firstInFrame_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Frame::kArray) {
+        throw std::logic_error("JsonWriter: unbalanced endArray()");
+    }
+    stack_.pop_back();
+    out_ += ']';
+    firstInFrame_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    if (stack_.empty() || stack_.back() != Frame::kObject ||
+        keyPending_) {
+        throw std::logic_error("JsonWriter: key() outside object");
+    }
+    if (!firstInFrame_)
+        out_ += ',';
+    firstInFrame_ = false;
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    beforeValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    if (!stack_.empty())
+        throw std::logic_error("JsonWriter: unclosed container");
+    return out_;
+}
+
+} // namespace lookhd::obs

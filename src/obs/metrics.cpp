@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace lookhd::obs {
+
+namespace {
+
+// log10(ns) bin layout: 1 ns .. 10^12 ns (~17 min) at 8 bins per
+// decade, constant ~33% relative bin width.
+constexpr double kLogLo = 0.0;
+constexpr double kLogHi = 12.0;
+constexpr std::size_t kLogBins = 96;
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram() : hist_(kLogLo, kLogHi, kLogBins)
+{
+}
+
+void
+LatencyHistogram::record(std::uint64_t ns)
+{
+    const std::uint64_t clamped = std::max<std::uint64_t>(ns, 1);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hist_.add(std::log10(static_cast<double>(clamped)));
+    if (count_ == 0 || clamped < minNs_)
+        minNs_ = clamped;
+    maxNs_ = std::max(maxNs_, clamped);
+    sumNs_ += static_cast<double>(clamped);
+    ++count_;
+}
+
+std::uint64_t
+LatencyHistogram::count() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+std::uint64_t
+LatencyHistogram::minNs() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return minNs_;
+}
+
+std::uint64_t
+LatencyHistogram::maxNs() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return maxNs_;
+}
+
+double
+LatencyHistogram::meanNs() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : sumNs_ / static_cast<double>(count_);
+}
+
+double
+LatencyHistogram::percentileNs(double p) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0)
+        return 0.0;
+    const double clamped_p = std::clamp(p, 0.0, 1.0);
+    const auto target = static_cast<double>(count_) * clamped_p;
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < hist_.bins(); ++b) {
+        cumulative += static_cast<double>(hist_.count(b));
+        if (cumulative >= target && hist_.count(b) > 0)
+            return std::pow(10.0, hist_.binCenter(b));
+    }
+    return static_cast<double>(maxNs_);
+}
+
+void
+LatencyHistogram::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hist_ = util::Histogram(kLogLo, kLogHi, kLogBins);
+    count_ = 0;
+    minNs_ = 0;
+    maxNs_ = 0;
+    sumNs_ = 0.0;
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    // Deliberately leaked: hot paths cache references to metrics in
+    // function-local statics, which may be touched from static
+    // destructors after a non-leaked registry would already be gone.
+    static auto *registry = new MetricRegistry;
+    return *registry;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram &
+MetricRegistry::latency(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = latencies_[name];
+    if (!slot)
+        slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+void
+MetricRegistry::setLabel(const std::string &key,
+                         const std::string &value)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    labels_[key] = value;
+}
+
+void
+MetricRegistry::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : latencies_)
+        h->reset();
+    labels_.clear();
+}
+
+void
+MetricRegistry::writeJson(JsonWriter &w) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, c] : counters_)
+        w.kv(name, c->value());
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[name, g] : gauges_)
+        w.kv(name, g->value());
+    w.endObject();
+    w.key("latency").beginObject();
+    for (const auto &[name, h] : latencies_) {
+        w.key(name).beginObject();
+        w.kv("count", h->count());
+        w.kv("min_ns", h->minNs());
+        w.kv("max_ns", h->maxNs());
+        w.kv("mean_ns", h->meanNs());
+        w.kv("p50_ns", h->percentileNs(0.50));
+        w.kv("p90_ns", h->percentileNs(0.90));
+        w.kv("p99_ns", h->percentileNs(0.99));
+        w.endObject();
+    }
+    w.endObject();
+    w.key("labels").beginObject();
+    for (const auto &[key, value] : labels_)
+        w.kv(key, value);
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+MetricRegistry::toJson() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+} // namespace lookhd::obs

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Metric registry: named counters, gauges, and latency histograms.
+ *
+ * The registry is the numeric half of the observability layer (spans
+ * are the temporal half, see obs/trace.hpp). Metric names follow the
+ * `subsystem.verb.unit` convention documented in ARCHITECTURE.md,
+ * e.g. `hdc.encode.calls` or `hwsim.stream.cycles`.
+ *
+ * Handles returned by counter()/gauge()/latency() stay valid for the
+ * life of the registry, so hot paths resolve the name once (the
+ * LOOKHD_COUNT_ADD family of macros in obs/obs.hpp caches the lookup
+ * in a function-local static) and then pay only a relaxed atomic
+ * update per event. reset() zeroes values without invalidating
+ * handles for exactly that reason.
+ *
+ * Thread safety: registration is mutex-protected; updates on Counter
+ * and Gauge are lock-free atomics; LatencyHistogram serializes with a
+ * per-histogram mutex (recording is a bin increment, far off any
+ * sub-microsecond path).
+ */
+
+#ifndef LOOKHD_OBS_METRICS_HPP
+#define LOOKHD_OBS_METRICS_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/histogram.hpp"
+
+namespace lookhd::obs {
+
+class JsonWriter;
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Latency distribution in nanoseconds.
+ *
+ * Reuses util::Histogram over log10(ns) so one fixed bin layout
+ * spans 1 ns to ~1000 s with constant relative resolution;
+ * percentiles are read back from the bins (accurate to one bin
+ * width, ~5% relative), while min/max/mean are tracked exactly.
+ */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram();
+
+    /** Record one duration. Zero durations count as 1 ns. */
+    void record(std::uint64_t ns);
+
+    std::uint64_t count() const;
+    /** Exact extrema / mean over everything recorded (0 if empty). */
+    std::uint64_t minNs() const;
+    std::uint64_t maxNs() const;
+    double meanNs() const;
+
+    /**
+     * Approximate percentile in nanoseconds, from the log-scale bins.
+     * @param p in [0, 1]. Returns 0 when empty.
+     */
+    double percentileNs(double p) const;
+
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    util::Histogram hist_;
+    std::uint64_t count_ = 0;
+    std::uint64_t minNs_ = 0;
+    std::uint64_t maxNs_ = 0;
+    double sumNs_ = 0.0;
+};
+
+/**
+ * Process-wide named metric store.
+ *
+ * Usually accessed through global(), but independently
+ * instantiable for tests.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** The process-wide registry (never destroyed). */
+    static MetricRegistry &global();
+
+    /** Find-or-create; the reference stays valid forever. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    LatencyHistogram &latency(const std::string &name);
+
+    /**
+     * Attach a free-form string label (app name, config digest, git
+     * rev) exported alongside the metrics.
+     */
+    void setLabel(const std::string &key, const std::string &value);
+
+    /** Zero every value and drop labels; handles stay valid. */
+    void reset();
+
+    /**
+     * Write the registry as a JSON object value:
+     * {"counters":{..},"gauges":{..},"latency":{..},"labels":{..}}.
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** writeJson() as a standalone document. */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
+    std::map<std::string, std::string> labels_;
+};
+
+} // namespace lookhd::obs
+
+#endif // LOOKHD_OBS_METRICS_HPP

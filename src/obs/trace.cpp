@@ -1,0 +1,302 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/timer.hpp"
+
+namespace lookhd::obs {
+
+namespace {
+
+/** Events kept per thread before the ring starts overwriting. */
+constexpr std::size_t kRingCapacity = 1 << 14;
+
+std::atomic<bool> gEnabled{true};
+std::atomic<bool> gTracing{false};
+
+struct ThreadTrace;
+
+/**
+ * Process-wide trace state. Deliberately leaked so thread_local
+ * ThreadTrace destructors (which run at unpredictable points during
+ * shutdown) can always reach it.
+ */
+struct TraceRegistry
+{
+    std::mutex mutex;
+    std::vector<SpanSite *> sites;
+    std::vector<ThreadTrace *> threads;
+    /** Events from threads that have already exited. */
+    std::vector<std::pair<std::uint64_t, std::vector<TraceEvent>>>
+        retired;
+    std::uint64_t nextTid = 1;
+};
+
+TraceRegistry &
+registry()
+{
+    static auto *r = new TraceRegistry;
+    return *r;
+}
+
+/** Per-thread span stack and event ring. */
+struct ThreadTrace
+{
+    std::mutex mutex;
+    std::vector<TraceEvent> ring;
+    std::size_t next = 0;      // ring write cursor
+    std::uint64_t recorded = 0; // lifetime events (>= ring.size())
+    std::uint64_t tid = 0;
+    TraceSpan *current = nullptr;
+
+    ThreadTrace()
+    {
+        auto &reg = registry();
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        tid = reg.nextTid++;
+        reg.threads.push_back(this);
+    }
+
+    ~ThreadTrace()
+    {
+        auto &reg = registry();
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        reg.threads.erase(std::remove(reg.threads.begin(),
+                                      reg.threads.end(), this),
+                          reg.threads.end());
+        std::vector<TraceEvent> events = eventsInOrder();
+        if (!events.empty())
+            reg.retired.emplace_back(tid, std::move(events));
+    }
+
+    void
+    push(const TraceEvent &ev)
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (ring.size() < kRingCapacity) {
+            ring.push_back(ev);
+        } else {
+            ring[next] = ev;
+            next = (next + 1) % kRingCapacity;
+        }
+        ++recorded;
+    }
+
+    /** Ring contents, oldest first. Caller holds no lock. */
+    std::vector<TraceEvent>
+    eventsInOrder()
+    {
+        std::vector<TraceEvent> out;
+        out.reserve(ring.size());
+        for (std::size_t i = 0; i < ring.size(); ++i)
+            out.push_back(ring[(next + i) % ring.size()]);
+        return out;
+    }
+};
+
+ThreadTrace &
+threadTrace()
+{
+    thread_local ThreadTrace tt;
+    return tt;
+}
+
+void
+writeEventJson(JsonWriter &w, std::uint64_t tid, const TraceEvent &ev)
+{
+    w.beginObject();
+    w.kv("name", ev.site->name());
+    w.kv("cat", ev.site->category());
+    w.kv("ph", "X");
+    w.kv("ts", static_cast<double>(ev.startNs) / 1e3);
+    w.kv("dur", static_cast<double>(ev.durNs) / 1e3);
+    w.kv("pid", std::uint64_t{1});
+    w.kv("tid", tid);
+    w.endObject();
+}
+
+} // namespace
+
+SpanSite::SpanSite(const char *name, const char *category)
+    : name_(name), category_(category)
+{
+    auto &reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.sites.push_back(this);
+}
+
+void
+SpanSite::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    totalNs_.store(0, std::memory_order_relaxed);
+    selfNs_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<SpanStats>
+spanRollup()
+{
+    auto &reg = registry();
+    std::vector<SpanSite *> sites;
+    {
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        sites = reg.sites;
+    }
+    // Merge by name: several code sites may legitimately report under
+    // one logical span (e.g. the two BaselineEncoder::encode paths).
+    std::map<std::string, SpanStats> merged;
+    for (const SpanSite *site : sites) {
+        const std::uint64_t n = site->count();
+        if (n == 0)
+            continue;
+        SpanStats &s = merged[site->name()];
+        if (s.name.empty()) {
+            s.name = site->name();
+            s.category = site->category();
+        }
+        s.count += n;
+        s.totalNs += site->totalNs();
+        s.selfNs += site->selfNs();
+    }
+    std::vector<SpanStats> out;
+    out.reserve(merged.size());
+    for (auto &[name, stats] : merged)
+        out.push_back(std::move(stats));
+    std::sort(out.begin(), out.end(),
+              [](const SpanStats &a, const SpanStats &b) {
+                  return a.totalNs > b.totalNs;
+              });
+    return out;
+}
+
+std::uint64_t
+totalNsOf(const std::vector<SpanStats> &rollup, const std::string &name)
+{
+    for (const SpanStats &s : rollup) {
+        if (s.name == name)
+            return s.totalNs;
+    }
+    return 0;
+}
+
+void
+resetSpans()
+{
+    auto &reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (SpanSite *site : reg.sites)
+        site->reset();
+    for (ThreadTrace *tt : reg.threads) {
+        const std::lock_guard<std::mutex> tlock(tt->mutex);
+        tt->ring.clear();
+        tt->next = 0;
+        tt->recorded = 0;
+    }
+    reg.retired.clear();
+}
+
+void
+setEnabled(bool on)
+{
+    gEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return gEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setTracing(bool on)
+{
+    gTracing.store(on, std::memory_order_relaxed);
+}
+
+bool
+tracing()
+{
+    return gTracing.load(std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(SpanSite &site)
+{
+    if (!enabled()) {
+        site_ = nullptr;
+        return;
+    }
+    site_ = &site;
+    ThreadTrace &tt = threadTrace();
+    parent_ = tt.current;
+    tt.current = this;
+    depth_ = parent_ ? parent_->depth_ + 1 : 0;
+    startNs_ = util::Timer::processNanoseconds();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!site_)
+        return;
+    const std::uint64_t end = util::Timer::processNanoseconds();
+    const std::uint64_t dur = end - startNs_;
+    site_->accumulate(dur, dur - std::min(childNs_, dur));
+    if (parent_)
+        parent_->childNs_ += dur;
+    ThreadTrace &tt = threadTrace();
+    tt.current = parent_;
+    if (tracing())
+        tt.push({site_, startNs_, dur, depth_});
+}
+
+void
+writeChromeTrace(std::ostream &out)
+{
+    auto &reg = registry();
+    JsonWriter w;
+    std::uint64_t dropped = 0;
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    {
+        const std::lock_guard<std::mutex> lock(reg.mutex);
+        for (ThreadTrace *tt : reg.threads) {
+            std::vector<TraceEvent> events;
+            std::uint64_t recorded = 0;
+            {
+                const std::lock_guard<std::mutex> tlock(tt->mutex);
+                recorded = tt->recorded;
+                events = tt->eventsInOrder();
+            }
+            dropped += recorded - events.size();
+            for (const TraceEvent &ev : events)
+                writeEventJson(w, tt->tid, ev);
+        }
+        for (const auto &[tid, events] : reg.retired) {
+            for (const TraceEvent &ev : events)
+                writeEventJson(w, tid, ev);
+        }
+    }
+    w.endArray();
+    w.kv("displayTimeUnit", "ms");
+    w.key("otherData").beginObject();
+    w.kv("dropped_events", dropped);
+    w.endObject();
+    w.endObject();
+    out << w.str();
+}
+
+bool
+writeChromeTraceFile(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(out);
+    return bool(out);
+}
+
+} // namespace lookhd::obs

@@ -1,4 +1,16 @@
 #include "util/timer.hpp"
 
-// Header-only; this translation unit exists so the build exposes the
-// header through the library target and catches header breakage early.
+namespace lookhd::util {
+
+std::uint64_t
+Timer::processNanoseconds()
+{
+    // Function-local static: the origin is fixed the first time any
+    // code asks for a process timestamp, and being out of line there
+    // is exactly one instance even with the header included from many
+    // translation units.
+    static const Timer process_start;
+    return process_start.nanoseconds();
+}
+
+} // namespace lookhd::util

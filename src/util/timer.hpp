@@ -7,6 +7,7 @@
 #define LOOKHD_UTIL_TIMER_HPP
 
 #include <chrono>
+#include <cstdint>
 
 namespace lookhd::util {
 
@@ -29,6 +30,25 @@ class Timer
 
     /** Elapsed microseconds. */
     double microseconds() const { return seconds() * 1e6; }
+
+    /** Elapsed whole nanoseconds since construction or reset(). */
+    std::uint64_t
+    nanoseconds() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start_)
+                .count());
+    }
+
+    /**
+     * Monotonic nanoseconds since a process-wide origin (the first
+     * call to this function). All obs::TraceSpan timestamps share
+     * this origin so spans from different translation units and
+     * threads line up on one timeline; defined out of line in
+     * timer.cpp so there is exactly one origin per process.
+     */
+    static std::uint64_t processNanoseconds();
 
   private:
     using Clock = std::chrono::steady_clock;

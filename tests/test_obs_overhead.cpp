@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Acceptance check for the observability layer's cost: with the obs
+ * gate compiled in and enabled, Classifier::predict must run within
+ * 2% of its cost with instrumentation disabled at runtime (the issue
+ * budget for always-on telemetry).
+ *
+ * Microbenchmark noise is the enemy here, so the test measures
+ * interleaved enabled/disabled batches, compares min-of-trials (the
+ * most noise-robust point estimate), and retries the whole
+ * measurement a few times before declaring failure. Debug and
+ * sanitized builds time very different code, so the threshold widens
+ * there; the 2% bar is enforced on optimized NDEBUG builds - the CI
+ * release preset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "data/apps.hpp"
+#include "data/synthetic.hpp"
+#include "lookhd/classifier.hpp"
+#include "obs/obs.hpp"
+#include "util/timer.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define LOOKHD_TEST_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define LOOKHD_TEST_SANITIZED 1
+#endif
+
+namespace {
+
+using namespace lookhd;
+
+#if defined(NDEBUG) && !defined(LOOKHD_TEST_SANITIZED)
+constexpr double kMaxOverhead = 0.02; // the issue's 2% budget
+#else
+// Unoptimized / sanitized builds pay rather different relative costs;
+// keep the regression net but don't fail on build-mode noise.
+constexpr double kMaxOverhead = 0.15;
+#endif
+
+/** Seconds for one full pass of predict() over the test split. */
+double
+batchSeconds(const Classifier &clf, const data::TrainTest &tt)
+{
+    util::Timer timer;
+    std::size_t sink = 0;
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        sink += clf.predict(tt.test.row(i));
+    const double s = timer.seconds();
+    // Keep the loop observable so the optimizer can't drop it.
+    EXPECT_LT(sink, tt.test.size() * 1000);
+    return s;
+}
+
+struct Mins
+{
+    double disabled;
+    double enabled;
+};
+
+/** Min-of-trials over interleaved disabled/enabled batches. */
+Mins
+measure(const Classifier &clf, const data::TrainTest &tt,
+        std::size_t trials)
+{
+    Mins m{1e9, 1e9};
+    for (std::size_t t = 0; t < trials; ++t) {
+        obs::setEnabled(false);
+        m.disabled = std::min(m.disabled, batchSeconds(clf, tt));
+        obs::setEnabled(true);
+        m.enabled = std::min(m.enabled, batchSeconds(clf, tt));
+    }
+    return m;
+}
+
+TEST(ObsOverhead, PredictWithinBudget)
+{
+    const data::AppSpec app = data::paperApps()[0];
+    const data::TrainTest tt = data::makeTrainTest(
+        app.synthetic(7), 40 * app.numClasses, 60 * app.numClasses);
+    ClassifierConfig cfg;
+    cfg.dim = 2000;
+    cfg.quantLevels = app.lookhdQ;
+    cfg.chunkSize = app.chunkSize;
+    cfg.retrainEpochs = 2;
+    Classifier clf(cfg);
+    clf.fit(tt.train);
+
+    batchSeconds(clf, tt); // warm caches before timing anything
+
+    double best_overhead = 1e9;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        const Mins m = measure(clf, tt, 5);
+        ASSERT_GT(m.disabled, 0.0);
+        const double overhead = m.enabled / m.disabled - 1.0;
+        best_overhead = std::min(best_overhead, overhead);
+        if (best_overhead <= kMaxOverhead)
+            break; // measured under budget; no need to keep retrying
+    }
+    EXPECT_LE(best_overhead, kMaxOverhead)
+        << "Classifier::predict with obs enabled is "
+        << 100.0 * best_overhead
+        << "% slower than with obs disabled (budget "
+        << 100.0 * kMaxOverhead << "%)";
+    obs::setEnabled(true); // leave global state as other tests expect
+}
+
+} // namespace

@@ -11,11 +11,14 @@ build when banned nondeterminism sneaks into C++ sources:
   - std::mt19937 / mt19937_64 (seeded or not: library code must draw
     from Rng, not standard engines)
   - wall-clock seeding: time(nullptr) / time(NULL) / time(0)
+  - std::chrono::system_clock anywhere outside src/obs/ (telemetry
+    may wall-clock-stamp its output; library results must not depend
+    on the calendar)
 
 `src/util/rng.*` is the single allowed home for raw generator code.
-<chrono>-based *measurement* (util/timer) is fine; *seeding* from the
-clock is not, so the lint looks for the C time() idiom rather than
-banning <chrono>.
+<chrono>-based *measurement* (util/timer uses steady_clock) is fine;
+*seeding* from the clock is not, so the lint looks for the C time()
+idiom and system_clock rather than banning <chrono>.
 
 It also enforces the include-guard convention: every header carries a
 `#ifndef LOOKHD_... / #define LOOKHD_... / #endif` guard (no
@@ -55,6 +58,16 @@ BANNED = [
      "wall-clock seeding is banned; seeds are explicit parameters"),
 ]
 
+# Banned everywhere except the observability layer, which is allowed
+# to wall-clock-stamp its own (non-result) telemetry output.
+OBS_ONLY = [
+    (re.compile(r"\bsystem_clock\b"),
+     "system_clock is nondeterministic; use util::Timer "
+     "(steady_clock) - only src/obs/ may wall-clock-stamp output"),
+]
+
+OBS_DIR = Path("src/obs")
+
 GUARD_RE = re.compile(
     r"#ifndef\s+(LOOKHD_[A-Z0-9_]+)\s*\n#define\s+\1\b")
 
@@ -79,8 +92,11 @@ def strip_comments_and_strings(text: str) -> str:
 def check_banned(rel: Path, text: str) -> list[str]:
     problems = []
     code = strip_comments_and_strings(text)
+    rules = list(BANNED)
+    if not rel.is_relative_to(OBS_DIR):
+        rules += OBS_ONLY
     for lineno, line in enumerate(code.splitlines(), start=1):
-        for pattern, message in BANNED:
+        for pattern, message in rules:
             if pattern.search(line):
                 problems.append(f"{rel}:{lineno}: {message}")
     return problems

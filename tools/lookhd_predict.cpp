@@ -5,18 +5,24 @@
  * Usage:
  *   lookhd_predict --model model.bin --input data.csv
  *                  [--label-first] [--skip-rows N] [--quiet]
+ *                  [--metrics-out metrics.json]
+ *                  [--trace-out trace.json]
  *
  * Prints one predicted class index per input row. When the CSV
  * carries labels (it must, structurally), accuracy and macro-F1 are
- * reported on stderr so stdout stays machine-readable.
+ * reported on stderr so stdout stays machine-readable. --metrics-out
+ * and --trace-out dump the obs metric registry / Chrome trace of the
+ * run, as in lookhd_train.
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "cli.hpp"
 #include "data/csv.hpp"
 #include "data/metrics.hpp"
 #include "lookhd/serialize.hpp"
+#include "obs/obs.hpp"
 
 int
 main(int argc, char **argv)
@@ -25,6 +31,10 @@ main(int argc, char **argv)
     try {
         const tools::Args args(argc, argv,
                                {"label-first", "quiet"});
+
+        const std::string trace_out = args.get("trace-out", "");
+        if (!trace_out.empty())
+            obs::setTracing(true);
 
         const Classifier clf =
             loadClassifierFile(args.require("model"));
@@ -56,6 +66,17 @@ main(int argc, char **argv)
                          100.0 * cm.accuracy(), cm.macroF1(),
                          cm.total());
         }
+
+        const std::string metrics_out = args.get("metrics-out", "");
+        if (!metrics_out.empty()) {
+            std::ofstream out(metrics_out);
+            if (!out)
+                throw std::runtime_error("cannot write " + metrics_out);
+            out << obs::MetricRegistry::global().toJson() << "\n";
+        }
+        if (!trace_out.empty() &&
+            !obs::writeChromeTraceFile(trace_out))
+            throw std::runtime_error("cannot write " + trace_out);
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "lookhd_predict: %s\n", e.what());

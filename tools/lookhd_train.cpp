@@ -9,6 +9,12 @@
  *                [--seed 42] [--test-fraction 0.2]
  *                [--linear] [--per-feature] [--no-compress]
  *                [--label-first] [--skip-rows N] [--quiet]
+ *                [--metrics-out metrics.json] [--trace-out trace.json]
+ *
+ * --metrics-out dumps the obs metric registry (counters, gauges,
+ * latency histograms) as JSON after training; --trace-out records
+ * trace spans during the run and writes a Chrome trace_event file
+ * viewable in about:tracing / Perfetto.
  *
  * The CSV layout is features...,label (or label,features... with
  * --label-first). A held-out test split reports accuracy and the
@@ -16,11 +22,13 @@
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "cli.hpp"
 #include "data/csv.hpp"
 #include "data/metrics.hpp"
 #include "lookhd/serialize.hpp"
+#include "obs/obs.hpp"
 
 int
 main(int argc, char **argv)
@@ -31,6 +39,10 @@ main(int argc, char **argv)
             argc, argv,
             {"linear", "per-feature", "no-compress", "label-first",
              "quiet"});
+
+        const std::string trace_out = args.get("trace-out", "");
+        if (!trace_out.empty())
+            obs::setTracing(true);
 
         data::CsvOptions csv;
         csv.labelColumn = args.has("label-first")
@@ -88,6 +100,17 @@ main(int argc, char **argv)
                         args.require("output").c_str(),
                         clf.modelSizeBytes());
         }
+
+        const std::string metrics_out = args.get("metrics-out", "");
+        if (!metrics_out.empty()) {
+            std::ofstream out(metrics_out);
+            if (!out)
+                throw std::runtime_error("cannot write " + metrics_out);
+            out << obs::MetricRegistry::global().toJson() << "\n";
+        }
+        if (!trace_out.empty() &&
+            !obs::writeChromeTraceFile(trace_out))
+            throw std::runtime_error("cannot write " + trace_out);
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "lookhd_train: %s\n", e.what());
