@@ -38,6 +38,13 @@ main(int argc, char **argv)
         const double full = bench::accuracyOf(cfg, tt);
         table.addRow({std::to_string(q), util::fmtPercent(lin),
                       util::fmtPercent(eq), util::fmtPercent(full)});
+        // Deterministic accuracy metrics (seeded data + seeded
+        // training): these gate regressions in bench_compare.py,
+        // unlike the machine-dependent timing metrics.
+        const std::string suffix = "_q" + std::to_string(q);
+        rep.metric("accuracy_linear" + suffix, lin);
+        rep.metric("accuracy_equalized" + suffix, eq);
+        rep.metric("accuracy_lookhd_full" + suffix, full);
     }
     std::printf("%s", table.render().c_str());
     std::printf("\nPaper: equalized quantization reaches peak accuracy "

@@ -87,11 +87,13 @@ banner(const std::string &what)
  * Machine-readable result sink shared by every bench binary.
  *
  * Alongside the human-readable stdout tables, each bench writes
- * `BENCH_<name>.json` (schema `lookhd-bench-v1`, checked by
+ * `BENCH_<name>.json` (schema `lookhd-bench-v2`, checked by
  * tools/validate_bench_json.py): the bench's headline metrics, its
- * config, the full metric registry, and the span rollup measured by
- * the obs instrumentation during the run. This is the trajectory
- * format downstream perf PRs diff against.
+ * config, the full metric registry, the span rollup, the quality
+ * telemetry (confusion counters + margin histograms) and, when
+ * --perf is given on Linux, hardware perf counters per span. This is
+ * the trajectory format tools/bench_compare.py diffs against
+ * bench/baselines/.
  *
  * Recognized CLI arguments (unknown ones are ignored so benches can
  * grow their own):
@@ -99,6 +101,8 @@ banner(const std::string &what)
  *   --git-rev REV    recorded in the JSON (or env LOOKHD_GIT_REV)
  *   --quick          shrink bench::gScale for CI smoke runs
  *   --trace-out F    also record spans and write a Chrome trace
+ *   --perf           attach perf_event counters to spans (Linux;
+ *                    silently absent when the kernel refuses)
  */
 class BenchReporter
 {
@@ -122,11 +126,15 @@ class BenchReporter
                 traceOut_ = next();
             else if (arg == "--quick")
                 quick_ = true;
+            else if (arg == "--perf")
+                perf_ = true;
         }
         if (quick_)
             gScale = SampleScale{8, 4};
         if (!traceOut_.empty())
             obs::setTracing(true);
+        if (perf_)
+            obs::setPerfCounters(true);
     }
 
     ~BenchReporter()
@@ -174,7 +182,7 @@ class BenchReporter
         written_ = true;
         obs::JsonWriter w;
         w.beginObject();
-        w.kv("schema", "lookhd-bench-v1");
+        w.kv("schema", "lookhd-bench-v2");
         w.kv("name", name_);
         w.kv("git_rev", gitRev_);
         w.kv("quick", quick_);
@@ -203,6 +211,10 @@ class BenchReporter
             w.endObject();
         }
         w.endArray();
+        w.key("quality");
+        obs::QualityTelemetry::global().writeJson(w);
+        w.key("perf_counters");
+        obs::writePerfJson(w);
         w.endObject();
 
         const std::string path = outPath();
@@ -239,6 +251,7 @@ class BenchReporter
     std::string gitRev_ = "unknown";
     std::string traceOut_;
     bool quick_ = false;
+    bool perf_ = false;
     bool written_ = false;
     std::map<std::string, std::variant<std::string, double>> config_;
     std::map<std::string, double> metrics_;

@@ -26,5 +26,18 @@ for b in build/bench/bench_*; do
 done
 python3 tools/validate_bench_json.py build/bench_json
 
+# Regression check against the committed baselines. The baselines
+# are pinned --quick runs, so re-run the baselined benches at the
+# same scale into their own directory (the full-scale outputs above
+# would trip the quick-flag mismatch detection by design).
+mkdir -p build/bench_json_quick
+for b in bench_fig02_breakdown bench_fig04_quant_accuracy; do
+    build/bench/$b --quick --out-dir build/bench_json_quick \
+        --git-rev "$rev" > /dev/null
+done
+python3 tools/bench_compare.py bench/baselines build/bench_json_quick \
+    --thresholds bench/baselines/thresholds.json \
+    --md-out bench_regression.md
+
 echo "done: test_output.txt, bench_output.txt," \
-     "build/bench_json/BENCH_*.json"
+     "bench_regression.md, build/bench_json/BENCH_*.json"

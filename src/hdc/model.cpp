@@ -48,6 +48,7 @@ ClassModel::scores(const IntHv &query) const
     std::vector<double> out(norm_.size());
     for (std::size_t c = 0; c < norm_.size(); ++c)
         out[c] = dot(query, norm_[c]);
+    LOOKHD_QUALITY_MARGIN("hdc.search", out);
     return out;
 }
 

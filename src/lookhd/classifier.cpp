@@ -175,9 +175,10 @@ Classifier::scores(std::span<const double> features) const
     LOOKHD_SPAN("classifier.predict", "search");
     LOOKHD_COUNT_ADD("classifier.predict.calls", 1);
     const hdc::IntHv query = encoder_->encode(features);
-    if (compressed_)
-        return compressed_->scores(query);
-    return model_->scores(query);
+    std::vector<double> out = compressed_ ? compressed_->scores(query)
+                                          : model_->scores(query);
+    LOOKHD_QUALITY_MARGIN("classifier.predict", out);
+    return out;
 }
 
 double
@@ -185,8 +186,11 @@ Classifier::evaluate(const data::Dataset &test) const
 {
     LOOKHD_CHECK(!test.empty(), "empty test set");
     std::size_t correct = 0;
-    for (std::size_t i = 0; i < test.size(); ++i)
-        correct += predict(test.row(i)) == test.label(i);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        const std::vector<double> s = scores(test.row(i));
+        LOOKHD_QUALITY_OUTCOME("classifier.evaluate", test.label(i), s);
+        correct += hdc::argmax(s) == test.label(i);
+    }
     return static_cast<double>(correct) / static_cast<double>(test.size());
 }
 

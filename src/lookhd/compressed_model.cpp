@@ -34,11 +34,23 @@ decorrelateClasses(const hdc::ClassModel &model)
     // independent) common component of a query contributes zero to
     // every score instead of a per-class bias.
     const hdc::RealHv direction = hdc::normalized(average);
+    double removed_energy = 0.0;
+    double total_energy = 0.0;
     for (auto &c : classes) {
         const double proj = hdc::dot(c, direction);
+        removed_energy += proj * proj;
+        total_energy += hdc::dot(c, c);
         for (std::size_t i = 0; i < d; ++i)
             c[i] -= direction[i] * proj;
     }
+    // Fraction of total class energy living in the common direction -
+    // the per-class bias Sec. IV-C removes. Near-zero means
+    // decorrelation was a no-op; large values mean the raw classes
+    // were dominated by the shared component.
+    LOOKHD_COUNT_ADD("lookhd.decorrelate.calls", 1);
+    if (total_energy > 0.0)
+        LOOKHD_GAUGE_SET("lookhd.decorrelate.energy_frac",
+                         removed_energy / total_energy);
     return classes;
 }
 

@@ -121,6 +121,31 @@ CounterTrainer::countDataset(const data::Dataset &train) const
         const auto addresses = encoder_.chunkAddresses(train.row(i));
         bank.observe(train.label(i), addresses);
     }
+#if LOOKHD_OBS_ENABLED
+    // Coverage / sparsity of the counter arrays: how much of the
+    // k x m x q^s address space the training set actually touched.
+    // Sparse coverage is what makes the hash-map fallback viable.
+    if (obs::enabled()) {
+        double distinct = 0.0;
+        double capacity = 0.0;
+        for (std::size_t cls = 0; cls < bank.numClasses(); ++cls) {
+            for (std::size_t ch = 0; ch < bank.numChunks(); ++ch) {
+                distinct += static_cast<double>(
+                    bank.at(cls, ch).distinct());
+                capacity += static_cast<double>(
+                    encoder_.tableFor(ch).addressSpaceSize());
+            }
+        }
+        LOOKHD_COUNT_ADD("lookhd.count.distinct_addresses",
+                         static_cast<std::uint64_t>(distinct));
+        if (capacity > 0.0) {
+            LOOKHD_GAUGE_SET("lookhd.count.coverage",
+                             distinct / capacity);
+            LOOKHD_GAUGE_SET("lookhd.count.sparsity",
+                             1.0 - distinct / capacity);
+        }
+    }
+#endif
     return bank;
 }
 

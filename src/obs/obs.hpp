@@ -13,6 +13,8 @@
  *   LOOKHD_COUNT_ADD("hdc.encode.calls", 1);      // counter += n
  *   LOOKHD_GAUGE_SET("classifier.config.dim", d); // gauge = v
  *   LOOKHD_LATENCY_NS("io.load.duration", ns);    // histogram obs
+ *   LOOKHD_QUALITY_MARGIN("clf.predict", scores); // top1-top2 hist
+ *   LOOKHD_QUALITY_OUTCOME("clf.eval", y, scores);// confusion+margin
  *
  * Names follow `subsystem.verb[.unit]`; see ARCHITECTURE.md for the
  * convention and the span taxonomy. Registry lookups are cached in
@@ -24,6 +26,8 @@
 #define LOOKHD_OBS_OBS_HPP
 
 #include "obs/metrics.hpp"
+#include "obs/perfcounters.hpp"
+#include "obs/quality.hpp"
 #include "obs/trace.hpp"
 
 #ifndef LOOKHD_OBS_ENABLED
@@ -78,6 +82,45 @@
         lookhdObsHist_.record(static_cast<std::uint64_t>(ns));         \
     } while (false)
 
+/**
+ * Record the top1-top2 confidence margin of a score vector into the
+ * named margin histogram. @p scores is any contiguous range of
+ * double convertible to std::span<const double>.
+ */
+#define LOOKHD_QUALITY_MARGIN(quality_name, scores)                    \
+    do {                                                               \
+        if (::lookhd::obs::enabled()) {                                \
+            static ::lookhd::obs::MarginHistogram                      \
+                &lookhdObsMargin_ =                                    \
+                    ::lookhd::obs::QualityTelemetry::global()          \
+                        .margins(quality_name);                        \
+            ::lookhd::obs::recordConfidence(lookhdObsMargin_,          \
+                                            (scores));                 \
+        }                                                              \
+    } while (false)
+
+/**
+ * Record one labeled outcome: (truth, argmax(scores)) into the named
+ * confusion counters and the signed truth margin (negative =
+ * misprediction) into the same-named margin histogram.
+ */
+#define LOOKHD_QUALITY_OUTCOME(quality_name, truth, scores)            \
+    do {                                                               \
+        if (::lookhd::obs::enabled()) {                                \
+            static ::lookhd::obs::ConfusionCounters                    \
+                &lookhdObsConfusion_ =                                 \
+                    ::lookhd::obs::QualityTelemetry::global()          \
+                        .confusion(quality_name);                      \
+            static ::lookhd::obs::MarginHistogram                      \
+                &lookhdObsOutcomeMargin_ =                             \
+                    ::lookhd::obs::QualityTelemetry::global()          \
+                        .margins(quality_name);                        \
+            ::lookhd::obs::recordOutcome(                              \
+                lookhdObsConfusion_, lookhdObsOutcomeMargin_,          \
+                static_cast<std::size_t>(truth), (scores));            \
+        }                                                              \
+    } while (false)
+
 #else // !LOOKHD_OBS_ENABLED
 
 // Compiled-out no-ops: arguments are never evaluated.
@@ -91,6 +134,12 @@
     do {                                                               \
     } while (false)
 #define LOOKHD_LATENCY_NS(hist_name, ns)                               \
+    do {                                                               \
+    } while (false)
+#define LOOKHD_QUALITY_MARGIN(quality_name, scores)                    \
+    do {                                                               \
+    } while (false)
+#define LOOKHD_QUALITY_OUTCOME(quality_name, truth, scores)            \
     do {                                                               \
     } while (false)
 

@@ -1,0 +1,257 @@
+#include "obs/perfcounters.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "obs/json.hpp"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace lookhd::obs {
+
+namespace {
+
+std::atomic<bool> gPerfRequested{false};
+std::atomic<bool> gFailOpenForTest{false};
+/**
+ * Bumped whenever open-state must be rebuilt (test hook toggles);
+ * per-thread groups compare against it and reopen lazily.
+ */
+std::atomic<std::uint64_t> gPerfGeneration{1};
+
+#ifdef __linux__
+
+/** PERF_COUNT_HW_* config for each PerfEvent slot. */
+constexpr std::uint64_t kHwConfig[kPerfEventSlots] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+long
+sysPerfEventOpen(struct perf_event_attr *attr, pid_t pid, int cpu,
+                 int group_fd, unsigned long flags)
+{
+    if (gFailOpenForTest.load(std::memory_order_relaxed)) {
+        errno = EACCES; // mimic perf_event_paranoid denial
+        return -1;
+    }
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd,
+                   flags);
+}
+
+/**
+ * One thread's counter group: a leader fd read with
+ * PERF_FORMAT_GROUP plus the per-slot mapping of which value in the
+ * group read belongs to which PerfEvent slot.
+ */
+struct PerfThreadGroup
+{
+    int leaderFd = -1;
+    /** openedSlots[i] = read-order position of slot i, or -1. */
+    int slotPos[kPerfEventSlots] = {-1, -1, -1, -1};
+    std::uint32_t mask = 0;
+    std::size_t opened = 0;
+    std::uint64_t generation = 0;
+
+    ~PerfThreadGroup() { close(); }
+
+    void
+    close()
+    {
+        // The leader close tears down the whole group; sibling fds
+        // are tracked so they do not leak.
+        for (const int fd : fds)
+            ::close(fd);
+        fds.clear();
+        leaderFd = -1;
+        mask = 0;
+        opened = 0;
+        for (int &p : slotPos)
+            p = -1;
+    }
+
+    void
+    open()
+    {
+        close();
+        generation = gPerfGeneration.load(std::memory_order_relaxed);
+        for (std::size_t slot = 0; slot < kPerfEventSlots; ++slot) {
+            struct perf_event_attr attr;
+            std::memset(&attr, 0, sizeof(attr));
+            attr.type = PERF_TYPE_HARDWARE;
+            attr.size = sizeof(attr);
+            attr.config = kHwConfig[slot];
+            attr.disabled = 0;
+            attr.exclude_kernel = 1;
+            attr.exclude_hv = 1;
+            attr.read_format = PERF_FORMAT_GROUP;
+            const int fd = static_cast<int>(sysPerfEventOpen(
+                &attr, 0, -1, leaderFd, 0));
+            if (fd < 0) {
+                if (slot == 0)
+                    return; // no leader -> counters unavailable
+                continue;   // event unsupported; keep the rest
+            }
+            if (leaderFd < 0)
+                leaderFd = fd;
+            fds.push_back(fd);
+            slotPos[slot] = static_cast<int>(opened++);
+            mask |= 1u << slot;
+        }
+    }
+
+    /** Read all counters; @return valid-slot mask (0 on failure). */
+    std::uint32_t
+    read(std::uint64_t *out)
+    {
+        if (leaderFd < 0)
+            return 0;
+        // PERF_FORMAT_GROUP layout: u64 nr; u64 values[nr].
+        std::uint64_t buf[1 + kPerfEventSlots];
+        const ssize_t want = static_cast<ssize_t>(
+            sizeof(std::uint64_t) * (1 + opened));
+        if (::read(leaderFd, buf, sizeof(buf)) < want)
+            return 0;
+        if (buf[0] != opened)
+            return 0;
+        for (std::size_t slot = 0; slot < kPerfEventSlots; ++slot) {
+            if (slotPos[slot] >= 0)
+                out[slot] = buf[1 + slotPos[slot]];
+        }
+        return mask;
+    }
+
+  private:
+    std::vector<int> fds;
+};
+
+PerfThreadGroup &
+threadGroup()
+{
+    thread_local PerfThreadGroup group;
+    return group;
+}
+
+#endif // __linux__
+
+} // namespace
+
+const char *
+perfEventName(PerfEvent e)
+{
+    switch (e) {
+    case PerfEvent::kCycles:
+        return "cycles";
+    case PerfEvent::kInstructions:
+        return "instructions";
+    case PerfEvent::kCacheMisses:
+        return "cache_misses";
+    case PerfEvent::kBranchMisses:
+        return "branch_misses";
+    }
+    return "unknown";
+}
+
+void
+setPerfCounters(bool on)
+{
+    gPerfRequested.store(on, std::memory_order_relaxed);
+}
+
+bool
+perfCounters()
+{
+    return gPerfRequested.load(std::memory_order_relaxed);
+}
+
+bool
+perfCountersAvailable()
+{
+    std::uint64_t scratch[kPerfEventSlots];
+    return detail::readPerfSnapshot(scratch) != 0;
+}
+
+std::vector<PerfSpanStats>
+perfRollup()
+{
+    std::map<std::string, PerfSpanStats> merged;
+    for (const SpanSite *site : spanSites()) {
+        const std::uint64_t samples = site->perfSamples();
+        if (samples == 0)
+            continue;
+        PerfSpanStats &s = merged[site->name()];
+        if (s.name.empty())
+            s.name = site->name();
+        s.samples += samples;
+        s.eventMask |= site->perfMask();
+        for (std::size_t i = 0; i < kPerfEventSlots; ++i)
+            s.total[i] += site->perfTotal(i);
+    }
+    std::vector<PerfSpanStats> out;
+    out.reserve(merged.size());
+    for (auto &[name, stats] : merged)
+        out.push_back(std::move(stats));
+    return out;
+}
+
+void
+writePerfJson(JsonWriter &w)
+{
+    const bool requested = perfCounters();
+    w.beginObject();
+    w.kv("requested", requested);
+    w.kv("available", requested && perfCountersAvailable());
+    w.key("spans").beginArray();
+    for (const PerfSpanStats &s : perfRollup()) {
+        w.beginObject();
+        w.kv("name", s.name);
+        w.kv("samples", s.samples);
+        for (std::size_t i = 0; i < kPerfEventSlots; ++i) {
+            if (s.eventMask & (1u << i))
+                w.kv(perfEventName(static_cast<PerfEvent>(i)),
+                     s.total[i]);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+namespace detail {
+
+std::uint32_t
+readPerfSnapshot(std::uint64_t *out)
+{
+#ifdef __linux__
+    PerfThreadGroup &group = threadGroup();
+    const std::uint64_t gen =
+        gPerfGeneration.load(std::memory_order_relaxed);
+    if (group.generation != gen)
+        group.open();
+    return group.read(out);
+#else
+    (void)out;
+    return 0;
+#endif
+}
+
+void
+setPerfOpenFailForTest(bool fail)
+{
+    gFailOpenForTest.store(fail, std::memory_order_relaxed);
+    // Invalidate every thread's group so the next read reopens
+    // under the new regime.
+    gPerfGeneration.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+} // namespace lookhd::obs

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Hardware perf-event counters attached to trace spans.
+ *
+ * When enabled via setPerfCounters(true), every TraceSpan reads a
+ * per-thread perf_event_open group (cycles, instructions,
+ * cache-misses, branch-misses) at entry and exit and folds the delta
+ * into its SpanSite, giving per-phase hardware attribution in the
+ * style of SHEARer's counter-level analysis - which phase misses the
+ * cache, which one retires the most instructions per cycle.
+ *
+ * Sampling is strictly opt-in: with the flag off (the default) a
+ * span pays one relaxed atomic load and nothing else, so the
+ * test_obs_overhead budget is unaffected. With the flag on, each
+ * span boundary costs one read() syscall on the group leader.
+ *
+ * Graceful degradation is a hard requirement, not a nicety:
+ * perf_event_open is routinely unavailable (perf_event_paranoid,
+ * seccomp-filtered containers, non-Linux hosts). Every failure mode
+ * reports counters as absent - available() turns false, rollups stay
+ * empty, JSON says "available": false - and never throws or aborts.
+ * Events that fail to open individually (an unsupported PMU event)
+ * are dropped from the group while the rest keep counting; the
+ * per-site event mask records which events actually measured.
+ *
+ * Counters are opened per thread (inherit=0, exclude_kernel=1, which
+ * keeps the perf_event_paranoid<=2 default happy) and count
+ * continuously; span deltas are inclusive of child spans, like
+ * SpanStats::totalNs.
+ */
+
+#ifndef LOOKHD_OBS_PERFCOUNTERS_HPP
+#define LOOKHD_OBS_PERFCOUNTERS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace lookhd::obs {
+
+class JsonWriter;
+
+/** The hardware events sampled per span, in slot order. */
+enum class PerfEvent : std::size_t
+{
+    kCycles = 0,
+    kInstructions,
+    kCacheMisses,
+    kBranchMisses,
+};
+
+/** Snake-case event name used in JSON ("cycles", "cache_misses"...). */
+const char *perfEventName(PerfEvent e);
+
+/**
+ * Runtime opt-in for span-attached counter sampling. Turning it on
+ * lazily opens the per-thread event group on the next span; turning
+ * it off stops sampling but keeps accumulated rollups.
+ */
+void setPerfCounters(bool on);
+bool perfCounters();
+
+/**
+ * Whether the calling thread can read hardware counters right now
+ * (opens the group on demand). False on permission denial,
+ * unsupported kernels, or non-Linux builds - never throws.
+ */
+bool perfCountersAvailable();
+
+/** Per-site rollup of sampled hardware counters. */
+struct PerfSpanStats
+{
+    std::string name;
+    /** Completed spans that contributed counter deltas. */
+    std::uint64_t samples = 0;
+    /** Summed deltas, indexed by PerfEvent slot. */
+    std::array<std::uint64_t, kPerfEventSlots> total{};
+    /** Bit i set iff PerfEvent slot i actually measured. */
+    std::uint32_t eventMask = 0;
+};
+
+/**
+ * Snapshot of every site's perf rollup, merged by span name (sites
+ * with no samples omitted), mirroring spanRollup().
+ */
+std::vector<PerfSpanStats> perfRollup();
+
+/**
+ * {"requested":..,"available":..,"spans":[{"name":..,"samples":..,
+ *  "cycles":..,...}]} - per-span keys present only for events that
+ * measured. "available" reflects a live probe when requested, false
+ * otherwise.
+ */
+void writePerfJson(JsonWriter &w);
+
+namespace detail {
+
+/**
+ * Read the calling thread's counters into @p out (kPerfEventSlots
+ * values). @return the event mask of valid slots, 0 when counters
+ * are unavailable. Used by TraceSpan; exposed for tests.
+ */
+std::uint32_t readPerfSnapshot(std::uint64_t *out);
+
+/**
+ * Test hook: when @p fail is true, every perf_event_open attempt
+ * fails as if the kernel denied it (EACCES), and already-open
+ * per-thread groups are invalidated so the fallback path is
+ * exercised from scratch.
+ */
+void setPerfOpenFailForTest(bool fail);
+
+} // namespace detail
+
+} // namespace lookhd::obs
+
+#endif // LOOKHD_OBS_PERFCOUNTERS_HPP

@@ -1,0 +1,368 @@
+#include "obs/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace lookhd::obs {
+
+// ----------------------------------------------------- MarginHistogram
+
+std::size_t
+MarginHistogram::bucketOf(double margin)
+{
+    if (std::isnan(margin) || margin < 0.0)
+        return 0;
+    if (margin >= 1.0)
+        return kNumBuckets - 1;
+    return 1 + static_cast<std::size_t>(
+                   margin * static_cast<double>(kLinearBuckets));
+}
+
+double
+MarginHistogram::lowerEdge(std::size_t i)
+{
+    return static_cast<double>(i - 1) /
+           static_cast<double>(kLinearBuckets);
+}
+
+void
+MarginHistogram::record(double margin)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++buckets_[bucketOf(margin)];
+    if (count_ == 0) {
+        min_ = margin;
+        max_ = margin;
+    } else {
+        min_ = std::min(min_, margin);
+        max_ = std::max(max_, margin);
+    }
+    sum_ += margin;
+    ++count_;
+}
+
+std::uint64_t
+MarginHistogram::count() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+std::uint64_t
+MarginHistogram::negatives() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return buckets_[0];
+}
+
+std::uint64_t
+MarginHistogram::bucket(std::size_t i) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return buckets_.at(i);
+}
+
+double
+MarginHistogram::meanMargin() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+MarginHistogram::minMargin() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+MarginHistogram::maxMargin() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : max_;
+}
+
+void
+MarginHistogram::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+MarginHistogram::writeJson(JsonWriter &w) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    w.beginObject();
+    w.kv("count", count_);
+    w.kv("negatives", buckets_[0]);
+    w.kv("mean", count_ == 0 ? 0.0
+                             : sum_ / static_cast<double>(count_));
+    w.kv("min", count_ == 0 ? 0.0 : min_);
+    w.kv("max", count_ == 0 ? 0.0 : max_);
+    // Interior edges only: bucket 0 is unbounded below, the last
+    // bucket unbounded above.
+    w.key("bucket_edges").beginArray();
+    for (std::size_t i = 1; i <= kLinearBuckets + 1; ++i)
+        w.value(lowerEdge(i));
+    w.endArray();
+    w.key("buckets").beginArray();
+    for (const std::uint64_t b : buckets_)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+}
+
+// --------------------------------------------------- ConfusionCounters
+
+void
+ConfusionCounters::record(std::size_t truth, std::size_t predicted)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t needed = std::max(truth, predicted) + 1;
+    if (needed > classes_) {
+        std::vector<std::uint64_t> grown(needed * needed, 0);
+        for (std::size_t t = 0; t < classes_; ++t)
+            for (std::size_t p = 0; p < classes_; ++p)
+                grown[t * needed + p] = counts_[t * classes_ + p];
+        counts_ = std::move(grown);
+        classes_ = needed;
+    }
+    ++counts_[truth * classes_ + predicted];
+    ++total_;
+    correct_ += truth == predicted;
+}
+
+std::size_t
+ConfusionCounters::numClasses() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return classes_;
+}
+
+std::uint64_t
+ConfusionCounters::total() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
+std::uint64_t
+ConfusionCounters::correct() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return correct_;
+}
+
+std::uint64_t
+ConfusionCounters::count(std::size_t truth, std::size_t predicted) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (truth >= classes_ || predicted >= classes_)
+        return 0;
+    return counts_[truth * classes_ + predicted];
+}
+
+double
+ConfusionCounters::accuracy() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(correct_) /
+                             static_cast<double>(total_);
+}
+
+void
+ConfusionCounters::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    classes_ = 0;
+    counts_.clear();
+    total_ = 0;
+    correct_ = 0;
+}
+
+void
+ConfusionCounters::writeJson(JsonWriter &w) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    w.beginObject();
+    w.kv("classes", static_cast<std::uint64_t>(classes_));
+    w.kv("total", total_);
+    w.kv("correct", correct_);
+    w.kv("accuracy", total_ == 0
+                         ? 0.0
+                         : static_cast<double>(correct_) /
+                               static_cast<double>(total_));
+    w.key("counts").beginArray();
+    for (std::size_t t = 0; t < classes_; ++t) {
+        w.beginArray();
+        for (std::size_t p = 0; p < classes_; ++p)
+            w.value(counts_[t * classes_ + p]);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+// --------------------------------------------------- QualityTelemetry
+
+QualityTelemetry &
+QualityTelemetry::global()
+{
+    // Deliberately leaked, for the same reason as
+    // MetricRegistry::global(): macro sites cache handles in
+    // function-local statics that may outlive an owned instance.
+    static auto *telemetry = new QualityTelemetry;
+    return *telemetry;
+}
+
+MarginHistogram &
+QualityTelemetry::margins(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = margins_[name];
+    if (!slot)
+        slot = std::make_unique<MarginHistogram>();
+    return *slot;
+}
+
+ConfusionCounters &
+QualityTelemetry::confusion(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = confusions_[name];
+    if (!slot)
+        slot = std::make_unique<ConfusionCounters>();
+    return *slot;
+}
+
+void
+QualityTelemetry::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, h] : margins_)
+        h->reset();
+    for (auto &[name, c] : confusions_)
+        c->reset();
+}
+
+void
+QualityTelemetry::writeJson(JsonWriter &w) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    w.beginObject();
+    w.key("margins").beginObject();
+    for (const auto &[name, h] : margins_) {
+        w.key(name);
+        h->writeJson(w);
+    }
+    w.endObject();
+    w.key("confusion").beginObject();
+    for (const auto &[name, c] : confusions_) {
+        w.key(name);
+        c->writeJson(w);
+    }
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+QualityTelemetry::toJson() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+// ------------------------------------------------------- free helpers
+
+namespace {
+
+/** Index of the largest score (first on ties); SIZE_MAX when empty. */
+std::size_t
+topIndex(std::span<const double> scores)
+{
+    std::size_t best = static_cast<std::size_t>(-1);
+    double best_v = 0.0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (best == static_cast<std::size_t>(-1) ||
+            scores[i] > best_v) {
+            best = i;
+            best_v = scores[i];
+        }
+    }
+    return best;
+}
+
+/** Mean absolute score, floored away from zero. */
+double
+scaleOf(std::span<const double> scores)
+{
+    double scale = 0.0;
+    for (const double s : scores)
+        scale += std::abs(s);
+    return std::max(scale / static_cast<double>(scores.size()),
+                    1e-12);
+}
+
+/** Largest score over indices != excluded. */
+double
+bestOther(std::span<const double> scores, std::size_t excluded)
+{
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (i != excluded)
+            best = std::max(best, scores[i]);
+    }
+    return best;
+}
+
+} // namespace
+
+double
+confidenceMargin(std::span<const double> scores)
+{
+    if (scores.size() < 2)
+        return 0.0;
+    const std::size_t top = topIndex(scores);
+    return (scores[top] - bestOther(scores, top)) / scaleOf(scores);
+}
+
+double
+truthMargin(std::span<const double> scores, std::size_t truth)
+{
+    if (scores.size() < 2 || truth >= scores.size())
+        return 0.0;
+    return (scores[truth] - bestOther(scores, truth)) /
+           scaleOf(scores);
+}
+
+void
+recordOutcome(ConfusionCounters &cm, MarginHistogram &mh,
+              std::size_t truth, std::span<const double> scores)
+{
+    if (!enabled() || scores.empty())
+        return;
+    cm.record(truth, topIndex(scores));
+    mh.record(truthMargin(scores, truth));
+}
+
+void
+recordConfidence(MarginHistogram &mh, std::span<const double> scores)
+{
+    if (!enabled())
+        return;
+    mh.record(confidenceMargin(scores));
+}
+
+} // namespace lookhd::obs

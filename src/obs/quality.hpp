@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Model-quality telemetry: confusion counters and similarity-margin
+ * histograms.
+ *
+ * The metrics/trace layers answer "how fast"; this module answers
+ * "how well". LookHD's accuracy story rests on distributional
+ * properties - equalized quantization keeps level occupancy flat,
+ * decorrelation+compression must preserve the top1-top2 similarity
+ * margin, counter training must cover the lookup tables - and those
+ * are exactly the signals that silently rot without instrumentation.
+ *
+ * Two collectors live here, both find-or-create by name through
+ * QualityTelemetry::global() (mirroring MetricRegistry):
+ *
+ *  - MarginHistogram: fixed-bin distribution of classification
+ *    margins. A margin is (top1 - top2) normalized by the mean
+ *    absolute score (the same scale predictProgressive uses), or,
+ *    when the true label is known, s_true - best_other - negative
+ *    margins are mispredictions and land in a dedicated bucket.
+ *  - ConfusionCounters: dynamically-sized truth x prediction counts
+ *    with derived accuracy.
+ *
+ * Instrumentation sites use LOOKHD_QUALITY_MARGIN /
+ * LOOKHD_QUALITY_OUTCOME from obs/obs.hpp, which compile to nothing
+ * under -DLOOKHD_OBS=OFF and honor the obs::setEnabled() runtime
+ * kill switch. Scalar quality signals (quantizer occupancy entropy,
+ * table coverage, decorrelation energy) flow through the ordinary
+ * MetricRegistry counters/gauges; this module only holds the shapes
+ * that do not fit a scalar.
+ */
+
+#ifndef LOOKHD_OBS_QUALITY_HPP
+#define LOOKHD_OBS_QUALITY_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lookhd::obs {
+
+class JsonWriter;
+
+/**
+ * Fixed-bin histogram over classification margins.
+ *
+ * Bucket layout (kNumBuckets total):
+ *   bucket 0                 : margin < 0 (mispredictions)
+ *   buckets 1..kLinearBuckets: [0, 1) in kLinearBuckets equal widths
+ *   bucket kNumBuckets-1     : margin >= 1
+ *
+ * A margin of exactly 0 lands in bucket 1 (the first non-negative
+ * bucket), never in the misprediction bucket.
+ */
+class MarginHistogram
+{
+  public:
+    static constexpr std::size_t kLinearBuckets = 20;
+    static constexpr std::size_t kNumBuckets = kLinearBuckets + 2;
+
+    /** Record one margin observation. */
+    void record(double margin);
+
+    std::uint64_t count() const;
+    /** Observations with margin < 0 (bucket 0). */
+    std::uint64_t negatives() const;
+    std::uint64_t bucket(std::size_t i) const;
+    double meanMargin() const;
+    double minMargin() const;
+    double maxMargin() const;
+
+    /**
+     * Lower edge of bucket @p i for i >= 1; bucket 0 is unbounded
+     * below (its "edge" is -infinity and not representable here).
+     * @pre 1 <= i < kNumBuckets.
+     */
+    static double lowerEdge(std::size_t i);
+
+    /** Bucket index a margin value maps to. */
+    static std::size_t bucketOf(double margin);
+
+    void reset();
+
+    /**
+     * {"count":..,"negatives":..,"mean":..,"min":..,"max":..,
+     *  "bucket_edges":[0,0.05,..,1],"buckets":[..]}
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Truth x prediction counts, growing to fit the largest class index
+ * observed. Suited for telemetry where the class count is not known
+ * up front (data::ConfusionMatrix stays the right tool for fixed-k
+ * evaluation).
+ */
+class ConfusionCounters
+{
+  public:
+    /** Record one (truth, predicted) pair. */
+    void record(std::size_t truth, std::size_t predicted);
+
+    /** Largest class index observed + 1 (0 when empty). */
+    std::size_t numClasses() const;
+    std::uint64_t total() const;
+    std::uint64_t correct() const;
+    std::uint64_t count(std::size_t truth, std::size_t predicted) const;
+    /** correct/total (0 when empty). */
+    double accuracy() const;
+
+    void reset();
+
+    /**
+     * {"classes":k,"total":..,"correct":..,"accuracy":..,
+     *  "counts":[[..],..]} (counts row-major, truth x prediction).
+     */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::size_t classes_ = 0;
+    std::vector<std::uint64_t> counts_; ///< row-major truth x pred
+    std::uint64_t total_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+/**
+ * Process-wide named store of quality collectors; the quality
+ * counterpart of MetricRegistry. Handles stay valid for the life of
+ * the registry, so instrumentation macros cache them in
+ * function-local statics.
+ */
+class QualityTelemetry
+{
+  public:
+    QualityTelemetry() = default;
+    QualityTelemetry(const QualityTelemetry &) = delete;
+    QualityTelemetry &operator=(const QualityTelemetry &) = delete;
+
+    /** The process-wide instance (never destroyed). */
+    static QualityTelemetry &global();
+
+    /** Find-or-create; the reference stays valid forever. */
+    MarginHistogram &margins(const std::string &name);
+    ConfusionCounters &confusion(const std::string &name);
+
+    /** Zero every collector; handles stay valid. */
+    void reset();
+
+    /** {"margins":{name:{..}},"confusion":{name:{..}}} */
+    void writeJson(JsonWriter &w) const;
+
+    /** writeJson() as a standalone document. */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<MarginHistogram>> margins_;
+    std::map<std::string, std::unique_ptr<ConfusionCounters>>
+        confusions_;
+};
+
+/**
+ * Top-1 minus top-2 score, normalized by the mean absolute score
+ * (matching CompressedModel::predictProgressive's confidence scale).
+ * Returns 0 for fewer than 2 scores.
+ */
+double confidenceMargin(std::span<const double> scores);
+
+/**
+ * True-class score minus the best other score, on the same
+ * normalized scale. Negative iff the argmax prediction is wrong.
+ * Returns 0 for fewer than 2 scores or an out-of-range truth.
+ */
+double truthMargin(std::span<const double> scores, std::size_t truth);
+
+/**
+ * Record one labeled outcome: (truth, argmax) into @p cm and the
+ * truth margin into @p mh. No-op when obs::enabled() is false.
+ */
+void recordOutcome(ConfusionCounters &cm, MarginHistogram &mh,
+                   std::size_t truth, std::span<const double> scores);
+
+/**
+ * Record an unlabeled prediction's confidence margin into @p mh.
+ * No-op when obs::enabled() is false.
+ */
+void recordConfidence(MarginHistogram &mh,
+                      std::span<const double> scores);
+
+} // namespace lookhd::obs
+
+#endif // LOOKHD_OBS_QUALITY_HPP

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "obs/json.hpp"
+#include "obs/perfcounters.hpp"
 #include "util/timer.hpp"
 
 namespace lookhd::obs {
@@ -131,11 +132,30 @@ SpanSite::SpanSite(const char *name, const char *category)
 }
 
 void
+SpanSite::accumulatePerf(const std::uint64_t *delta,
+                         std::uint32_t mask)
+{
+    if (mask == 0)
+        return;
+    for (std::size_t i = 0; i < kPerfEventSlots; ++i) {
+        if (mask & (1u << i))
+            perfTotals_[i].fetch_add(delta[i],
+                                     std::memory_order_relaxed);
+    }
+    perfSamples_.fetch_add(1, std::memory_order_relaxed);
+    perfMask_.fetch_or(mask, std::memory_order_relaxed);
+}
+
+void
 SpanSite::reset()
 {
     count_.store(0, std::memory_order_relaxed);
     totalNs_.store(0, std::memory_order_relaxed);
     selfNs_.store(0, std::memory_order_relaxed);
+    perfSamples_.store(0, std::memory_order_relaxed);
+    for (auto &t : perfTotals_)
+        t.store(0, std::memory_order_relaxed);
+    perfMask_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<SpanStats>
@@ -172,6 +192,14 @@ spanRollup()
                   return a.totalNs > b.totalNs;
               });
     return out;
+}
+
+std::vector<SpanSite *>
+spanSites()
+{
+    auto &reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.sites;
 }
 
 std::uint64_t
@@ -236,6 +264,9 @@ TraceSpan::TraceSpan(SpanSite &site)
     tt.current = this;
     depth_ = parent_ ? parent_->depth_ + 1 : 0;
     startNs_ = util::Timer::processNanoseconds();
+    // Span-opt-in hardware sampling: one relaxed load when off.
+    if (perfCounters())
+        perfMask_ = detail::readPerfSnapshot(perfStart_);
 }
 
 TraceSpan::~TraceSpan()
@@ -245,6 +276,19 @@ TraceSpan::~TraceSpan()
     const std::uint64_t end = util::Timer::processNanoseconds();
     const std::uint64_t dur = end - startNs_;
     site_->accumulate(dur, dur - std::min(childNs_, dur));
+    if (perfMask_ != 0) {
+        std::uint64_t now[kPerfEventSlots];
+        const std::uint32_t mask =
+            perfMask_ & detail::readPerfSnapshot(now);
+        if (mask != 0) {
+            std::uint64_t delta[kPerfEventSlots] = {};
+            for (std::size_t i = 0; i < kPerfEventSlots; ++i) {
+                if (mask & (1u << i))
+                    delta[i] = now[i] - perfStart_[i];
+            }
+            site_->accumulatePerf(delta, mask);
+        }
+    }
     if (parent_)
         parent_->childNs_ += dur;
     ThreadTrace &tt = threadTrace();

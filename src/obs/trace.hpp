@@ -38,6 +38,12 @@
 namespace lookhd::obs {
 
 /**
+ * Hardware-counter slots a span can sample (see obs/perfcounters.hpp
+ * for the event list and the opt-in switch).
+ */
+inline constexpr std::size_t kPerfEventSlots = 4;
+
+/**
  * Static identity of one instrumentation site, plus its rollup
  * accumulators. Sites register themselves in a process-wide list on
  * construction and are expected to have static storage duration (the
@@ -78,6 +84,33 @@ class SpanSite
         return selfNs_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Fold one span's hardware-counter deltas into the rollup.
+     * @p delta has kPerfEventSlots entries; only slots set in
+     * @p mask are accumulated.
+     */
+    void accumulatePerf(const std::uint64_t *delta,
+                        std::uint32_t mask);
+
+    std::uint64_t
+    perfSamples() const
+    {
+        return perfSamples_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    perfTotal(std::size_t slot) const
+    {
+        return perfTotals_[slot].load(std::memory_order_relaxed);
+    }
+
+    /** Union of event masks over every accumulated sample. */
+    std::uint32_t
+    perfMask() const
+    {
+        return perfMask_.load(std::memory_order_relaxed);
+    }
+
     void reset();
 
   private:
@@ -86,6 +119,9 @@ class SpanSite
     std::atomic<std::uint64_t> count_{0};
     std::atomic<std::uint64_t> totalNs_{0};
     std::atomic<std::uint64_t> selfNs_{0};
+    std::atomic<std::uint64_t> perfSamples_{0};
+    std::atomic<std::uint64_t> perfTotals_[kPerfEventSlots]{};
+    std::atomic<std::uint32_t> perfMask_{0};
 };
 
 /** Snapshot of one site's rollup. */
@@ -101,6 +137,12 @@ struct SpanStats
 
 /** Rollup snapshot across all sites (sites with count 0 omitted). */
 std::vector<SpanStats> spanRollup();
+
+/**
+ * Every registered instrumentation site (stable addresses: sites are
+ * function-local statics). Used by the perf-counter rollup.
+ */
+std::vector<SpanSite *> spanSites();
 
 /**
  * In a rollup snapshot, the totalNs of @p name (0 if absent);
@@ -149,6 +191,9 @@ class TraceSpan
     std::uint64_t startNs_ = 0;
     std::uint64_t childNs_ = 0;
     std::uint32_t depth_ = 0;
+    /** Entry counter snapshot; only valid where perfMask_ bits set. */
+    std::uint64_t perfStart_[kPerfEventSlots];
+    std::uint32_t perfMask_ = 0;
 };
 
 /**

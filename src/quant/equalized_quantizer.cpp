@@ -30,6 +30,7 @@ EqualizedQuantizer::fit(const std::vector<double> &sample)
         bounds_.push_back(sorted[idx]);
     }
     fitted_ = true;
+    recordFitTelemetry(*this, sample);
 }
 
 std::size_t

@@ -6,14 +6,6 @@
 
 namespace lookhd::quant {
 
-std::size_t
-binOf(const std::vector<double> &bounds, double value)
-{
-    return static_cast<std::size_t>(
-        std::upper_bound(bounds.begin(), bounds.end(), value) -
-        bounds.begin());
-}
-
 LinearQuantizer::LinearQuantizer(std::size_t levels)
     : levels_(levels)
 {
@@ -28,6 +20,7 @@ LinearQuantizer::fit(const std::vector<double> &sample)
     min_ = *lo;
     max_ = *hi;
     fitted_ = true;
+    recordFitTelemetry(*this, sample);
 }
 
 std::size_t

@@ -66,6 +66,32 @@ class Quantizer
  */
 std::size_t binOf(const std::vector<double> &bounds, double value);
 
+/**
+ * Per-level occupancy of @p sample under a fitted quantizer: how
+ * many sample values map to each level. The shape of this profile
+ * is the paper's Fig. 3 argument - equalized quantization keeps it
+ * flat where linear quantization concentrates mass in a few levels.
+ */
+std::vector<std::size_t> occupancy(const Quantizer &q,
+                                   const std::vector<double> &sample);
+
+/**
+ * Normalized Shannon entropy of an occupancy profile in [0, 1]:
+ * 1 means perfectly equalized levels, 0 means all mass in one level
+ * (or fewer than 2 levels / an empty profile).
+ */
+double occupancyEntropy(const std::vector<std::size_t> &counts);
+
+/**
+ * Emit fit-time bin-occupancy telemetry for a freshly fitted
+ * quantizer (quant.fit.* counters/gauges; see ARCHITECTURE.md's
+ * quality-metric taxonomy). No-op when observability is compiled
+ * out or disabled at runtime; quantizer fits call it at the end of
+ * fit().
+ */
+void recordFitTelemetry(const Quantizer &q,
+                        const std::vector<double> &sample);
+
 } // namespace lookhd::quant
 
 #endif // LOOKHD_QUANT_QUANTIZER_HPP

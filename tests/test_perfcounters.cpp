@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for span-attached perf_event counters, centered on the
+ * graceful-degradation contract: when perf_event_open is denied (the
+ * common case in containers and CI), everything must report counters
+ * as absent and nothing may throw. The mock failure path is driven
+ * through detail::setPerfOpenFailForTest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace lookhd;
+
+/** RAII guard: restores the global perf request flag and fail hook. */
+struct PerfGuard
+{
+    ~PerfGuard()
+    {
+        obs::detail::setPerfOpenFailForTest(false);
+        obs::setPerfCounters(false);
+    }
+};
+
+#if LOOKHD_OBS_ENABLED
+void
+spinSomeSpans()
+{
+    for (int i = 0; i < 8; ++i) {
+        LOOKHD_SPAN("perf.test.span", "test");
+        volatile std::uint64_t sink = 0;
+        for (std::uint64_t j = 0; j < 10000; ++j)
+            sink = sink + j * j;
+        (void)sink;
+    }
+}
+#endif
+
+TEST(PerfCounters, DisabledByDefault)
+{
+    EXPECT_FALSE(obs::perfCounters());
+}
+
+TEST(PerfCounters, OpenFailureDegradesGracefully)
+{
+    PerfGuard guard;
+    obs::detail::setPerfOpenFailForTest(true);
+    obs::setPerfCounters(true);
+
+    // Availability probe: no counters, no exception.
+    EXPECT_FALSE(obs::perfCountersAvailable());
+
+    // Direct snapshot: empty mask, and spans sampled while the
+    // kernel refuses contribute nothing.
+    std::uint64_t values[obs::kPerfEventSlots] = {};
+    EXPECT_EQ(obs::detail::readPerfSnapshot(values), 0u);
+
+#if LOOKHD_OBS_ENABLED
+    EXPECT_NO_THROW(spinSomeSpans());
+    for (const obs::PerfSpanStats &s : obs::perfRollup())
+        EXPECT_NE(s.name, "perf.test.span");
+#endif
+
+    // JSON still renders a valid document saying "absent".
+    obs::JsonWriter w;
+    obs::writePerfJson(w);
+    const std::string json = w.str();
+    EXPECT_NE(json.find("\"requested\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"available\":false"), std::string::npos);
+}
+
+TEST(PerfCounters, SnapshotIsNoopWhenNotRequested)
+{
+    // With the flag off, readPerfSnapshot must not open anything.
+    std::uint64_t values[obs::kPerfEventSlots] = {};
+    ASSERT_FALSE(obs::perfCounters());
+    EXPECT_EQ(obs::detail::readPerfSnapshot(values), 0u);
+}
+
+TEST(PerfCounters, EventNamesAreStable)
+{
+    EXPECT_STREQ(obs::perfEventName(obs::PerfEvent::kCycles),
+                 "cycles");
+    EXPECT_STREQ(obs::perfEventName(obs::PerfEvent::kInstructions),
+                 "instructions");
+    EXPECT_STREQ(obs::perfEventName(obs::PerfEvent::kCacheMisses),
+                 "cache_misses");
+    EXPECT_STREQ(obs::perfEventName(obs::PerfEvent::kBranchMisses),
+                 "branch_misses");
+}
+
+#if LOOKHD_OBS_ENABLED
+
+TEST(PerfCounters, LiveCountersWhenKernelAllows)
+{
+    PerfGuard guard;
+    obs::setPerfCounters(true);
+    if (!obs::perfCountersAvailable())
+        GTEST_SKIP() << "perf_event_open unavailable here "
+                        "(paranoid/seccomp or non-Linux)";
+
+    spinSomeSpans();
+    bool found = false;
+    for (const obs::PerfSpanStats &s : obs::perfRollup()) {
+        if (s.name != "perf.test.span")
+            continue;
+        found = true;
+        EXPECT_GE(s.samples, 8u);
+        if (s.eventMask &
+            (1u << static_cast<std::size_t>(
+                 obs::PerfEvent::kCycles))) {
+            EXPECT_GT(s.total[static_cast<std::size_t>(
+                          obs::PerfEvent::kCycles)],
+                      0u);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(PerfCounters, RecoversAfterFailHookCleared)
+{
+    PerfGuard guard;
+    obs::detail::setPerfOpenFailForTest(true);
+    obs::setPerfCounters(true);
+    EXPECT_FALSE(obs::perfCountersAvailable());
+
+    // Clearing the hook bumps the generation; the thread-local group
+    // must reopen instead of staying poisoned.
+    obs::detail::setPerfOpenFailForTest(false);
+    std::uint64_t values[obs::kPerfEventSlots] = {};
+    const std::uint32_t mask = obs::detail::readPerfSnapshot(values);
+    EXPECT_EQ(mask != 0, obs::perfCountersAvailable());
+}
+
+#endif // LOOKHD_OBS_ENABLED
+
+} // namespace

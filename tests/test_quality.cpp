@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the quality-telemetry module: margin-histogram bucket
+ * edges (zero and negative margins included), confusion-counter
+ * growth, the margin helpers, the runtime kill switch, and the
+ * classifier integration that feeds them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "lookhd/classifier.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+using namespace lookhd;
+
+// ------------------------------------------------- margin histogram
+
+TEST(MarginHistogram, BucketEdges)
+{
+    using MH = obs::MarginHistogram;
+    // Bucket 0 is the misprediction bucket: strictly negative only.
+    EXPECT_EQ(MH::bucketOf(-1e-9), 0u);
+    EXPECT_EQ(MH::bucketOf(-5.0), 0u);
+    // A margin of exactly 0 is a (barely) correct prediction.
+    EXPECT_EQ(MH::bucketOf(0.0), 1u);
+    // Interior linear buckets: width 1/kLinearBuckets.
+    EXPECT_EQ(MH::bucketOf(0.05), 2u);
+    EXPECT_EQ(MH::bucketOf(0.049999), 1u);
+    EXPECT_EQ(MH::bucketOf(0.999), MH::kLinearBuckets);
+    // Saturating top bucket.
+    EXPECT_EQ(MH::bucketOf(1.0), MH::kNumBuckets - 1);
+    EXPECT_EQ(MH::bucketOf(42.0), MH::kNumBuckets - 1);
+    // NaN is treated as a misprediction, not dropped silently.
+    EXPECT_EQ(MH::bucketOf(std::nan("")), 0u);
+
+    EXPECT_DOUBLE_EQ(MH::lowerEdge(1), 0.0);
+    EXPECT_DOUBLE_EQ(MH::lowerEdge(2), 1.0 / MH::kLinearBuckets);
+    EXPECT_DOUBLE_EQ(MH::lowerEdge(MH::kNumBuckets - 1), 1.0);
+}
+
+TEST(MarginHistogram, RecordsAndAggregates)
+{
+    obs::MarginHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    h.record(-0.5);
+    h.record(0.0);
+    h.record(0.5);
+    h.record(2.0);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.negatives(), 1u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(obs::MarginHistogram::kNumBuckets - 1), 1u);
+    EXPECT_DOUBLE_EQ(h.meanMargin(), 0.5);
+    EXPECT_DOUBLE_EQ(h.minMargin(), -0.5);
+    EXPECT_DOUBLE_EQ(h.maxMargin(), 2.0);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.negatives(), 0u);
+}
+
+TEST(MarginHistogram, JsonShape)
+{
+    obs::MarginHistogram h;
+    h.record(0.25);
+    obs::JsonWriter w;
+    h.writeJson(w);
+    const std::string json = w.str();
+    EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"bucket_edges\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+// ----------------------------------------------- confusion counters
+
+TEST(ConfusionCounters, GrowsToLargestClass)
+{
+    obs::ConfusionCounters cm;
+    EXPECT_EQ(cm.numClasses(), 0u);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+
+    cm.record(0, 0);
+    EXPECT_EQ(cm.numClasses(), 1u);
+    cm.record(5, 2); // grows the matrix re-laying existing counts out
+    EXPECT_EQ(cm.numClasses(), 6u);
+    EXPECT_EQ(cm.count(0, 0), 1u);
+    EXPECT_EQ(cm.count(5, 2), 1u);
+    EXPECT_EQ(cm.count(2, 5), 0u);
+    EXPECT_EQ(cm.total(), 2u);
+    EXPECT_EQ(cm.correct(), 1u);
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+
+    cm.reset();
+    EXPECT_EQ(cm.total(), 0u);
+    EXPECT_EQ(cm.numClasses(), 0u);
+}
+
+// -------------------------------------------------- margin helpers
+
+TEST(QualityHelpers, ConfidenceMarginNormalizesByMeanAbs)
+{
+    const std::vector<double> scores{3.0, 1.0};
+    // scale = mean |s| = 2; margin = (3 - 1) / 2 = 1.
+    EXPECT_DOUBLE_EQ(obs::confidenceMargin(scores), 1.0);
+    EXPECT_DOUBLE_EQ(obs::confidenceMargin(std::vector<double>{7.0}),
+                     0.0);
+}
+
+TEST(QualityHelpers, TruthMarginSignalsMispredictions)
+{
+    const std::vector<double> scores{3.0, 1.0};
+    EXPECT_GT(obs::truthMargin(scores, 0), 0.0);
+    EXPECT_LT(obs::truthMargin(scores, 1), 0.0);
+    // Out-of-range truth index must not crash.
+    EXPECT_DOUBLE_EQ(obs::truthMargin(scores, 9), 0.0);
+}
+
+TEST(QualityHelpers, RecordOutcomeFillsBothCollectors)
+{
+    obs::ConfusionCounters cm;
+    obs::MarginHistogram mh;
+    const std::vector<double> right{3.0, 1.0};
+    const std::vector<double> wrong{1.0, 3.0};
+    obs::recordOutcome(cm, mh, 0, right);
+    obs::recordOutcome(cm, mh, 0, wrong);
+    EXPECT_EQ(cm.total(), 2u);
+    EXPECT_EQ(cm.correct(), 1u);
+    EXPECT_EQ(mh.count(), 2u);
+    EXPECT_EQ(mh.negatives(), 1u);
+}
+
+TEST(QualityHelpers, KillSwitchStopsRecording)
+{
+    obs::ConfusionCounters cm;
+    obs::MarginHistogram mh;
+    obs::setEnabled(false);
+    obs::recordOutcome(cm, mh, 0, std::vector<double>{2.0, 1.0});
+    obs::recordConfidence(mh, std::vector<double>{2.0, 1.0});
+    obs::setEnabled(true);
+    EXPECT_EQ(cm.total(), 0u);
+    EXPECT_EQ(mh.count(), 0u);
+}
+
+// ------------------------------------------------ registry + macros
+
+TEST(QualityTelemetry, FindOrCreateIsStable)
+{
+    auto &q = obs::QualityTelemetry::global();
+    obs::MarginHistogram &a = q.margins("test.stable");
+    obs::MarginHistogram &b = q.margins("test.stable");
+    EXPECT_EQ(&a, &b);
+    obs::ConfusionCounters &c = q.confusion("test.stable");
+    obs::ConfusionCounters &d = q.confusion("test.stable");
+    EXPECT_EQ(&c, &d);
+
+    a.record(0.5);
+    q.reset(); // zeroes, but handles stay valid
+    EXPECT_EQ(a.count(), 0u);
+    const std::string json = q.toJson();
+    EXPECT_NE(json.find("\"margins\""), std::string::npos);
+    EXPECT_NE(json.find("\"confusion\""), std::string::npos);
+}
+
+#if LOOKHD_OBS_ENABLED
+
+TEST(QualityTelemetry, ClassifierEvaluateRecordsOutcomes)
+{
+    auto &q = obs::QualityTelemetry::global();
+    q.reset();
+
+    data::SyntheticSpec spec;
+    spec.numClasses = 3;
+    spec.numFeatures = 12;
+    spec.seed = 7;
+    const auto tt = data::makeTrainTest(spec, 60, 30);
+
+    ClassifierConfig cfg;
+    cfg.dim = 500;
+    cfg.quantLevels = 4;
+    cfg.chunkSize = 3;
+    cfg.retrainEpochs = 1;
+    Classifier clf(cfg);
+    clf.fit(tt.train);
+    const double acc = clf.evaluate(tt.test);
+
+    obs::ConfusionCounters &cm = q.confusion("classifier.evaluate");
+    EXPECT_EQ(cm.total(), tt.test.size());
+    EXPECT_DOUBLE_EQ(cm.accuracy(), acc);
+    obs::MarginHistogram &mh = q.margins("classifier.evaluate");
+    EXPECT_EQ(mh.count(), tt.test.size());
+    // Mispredictions and negative margins are the same events.
+    EXPECT_EQ(mh.negatives(), cm.total() - cm.correct());
+    q.reset();
+}
+
+#endif // LOOKHD_OBS_ENABLED
+
+} // namespace

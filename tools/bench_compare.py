@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Regression gate: diff two directories of BENCH_*.json files.
+
+Usage:
+    bench_compare.py BASELINE_DIR CANDIDATE_DIR
+        [--thresholds FILE] [--md-out FILE] [--default-rel-tol R]
+
+Compares every metric of every bench present in BASELINE_DIR against
+the same metric in CANDIDATE_DIR and renders a markdown verdict
+table. The exit status is the gate: 0 when no gated metric regressed,
+1 otherwise - wire it as a ctest (bench.regression) or CI job.
+
+Which metrics gate
+------------------
+Timing-flavoured metrics (anything matching *_ns, *_ms, *time*,
+*latency*, *throughput*, *cycles*, *_frac) are machine-dependent, so
+by default they are reported as INFO and never gate. Everything else
+(accuracy, sizes, counts - deterministic given the repo's seeded
+RNG policy) gates with a relative tolerance (--default-rel-tol,
+default 2%).
+
+The improvement direction is inferred from the name: *accuracy*,
+*coverage*, *entropy* count as higher-is-better; *_bytes, *misses*,
+*error*, *energy* as lower-is-better; anything else is two-sided
+(any drift beyond tolerance regresses).
+
+A thresholds file (JSON) overrides both, keyed by fnmatch patterns
+over "bench.metric" (first matching pattern wins):
+
+    {
+      "fig02_breakdown.*":            {"gate": false},
+      "fig04_quant_accuracy.accuracy_*": {"rel_tol": 0.05,
+                                          "direction": "higher"}
+    }
+
+Rule fields: "gate" (bool), "rel_tol" (float, relative),
+"abs_tol" (float, absolute slack added on top), "direction"
+("higher" | "lower" | "both").
+
+Verdicts
+--------
+    OK         within tolerance
+    IMPROVED   moved beyond tolerance in the good direction
+    REGRESSED  moved beyond tolerance in the bad direction (fails)
+    INFO       not gated; reported for the record
+    NEW        metric/bench only in the candidate (never fails)
+    MISSING    metric/bench only in the baseline (fails: a silently
+               dropped metric is how coverage rots)
+
+Comparing a --quick baseline against a full-scale run (or vice
+versa) is meaningless, so a quick-flag mismatch on any shared bench
+fails the gate outright.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+EPS = 1e-12
+
+TIME_TOKENS = ("_ns", "_ms", "_us", "time", "latency", "throughput",
+               "cycles", "_frac", "per_sec", "speedup")
+
+HIGHER_TOKENS = ("accuracy", "coverage", "entropy", "f1", "recall",
+                 "precision")
+
+LOWER_TOKENS = ("_bytes", "misses", "error", "energy", "loss")
+
+FAIL_VERDICTS = ("REGRESSED", "MISSING", "SCALE-MISMATCH")
+
+
+@dataclass
+class Rule:
+    gate: bool = True
+    rel_tol: float = 0.02
+    abs_tol: float = 0.0
+    direction: str = "both"  # "higher" | "lower" | "both"
+
+
+@dataclass
+class Row:
+    bench: str
+    metric: str
+    baseline: float | None
+    candidate: float | None
+    verdict: str
+    note: str = ""
+
+
+@dataclass
+class Report:
+    rows: list[Row] = field(default_factory=list)
+
+    def failures(self) -> list[Row]:
+        return [r for r in self.rows if r.verdict in FAIL_VERDICTS]
+
+
+def default_rule(metric: str) -> Rule:
+    low = metric.lower()
+    if any(tok in low for tok in TIME_TOKENS):
+        return Rule(gate=False)
+    if any(tok in low for tok in HIGHER_TOKENS):
+        return Rule(direction="higher")
+    if any(tok in low for tok in LOWER_TOKENS):
+        return Rule(direction="lower")
+    return Rule()
+
+
+def rule_for(bench: str, metric: str,
+             thresholds: dict[str, dict]) -> Rule:
+    rule = default_rule(metric)
+    key = f"{bench}.{metric}"
+    for pattern, override in thresholds.items():
+        if fnmatch.fnmatchcase(key, pattern):
+            for attr in ("gate", "rel_tol", "abs_tol", "direction"):
+                if attr in override:
+                    setattr(rule, attr, override[attr])
+            break
+    return rule
+
+
+def load_dir(path: Path) -> dict[str, dict]:
+    """name -> parsed BENCH_<name>.json document."""
+    docs = {}
+    for f in sorted(path.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(f.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"bench_compare: cannot read {f}: {exc}")
+        if not isinstance(doc, dict) or \
+                not isinstance(doc.get("metrics"), dict):
+            raise SystemExit(f"bench_compare: {f} is not a bench JSON")
+        docs[doc.get("name", f.stem.removeprefix("BENCH_"))] = doc
+    if not docs:
+        raise SystemExit(f"bench_compare: no BENCH_*.json in {path}")
+    return docs
+
+
+def judge(base: float, cand: float, rule: Rule) -> tuple[str, str]:
+    """Verdict + note for one gated-or-not metric pair."""
+    delta = cand - base
+    slack = rule.rel_tol * max(abs(base), EPS) + rule.abs_tol
+    if not rule.gate:
+        return "INFO", "not gated"
+    if abs(delta) <= slack:
+        return "OK", ""
+    if rule.direction == "higher":
+        good = delta > 0
+    elif rule.direction == "lower":
+        good = delta < 0
+    else:
+        return "REGRESSED", f"drifted beyond ±{rule.rel_tol:.0%}"
+    if good:
+        return "IMPROVED", ""
+    return "REGRESSED", f"beyond {rule.rel_tol:.0%} tolerance"
+
+
+def compare(baseline: dict[str, dict], candidate: dict[str, dict],
+            thresholds: dict[str, dict]) -> Report:
+    report = Report()
+    for bench, base_doc in sorted(baseline.items()):
+        cand_doc = candidate.get(bench)
+        if cand_doc is None:
+            report.rows.append(Row(bench, "*", None, None, "MISSING",
+                                   "bench absent from candidate"))
+            continue
+        if bool(base_doc.get("quick")) != bool(cand_doc.get("quick")):
+            report.rows.append(Row(
+                bench, "*", None, None, "SCALE-MISMATCH",
+                "quick flag differs between baseline and candidate"))
+            continue
+        base_metrics = base_doc["metrics"]
+        cand_metrics = cand_doc["metrics"]
+        for metric, base_val in sorted(base_metrics.items()):
+            rule = rule_for(bench, metric, thresholds)
+            if metric not in cand_metrics:
+                verdict = "MISSING" if rule.gate else "INFO"
+                report.rows.append(Row(
+                    bench, metric, base_val, None, verdict,
+                    "metric absent from candidate"))
+                continue
+            cand_val = cand_metrics[metric]
+            verdict, note = judge(base_val, cand_val, rule)
+            report.rows.append(
+                Row(bench, metric, base_val, cand_val, verdict, note))
+        for metric in sorted(set(cand_metrics) - set(base_metrics)):
+            report.rows.append(Row(bench, metric, None,
+                                   cand_metrics[metric], "NEW",
+                                   "no baseline yet"))
+    for bench in sorted(set(candidate) - set(baseline)):
+        report.rows.append(Row(bench, "*", None, None, "NEW",
+                               "bench not in baseline"))
+    return report
+
+
+def fmt(value: float | None) -> str:
+    if value is None:
+        return "—"
+    return f"{value:.6g}"
+
+
+def fmt_delta(row: Row) -> str:
+    if row.baseline is None or row.candidate is None:
+        return "—"
+    base = row.baseline
+    if abs(base) < EPS:
+        return f"{row.candidate - base:+.3g}"
+    return f"{(row.candidate - base) / abs(base):+.2%}"
+
+
+def render_markdown(report: Report) -> str:
+    lines = ["# Bench regression report", ""]
+    failures = report.failures()
+    if failures:
+        lines.append(f"**VERDICT: FAIL** — {len(failures)} gating "
+                     f"problem(s).")
+    else:
+        lines.append("**VERDICT: PASS** — no gated metric regressed.")
+    lines += ["", "| bench | metric | baseline | candidate | delta "
+              "| verdict | note |",
+              "|---|---|---|---|---|---|---|"]
+    order = {"SCALE-MISMATCH": 0, "MISSING": 1, "REGRESSED": 2,
+             "IMPROVED": 3, "NEW": 4, "OK": 5, "INFO": 6}
+    for row in sorted(report.rows,
+                      key=lambda r: (order.get(r.verdict, 9),
+                                     r.bench, r.metric)):
+        lines.append(
+            f"| {row.bench} | {row.metric} | {fmt(row.baseline)} "
+            f"| {fmt(row.candidate)} | {fmt_delta(row)} "
+            f"| {row.verdict} | {row.note} |")
+    counts: dict[str, int] = {}
+    for row in report.rows:
+        counts[row.verdict] = counts.get(row.verdict, 0) + 1
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    lines += ["", f"_{len(report.rows)} row(s): {summary}_", ""]
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two bench-JSON directories and gate on "
+                    "regressions.")
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument("--thresholds", type=Path, default=None,
+                        help="JSON file of fnmatch-pattern overrides")
+    parser.add_argument("--md-out", type=Path, default=None,
+                        help="also write the markdown table here")
+    parser.add_argument("--default-rel-tol", type=float, default=None,
+                        help="override the built-in 2%% tolerance")
+    args = parser.parse_args(argv)
+
+    thresholds: dict[str, dict] = {}
+    if args.thresholds is not None:
+        try:
+            thresholds = json.loads(
+                args.thresholds.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(
+                f"bench_compare: bad thresholds file: {exc}")
+        if not isinstance(thresholds, dict):
+            raise SystemExit(
+                "bench_compare: thresholds file must be an object")
+    if args.default_rel_tol is not None:
+        # Applied last => only when no explicit pattern matched first.
+        thresholds.setdefault(
+            "*", {"rel_tol": args.default_rel_tol})
+
+    report = compare(load_dir(args.baseline), load_dir(args.candidate),
+                     thresholds)
+    markdown = render_markdown(report)
+    if args.md_out is not None:
+        args.md_out.write_text(markdown, encoding="utf-8")
+    try:
+        print(markdown)
+    except BrokenPipeError:
+        pass  # |head on the report must not change the verdict
+    return 1 if report.failures() else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

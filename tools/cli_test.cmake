@@ -18,12 +18,37 @@ file(WRITE "${csv}" "${lines}")
 
 set(model "${WORKDIR}/cli_demo_model.bin")
 
+# --help must document --quality-out and exit cleanly.
+foreach(tool TRAIN PREDICT)
+    execute_process(
+        COMMAND "${${tool}}" --help
+        OUTPUT_VARIABLE help_out RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${tool} --help failed (${rc})")
+    endif()
+    if(NOT help_out MATCHES "--quality-out")
+        message(FATAL_ERROR
+            "${tool} --help does not mention --quality-out:\n${help_out}")
+    endif()
+endforeach()
+
+set(train_quality "${WORKDIR}/cli_train_quality.json")
 execute_process(
     COMMAND "${TRAIN}" --input "${csv}" --output "${model}"
             --dim 500 --q 4 --r 3 --epochs 3 --quiet
+            --quality-out "${train_quality}"
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
     message(FATAL_ERROR "lookhd_train failed (${rc})")
+endif()
+
+# Structural check only: the sections exist. They are empty (but
+# still present) when the build compiled observability out.
+file(READ "${train_quality}" quality_doc)
+if(NOT quality_doc MATCHES "\"margins\"" OR
+   NOT quality_doc MATCHES "\"confusion\"")
+    message(FATAL_ERROR
+        "train --quality-out lacks margins/confusion:\n${quality_doc}")
 endif()
 
 execute_process(
@@ -36,8 +61,10 @@ if(NOT info_out MATCHES "dimensionality D +500")
     message(FATAL_ERROR "lookhd_info did not report D=500:\n${info_out}")
 endif()
 
+set(pred_quality "${WORKDIR}/cli_pred_quality.json")
 execute_process(
     COMMAND "${PREDICT}" --model "${model}" --input "${csv}"
+            --quality-out "${pred_quality}"
     OUTPUT_VARIABLE pred_out ERROR_VARIABLE pred_err
     RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
@@ -46,6 +73,12 @@ endif()
 # Perfectly separable data: the tool must report 100% on stderr.
 if(NOT pred_err MATCHES "accuracy: 100")
     message(FATAL_ERROR "unexpected accuracy report: ${pred_err}")
+endif()
+file(READ "${pred_quality}" quality_doc)
+if(NOT quality_doc MATCHES "\"margins\"" OR
+   NOT quality_doc MATCHES "\"confusion\"")
+    message(FATAL_ERROR
+        "predict --quality-out lacks margins/confusion:\n${quality_doc}")
 endif()
 
 # Error paths: bad model file must fail cleanly.

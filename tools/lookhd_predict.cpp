@@ -6,13 +6,16 @@
  *   lookhd_predict --model model.bin --input data.csv
  *                  [--label-first] [--skip-rows N] [--quiet]
  *                  [--metrics-out metrics.json]
+ *                  [--quality-out quality.json]
  *                  [--trace-out trace.json]
  *
  * Prints one predicted class index per input row. When the CSV
  * carries labels (it must, structurally), accuracy and macro-F1 are
  * reported on stderr so stdout stays machine-readable. --metrics-out
  * and --trace-out dump the obs metric registry / Chrome trace of the
- * run, as in lookhd_train.
+ * run, as in lookhd_train; --quality-out dumps the quality telemetry
+ * (per-class confusion counters + similarity-margin histograms of
+ * this run's predictions; empty under -DLOOKHD_OBS=OFF).
  */
 
 #include <cstdio>
@@ -21,8 +24,29 @@
 #include "cli.hpp"
 #include "data/csv.hpp"
 #include "data/metrics.hpp"
+#include "hdc/similarity.hpp"
 #include "lookhd/serialize.hpp"
 #include "obs/obs.hpp"
+
+namespace {
+
+constexpr const char *kUsage =
+    "usage: lookhd_predict --model model.bin --input data.csv\n"
+    "                      [--label-first] [--skip-rows N] [--quiet]\n"
+    "                      [--metrics-out metrics.json]\n"
+    "                      [--quality-out quality.json]\n"
+    "                      [--trace-out trace.json]\n"
+    "\n"
+    "Prints one predicted class index per row; accuracy/macro-F1 go\n"
+    "to stderr.\n"
+    "  --metrics-out FILE  dump the obs metric registry as JSON\n"
+    "  --quality-out FILE  dump quality telemetry (confusion\n"
+    "                      counters + margin histograms) as JSON;\n"
+    "                      sections are empty when the build has\n"
+    "                      observability compiled out\n"
+    "  --trace-out FILE    record spans, write a Chrome trace\n";
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -30,7 +54,11 @@ main(int argc, char **argv)
     using namespace lookhd;
     try {
         const tools::Args args(argc, argv,
-                               {"label-first", "quiet"});
+                               {"label-first", "quiet", "help"});
+        if (args.has("help")) {
+            std::printf("%s", kUsage);
+            return 0;
+        }
 
         const std::string trace_out = args.get("trace-out", "");
         if (!trace_out.empty())
@@ -52,7 +80,9 @@ main(int argc, char **argv)
             std::max(ds.numClasses(), std::size_t{1}));
         bool labels_usable = true;
         for (std::size_t i = 0; i < ds.size(); ++i) {
-            const std::size_t pred = clf.predict(ds.row(i));
+            const std::vector<double> scores = clf.scores(ds.row(i));
+            const std::size_t pred = hdc::argmax(scores);
+            LOOKHD_QUALITY_OUTCOME("predict", ds.label(i), scores);
             std::printf("%zu\n", pred);
             if (pred < cm.numClasses())
                 cm.add(ds.label(i), pred);
@@ -73,6 +103,13 @@ main(int argc, char **argv)
             if (!out)
                 throw std::runtime_error("cannot write " + metrics_out);
             out << obs::MetricRegistry::global().toJson() << "\n";
+        }
+        const std::string quality_out = args.get("quality-out", "");
+        if (!quality_out.empty()) {
+            std::ofstream out(quality_out);
+            if (!out)
+                throw std::runtime_error("cannot write " + quality_out);
+            out << obs::QualityTelemetry::global().toJson() << "\n";
         }
         if (!trace_out.empty() &&
             !obs::writeChromeTraceFile(trace_out))

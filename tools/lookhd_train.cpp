@@ -9,10 +9,14 @@
  *                [--seed 42] [--test-fraction 0.2]
  *                [--linear] [--per-feature] [--no-compress]
  *                [--label-first] [--skip-rows N] [--quiet]
- *                [--metrics-out metrics.json] [--trace-out trace.json]
+ *                [--metrics-out metrics.json]
+ *                [--quality-out quality.json]
+ *                [--trace-out trace.json]
  *
  * --metrics-out dumps the obs metric registry (counters, gauges,
- * latency histograms) as JSON after training; --trace-out records
+ * latency histograms) as JSON after training; --quality-out dumps
+ * the quality telemetry (held-out confusion counters + margin
+ * histograms; empty under -DLOOKHD_OBS=OFF); --trace-out records
  * trace spans during the run and writes a Chrome trace_event file
  * viewable in about:tracing / Perfetto.
  *
@@ -27,8 +31,31 @@
 #include "cli.hpp"
 #include "data/csv.hpp"
 #include "data/metrics.hpp"
+#include "hdc/similarity.hpp"
 #include "lookhd/serialize.hpp"
 #include "obs/obs.hpp"
+
+namespace {
+
+constexpr const char *kUsage =
+    "usage: lookhd_train --input data.csv --output model.bin\n"
+    "                    [--dim 2000] [--q 4] [--r 5] [--epochs 10]\n"
+    "                    [--seed 42] [--test-fraction 0.2]\n"
+    "                    [--linear] [--per-feature] [--no-compress]\n"
+    "                    [--label-first] [--skip-rows N] [--quiet]\n"
+    "                    [--metrics-out metrics.json]\n"
+    "                    [--quality-out quality.json]\n"
+    "                    [--trace-out trace.json]\n"
+    "\n"
+    "Trains a LookHD classifier on the CSV and writes the model.\n"
+    "  --metrics-out FILE  dump the obs metric registry as JSON\n"
+    "  --quality-out FILE  dump quality telemetry (held-out\n"
+    "                      confusion counters + margin histograms)\n"
+    "                      as JSON; sections are empty when the\n"
+    "                      build has observability compiled out\n"
+    "  --trace-out FILE    record spans, write a Chrome trace\n";
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -38,7 +65,11 @@ main(int argc, char **argv)
         const tools::Args args(
             argc, argv,
             {"linear", "per-feature", "no-compress", "label-first",
-             "quiet"});
+             "quiet", "help"});
+        if (args.has("help")) {
+            std::printf("%s", kUsage);
+            return 0;
+        }
 
         const std::string trace_out = args.get("trace-out", "");
         if (!trace_out.empty())
@@ -70,21 +101,33 @@ main(int argc, char **argv)
             args.getDouble("test-fraction", 0.2);
         util::Rng split_rng(cfg.seed ^ 0x5eedULL);
 
+        const std::string quality_out = args.get("quality-out", "");
+
         Classifier clf(cfg);
         if (test_fraction > 0.0 && test_fraction < 1.0 &&
             full.size() >= 10) {
             const auto [train, test] =
                 full.split(1.0 - test_fraction, split_rng);
             clf.fit(train);
-            if (!args.has("quiet")) {
-                const auto cm = data::confusionOf(
-                    test, [&](auto row) { return clf.predict(row); });
-                std::printf("train: %zu points, test: %zu points\n",
-                            train.size(), test.size());
-                std::printf("test accuracy: %.2f%%  macro-F1: %.3f\n",
-                            100.0 * cm.accuracy(), cm.macroF1());
-                if (full.numClasses() <= 16)
-                    std::printf("%s", cm.render().c_str());
+            if (!args.has("quiet") || !quality_out.empty()) {
+                data::ConfusionMatrix cm(test.numClasses());
+                for (std::size_t i = 0; i < test.size(); ++i) {
+                    const std::vector<double> scores =
+                        clf.scores(test.row(i));
+                    LOOKHD_QUALITY_OUTCOME("train.test",
+                                           test.label(i), scores);
+                    cm.add(test.label(i), hdc::argmax(scores));
+                }
+                if (!args.has("quiet")) {
+                    std::printf("train: %zu points, test: %zu "
+                                "points\n",
+                                train.size(), test.size());
+                    std::printf("test accuracy: %.2f%%  macro-F1: "
+                                "%.3f\n",
+                                100.0 * cm.accuracy(), cm.macroF1());
+                    if (full.numClasses() <= 16)
+                        std::printf("%s", cm.render().c_str());
+                }
             }
         } else {
             clf.fit(full);
@@ -107,6 +150,12 @@ main(int argc, char **argv)
             if (!out)
                 throw std::runtime_error("cannot write " + metrics_out);
             out << obs::MetricRegistry::global().toJson() << "\n";
+        }
+        if (!quality_out.empty()) {
+            std::ofstream out(quality_out);
+            if (!out)
+                throw std::runtime_error("cannot write " + quality_out);
+            out << obs::QualityTelemetry::global().toJson() << "\n";
         }
         if (!trace_out.empty() &&
             !obs::writeChromeTraceFile(trace_out))

@@ -2,10 +2,13 @@
 """Schema check for the BENCH_*.json files the bench binaries emit.
 
 Every bench links bench/common.hpp's BenchReporter, which writes one
-`BENCH_<name>.json` per run (schema `lookhd-bench-v1`). Downstream
-perf tooling diffs those files across commits, so CI validates that
-the schema never drifts: required keys present, types right, and the
-`name` field consistent with the filename.
+`BENCH_<name>.json` per run (schema `lookhd-bench-v2`). Downstream
+perf tooling (tools/bench_compare.py) diffs those files across
+commits, so CI validates that the schema never drifts: required keys
+present, types right, the `name` field consistent with the filename,
+and the v2 `quality` / `perf_counters` sections well-formed. Files
+still claiming the retired `lookhd-bench-v1` schema are rejected -
+they predate quality telemetry and must be regenerated.
 
 Usage:
     validate_bench_json.py FILE_OR_DIR [FILE_OR_DIR ...]
@@ -24,7 +27,8 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMA = "lookhd-bench-v1"
+SCHEMA = "lookhd-bench-v2"
+RETIRED_SCHEMAS = ("lookhd-bench-v1",)
 
 # Top-level key -> required JSON type.
 TOP_LEVEL = {
@@ -36,6 +40,8 @@ TOP_LEVEL = {
     "metrics": dict,
     "registry": dict,
     "span_rollup": list,
+    "quality": dict,
+    "perf_counters": dict,
 }
 
 REGISTRY_SECTIONS = ("counters", "gauges", "latency", "labels")
@@ -50,6 +56,14 @@ SPAN_FIELDS = {
 
 LATENCY_FIELDS = ("count", "min_ns", "max_ns", "mean_ns", "p50_ns",
                   "p90_ns", "p99_ns")
+
+MARGIN_FIELDS = ("count", "negatives", "mean", "min", "max",
+                 "bucket_edges", "buckets")
+
+CONFUSION_FIELDS = ("classes", "total", "correct", "accuracy",
+                    "counts")
+
+PERF_SPAN_FIELDS = ("name", "samples")
 
 
 def check_file(path: Path) -> list[str]:
@@ -72,7 +86,10 @@ def check_file(path: Path) -> list[str]:
             bad(f"'{key}' must be {kind.__name__}, "
                 f"got {type(doc[key]).__name__}")
 
-    if doc.get("schema") not in (None, SCHEMA):
+    if doc.get("schema") in RETIRED_SCHEMAS:
+        bad(f"schema '{doc['schema']}' is retired; regenerate with a "
+            f"'{SCHEMA}' emitter (it lacks quality/perf sections)")
+    elif doc.get("schema") not in (None, SCHEMA):
         bad(f"schema is '{doc['schema']}', expected '{SCHEMA}'")
 
     name = doc.get("name")
@@ -117,6 +134,71 @@ def check_file(path: Path) -> list[str]:
                 elif not isinstance(span[field], kind):
                     bad(f"span_rollup[{i}].{field} has wrong type "
                         f"{type(span[field]).__name__}")
+
+    # v2 quality section: margin histograms + confusion counters.
+    # Empty sub-objects are fine (OBS=OFF builds emit them empty).
+    quality = doc.get("quality")
+    if isinstance(quality, dict):
+        for section in ("margins", "confusion"):
+            if not isinstance(quality.get(section), dict):
+                bad(f"quality.{section} missing or not an object")
+        margins = quality.get("margins")
+        if isinstance(margins, dict):
+            for mname, hist in margins.items():
+                if not isinstance(hist, dict):
+                    bad(f"quality.margins.{mname} must be an object")
+                    continue
+                for field in MARGIN_FIELDS:
+                    if field not in hist:
+                        bad(f"quality.margins.{mname} missing "
+                            f"'{field}'")
+                edges = hist.get("bucket_edges")
+                buckets = hist.get("buckets")
+                if isinstance(edges, list) and \
+                        isinstance(buckets, list) and \
+                        len(buckets) != len(edges) + 1:
+                    bad(f"quality.margins.{mname}: {len(buckets)} "
+                        f"buckets but {len(edges)} edges (want "
+                        f"edges + 1)")
+        confusion = quality.get("confusion")
+        if isinstance(confusion, dict):
+            for cname, cm in confusion.items():
+                if not isinstance(cm, dict):
+                    bad(f"quality.confusion.{cname} must be an object")
+                    continue
+                for field in CONFUSION_FIELDS:
+                    if field not in cm:
+                        bad(f"quality.confusion.{cname} missing "
+                            f"'{field}'")
+                counts = cm.get("counts")
+                classes = cm.get("classes")
+                if isinstance(counts, list) and \
+                        isinstance(classes, int) and \
+                        len(counts) != classes:
+                    bad(f"quality.confusion.{cname}: {len(counts)} "
+                        f"count rows but {classes} classes")
+
+    # v2 perf_counters section: absent counters are the common case
+    # (non-Linux, perf_event_paranoid), so only shape is checked.
+    perf = doc.get("perf_counters")
+    if isinstance(perf, dict):
+        for field, kind in (("requested", bool), ("available", bool),
+                            ("spans", list)):
+            if field not in perf:
+                bad(f"perf_counters missing '{field}'")
+            elif not isinstance(perf[field], kind):
+                bad(f"perf_counters.{field} must be "
+                    f"{kind.__name__}")
+        spans = perf.get("spans")
+        if isinstance(spans, list):
+            for i, span in enumerate(spans):
+                if not isinstance(span, dict):
+                    bad(f"perf_counters.spans[{i}] must be an object")
+                    continue
+                for field in PERF_SPAN_FIELDS:
+                    if field not in span:
+                        bad(f"perf_counters.spans[{i}] missing "
+                            f"'{field}'")
 
     return problems
 
