@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_all"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/lint_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

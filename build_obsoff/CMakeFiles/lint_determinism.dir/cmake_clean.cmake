@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lint_determinism"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/lint_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build_obsoff
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lint.determinism "/root/.pyenv/shims/python3" "/root/repo/tools/lint_determinism.py")
+set_tests_properties(lint.determinism PROPERTIES  WORKING_DIRECTORY "/root/repo" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;112;add_test;/root/repo/CMakeLists.txt;0;")
+subdirs("src")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")
+subdirs("tools")

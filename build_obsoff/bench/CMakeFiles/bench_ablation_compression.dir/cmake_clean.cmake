@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compression.dir/bench_ablation_compression.cpp.o"
+  "CMakeFiles/bench_ablation_compression.dir/bench_ablation_compression.cpp.o.d"
+  "bench_ablation_compression"
+  "bench_ablation_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

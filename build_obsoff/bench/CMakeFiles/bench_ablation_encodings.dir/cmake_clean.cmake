@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_encodings.dir/bench_ablation_encodings.cpp.o"
+  "CMakeFiles/bench_ablation_encodings.dir/bench_ablation_encodings.cpp.o.d"
+  "bench_ablation_encodings"
+  "bench_ablation_encodings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_training.dir/bench_ablation_training.cpp.o"
+  "CMakeFiles/bench_ablation_training.dir/bench_ablation_training.cpp.o.d"
+  "bench_ablation_training"
+  "bench_ablation_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

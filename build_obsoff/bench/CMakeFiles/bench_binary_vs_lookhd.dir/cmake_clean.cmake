@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_binary_vs_lookhd.dir/bench_binary_vs_lookhd.cpp.o"
+  "CMakeFiles/bench_binary_vs_lookhd.dir/bench_binary_vs_lookhd.cpp.o.d"
+  "bench_binary_vs_lookhd"
+  "bench_binary_vs_lookhd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binary_vs_lookhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

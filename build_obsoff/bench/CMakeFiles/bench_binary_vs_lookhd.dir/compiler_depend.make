@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_binary_vs_lookhd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_kernels.dir/bench_cpu_kernels.cpp.o"
+  "CMakeFiles/bench_cpu_kernels.dir/bench_cpu_kernels.cpp.o.d"
+  "bench_cpu_kernels"
+  "bench_cpu_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

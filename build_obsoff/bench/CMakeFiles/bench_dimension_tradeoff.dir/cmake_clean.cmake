@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dimension_tradeoff.dir/bench_dimension_tradeoff.cpp.o"
+  "CMakeFiles/bench_dimension_tradeoff.dir/bench_dimension_tradeoff.cpp.o.d"
+  "bench_dimension_tradeoff"
+  "bench_dimension_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dimension_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

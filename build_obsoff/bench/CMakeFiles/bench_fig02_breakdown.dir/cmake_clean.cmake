@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_breakdown.dir/bench_fig02_breakdown.cpp.o"
+  "CMakeFiles/bench_fig02_breakdown.dir/bench_fig02_breakdown.cpp.o.d"
+  "bench_fig02_breakdown"
+  "bench_fig02_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

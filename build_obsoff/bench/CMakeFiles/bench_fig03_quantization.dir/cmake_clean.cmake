@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_quantization.dir/bench_fig03_quantization.cpp.o"
+  "CMakeFiles/bench_fig03_quantization.dir/bench_fig03_quantization.cpp.o.d"
+  "bench_fig03_quantization"
+  "bench_fig03_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

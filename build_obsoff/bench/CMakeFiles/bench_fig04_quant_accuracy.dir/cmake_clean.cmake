@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_quant_accuracy.dir/bench_fig04_quant_accuracy.cpp.o"
+  "CMakeFiles/bench_fig04_quant_accuracy.dir/bench_fig04_quant_accuracy.cpp.o.d"
+  "bench_fig04_quant_accuracy"
+  "bench_fig04_quant_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_quant_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

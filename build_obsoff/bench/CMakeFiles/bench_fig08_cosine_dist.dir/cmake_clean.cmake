@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_cosine_dist.dir/bench_fig08_cosine_dist.cpp.o"
+  "CMakeFiles/bench_fig08_cosine_dist.dir/bench_fig08_cosine_dist.cpp.o.d"
+  "bench_fig08_cosine_dist"
+  "bench_fig08_cosine_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_cosine_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

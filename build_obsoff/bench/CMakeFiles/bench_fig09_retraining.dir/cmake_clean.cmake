@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_retraining.dir/bench_fig09_retraining.cpp.o"
+  "CMakeFiles/bench_fig09_retraining.dir/bench_fig09_retraining.cpp.o.d"
+  "bench_fig09_retraining"
+  "bench_fig09_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_chunk_sweep.dir/bench_fig12_chunk_sweep.cpp.o"
+  "CMakeFiles/bench_fig12_chunk_sweep.dir/bench_fig12_chunk_sweep.cpp.o.d"
+  "bench_fig12_chunk_sweep"
+  "bench_fig12_chunk_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_chunk_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_train_efficiency.dir/bench_fig13_train_efficiency.cpp.o"
+  "CMakeFiles/bench_fig13_train_efficiency.dir/bench_fig13_train_efficiency.cpp.o.d"
+  "bench_fig13_train_efficiency"
+  "bench_fig13_train_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_train_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

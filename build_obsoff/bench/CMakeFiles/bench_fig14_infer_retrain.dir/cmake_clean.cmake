@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_infer_retrain.dir/bench_fig14_infer_retrain.cpp.o"
+  "CMakeFiles/bench_fig14_infer_retrain.dir/bench_fig14_infer_retrain.cpp.o.d"
+  "bench_fig14_infer_retrain"
+  "bench_fig14_infer_retrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_infer_retrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_resources.dir/bench_fig16_resources.cpp.o"
+  "CMakeFiles/bench_fig16_resources.dir/bench_fig16_resources.cpp.o.d"
+  "bench_fig16_resources"
+  "bench_fig16_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grand_comparison.dir/bench_grand_comparison.cpp.o"
+  "CMakeFiles/bench_grand_comparison.dir/bench_grand_comparison.cpp.o.d"
+  "bench_grand_comparison"
+  "bench_grand_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grand_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

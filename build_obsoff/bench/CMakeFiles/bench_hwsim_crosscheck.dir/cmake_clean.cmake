@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hwsim_crosscheck.dir/bench_hwsim_crosscheck.cpp.o"
+  "CMakeFiles/bench_hwsim_crosscheck.dir/bench_hwsim_crosscheck.cpp.o.d"
+  "bench_hwsim_crosscheck"
+  "bench_hwsim_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hwsim_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

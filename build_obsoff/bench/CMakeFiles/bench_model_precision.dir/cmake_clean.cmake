@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_precision.dir/bench_model_precision.cpp.o"
+  "CMakeFiles/bench_model_precision.dir/bench_model_precision.cpp.o.d"
+  "bench_model_precision"
+  "bench_model_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noise_robustness.dir/bench_noise_robustness.cpp.o"
+  "CMakeFiles/bench_noise_robustness.dir/bench_noise_robustness.cpp.o.d"
+  "bench_noise_robustness"
+  "bench_noise_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noise_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

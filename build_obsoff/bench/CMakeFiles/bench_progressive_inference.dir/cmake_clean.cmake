@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_progressive_inference.dir/bench_progressive_inference.cpp.o"
+  "CMakeFiles/bench_progressive_inference.dir/bench_progressive_inference.cpp.o.d"
+  "bench_progressive_inference"
+  "bench_progressive_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_progressive_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_progressive_inference.
+# This may be replaced when dependencies are built.

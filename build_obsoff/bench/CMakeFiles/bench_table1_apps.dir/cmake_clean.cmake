@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_apps.dir/bench_table1_apps.cpp.o"
+  "CMakeFiles/bench_table1_apps.dir/bench_table1_apps.cpp.o.d"
+  "bench_table1_apps"
+  "bench_table1_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

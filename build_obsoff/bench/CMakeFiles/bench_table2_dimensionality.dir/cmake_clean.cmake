@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dimensionality.dir/bench_table2_dimensionality.cpp.o"
+  "CMakeFiles/bench_table2_dimensionality.dir/bench_table2_dimensionality.cpp.o.d"
+  "bench_table2_dimensionality"
+  "bench_table2_dimensionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_gpu.dir/bench_table3_gpu.cpp.o"
+  "CMakeFiles/bench_table3_gpu.dir/bench_table3_gpu.cpp.o.d"
+  "bench_table3_gpu"
+  "bench_table3_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

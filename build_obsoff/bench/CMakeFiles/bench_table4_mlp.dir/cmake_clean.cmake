@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_mlp.dir/bench_table4_mlp.cpp.o"
+  "CMakeFiles/bench_table4_mlp.dir/bench_table4_mlp.cpp.o.d"
+  "bench_table4_mlp"
+  "bench_table4_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build_obsoff/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench.smoke_fig02 "/root/repo/build_obsoff/bench/bench_fig02_breakdown" "--quick" "--out-dir" "/root/repo/build_obsoff/bench_json")
+set_tests_properties(bench.smoke_fig02 PROPERTIES  FIXTURES_SETUP "bench_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.smoke_fig04 "/root/repo/build_obsoff/bench/bench_fig04_quant_accuracy" "--quick" "--out-dir" "/root/repo/build_obsoff/bench_json")
+set_tests_properties(bench.smoke_fig04 PROPERTIES  FIXTURES_SETUP "bench_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(lint.bench_json "/root/.pyenv/shims/python3" "/root/repo/tools/validate_bench_json.py" "/root/repo/build_obsoff/bench_json")
+set_tests_properties(lint.bench_json PROPERTIES  FIXTURES_REQUIRED "bench_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.regression "/root/.pyenv/shims/python3" "/root/repo/tools/bench_compare.py" "/root/repo/bench/baselines" "/root/repo/build_obsoff/bench_json" "--thresholds" "/root/repo/bench/baselines/thresholds.json" "--md-out" "/root/repo/build_obsoff/bench_regression.md")
+set_tests_properties(bench.regression PROPERTIES  FIXTURES_REQUIRED "bench_json" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.compare_selftest "/root/.pyenv/shims/python3" "/root/repo/tools/test_bench_compare.py")
+set_tests_properties(bench.compare_selftest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_activity_recognition.dir/activity_recognition.cpp.o"
+  "CMakeFiles/example_activity_recognition.dir/activity_recognition.cpp.o.d"
+  "example_activity_recognition"
+  "example_activity_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_activity_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

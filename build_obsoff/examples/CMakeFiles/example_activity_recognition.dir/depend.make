@@ -1,0 +1,2 @@
+# Empty dependencies file for example_activity_recognition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_clustering_demo.dir/clustering_demo.cpp.o"
+  "CMakeFiles/example_clustering_demo.dir/clustering_demo.cpp.o.d"
+  "example_clustering_demo"
+  "example_clustering_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_clustering_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

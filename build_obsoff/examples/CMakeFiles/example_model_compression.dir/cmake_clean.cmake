@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_compression.dir/model_compression.cpp.o"
+  "CMakeFiles/example_model_compression.dir/model_compression.cpp.o.d"
+  "example_model_compression"
+  "example_model_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

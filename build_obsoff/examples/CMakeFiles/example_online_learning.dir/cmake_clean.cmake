@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_online_learning.dir/online_learning.cpp.o"
+  "CMakeFiles/example_online_learning.dir/online_learning.cpp.o.d"
+  "example_online_learning"
+  "example_online_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_online_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

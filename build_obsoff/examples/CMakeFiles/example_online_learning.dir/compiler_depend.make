@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_online_learning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sequence_classification.dir/sequence_classification.cpp.o"
+  "CMakeFiles/example_sequence_classification.dir/sequence_classification.cpp.o.d"
+  "example_sequence_classification"
+  "example_sequence_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sequence_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_sequence_classification.
+# This may be replaced when dependencies are built.

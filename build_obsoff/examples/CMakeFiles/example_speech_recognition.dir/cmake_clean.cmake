@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_speech_recognition.dir/speech_recognition.cpp.o"
+  "CMakeFiles/example_speech_recognition.dir/speech_recognition.cpp.o.d"
+  "example_speech_recognition"
+  "example_speech_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_speech_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/mlp.cpp" "src/CMakeFiles/lookhd.dir/baseline/mlp.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/baseline/mlp.cpp.o.d"
+  "/root/repo/src/baseline/mlp_fpga_model.cpp" "src/CMakeFiles/lookhd.dir/baseline/mlp_fpga_model.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/baseline/mlp_fpga_model.cpp.o.d"
+  "/root/repo/src/data/apps.cpp" "src/CMakeFiles/lookhd.dir/data/apps.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/data/apps.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/CMakeFiles/lookhd.dir/data/csv.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/data/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/lookhd.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/metrics.cpp" "src/CMakeFiles/lookhd.dir/data/metrics.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/data/metrics.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/lookhd.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/hdc/binary_model.cpp" "src/CMakeFiles/lookhd.dir/hdc/binary_model.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/binary_model.cpp.o.d"
+  "/root/repo/src/hdc/bitpack.cpp" "src/CMakeFiles/lookhd.dir/hdc/bitpack.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/bitpack.cpp.o.d"
+  "/root/repo/src/hdc/clustering.cpp" "src/CMakeFiles/lookhd.dir/hdc/clustering.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/clustering.cpp.o.d"
+  "/root/repo/src/hdc/encoder.cpp" "src/CMakeFiles/lookhd.dir/hdc/encoder.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/encoder.cpp.o.d"
+  "/root/repo/src/hdc/hypervector.cpp" "src/CMakeFiles/lookhd.dir/hdc/hypervector.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/hypervector.cpp.o.d"
+  "/root/repo/src/hdc/item_memory.cpp" "src/CMakeFiles/lookhd.dir/hdc/item_memory.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/item_memory.cpp.o.d"
+  "/root/repo/src/hdc/model.cpp" "src/CMakeFiles/lookhd.dir/hdc/model.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/model.cpp.o.d"
+  "/root/repo/src/hdc/ngram_encoder.cpp" "src/CMakeFiles/lookhd.dir/hdc/ngram_encoder.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/ngram_encoder.cpp.o.d"
+  "/root/repo/src/hdc/online_trainer.cpp" "src/CMakeFiles/lookhd.dir/hdc/online_trainer.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/online_trainer.cpp.o.d"
+  "/root/repo/src/hdc/quantized_model.cpp" "src/CMakeFiles/lookhd.dir/hdc/quantized_model.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/quantized_model.cpp.o.d"
+  "/root/repo/src/hdc/record_encoder.cpp" "src/CMakeFiles/lookhd.dir/hdc/record_encoder.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/record_encoder.cpp.o.d"
+  "/root/repo/src/hdc/similarity.cpp" "src/CMakeFiles/lookhd.dir/hdc/similarity.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/similarity.cpp.o.d"
+  "/root/repo/src/hdc/trainer.cpp" "src/CMakeFiles/lookhd.dir/hdc/trainer.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hdc/trainer.cpp.o.d"
+  "/root/repo/src/hw/cpu_model.cpp" "src/CMakeFiles/lookhd.dir/hw/cpu_model.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hw/cpu_model.cpp.o.d"
+  "/root/repo/src/hw/energy.cpp" "src/CMakeFiles/lookhd.dir/hw/energy.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hw/energy.cpp.o.d"
+  "/root/repo/src/hw/fpga_model.cpp" "src/CMakeFiles/lookhd.dir/hw/fpga_model.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hw/fpga_model.cpp.o.d"
+  "/root/repo/src/hw/gpu_model.cpp" "src/CMakeFiles/lookhd.dir/hw/gpu_model.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hw/gpu_model.cpp.o.d"
+  "/root/repo/src/hw/report.cpp" "src/CMakeFiles/lookhd.dir/hw/report.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hw/report.cpp.o.d"
+  "/root/repo/src/hw/resources.cpp" "src/CMakeFiles/lookhd.dir/hw/resources.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hw/resources.cpp.o.d"
+  "/root/repo/src/hwsim/lookhd_sim.cpp" "src/CMakeFiles/lookhd.dir/hwsim/lookhd_sim.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hwsim/lookhd_sim.cpp.o.d"
+  "/root/repo/src/hwsim/pipeline.cpp" "src/CMakeFiles/lookhd.dir/hwsim/pipeline.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/hwsim/pipeline.cpp.o.d"
+  "/root/repo/src/lookhd/chunking.cpp" "src/CMakeFiles/lookhd.dir/lookhd/chunking.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/lookhd/chunking.cpp.o.d"
+  "/root/repo/src/lookhd/classifier.cpp" "src/CMakeFiles/lookhd.dir/lookhd/classifier.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/lookhd/classifier.cpp.o.d"
+  "/root/repo/src/lookhd/codebook.cpp" "src/CMakeFiles/lookhd.dir/lookhd/codebook.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/lookhd/codebook.cpp.o.d"
+  "/root/repo/src/lookhd/compressed_model.cpp" "src/CMakeFiles/lookhd.dir/lookhd/compressed_model.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/lookhd/compressed_model.cpp.o.d"
+  "/root/repo/src/lookhd/counter_trainer.cpp" "src/CMakeFiles/lookhd.dir/lookhd/counter_trainer.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/lookhd/counter_trainer.cpp.o.d"
+  "/root/repo/src/lookhd/lookup_encoder.cpp" "src/CMakeFiles/lookhd.dir/lookhd/lookup_encoder.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/lookhd/lookup_encoder.cpp.o.d"
+  "/root/repo/src/lookhd/lookup_table.cpp" "src/CMakeFiles/lookhd.dir/lookhd/lookup_table.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/lookhd/lookup_table.cpp.o.d"
+  "/root/repo/src/lookhd/retrainer.cpp" "src/CMakeFiles/lookhd.dir/lookhd/retrainer.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/lookhd/retrainer.cpp.o.d"
+  "/root/repo/src/lookhd/serialize.cpp" "src/CMakeFiles/lookhd.dir/lookhd/serialize.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/lookhd/serialize.cpp.o.d"
+  "/root/repo/src/obs/json.cpp" "src/CMakeFiles/lookhd.dir/obs/json.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/obs/json.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/lookhd.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/perfcounters.cpp" "src/CMakeFiles/lookhd.dir/obs/perfcounters.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/obs/perfcounters.cpp.o.d"
+  "/root/repo/src/obs/quality.cpp" "src/CMakeFiles/lookhd.dir/obs/quality.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/obs/quality.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/lookhd.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/obs/trace.cpp.o.d"
+  "/root/repo/src/quant/boundary_quantizer.cpp" "src/CMakeFiles/lookhd.dir/quant/boundary_quantizer.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/quant/boundary_quantizer.cpp.o.d"
+  "/root/repo/src/quant/equalized_quantizer.cpp" "src/CMakeFiles/lookhd.dir/quant/equalized_quantizer.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/quant/equalized_quantizer.cpp.o.d"
+  "/root/repo/src/quant/linear_quantizer.cpp" "src/CMakeFiles/lookhd.dir/quant/linear_quantizer.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/quant/linear_quantizer.cpp.o.d"
+  "/root/repo/src/quant/quantizer.cpp" "src/CMakeFiles/lookhd.dir/quant/quantizer.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/quant/quantizer.cpp.o.d"
+  "/root/repo/src/quant/quantizer_bank.cpp" "src/CMakeFiles/lookhd.dir/quant/quantizer_bank.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/quant/quantizer_bank.cpp.o.d"
+  "/root/repo/src/util/check.cpp" "src/CMakeFiles/lookhd.dir/util/check.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/util/check.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/lookhd.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/lookhd.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/lookhd.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/lookhd.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/lookhd.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/lookhd.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline_hdc.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_baseline_hdc.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_baseline_hdc.cpp.o.d"
+  "/root/repo/tests/test_binary_model.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_binary_model.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_binary_model.cpp.o.d"
+  "/root/repo/tests/test_bitpack.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_bitpack.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_bitpack.cpp.o.d"
+  "/root/repo/tests/test_check.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_check.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_check.cpp.o.d"
+  "/root/repo/tests/test_chunking.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_chunking.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_chunking.cpp.o.d"
+  "/root/repo/tests/test_classifier.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_classifier.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_classifier.cpp.o.d"
+  "/root/repo/tests/test_clustering.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_clustering.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_clustering.cpp.o.d"
+  "/root/repo/tests/test_codebook.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_codebook.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_codebook.cpp.o.d"
+  "/root/repo/tests/test_compressed_model.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_compressed_model.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_compressed_model.cpp.o.d"
+  "/root/repo/tests/test_counter_trainer.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_counter_trainer.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_counter_trainer.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_hw_golden.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_hw_golden.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_hw_golden.cpp.o.d"
+  "/root/repo/tests/test_hw_models.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_hw_models.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_hw_models.cpp.o.d"
+  "/root/repo/tests/test_hw_properties.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_hw_properties.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_hw_properties.cpp.o.d"
+  "/root/repo/tests/test_hwsim.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_hwsim.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_hwsim.cpp.o.d"
+  "/root/repo/tests/test_hypervector.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_hypervector.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_hypervector.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_item_memory.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_item_memory.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_item_memory.cpp.o.d"
+  "/root/repo/tests/test_kitchen_sink.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_kitchen_sink.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_kitchen_sink.cpp.o.d"
+  "/root/repo/tests/test_lookup_encoder.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_lookup_encoder.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_lookup_encoder.cpp.o.d"
+  "/root/repo/tests/test_lookup_table.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_lookup_table.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_lookup_table.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mlp.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_mlp.cpp.o.d"
+  "/root/repo/tests/test_ngram_encoder.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_ngram_encoder.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_ngram_encoder.cpp.o.d"
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_obs.cpp.o.d"
+  "/root/repo/tests/test_obs_off_compile.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_obs_off_compile.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_obs_off_compile.cpp.o.d"
+  "/root/repo/tests/test_obs_overhead.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_obs_overhead.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_obs_overhead.cpp.o.d"
+  "/root/repo/tests/test_online_trainer.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_online_trainer.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_online_trainer.cpp.o.d"
+  "/root/repo/tests/test_perfcounters.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_perfcounters.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_perfcounters.cpp.o.d"
+  "/root/repo/tests/test_progressive.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_progressive.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_progressive.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_quality.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_quality.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_quality.cpp.o.d"
+  "/root/repo/tests/test_quantized_model.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_quantized_model.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_quantized_model.cpp.o.d"
+  "/root/repo/tests/test_quantizer_bank.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_quantizer_bank.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_quantizer_bank.cpp.o.d"
+  "/root/repo/tests/test_quantizers.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_quantizers.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_quantizers.cpp.o.d"
+  "/root/repo/tests/test_record_encoder.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_record_encoder.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_record_encoder.cpp.o.d"
+  "/root/repo/tests/test_retrainer.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_retrainer.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_retrainer.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_synthetic.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_synthetic.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/lookhd_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/lookhd_tests.dir/test_umbrella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_obsoff/src/CMakeFiles/lookhd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookhd_info.dir/lookhd_info.cpp.o"
+  "CMakeFiles/lookhd_info.dir/lookhd_info.cpp.o.d"
+  "lookhd_info"
+  "lookhd_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookhd_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookhd_predict.dir/lookhd_predict.cpp.o"
+  "CMakeFiles/lookhd_predict.dir/lookhd_predict.cpp.o.d"
+  "lookhd_predict"
+  "lookhd_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookhd_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookhd_train.dir/lookhd_train.cpp.o"
+  "CMakeFiles/lookhd_train.dir/lookhd_train.cpp.o.d"
+  "lookhd_train"
+  "lookhd_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookhd_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

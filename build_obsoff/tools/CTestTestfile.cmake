@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build_obsoff/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_round_trip "/usr/bin/cmake" "-DTRAIN=/root/repo/build_obsoff/tools/lookhd_train" "-DPREDICT=/root/repo/build_obsoff/tools/lookhd_predict" "-DINFO=/root/repo/build_obsoff/tools/lookhd_info" "-DWORKDIR=/root/repo/build_obsoff/tools" "-P" "/root/repo/tools/cli_test.cmake")
+set_tests_properties(cli_round_trip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
