@@ -1,0 +1,340 @@
+#include "obs/eventlog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <exception>
+#include <fstream>
+#include <ostream>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+#include "util/timer.hpp"
+
+namespace lookhd::obs {
+
+namespace {
+
+std::uint64_t
+wallMillisNow()
+{
+    // Wall clock for log stamps only; ordering uses the monotonic
+    // elapsed_ns (src/obs/ is the lint-sanctioned home for this).
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Small, stable per-thread id (first-emit order, not the OS tid). */
+std::uint64_t
+thisThreadId()
+{
+    static std::atomic<std::uint64_t> next{0};
+    thread_local const std::uint64_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+writeEventLine(std::ostream &out, const LogEvent &e)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("ts_ms", e.wallMs);
+    w.kv("elapsed_ns", e.elapsedNs);
+    w.kv("level", logLevelName(e.level));
+    w.kv("event", e.event);
+    w.kv("thread", e.thread);
+    w.key("fields").beginObject();
+    for (const auto &[key, value] : e.fields)
+        w.kv(key, value);
+    w.endObject();
+    w.endObject();
+    out << w.str() << '\n';
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::kDebug:
+        return "debug";
+    case LogLevel::kInfo:
+        return "info";
+    case LogLevel::kWarn:
+        return "warn";
+    case LogLevel::kError:
+        return "error";
+    }
+    return "unknown";
+}
+
+/**
+ * Fixed-capacity overwrite-oldest buffer. Each writer thread owns
+ * one ring; the ring mutex is uncontended except while a flush is
+ * draining it.
+ */
+struct EventLog::Ring
+{
+    explicit Ring(std::size_t capacity) : events(capacity) {}
+
+    std::mutex mutex;
+    std::vector<LogEvent> events; // capacity slots, circular
+    std::size_t head = 0;         // next write position
+    std::size_t size = 0;
+    std::uint64_t droppedSinceFlush = 0;
+    std::uint64_t threadId = 0;
+
+    void
+    push(LogEvent &&e)
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        events[head] = std::move(e);
+        head = (head + 1) % events.size();
+        if (size < events.size())
+            ++size;
+        else
+            ++droppedSinceFlush;
+    }
+};
+
+namespace {
+
+std::uint64_t
+nextLogId()
+{
+    static std::atomic<std::uint64_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+EventLog::EventLog(std::size_t ringCapacity)
+    : id_(nextLogId()),
+      ringCapacity_(ringCapacity == 0 ? 1 : ringCapacity)
+{
+}
+
+EventLog::~EventLog() = default;
+
+EventLog &
+EventLog::global()
+{
+    // Leaked like MetricRegistry::global(): emit sites cache ring
+    // pointers in thread_local storage that may outlive any
+    // destruction order.
+    static auto *log = new EventLog;
+    return *log;
+}
+
+void
+EventLog::setMinLevel(LogLevel level)
+{
+    minLevel_.store(static_cast<int>(level),
+                    std::memory_order_relaxed);
+}
+
+LogLevel
+EventLog::minLevel() const
+{
+    return static_cast<LogLevel>(
+        minLevel_.load(std::memory_order_relaxed));
+}
+
+EventLog::Ring &
+EventLog::ringForThisThread()
+{
+    // One ring per (log instance, thread). The thread_local cache
+    // makes the steady-state lookup a hash hit; rings themselves are
+    // owned by the log so flush() can reach all of them. Keyed by
+    // the process-unique id_ so a destroyed instance's entry is
+    // merely stale, never a dangling lookup hit.
+    thread_local std::unordered_map<std::uint64_t, Ring *> cache;
+    const auto it = cache.find(id_);
+    if (it != cache.end())
+        return *it->second;
+    const std::lock_guard<std::mutex> lock(ringsMutex_);
+    rings_.push_back(std::make_unique<Ring>(ringCapacity_));
+    Ring &ring = *rings_.back();
+    ring.threadId = thisThreadId();
+    cache[id_] = &ring;
+    return ring;
+}
+
+void
+EventLog::emit(LogLevel level, std::string_view event,
+               std::initializer_list<
+                   std::pair<std::string_view, std::string>>
+                   fields)
+{
+    if (static_cast<int>(level) <
+        minLevel_.load(std::memory_order_relaxed))
+        return;
+    Ring &ring = ringForThisThread();
+    LogEvent e;
+    e.wallMs = wallMillisNow();
+    e.elapsedNs = util::Timer::processNanoseconds();
+    e.level = level;
+    e.event = std::string(event);
+    e.thread = ring.threadId;
+    e.fields.reserve(fields.size());
+    for (const auto &[key, value] : fields)
+        e.fields.emplace_back(std::string(key), value);
+    ring.push(std::move(e));
+    emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+EventLog::flush(std::ostream &out)
+{
+    std::vector<LogEvent> drained;
+    {
+        const std::lock_guard<std::mutex> lock(ringsMutex_);
+        for (const auto &ring : rings_) {
+            const std::lock_guard<std::mutex> ringLock(ring->mutex);
+            if (ring->droppedSinceFlush > 0) {
+                LogEvent drop;
+                drop.wallMs = wallMillisNow();
+                drop.elapsedNs = 0; // sorts before what survived
+                drop.level = LogLevel::kWarn;
+                drop.event = "eventlog.dropped";
+                drop.thread = ring->threadId;
+                drop.fields.emplace_back(
+                    "dropped",
+                    std::to_string(ring->droppedSinceFlush));
+                drained.push_back(std::move(drop));
+                dropped_.fetch_add(ring->droppedSinceFlush,
+                                   std::memory_order_relaxed);
+                ring->droppedSinceFlush = 0;
+            }
+            const std::size_t cap = ring->events.size();
+            const std::size_t oldest =
+                (ring->head + cap - ring->size) % cap;
+            for (std::size_t i = 0; i < ring->size; ++i)
+                drained.push_back(std::move(
+                    ring->events[(oldest + i) % cap]));
+            ring->size = 0;
+            // head stays: positions are relative to size.
+        }
+    }
+    std::stable_sort(drained.begin(), drained.end(),
+                     [](const LogEvent &a, const LogEvent &b) {
+                         return a.elapsedNs < b.elapsedNs;
+                     });
+    for (const LogEvent &e : drained)
+        writeEventLine(out, e);
+}
+
+bool
+EventLog::flushToFile(const std::string &path)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        return false;
+    flush(out);
+    out.flush();
+    return out.good();
+}
+
+std::uint64_t
+EventLog::totalEmitted() const
+{
+    return emitted_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+EventLog::totalDropped() const
+{
+    // Drops are folded in at flush time; add the not-yet-flushed
+    // remainder so the count is current.
+    std::uint64_t pending = 0;
+    {
+        const std::lock_guard<std::mutex> lock(ringsMutex_);
+        for (const auto &ring : rings_) {
+            const std::lock_guard<std::mutex> ringLock(ring->mutex);
+            pending += ring->droppedSinceFlush;
+        }
+    }
+    return dropped_.load(std::memory_order_relaxed) + pending;
+}
+
+void
+EventLog::reset()
+{
+    const std::lock_guard<std::mutex> lock(ringsMutex_);
+    for (const auto &ring : rings_) {
+        const std::lock_guard<std::mutex> ringLock(ring->mutex);
+        ring->size = 0;
+        ring->droppedSinceFlush = 0;
+    }
+    emitted_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+// --- Crash flush -----------------------------------------------------
+
+namespace {
+
+std::mutex gCrashMutex;
+std::string gCrashPath;                        // guarded by gCrashMutex
+std::terminate_handler gPrevTerminate = nullptr;
+std::atomic<bool> gCrashFlushed{false};
+
+void
+crashFlush(const char *reason)
+{
+    // One shot: a second fault while flushing must not recurse.
+    if (gCrashFlushed.exchange(true))
+        return;
+    std::string path;
+    {
+        const std::lock_guard<std::mutex> lock(gCrashMutex);
+        path = gCrashPath;
+    }
+    if (path.empty())
+        return;
+    EventLog::global().emit(LogLevel::kError, "eventlog.crash",
+                            {{"reason", std::string(reason)}});
+    EventLog::global().flushToFile(path);
+}
+
+[[noreturn]] void
+terminateWithFlush()
+{
+    crashFlush("terminate");
+    if (gPrevTerminate)
+        gPrevTerminate();
+    std::abort();
+}
+
+void
+fatalSignalHandler(int sig)
+{
+    // Best effort, explicitly not async-signal-safe (see header).
+    crashFlush("signal");
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+} // namespace
+
+void
+EventLog::installCrashFlush(const std::string &path)
+{
+    bool firstInstall = false;
+    {
+        const std::lock_guard<std::mutex> lock(gCrashMutex);
+        firstInstall = gCrashPath.empty();
+        gCrashPath = path;
+    }
+    if (!firstInstall)
+        return;
+    gPrevTerminate = std::set_terminate(terminateWithFlush);
+    for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGABRT})
+        std::signal(sig, fatalSignalHandler);
+}
+
+} // namespace lookhd::obs

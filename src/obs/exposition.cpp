@@ -1,0 +1,245 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/quality.hpp"
+
+namespace lookhd::obs {
+
+namespace {
+
+/**
+ * Shortest stable decimal rendering: integers without a fraction,
+ * everything else with six significant digits (matching the ~5%
+ * relative resolution of the log-scale histograms).
+ */
+std::string
+formatValue(double v)
+{
+    char buf[64];
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        v > -1e15 && v < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64,
+                      static_cast<std::int64_t>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    }
+    return buf;
+}
+
+std::string
+formatValue(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+void
+typeLine(std::string &out, const std::string &family,
+         const char *type, std::string_view source)
+{
+    out += "# HELP " + family + " lookhd metric ";
+    // HELP text escapes only backslash and newline.
+    for (const char c : source) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    out += "\n# TYPE " + family + ' ' + type + '\n';
+}
+
+void
+renderHistogram(std::string &out, const std::string &family,
+                std::string_view source, const LatencySnapshot &h)
+{
+    typeLine(out, family, "histogram", source);
+    // Cumulative buckets over the populated range of the log-scale
+    // bins (a subset of buckets plus +Inf is valid exposition and
+    // keeps the scrape compact; 96 mostly-empty bins are not).
+    std::size_t first = h.bucketCounts.size();
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < h.bucketCounts.size(); ++b) {
+        if (h.bucketCounts[b] > 0) {
+            if (first == h.bucketCounts.size())
+                first = b;
+            last = b;
+        }
+    }
+    std::uint64_t cumulative = 0;
+    if (first < h.bucketCounts.size()) {
+        for (std::size_t b = first; b <= last; ++b) {
+            cumulative += h.bucketCounts[b];
+            out += family + "_bucket{le=\"" +
+                   formatValue(h.bucketUpperNs[b]) + "\"} " +
+                   formatValue(cumulative) + '\n';
+        }
+    }
+    out += family + "_bucket{le=\"+Inf\"} " + formatValue(h.count) +
+           '\n';
+    out += family + "_sum " + formatValue(h.sumNs) + '\n';
+    out += family + "_count " + formatValue(h.count) + '\n';
+}
+
+void
+renderQuantiles(std::string &out, const std::string &base,
+                std::string_view source, const LatencySnapshot &h)
+{
+    const std::string family = base + "_quantile_ns";
+    typeLine(out, family, "gauge", source);
+    for (const double q : {0.50, 0.90, 0.99}) {
+        out += family + "{quantile=\"" + formatValue(q) + "\"} " +
+               formatValue(h.percentileNs(q)) + '\n';
+    }
+    typeLine(out, base + "_min_ns", "gauge", source);
+    out += base + "_min_ns " + formatValue(h.minNs) + '\n';
+    typeLine(out, base + "_max_ns", "gauge", source);
+    out += base + "_max_ns " + formatValue(h.maxNs) + '\n';
+}
+
+void
+renderSpanFamily(std::string &out, const std::string &family,
+                 const std::vector<SpanStats> &spans,
+                 std::uint64_t SpanStats::*field)
+{
+    typeLine(out, family, "counter", "span rollup");
+    for (const SpanStats &s : spans) {
+        out += family + "{span=\"" + prometheusEscapeLabel(s.name) +
+               "\",category=\"" + prometheusEscapeLabel(s.category) +
+               "\"} " + formatValue(s.*field) + '\n';
+    }
+}
+
+} // namespace
+
+std::string
+prometheusName(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+prometheusEscapeLabel(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+renderPrometheus(const RegistrySnapshot &snap,
+                 std::string_view prefix)
+{
+    return renderPrometheus(snap, {}, prefix);
+}
+
+std::string
+renderPrometheus(const RegistrySnapshot &snap,
+                 const std::vector<SpanStats> &spans,
+                 std::string_view prefix)
+{
+    const std::string pre = std::string(prefix) + '_';
+    std::string out;
+
+    for (const auto &[name, value] : snap.counters) {
+        const std::string family =
+            pre + prometheusName(name) + "_total";
+        typeLine(out, family, "counter", name);
+        out += family + ' ' + formatValue(value) + '\n';
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        const std::string family = pre + prometheusName(name);
+        typeLine(out, family, "gauge", name);
+        out += family + ' ' + formatValue(value) + '\n';
+    }
+    for (const auto &[name, hist] : snap.latency) {
+        const std::string base = pre + prometheusName(name) + "_ns";
+        renderHistogram(out, base, name, hist);
+        renderQuantiles(out, base, name, hist);
+    }
+
+    if (!spans.empty()) {
+        renderSpanFamily(out, pre + "span_count_total", spans,
+                         &SpanStats::count);
+        renderSpanFamily(out, pre + "span_total_ns_total", spans,
+                         &SpanStats::totalNs);
+        renderSpanFamily(out, pre + "span_self_ns_total", spans,
+                         &SpanStats::selfNs);
+    }
+
+    const std::string info = pre + "build_info";
+    typeLine(out, info, "gauge", "registry labels");
+    out += info;
+    if (!snap.labels.empty()) {
+        out += '{';
+        bool firstLabel = true;
+        for (const auto &[key, value] : snap.labels) {
+            if (!firstLabel)
+                out += ',';
+            firstLabel = false;
+            out += prometheusName(key) + "=\"" +
+                   prometheusEscapeLabel(value) + '"';
+        }
+        out += '}';
+    }
+    out += " 1\n";
+    return out;
+}
+
+void
+writeSnapshotJson(JsonWriter &w, const MetricRegistry &registry)
+{
+    w.beginObject();
+    w.key("registry");
+    registry.writeJson(w);
+    w.key("span_rollup").beginArray();
+    for (const SpanStats &s : spanRollup()) {
+        w.beginObject();
+        w.kv("name", s.name);
+        w.kv("category", s.category);
+        w.kv("count", s.count);
+        w.kv("total_ns", s.totalNs);
+        w.kv("self_ns", s.selfNs);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("quality");
+    QualityTelemetry::global().writeJson(w);
+    w.endObject();
+}
+
+std::string
+snapshotJson(const MetricRegistry &registry)
+{
+    JsonWriter w;
+    writeSnapshotJson(w, registry);
+    return w.str();
+}
+
+} // namespace lookhd::obs

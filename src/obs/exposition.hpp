@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Live exposition of the metric registry: Prometheus text format and
+ * a JSON snapshot document.
+ *
+ * renderPrometheus() turns a RegistrySnapshot (one lock-consistent
+ * copy of every counter/gauge/latency histogram, see
+ * obs/metrics.hpp) into Prometheus text exposition format v0.0.4,
+ * the wire format `lookhd_serve` answers on its /metrics port:
+ *
+ *   - counters  -> `lookhd_<name>_total` (TYPE counter)
+ *   - gauges    -> `lookhd_<name>` (TYPE gauge)
+ *   - latencies -> `lookhd_<name>_ns` histogram (`_bucket{le=...}`
+ *     cumulative over the log-scale bins, `_sum`, `_count`) plus a
+ *     `lookhd_<name>_quantile_ns{quantile="0.5|0.9|0.99"}` gauge
+ *     family with the estimated p50/p90/p99 and `_min_ns`/`_max_ns`
+ *     exact-extrema gauges
+ *   - registry labels -> one `lookhd_build_info{k="v",...} 1` gauge
+ *   - span rollups (optional) -> `lookhd_span_count_total`,
+ *     `lookhd_span_total_ns_total`, `lookhd_span_self_ns_total`
+ *     keyed by {span="name",category="cat"}
+ *
+ * Metric names are sanitized to [a-zA-Z0-9_:] (the registry's
+ * `subsystem.verb.unit` dots become underscores); label values are
+ * escaped per the format spec (backslash, double quote, newline).
+ * Output is deterministic (map order) so it can be golden-tested.
+ *
+ * writeSnapshotJson() is the JSON twin (reusing obs/json.hpp): the
+ * registry plus span rollup and quality telemetry in one document,
+ * served on /metrics.json and consumed by tools/serve_smoke.py to
+ * assemble the serve-smoke bench JSON.
+ */
+
+#ifndef LOOKHD_OBS_EXPOSITION_HPP
+#define LOOKHD_OBS_EXPOSITION_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lookhd::obs {
+
+class JsonWriter;
+
+/**
+ * Sanitize an arbitrary registry metric name into a legal Prometheus
+ * metric name: every character outside [a-zA-Z0-9_:] becomes '_',
+ * and a leading digit gets a '_' prefix.
+ */
+std::string prometheusName(std::string_view name);
+
+/** Escape a label value (backslash, double quote, newline). */
+std::string prometheusEscapeLabel(std::string_view value);
+
+/** Render one registry snapshot; see the file comment for layout. */
+std::string renderPrometheus(const RegistrySnapshot &snap,
+                             std::string_view prefix = "lookhd");
+
+/** renderPrometheus() plus the span-rollup counter families. */
+std::string renderPrometheus(const RegistrySnapshot &snap,
+                             const std::vector<SpanStats> &spans,
+                             std::string_view prefix = "lookhd");
+
+/**
+ * Write the JSON snapshot document
+ * {"registry":{...},"span_rollup":[...],"quality":{...}} for the
+ * given registry plus the global span/quality state.
+ */
+void writeSnapshotJson(JsonWriter &w, const MetricRegistry &registry);
+
+/** writeSnapshotJson() as a standalone document string. */
+std::string snapshotJson(const MetricRegistry &registry);
+
+} // namespace lookhd::obs
+
+#endif // LOOKHD_OBS_EXPOSITION_HPP

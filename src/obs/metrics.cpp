@@ -65,18 +65,56 @@ LatencyHistogram::meanNs() const
 double
 LatencyHistogram::percentileNs(double p) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (count_ == 0)
-        return 0.0;
-    const double clamped_p = std::clamp(p, 0.0, 1.0);
-    const auto target = static_cast<double>(count_) * clamped_p;
-    double cumulative = 0.0;
-    for (std::size_t b = 0; b < hist_.bins(); ++b) {
-        cumulative += static_cast<double>(hist_.count(b));
-        if (cumulative >= target && hist_.count(b) > 0)
-            return std::pow(10.0, hist_.binCenter(b));
+    return snapshot().percentileNs(p);
+}
+
+LatencySnapshot
+LatencyHistogram::snapshot() const
+{
+    LatencySnapshot snap;
+    snap.bucketUpperNs.reserve(kLogBins);
+    snap.bucketCounts.reserve(kLogBins);
+    constexpr double kBinWidth = (kLogHi - kLogLo) / kLogBins;
+    for (std::size_t b = 0; b < kLogBins; ++b) {
+        snap.bucketUpperNs.push_back(
+            std::pow(10.0, kLogLo + kBinWidth *
+                               static_cast<double>(b + 1)));
     }
-    return static_cast<double>(maxNs_);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    snap.count = count_;
+    snap.minNs = minNs_;
+    snap.maxNs = maxNs_;
+    snap.sumNs = sumNs_;
+    for (std::size_t b = 0; b < hist_.bins(); ++b)
+        snap.bucketCounts.push_back(hist_.count(b));
+    return snap;
+}
+
+double
+LatencySnapshot::meanNs() const
+{
+    return count == 0 ? 0.0 : sumNs / static_cast<double>(count);
+}
+
+double
+LatencySnapshot::percentileNs(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    constexpr double kBinWidth = (kLogHi - kLogLo) / kLogBins;
+    const double clamped_p = std::clamp(p, 0.0, 1.0);
+    const auto target = static_cast<double>(count) * clamped_p;
+    double cumulative = 0.0;
+    for (std::size_t b = 0; b < bucketCounts.size(); ++b) {
+        cumulative += static_cast<double>(bucketCounts[b]);
+        if (cumulative >= target && bucketCounts[b] > 0) {
+            // Same estimate as the bins' center (pre-snapshot
+            // behaviour): upper edge shifted back half a bin width.
+            return bucketUpperNs[b] *
+                   std::pow(10.0, -kBinWidth / 2.0);
+        }
+    }
+    return static_cast<double>(maxNs);
 }
 
 void
@@ -151,34 +189,49 @@ MetricRegistry::reset()
     labels_.clear();
 }
 
+RegistrySnapshot
+MetricRegistry::snapshot() const
+{
+    RegistrySnapshot snap;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_)
+        snap.counters[name] = c->value();
+    for (const auto &[name, g] : gauges_)
+        snap.gauges[name] = g->value();
+    for (const auto &[name, h] : latencies_)
+        snap.latency[name] = h->snapshot();
+    snap.labels = labels_;
+    return snap;
+}
+
 void
 MetricRegistry::writeJson(JsonWriter &w) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const RegistrySnapshot snap = snapshot();
     w.beginObject();
     w.key("counters").beginObject();
-    for (const auto &[name, c] : counters_)
-        w.kv(name, c->value());
+    for (const auto &[name, value] : snap.counters)
+        w.kv(name, value);
     w.endObject();
     w.key("gauges").beginObject();
-    for (const auto &[name, g] : gauges_)
-        w.kv(name, g->value());
+    for (const auto &[name, value] : snap.gauges)
+        w.kv(name, value);
     w.endObject();
     w.key("latency").beginObject();
-    for (const auto &[name, h] : latencies_) {
+    for (const auto &[name, h] : snap.latency) {
         w.key(name).beginObject();
-        w.kv("count", h->count());
-        w.kv("min_ns", h->minNs());
-        w.kv("max_ns", h->maxNs());
-        w.kv("mean_ns", h->meanNs());
-        w.kv("p50_ns", h->percentileNs(0.50));
-        w.kv("p90_ns", h->percentileNs(0.90));
-        w.kv("p99_ns", h->percentileNs(0.99));
+        w.kv("count", h.count);
+        w.kv("min_ns", h.minNs);
+        w.kv("max_ns", h.maxNs);
+        w.kv("mean_ns", h.meanNs());
+        w.kv("p50_ns", h.percentileNs(0.50));
+        w.kv("p90_ns", h.percentileNs(0.90));
+        w.kv("p99_ns", h.percentileNs(0.99));
         w.endObject();
     }
     w.endObject();
     w.key("labels").beginObject();
-    for (const auto &[key, value] : labels_)
+    for (const auto &[key, value] : snap.labels)
         w.kv(key, value);
     w.endObject();
     w.endObject();

@@ -18,6 +18,20 @@
  * and Gauge are lock-free atomics; LatencyHistogram serializes with a
  * per-histogram mutex (recording is a bin increment, far off any
  * sub-microsecond path).
+ *
+ * Consistency model for readers (snapshot(), writeJson(), the
+ * Prometheus exposition in obs/exposition.hpp): each
+ * LatencyHistogram is snapshotted under its own mutex in ONE
+ * critical section, so within a histogram count == sum of bucket
+ * counts and min/max/sum/percentiles all describe the same set of
+ * recorded events even while writers keep recording. Across
+ * different metrics the snapshot is only approximately simultaneous:
+ * the registry mutex held during snapshot() blocks registration of
+ * new metrics, but relaxed counter/gauge loads and the per-histogram
+ * locks are taken one metric at a time, so a scrape concurrent with
+ * a request may see the request in one metric and not yet in
+ * another. Monitoring reads tolerate that skew; nothing in the
+ * library makes control decisions from a snapshot.
  */
 
 #ifndef LOOKHD_OBS_METRICS_HPP
@@ -29,6 +43,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/histogram.hpp"
 
@@ -77,6 +92,34 @@ class Gauge
 };
 
 /**
+ * Internally consistent copy of one LatencyHistogram, taken under
+ * the histogram mutex in a single critical section: count equals the
+ * sum of bucket counts, and min/max/sum/percentiles all describe the
+ * same recorded events. This is the read path for every exporter
+ * (JSON, Prometheus) so concurrent writers can never produce a torn
+ * view.
+ */
+struct LatencySnapshot
+{
+    std::uint64_t count = 0;
+    std::uint64_t minNs = 0;
+    std::uint64_t maxNs = 0;
+    double sumNs = 0.0;
+    /** Upper edge of each log-scale bin, in nanoseconds. */
+    std::vector<double> bucketUpperNs;
+    /** Per-bin (non-cumulative) event counts; same length. */
+    std::vector<std::uint64_t> bucketCounts;
+
+    double meanNs() const;
+
+    /**
+     * Approximate percentile in nanoseconds from the log-scale bins
+     * (accurate to one bin width). @param p in [0, 1]. 0 when empty.
+     */
+    double percentileNs(double p) const;
+};
+
+/**
  * Latency distribution in nanoseconds.
  *
  * Reuses util::Histogram over log10(ns) so one fixed bin layout
@@ -104,6 +147,9 @@ class LatencyHistogram
      */
     double percentileNs(double p) const;
 
+    /** One-lock consistent copy of the whole distribution. */
+    LatencySnapshot snapshot() const;
+
     void reset();
 
   private:
@@ -113,6 +159,19 @@ class LatencyHistogram
     std::uint64_t minNs_ = 0;
     std::uint64_t maxNs_ = 0;
     double sumNs_ = 0.0;
+};
+
+/**
+ * Point-in-time copy of a whole MetricRegistry (see the consistency
+ * model in the file comment). The exposition layer renders from this
+ * rather than re-reading live metrics mid-render.
+ */
+struct RegistrySnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, LatencySnapshot> latency;
+    std::map<std::string, std::string> labels;
 };
 
 /**
@@ -144,6 +203,12 @@ class MetricRegistry
 
     /** Zero every value and drop labels; handles stay valid. */
     void reset();
+
+    /**
+     * Copy every metric (see the consistency model in the file
+     * comment): per-histogram consistent, cross-metric approximate.
+     */
+    RegistrySnapshot snapshot() const;
 
     /**
      * Write the registry as a JSON object value:

@@ -1,0 +1,299 @@
+#include "serve/jsonin.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace lookhd::serve {
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 32;
+
+/** Recursive-descent parser over a string_view cursor. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string &error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipWhitespace();
+        if (!parseValue(out, 0))
+            return false;
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &message)
+    {
+        if (error_.empty())
+            error_ = message + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char expected)
+    {
+        if (pos_ < text_.size() && text_[pos_] == expected) {
+            ++pos_;
+            return true;
+        }
+        return fail(std::string("expected '") + expected + "'");
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+        case '{':
+            return parseObject(out, depth);
+        case '[':
+            return parseArray(out, depth);
+        case '"':
+            out.type = JsonValue::Type::kString;
+            return parseString(out.string);
+        case 't':
+            out.type = JsonValue::Type::kBool;
+            out.boolean = true;
+            return literal("true");
+        case 'f':
+            out.type = JsonValue::Type::kBool;
+            out.boolean = false;
+            return literal("false");
+        case 'n':
+            out.type = JsonValue::Type::kNull;
+            return literal("null");
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, std::size_t depth)
+    {
+        out.type = JsonValue::Type::kObject;
+        if (!consume('{'))
+            return false;
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWhitespace();
+            if (!consume(':'))
+                return false;
+            JsonValue member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out.object[key] = std::move(member);
+            skipWhitespace();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, std::size_t depth)
+    {
+        out.type = JsonValue::Type::kArray;
+        if (!consume('['))
+            return false;
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue element;
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.array.push_back(std::move(element));
+            skipWhitespace();
+            if (pos_ < text_.size() && text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            return consume(']');
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // land as two replacement-style sequences; feature
+                // vectors never need them).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        const std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+            pos_ = start;
+            return fail("bad number");
+        }
+        out.type = JsonValue::Type::kNumber;
+        out.number = v;
+        return true;
+    }
+
+    std::string_view text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (type != Type::kObject)
+        return nullptr;
+    const auto it = object.find(std::string(key));
+    return it == object.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<JsonValue>
+parseJson(std::string_view text, std::string &error)
+{
+    error.clear();
+    auto value = std::make_unique<JsonValue>();
+    Parser parser(text, error);
+    if (!parser.parseDocument(*value))
+        return nullptr;
+    return value;
+}
+
+} // namespace lookhd::serve

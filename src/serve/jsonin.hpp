@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal JSON *reader* for the serving wire protocol.
+ *
+ * obs/json.hpp writes JSON; this is its input-side twin, sized for
+ * the newline-delimited request objects `lookhd_serve` accepts
+ * ({"id":7,"features":[0.5,...]}): objects, arrays, strings with the
+ * standard escapes, finite numbers, true/false/null. No streaming,
+ * no comments, bounded nesting depth. Errors come back as a message
+ * instead of an exception so a malformed request costs one error
+ * response, not a throw on the hot path.
+ */
+
+#ifndef LOOKHD_SERVE_JSONIN_HPP
+#define LOOKHD_SERVE_JSONIN_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lookhd::serve {
+
+/** Parsed JSON value (tree-owning). */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isNumber() const { return type == Type::kNumber; }
+    bool isString() const { return type == Type::kString; }
+    bool isArray() const { return type == Type::kArray; }
+    bool isObject() const { return type == Type::kObject; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+};
+
+/**
+ * Parse one complete JSON document. Trailing non-whitespace is an
+ * error (requests are exactly one object per line).
+ *
+ * @param text The document.
+ * @param error Set to a human-readable message on failure.
+ * @return The value, or std::nullopt-like empty pointer on failure.
+ */
+std::unique_ptr<JsonValue> parseJson(std::string_view text,
+                                     std::string &error);
+
+} // namespace lookhd::serve
+
+#endif // LOOKHD_SERVE_JSONIN_HPP

@@ -1,0 +1,595 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "hdc/similarity.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/exposition.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "serve/jsonin.hpp"
+#include "util/timer.hpp"
+
+namespace lookhd::serve {
+
+namespace {
+
+/** Compact one-line span-rollup dump for watchdog-trip events. */
+std::string
+rollupDump(std::size_t maxSites = 8)
+{
+    std::vector<obs::SpanStats> rollup = obs::spanRollup();
+    std::sort(rollup.begin(), rollup.end(),
+              [](const obs::SpanStats &a, const obs::SpanStats &b) {
+                  return a.totalNs > b.totalNs;
+              });
+    std::string out;
+    for (std::size_t i = 0;
+         i < rollup.size() && i < maxSites; ++i) {
+        if (!out.empty())
+            out += ' ';
+        out += rollup[i].name + "=" +
+               std::to_string(rollup[i].count) + "x/" +
+               std::to_string(rollup[i].totalNs) + "ns";
+    }
+    return out.empty() ? "(no spans)" : out;
+}
+
+} // namespace
+
+/** Requests' echoed id: absent, numeric, or string. */
+enum class IdKind
+{
+    kNone,
+    kNumber,
+    kString,
+};
+
+struct InferenceServer::Connection
+{
+    explicit Connection(TcpStream s) : stream(std::move(s)) {}
+
+    TcpStream stream;
+    std::mutex writeMutex;
+    std::atomic<bool> open{true};
+
+    /** Serialize one response line; false once the peer went away. */
+    bool
+    writeLine(const std::string &body)
+    {
+        const std::lock_guard<std::mutex> lock(writeMutex);
+        if (!open.load(std::memory_order_relaxed))
+            return false;
+        if (!stream.sendAll(body) || !stream.sendAll("\n")) {
+            open.store(false, std::memory_order_relaxed);
+            return false;
+        }
+        return true;
+    }
+};
+
+struct InferenceServer::Request
+{
+    std::shared_ptr<Connection> conn;
+    IdKind idKind = IdKind::kNone;
+    double idNumber = 0.0;
+    std::string idString;
+    std::vector<double> features;
+    bool wantScores = false;
+    std::uint64_t enqueueNs = 0;
+};
+
+struct InferenceServer::WorkerState
+{
+    /** processNanoseconds() when the current batch started; 0=idle. */
+    std::atomic<std::uint64_t> busySinceNs{0};
+    std::atomic<const char *> stage{"idle"};
+    /** Monotonic per-worker batch number; lets the watchdog trip
+     * once per stuck batch instead of once per poll. */
+    std::atomic<std::uint64_t> batchSeq{0};
+    std::uint64_t lastTrippedBatch = 0; // watchdog-thread private
+};
+
+namespace {
+
+void
+writeId(obs::JsonWriter &w, IdKind kind, double number,
+        const std::string &string)
+{
+    if (kind == IdKind::kNumber)
+        w.kv("id", number);
+    else if (kind == IdKind::kString)
+        w.kv("id", string);
+}
+
+std::string
+errorBody(IdKind kind, double number, const std::string &string,
+          const std::string &message)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    writeId(w, kind, number, string);
+    w.kv("error", message);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace
+
+InferenceServer::InferenceServer(Classifier classifier,
+                                 ServeConfig config)
+    : classifier_(std::move(classifier)),
+      config_(config),
+      requestsOk_(
+          obs::MetricRegistry::global().counter("serve.requests")),
+      requestsBad_(obs::MetricRegistry::global().counter(
+          "serve.requests.bad")),
+      requestsOverload_(obs::MetricRegistry::global().counter(
+          "serve.requests.overload")),
+      batches_(obs::MetricRegistry::global().counter("serve.batches")),
+      connectionsTotal_(obs::MetricRegistry::global().counter(
+          "serve.connections")),
+      watchdogTrips_(obs::MetricRegistry::global().counter(
+          "serve.watchdog.trips")),
+      queueDepth_(
+          obs::MetricRegistry::global().gauge("serve.queue.depth")),
+      inflight_(obs::MetricRegistry::global().gauge("serve.inflight")),
+      connectionsOpen_(obs::MetricRegistry::global().gauge(
+          "serve.connections.open")),
+      batchLastSize_(obs::MetricRegistry::global().gauge(
+          "serve.batch.last_size")),
+      requestLatency_(obs::MetricRegistry::global().latency(
+          "serve.request.latency")),
+      batchGatherLatency_(obs::MetricRegistry::global().latency(
+          "serve.batch.gather"))
+{
+    if (!classifier_.fitted())
+        throw std::invalid_argument(
+            "InferenceServer needs a fitted classifier");
+    expectedFeatures_ =
+        classifier_.encoder().chunks().numFeatures();
+}
+
+InferenceServer::~InferenceServer()
+{
+    stop();
+}
+
+void
+InferenceServer::start()
+{
+    if (started_.exchange(true))
+        throw std::logic_error("InferenceServer started twice");
+    requestListener_ = TcpListener::bind(config_.port);
+    metricsListener_ = TcpListener::bind(config_.metricsPort);
+    running_.store(true, std::memory_order_release);
+    stopWorkers_.store(false, std::memory_order_release);
+
+    const std::size_t workers = std::max<std::size_t>(
+        config_.workers, 1);
+    workerStates_.clear();
+    for (std::size_t i = 0; i < workers; ++i)
+        workerStates_.push_back(std::make_unique<WorkerState>());
+    for (std::size_t i = 0; i < workers; ++i)
+        workerThreads_.emplace_back(
+            [this, i] { workerLoop(i); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    metricsThread_ = std::thread([this] { metricsLoop(); });
+    watchdogThread_ = std::thread([this] { watchdogLoop(); });
+
+    obs::EventLog::global().emit(
+        obs::LogLevel::kInfo, "serve.start",
+        {{"port", std::to_string(port())},
+         {"metrics_port", std::to_string(metricsPort())},
+         {"workers", std::to_string(workers)},
+         {"features", std::to_string(expectedFeatures_)}});
+}
+
+void
+InferenceServer::stop()
+{
+    if (!started_.load(std::memory_order_acquire))
+        return;
+    if (stopping_.exchange(true))
+        return;
+
+    // 1. Stop accepting; the accept/metrics/watchdog loops poll
+    //    running_ on a short timeout.
+    running_.store(false, std::memory_order_release);
+    watchdogCv_.notify_all();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    requestListener_.close();
+
+    // 2. EOF every reader (write side stays up so queued responses
+    //    still go out), then join them: no further enqueues.
+    {
+        const std::lock_guard<std::mutex> lock(connectionsMutex_);
+        for (const auto &conn : connections_)
+            conn->stream.shutdownRead();
+    }
+    for (std::thread &t : connectionThreads_)
+        if (t.joinable())
+            t.join();
+
+    // 3. Let the workers drain whatever is left, then exit.
+    stopWorkers_.store(true, std::memory_order_release);
+    queueCv_.notify_all();
+    for (std::thread &t : workerThreads_)
+        if (t.joinable())
+            t.join();
+
+    if (metricsThread_.joinable())
+        metricsThread_.join();
+    metricsListener_.close();
+    if (watchdogThread_.joinable())
+        watchdogThread_.join();
+
+    {
+        const std::lock_guard<std::mutex> lock(connectionsMutex_);
+        for (const auto &conn : connections_) {
+            conn->open.store(false, std::memory_order_relaxed);
+            conn->stream.close();
+        }
+        connections_.clear();
+        connectionsOpen_.set(0.0);
+    }
+    connectionThreads_.clear();
+    workerThreads_.clear();
+
+    obs::EventLog::global().emit(
+        obs::LogLevel::kInfo, "serve.shutdown",
+        {{"requests", std::to_string(requestsOk_.value())},
+         {"rejected",
+          std::to_string(requestsBad_.value() +
+                         requestsOverload_.value())}});
+    started_.store(false, std::memory_order_release);
+    stopping_.store(false, std::memory_order_release);
+}
+
+std::uint64_t
+InferenceServer::requestsServed() const
+{
+    return requestsOk_.value();
+}
+
+void
+InferenceServer::acceptLoop()
+{
+    while (running_.load(std::memory_order_acquire)) {
+        TcpStream stream;
+        try {
+            stream = requestListener_.accept(100);
+        } catch (const NetError &) {
+            continue; // transient accept failure
+        }
+        if (!stream.valid())
+            continue;
+        connectionsTotal_.add();
+        auto conn = std::make_shared<Connection>(std::move(stream));
+        const std::lock_guard<std::mutex> lock(connectionsMutex_);
+        connections_.push_back(conn);
+        // Reader threads are reaped in stop(); connection turnover
+        // at serve-smoke scale does not warrant a reaper thread yet.
+        connectionThreads_.emplace_back(
+            [this, conn] { connectionLoop(conn); });
+        connectionsOpen_.set(static_cast<double>(
+            openConnections_.fetch_add(1,
+                                       std::memory_order_relaxed) +
+            1));
+    }
+}
+
+void
+InferenceServer::connectionLoop(std::shared_ptr<Connection> conn)
+{
+    obs::EventLog::global().emit(obs::LogLevel::kDebug,
+                                 "serve.conn.open");
+    try {
+        std::string line;
+        while (conn->stream.readLine(line)) {
+            if (line.empty())
+                continue;
+            handleRequestLine(conn, line);
+        }
+    } catch (const NetError &) {
+        // Peer vanished mid-read; nothing to answer.
+    }
+    conn->open.store(false, std::memory_order_relaxed);
+    connectionsOpen_.set(static_cast<double>(
+        openConnections_.fetch_sub(1, std::memory_order_relaxed) -
+        1));
+    obs::EventLog::global().emit(obs::LogLevel::kDebug,
+                                 "serve.conn.close");
+}
+
+void
+InferenceServer::handleRequestLine(
+    const std::shared_ptr<Connection> &conn, const std::string &line)
+{
+    Request req;
+    req.conn = conn;
+    std::string parseError;
+    const std::unique_ptr<JsonValue> doc =
+        parseJson(line, parseError);
+
+    if (doc) {
+        if (const JsonValue *id = doc->find("id")) {
+            if (id->isNumber()) {
+                req.idKind = IdKind::kNumber;
+                req.idNumber = id->number;
+            } else if (id->isString()) {
+                req.idKind = IdKind::kString;
+                req.idString = id->string;
+            }
+        }
+        if (const JsonValue *scores = doc->find("scores"))
+            req.wantScores =
+                scores->type == JsonValue::Type::kBool &&
+                scores->boolean;
+    }
+
+    auto reject = [&](const std::string &message,
+                      obs::Counter &counter, const char *event) {
+        counter.add();
+        obs::EventLog::global().emit(obs::LogLevel::kWarn, event,
+                                     {{"error", message}});
+        conn->writeLine(errorBody(req.idKind, req.idNumber,
+                                  req.idString, message));
+    };
+
+    if (!doc) {
+        reject("bad JSON: " + parseError, requestsBad_,
+               "serve.request.bad");
+        return;
+    }
+    const JsonValue *features = doc->find("features");
+    if (features == nullptr || !features->isArray()) {
+        reject("missing \"features\" array", requestsBad_,
+               "serve.request.bad");
+        return;
+    }
+    req.features.reserve(features->array.size());
+    for (const JsonValue &v : features->array) {
+        if (!v.isNumber()) {
+            reject("non-numeric feature", requestsBad_,
+                   "serve.request.bad");
+            return;
+        }
+        req.features.push_back(v.number);
+    }
+    if (req.features.size() != expectedFeatures_) {
+        reject("expected " + std::to_string(expectedFeatures_) +
+                   " features, got " +
+                   std::to_string(req.features.size()),
+               requestsBad_, "serve.request.bad");
+        return;
+    }
+
+    req.enqueueNs = util::Timer::processNanoseconds();
+    {
+        const std::lock_guard<std::mutex> lock(queueMutex_);
+        if (queue_.size() >= config_.queueCapacity) {
+            reject("overloaded", requestsOverload_,
+                   "serve.overload");
+            return;
+        }
+        queue_.push_back(std::move(req));
+        queueDepth_.set(static_cast<double>(queue_.size()));
+    }
+    queueCv_.notify_one();
+}
+
+void
+InferenceServer::workerLoop(std::size_t workerIndex)
+{
+    WorkerState &state = *workerStates_[workerIndex];
+    while (true) {
+        std::vector<Request> batch;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [this] {
+                return !queue_.empty() ||
+                       stopWorkers_.load(std::memory_order_acquire);
+            });
+            if (queue_.empty() &&
+                stopWorkers_.load(std::memory_order_acquire))
+                return;
+            const std::uint64_t gatherStart =
+                util::Timer::processNanoseconds();
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(config_.batchMaxDelayUs);
+            while (batch.size() < config_.batchMaxSize) {
+                if (!queue_.empty()) {
+                    batch.push_back(std::move(queue_.front()));
+                    queue_.pop_front();
+                    continue;
+                }
+                if (stopWorkers_.load(std::memory_order_acquire))
+                    break;
+                if (queueCv_.wait_until(lock, deadline) ==
+                    std::cv_status::timeout)
+                    break;
+            }
+            queueDepth_.set(static_cast<double>(queue_.size()));
+            batchGatherLatency_.record(
+                util::Timer::processNanoseconds() - gatherStart);
+        }
+        processBatch(batch, state);
+    }
+}
+
+void
+InferenceServer::processBatch(std::vector<Request> &batch,
+                              WorkerState &state)
+{
+    state.batchSeq.fetch_add(1, std::memory_order_relaxed);
+    state.stage.store("predict", std::memory_order_relaxed);
+    state.busySinceNs.store(util::Timer::processNanoseconds(),
+                            std::memory_order_relaxed);
+    batches_.add();
+    batchLastSize_.set(static_cast<double>(batch.size()));
+    inflight_.set(static_cast<double>(
+        inflightRequests_.fetch_add(
+            static_cast<std::int64_t>(batch.size()),
+            std::memory_order_relaxed) +
+        static_cast<std::int64_t>(batch.size())));
+    obs::EventLog::global().emit(
+        obs::LogLevel::kDebug, "serve.batch",
+        {{"size", std::to_string(batch.size())}});
+
+    for (Request &req : batch) {
+        LOOKHD_SPAN("serve.predict", "serve");
+        const std::vector<double> scores =
+            classifier_.scores(req.features);
+        const std::size_t pred = hdc::argmax(scores);
+        LOOKHD_QUALITY_MARGIN("serve.predict", scores);
+
+        obs::JsonWriter w;
+        w.beginObject();
+        writeId(w, req.idKind, req.idNumber, req.idString);
+        w.kv("pred", static_cast<std::uint64_t>(pred));
+        if (req.wantScores) {
+            w.key("scores").beginArray();
+            for (const double s : scores)
+                w.value(s);
+            w.endArray();
+        }
+        w.endObject();
+
+        // Count before the response write: a client that has read
+        // the answer must already see it in requestsServed() and
+        // /metrics.
+        requestLatency_.record(util::Timer::processNanoseconds() -
+                               req.enqueueNs);
+        requestsOk_.add();
+        state.stage.store("respond", std::memory_order_relaxed);
+        req.conn->writeLine(w.str());
+        state.stage.store("predict", std::memory_order_relaxed);
+    }
+
+    inflight_.set(static_cast<double>(
+        inflightRequests_.fetch_sub(
+            static_cast<std::int64_t>(batch.size()),
+            std::memory_order_relaxed) -
+        static_cast<std::int64_t>(batch.size())));
+    state.busySinceNs.store(0, std::memory_order_relaxed);
+    state.stage.store("idle", std::memory_order_relaxed);
+}
+
+void
+InferenceServer::metricsLoop()
+{
+    while (running_.load(std::memory_order_acquire)) {
+        TcpStream stream;
+        try {
+            stream = metricsListener_.accept(100);
+        } catch (const NetError &) {
+            continue;
+        }
+        if (!stream.valid())
+            continue;
+        try {
+            std::string requestLine;
+            if (!stream.readLine(requestLine))
+                continue;
+            // Drain headers so the client sees a clean HTTP exchange.
+            std::string header;
+            while (stream.readLine(header) && !header.empty()) {
+            }
+
+            std::string path = "/";
+            const std::size_t firstSpace = requestLine.find(' ');
+            if (firstSpace != std::string::npos) {
+                const std::size_t secondSpace =
+                    requestLine.find(' ', firstSpace + 1);
+                path = requestLine.substr(
+                    firstSpace + 1,
+                    secondSpace == std::string::npos
+                        ? std::string::npos
+                        : secondSpace - firstSpace - 1);
+            }
+
+            std::string status = "200 OK";
+            std::string contentType =
+                "text/plain; version=0.0.4; charset=utf-8";
+            std::string body;
+            if (path == "/metrics") {
+                body = obs::renderPrometheus(
+                    obs::MetricRegistry::global().snapshot(),
+                    obs::spanRollup());
+            } else if (path == "/metrics.json") {
+                contentType = "application/json";
+                body = obs::snapshotJson(
+                           obs::MetricRegistry::global()) +
+                       "\n";
+            } else if (path == "/healthz") {
+                contentType = "text/plain; charset=utf-8";
+                body = "ok\n";
+            } else {
+                status = "404 Not Found";
+                contentType = "text/plain; charset=utf-8";
+                body = "not found\n";
+            }
+
+            std::string response = "HTTP/1.0 " + status + "\r\n";
+            response += "Content-Type: " + contentType + "\r\n";
+            response += "Content-Length: " +
+                        std::to_string(body.size()) + "\r\n";
+            response += "Connection: close\r\n\r\n";
+            response += body;
+            stream.sendAll(response);
+        } catch (const NetError &) {
+            // Scraper hung up mid-exchange; next scrape will do.
+        }
+    }
+}
+
+void
+InferenceServer::watchdogLoop()
+{
+    if (config_.watchdogDeadlineMs == 0)
+        return;
+    const auto period =
+        std::chrono::milliseconds(std::max<std::uint64_t>(
+            config_.watchdogPeriodMs, 1));
+    std::mutex sleepMutex;
+    std::unique_lock<std::mutex> sleepLock(sleepMutex);
+    while (running_.load(std::memory_order_acquire)) {
+        watchdogCv_.wait_for(sleepLock, period);
+        const std::uint64_t now = util::Timer::processNanoseconds();
+        for (std::size_t i = 0; i < workerStates_.size(); ++i) {
+            WorkerState &state = *workerStates_[i];
+            const std::uint64_t busySince =
+                state.busySinceNs.load(std::memory_order_relaxed);
+            if (busySince == 0)
+                continue;
+            const std::uint64_t elapsedNs = now - busySince;
+            if (elapsedNs <
+                config_.watchdogDeadlineMs * 1'000'000ULL)
+                continue;
+            const std::uint64_t batch =
+                state.batchSeq.load(std::memory_order_relaxed);
+            if (batch == state.lastTrippedBatch)
+                continue; // already reported this stuck batch
+            state.lastTrippedBatch = batch;
+            watchdogTrips_.add();
+            obs::EventLog::global().emit(
+                obs::LogLevel::kError, "serve.watchdog.trip",
+                {{"worker", std::to_string(i)},
+                 {"stage",
+                  std::string(state.stage.load(
+                      std::memory_order_relaxed))},
+                 {"elapsed_ms",
+                  std::to_string(elapsedNs / 1'000'000ULL)},
+                 {"batch", std::to_string(batch)},
+                 {"span_rollup", rollupDump()}});
+        }
+    }
+}
+
+} // namespace lookhd::serve

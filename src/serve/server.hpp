@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Multi-threaded batched-inference server over plain TCP.
+ *
+ * The minimal serving harness that makes the live telemetry
+ * meaningful: a request port speaking newline-delimited JSON and a
+ * scrape port exposing the Prometheus snapshot.
+ *
+ * Request port protocol (one JSON object per line):
+ *
+ *   -> {"id":7,"features":[0.5,1.25,3.0]}
+ *   <- {"id":7,"pred":1}
+ *   -> {"id":"a","features":[...],"scores":true}
+ *   <- {"id":"a","pred":1,"scores":[-0.1,0.9]}
+ *   <- {"id":9,"error":"expected 3 features, got 2"}   (bad request)
+ *
+ * Threading: one acceptor, one reader thread per connection feeding
+ * a bounded request queue, a worker pool popping batches (up to
+ * batchMaxSize requests or batchMaxDelayUs of waiting, whichever
+ * first), one scrape-port thread, one watchdog thread. A full queue
+ * rejects at the reader with an "overloaded" error response instead
+ * of back-pressuring the socket, so queue depth is bounded and
+ * visible in /metrics.
+ *
+ * Scrape port (HTTP/1.0, close-per-request):
+ *   GET /metrics       Prometheus text format v0.0.4 of the global
+ *                      registry + span rollup (obs/exposition.hpp)
+ *   GET /metrics.json  the JSON snapshot document
+ *   GET /healthz       "ok"
+ *
+ * Telemetry: request accounting (serve.* counters/gauges and the
+ * serve.request.latency histogram) writes the metric registry
+ * directly - it is the product of this layer, not optional
+ * instrumentation, so /metrics stays meaningful even in
+ * -DLOOKHD_OBS=OFF builds where the macro sites compile out.
+ * Request-scope events (start/shutdown, watchdog trips, overload)
+ * land in obs::EventLog::global().
+ *
+ * The watchdog thread checks every worker's in-flight batch against
+ * deadline; a stall logs a watchdog.trip event carrying the
+ * worker's current stage and a span-rollup dump (once per stuck
+ * batch), and increments serve.watchdog.trips.
+ */
+
+#ifndef LOOKHD_SERVE_SERVER_HPP
+#define LOOKHD_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lookhd/classifier.hpp"
+#include "serve/net.hpp"
+
+namespace lookhd::obs {
+class Counter;
+class Gauge;
+class LatencyHistogram;
+} // namespace lookhd::obs
+
+namespace lookhd::serve {
+
+/** Tunables of one InferenceServer. */
+struct ServeConfig
+{
+    /** Request port; 0 = kernel-assigned (read back via port()). */
+    std::uint16_t port = 0;
+
+    /** Scrape port; 0 = kernel-assigned (metricsPort()). */
+    std::uint16_t metricsPort = 0;
+
+    /** Inference worker threads. */
+    std::size_t workers = 2;
+
+    /** Max requests dispatched to a worker as one batch. */
+    std::size_t batchMaxSize = 16;
+
+    /** Max wait to fill a batch beyond its first request. */
+    std::uint64_t batchMaxDelayUs = 200;
+
+    /** Bounded request queue; beyond this, reject as overloaded. */
+    std::size_t queueCapacity = 1024;
+
+    /** Worker-stall threshold for the watchdog. 0 disables. */
+    std::uint64_t watchdogDeadlineMs = 2000;
+
+    /** Watchdog poll period. */
+    std::uint64_t watchdogPeriodMs = 100;
+};
+
+/**
+ * The server. start() spins up the threads and returns; stop()
+ * (also run by the destructor) stops accepting, drains the queue,
+ * answers what it can, and joins everything.
+ */
+class InferenceServer
+{
+  public:
+    InferenceServer(Classifier classifier, ServeConfig config);
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /** Bind both ports and launch the thread set. @throws NetError. */
+    void start();
+
+    /** Graceful shutdown; idempotent. */
+    void stop();
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /** Bound request port. @pre start() succeeded. */
+    std::uint16_t port() const { return requestListener_.port(); }
+
+    /** Bound scrape port. @pre start() succeeded. */
+    std::uint16_t metricsPort() const
+    {
+        return metricsListener_.port();
+    }
+
+    /** Requests answered successfully since start. */
+    std::uint64_t requestsServed() const;
+
+  private:
+    struct Connection;
+    struct Request;
+    struct WorkerState;
+
+    void acceptLoop();
+    void connectionLoop(std::shared_ptr<Connection> conn);
+    void workerLoop(std::size_t workerIndex);
+    void metricsLoop();
+    void watchdogLoop();
+
+    /** Parse + validate one request line; enqueue or answer error. */
+    void handleRequestLine(const std::shared_ptr<Connection> &conn,
+                           const std::string &line);
+    void processBatch(std::vector<Request> &batch,
+                      WorkerState &state);
+
+    Classifier classifier_;
+    const ServeConfig config_;
+    std::size_t expectedFeatures_ = 0;
+
+    TcpListener requestListener_;
+    TcpListener metricsListener_;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    /** Set after readers are joined: workers drain, then exit. */
+    std::atomic<bool> stopWorkers_{false};
+    std::atomic<std::int64_t> openConnections_{0};
+    std::atomic<std::int64_t> inflightRequests_{0};
+    std::condition_variable watchdogCv_;
+
+    std::thread acceptThread_;
+    std::thread metricsThread_;
+    std::thread watchdogThread_;
+    std::vector<std::thread> workerThreads_;
+
+    std::mutex connectionsMutex_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+    std::vector<std::thread> connectionThreads_;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<Request> queue_;
+
+    std::vector<std::unique_ptr<WorkerState>> workerStates_;
+
+    // Cached registry handles (resolved once; see obs/metrics.hpp).
+    obs::Counter &requestsOk_;
+    obs::Counter &requestsBad_;
+    obs::Counter &requestsOverload_;
+    obs::Counter &batches_;
+    obs::Counter &connectionsTotal_;
+    obs::Counter &watchdogTrips_;
+    obs::Gauge &queueDepth_;
+    obs::Gauge &inflight_;
+    obs::Gauge &connectionsOpen_;
+    obs::Gauge &batchLastSize_;
+    obs::LatencyHistogram &requestLatency_;
+    obs::LatencyHistogram &batchGatherLatency_;
+};
+
+} // namespace lookhd::serve
+
+#endif // LOOKHD_SERVE_SERVER_HPP

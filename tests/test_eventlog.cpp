@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the bounded structured event log (obs/eventlog.hpp).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/eventlog.hpp"
+#include "serve/jsonin.hpp"
+
+namespace {
+
+using namespace lookhd;
+using namespace lookhd::obs;
+
+std::vector<std::string>
+flushLines(EventLog &log)
+{
+    std::ostringstream out;
+    log.flush(out);
+    std::vector<std::string> lines;
+    std::istringstream in(out.str());
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+TEST(EventLog, EmitsValidJsonLines)
+{
+    EventLog log(16);
+    log.emit(LogLevel::kInfo, "test.hello",
+             {{"k", "v"}, {"n", "42"}});
+    log.emit(LogLevel::kError, "test.boom", {{"what", "a \"q\""}});
+
+    const auto lines = flushLines(log);
+    ASSERT_EQ(lines.size(), 2u);
+    for (const std::string &line : lines) {
+        std::string error;
+        const auto doc = serve::parseJson(line, error);
+        ASSERT_NE(doc, nullptr) << error << ": " << line;
+        EXPECT_NE(doc->find("ts_ms"), nullptr);
+        EXPECT_NE(doc->find("elapsed_ns"), nullptr);
+        EXPECT_NE(doc->find("level"), nullptr);
+        EXPECT_NE(doc->find("event"), nullptr);
+        EXPECT_NE(doc->find("thread"), nullptr);
+        EXPECT_NE(doc->find("fields"), nullptr);
+    }
+    std::string error;
+    const auto first = serve::parseJson(lines[0], error);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->find("event")->string, "test.hello");
+    EXPECT_EQ(first->find("level")->string, "info");
+    EXPECT_EQ(first->find("fields")->find("k")->string, "v");
+    const auto second = serve::parseJson(lines[1], error);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->find("level")->string, "error");
+    EXPECT_EQ(second->find("fields")->find("what")->string, "a \"q\"");
+}
+
+TEST(EventLog, FlushDrainsTheRings)
+{
+    EventLog log(16);
+    log.emit(LogLevel::kInfo, "test.once");
+    EXPECT_EQ(flushLines(log).size(), 1u);
+    EXPECT_TRUE(flushLines(log).empty());
+    EXPECT_EQ(log.totalEmitted(), 1u);
+}
+
+TEST(EventLog, MinLevelFiltersAtTheAppendSite)
+{
+    EventLog log(16);
+    log.setMinLevel(LogLevel::kWarn);
+    log.emit(LogLevel::kDebug, "test.debug");
+    log.emit(LogLevel::kInfo, "test.info");
+    log.emit(LogLevel::kWarn, "test.warn");
+    log.emit(LogLevel::kError, "test.error");
+    EXPECT_EQ(log.totalEmitted(), 2u);
+    EXPECT_EQ(flushLines(log).size(), 2u);
+}
+
+TEST(EventLog, RingOverflowDropsOldestAndCountsIt)
+{
+    EventLog log(4);
+    for (int i = 0; i < 10; ++i)
+        log.emit(LogLevel::kInfo, "test.e" + std::to_string(i));
+    EXPECT_EQ(log.totalDropped(), 6u);
+
+    const auto lines = flushLines(log);
+    // 4 surviving events plus the synthetic drop marker.
+    ASSERT_EQ(lines.size(), 5u);
+    std::string error;
+    const auto marker = serve::parseJson(lines[0], error);
+    ASSERT_NE(marker, nullptr) << error;
+    EXPECT_EQ(marker->find("event")->string, "eventlog.dropped");
+    EXPECT_EQ(marker->find("level")->string, "warn");
+    EXPECT_EQ(marker->find("fields")->find("dropped")->string, "6");
+    // The newest four events survived, oldest-first.
+    const auto survivor = serve::parseJson(lines[1], error);
+    ASSERT_NE(survivor, nullptr);
+    EXPECT_EQ(survivor->find("event")->string, "test.e6");
+
+    // The marker is emitted once per overflow window, not repeated
+    // on the next (clean) flush.
+    log.emit(LogLevel::kInfo, "test.later");
+    const auto next = flushLines(log);
+    ASSERT_EQ(next.size(), 1u);
+    const auto later = serve::parseJson(next[0], error);
+    ASSERT_NE(later, nullptr);
+    EXPECT_EQ(later->find("event")->string, "test.later");
+}
+
+TEST(EventLog, MergesThreadsByMonotonicTime)
+{
+    EventLog log(64);
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&log, t] {
+            for (int i = 0; i < 8; ++i)
+                log.emit(LogLevel::kInfo,
+                         "test.t" + std::to_string(t));
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    const auto lines = flushLines(log);
+    ASSERT_EQ(lines.size(), 32u);
+    double previous = 0.0;
+    for (const std::string &line : lines) {
+        std::string error;
+        const auto doc = serve::parseJson(line, error);
+        ASSERT_NE(doc, nullptr) << error;
+        const double ns = doc->find("elapsed_ns")->number;
+        EXPECT_GE(ns, previous);
+        previous = ns;
+    }
+    EXPECT_EQ(log.totalEmitted(), 32u);
+    EXPECT_EQ(log.totalDropped(), 0u);
+}
+
+TEST(EventLog, ResetZeroesCountersAndDropsEvents)
+{
+    EventLog log(2);
+    for (int i = 0; i < 5; ++i)
+        log.emit(LogLevel::kInfo, "test.x");
+    log.reset();
+    EXPECT_EQ(log.totalEmitted(), 0u);
+    EXPECT_EQ(log.totalDropped(), 0u);
+    EXPECT_TRUE(flushLines(log).empty());
+}
+
+TEST(LogLevelName, NamesAreLowerCase)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::kDebug), "debug");
+    EXPECT_STREQ(logLevelName(LogLevel::kInfo), "info");
+    EXPECT_STREQ(logLevelName(LogLevel::kWarn), "warn");
+    EXPECT_STREQ(logLevelName(LogLevel::kError), "error");
+}
+
+} // namespace

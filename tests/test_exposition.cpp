@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the Prometheus/JSON exposition of the metric registry.
+ *
+ * The golden test renders a hand-built RegistrySnapshot so every
+ * byte of the layout (name sanitization, label escaping, cumulative
+ * buckets, _sum/_count) is pinned; quantile estimation is bounded
+ * against exact quantiles separately because its exact digits depend
+ * on libm rounding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/jsonin.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lookhd;
+using namespace lookhd::obs;
+
+std::string
+sixSig(double v)
+{
+    char buf[64];
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)))
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+TEST(PrometheusName, SanitizesToLegalCharset)
+{
+    EXPECT_EQ(prometheusName("serve.request.latency"),
+              "serve_request_latency");
+    EXPECT_EQ(prometheusName("a-b c/d"), "a_b_c_d");
+    EXPECT_EQ(prometheusName("ok_name:sub"), "ok_name:sub");
+    EXPECT_EQ(prometheusName("9lives"), "_9lives");
+    EXPECT_EQ(prometheusName(""), "_");
+}
+
+TEST(PrometheusEscape, EscapesLabelValues)
+{
+    EXPECT_EQ(prometheusEscapeLabel("plain"), "plain");
+    EXPECT_EQ(prometheusEscapeLabel("a\\b"), "a\\\\b");
+    EXPECT_EQ(prometheusEscapeLabel("say \"hi\""),
+              "say \\\"hi\\\"");
+    EXPECT_EQ(prometheusEscapeLabel("line\nbreak"),
+              "line\\nbreak");
+}
+
+TEST(RenderPrometheus, GoldenSnapshot)
+{
+    RegistrySnapshot snap;
+    snap.counters["serve.requests"] = 42;
+    snap.gauges["serve.queue.depth"] = 3.5;
+    LatencySnapshot h;
+    h.count = 6;
+    h.minNs = 100;
+    h.maxNs = 2000;
+    h.sumNs = 4600.0;
+    h.bucketUpperNs = {100.0, 1000.0, 10000.0};
+    h.bucketCounts = {2, 3, 1};
+    snap.latency["rpc.latency"] = h;
+    snap.labels["app"] = "test\"quote";
+
+    const std::string expected = std::string() +
+        "# HELP lookhd_serve_requests_total lookhd metric "
+        "serve.requests\n"
+        "# TYPE lookhd_serve_requests_total counter\n"
+        "lookhd_serve_requests_total 42\n"
+        "# HELP lookhd_serve_queue_depth lookhd metric "
+        "serve.queue.depth\n"
+        "# TYPE lookhd_serve_queue_depth gauge\n"
+        "lookhd_serve_queue_depth 3.5\n"
+        "# HELP lookhd_rpc_latency_ns lookhd metric rpc.latency\n"
+        "# TYPE lookhd_rpc_latency_ns histogram\n"
+        "lookhd_rpc_latency_ns_bucket{le=\"100\"} 2\n"
+        "lookhd_rpc_latency_ns_bucket{le=\"1000\"} 5\n"
+        "lookhd_rpc_latency_ns_bucket{le=\"10000\"} 6\n"
+        "lookhd_rpc_latency_ns_bucket{le=\"+Inf\"} 6\n"
+        "lookhd_rpc_latency_ns_sum 4600\n"
+        "lookhd_rpc_latency_ns_count 6\n"
+        "# HELP lookhd_rpc_latency_ns_quantile_ns lookhd metric "
+        "rpc.latency\n"
+        "# TYPE lookhd_rpc_latency_ns_quantile_ns gauge\n"
+        "lookhd_rpc_latency_ns_quantile_ns{quantile=\"0.5\"} " +
+        sixSig(h.percentileNs(0.50)) + "\n"
+        "lookhd_rpc_latency_ns_quantile_ns{quantile=\"0.9\"} " +
+        sixSig(h.percentileNs(0.90)) + "\n"
+        "lookhd_rpc_latency_ns_quantile_ns{quantile=\"0.99\"} " +
+        sixSig(h.percentileNs(0.99)) + "\n"
+        "# HELP lookhd_rpc_latency_ns_min_ns lookhd metric "
+        "rpc.latency\n"
+        "# TYPE lookhd_rpc_latency_ns_min_ns gauge\n"
+        "lookhd_rpc_latency_ns_min_ns 100\n"
+        "# HELP lookhd_rpc_latency_ns_max_ns lookhd metric "
+        "rpc.latency\n"
+        "# TYPE lookhd_rpc_latency_ns_max_ns gauge\n"
+        "lookhd_rpc_latency_ns_max_ns 2000\n"
+        "# HELP lookhd_build_info lookhd metric registry labels\n"
+        "# TYPE lookhd_build_info gauge\n"
+        "lookhd_build_info{app=\"test\\\"quote\"} 1\n";
+
+    EXPECT_EQ(renderPrometheus(snap), expected);
+}
+
+TEST(RenderPrometheus, EmptySnapshotStillHasBuildInfo)
+{
+    const std::string out = renderPrometheus(RegistrySnapshot{});
+    EXPECT_NE(out.find("lookhd_build_info 1\n"), std::string::npos);
+}
+
+TEST(RenderPrometheus, SpanFamiliesCarryLabels)
+{
+    std::vector<SpanStats> spans;
+    SpanStats s;
+    s.name = "serve.predict";
+    s.category = "serve";
+    s.count = 7;
+    s.totalNs = 700;
+    s.selfNs = 600;
+    spans.push_back(s);
+    const std::string out =
+        renderPrometheus(RegistrySnapshot{}, spans);
+    EXPECT_NE(
+        out.find("lookhd_span_count_total{span=\"serve.predict\","
+                 "category=\"serve\"} 7\n"),
+        std::string::npos);
+    EXPECT_NE(
+        out.find("lookhd_span_total_ns_total{span=\"serve.predict\","
+                 "category=\"serve\"} 700\n"),
+        std::string::npos);
+    EXPECT_NE(
+        out.find("lookhd_span_self_ns_total{span=\"serve.predict\","
+                 "category=\"serve\"} 600\n"),
+        std::string::npos);
+}
+
+TEST(RenderPrometheus, LiveRegistryHistogramIsConsistent)
+{
+    MetricRegistry reg;
+    reg.counter("serve.requests").add(5);
+    LatencyHistogram &lat = reg.latency("serve.request.latency");
+    for (const std::uint64_t ns :
+         {1000u, 2000u, 5000u, 100000u, 2000000u})
+        lat.record(ns);
+
+    const std::string out = renderPrometheus(reg.snapshot());
+    EXPECT_NE(out.find("lookhd_serve_request_latency_ns_bucket"
+                       "{le=\"+Inf\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("lookhd_serve_request_latency_ns_count 5\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("lookhd_serve_requests_total 5\n"),
+              std::string::npos);
+}
+
+TEST(LatencyQuantiles, TrackExactQuantilesWithinBinResolution)
+{
+    // Log-uniform synthetic latencies spanning four decades; the
+    // log-scale bins are 10^0.125 wide, so the histogram estimate
+    // must sit within about one bin of the exact sample quantile
+    // (two bins of slack absorbs edge effects at bucket boundaries).
+    LatencyHistogram hist;
+    std::vector<double> exact;
+    util::Rng rng(99);
+    for (int i = 0; i < 5000; ++i) {
+        const double logNs = rng.nextDouble(3.0, 7.0);
+        const auto ns =
+            static_cast<std::uint64_t>(std::pow(10.0, logNs));
+        hist.record(ns);
+        exact.push_back(static_cast<double>(ns));
+    }
+    std::sort(exact.begin(), exact.end());
+
+    const LatencySnapshot snap = hist.snapshot();
+    ASSERT_EQ(snap.count, 5000u);
+    for (const double p : {0.50, 0.90, 0.99}) {
+        const double estimate = snap.percentileNs(p);
+        const double truth = exact[static_cast<std::size_t>(
+            p * static_cast<double>(exact.size() - 1))];
+        const double ratio = estimate / truth;
+        const double slack = std::pow(10.0, 0.25); // two bins
+        EXPECT_GT(ratio, 1.0 / slack)
+            << "p" << p << ": estimate " << estimate
+            << " far below exact " << truth;
+        EXPECT_LT(ratio, slack)
+            << "p" << p << ": estimate " << estimate
+            << " far above exact " << truth;
+    }
+}
+
+TEST(SnapshotJson, HasRegistrySpanAndQualitySections)
+{
+    MetricRegistry reg;
+    reg.counter("x.events").add(3);
+    reg.latency("x.latency").record(1234);
+    reg.setLabel("app", "test");
+
+    std::string error;
+    const auto doc = serve::parseJson(snapshotJson(reg), error);
+    ASSERT_NE(doc, nullptr) << error;
+    const serve::JsonValue *registry = doc->find("registry");
+    ASSERT_NE(registry, nullptr);
+    const serve::JsonValue *counters = registry->find("counters");
+    ASSERT_NE(counters, nullptr);
+    const serve::JsonValue *events = counters->find("x.events");
+    ASSERT_NE(events, nullptr);
+    EXPECT_EQ(events->number, 3.0);
+    const serve::JsonValue *latency = registry->find("latency");
+    ASSERT_NE(latency, nullptr);
+    const serve::JsonValue *hist = latency->find("x.latency");
+    ASSERT_NE(hist, nullptr);
+    ASSERT_NE(hist->find("p50_ns"), nullptr);
+    EXPECT_NE(doc->find("span_rollup"), nullptr);
+    const serve::JsonValue *quality = doc->find("quality");
+    ASSERT_NE(quality, nullptr);
+    EXPECT_NE(quality->find("margins"), nullptr);
+    EXPECT_NE(quality->find("confusion"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Concurrency tests for the metric registry's snapshot read path:
+ * writers hammer record()/add() while a reader snapshots, and every
+ * snapshot must be internally consistent (count equals the sum of
+ * bucket counts — the torn-read bug the one-lock LatencySnapshot
+ * exists to prevent). Run under the tsan preset in CI, but the
+ * invariant checks also catch logic races in plain builds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace lookhd::obs;
+
+std::uint64_t
+bucketSum(const LatencySnapshot &snap)
+{
+    return std::accumulate(snap.bucketCounts.begin(),
+                           snap.bucketCounts.end(),
+                           std::uint64_t{0});
+}
+
+TEST(MetricsConcurrency, SnapshotsAreConsistentUnderWriters)
+{
+    MetricRegistry registry;
+    LatencyHistogram &latency = registry.latency("test.latency");
+    Counter &events = registry.counter("test.events");
+
+    constexpr int kWriters = 4;
+    constexpr std::uint64_t kPerWriter = 20000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+                // Spread across several decades so many bins fill.
+                latency.record((i % 7 + 1) * 100 +
+                               static_cast<std::uint64_t>(w) *
+                                   100000);
+                events.add();
+            }
+        });
+    }
+
+    go.store(true, std::memory_order_release);
+    std::uint64_t snapshots = 0;
+    std::uint64_t lastCount = 0;
+    while (lastCount < kWriters * kPerWriter) {
+        const RegistrySnapshot snap = registry.snapshot();
+        const auto it = snap.latency.find("test.latency");
+        ASSERT_NE(it, snap.latency.end());
+        const LatencySnapshot &h = it->second;
+
+        // The core invariant: one critical section means the bucket
+        // counts and the total can never disagree, no matter how
+        // the writers interleave.
+        ASSERT_EQ(h.count, bucketSum(h))
+            << "torn snapshot after " << snapshots << " reads";
+        if (h.count > 0) {
+            ASSERT_LE(h.minNs, h.maxNs);
+            ASSERT_GE(h.sumNs,
+                      static_cast<double>(h.count) *
+                          static_cast<double>(h.minNs));
+            ASSERT_LE(h.sumNs,
+                      static_cast<double>(h.count) *
+                          static_cast<double>(h.maxNs));
+            const double p50 = h.percentileNs(0.5);
+            ASSERT_GE(p50, 0.0);
+        }
+        ASSERT_GE(h.count, lastCount) << "count went backwards";
+        lastCount = h.count;
+        ++snapshots;
+    }
+    for (std::thread &t : writers)
+        t.join();
+
+    const RegistrySnapshot final = registry.snapshot();
+    const LatencySnapshot &h = final.latency.at("test.latency");
+    EXPECT_EQ(h.count, kWriters * kPerWriter);
+    EXPECT_EQ(bucketSum(h), kWriters * kPerWriter);
+    EXPECT_EQ(final.counters.at("test.events"),
+              kWriters * kPerWriter);
+    EXPECT_GT(snapshots, 0u);
+}
+
+TEST(MetricsConcurrency, RegistrationRacesWithSnapshot)
+{
+    MetricRegistry registry;
+    std::atomic<bool> stop{false};
+    std::thread registrar([&] {
+        for (int i = 0; i < 500; ++i) {
+            registry.counter("reg.c" + std::to_string(i)).add();
+            registry.gauge("reg.g" + std::to_string(i))
+                .set(static_cast<double>(i));
+            registry.latency("reg.l" + std::to_string(i % 16))
+                .record(1000 + static_cast<std::uint64_t>(i));
+        }
+        stop.store(true, std::memory_order_release);
+    });
+
+    while (!stop.load(std::memory_order_acquire)) {
+        const RegistrySnapshot snap = registry.snapshot();
+        for (const auto &[name, h] : snap.latency)
+            ASSERT_EQ(h.count, bucketSum(h)) << name;
+    }
+    registrar.join();
+
+    const RegistrySnapshot final = registry.snapshot();
+    EXPECT_EQ(final.counters.size(), 500u);
+    EXPECT_EQ(final.gauges.size(), 500u);
+    EXPECT_EQ(final.latency.size(), 16u);
+}
+
+} // namespace

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * In-process end-to-end tests of the inference server: real sockets
+ * on ephemeral loopback ports, the same wire protocol lookhd_serve
+ * and lookhd_loadgen speak.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "lookhd/classifier.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/jsonin.hpp"
+#include "serve/net.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace lookhd;
+
+Classifier
+trainedClassifier()
+{
+    data::SyntheticSpec spec;
+    spec.numFeatures = 12;
+    spec.numClasses = 3;
+    spec.seed = 11;
+    auto [train, test] = data::makeTrainTest(spec, 200, 10);
+    ClassifierConfig cfg;
+    cfg.dim = 500;
+    cfg.quantLevels = 4;
+    cfg.chunkSize = 4;
+    cfg.retrainEpochs = 2;
+    Classifier clf(cfg);
+    clf.fit(train);
+    return clf;
+}
+
+std::string
+requestLine(std::uint64_t id, const std::vector<double> &features,
+            bool scores = false)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.kv("id", id);
+    w.key("features").beginArray();
+    for (const double f : features)
+        w.value(f);
+    w.endArray();
+    if (scores)
+        w.kv("scores", true);
+    w.endObject();
+    return w.str();
+}
+
+/** Send one line, read one response line, parse it. */
+std::unique_ptr<serve::JsonValue>
+roundTrip(serve::TcpStream &stream, const std::string &request)
+{
+    EXPECT_TRUE(stream.sendAll(request));
+    EXPECT_TRUE(stream.sendAll("\n"));
+    std::string line;
+    EXPECT_TRUE(stream.readLine(line));
+    std::string error;
+    auto doc = serve::parseJson(line, error);
+    EXPECT_NE(doc, nullptr) << error << ": " << line;
+    return doc;
+}
+
+/** Minimal HTTP/1.0 GET against the scrape port; returns the body. */
+std::string
+httpGet(std::uint16_t port, const std::string &path,
+        std::string *statusOut = nullptr)
+{
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", port);
+    EXPECT_TRUE(stream.sendAll("GET " + path + " HTTP/1.0\r\n\r\n"));
+    std::string line;
+    EXPECT_TRUE(stream.readLine(line));
+    if (statusOut != nullptr)
+        *statusOut = line;
+    while (stream.readLine(line) && !line.empty()) {
+        // skip headers
+    }
+    std::string body;
+    while (stream.readLine(line)) {
+        body += line;
+        body += '\n';
+    }
+    return body;
+}
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        serve::ServeConfig cfg;
+        cfg.port = 0;
+        cfg.metricsPort = 0;
+        cfg.workers = 2;
+        cfg.batchMaxSize = 8;
+        cfg.batchMaxDelayUs = 100;
+        server_ = std::make_unique<serve::InferenceServer>(
+            trainedClassifier(), cfg);
+        server_->start();
+    }
+
+    void
+    TearDown() override
+    {
+        server_->stop();
+    }
+
+    std::unique_ptr<serve::InferenceServer> server_;
+};
+
+TEST_F(ServeTest, AnswersPredictionsMatchingLocalInference)
+{
+    Classifier reference = trainedClassifier();
+    data::SyntheticSpec spec;
+    spec.numFeatures = 12;
+    spec.numClasses = 3;
+    spec.seed = 77;
+    const data::Dataset probes =
+        data::SyntheticProblem(spec).sample(20);
+
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server_->port());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        const auto row = probes.row(i);
+        const std::vector<double> features(row.begin(), row.end());
+        const auto doc = roundTrip(stream, requestLine(i, features));
+        ASSERT_NE(doc, nullptr);
+        const serve::JsonValue *pred = doc->find("pred");
+        ASSERT_NE(pred, nullptr)
+            << "no pred in response " << i;
+        ASSERT_TRUE(pred->isNumber());
+        EXPECT_EQ(static_cast<std::size_t>(pred->number),
+                  reference.predict(row));
+        const serve::JsonValue *id = doc->find("id");
+        ASSERT_NE(id, nullptr);
+        EXPECT_EQ(id->number, static_cast<double>(i));
+    }
+    EXPECT_GE(server_->requestsServed(), 20u);
+}
+
+TEST_F(ServeTest, ScoresFlagReturnsPerClassScores)
+{
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server_->port());
+    const std::vector<double> features(12, 0.25);
+    const auto doc =
+        roundTrip(stream, requestLine(1, features, true));
+    ASSERT_NE(doc, nullptr);
+    const serve::JsonValue *scores = doc->find("scores");
+    ASSERT_NE(scores, nullptr);
+    ASSERT_TRUE(scores->isArray());
+    EXPECT_EQ(scores->array.size(), 3u);
+}
+
+TEST_F(ServeTest, BadRequestsGetErrorsAndKeepTheConnection)
+{
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server_->port());
+
+    auto expectError = [&](const std::string &request) {
+        const auto doc = roundTrip(stream, request);
+        ASSERT_NE(doc, nullptr);
+        EXPECT_NE(doc->find("error"), nullptr)
+            << "expected error for: " << request;
+        EXPECT_EQ(doc->find("pred"), nullptr);
+    };
+    expectError("this is not json");
+    expectError("{\"id\":1}");
+    expectError("{\"id\":2,\"features\":[1,2]}"); // wrong count
+    expectError("{\"id\":3,\"features\":[\"a\"]}");
+
+    // The connection survives all of that.
+    const std::vector<double> features(12, 0.5);
+    const auto ok = roundTrip(stream, requestLine(9, features));
+    ASSERT_NE(ok, nullptr);
+    EXPECT_NE(ok->find("pred"), nullptr);
+}
+
+TEST_F(ServeTest, MetricsEndpointsServeSnapshotAndHealth)
+{
+    // Generate some traffic first so the counters are nonzero.
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server_->port());
+    const std::vector<double> features(12, 0.75);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ASSERT_NE(roundTrip(stream, requestLine(i, features)),
+                  nullptr);
+
+    std::string status;
+    const std::string health =
+        httpGet(server_->metricsPort(), "/healthz", &status);
+    EXPECT_NE(status.find("200"), std::string::npos);
+    EXPECT_NE(health.find("ok"), std::string::npos);
+
+    const std::string prom =
+        httpGet(server_->metricsPort(), "/metrics");
+    EXPECT_NE(prom.find("# TYPE lookhd_serve_requests_total "
+                        "counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("lookhd_serve_request_latency_ns_bucket"
+                        "{le=\"+Inf\"}"),
+              std::string::npos);
+    EXPECT_EQ(prom.find("lookhd_serve_requests_total 0\n"),
+              std::string::npos)
+        << "request counter still zero after traffic";
+
+    const std::string json =
+        httpGet(server_->metricsPort(), "/metrics.json");
+    std::string error;
+    const auto doc = serve::parseJson(json, error);
+    ASSERT_NE(doc, nullptr) << error;
+    ASSERT_NE(doc->find("registry"), nullptr);
+    EXPECT_NE(doc->find("registry")->find("latency"), nullptr);
+    EXPECT_NE(doc->find("span_rollup"), nullptr);
+    EXPECT_NE(doc->find("quality"), nullptr);
+
+    httpGet(server_->metricsPort(), "/nope", &status);
+    EXPECT_NE(status.find("404"), std::string::npos);
+}
+
+TEST_F(ServeTest, StopIsGracefulAndIdempotent)
+{
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server_->port());
+    const std::vector<double> features(12, 0.1);
+    ASSERT_NE(roundTrip(stream, requestLine(0, features)), nullptr);
+
+    server_->stop();
+    EXPECT_FALSE(server_->running());
+    server_->stop(); // second stop is a no-op
+    EXPECT_GE(server_->requestsServed(), 1u);
+}
+
+TEST(ServeLifecycle, EphemeralPortsAreDistinctAndNonzero)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    serve::InferenceServer server(trainedClassifier(), cfg);
+    server.start();
+    EXPECT_NE(server.port(), 0);
+    EXPECT_NE(server.metricsPort(), 0);
+    EXPECT_NE(server.port(), server.metricsPort());
+    server.stop();
+}
+
+} // namespace

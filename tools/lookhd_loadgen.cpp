@@ -1,0 +1,208 @@
+/**
+ * @file
+ * lookhd_loadgen: closed-loop load generator for lookhd_serve.
+ *
+ * Usage:
+ *   lookhd_loadgen --port PORT --features N
+ *                  [--host 127.0.0.1] [--connections 4]
+ *                  [--requests 1000] [--seed 42]
+ *                  [--lo 0] [--hi 1] [--quick] [--quiet]
+ *
+ * Opens --connections TCP connections, each running a closed loop:
+ * send one {"id":k,"features":[...]} request, wait for the
+ * response, measure the round trip, repeat until the shared budget
+ * of --requests is spent. Feature vectors are deterministic
+ * (util::Rng seeded from --seed and the connection index, uniform
+ * in [--lo,--hi]); responses are checked for a "pred" field and a
+ * matching echoed id. --quick shrinks the run for CI smoke
+ * (2 connections, 64 requests).
+ *
+ * Prints a one-line machine-readable summary (client-side exact
+ * quantiles, not the server's histogram estimate):
+ *
+ *   loadgen: requests=200 errors=0 qps=10430.1 p50_us=181.2
+ *   p90_us=312.4 p99_us=585.0
+ *
+ * Exit status 0 iff every request got a well-formed response.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli.hpp"
+#include "obs/json.hpp"
+#include "serve/jsonin.hpp"
+#include "serve/net.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+constexpr const char *kUsage =
+    "usage: lookhd_loadgen --port PORT --features N\n"
+    "                      [--host 127.0.0.1] [--connections 4]\n"
+    "                      [--requests 1000] [--seed 42]\n"
+    "                      [--lo 0] [--hi 1] [--quick] [--quiet]\n"
+    "\n"
+    "Closed-loop load generator for lookhd_serve: each connection\n"
+    "sends a request, waits for the response, repeats. Prints\n"
+    "achieved QPS and client-side p50/p90/p99. Exits 0 iff every\n"
+    "request succeeded.\n";
+
+struct WorkerResult
+{
+    std::vector<double> latenciesUs;
+    std::uint64_t errors = 0;
+};
+
+double
+exactQuantile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        p * static_cast<double>(sorted.size() - 1);
+    const auto lowIndex = static_cast<std::size_t>(rank);
+    const std::size_t highIndex =
+        std::min(lowIndex + 1, sorted.size() - 1);
+    const double fraction = rank - std::floor(rank);
+    return sorted[lowIndex] * (1.0 - fraction) +
+           sorted[highIndex] * fraction;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lookhd;
+    try {
+        const tools::Args args(argc, argv,
+                               {"quick", "quiet", "help"});
+        if (args.has("help")) {
+            std::printf("%s", kUsage);
+            return 0;
+        }
+
+        const std::string host = args.get("host", "127.0.0.1");
+        const auto port = static_cast<std::uint16_t>(
+            std::stoi(args.require("port")));
+        const auto features = static_cast<std::size_t>(
+            std::stol(args.require("features")));
+        std::size_t connections = static_cast<std::size_t>(
+            args.getInt("connections", 4));
+        std::size_t totalRequests =
+            static_cast<std::size_t>(args.getInt("requests", 1000));
+        if (args.has("quick")) {
+            connections = 2;
+            totalRequests = 64;
+        }
+        connections = std::max<std::size_t>(connections, 1);
+        totalRequests = std::max<std::size_t>(totalRequests, 1);
+        const auto seed =
+            static_cast<std::uint64_t>(args.getInt("seed", 42));
+        const double lo = args.getDouble("lo", 0.0);
+        const double hi = args.getDouble("hi", 1.0);
+
+        std::atomic<std::size_t> nextRequest{0};
+        std::vector<WorkerResult> results(connections);
+        std::vector<std::thread> threads;
+        threads.reserve(connections);
+
+        const util::Timer wall;
+        for (std::size_t c = 0; c < connections; ++c) {
+            threads.emplace_back([&, c] {
+                WorkerResult &result = results[c];
+                try {
+                    serve::TcpStream stream =
+                        serve::TcpStream::connect(host, port);
+                    util::Rng rng((seed + 0x10ad) ^ c);
+                    std::string line;
+                    while (true) {
+                        const std::size_t k = nextRequest.fetch_add(1);
+                        if (k >= totalRequests)
+                            return;
+                        obs::JsonWriter w;
+                        w.beginObject();
+                        w.kv("id",
+                             static_cast<std::uint64_t>(k));
+                        w.key("features").beginArray();
+                        for (std::size_t f = 0; f < features; ++f)
+                            w.value(rng.nextDouble(lo, hi));
+                        w.endArray();
+                        w.endObject();
+
+                        const util::Timer rtt;
+                        if (!stream.sendAll(w.str()) ||
+                            !stream.sendAll("\n") ||
+                            !stream.readLine(line)) {
+                            ++result.errors;
+                            return; // connection is gone
+                        }
+                        const double us = rtt.microseconds();
+
+                        std::string parseError;
+                        const auto doc =
+                            serve::parseJson(line, parseError);
+                        const serve::JsonValue *pred =
+                            doc ? doc->find("pred") : nullptr;
+                        const serve::JsonValue *id =
+                            doc ? doc->find("id") : nullptr;
+                        const bool idMatches =
+                            id != nullptr && id->isNumber() &&
+                            id->number ==
+                                static_cast<double>(k);
+                        if (pred == nullptr || !pred->isNumber() ||
+                            !idMatches)
+                            ++result.errors;
+                        else
+                            result.latenciesUs.push_back(us);
+                    }
+                } catch (const std::exception &) {
+                    ++result.errors;
+                }
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+        const double elapsed = wall.seconds();
+
+        std::vector<double> latencies;
+        std::uint64_t errors = 0;
+        for (const WorkerResult &result : results) {
+            latencies.insert(latencies.end(),
+                             result.latenciesUs.begin(),
+                             result.latenciesUs.end());
+            errors += result.errors;
+        }
+        // Unanswered budget (a worker bailed early) counts as errors.
+        if (latencies.size() + errors < totalRequests)
+            errors = totalRequests - latencies.size();
+        std::sort(latencies.begin(), latencies.end());
+
+        const double qps =
+            elapsed > 0.0
+                ? static_cast<double>(latencies.size()) / elapsed
+                : 0.0;
+        std::printf("loadgen: requests=%zu errors=%llu qps=%.1f "
+                    "p50_us=%.1f p90_us=%.1f p99_us=%.1f\n",
+                    latencies.size(),
+                    static_cast<unsigned long long>(errors), qps,
+                    exactQuantile(latencies, 0.50),
+                    exactQuantile(latencies, 0.90),
+                    exactQuantile(latencies, 0.99));
+        if (!args.has("quiet") && errors > 0)
+            std::fprintf(stderr,
+                         "lookhd_loadgen: %llu request(s) failed\n",
+                         static_cast<unsigned long long>(errors));
+        return errors == 0 ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lookhd_loadgen: %s\n", e.what());
+        return 1;
+    }
+}

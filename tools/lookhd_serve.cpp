@@ -1,0 +1,173 @@
+/**
+ * @file
+ * lookhd_serve: batched-inference server over a saved model.
+ *
+ * Usage:
+ *   lookhd_serve --model model.bin
+ *                [--port 7070] [--metrics-port 7071]
+ *                [--workers 2] [--batch-max 16]
+ *                [--batch-delay-us 200] [--queue-cap 1024]
+ *                [--watchdog-ms 2000]
+ *                [--event-log events.jsonl]
+ *                [--metrics-out metrics.json]
+ *                [--max-seconds N] [--quiet]
+ *
+ * Speaks newline-delimited JSON on the request port
+ * ({"id":7,"features":[...]} -> {"id":7,"pred":1}) and HTTP on the
+ * metrics port (GET /metrics = Prometheus text format v0.0.4,
+ * /metrics.json = JSON snapshot, /healthz). Port 0 asks the kernel
+ * for a free port; both bound ports are announced on stdout:
+ *
+ *   lookhd_serve: listening on 127.0.0.1:PORT
+ *   lookhd_serve: metrics on 127.0.0.1:PORT
+ *
+ * so drivers (tools/serve_smoke.py) can parse them. SIGTERM/SIGINT
+ * triggers a graceful shutdown: stop accepting, drain the queue,
+ * flush the event log, exit 0. --event-log appends JSON-lines
+ * events (flushed every watchdog period, on shutdown, and
+ * best-effort on crash); --metrics-out dumps the final registry
+ * JSON on exit. --max-seconds is a CI belt: self-terminate cleanly
+ * after N seconds even if no signal arrives.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "cli.hpp"
+#include "lookhd/serialize.hpp"
+#include "obs/eventlog.hpp"
+#include "obs/obs.hpp"
+#include "serve/server.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+constexpr const char *kUsage =
+    "usage: lookhd_serve --model model.bin\n"
+    "                    [--port 7070] [--metrics-port 7071]\n"
+    "                    [--workers 2] [--batch-max 16]\n"
+    "                    [--batch-delay-us 200] [--queue-cap 1024]\n"
+    "                    [--watchdog-ms 2000]\n"
+    "                    [--event-log events.jsonl]\n"
+    "                    [--metrics-out metrics.json]\n"
+    "                    [--max-seconds N] [--quiet]\n"
+    "\n"
+    "Serves newline-delimited JSON inference requests on --port and\n"
+    "Prometheus text format v0.0.4 on GET /metrics of\n"
+    "--metrics-port (plus /metrics.json and /healthz). Port 0 picks\n"
+    "a free port; both are announced on stdout. SIGTERM/SIGINT\n"
+    "drains and exits 0.\n"
+    "  --event-log FILE    append JSON-lines request-scope events\n"
+    "  --metrics-out FILE  dump the final metric registry as JSON\n"
+    "  --max-seconds N     self-terminate after N seconds (CI belt)\n";
+
+std::atomic<bool> gStopRequested{false};
+
+void
+handleStopSignal(int)
+{
+    gStopRequested.store(true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lookhd;
+    try {
+        const tools::Args args(argc, argv, {"quiet", "help"});
+        if (args.has("help")) {
+            std::printf("%s", kUsage);
+            return 0;
+        }
+
+        serve::ServeConfig cfg;
+        cfg.port =
+            static_cast<std::uint16_t>(args.getInt("port", 7070));
+        cfg.metricsPort = static_cast<std::uint16_t>(
+            args.getInt("metrics-port", 7071));
+        cfg.workers =
+            static_cast<std::size_t>(args.getInt("workers", 2));
+        cfg.batchMaxSize =
+            static_cast<std::size_t>(args.getInt("batch-max", 16));
+        cfg.batchMaxDelayUs = static_cast<std::uint64_t>(
+            args.getInt("batch-delay-us", 200));
+        cfg.queueCapacity =
+            static_cast<std::size_t>(args.getInt("queue-cap", 1024));
+        cfg.watchdogDeadlineMs = static_cast<std::uint64_t>(
+            args.getInt("watchdog-ms", 2000));
+
+        const std::string event_log = args.get("event-log", "");
+        if (!event_log.empty()) {
+            // Truncate stale content, then append incrementally.
+            std::ofstream truncate(event_log, std::ios::trunc);
+            if (!truncate)
+                throw std::runtime_error("cannot write " + event_log);
+            obs::EventLog::installCrashFlush(event_log);
+        }
+
+        obs::MetricRegistry::global().setLabel("app", "lookhd_serve");
+        Classifier clf = loadClassifierFile(args.require("model"));
+        obs::EventLog::global().emit(
+            obs::LogLevel::kInfo, "serve.model.loaded",
+            {{"path", args.require("model")},
+             {"bytes", std::to_string(clf.modelSizeBytes())}});
+
+        serve::InferenceServer server(std::move(clf), cfg);
+        server.start();
+        std::printf("lookhd_serve: listening on 127.0.0.1:%u\n",
+                    server.port());
+        std::printf("lookhd_serve: metrics on 127.0.0.1:%u\n",
+                    server.metricsPort());
+        std::fflush(stdout);
+
+        std::signal(SIGTERM, handleStopSignal);
+        std::signal(SIGINT, handleStopSignal);
+
+        const long max_seconds = args.getInt("max-seconds", 0);
+        util::Timer uptime;
+        while (!gStopRequested.load()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+            if (max_seconds > 0 &&
+                uptime.seconds() >=
+                    static_cast<double>(max_seconds)) {
+                obs::EventLog::global().emit(
+                    obs::LogLevel::kWarn, "serve.max_seconds",
+                    {{"limit", std::to_string(max_seconds)}});
+                break;
+            }
+            if (!event_log.empty())
+                obs::EventLog::global().flushToFile(event_log);
+        }
+
+        server.stop();
+        if (!event_log.empty() &&
+            !obs::EventLog::global().flushToFile(event_log))
+            throw std::runtime_error("cannot write " + event_log);
+
+        const std::string metrics_out = args.get("metrics-out", "");
+        if (!metrics_out.empty()) {
+            std::ofstream out(metrics_out);
+            if (!out)
+                throw std::runtime_error("cannot write " +
+                                         metrics_out);
+            out << obs::MetricRegistry::global().toJson() << "\n";
+        }
+        if (!args.has("quiet")) {
+            std::printf("lookhd_serve: served %llu requests, "
+                        "clean shutdown\n",
+                        static_cast<unsigned long long>(
+                            server.requestsServed()));
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "lookhd_serve: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,314 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the lookhd serving stack.
+
+Round trip, in one process tree:
+
+  1. write a deterministic two-class CSV (same pattern as
+     tools/cli_test.cmake) and train a tiny model with lookhd_train,
+  2. start lookhd_serve on ephemeral ports (``--port 0``), parsing
+     the announced request/metrics ports from its stdout,
+  3. drive it with lookhd_loadgen (``--quick`` by default here),
+  4. scrape GET /metrics, lint it with validate_prometheus.check_text
+     and assert the request counter is nonzero and the latency
+     histogram has buckets,
+  5. scrape GET /metrics.json and assemble a ``lookhd-bench-v2``
+     BENCH_serve_smoke.json (server-side latency quantiles + client
+     QPS in `metrics`) into --out-dir, validated with
+     validate_bench_json.check_file so tools/bench_compare.py can
+     diff serve latency across commits once a baseline is pinned,
+  6. SIGTERM the server and assert exit status 0 with the event log
+     flushed (serve.start and serve.shutdown both present, every
+     line valid JSON).
+
+Usage:
+    serve_smoke.py --train T --serve S --loadgen L
+                   --workdir DIR --out-dir DIR [--quick]
+
+Exit status: 0 on a clean round trip, 1 with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import validate_bench_json  # noqa: E402
+import validate_prometheus  # noqa: E402
+
+PORT_RE = re.compile(
+    r"lookhd_serve: (listening|metrics) on 127\.0\.0\.1:(\d+)")
+LOADGEN_RE = re.compile(
+    r"loadgen: requests=(\d+) errors=(\d+) qps=([\d.]+) "
+    r"p50_us=([\d.]+) p90_us=([\d.]+) p99_us=([\d.]+)")
+
+FEATURES = 3
+
+
+class SmokeError(RuntimeError):
+    pass
+
+
+def write_csv(path: Path) -> None:
+    """Deterministic two-class CSV, cli_test.cmake's pattern."""
+    lines = []
+    for i in range(200):
+        cls = i % 2
+        base = cls * 10
+        f0 = base + i % 5
+        f1 = 20 - base + i % 3
+        f2 = i % 7
+        lines.append(f"{f0}.5,{f1}.25,{f2}.0,{cls}\n")
+    path.write_text("".join(lines), encoding="utf-8")
+
+
+def run(cmd: list[str], what: str) -> str:
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise SmokeError(
+            f"{what} failed (exit {proc.returncode})\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+    return proc.stdout
+
+
+def wait_for_ports(proc: subprocess.Popen,
+                   deadline_s: float = 30.0) -> tuple[int, int]:
+    """Read the server's stdout until both ports are announced."""
+    ports: dict[str, int] = {}
+    deadline = time.monotonic() + deadline_s
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SmokeError(
+                f"lookhd_serve exited early "
+                f"(exit {proc.returncode})")
+        line = proc.stdout.readline()
+        if not line:
+            time.sleep(0.01)
+            continue
+        match = PORT_RE.search(line)
+        if match:
+            ports[match.group(1)] = int(match.group(2))
+        if "listening" in ports and "metrics" in ports:
+            return ports["listening"], ports["metrics"]
+    raise SmokeError("timed out waiting for lookhd_serve to "
+                     "announce its ports")
+
+
+def scrape(port: int, route: str) -> str:
+    url = f"http://127.0.0.1:{port}{route}"
+    last: Exception | None = None
+    for _ in range(20):
+        try:
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                return resp.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            last = exc
+            time.sleep(0.1)
+    raise SmokeError(f"cannot scrape {url}: {last}")
+
+
+def check_prometheus(text: str) -> None:
+    problems = validate_prometheus.check_text(text, "/metrics")
+    if problems:
+        raise SmokeError("/metrics failed format lint:\n" +
+                         "\n".join(problems))
+    req = re.search(
+        r"^lookhd_serve_requests_total\s+(\d+)", text, re.M)
+    if not req:
+        raise SmokeError("/metrics has no "
+                         "lookhd_serve_requests_total sample")
+    if int(req.group(1)) == 0:
+        raise SmokeError("lookhd_serve_requests_total is zero "
+                         "after the load run")
+    if not re.search(r"^lookhd_serve_request_latency_ns_bucket\{",
+                     text, re.M):
+        raise SmokeError("/metrics has no request-latency histogram "
+                         "buckets")
+
+
+def emit_bench_json(snapshot: dict, loadgen: re.Match,
+                    config: dict, out_dir: Path,
+                    quick: bool) -> Path:
+    registry = snapshot.get("registry", {})
+    latency = registry.get("latency", {}).get(
+        "serve.request.latency")
+    if not latency:
+        raise SmokeError("/metrics.json has no "
+                         "serve.request.latency histogram")
+    counters = registry.get("counters", {})
+    try:
+        git_rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip() or "unknown"
+    except OSError:
+        git_rev = "unknown"
+
+    doc = {
+        "schema": "lookhd-bench-v2",
+        "name": "serve_smoke",
+        "git_rev": git_rev,
+        "quick": quick,
+        "config": config,
+        "metrics": {
+            # Server-side histogram estimates; gateable by
+            # bench_compare.py once bench/baselines pins a run.
+            "serve_latency_p50_ns": latency["p50_ns"],
+            "serve_latency_p90_ns": latency["p90_ns"],
+            "serve_latency_p99_ns": latency["p99_ns"],
+            "serve_latency_mean_ns": latency["mean_ns"],
+            "serve_requests": counters.get("serve.requests", 0),
+            "serve_batches": counters.get("serve.batches", 0),
+            # Client-side view from lookhd_loadgen (exact
+            # quantiles, closed loop).
+            "client_qps": float(loadgen.group(3)),
+            "client_p50_us": float(loadgen.group(4)),
+            "client_p99_us": float(loadgen.group(6)),
+        },
+        "registry": registry,
+        "span_rollup": snapshot.get("span_rollup", []),
+        "quality": snapshot.get("quality",
+                                {"margins": {}, "confusion": {}}),
+        "perf_counters": {"requested": False, "available": False,
+                          "spans": []},
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out = out_dir / "BENCH_serve_smoke.json"
+    out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    problems = validate_bench_json.check_file(out)
+    if problems:
+        raise SmokeError("assembled bench JSON fails validation:\n" +
+                         "\n".join(problems))
+    return out
+
+
+def check_event_log(path: Path) -> int:
+    if not path.is_file():
+        raise SmokeError(f"event log {path} was not written")
+    events = []
+    for i, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise SmokeError(
+                f"event log line {i} is not valid JSON: {exc}")
+    names = {e.get("event") for e in events}
+    for required in ("serve.start", "serve.shutdown"):
+        if required not in names:
+            raise SmokeError(
+                f"event log lacks a '{required}' event "
+                f"(saw: {sorted(n for n in names if n)})")
+    return len(events)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--train", required=True)
+    parser.add_argument("--serve", required=True)
+    parser.add_argument("--loadgen", required=True)
+    parser.add_argument("--workdir", required=True, type=Path)
+    parser.add_argument("--out-dir", required=True, type=Path)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    work = args.workdir
+    work.mkdir(parents=True, exist_ok=True)
+    csv = work / "serve_smoke.csv"
+    model = work / "serve_smoke_model.bin"
+    event_log = work / "serve_events.jsonl"
+    write_csv(csv)
+
+    run([args.train, "--input", str(csv), "--output", str(model),
+         "--dim", "500", "--q", "4", "--r", "3", "--epochs", "3",
+         "--quiet"], "lookhd_train")
+
+    server = subprocess.Popen(
+        [args.serve, "--model", str(model), "--port", "0",
+         "--metrics-port", "0", "--workers", "2",
+         "--event-log", str(event_log), "--max-seconds", "240"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        port, metrics_port = wait_for_ports(server)
+        print(f"serve_smoke: server up, request port {port}, "
+              f"metrics port {metrics_port}")
+
+        loadgen_cmd = [args.loadgen, "--port", str(port),
+                       "--features", str(FEATURES), "--seed", "42"]
+        if args.quick:
+            loadgen_cmd.append("--quick")
+        loadgen_out = run(loadgen_cmd, "lookhd_loadgen")
+        summary = LOADGEN_RE.search(loadgen_out)
+        if not summary:
+            raise SmokeError(
+                f"unparseable loadgen summary:\n{loadgen_out}")
+        if int(summary.group(2)) != 0:
+            raise SmokeError(f"loadgen reported errors:\n"
+                             f"{loadgen_out}")
+        print(f"serve_smoke: {loadgen_out.strip()}")
+
+        health = scrape(metrics_port, "/healthz")
+        if "ok" not in health:
+            raise SmokeError(f"/healthz returned {health!r}")
+        prom = scrape(metrics_port, "/metrics")
+        (work / "metrics.prom").write_text(prom, encoding="utf-8")
+        check_prometheus(prom)
+        print("serve_smoke: /metrics format lint clean")
+
+        snapshot = json.loads(scrape(metrics_port, "/metrics.json"))
+        config = {
+            "workers": 2,
+            "features": FEATURES,
+            "requests": int(summary.group(1)),
+            "quick": args.quick,
+        }
+        bench = emit_bench_json(snapshot, summary, config,
+                                args.out_dir, args.quick)
+        print(f"serve_smoke: wrote {bench}")
+    except Exception:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+        raise
+
+    server.send_signal(signal.SIGTERM)
+    try:
+        stdout, stderr = server.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        server.kill()
+        raise SmokeError("lookhd_serve did not exit within 60s of "
+                         "SIGTERM")
+    if server.returncode != 0:
+        raise SmokeError(
+            f"lookhd_serve exited {server.returncode} after "
+            f"SIGTERM\nstdout:\n{stdout}\nstderr:\n{stderr}")
+    if "clean shutdown" not in stdout:
+        raise SmokeError(f"lookhd_serve did not report a clean "
+                         f"shutdown:\n{stdout}")
+    events = check_event_log(event_log)
+    print(f"serve_smoke: clean shutdown, event log flushed "
+          f"({events} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SmokeError as exc:
+        print(f"serve_smoke: FAIL: {exc}", file=sys.stderr)
+        sys.exit(1)

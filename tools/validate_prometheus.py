@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""Lint for Prometheus text exposition format v0.0.4.
+
+Checks the scrape output of lookhd_serve's /metrics endpoint (or any
+file in the same format) against the format rules that matter for a
+real Prometheus scraper:
+
+  * metric and label names match the allowed charsets,
+  * ``# TYPE`` appears at most once per metric and before any of its
+    samples; the type is one of counter/gauge/histogram/summary/
+    untyped,
+  * sample lines parse (name, optional label set, float value,
+    optional timestamp), label values use only the \\\\, \\", \\n
+    escapes,
+  * counters end in ``_total``,
+  * every histogram has an ``le="+Inf"`` bucket, cumulative bucket
+    counts are monotonically non-decreasing, ``_count`` equals the
+    ``+Inf`` bucket, and ``_sum``/``_count`` are present,
+  * no duplicate sample (same name + label set).
+
+Usage:
+    validate_prometheus.py FILE [FILE ...]   lint scrape dumps
+    validate_prometheus.py --selftest        lint the linter
+
+--selftest runs the checker over embedded known-good and known-bad
+documents so the ctest target catches a validator that rots into
+accepting everything (or rejecting valid output).
+
+Exit status: 0 clean, 1 violations (printed as `path:line: message`).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+VALUE_RE = re.compile(
+    r"^[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN)$")
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+# Suffixes that belong to the parent metric for TYPE bookkeeping.
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(raw: str) -> tuple[dict[str, str] | None, str]:
+    """Parse `a="x",b="y"` -> dict. Returns (None, error) on failure."""
+    labels: dict[str, str] = {}
+    i = 0
+    n = len(raw)
+    while i < n:
+        j = raw.find("=", i)
+        if j < 0:
+            return None, "label without '='"
+        name = raw[i:j].strip()
+        if not LABEL_NAME_RE.match(name):
+            return None, f"bad label name '{name}'"
+        if name in labels:
+            return None, f"duplicate label '{name}'"
+        j += 1
+        if j >= n or raw[j] != '"':
+            return None, f"label '{name}' value is not quoted"
+        j += 1
+        value = []
+        while j < n and raw[j] != '"':
+            if raw[j] == "\\":
+                if j + 1 >= n or raw[j + 1] not in ('\\', '"', 'n'):
+                    return None, (f"label '{name}' has invalid "
+                                  f"escape")
+                value.append({'\\': '\\', '"': '"',
+                              'n': '\n'}[raw[j + 1]])
+                j += 2
+            else:
+                value.append(raw[j])
+                j += 1
+        if j >= n:
+            return None, f"label '{name}' value is unterminated"
+        labels[name] = "".join(value)
+        j += 1  # closing quote
+        if j < n:
+            if raw[j] != ",":
+                return None, "expected ',' between labels"
+            j += 1
+        i = j
+    return labels, ""
+
+
+class Sample:
+    def __init__(self, name: str, labels: dict[str, str],
+                 value: float, line: int) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+        self.line = line
+
+
+def base_name(name: str) -> str:
+    """Histogram child sample -> parent metric name."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def check_text(text: str, origin: str = "<text>") -> list[str]:
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    samples: list[Sample] = []
+    seen: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    sampled: set[str] = set()
+
+    def bad(line_no: int, message: str) -> None:
+        problems.append(f"{origin}:{line_no}: {message}")
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # plain comment
+            if len(parts) < 3:
+                bad(line_no, f"# {parts[1]} without a metric name")
+                continue
+            name = parts[2]
+            if not METRIC_NAME_RE.match(name):
+                bad(line_no, f"bad metric name '{name}'")
+                continue
+            if parts[1] == "HELP":
+                if name in helps:
+                    bad(line_no, f"duplicate # HELP for '{name}'")
+                helps.add(name)
+                continue
+            kind = parts[3].strip() if len(parts) > 3 else ""
+            if kind not in TYPES:
+                bad(line_no,
+                    f"'{name}' has unknown type '{kind}'")
+                continue
+            if name in types:
+                bad(line_no, f"duplicate # TYPE for '{name}'")
+            if name in sampled:
+                bad(line_no,
+                    f"# TYPE for '{name}' appears after its samples")
+            types[name] = kind
+            continue
+
+        # Sample line: name[{labels}] value [timestamp]
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                         r"(\{(.*)\})?\s+(\S+)(\s+-?[0-9]+)?\s*$",
+                         line)
+        if not match:
+            bad(line_no, f"unparseable sample line: {line!r}")
+            continue
+        name = match.group(1)
+        labels: dict[str, str] = {}
+        if match.group(3) is not None:
+            parsed, err = parse_labels(match.group(3))
+            if parsed is None:
+                bad(line_no, err)
+                continue
+            labels = parsed
+        raw_value = match.group(4)
+        if not VALUE_RE.match(raw_value):
+            bad(line_no, f"bad sample value '{raw_value}'")
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            bad(line_no, f"duplicate sample for '{name}' "
+                f"with identical labels")
+        seen.add(key)
+        sampled.add(name)
+        sampled.add(base_name(name))
+        samples.append(Sample(name, labels, float(raw_value),
+                              line_no))
+
+    # Per-metric semantic checks.
+    by_base: dict[str, list[Sample]] = {}
+    for sample in samples:
+        by_base.setdefault(base_name(sample.name), []).append(sample)
+
+    for base, group in by_base.items():
+        kind = types.get(base)
+        if kind is None:
+            # Untyped metrics are legal but lookhd emits TYPE for
+            # everything; a missing TYPE means the renderer broke.
+            bad(group[0].line, f"metric '{base}' has no # TYPE")
+            continue
+        if kind == "counter":
+            for sample in group:
+                if not sample.name.endswith("_total"):
+                    bad(sample.line, f"counter sample "
+                        f"'{sample.name}' does not end in _total")
+                if sample.value < 0:
+                    bad(sample.line,
+                        f"counter '{sample.name}' is negative")
+        if kind != "histogram":
+            continue
+        # Group histogram children by their non-`le` label set.
+        series: dict[tuple[tuple[str, str], ...],
+                     dict[str, list[Sample]]] = {}
+        for sample in group:
+            rest = tuple(sorted((k, v)
+                                for k, v in sample.labels.items()
+                                if k != "le"))
+            slot = series.setdefault(rest, {"bucket": [], "sum": [],
+                                            "count": []})
+            if sample.name == base + "_bucket":
+                slot["bucket"].append(sample)
+            elif sample.name == base + "_sum":
+                slot["sum"].append(sample)
+            elif sample.name == base + "_count":
+                slot["count"].append(sample)
+            else:
+                bad(sample.line, f"histogram '{base}' has stray "
+                    f"sample '{sample.name}'")
+        for rest, slot in series.items():
+            where = (slot["bucket"] + slot["sum"] +
+                     slot["count"])[0].line
+            if not slot["sum"]:
+                bad(where, f"histogram '{base}' missing _sum")
+            if not slot["count"]:
+                bad(where, f"histogram '{base}' missing _count")
+            buckets = slot["bucket"]
+            if not buckets:
+                bad(where, f"histogram '{base}' has no _bucket "
+                    f"samples")
+                continue
+            inf = [b for b in buckets
+                   if b.labels.get("le") == "+Inf"]
+            if not inf:
+                bad(where,
+                    f"histogram '{base}' missing le=\"+Inf\" bucket")
+            def edge(sample: Sample) -> float:
+                le = sample.labels.get("le", "")
+                return float("inf") if le == "+Inf" else float(le)
+            try:
+                ordered = sorted(buckets, key=edge)
+            except ValueError:
+                bad(where, f"histogram '{base}' has a non-numeric "
+                    f"le label")
+                continue
+            previous = -1.0
+            for sample in ordered:
+                if sample.value < previous:
+                    bad(sample.line, f"histogram '{base}' buckets "
+                        f"not cumulative at "
+                        f"le=\"{sample.labels.get('le')}\"")
+                previous = sample.value
+            if inf and slot["count"] and \
+                    inf[0].value != slot["count"][0].value:
+                bad(slot["count"][0].line,
+                    f"histogram '{base}' _count "
+                    f"({slot['count'][0].value:g}) != +Inf bucket "
+                    f"({inf[0].value:g})")
+
+    return problems
+
+
+GOOD_DOC = """\
+# HELP lookhd_serve_requests_total Requests accepted.
+# TYPE lookhd_serve_requests_total counter
+lookhd_serve_requests_total 64
+# TYPE lookhd_serve_queue_depth gauge
+lookhd_serve_queue_depth 0
+# TYPE lookhd_serve_request_latency_ns histogram
+lookhd_serve_request_latency_ns_bucket{le="100000"} 10
+lookhd_serve_request_latency_ns_bucket{le="1000000"} 60
+lookhd_serve_request_latency_ns_bucket{le="+Inf"} 64
+lookhd_serve_request_latency_ns_sum 5.1e+07
+lookhd_serve_request_latency_ns_count 64
+# TYPE lookhd_build_info gauge
+lookhd_build_info{app="lookhd_serve",note="a\\\\b \\"q\\" \\n"} 1
+"""
+
+BAD_DOCS = {
+    "bad metric name": "# TYPE bad-name counter\nbad-name 1\n",
+    "unknown type": "# TYPE x jauge\nx 1\n",
+    "type after samples":
+        "# TYPE a counter\na_total 1\n# TYPE a_total counter\n",
+    "counter without _total": "# TYPE c counter\nc 3\n",
+    "negative counter": "# TYPE c_total counter\nc_total -1\n",
+    "duplicate sample":
+        "# TYPE g gauge\ng{a=\"1\"} 2\ng{a=\"1\"} 3\n",
+    "bad escape": "# TYPE g gauge\ng{a=\"\\q\"} 1\n",
+    "unquoted label": "# TYPE g gauge\ng{a=1} 1\n",
+    "bad value": "# TYPE g gauge\ng one\n",
+    "missing +Inf": ("# TYPE h histogram\n"
+                     "h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"),
+    "non-cumulative buckets":
+        ("# TYPE h histogram\nh_bucket{le=\"1\"} 5\n"
+         "h_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n"
+         "h_sum 1\nh_count 5\n"),
+    "count != +Inf": ("# TYPE h histogram\n"
+                      "h_bucket{le=\"+Inf\"} 5\nh_sum 1\n"
+                      "h_count 4\n"),
+    "missing _sum": ("# TYPE h histogram\n"
+                     "h_bucket{le=\"+Inf\"} 1\nh_count 1\n"),
+    "no TYPE at all": "plain_metric 1\n",
+}
+
+
+def selftest() -> int:
+    failures = []
+    good = check_text(GOOD_DOC, "<good>")
+    if good:
+        failures.append("known-good document rejected:")
+        failures.extend(f"  {p}" for p in good)
+    for label, doc in BAD_DOCS.items():
+        if not check_text(doc, f"<bad:{label}>"):
+            failures.append(f"known-bad document accepted: {label}")
+    if failures:
+        print("validate_prometheus --selftest FAILED",
+              file=sys.stderr)
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1
+    print(f"validate_prometheus: selftest OK "
+          f"(1 good, {len(BAD_DOCS)} bad documents)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 1
+    if argv == ["--selftest"]:
+        return selftest()
+    problems: list[str] = []
+    for arg in argv:
+        path = Path(arg)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            problems.append(f"{path}: unreadable ({exc})")
+            continue
+        problems.extend(check_text(text, str(path)))
+    if problems:
+        print(f"validate_prometheus: {len(problems)} violation(s)",
+              file=sys.stderr)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print(f"validate_prometheus: {len(argv)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
