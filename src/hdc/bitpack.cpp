@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "hdc/kernels.hpp"
 #include "util/check.hpp"
 
 namespace lookhd::hdc {
@@ -68,19 +69,8 @@ std::size_t
 matchCount(const PackedHv &a, const PackedHv &b)
 {
     LOOKHD_CHECK(a.dim() == b.dim(), "dimensionality mismatch");
-    std::size_t matches = 0;
-    const std::size_t full_words = a.dim() / 64;
-    const auto &aw = a.data();
-    const auto &bw = b.data();
-    for (std::size_t w = 0; w < full_words; ++w)
-        matches += std::popcount(~(aw[w] ^ bw[w]));
-    const std::size_t tail = a.dim() % 64;
-    if (tail != 0) {
-        const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
-        matches += std::popcount(~(aw[full_words] ^ bw[full_words]) &
-                                 mask);
-    }
-    return matches;
+    return kernels::matchCountWords(a.data().data(), b.data().data(),
+                                    a.data().size(), a.dim());
 }
 
 double

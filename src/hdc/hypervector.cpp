@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "hdc/kernels.hpp"
 #include "util/check.hpp"
 
 namespace lookhd::hdc {
@@ -112,20 +113,14 @@ std::int64_t
 dot(const IntHv &a, const IntHv &b)
 {
     LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
-    std::int64_t sum = 0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        sum += static_cast<std::int64_t>(a[i]) * b[i];
-    return sum;
+    return kernels::dotInt(a.data(), b.data(), a.size());
 }
 
 std::int64_t
 dot(const IntHv &a, const BipolarHv &b)
 {
     LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
-    std::int64_t sum = 0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        sum += b[i] >= 0 ? a[i] : -a[i];
-    return sum;
+    return kernels::dotIntI8(a.data(), b.data(), a.size());
 }
 
 std::int64_t
@@ -142,10 +137,7 @@ double
 dot(const IntHv &a, const RealHv &b)
 {
     LOOKHD_DCHECK(a.size() == b.size(), "dimensionality mismatch");
-    double sum = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        sum += static_cast<double>(a[i]) * b[i];
-    return sum;
+    return kernels::dotIntReal(a.data(), b.data(), a.size());
 }
 
 double

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Runtime-dispatched similarity/encoding kernels (scalar + AVX2).
+ *
+ * Every hot inner loop of the classifier funnels through this one
+ * table of kernels so there is exactly one implementation (per
+ * instruction set) of each primitive to test, and so the batched and
+ * single-sample paths share bit-identical arithmetic:
+ *
+ *  - dotInt / dotIntI8: exact int64 dot products over int32 rows;
+ *  - dotIntReal / dotRealI8 / similarityBatch: double accumulations
+ *    used by class scoring;
+ *  - mulIntReal / addSignedI8: the element-wise product and the
+ *    key-signed accumulate of the compressed model and the lookup
+ *    encoder;
+ *  - matchCountWords: the popcount word loop behind every packed
+ *    Hamming similarity (deduplicated from bitpack.cpp).
+ *
+ * Dispatch: the best implementation the CPU supports is chosen once
+ * at first use (AVX2 when the binary carries the AVX2 translation
+ * unit and the CPU reports avx2+popcnt, scalar otherwise). Tests pin
+ * an implementation with forceImpl().
+ *
+ * Determinism contract: integer kernels are exact, so every
+ * implementation returns identical bits trivially. The double
+ * kernels all follow one accumulation order - four independent
+ * partial sums over lanes i % 4, reduced as (l0 + l1) + (l2 + l3),
+ * then a sequential tail for n % 4 elements, with no FMA contraction
+ * - which is precisely what a 4-wide AVX2 register computes. Scalar
+ * and AVX2 therefore agree bit-for-bit, and batch results equal
+ * single-query results by construction.
+ */
+
+#ifndef LOOKHD_HDC_KERNELS_HPP
+#define LOOKHD_HDC_KERNELS_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lookhd::hdc::kernels {
+
+/** Available kernel implementations. */
+enum class Impl
+{
+    kScalar = 0,
+    kAvx2 = 1,
+};
+
+/** Human-readable name ("scalar", "avx2"). */
+const char *implName(Impl impl);
+
+/** Whether @p impl is compiled in and runnable on this CPU. */
+bool implAvailable(Impl impl);
+
+/** The implementation dispatch currently resolves to. */
+Impl activeImpl();
+
+/**
+ * Pin dispatch to @p impl (tests, benchmarks).
+ * @throws std::invalid_argument when unavailable.
+ * Not meant to race with in-flight kernel calls.
+ */
+void forceImpl(Impl impl);
+
+/** Undo forceImpl(); dispatch returns to the best available. */
+void clearForcedImpl();
+
+/** Mask selecting the dim % 64 used bits of a final packed word. */
+inline constexpr std::uint64_t
+tailMask64(std::size_t dim)
+{
+    const std::size_t tail = dim % 64;
+    return tail == 0 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << tail) - 1;
+}
+
+/** Exact sum of a[i] * b[i] in int64. */
+std::int64_t dotInt(const std::int32_t *a, const std::int32_t *b,
+                    std::size_t n);
+
+/** Exact sum of a[i] * signs[i] (signs are +-1 bipolar bytes). */
+std::int64_t dotIntI8(const std::int32_t *a, const std::int8_t *signs,
+                      std::size_t n);
+
+/** Sum of double(q[i]) * row[i], 4-lane accumulation contract. */
+double dotIntReal(const std::int32_t *q, const double *row,
+                  std::size_t n);
+
+/**
+ * Sum of values[i] * signs[i] (signs +-1), 4-lane contract. The
+ * sign-resolved accumulation of compressed-model unbinding.
+ */
+double dotRealI8(const double *values, const std::int8_t *signs,
+                 std::size_t n);
+
+/** out[i] = double(a[i]) * b[i] (element-wise, exact per element). */
+void mulIntReal(const std::int32_t *a, const double *b, double *out,
+                std::size_t n);
+
+/** acc[i] += row[i] * signs[i] (signs +-1); the encoder accumulate. */
+void addSignedI8(std::int32_t *acc, const std::int32_t *row,
+                 const std::int8_t *signs, std::size_t n);
+
+/**
+ * Agreeing-bit count (popcount of XNOR) over @p words packed words
+ * holding @p dim valid bits; the tail word's unused bits are masked.
+ */
+std::size_t matchCountWords(const std::uint64_t *a,
+                            const std::uint64_t *b, std::size_t words,
+                            std::size_t dim);
+
+/**
+ * Score numQueries int32 query rows against numRows double class
+ * rows in one pass: out[q * numRows + r] = dotIntReal(queries[q],
+ * rows[r], n), bit-identical to the single-query kernel.
+ */
+void similarityBatch(const std::int32_t *const *queries,
+                     std::size_t numQueries,
+                     const double *const *rows, std::size_t numRows,
+                     std::size_t n, double *out);
+
+namespace detail {
+
+/** One implementation's function table (internal; see kernels.cpp). */
+struct KernelTable
+{
+    Impl impl;
+    std::int64_t (*dotInt)(const std::int32_t *, const std::int32_t *,
+                           std::size_t);
+    std::int64_t (*dotIntI8)(const std::int32_t *,
+                             const std::int8_t *, std::size_t);
+    double (*dotIntReal)(const std::int32_t *, const double *,
+                         std::size_t);
+    double (*dotRealI8)(const double *, const std::int8_t *,
+                        std::size_t);
+    void (*mulIntReal)(const std::int32_t *, const double *, double *,
+                       std::size_t);
+    void (*addSignedI8)(std::int32_t *, const std::int32_t *,
+                        const std::int8_t *, std::size_t);
+    std::size_t (*matchCountWords)(const std::uint64_t *,
+                                   const std::uint64_t *, std::size_t,
+                                   std::size_t);
+    void (*similarityBatch)(const std::int32_t *const *, std::size_t,
+                            const double *const *, std::size_t,
+                            std::size_t, double *);
+};
+
+/** AVX2 table, or nullptr when not compiled in / not supported. */
+const KernelTable *avx2Table();
+
+} // namespace detail
+
+} // namespace lookhd::hdc::kernels
+
+#endif // LOOKHD_HDC_KERNELS_HPP

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * AVX2 kernel implementations.
+ *
+ * Compiled with -mavx2 -mpopcnt -ffp-contract=off (and only then;
+ * otherwise this TU degrades to an always-null avx2Table()). The
+ * double kernels reproduce kernels.cpp's 4-lane accumulation contract
+ * exactly: one __m256d accumulator holds the four partial sums, mul
+ * and add stay separate instructions (no FMA - the flag set above
+ * does not enable it and contraction is off), and the reduction
+ * (l0 + l1) + (l2 + l3) plus the scalar tail match the scalar
+ * reference op for op, so results are bit-identical across
+ * implementations. Keep in lockstep with kernels.cpp.
+ */
+
+#include "hdc/kernels.hpp"
+
+#if defined(__AVX2__) && defined(__POPCNT__)
+
+#include <algorithm>
+#include <cstring>
+#include <immintrin.h>
+
+namespace lookhd::hdc::kernels {
+
+namespace {
+
+/** (l0 + l1) + (l2 + l3) over the accumulator's lanes, in order. */
+double
+reduceLanes(__m256d acc)
+{
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+/** Four int32 -> four double. */
+__m256d
+loadInt4AsDouble(const std::int32_t *p)
+{
+    return _mm256_cvtepi32_pd(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)));
+}
+
+/** Four +-1 int8 -> four double. */
+__m256d
+loadSign4AsDouble(const std::int8_t *p)
+{
+    std::int32_t packed;
+    std::memcpy(&packed, p, sizeof(packed));
+    return _mm256_cvtepi32_pd(
+        _mm_cvtepi8_epi32(_mm_cvtsi32_si128(packed)));
+}
+
+std::int64_t
+dotIntAvx2(const std::int32_t *a, const std::int32_t *b,
+           std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (; i < n4; i += 4) {
+        // Widen to int64 lanes; vpmuldq multiplies each lane's low 32
+        // bits as signed, giving the exact 64-bit product.
+        const __m256i a64 = _mm256_cvtepi32_epi64(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i)));
+        const __m256i b64 = _mm256_cvtepi32_epi64(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i)));
+        acc = _mm256_add_epi64(acc, _mm256_mul_epi32(a64, b64));
+    }
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::int64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i)
+        sum += static_cast<std::int64_t>(a[i]) * b[i];
+    return sum;
+}
+
+std::int64_t
+dotIntI8Avx2(const std::int32_t *a, const std::int8_t *signs,
+             std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (; i < n4; i += 4) {
+        const __m256i a64 = _mm256_cvtepi32_epi64(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i)));
+        std::int32_t packed;
+        std::memcpy(&packed, signs + i, sizeof(packed));
+        const __m256i s64 = _mm256_cvtepi32_epi64(
+            _mm_cvtepi8_epi32(_mm_cvtsi32_si128(packed)));
+        acc = _mm256_add_epi64(acc, _mm256_mul_epi32(a64, s64));
+    }
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::int64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i)
+        sum += static_cast<std::int64_t>(a[i]) * signs[i];
+    return sum;
+}
+
+double
+dotIntRealAvx2(const std::int32_t *q, const double *row,
+               std::size_t n)
+{
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t i = 0;
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (; i < n4; i += 4) {
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(loadInt4AsDouble(q + i),
+                               _mm256_loadu_pd(row + i)));
+    }
+    double sum = reduceLanes(acc);
+    for (; i < n; ++i)
+        sum += static_cast<double>(q[i]) * row[i];
+    return sum;
+}
+
+double
+dotRealI8Avx2(const double *values, const std::int8_t *signs,
+              std::size_t n)
+{
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t i = 0;
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (; i < n4; i += 4) {
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(_mm256_loadu_pd(values + i),
+                               loadSign4AsDouble(signs + i)));
+    }
+    double sum = reduceLanes(acc);
+    for (; i < n; ++i)
+        sum += values[i] * static_cast<double>(signs[i]);
+    return sum;
+}
+
+void
+mulIntRealAvx2(const std::int32_t *a, const double *b, double *out,
+               std::size_t n)
+{
+    std::size_t i = 0;
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (; i < n4; i += 4) {
+        _mm256_storeu_pd(out + i,
+                         _mm256_mul_pd(loadInt4AsDouble(a + i),
+                                       _mm256_loadu_pd(b + i)));
+    }
+    for (; i < n; ++i)
+        out[i] = static_cast<double>(a[i]) * b[i];
+}
+
+void
+addSignedI8Avx2(std::int32_t *acc, const std::int32_t *row,
+                const std::int8_t *signs, std::size_t n)
+{
+    std::size_t i = 0;
+    const std::size_t n8 = n & ~std::size_t{7};
+    for (; i < n8; i += 8) {
+        const __m256i r = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row + i));
+        const __m256i s = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(signs + i)));
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + i));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(acc + i),
+            _mm256_add_epi32(a, _mm256_mullo_epi32(r, s)));
+    }
+    for (; i < n; ++i)
+        acc[i] += row[i] * signs[i];
+}
+
+std::size_t
+matchCountWordsAvx2(const std::uint64_t *a, const std::uint64_t *b,
+                    std::size_t words, std::size_t dim)
+{
+    if (words == 0)
+        return 0;
+    std::uint64_t matches = 0;
+    // Hardware popcnt (this TU carries -mpopcnt); bit-exact with the
+    // scalar std::popcount path by definition.
+    for (std::size_t w = 0; w + 1 < words; ++w)
+        matches += static_cast<std::uint64_t>(
+            _mm_popcnt_u64(~(a[w] ^ b[w])));
+    matches += static_cast<std::uint64_t>(_mm_popcnt_u64(
+        ~(a[words - 1] ^ b[words - 1]) & tailMask64(dim)));
+    return static_cast<std::size_t>(matches);
+}
+
+void
+similarityBatchAvx2(const std::int32_t *const *queries,
+                    std::size_t numQueries,
+                    const double *const *rows, std::size_t numRows,
+                    std::size_t n, double *out)
+{
+    // Block four queries per class-row pass: each row streams from
+    // memory once per block while four accumulators live in
+    // registers. Per (query, row) pair the operation sequence is
+    // identical to dotIntRealAvx2, so results match the single-query
+    // kernel bit for bit.
+    constexpr std::size_t kBlock = 4;
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (std::size_t qb = 0; qb < numQueries; qb += kBlock) {
+        const std::size_t qn = std::min(kBlock, numQueries - qb);
+        for (std::size_t r = 0; r < numRows; ++r) {
+            const double *row = rows[r];
+            __m256d acc[kBlock] = {
+                _mm256_setzero_pd(), _mm256_setzero_pd(),
+                _mm256_setzero_pd(), _mm256_setzero_pd()};
+            for (std::size_t i = 0; i < n4; i += 4) {
+                const __m256d rd = _mm256_loadu_pd(row + i);
+                for (std::size_t j = 0; j < qn; ++j) {
+                    acc[j] = _mm256_add_pd(
+                        acc[j],
+                        _mm256_mul_pd(
+                            loadInt4AsDouble(queries[qb + j] + i),
+                            rd));
+                }
+            }
+            for (std::size_t j = 0; j < qn; ++j) {
+                double sum = reduceLanes(acc[j]);
+                const std::int32_t *q = queries[qb + j];
+                for (std::size_t i = n4; i < n; ++i)
+                    sum += static_cast<double>(q[i]) * row[i];
+                out[(qb + j) * numRows + r] = sum;
+            }
+        }
+    }
+}
+
+constexpr detail::KernelTable kAvx2Table = {
+    Impl::kAvx2,        dotIntAvx2,      dotIntI8Avx2,
+    dotIntRealAvx2,     dotRealI8Avx2,   mulIntRealAvx2,
+    addSignedI8Avx2,    matchCountWordsAvx2,
+    similarityBatchAvx2,
+};
+
+bool
+cpuSupported()
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx2") != 0 &&
+           __builtin_cpu_supports("popcnt") != 0;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+const detail::KernelTable *
+detail::avx2Table()
+{
+    static const detail::KernelTable *table =
+        cpuSupported() ? &kAvx2Table : nullptr;
+    return table;
+}
+
+} // namespace lookhd::hdc::kernels
+
+#else // !(__AVX2__ && __POPCNT__)
+
+namespace lookhd::hdc::kernels {
+
+const detail::KernelTable *
+detail::avx2Table()
+{
+    return nullptr;
+}
+
+} // namespace lookhd::hdc::kernels
+
+#endif

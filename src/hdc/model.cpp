@@ -3,6 +3,7 @@
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
+#include "hdc/kernels.hpp"
 #include "hdc/similarity.hpp"
 
 namespace lookhd::hdc {
@@ -52,10 +53,50 @@ ClassModel::scores(const IntHv &query) const
     return out;
 }
 
+std::vector<double>
+ClassModel::scoresBatch(const IntHv *const *queries,
+                        std::size_t numQueries) const
+{
+    LOOKHD_SPAN("hdc.search.batch", "search");
+    LOOKHD_CHECK(normalized_, "model not normalized; call normalize()");
+    std::vector<const std::int32_t *> qptrs(numQueries);
+    for (std::size_t q = 0; q < numQueries; ++q) {
+        LOOKHD_CHECK(queries[q]->size() == dim_,
+                     "query dimensionality mismatch");
+        qptrs[q] = queries[q]->data();
+    }
+    std::vector<const double *> rows(norm_.size());
+    for (std::size_t c = 0; c < norm_.size(); ++c)
+        rows[c] = norm_[c].data();
+    std::vector<double> out(numQueries * norm_.size());
+    kernels::similarityBatch(qptrs.data(), numQueries, rows.data(),
+                             rows.size(), dim_, out.data());
+    return out;
+}
+
 std::size_t
 ClassModel::predict(const IntHv &query) const
 {
     return argmax(scores(query));
+}
+
+std::vector<std::size_t>
+ClassModel::predictBatch(const IntHv *const *queries,
+                         std::size_t numQueries) const
+{
+    const std::vector<double> all = scoresBatch(queries, numQueries);
+    const std::size_t k = norm_.size();
+    std::vector<std::size_t> labels(numQueries);
+    for (std::size_t q = 0; q < numQueries; ++q) {
+        const double *row = all.data() + q * k;
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < k; ++c) {
+            if (row[c] > row[best])
+                best = c;
+        }
+        labels[q] = best;
+    }
+    return labels;
 }
 
 std::size_t

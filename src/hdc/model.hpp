@@ -56,8 +56,20 @@ class ClassModel
     /** Dot-product scores against every normalized class hypervector. */
     std::vector<double> scores(const IntHv &query) const;
 
+    /**
+     * Scores for a batch of queries in one kernel pass:
+     * out[q * numClasses() + c]. Bit-identical to calling scores() per
+     * query (the batch kernel shares its accumulation order).
+     */
+    std::vector<double> scoresBatch(const IntHv *const *queries,
+                                    std::size_t numQueries) const;
+
     /** Predicted class = argmax of scores(). */
     std::size_t predict(const IntHv &query) const;
+
+    /** Argmax per row of scoresBatch(); same labels as predict(). */
+    std::vector<std::size_t> predictBatch(const IntHv *const *queries,
+                                          std::size_t numQueries) const;
 
     /**
      * Model size in bytes: k x D elements at @p bytes_per_element.

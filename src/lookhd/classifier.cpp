@@ -1,8 +1,10 @@
 #include "lookhd/classifier.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "par/thread_pool.hpp"
 #include "util/check.hpp"
 
 #include "hdc/similarity.hpp"
@@ -179,6 +181,68 @@ Classifier::scores(std::span<const double> features) const
                                           : model_->scores(query);
     LOOKHD_QUALITY_MARGIN("classifier.predict", out);
     return out;
+}
+
+std::vector<std::vector<double>>
+Classifier::scoresBatch(std::span<const std::span<const double>> rows,
+                        std::size_t threads) const
+{
+    LOOKHD_CHECK(fitted(), "classifier not fitted");
+    LOOKHD_SPAN("classifier.predict.batch", "search");
+    LOOKHD_COUNT_ADD("classifier.predict.calls", rows.size());
+    const std::size_t n = rows.size();
+    const std::size_t k = compressed_ ? compressed_->numClasses()
+                                      : model_->numClasses();
+    std::vector<hdc::IntHv> encoded(n);
+    std::vector<std::vector<double>> out(n);
+
+    // Each chunk encodes its rows and scores them in one batch kernel
+    // call. Per-row results never depend on the chunking (the batch
+    // kernels share the single-query accumulation order), so any
+    // thread count returns the bits predict()/scores() would.
+    const auto worker = [&](std::size_t lo, std::size_t hi) {
+        std::vector<const hdc::IntHv *> queries(hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+            encoded[i] = encoder_->encode(rows[i]);
+            queries[i - lo] = &encoded[i];
+        }
+        const std::vector<double> flat =
+            compressed_
+                ? compressed_->scoresBatch(queries.data(),
+                                           queries.size())
+                : model_->scoresBatch(queries.data(), queries.size());
+        for (std::size_t i = lo; i < hi; ++i) {
+            out[i].assign(flat.begin() +
+                              static_cast<std::ptrdiff_t>((i - lo) * k),
+                          flat.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  (i - lo + 1) * k));
+            LOOKHD_QUALITY_MARGIN("classifier.predict", out[i]);
+        }
+    };
+
+    const std::size_t resolved =
+        std::min(par::resolveThreads(threads),
+                 std::max<std::size_t>(n, 1));
+    if (resolved <= 1) {
+        worker(0, n);
+    } else {
+        par::ThreadPool pool(resolved);
+        pool.parallelFor(0, n, worker);
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+Classifier::predictBatch(std::span<const std::span<const double>> rows,
+                         std::size_t threads) const
+{
+    const std::vector<std::vector<double>> all =
+        scoresBatch(rows, threads);
+    std::vector<std::size_t> labels(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        labels[i] = hdc::argmax(all[i]);
+    return labels;
 }
 
 double

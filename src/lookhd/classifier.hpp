@@ -135,6 +135,24 @@ class Classifier
     /** Per-class scores of a raw feature vector. @pre fitted(). */
     std::vector<double> scores(std::span<const double> features) const;
 
+    /**
+     * Scores for a batch of feature rows through the batched
+     * encode + similarity kernels: out[i] == scores(rows[i]) bit for
+     * bit, for every @p threads (1 = inline, 0 = one per hardware
+     * thread). @pre fitted().
+     */
+    std::vector<std::vector<double>>
+    scoresBatch(std::span<const std::span<const double>> rows,
+                std::size_t threads = 1) const;
+
+    /**
+     * Predicted classes for a batch of feature rows; identical labels
+     * to calling predict() per row. @pre fitted().
+     */
+    std::vector<std::size_t>
+    predictBatch(std::span<const std::span<const double>> rows,
+                 std::size_t threads = 1) const;
+
     /** Accuracy on a labeled dataset. @pre fitted(). */
     double evaluate(const data::Dataset &test) const;
 

@@ -5,6 +5,7 @@
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
+#include "hdc/kernels.hpp"
 #include "hdc/similarity.hpp"
 
 namespace lookhd {
@@ -148,35 +149,54 @@ CompressedModel::rawScore(std::size_t cls, const hdc::IntHv &query) const
     return sum;
 }
 
+void
+CompressedModel::scoresInto(const hdc::IntHv &query, std::size_t dims,
+                            hdc::RealHv &product, double *out) const
+{
+    // Form the element-wise product H * C_g once per group; each
+    // class score is then only a sign-resolved accumulation with its
+    // key - the multiplication-free unbinding the hardware exploits
+    // (Sec. IV-B). Both steps run on the dispatched kernels.
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        hdc::kernels::mulIntReal(query.data(), groups_[g].data(),
+                                 product.data(), dims);
+        const std::size_t first = g * groupSize_;
+        const std::size_t last =
+            std::min(first + groupSize_, numClasses());
+        for (std::size_t c = first; c < last; ++c) {
+            out[c] = hdc::kernels::dotRealI8(product.data(),
+                                             keys_.at(c).data(), dims);
+            if (config_.scaleScores && norms_[c] > 0.0)
+                out[c] /= norms_[c];
+        }
+    }
+}
+
 std::vector<double>
 CompressedModel::scores(const hdc::IntHv &query) const
 {
     LOOKHD_SPAN("lookhd.search", "search");
     LOOKHD_CHECK(query.size() == dim_, "query dimensionality mismatch");
     std::vector<double> out(numClasses());
-
-    // Form the element-wise product H * C_g once per group; each
-    // class score is then only a sign-resolved accumulation with its
-    // key - the multiplication-free unbinding the hardware exploits
-    // (Sec. IV-B).
     hdc::RealHv product(dim_);
-    for (std::size_t g = 0; g < groups_.size(); ++g) {
-        const hdc::RealHv &group = groups_[g];
-        for (std::size_t i = 0; i < dim_; ++i)
-            product[i] = static_cast<double>(query[i]) * group[i];
+    scoresInto(query, dim_, product, out.data());
+    return out;
+}
 
-        const std::size_t first = g * groupSize_;
-        const std::size_t last =
-            std::min(first + groupSize_, numClasses());
-        for (std::size_t c = first; c < last; ++c) {
-            const hdc::BipolarHv &key = keys_.at(c);
-            double sum = 0.0;
-            for (std::size_t i = 0; i < dim_; ++i)
-                sum += key[i] >= 0 ? product[i] : -product[i];
-            out[c] = sum;
-            if (config_.scaleScores && norms_[c] > 0.0)
-                out[c] /= norms_[c];
-        }
+std::vector<double>
+CompressedModel::scoresBatch(const hdc::IntHv *const *queries,
+                             std::size_t numQueries) const
+{
+    LOOKHD_SPAN("lookhd.search.batch", "search");
+    const std::size_t k = numClasses();
+    std::vector<double> out(numQueries * k);
+    hdc::RealHv product(dim_);
+    for (std::size_t q = 0; q < numQueries; ++q) {
+        LOOKHD_CHECK(queries[q]->size() == dim_,
+                     "query dimensionality mismatch");
+        // Per query this is exactly scores(): identical kernel calls
+        // in identical order, so batch == single bit for bit.
+        scoresInto(*queries[q], dim_, product, out.data() + q * k);
     }
     return out;
 }
@@ -187,32 +207,34 @@ CompressedModel::predict(const hdc::IntHv &query) const
     return hdc::argmax(scores(query));
 }
 
+std::vector<std::size_t>
+CompressedModel::predictBatch(const hdc::IntHv *const *queries,
+                              std::size_t numQueries) const
+{
+    const std::vector<double> all = scoresBatch(queries, numQueries);
+    const std::size_t k = numClasses();
+    std::vector<std::size_t> labels(numQueries);
+    for (std::size_t q = 0; q < numQueries; ++q) {
+        const double *row = all.data() + q * k;
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < k; ++c) {
+            if (row[c] > row[best])
+                best = c;
+        }
+        labels[q] = best;
+    }
+    return labels;
+}
+
 std::vector<double>
 CompressedModel::scoresPrefix(const hdc::IntHv &query,
                               std::size_t dims) const
 {
     LOOKHD_CHECK(query.size() == dim_, "query dimensionality mismatch");
     LOOKHD_CHECK(dims != 0 && dims <= dim_, "prefix length out of range");
-
     std::vector<double> out(numClasses());
     hdc::RealHv product(dims);
-    for (std::size_t g = 0; g < groups_.size(); ++g) {
-        const hdc::RealHv &group = groups_[g];
-        for (std::size_t i = 0; i < dims; ++i)
-            product[i] = static_cast<double>(query[i]) * group[i];
-        const std::size_t first = g * groupSize_;
-        const std::size_t last =
-            std::min(first + groupSize_, numClasses());
-        for (std::size_t c = first; c < last; ++c) {
-            const hdc::BipolarHv &key = keys_.at(c);
-            double sum = 0.0;
-            for (std::size_t i = 0; i < dims; ++i)
-                sum += key[i] >= 0 ? product[i] : -product[i];
-            out[c] = sum;
-            if (config_.scaleScores && norms_[c] > 0.0)
-                out[c] /= norms_[c];
-        }
-    }
+    scoresInto(query, dims, product, out.data());
     return out;
 }
 

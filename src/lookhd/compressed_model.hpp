@@ -124,8 +124,22 @@ class CompressedModel
      */
     std::vector<double> scores(const hdc::IntHv &query) const;
 
+    /**
+     * Recovered scores for a batch of queries, out[q * numClasses()
+     * + c]; bit-identical to per-query scores() (same kernel calls in
+     * the same order), with the group-product scratch reused across
+     * the batch.
+     */
+    std::vector<double> scoresBatch(const hdc::IntHv *const *queries,
+                                    std::size_t numQueries) const;
+
     /** argmax of scores(). */
     std::size_t predict(const hdc::IntHv &query) const;
+
+    /** Argmax per row of scoresBatch(); same labels as predict(). */
+    std::vector<std::size_t>
+    predictBatch(const hdc::IntHv *const *queries,
+                 std::size_t numQueries) const;
 
     /**
      * Scores computed over only the first @p dims dimensions. Because
@@ -194,6 +208,14 @@ class CompressedModel
   private:
     /** Score of a single class (no norm scaling). */
     double rawScore(std::size_t cls, const hdc::IntHv &query) const;
+
+    /**
+     * Kernel-backed score computation over the first @p dims
+     * dimensions into out[numClasses()]; @p product is caller-owned
+     * scratch of at least @p dims elements.
+     */
+    void scoresInto(const hdc::IntHv &query, std::size_t dims,
+                    hdc::RealHv &product, double *out) const;
 
     /**
      * The update vector actually folded into the model for a query:

@@ -1,6 +1,10 @@
 #include "lookhd/counter_trainer.hpp"
 
+#include <algorithm>
+
+#include "hdc/kernels.hpp"
 #include "obs/obs.hpp"
+#include "par/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace lookhd {
@@ -22,6 +26,29 @@ ChunkCounters::increment(Address addr)
     else
         ++sparseCounts_[addr];
     ++total_;
+}
+
+void
+ChunkCounters::add(Address addr, std::uint32_t cnt)
+{
+    LOOKHD_CHECK_BOUNDS(addr, space_);
+    if (cnt == 0)
+        return;
+    if (!denseCounts_.empty())
+        denseCounts_[static_cast<std::size_t>(addr)] += cnt;
+    else
+        sparseCounts_[addr] += cnt;
+    total_ += cnt;
+}
+
+void
+ChunkCounters::mergeFrom(const ChunkCounters &other)
+{
+    LOOKHD_CHECK(space_ == other.space_,
+                 "cannot merge counters over different address spaces");
+    other.forEach([this](Address addr, std::uint32_t cnt) {
+        add(addr, cnt);
+    });
 }
 
 std::uint32_t
@@ -97,6 +124,20 @@ CounterBank::observe(std::size_t label,
         per_chunk[ch].increment(addresses[ch]);
 }
 
+void
+CounterBank::mergeFrom(const CounterBank &other)
+{
+    LOOKHD_CHECK(counters_.size() == other.counters_.size(),
+                 "cannot merge banks with different class counts");
+    for (std::size_t cls = 0; cls < counters_.size(); ++cls) {
+        LOOKHD_CHECK(counters_[cls].size() ==
+                         other.counters_[cls].size(),
+                     "cannot merge banks with different chunk counts");
+        for (std::size_t ch = 0; ch < counters_[cls].size(); ++ch)
+            counters_[cls][ch].mergeFrom(other.counters_[cls][ch]);
+    }
+}
+
 const ChunkCounters &
 CounterBank::at(std::size_t cls, std::size_t chunk) const
 {
@@ -116,10 +157,43 @@ CounterTrainer::countDataset(const data::Dataset &train) const
 {
     LOOKHD_SPAN("lookhd.count", "train");
     LOOKHD_COUNT_ADD("lookhd.count.observations", train.size());
+    const std::size_t n = train.size();
+    const std::size_t threads = std::min(
+        par::resolveThreads(config_.threads),
+        std::max<std::size_t>(n, 1));
     CounterBank bank(encoder_, train.numClasses(), config_);
-    for (std::size_t i = 0; i < train.size(); ++i) {
-        const auto addresses = encoder_.chunkAddresses(train.row(i));
-        bank.observe(train.label(i), addresses);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto addresses =
+                encoder_.chunkAddresses(train.row(i));
+            bank.observe(train.label(i), addresses);
+        }
+    } else {
+        // Shard the sample range: each shard counts into a private
+        // bank, then the shards merge by exact integer addition -
+        // bit-identical to the serial pass for every thread count.
+        const std::size_t shardSize = (n + threads - 1) / threads;
+        const std::size_t numShards = (n + shardSize - 1) / shardSize;
+        std::vector<CounterBank> shards;
+        shards.reserve(numShards);
+        for (std::size_t s = 0; s < numShards; ++s)
+            shards.emplace_back(encoder_, train.numClasses(), config_);
+        par::ThreadPool pool(threads);
+        pool.parallelFor(0, numShards, [&](std::size_t lo,
+                                           std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                const std::size_t first = s * shardSize;
+                const std::size_t last =
+                    std::min(n, first + shardSize);
+                for (std::size_t i = first; i < last; ++i) {
+                    const auto addresses =
+                        encoder_.chunkAddresses(train.row(i));
+                    shards[s].observe(train.label(i), addresses);
+                }
+            }
+        });
+        for (const CounterBank &shard : shards)
+            bank.mergeFrom(shard);
     }
 #if LOOKHD_OBS_ENABLED
     // Coverage / sparsity of the counter arrays: how much of the
@@ -153,29 +227,53 @@ hdc::ClassModel
 CounterTrainer::finalize(const CounterBank &bank) const
 {
     LOOKHD_SPAN("lookhd.finalize", "train");
-    hdc::ClassModel model(encoder_.dim(), bank.numClasses());
+    const std::size_t k = bank.numClasses();
+    hdc::ClassModel model(encoder_.dim(), k);
     const std::size_t m = encoder_.chunks().numChunks();
-    hdc::IntHv scratch;
 
-    for (std::size_t cls = 0; cls < bank.numClasses(); ++cls) {
-        hdc::IntHv &class_hv = model.classHv(cls);
-        for (std::size_t ch = 0; ch < m; ++ch) {
-            // Weighted accumulation: chunk_acc = sum count * Table[addr].
-            hdc::IntHv chunk_acc(encoder_.dim(), 0);
-            const ChunkLookupTable &table = encoder_.tableFor(ch);
-            bank.at(cls, ch).forEach(
-                [&](Address addr, std::uint32_t cnt) {
-                    const hdc::IntHv &row = table.row(addr, scratch);
-                    const auto w = static_cast<std::int32_t>(cnt);
-                    for (std::size_t d = 0; d < chunk_acc.size(); ++d)
-                        chunk_acc[d] += w * row[d];
-                });
-            // Chunk aggregation: bind the position key and accumulate.
-            const hdc::BipolarHv &key = encoder_.positionKeys().at(ch);
-            for (std::size_t d = 0; d < class_hv.size(); ++d)
-                class_hv[d] += key[d] * chunk_acc[d];
+    // Classes are independent and write disjoint hypervectors, so the
+    // class loop parallelizes with no effect on results. Built into a
+    // local vector (not via classHv()) so no shared model state is
+    // touched from worker threads.
+    std::vector<hdc::IntHv> classHvs(k, hdc::IntHv(encoder_.dim(), 0));
+    const auto buildClasses = [&](std::size_t lo, std::size_t hi) {
+        hdc::IntHv scratch;
+        for (std::size_t cls = lo; cls < hi; ++cls) {
+            hdc::IntHv &class_hv = classHvs[cls];
+            for (std::size_t ch = 0; ch < m; ++ch) {
+                // Weighted accumulation:
+                // chunk_acc = sum count * Table[addr].
+                hdc::IntHv chunk_acc(encoder_.dim(), 0);
+                const ChunkLookupTable &table = encoder_.tableFor(ch);
+                bank.at(cls, ch).forEach(
+                    [&](Address addr, std::uint32_t cnt) {
+                        const hdc::IntHv &row =
+                            table.row(addr, scratch);
+                        const auto w = static_cast<std::int32_t>(cnt);
+                        for (std::size_t d = 0; d < chunk_acc.size();
+                             ++d)
+                            chunk_acc[d] += w * row[d];
+                    });
+                // Chunk aggregation: bind the position key and
+                // accumulate.
+                const hdc::BipolarHv &key =
+                    encoder_.positionKeys().at(ch);
+                hdc::kernels::addSignedI8(class_hv.data(),
+                                          chunk_acc.data(),
+                                          key.data(), class_hv.size());
+            }
         }
+    };
+    const std::size_t threads =
+        std::min(par::resolveThreads(config_.threads), k);
+    if (threads <= 1) {
+        buildClasses(0, k);
+    } else {
+        par::ThreadPool pool(threads);
+        pool.parallelFor(0, k, buildClasses);
     }
+    for (std::size_t cls = 0; cls < k; ++cls)
+        model.classHv(cls) = std::move(classHvs[cls]);
     model.normalize();
     return model;
 }

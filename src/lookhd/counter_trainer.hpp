@@ -46,6 +46,17 @@ class ChunkCounters
     /** Record one occurrence of @p addr. */
     void increment(Address addr);
 
+    /** Record @p cnt occurrences of @p addr. */
+    void add(Address addr, std::uint32_t cnt);
+
+    /**
+     * Fold @p other's counts into this. Count addition is exact and
+     * commutative, so merging per-shard counters in any order yields
+     * the same bank a serial pass would (the parallel-training
+     * determinism guarantee). @pre same address space.
+     */
+    void mergeFrom(const ChunkCounters &other);
+
     /** Occurrences recorded for @p addr. */
     std::uint32_t count(Address addr) const;
 
@@ -79,6 +90,15 @@ struct CounterTrainerConfig
      * only the addresses actually observed.
      */
     Address denseCounterThreshold = Address{1} << 12;
+
+    /**
+     * Worker threads for counting and finalization. 1 = serial
+     * (default), 0 = one per hardware thread. Any value produces
+     * bit-identical models: counting shards the sample range into
+     * per-thread counter banks merged by exact integer addition, and
+     * finalization writes disjoint per-class hypervectors.
+     */
+    std::size_t threads = 1;
 };
 
 /** Counter state for the whole training set: [class][chunk]. */
@@ -93,6 +113,9 @@ class CounterBank
 
     /** Increment the counters of one data point's chunk addresses. */
     void observe(std::size_t label, std::span<const Address> addresses);
+
+    /** Fold another bank of the same shape into this (exact). */
+    void mergeFrom(const CounterBank &other);
 
     const ChunkCounters &at(std::size_t cls, std::size_t chunk) const;
 

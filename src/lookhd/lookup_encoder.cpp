@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "hdc/kernels.hpp"
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 
@@ -187,8 +188,8 @@ LookupEncoder::encodeFromAddresses(
             tableFor(c).row(addresses[c], scratch);
         const hdc::BipolarHv &key = positions_.at(c);
         // acc += P_c * chunk_hv, fused to avoid a temporary.
-        for (std::size_t d = 0; d < acc.size(); ++d)
-            acc[d] += key[d] * chunk_hv[d];
+        hdc::kernels::addSignedI8(acc.data(), chunk_hv.data(),
+                                  key.data(), acc.size());
     }
     return acc;
 }

@@ -1,0 +1,218 @@
+#include "par/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lookhd::par {
+
+namespace {
+
+/** Set while a pool worker (of any pool) is running chunks. */
+thread_local bool tOnWorker = false;
+
+} // namespace
+
+/**
+ * One parallelFor (or post) call. Workers and the caller claim chunks
+ * through nextChunk until exhausted; the last finished chunk signals
+ * done. The job outlives the queue entry via shared_ptr, so a worker
+ * still running a chunk after the caller returns from wait() (it
+ * cannot: wait() requires all chunks finished) or after the queue
+ * entry is popped stays valid.
+ */
+struct ThreadPool::Job
+{
+    std::function<void(std::size_t, std::size_t)> body;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunkSize = 1;
+    std::size_t numChunks = 0;
+    std::atomic<std::size_t> nextChunk{0};
+    std::atomic<std::size_t> unfinished{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr error; // guarded by mutex
+
+    bool exhausted() const
+    {
+        return nextChunk.load(std::memory_order_acquire) >= numChunks;
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(std::max<std::size_t>(threads, 1))
+{
+    workers_.reserve(threads_ - 1);
+    for (std::size_t i = 0; i + 1 < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+    // No workers (threads_ == 1): posted tasks were run inline, and
+    // with workers the loop above only exits after the queue drained.
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tOnWorker;
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    while (true) {
+        const std::size_t c =
+            job.nextChunk.fetch_add(1, std::memory_order_acq_rel);
+        if (c >= job.numChunks)
+            return;
+        const std::size_t lo = job.begin + c * job.chunkSize;
+        const std::size_t hi =
+            std::min(job.end, lo + job.chunkSize);
+        try {
+            job.body(lo, hi);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(job.mutex);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        if (job.unfinished.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+            // Last chunk: wake the waiter. Lock so the notify cannot
+            // slot between the waiter's predicate check and its wait.
+            const std::lock_guard<std::mutex> lock(job.mutex);
+            job.done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tOnWorker = true;
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stop_ || !jobs_.empty(); });
+            if (jobs_.empty()) // implies stop_
+                return;
+            job = jobs_.front();
+            if (job->exhausted()) {
+                // All chunks claimed (possibly still running on
+                // other threads); retire the queue entry.
+                jobs_.pop_front();
+                continue;
+            }
+        }
+        runChunks(*job);
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)> &body,
+    std::size_t minChunk)
+{
+    if (end <= begin)
+        return;
+    const std::size_t n = end - begin;
+    minChunk = std::max<std::size_t>(minChunk, 1);
+    // Inline when there is nothing to parallelize with, the range is
+    // too small to split, or we are already inside a chunk body
+    // (nested call: the workers may all be busy on the outer job, so
+    // dispatching would deadlock a pool of blocking waiters; inline
+    // execution always makes progress).
+    if (threads_ <= 1 || n <= minChunk || tOnWorker) {
+        body(begin, end);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->body = body;
+    job->begin = begin;
+    job->end = end;
+    // At most one chunk per thread, at least minChunk indices each:
+    // chunk count only affects scheduling, never results.
+    const std::size_t maxChunks =
+        std::min(threads_, (n + minChunk - 1) / minChunk);
+    job->chunkSize = (n + maxChunks - 1) / maxChunks;
+    job->numChunks = (n + job->chunkSize - 1) / job->chunkSize;
+    job->unfinished.store(job->numChunks, std::memory_order_relaxed);
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        LOOKHD_CHECK(!stop_, "parallelFor on a stopped ThreadPool");
+        jobs_.push_back(job);
+    }
+    cv_.notify_all();
+
+    // The caller is one of the executors; mark it worker-like so a
+    // nested parallelFor inside body runs inline here too.
+    tOnWorker = true;
+    runChunks(*job);
+    tOnWorker = false;
+
+    {
+        std::unique_lock<std::mutex> lock(job->mutex);
+        job->done.wait(lock, [&job] {
+            return job->unfinished.load(std::memory_order_acquire) ==
+                   0;
+        });
+        if (job->error)
+            std::rethrow_exception(job->error);
+    }
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    if (threads_ <= 1 || tOnWorker) {
+        task();
+        return;
+    }
+    auto job = std::make_shared<Job>();
+    job->body = [moved = std::move(task)](std::size_t, std::size_t) {
+        moved();
+    };
+    job->begin = 0;
+    job->end = 1;
+    job->chunkSize = 1;
+    job->numChunks = 1;
+    job->unfinished.store(1, std::memory_order_relaxed);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        LOOKHD_CHECK(!stop_, "post on a stopped ThreadPool");
+        jobs_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+std::size_t
+resolveThreads(std::size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool &
+globalPool()
+{
+    static ThreadPool pool(resolveThreads(0));
+    return pool;
+}
+
+} // namespace lookhd::par

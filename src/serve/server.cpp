@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "hdc/kernels.hpp"
 #include "hdc/similarity.hpp"
 #include "obs/eventlog.hpp"
+#include "par/thread_pool.hpp"
 #include "obs/exposition.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
@@ -128,6 +130,10 @@ InferenceServer::InferenceServer(Classifier classifier,
       requestsOverload_(obs::MetricRegistry::global().counter(
           "serve.requests.overload")),
       batches_(obs::MetricRegistry::global().counter("serve.batches")),
+      multiBatches_(obs::MetricRegistry::global().counter(
+          "serve.batches.multi")),
+      batchedRequests_(obs::MetricRegistry::global().counter(
+          "serve.requests.batched")),
       connectionsTotal_(obs::MetricRegistry::global().counter(
           "serve.connections")),
       watchdogTrips_(obs::MetricRegistry::global().counter(
@@ -178,11 +184,21 @@ InferenceServer::start()
     metricsThread_ = std::thread([this] { metricsLoop(); });
     watchdogThread_ = std::thread([this] { watchdogLoop(); });
 
+    const std::size_t predictThreads =
+        par::resolveThreads(config_.predictThreads);
+    obs::MetricRegistry::global().setLabel(
+        "kernel",
+        hdc::kernels::implName(hdc::kernels::activeImpl()));
+    obs::MetricRegistry::global()
+        .gauge("serve.predict.threads")
+        .set(static_cast<double>(predictThreads));
+
     obs::EventLog::global().emit(
         obs::LogLevel::kInfo, "serve.start",
         {{"port", std::to_string(port())},
          {"metrics_port", std::to_string(metricsPort())},
          {"workers", std::to_string(workers)},
+         {"predict_threads", std::to_string(predictThreads)},
          {"features", std::to_string(expectedFeatures_)}});
 }
 
@@ -441,11 +457,28 @@ InferenceServer::processBatch(std::vector<Request> &batch,
     obs::EventLog::global().emit(
         obs::LogLevel::kDebug, "serve.batch",
         {{"size", std::to_string(batch.size())}});
+    if (batch.size() > 1) {
+        multiBatches_.add();
+        batchedRequests_.add(
+            static_cast<std::uint64_t>(batch.size()));
+    }
 
-    for (Request &req : batch) {
+    // One batched kernel pass over the whole batch; bit-identical to
+    // per-request classifier_.scores() (see Classifier::scoresBatch).
+    std::vector<std::span<const double>> rows;
+    rows.reserve(batch.size());
+    for (const Request &req : batch)
+        rows.emplace_back(req.features);
+    std::vector<std::vector<double>> batchScores;
+    {
         LOOKHD_SPAN("serve.predict", "serve");
-        const std::vector<double> scores =
-            classifier_.scores(req.features);
+        batchScores =
+            classifier_.scoresBatch(rows, config_.predictThreads);
+    }
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        Request &req = batch[i];
+        const std::vector<double> &scores = batchScores[i];
         const std::size_t pred = hdc::argmax(scores);
         LOOKHD_QUALITY_MARGIN("serve.predict", scores);
 

@@ -81,6 +81,15 @@ struct ServeConfig
     /** Max requests dispatched to a worker as one batch. */
     std::size_t batchMaxSize = 16;
 
+    /**
+     * Threads each worker spends on one batch's predictions
+     * (Classifier::scoresBatch): 1 = the worker thread alone
+     * (default), 0 = one per hardware thread. Results are identical
+     * for every value; this only trades worker-level for intra-batch
+     * parallelism.
+     */
+    std::size_t predictThreads = 1;
+
     /** Max wait to fill a batch beyond its first request. */
     std::uint64_t batchMaxDelayUs = 200;
 
@@ -184,6 +193,8 @@ class InferenceServer
     obs::Counter &requestsBad_;
     obs::Counter &requestsOverload_;
     obs::Counter &batches_;
+    obs::Counter &multiBatches_;
+    obs::Counter &batchedRequests_;
     obs::Counter &connectionsTotal_;
     obs::Counter &watchdogTrips_;
     obs::Gauge &queueDepth_;

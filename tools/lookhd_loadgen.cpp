@@ -5,17 +5,20 @@
  * Usage:
  *   lookhd_loadgen --port PORT --features N
  *                  [--host 127.0.0.1] [--connections 4]
- *                  [--requests 1000] [--seed 42]
+ *                  [--requests 1000] [--seed 42] [--burst 1]
  *                  [--lo 0] [--hi 1] [--quick] [--quiet]
  *
  * Opens --connections TCP connections, each running a closed loop:
  * send one {"id":k,"features":[...]} request, wait for the
  * response, measure the round trip, repeat until the shared budget
- * of --requests is spent. Feature vectors are deterministic
- * (util::Rng seeded from --seed and the connection index, uniform
- * in [--lo,--hi]); responses are checked for a "pred" field and a
- * matching echoed id. --quick shrinks the run for CI smoke
- * (2 connections, 64 requests).
+ * of --requests is spent. --burst N pipelines N requests per round
+ * trip instead (send N lines, then read N responses, matched by id
+ * in any order) - this is what fills server-side batches and
+ * exercises the batched predict path even with few connections.
+ * Feature vectors are deterministic (util::Rng seeded from --seed
+ * and the connection index, uniform in [--lo,--hi]); responses are
+ * checked for a "pred" field and a matching echoed id. --quick
+ * shrinks the run for CI smoke (2 connections, 64 requests).
  *
  * Prints a one-line machine-readable summary (client-side exact
  * quantiles, not the server's histogram estimate):
@@ -32,6 +35,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "cli.hpp"
@@ -46,13 +50,14 @@ namespace {
 constexpr const char *kUsage =
     "usage: lookhd_loadgen --port PORT --features N\n"
     "                      [--host 127.0.0.1] [--connections 4]\n"
-    "                      [--requests 1000] [--seed 42]\n"
+    "                      [--requests 1000] [--seed 42] [--burst 1]\n"
     "                      [--lo 0] [--hi 1] [--quick] [--quiet]\n"
     "\n"
     "Closed-loop load generator for lookhd_serve: each connection\n"
-    "sends a request, waits for the response, repeats. Prints\n"
-    "achieved QPS and client-side p50/p90/p99. Exits 0 iff every\n"
-    "request succeeded.\n";
+    "sends a request, waits for the response, repeats. --burst N\n"
+    "pipelines N requests per round trip (fills server batches).\n"
+    "Prints achieved QPS and client-side p50/p90/p99. Exits 0 iff\n"
+    "every request succeeded.\n";
 
 struct WorkerResult
 {
@@ -106,6 +111,8 @@ main(int argc, char **argv)
         totalRequests = std::max<std::size_t>(totalRequests, 1);
         const auto seed =
             static_cast<std::uint64_t>(args.getInt("seed", 42));
+        const std::size_t burst = std::max<std::size_t>(
+            static_cast<std::size_t>(args.getInt("burst", 1)), 1);
         const double lo = args.getDouble("lo", 0.0);
         const double hi = args.getDouble("hi", 1.0);
 
@@ -124,44 +131,71 @@ main(int argc, char **argv)
                     util::Rng rng((seed + 0x10ad) ^ c);
                     std::string line;
                     while (true) {
-                        const std::size_t k = nextRequest.fetch_add(1);
-                        if (k >= totalRequests)
+                        // Claim up to `burst` ids from the shared
+                        // budget, pipeline them in one write, then
+                        // collect the responses (workers may answer
+                        // out of order across batches).
+                        std::vector<std::size_t> ids;
+                        ids.reserve(burst);
+                        for (std::size_t j = 0; j < burst; ++j) {
+                            const std::size_t k =
+                                nextRequest.fetch_add(1);
+                            if (k >= totalRequests)
+                                break;
+                            ids.push_back(k);
+                        }
+                        if (ids.empty())
                             return;
-                        obs::JsonWriter w;
-                        w.beginObject();
-                        w.kv("id",
-                             static_cast<std::uint64_t>(k));
-                        w.key("features").beginArray();
-                        for (std::size_t f = 0; f < features; ++f)
-                            w.value(rng.nextDouble(lo, hi));
-                        w.endArray();
-                        w.endObject();
+
+                        std::string payload;
+                        for (const std::size_t k : ids) {
+                            obs::JsonWriter w;
+                            w.beginObject();
+                            w.kv("id",
+                                 static_cast<std::uint64_t>(k));
+                            w.key("features").beginArray();
+                            for (std::size_t f = 0; f < features;
+                                 ++f)
+                                w.value(rng.nextDouble(lo, hi));
+                            w.endArray();
+                            w.endObject();
+                            payload += w.str();
+                            payload += '\n';
+                        }
 
                         const util::Timer rtt;
-                        if (!stream.sendAll(w.str()) ||
-                            !stream.sendAll("\n") ||
-                            !stream.readLine(line)) {
-                            ++result.errors;
+                        if (!stream.sendAll(payload)) {
+                            result.errors += ids.size();
                             return; // connection is gone
                         }
-                        const double us = rtt.microseconds();
+                        std::unordered_set<std::size_t> expected(
+                            ids.begin(), ids.end());
+                        for (std::size_t j = 0; j < ids.size();
+                             ++j) {
+                            if (!stream.readLine(line)) {
+                                result.errors += expected.size();
+                                return;
+                            }
+                            const double us = rtt.microseconds();
 
-                        std::string parseError;
-                        const auto doc =
-                            serve::parseJson(line, parseError);
-                        const serve::JsonValue *pred =
-                            doc ? doc->find("pred") : nullptr;
-                        const serve::JsonValue *id =
-                            doc ? doc->find("id") : nullptr;
-                        const bool idMatches =
-                            id != nullptr && id->isNumber() &&
-                            id->number ==
-                                static_cast<double>(k);
-                        if (pred == nullptr || !pred->isNumber() ||
-                            !idMatches)
-                            ++result.errors;
-                        else
-                            result.latenciesUs.push_back(us);
+                            std::string parseError;
+                            const auto doc =
+                                serve::parseJson(line, parseError);
+                            const serve::JsonValue *pred =
+                                doc ? doc->find("pred") : nullptr;
+                            const serve::JsonValue *id =
+                                doc ? doc->find("id") : nullptr;
+                            const bool idMatches =
+                                id != nullptr && id->isNumber() &&
+                                expected.erase(static_cast<
+                                               std::size_t>(
+                                    id->number)) == 1;
+                            if (pred == nullptr ||
+                                !pred->isNumber() || !idMatches)
+                                ++result.errors;
+                            else
+                                result.latenciesUs.push_back(us);
+                        }
                     }
                 } catch (const std::exception &) {
                     ++result.errors;

@@ -4,6 +4,7 @@
  *
  * Usage:
  *   lookhd_predict --model model.bin --input data.csv
+ *                  [--threads 1] [--batch 64]
  *                  [--label-first] [--skip-rows N] [--quiet]
  *                  [--metrics-out metrics.json]
  *                  [--quality-out quality.json]
@@ -32,6 +33,7 @@ namespace {
 
 constexpr const char *kUsage =
     "usage: lookhd_predict --model model.bin --input data.csv\n"
+    "                      [--threads 1] [--batch 64]\n"
     "                      [--label-first] [--skip-rows N] [--quiet]\n"
     "                      [--metrics-out metrics.json]\n"
     "                      [--quality-out quality.json]\n"
@@ -39,6 +41,10 @@ constexpr const char *kUsage =
     "\n"
     "Prints one predicted class index per row; accuracy/macro-F1 go\n"
     "to stderr.\n"
+    "  --threads N         prediction threads per batch (1 = serial,\n"
+    "                      0 = one per hardware thread); predictions\n"
+    "                      are identical for any value\n"
+    "  --batch N           rows scored per batched kernel pass\n"
     "  --metrics-out FILE  dump the obs metric registry as JSON\n"
     "  --quality-out FILE  dump quality telemetry (confusion\n"
     "                      counters + margin histograms) as JSON;\n"
@@ -76,18 +82,38 @@ main(int argc, char **argv)
         const data::Dataset ds =
             data::readCsvFile(args.require("input"), csv);
 
+        const std::size_t threads =
+            static_cast<std::size_t>(args.getInt("threads", 1));
+        const std::size_t batch = std::max<std::size_t>(
+            static_cast<std::size_t>(args.getInt("batch", 64)), 1);
+
         data::ConfusionMatrix cm(
             std::max(ds.numClasses(), std::size_t{1}));
         bool labels_usable = true;
-        for (std::size_t i = 0; i < ds.size(); ++i) {
-            const std::vector<double> scores = clf.scores(ds.row(i));
-            const std::size_t pred = hdc::argmax(scores);
-            LOOKHD_QUALITY_OUTCOME("predict", ds.label(i), scores);
-            std::printf("%zu\n", pred);
-            if (pred < cm.numClasses())
-                cm.add(ds.label(i), pred);
-            else
-                labels_usable = false;
+        // Score in batches through the batched kernels; output order
+        // and predictions match the per-row path exactly.
+        std::vector<std::span<const double>> rows;
+        for (std::size_t first = 0; first < ds.size();
+             first += batch) {
+            const std::size_t last =
+                std::min(ds.size(), first + batch);
+            rows.clear();
+            for (std::size_t i = first; i < last; ++i)
+                rows.push_back(ds.row(i));
+            const std::vector<std::vector<double>> batchScores =
+                clf.scoresBatch(rows, threads);
+            for (std::size_t i = first; i < last; ++i) {
+                const std::vector<double> &scores =
+                    batchScores[i - first];
+                const std::size_t pred = hdc::argmax(scores);
+                LOOKHD_QUALITY_OUTCOME("predict", ds.label(i),
+                                       scores);
+                std::printf("%zu\n", pred);
+                if (pred < cm.numClasses())
+                    cm.add(ds.label(i), pred);
+                else
+                    labels_usable = false;
+            }
         }
         if (!args.has("quiet") && labels_usable && cm.total() > 0) {
             std::fprintf(stderr,

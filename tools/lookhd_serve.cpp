@@ -5,7 +5,7 @@
  * Usage:
  *   lookhd_serve --model model.bin
  *                [--port 7070] [--metrics-port 7071]
- *                [--workers 2] [--batch-max 16]
+ *                [--workers 2] [--batch-max 16] [--threads 1]
  *                [--batch-delay-us 200] [--queue-cap 1024]
  *                [--watchdog-ms 2000]
  *                [--event-log events.jsonl]
@@ -50,6 +50,7 @@ constexpr const char *kUsage =
     "usage: lookhd_serve --model model.bin\n"
     "                    [--port 7070] [--metrics-port 7071]\n"
     "                    [--workers 2] [--batch-max 16]\n"
+    "                    [--threads 1]\n"
     "                    [--batch-delay-us 200] [--queue-cap 1024]\n"
     "                    [--watchdog-ms 2000]\n"
     "                    [--event-log events.jsonl]\n"
@@ -61,6 +62,9 @@ constexpr const char *kUsage =
     "--metrics-port (plus /metrics.json and /healthz). Port 0 picks\n"
     "a free port; both are announced on stdout. SIGTERM/SIGINT\n"
     "drains and exits 0.\n"
+    "  --threads N         prediction threads per worker batch\n"
+    "                      (1 = the worker alone, 0 = one per\n"
+    "                      hardware thread); results are identical\n"
     "  --event-log FILE    append JSON-lines request-scope events\n"
     "  --metrics-out FILE  dump the final metric registry as JSON\n"
     "  --max-seconds N     self-terminate after N seconds (CI belt)\n";
@@ -95,6 +99,8 @@ main(int argc, char **argv)
             static_cast<std::size_t>(args.getInt("workers", 2));
         cfg.batchMaxSize =
             static_cast<std::size_t>(args.getInt("batch-max", 16));
+        cfg.predictThreads =
+            static_cast<std::size_t>(args.getInt("threads", 1));
         cfg.batchMaxDelayUs = static_cast<std::uint64_t>(
             args.getInt("batch-delay-us", 200));
         cfg.queueCapacity =

@@ -6,7 +6,7 @@
  * Usage:
  *   lookhd_train --input data.csv --output model.bin
  *                [--dim 2000] [--q 4] [--r 5] [--epochs 10]
- *                [--seed 42] [--test-fraction 0.2]
+ *                [--seed 42] [--test-fraction 0.2] [--threads 1]
  *                [--linear] [--per-feature] [--no-compress]
  *                [--label-first] [--skip-rows N] [--quiet]
  *                [--metrics-out metrics.json]
@@ -41,6 +41,7 @@ constexpr const char *kUsage =
     "usage: lookhd_train --input data.csv --output model.bin\n"
     "                    [--dim 2000] [--q 4] [--r 5] [--epochs 10]\n"
     "                    [--seed 42] [--test-fraction 0.2]\n"
+    "                    [--threads 1]\n"
     "                    [--linear] [--per-feature] [--no-compress]\n"
     "                    [--label-first] [--skip-rows N] [--quiet]\n"
     "                    [--metrics-out metrics.json]\n"
@@ -48,6 +49,9 @@ constexpr const char *kUsage =
     "                    [--trace-out trace.json]\n"
     "\n"
     "Trains a LookHD classifier on the CSV and writes the model.\n"
+    "  --threads N         counter-training threads (1 = serial,\n"
+    "                      0 = one per hardware thread); any value\n"
+    "                      trains the exact same model\n"
     "  --metrics-out FILE  dump the obs metric registry as JSON\n"
     "  --quality-out FILE  dump quality telemetry (held-out\n"
     "                      confusion counters + margin histograms)\n"
@@ -92,6 +96,8 @@ main(int argc, char **argv)
         cfg.retrainEpochs =
             static_cast<std::size_t>(args.getInt("epochs", 10));
         cfg.seed = static_cast<std::uint64_t>(args.getInt("seed", 42));
+        cfg.counters.threads =
+            static_cast<std::size_t>(args.getInt("threads", 1));
         if (args.has("linear"))
             cfg.quantization = QuantizationKind::kLinear;
         cfg.perFeatureQuantization = args.has("per-feature");

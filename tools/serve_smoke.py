@@ -8,9 +8,12 @@ Round trip, in one process tree:
   2. start lookhd_serve on ephemeral ports (``--port 0``), parsing
      the announced request/metrics ports from its stdout,
   3. drive it with lookhd_loadgen (``--quick`` by default here),
+     pipelining requests with ``--burst`` so server-side batches
+     actually fill,
   4. scrape GET /metrics, lint it with validate_prometheus.check_text
-     and assert the request counter is nonzero and the latency
-     histogram has buckets,
+     and assert the request counter is nonzero, the latency
+     histogram has buckets, and the batched predict path was
+     exercised (at least one batch of size > 1),
   5. scrape GET /metrics.json and assemble a ``lookhd-bench-v2``
      BENCH_serve_smoke.json (server-side latency quantiles + client
      QPS in `metrics`) into --out-dir, validated with
@@ -133,6 +136,16 @@ def check_prometheus(text: str) -> None:
                      text, re.M):
         raise SmokeError("/metrics has no request-latency histogram "
                          "buckets")
+    multi = re.search(
+        r"^lookhd_serve_batches_multi_total\s+(\d+)", text, re.M)
+    if not multi:
+        raise SmokeError("/metrics has no "
+                         "lookhd_serve_batches_multi_total sample")
+    if int(multi.group(1)) == 0:
+        raise SmokeError(
+            "no batch larger than one request was processed - the "
+            "batched predict path was never exercised (burst "
+            "pipelining broken?)")
 
 
 def emit_bench_json(snapshot: dict, loadgen: re.Match,
@@ -169,6 +182,10 @@ def emit_bench_json(snapshot: dict, loadgen: re.Match,
             "serve_latency_mean_ns": latency["mean_ns"],
             "serve_requests": counters.get("serve.requests", 0),
             "serve_batches": counters.get("serve.batches", 0),
+            "serve_batches_multi": counters.get(
+                "serve.batches.multi", 0),
+            "serve_requests_batched": counters.get(
+                "serve.requests.batched", 0),
             # Client-side view from lookhd_loadgen (exact
             # quantiles, closed loop).
             "client_qps": float(loadgen.group(3)),
@@ -246,8 +263,12 @@ def main() -> int:
         print(f"serve_smoke: server up, request port {port}, "
               f"metrics port {metrics_port}")
 
+        # --burst pipelines requests per connection so worker-side
+        # batches fill beyond one request (check_prometheus asserts
+        # the multi-request-batch counter moved).
         loadgen_cmd = [args.loadgen, "--port", str(port),
-                       "--features", str(FEATURES), "--seed", "42"]
+                       "--features", str(FEATURES), "--seed", "42",
+                       "--burst", "8"]
         if args.quick:
             loadgen_cmd.append("--quick")
         loadgen_out = run(loadgen_cmd, "lookhd_loadgen")

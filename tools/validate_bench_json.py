@@ -65,6 +65,18 @@ CONFUSION_FIELDS = ("classes", "total", "correct", "accuracy",
 
 PERF_SPAN_FIELDS = ("name", "samples")
 
+# Per-bench contracts: benches whose downstream gating depends on
+# specific metrics / config keys being present. bench_compare.py can
+# only gate what the emitter actually wrote, so absence is caught
+# here rather than as a silent MISSING row later.
+BENCH_RULES = {
+    "batch_predict": {
+        "metrics": ("predict_scalar_loop_ms", "predict_batch_ms",
+                    "speedup_batch_vs_scalar"),
+        "config": ("kernel", "threads", "dim", "classes"),
+    },
+}
+
 
 def check_file(path: Path) -> list[str]:
     problems = []
@@ -104,6 +116,20 @@ def check_file(path: Path) -> list[str]:
                     isinstance(value, bool):
                 bad(f"metric '{key}' must be a number, "
                     f"got {type(value).__name__}")
+
+    rules = BENCH_RULES.get(name) if isinstance(name, str) else None
+    if rules:
+        if isinstance(metrics, dict):
+            for key in rules["metrics"]:
+                if key not in metrics:
+                    bad(f"bench '{name}' must emit metric '{key}' "
+                        f"(gated by bench_compare.py)")
+        config = doc.get("config")
+        if isinstance(config, dict):
+            for key in rules["config"]:
+                if key not in config:
+                    bad(f"bench '{name}' must record config key "
+                        f"'{key}'")
 
     registry = doc.get("registry")
     if isinstance(registry, dict):
