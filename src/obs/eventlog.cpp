@@ -4,8 +4,10 @@
 #include <chrono>
 #include <csignal>
 #include <exception>
+#include <fcntl.h>
 #include <fstream>
 #include <ostream>
+#include <unistd.h>
 #include <unordered_map>
 
 #include "obs/json.hpp"
@@ -75,23 +77,30 @@ logLevelName(LogLevel level)
 /**
  * Fixed-capacity overwrite-oldest buffer. Each writer thread owns
  * one ring; the ring mutex is uncontended except while a flush is
- * draining it.
+ * draining it. Rings are chained into the log's lock-free list
+ * (nextRing, immutable after publication) so the crash-signal path
+ * can reach every ring without touching ringsMutex_.
  */
 struct EventLog::Ring
 {
     explicit Ring(std::size_t capacity) : events(capacity) {}
 
-    std::mutex mutex;
-    std::vector<LogEvent> events; // capacity slots, circular
-    std::size_t head = 0;         // next write position
-    std::size_t size = 0;
-    std::uint64_t droppedSinceFlush = 0;
+    util::Mutex mutex;
+    /** Capacity slots, circular. */
+    std::vector<LogEvent> events LOOKHD_GUARDED_BY(mutex);
+    /** Next write position. */
+    std::size_t head LOOKHD_GUARDED_BY(mutex) = 0;
+    std::size_t size LOOKHD_GUARDED_BY(mutex) = 0;
+    std::uint64_t droppedSinceFlush LOOKHD_GUARDED_BY(mutex) = 0;
+    /** Written once at registration, immutable after. */
     std::uint64_t threadId = 0;
+    /** List link; written before publication, immutable after. */
+    Ring *nextRing = nullptr;
 
     void
     push(LogEvent &&e)
     {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const util::MutexLock lock(mutex);
         events[head] = std::move(e);
         head = (head + 1) % events.size();
         if (size < events.size())
@@ -118,7 +127,15 @@ EventLog::EventLog(std::size_t ringCapacity)
 {
 }
 
-EventLog::~EventLog() = default;
+EventLog::~EventLog()
+{
+    Ring *ring = ringsHead_.load(std::memory_order_acquire);
+    while (ring != nullptr) {
+        Ring *next = ring->nextRing;
+        delete ring;
+        ring = next;
+    }
+}
 
 EventLog &
 EventLog::global()
@@ -156,12 +173,17 @@ EventLog::ringForThisThread()
     const auto it = cache.find(id_);
     if (it != cache.end())
         return *it->second;
-    const std::lock_guard<std::mutex> lock(ringsMutex_);
-    rings_.push_back(std::make_unique<Ring>(ringCapacity_));
-    Ring &ring = *rings_.back();
-    ring.threadId = thisThreadId();
-    cache[id_] = &ring;
-    return ring;
+    auto *ring = new Ring(ringCapacity_);
+    ring->threadId = thisThreadId();
+    {
+        const util::MutexLock lock(ringsMutex_);
+        ring->nextRing = ringsHead_.load(std::memory_order_relaxed);
+        // Release-publish so the lock-free crash traversal sees a
+        // fully constructed ring behind the new head.
+        ringsHead_.store(ring, std::memory_order_release);
+    }
+    cache[id_] = ring;
+    return *ring;
 }
 
 void
@@ -192,9 +214,10 @@ EventLog::flush(std::ostream &out)
 {
     std::vector<LogEvent> drained;
     {
-        const std::lock_guard<std::mutex> lock(ringsMutex_);
-        for (const auto &ring : rings_) {
-            const std::lock_guard<std::mutex> ringLock(ring->mutex);
+        const util::MutexLock lock(ringsMutex_);
+        for (Ring *ring = ringsHead_.load(std::memory_order_acquire);
+             ring != nullptr; ring = ring->nextRing) {
+            const util::MutexLock ringLock(ring->mutex);
             if (ring->droppedSinceFlush > 0) {
                 LogEvent drop;
                 drop.wallMs = wallMillisNow();
@@ -252,9 +275,10 @@ EventLog::totalDropped() const
     // remainder so the count is current.
     std::uint64_t pending = 0;
     {
-        const std::lock_guard<std::mutex> lock(ringsMutex_);
-        for (const auto &ring : rings_) {
-            const std::lock_guard<std::mutex> ringLock(ring->mutex);
+        const util::MutexLock lock(ringsMutex_);
+        for (Ring *ring = ringsHead_.load(std::memory_order_acquire);
+             ring != nullptr; ring = ring->nextRing) {
+            const util::MutexLock ringLock(ring->mutex);
             pending += ring->droppedSinceFlush;
         }
     }
@@ -264,9 +288,10 @@ EventLog::totalDropped() const
 void
 EventLog::reset()
 {
-    const std::lock_guard<std::mutex> lock(ringsMutex_);
-    for (const auto &ring : rings_) {
-        const std::lock_guard<std::mutex> ringLock(ring->mutex);
+    const util::MutexLock lock(ringsMutex_);
+    for (Ring *ring = ringsHead_.load(std::memory_order_acquire);
+         ring != nullptr; ring = ring->nextRing) {
+        const util::MutexLock ringLock(ring->mutex);
         ring->size = 0;
         ring->droppedSinceFlush = 0;
     }
@@ -275,30 +300,187 @@ EventLog::reset()
 }
 
 // --- Crash flush -----------------------------------------------------
+//
+// Everything below the FdWriter must stay async-signal-safe: no
+// allocation, no locks, no stdio, no functions outside the
+// signal-safety(7) list. tools/lint_annotations.py cannot check this,
+// but the tidy-tsa build proves the no-locking half: none of these
+// functions carry ACQUIRE/REQUIRES, and flushCrashToFd is the one
+// LOOKHD_NO_THREAD_SAFETY_ANALYSIS site in the repo, with the racy
+// reads documented at the call sites it guards.
 
 namespace {
 
-std::mutex gCrashMutex;
-std::string gCrashPath;                        // guarded by gCrashMutex
+/**
+ * Buffered raw-fd JSON-line writer for the crash path. Fixed stack
+ * storage, write(2) only; every method is async-signal-safe.
+ */
+class FdWriter
+{
+  public:
+    explicit FdWriter(int fd) : fd_(fd) {}
+
+    ~FdWriter() { flushBuffer(); }
+
+    void
+    put(char c)
+    {
+        if (len_ == sizeof(buf_))
+            flushBuffer();
+        buf_[len_++] = c;
+    }
+
+    void
+    literal(const char *s)
+    {
+        while (*s != '\0')
+            put(*s++);
+    }
+
+    /** JSON string escape of raw bytes (no allocation). */
+    void
+    escaped(const char *s, std::size_t n)
+    {
+        static const char *hex = "0123456789abcdef";
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto c = static_cast<unsigned char>(s[i]);
+            if (c == '"' || c == '\\') {
+                put('\\');
+                put(static_cast<char>(c));
+            } else if (c >= 0x20) {
+                put(static_cast<char>(c));
+            } else {
+                literal("\\u00");
+                put(hex[(c >> 4) & 0xF]);
+                put(hex[c & 0xF]);
+            }
+        }
+    }
+
+    void
+    unsigned64(std::uint64_t v)
+    {
+        char digits[20];
+        std::size_t n = 0;
+        do {
+            digits[n++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v != 0);
+        while (n > 0)
+            put(digits[--n]);
+    }
+
+    bool ok() const { return ok_; }
+
+    void
+    flushBuffer()
+    {
+        std::size_t off = 0;
+        while (off < len_) {
+            const ssize_t n =
+                ::write(fd_, buf_ + off, len_ - off);
+            if (n <= 0) {
+                ok_ = false;
+                break;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        len_ = 0;
+    }
+
+  private:
+    int fd_;
+    char buf_[4096];
+    std::size_t len_ = 0;
+    bool ok_ = true;
+};
+
+void
+writeCrashEventLine(FdWriter &w, const LogEvent &e)
+{
+    w.literal("{\"ts_ms\":");
+    w.unsigned64(e.wallMs);
+    w.literal(",\"elapsed_ns\":");
+    w.unsigned64(e.elapsedNs);
+    w.literal(",\"level\":\"");
+    w.literal(logLevelName(e.level));
+    w.literal("\",\"event\":\"");
+    w.escaped(e.event.data(), e.event.size());
+    w.literal("\",\"thread\":");
+    w.unsigned64(e.thread);
+    w.literal(",\"fields\":{");
+    bool first = true;
+    for (const auto &[key, value] : e.fields) {
+        if (!first)
+            w.put(',');
+        first = false;
+        w.put('"');
+        w.escaped(key.data(), key.size());
+        w.literal("\":\"");
+        w.escaped(value.data(), value.size());
+        w.put('"');
+    }
+    w.literal("}}\n");
+}
+
+constexpr std::size_t kCrashPathMax = 4096;
+
+/** Serializes installers only; never touched on the signal path. */
+util::Mutex gInstallMutex;
+char gCrashPath[kCrashPathMax] LOOKHD_GUARDED_BY(gInstallMutex);
+/** Path byte count, release-published after the bytes are written so
+ * the handler's lock-free acquire load sees a complete path. */
+std::atomic<std::size_t> gCrashPathLen{0};
+/** The log the handler flushes; set before handlers install so the
+ * signal path never runs a magic-static initializer. */
+std::atomic<EventLog *> gCrashLog{nullptr};
 std::terminate_handler gPrevTerminate = nullptr;
 std::atomic<bool> gCrashFlushed{false};
 
+/**
+ * Async-signal-safe: open/write/close only, no locks, no allocation.
+ * A fault inside this function re-enters fatalSignalHandler, which
+ * sees gCrashFlushed and falls straight through to SIG_DFL re-raise,
+ * so the worst case is a truncated log, never a hang.
+ *
+ * Analysis is off because gCrashPath is read WITHOUT gInstallMutex:
+ * the handler must not lock (the crashing thread may hold it), and
+ * installation happened-before the crash via gCrashPathLen's
+ * release/acquire pair.
+ */
 void
-crashFlush(const char *reason)
+crashFlush(const char *reason) LOOKHD_NO_THREAD_SAFETY_ANALYSIS
 {
     // One shot: a second fault while flushing must not recurse.
     if (gCrashFlushed.exchange(true))
         return;
-    std::string path;
-    {
-        const std::lock_guard<std::mutex> lock(gCrashMutex);
-        path = gCrashPath;
-    }
-    if (path.empty())
+    const std::size_t pathLen =
+        gCrashPathLen.load(std::memory_order_acquire);
+    EventLog *log = gCrashLog.load(std::memory_order_acquire);
+    if (pathLen == 0 || log == nullptr)
         return;
-    EventLog::global().emit(LogLevel::kError, "eventlog.crash",
-                            {{"reason", std::string(reason)}});
-    EventLog::global().flushToFile(path);
+    char path[kCrashPathMax];
+    // Lock-free read of gCrashPath: installers serialize among
+    // themselves and publish through gCrashPathLen; by the time a
+    // handler runs, installation has happened-before the crash.
+    for (std::size_t i = 0; i < pathLen; ++i)
+        path[i] = gCrashPath[i];
+    path[pathLen] = '\0';
+    const int fd =
+        ::open(path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        return;
+    {
+        FdWriter w(fd);
+        w.literal("{\"ts_ms\":0,\"elapsed_ns\":0,\"level\":\"error\","
+                  "\"event\":\"eventlog.crash\",\"thread\":0,"
+                  "\"fields\":{\"reason\":\"");
+        w.literal(reason);
+        w.literal("\"}}\n");
+        w.flushBuffer();
+    }
+    log->flushCrashToFd(fd);
+    ::close(fd);
 }
 
 [[noreturn]] void
@@ -313,7 +495,6 @@ terminateWithFlush()
 void
 fatalSignalHandler(int sig)
 {
-    // Best effort, explicitly not async-signal-safe (see header).
     crashFlush("signal");
     std::signal(sig, SIG_DFL);
     std::raise(sig);
@@ -321,14 +502,57 @@ fatalSignalHandler(int sig)
 
 } // namespace
 
+// Rationale for LOOKHD_NO_THREAD_SAFETY_ANALYSIS: this is the
+// crash-signal drain. Taking ringsMutex_ or a ring mutex inside a
+// signal handler could self-deadlock against the very thread that
+// crashed while holding it, so the rings are read WITHOUT their
+// capabilities, racing with live writers by design. The ring list is
+// safe to traverse lock-free (release-published, nodes never freed
+// while the log lives); the ring contents may tear, and a fault while
+// reading them is absorbed by crashFlush's one-shot guard.
+bool
+EventLog::flushCrashToFd(int fd) LOOKHD_NO_THREAD_SAFETY_ANALYSIS
+{
+    FdWriter w(fd);
+    for (Ring *ring = ringsHead_.load(std::memory_order_acquire);
+         ring != nullptr; ring = ring->nextRing) {
+        const std::size_t cap = ring->events.size();
+        if (cap == 0)
+            continue;
+        const std::size_t size = ring->size < cap ? ring->size : cap;
+        const std::size_t head = ring->head % cap;
+        if (ring->droppedSinceFlush > 0) {
+            LogEvent drop;
+            // Field strings stay in-capacity for SSO: no allocation.
+            drop.level = LogLevel::kWarn;
+            drop.event = "eventlog.dropped";
+            drop.thread = ring->threadId;
+            writeCrashEventLine(w, drop);
+        }
+        const std::size_t oldest = (head + cap - size) % cap;
+        for (std::size_t i = 0; i < size; ++i)
+            writeCrashEventLine(
+                w, ring->events[(oldest + i) % cap]);
+    }
+    w.flushBuffer();
+    return w.ok();
+}
+
 void
 EventLog::installCrashFlush(const std::string &path)
 {
     bool firstInstall = false;
     {
-        const std::lock_guard<std::mutex> lock(gCrashMutex);
-        firstInstall = gCrashPath.empty();
-        gCrashPath = path;
+        const util::MutexLock lock(gInstallMutex);
+        firstInstall =
+            gCrashPathLen.load(std::memory_order_relaxed) == 0;
+        const std::size_t len =
+            path.size() < kCrashPathMax - 1 ? path.size()
+                                            : kCrashPathMax - 1;
+        for (std::size_t i = 0; i < len; ++i)
+            gCrashPath[i] = path[i];
+        gCrashLog.store(&global(), std::memory_order_release);
+        gCrashPathLen.store(len, std::memory_order_release);
     }
     if (!firstInstall)
         return;

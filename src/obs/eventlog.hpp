@@ -36,12 +36,12 @@
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
-#include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace lookhd::obs {
 
@@ -116,11 +116,25 @@ class EventLog
     /**
      * Best-effort flush of the GLOBAL log to @p path on
      * std::terminate, SIGSEGV, SIGBUS, SIGFPE and SIGABRT, then
-     * rethrow/re-raise. Not async-signal-safe in the strict sense
-     * (it allocates); a torn log line on a crashing process beats an
-     * empty file. Idempotent: later calls just update the path.
+     * rethrow/re-raise. The signal path is async-signal-safe: it
+     * takes no locks and performs no allocation (see
+     * flushCrashToFd), at the price of racy ring reads - acceptable
+     * while the process is dying. Idempotent: later calls just
+     * update the path.
      */
     static void installCrashFlush(const std::string &path);
+
+    /**
+     * Async-signal-safe drain of every ring to @p fd as JSON lines.
+     * Takes NO locks and allocates NOTHING: rings are reached
+     * through a lock-free list and formatted into a fixed stack
+     * buffer with raw write(2) calls. Reads race with concurrent
+     * writers by design - on the crash path the torn tail of a log
+     * beats an empty file. Rings are NOT emptied (no state is
+     * mutated), so a survivable caller (tests) can still flush()
+     * normally afterwards. @return false if any write failed.
+     */
+    bool flushCrashToFd(int fd);
 
   private:
     struct Ring;
@@ -135,8 +149,14 @@ class EventLog
     std::atomic<int> minLevel_{static_cast<int>(LogLevel::kDebug)};
     std::atomic<std::uint64_t> emitted_{0};
     std::atomic<std::uint64_t> dropped_{0};
-    mutable std::mutex ringsMutex_;
-    std::vector<std::unique_ptr<Ring>> rings_;
+    /** Serializes ring-list mutation and reader passes (flush,
+     * reset, totalDropped) against each other. The list itself is
+     * additionally published through the atomic head so the
+     * crash-signal path can traverse it without locking. */
+    mutable util::Mutex ringsMutex_;
+    /** Lock-free singly-linked ring list head; rings live until the
+     * log is destroyed (the global log never is). */
+    std::atomic<Ring *> ringsHead_{nullptr};
 };
 
 } // namespace lookhd::obs

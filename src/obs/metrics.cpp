@@ -25,7 +25,7 @@ void
 LatencyHistogram::record(std::uint64_t ns)
 {
     const std::uint64_t clamped = std::max<std::uint64_t>(ns, 1);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     hist_.add(std::log10(static_cast<double>(clamped)));
     if (count_ == 0 || clamped < minNs_)
         minNs_ = clamped;
@@ -37,28 +37,28 @@ LatencyHistogram::record(std::uint64_t ns)
 std::uint64_t
 LatencyHistogram::count() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return count_;
 }
 
 std::uint64_t
 LatencyHistogram::minNs() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return minNs_;
 }
 
 std::uint64_t
 LatencyHistogram::maxNs() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return maxNs_;
 }
 
 double
 LatencyHistogram::meanNs() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return count_ == 0 ? 0.0 : sumNs_ / static_cast<double>(count_);
 }
 
@@ -80,7 +80,7 @@ LatencyHistogram::snapshot() const
             std::pow(10.0, kLogLo + kBinWidth *
                                static_cast<double>(b + 1)));
     }
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     snap.count = count_;
     snap.minNs = minNs_;
     snap.maxNs = maxNs_;
@@ -120,7 +120,7 @@ LatencySnapshot::percentileNs(double p) const
 void
 LatencyHistogram::reset()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     hist_ = util::Histogram(kLogLo, kLogHi, kLogBins);
     count_ = 0;
     minNs_ = 0;
@@ -141,7 +141,7 @@ MetricRegistry::global()
 Counter &
 MetricRegistry::counter(const std::string &name)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto &slot = counters_[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -151,7 +151,7 @@ MetricRegistry::counter(const std::string &name)
 Gauge &
 MetricRegistry::gauge(const std::string &name)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto &slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -161,7 +161,7 @@ MetricRegistry::gauge(const std::string &name)
 LatencyHistogram &
 MetricRegistry::latency(const std::string &name)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto &slot = latencies_[name];
     if (!slot)
         slot = std::make_unique<LatencyHistogram>();
@@ -172,14 +172,14 @@ void
 MetricRegistry::setLabel(const std::string &key,
                          const std::string &value)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     labels_[key] = value;
 }
 
 void
 MetricRegistry::reset()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     for (auto &[name, c] : counters_)
         c->reset();
     for (auto &[name, g] : gauges_)
@@ -193,7 +193,7 @@ RegistrySnapshot
 MetricRegistry::snapshot() const
 {
     RegistrySnapshot snap;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     for (const auto &[name, c] : counters_)
         snap.counters[name] = c->value();
     for (const auto &[name, g] : gauges_)

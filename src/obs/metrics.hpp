@@ -41,11 +41,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/histogram.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lookhd::obs {
 
@@ -153,12 +153,12 @@ class LatencyHistogram
     void reset();
 
   private:
-    mutable std::mutex mutex_;
-    util::Histogram hist_;
-    std::uint64_t count_ = 0;
-    std::uint64_t minNs_ = 0;
-    std::uint64_t maxNs_ = 0;
-    double sumNs_ = 0.0;
+    mutable util::Mutex mutex_;
+    util::Histogram hist_ LOOKHD_GUARDED_BY(mutex_);
+    std::uint64_t count_ LOOKHD_GUARDED_BY(mutex_) = 0;
+    std::uint64_t minNs_ LOOKHD_GUARDED_BY(mutex_) = 0;
+    std::uint64_t maxNs_ LOOKHD_GUARDED_BY(mutex_) = 0;
+    double sumNs_ LOOKHD_GUARDED_BY(mutex_) = 0.0;
 };
 
 /**
@@ -220,11 +220,15 @@ class MetricRegistry
     std::string toJson() const;
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
-    std::map<std::string, std::string> labels_;
+    mutable util::Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        LOOKHD_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        LOOKHD_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_
+        LOOKHD_GUARDED_BY(mutex_);
+    std::map<std::string, std::string> labels_
+        LOOKHD_GUARDED_BY(mutex_);
 };
 
 } // namespace lookhd::obs

@@ -32,7 +32,7 @@ MarginHistogram::lowerEdge(std::size_t i)
 void
 MarginHistogram::record(double margin)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     ++buckets_[bucketOf(margin)];
     if (count_ == 0) {
         min_ = margin;
@@ -48,49 +48,49 @@ MarginHistogram::record(double margin)
 std::uint64_t
 MarginHistogram::count() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return count_;
 }
 
 std::uint64_t
 MarginHistogram::negatives() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return buckets_[0];
 }
 
 std::uint64_t
 MarginHistogram::bucket(std::size_t i) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return buckets_.at(i);
 }
 
 double
 MarginHistogram::meanMargin() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 double
 MarginHistogram::minMargin() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return count_ == 0 ? 0.0 : min_;
 }
 
 double
 MarginHistogram::maxMargin() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return count_ == 0 ? 0.0 : max_;
 }
 
 void
 MarginHistogram::reset()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     buckets_.fill(0);
     count_ = 0;
     sum_ = 0.0;
@@ -101,7 +101,7 @@ MarginHistogram::reset()
 void
 MarginHistogram::writeJson(JsonWriter &w) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     w.beginObject();
     w.kv("count", count_);
     w.kv("negatives", buckets_[0]);
@@ -127,7 +127,7 @@ MarginHistogram::writeJson(JsonWriter &w) const
 void
 ConfusionCounters::record(std::size_t truth, std::size_t predicted)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const std::size_t needed = std::max(truth, predicted) + 1;
     if (needed > classes_) {
         std::vector<std::uint64_t> grown(needed * needed, 0);
@@ -145,28 +145,28 @@ ConfusionCounters::record(std::size_t truth, std::size_t predicted)
 std::size_t
 ConfusionCounters::numClasses() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return classes_;
 }
 
 std::uint64_t
 ConfusionCounters::total() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return total_;
 }
 
 std::uint64_t
 ConfusionCounters::correct() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return correct_;
 }
 
 std::uint64_t
 ConfusionCounters::count(std::size_t truth, std::size_t predicted) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (truth >= classes_ || predicted >= classes_)
         return 0;
     return counts_[truth * classes_ + predicted];
@@ -175,7 +175,7 @@ ConfusionCounters::count(std::size_t truth, std::size_t predicted) const
 double
 ConfusionCounters::accuracy() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return total_ == 0 ? 0.0
                        : static_cast<double>(correct_) /
                              static_cast<double>(total_);
@@ -184,7 +184,7 @@ ConfusionCounters::accuracy() const
 void
 ConfusionCounters::reset()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     classes_ = 0;
     counts_.clear();
     total_ = 0;
@@ -194,7 +194,7 @@ ConfusionCounters::reset()
 void
 ConfusionCounters::writeJson(JsonWriter &w) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     w.beginObject();
     w.kv("classes", static_cast<std::uint64_t>(classes_));
     w.kv("total", total_);
@@ -229,7 +229,7 @@ QualityTelemetry::global()
 MarginHistogram &
 QualityTelemetry::margins(const std::string &name)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto &slot = margins_[name];
     if (!slot)
         slot = std::make_unique<MarginHistogram>();
@@ -239,7 +239,7 @@ QualityTelemetry::margins(const std::string &name)
 ConfusionCounters &
 QualityTelemetry::confusion(const std::string &name)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto &slot = confusions_[name];
     if (!slot)
         slot = std::make_unique<ConfusionCounters>();
@@ -249,7 +249,7 @@ QualityTelemetry::confusion(const std::string &name)
 void
 QualityTelemetry::reset()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     for (auto &[name, h] : margins_)
         h->reset();
     for (auto &[name, c] : confusions_)
@@ -259,7 +259,7 @@ QualityTelemetry::reset()
 void
 QualityTelemetry::writeJson(JsonWriter &w) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     w.beginObject();
     w.key("margins").beginObject();
     for (const auto &[name, h] : margins_) {

@@ -37,10 +37,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace lookhd::obs {
 
@@ -93,12 +94,13 @@ class MarginHistogram
     void writeJson(JsonWriter &w) const;
 
   private:
-    mutable std::mutex mutex_;
-    std::array<std::uint64_t, kNumBuckets> buckets_{};
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
+    mutable util::Mutex mutex_;
+    std::array<std::uint64_t, kNumBuckets> buckets_
+        LOOKHD_GUARDED_BY(mutex_){};
+    std::uint64_t count_ LOOKHD_GUARDED_BY(mutex_) = 0;
+    double sum_ LOOKHD_GUARDED_BY(mutex_) = 0.0;
+    double min_ LOOKHD_GUARDED_BY(mutex_) = 0.0;
+    double max_ LOOKHD_GUARDED_BY(mutex_) = 0.0;
 };
 
 /**
@@ -130,11 +132,12 @@ class ConfusionCounters
     void writeJson(JsonWriter &w) const;
 
   private:
-    mutable std::mutex mutex_;
-    std::size_t classes_ = 0;
-    std::vector<std::uint64_t> counts_; ///< row-major truth x pred
-    std::uint64_t total_ = 0;
-    std::uint64_t correct_ = 0;
+    mutable util::Mutex mutex_;
+    std::size_t classes_ LOOKHD_GUARDED_BY(mutex_) = 0;
+    /** Row-major truth x prediction counts. */
+    std::vector<std::uint64_t> counts_ LOOKHD_GUARDED_BY(mutex_);
+    std::uint64_t total_ LOOKHD_GUARDED_BY(mutex_) = 0;
+    std::uint64_t correct_ LOOKHD_GUARDED_BY(mutex_) = 0;
 };
 
 /**
@@ -167,10 +170,11 @@ class QualityTelemetry
     std::string toJson() const;
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<MarginHistogram>> margins_;
+    mutable util::Mutex mutex_;
+    std::map<std::string, std::unique_ptr<MarginHistogram>> margins_
+        LOOKHD_GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<ConfusionCounters>>
-        confusions_;
+        confusions_ LOOKHD_GUARDED_BY(mutex_);
 };
 
 /**

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <ostream>
 
 #include "obs/json.hpp"
 #include "obs/perfcounters.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace lookhd::obs {
@@ -29,13 +29,13 @@ struct ThreadTrace;
  */
 struct TraceRegistry
 {
-    std::mutex mutex;
-    std::vector<SpanSite *> sites;
-    std::vector<ThreadTrace *> threads;
+    util::Mutex mutex;
+    std::vector<SpanSite *> sites LOOKHD_GUARDED_BY(mutex);
+    std::vector<ThreadTrace *> threads LOOKHD_GUARDED_BY(mutex);
     /** Events from threads that have already exited. */
     std::vector<std::pair<std::uint64_t, std::vector<TraceEvent>>>
-        retired;
-    std::uint64_t nextTid = 1;
+        retired LOOKHD_GUARDED_BY(mutex);
+    std::uint64_t nextTid LOOKHD_GUARDED_BY(mutex) = 1;
 };
 
 TraceRegistry &
@@ -48,17 +48,22 @@ registry()
 /** Per-thread span stack and event ring. */
 struct ThreadTrace
 {
-    std::mutex mutex;
-    std::vector<TraceEvent> ring;
-    std::size_t next = 0;      // ring write cursor
-    std::uint64_t recorded = 0; // lifetime events (>= ring.size())
+    util::Mutex mutex;
+    std::vector<TraceEvent> ring LOOKHD_GUARDED_BY(mutex);
+    /** Ring write cursor. */
+    std::size_t next LOOKHD_GUARDED_BY(mutex) = 0;
+    /** Lifetime events (>= ring.size()). */
+    std::uint64_t recorded LOOKHD_GUARDED_BY(mutex) = 0;
+    /** Written once at construction, immutable after. */
     std::uint64_t tid = 0;
+    /** Owner-thread private: only the owning thread ever touches the
+     * span stack, so it needs no capability. */
     TraceSpan *current = nullptr;
 
     ThreadTrace()
     {
         auto &reg = registry();
-        const std::lock_guard<std::mutex> lock(reg.mutex);
+        const util::MutexLock lock(reg.mutex);
         tid = reg.nextTid++;
         reg.threads.push_back(this);
     }
@@ -66,11 +71,15 @@ struct ThreadTrace
     ~ThreadTrace()
     {
         auto &reg = registry();
-        const std::lock_guard<std::mutex> lock(reg.mutex);
+        const util::MutexLock lock(reg.mutex);
         reg.threads.erase(std::remove(reg.threads.begin(),
                                       reg.threads.end(), this),
                           reg.threads.end());
-        std::vector<TraceEvent> events = eventsInOrder();
+        std::vector<TraceEvent> events;
+        {
+            const util::MutexLock tlock(mutex);
+            events = eventsInOrder();
+        }
         if (!events.empty())
             reg.retired.emplace_back(tid, std::move(events));
     }
@@ -78,7 +87,7 @@ struct ThreadTrace
     void
     push(const TraceEvent &ev)
     {
-        const std::lock_guard<std::mutex> lock(mutex);
+        const util::MutexLock lock(mutex);
         if (ring.size() < kRingCapacity) {
             ring.push_back(ev);
         } else {
@@ -88,9 +97,9 @@ struct ThreadTrace
         ++recorded;
     }
 
-    /** Ring contents, oldest first. Caller holds no lock. */
+    /** Ring contents, oldest first. */
     std::vector<TraceEvent>
-    eventsInOrder()
+    eventsInOrder() LOOKHD_REQUIRES(mutex)
     {
         std::vector<TraceEvent> out;
         out.reserve(ring.size());
@@ -127,7 +136,7 @@ SpanSite::SpanSite(const char *name, const char *category)
     : name_(name), category_(category)
 {
     auto &reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const util::MutexLock lock(reg.mutex);
     reg.sites.push_back(this);
 }
 
@@ -164,7 +173,7 @@ spanRollup()
     auto &reg = registry();
     std::vector<SpanSite *> sites;
     {
-        const std::lock_guard<std::mutex> lock(reg.mutex);
+        const util::MutexLock lock(reg.mutex);
         sites = reg.sites;
     }
     // Merge by name: several code sites may legitimately report under
@@ -198,7 +207,7 @@ std::vector<SpanSite *>
 spanSites()
 {
     auto &reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const util::MutexLock lock(reg.mutex);
     return reg.sites;
 }
 
@@ -216,11 +225,11 @@ void
 resetSpans()
 {
     auto &reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const util::MutexLock lock(reg.mutex);
     for (SpanSite *site : reg.sites)
         site->reset();
     for (ThreadTrace *tt : reg.threads) {
-        const std::lock_guard<std::mutex> tlock(tt->mutex);
+        const util::MutexLock tlock(tt->mutex);
         tt->ring.clear();
         tt->next = 0;
         tt->recorded = 0;
@@ -306,12 +315,12 @@ writeChromeTrace(std::ostream &out)
     w.beginObject();
     w.key("traceEvents").beginArray();
     {
-        const std::lock_guard<std::mutex> lock(reg.mutex);
+        const util::MutexLock lock(reg.mutex);
         for (ThreadTrace *tt : reg.threads) {
             std::vector<TraceEvent> events;
             std::uint64_t recorded = 0;
             {
-                const std::lock_guard<std::mutex> tlock(tt->mutex);
+                const util::MutexLock tlock(tt->mutex);
                 recorded = tt->recorded;
                 events = tt->eventsInOrder();
             }

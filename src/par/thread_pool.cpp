@@ -30,9 +30,9 @@ struct ThreadPool::Job
     std::size_t numChunks = 0;
     std::atomic<std::size_t> nextChunk{0};
     std::atomic<std::size_t> unfinished{0};
-    std::mutex mutex;
-    std::condition_variable done;
-    std::exception_ptr error; // guarded by mutex
+    util::Mutex mutex;
+    util::CondVar done;
+    std::exception_ptr error LOOKHD_GUARDED_BY(mutex);
 
     bool exhausted() const
     {
@@ -51,10 +51,10 @@ ThreadPool::ThreadPool(std::size_t threads)
 ThreadPool::~ThreadPool()
 {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         stop_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     for (std::thread &w : workers_)
         w.join();
     // No workers (threads_ == 1): posted tasks were run inline, and
@@ -81,7 +81,7 @@ ThreadPool::runChunks(Job &job)
         try {
             job.body(lo, hi);
         } catch (...) {
-            const std::lock_guard<std::mutex> lock(job.mutex);
+            const util::MutexLock lock(job.mutex);
             if (!job.error)
                 job.error = std::current_exception();
         }
@@ -89,8 +89,8 @@ ThreadPool::runChunks(Job &job)
             1) {
             // Last chunk: wake the waiter. Lock so the notify cannot
             // slot between the waiter's predicate check and its wait.
-            const std::lock_guard<std::mutex> lock(job.mutex);
-            job.done.notify_all();
+            const util::MutexLock lock(job.mutex);
+            job.done.notifyAll();
         }
     }
 }
@@ -102,9 +102,9 @@ ThreadPool::workerLoop()
     while (true) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock,
-                     [this] { return stop_ || !jobs_.empty(); });
+            const util::MutexLock lock(mutex_);
+            while (!stop_ && jobs_.empty())
+                cv_.wait(mutex_);
             if (jobs_.empty()) // implies stop_
                 return;
             job = jobs_.front();
@@ -152,11 +152,11 @@ ThreadPool::parallelFor(
     job->unfinished.store(job->numChunks, std::memory_order_relaxed);
 
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         LOOKHD_CHECK(!stop_, "parallelFor on a stopped ThreadPool");
         jobs_.push_back(job);
     }
-    cv_.notify_all();
+    cv_.notifyAll();
 
     // The caller is one of the executors; mark it worker-like so a
     // nested parallelFor inside body runs inline here too.
@@ -165,11 +165,9 @@ ThreadPool::parallelFor(
     tOnWorker = false;
 
     {
-        std::unique_lock<std::mutex> lock(job->mutex);
-        job->done.wait(lock, [&job] {
-            return job->unfinished.load(std::memory_order_acquire) ==
-                   0;
-        });
+        const util::MutexLock lock(job->mutex);
+        while (job->unfinished.load(std::memory_order_acquire) != 0)
+            job->done.wait(job->mutex);
         if (job->error)
             std::rethrow_exception(job->error);
     }
@@ -192,11 +190,11 @@ ThreadPool::post(std::function<void()> task)
     job->numChunks = 1;
     job->unfinished.store(1, std::memory_order_relaxed);
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         LOOKHD_CHECK(!stop_, "post on a stopped ThreadPool");
         jobs_.push_back(std::move(job));
     }
-    cv_.notify_one();
+    cv_.notifyOne();
 }
 
 std::size_t

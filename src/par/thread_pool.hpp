@@ -32,15 +32,15 @@
 #define LOOKHD_PAR_THREAD_POOL_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace lookhd::par {
 
@@ -98,10 +98,10 @@ class ThreadPool
 
     std::size_t threads_;
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<std::shared_ptr<Job>> jobs_;
-    bool stop_ = false;
+    util::Mutex mutex_;
+    util::CondVar cv_;
+    std::deque<std::shared_ptr<Job>> jobs_ LOOKHD_GUARDED_BY(mutex_);
+    bool stop_ LOOKHD_GUARDED_BY(mutex_) = false;
 };
 
 /**

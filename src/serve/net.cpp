@@ -14,10 +14,34 @@ namespace lookhd::serve {
 
 namespace {
 
+// strerror_r's two variants dispatch by return type: XSI returns int
+// (0 = message in buf), GNU returns the message pointer (buf or a
+// static string). The overload pair absorbs whichever the libc
+// provides, since g++ defines _GNU_SOURCE and selects the GNU one.
+[[maybe_unused]] const char *
+strerrorResult(int rc, const char *buf)
+{
+    return rc == 0 ? buf : "unknown error";
+}
+
+[[maybe_unused]] const char *
+strerrorResult(const char *message, const char * /*buf*/)
+{
+    return message;
+}
+
 [[noreturn]] void
 throwErrno(const std::string &what)
 {
-    throw NetError(what + ": " + std::strerror(errno));
+    // strerror_r, not strerror: errors can surface on any of the
+    // reader/worker/acceptor threads concurrently, and strerror's
+    // shared static buffer is exactly what concurrency-mt-unsafe
+    // flags.
+    char buf[256];
+    buf[0] = '\0';
+    throw NetError(
+        what + ": " +
+        strerrorResult(strerror_r(errno, buf, sizeof(buf)), buf));
 }
 
 } // namespace

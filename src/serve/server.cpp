@@ -52,15 +52,18 @@ struct InferenceServer::Connection
 {
     explicit Connection(TcpStream s) : stream(std::move(s)) {}
 
+    /** Deliberately NOT guarded by writeMutex: stop() shuts the
+     * stream down lock-free to unblock a reader mid-readLine, and
+     * writers re-check `open` under the mutex before touching it. */
     TcpStream stream;
-    std::mutex writeMutex;
+    util::Mutex writeMutex;
     std::atomic<bool> open{true};
 
     /** Serialize one response line; false once the peer went away. */
     bool
     writeLine(const std::string &body)
     {
-        const std::lock_guard<std::mutex> lock(writeMutex);
+        const util::MutexLock lock(writeMutex);
         if (!open.load(std::memory_order_relaxed))
             return false;
         if (!stream.sendAll(body) || !stream.sendAll("\n")) {
@@ -213,25 +216,30 @@ InferenceServer::stop()
     // 1. Stop accepting; the accept/metrics/watchdog loops poll
     //    running_ on a short timeout.
     running_.store(false, std::memory_order_release);
-    watchdogCv_.notify_all();
+    watchdogCv_.notifyAll();
     if (acceptThread_.joinable())
         acceptThread_.join();
     requestListener_.close();
 
     // 2. EOF every reader (write side stays up so queued responses
-    //    still go out), then join them: no further enqueues.
+    //    still go out), then join them: no further enqueues. The
+    //    thread vector is swapped out under the mutex and joined
+    //    outside it - the accept loop is already down, and joining
+    //    under a lock the readers could touch would deadlock.
+    std::vector<std::thread> readers;
     {
-        const std::lock_guard<std::mutex> lock(connectionsMutex_);
+        const util::MutexLock lock(connectionsMutex_);
         for (const auto &conn : connections_)
             conn->stream.shutdownRead();
+        readers.swap(connectionThreads_);
     }
-    for (std::thread &t : connectionThreads_)
+    for (std::thread &t : readers)
         if (t.joinable())
             t.join();
 
     // 3. Let the workers drain whatever is left, then exit.
     stopWorkers_.store(true, std::memory_order_release);
-    queueCv_.notify_all();
+    queueCv_.notifyAll();
     for (std::thread &t : workerThreads_)
         if (t.joinable())
             t.join();
@@ -243,7 +251,7 @@ InferenceServer::stop()
         watchdogThread_.join();
 
     {
-        const std::lock_guard<std::mutex> lock(connectionsMutex_);
+        const util::MutexLock lock(connectionsMutex_);
         for (const auto &conn : connections_) {
             conn->open.store(false, std::memory_order_relaxed);
             conn->stream.close();
@@ -251,7 +259,6 @@ InferenceServer::stop()
         connections_.clear();
         connectionsOpen_.set(0.0);
     }
-    connectionThreads_.clear();
     workerThreads_.clear();
 
     obs::EventLog::global().emit(
@@ -284,7 +291,7 @@ InferenceServer::acceptLoop()
             continue;
         connectionsTotal_.add();
         auto conn = std::make_shared<Connection>(std::move(stream));
-        const std::lock_guard<std::mutex> lock(connectionsMutex_);
+        const util::MutexLock lock(connectionsMutex_);
         connections_.push_back(conn);
         // Reader threads are reaped in stop(); connection turnover
         // at serve-smoke scale does not warrant a reaper thread yet.
@@ -385,7 +392,7 @@ InferenceServer::handleRequestLine(
 
     req.enqueueNs = util::Timer::processNanoseconds();
     {
-        const std::lock_guard<std::mutex> lock(queueMutex_);
+        const util::MutexLock lock(queueMutex_);
         if (queue_.size() >= config_.queueCapacity) {
             reject("overloaded", requestsOverload_,
                    "serve.overload");
@@ -394,7 +401,7 @@ InferenceServer::handleRequestLine(
         queue_.push_back(std::move(req));
         queueDepth_.set(static_cast<double>(queue_.size()));
     }
-    queueCv_.notify_one();
+    queueCv_.notifyOne();
 }
 
 void
@@ -404,11 +411,12 @@ InferenceServer::workerLoop(std::size_t workerIndex)
     while (true) {
         std::vector<Request> batch;
         {
-            std::unique_lock<std::mutex> lock(queueMutex_);
-            queueCv_.wait(lock, [this] {
-                return !queue_.empty() ||
-                       stopWorkers_.load(std::memory_order_acquire);
-            });
+            const util::MutexLock lock(queueMutex_);
+            // Explicit wait loop (not a predicate lambda) so the
+            // analysis sees queue_ read with queueMutex_ held.
+            while (queue_.empty() &&
+                   !stopWorkers_.load(std::memory_order_acquire))
+                queueCv_.wait(queueMutex_);
             if (queue_.empty() &&
                 stopWorkers_.load(std::memory_order_acquire))
                 return;
@@ -427,7 +435,7 @@ InferenceServer::workerLoop(std::size_t workerIndex)
                 }
                 if (stopWorkers_.load(std::memory_order_acquire))
                     break;
-                if (queueCv_.wait_until(lock, deadline) ==
+                if (queueCv_.waitUntil(queueMutex_, deadline) ==
                     std::cv_status::timeout)
                     break;
             }
@@ -590,10 +598,13 @@ InferenceServer::watchdogLoop()
     const auto period =
         std::chrono::milliseconds(std::max<std::uint64_t>(
             config_.watchdogPeriodMs, 1));
-    std::mutex sleepMutex;
-    std::unique_lock<std::mutex> sleepLock(sleepMutex);
+    // The mutex exists only to satisfy the wait protocol: nothing is
+    // guarded by it, the timed sleep (interruptible by stop()) is
+    // the point.
+    util::Mutex sleepMutex;
+    const util::MutexLock sleepLock(sleepMutex);
     while (running_.load(std::memory_order_acquire)) {
-        watchdogCv_.wait_for(sleepLock, period);
+        watchdogCv_.waitFor(sleepMutex, period);
         const std::uint64_t now = util::Timer::processNanoseconds();
         for (std::size_t i = 0; i < workerStates_.size(); ++i) {
             WorkerState &state = *workerStates_[i];

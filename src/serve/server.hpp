@@ -46,17 +46,16 @@
 #define LOOKHD_SERVE_SERVER_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "lookhd/classifier.hpp"
 #include "serve/net.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lookhd::obs {
 class Counter;
@@ -171,20 +170,28 @@ class InferenceServer
     std::atomic<bool> stopWorkers_{false};
     std::atomic<std::int64_t> openConnections_{0};
     std::atomic<std::int64_t> inflightRequests_{0};
-    std::condition_variable watchdogCv_;
+    /** Wakes the watchdog out of its poll sleep on stop(); the
+     * watchdog waits on a loop-local mutex (nothing is guarded by
+     * it, the sleep is the point). */
+    util::CondVar watchdogCv_;
 
     std::thread acceptThread_;
     std::thread metricsThread_;
     std::thread watchdogThread_;
     std::vector<std::thread> workerThreads_;
 
-    std::mutex connectionsMutex_;
-    std::vector<std::shared_ptr<Connection>> connections_;
-    std::vector<std::thread> connectionThreads_;
+    util::Mutex connectionsMutex_;
+    std::vector<std::shared_ptr<Connection>> connections_
+        LOOKHD_GUARDED_BY(connectionsMutex_);
+    /** Reader threads, reaped in stop(): swapped out under the mutex
+     * and joined outside it (joining under a lock a reader might
+     * want is the classic shutdown deadlock). */
+    std::vector<std::thread> connectionThreads_
+        LOOKHD_GUARDED_BY(connectionsMutex_);
 
-    std::mutex queueMutex_;
-    std::condition_variable queueCv_;
-    std::deque<Request> queue_;
+    util::Mutex queueMutex_;
+    util::CondVar queueCv_;
+    std::deque<Request> queue_ LOOKHD_GUARDED_BY(queueMutex_);
 
     std::vector<std::unique_ptr<WorkerState>> workerStates_;
 

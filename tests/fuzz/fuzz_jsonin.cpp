@@ -1,0 +1,80 @@
+/**
+ * @file
+ * libFuzzer harness for the serving request parser (serve/jsonin).
+ *
+ * The parser is the first thing untrusted bytes hit on the request
+ * port, so it must never crash, overflow, or hang on arbitrary
+ * input - only return nullptr with an error message. The harness
+ * parses the input and, on success, walks the whole tree through the
+ * public accessors so lazily-broken invariants (a kString node with
+ * a poisoned array, say) get exercised too.
+ *
+ * Entry point only; main() comes from either libFuzzer
+ * (-fsanitize=fuzzer, LOOKHD_FUZZ=ON) or the corpus-replay driver
+ * (fuzz_replay_main.cpp) that ctest runs on every build.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/jsonin.hpp"
+
+namespace {
+
+/** Touch every node through the public surface; depth-capped so a
+ * legitimately deep document cannot overflow the harness stack. */
+void
+walk(const lookhd::serve::JsonValue &v, int depth)
+{
+    if (depth > 64)
+        return;
+    using Type = lookhd::serve::JsonValue::Type;
+    switch (v.type) {
+    case Type::kNull:
+        break;
+    case Type::kBool:
+        (void)v.boolean;
+        break;
+    case Type::kNumber:
+        (void)v.isNumber();
+        (void)v.number;
+        break;
+    case Type::kString:
+        (void)v.isString();
+        (void)v.string.size();
+        break;
+    case Type::kArray:
+        (void)v.isArray();
+        for (const auto &element : v.array)
+            walk(element, depth + 1);
+        break;
+    case Type::kObject:
+        (void)v.isObject();
+        for (const auto &[key, value] : v.object) {
+            (void)v.find(key);
+            walk(value, depth + 1);
+        }
+        break;
+    }
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string_view text(
+        reinterpret_cast<const char *>(data), size);
+    std::string error;
+    const auto doc = lookhd::serve::parseJson(text, error);
+    if (doc) {
+        walk(*doc, 0);
+        // The request path's exact lookups.
+        (void)doc->find("id");
+        (void)doc->find("features");
+        (void)doc->find("scores");
+    }
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * libFuzzer harness for classifier deserialization
+ * (lookhd/serialize.hpp, loadClassifier).
+ *
+ * Model files cross trust boundaries (shipped artifacts, shared
+ * filesystems), so the loader's contract is: well-formed input round
+ * trips, anything else throws SerializeError. Any OTHER outcome -
+ * crash, sanitizer report, uncaught exception of a different type,
+ * runaway allocation - is a finding.
+ *
+ * Entry point only; main() comes from either libFuzzer
+ * (-fsanitize=fuzzer, LOOKHD_FUZZ=ON) or the corpus-replay driver
+ * (fuzz_replay_main.cpp) that ctest runs on every build.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "lookhd/classifier.hpp"
+#include "lookhd/serialize.hpp"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    // Corpus-size cap: a handful of MB covers every real header and
+    // section layout; unbounded inputs only measure allocator
+    // throughput on garbage dimension fields.
+    if (size > (1u << 22))
+        return 0;
+    std::istringstream in(std::string(
+        reinterpret_cast<const char *>(data), size));
+    try {
+        const lookhd::Classifier clf = lookhd::loadClassifier(in);
+        // A load that succeeded must yield a usable model: these
+        // accessors walk the deserialized structures.
+        (void)clf.fitted();
+        (void)clf.config().dim;
+        (void)clf.encoder().chunks().numFeatures();
+    } catch (const lookhd::SerializeError &) {
+        // The documented rejection path for malformed input.
+    }
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Standalone corpus-replay driver around LLVMFuzzerTestOneInput.
+ *
+ * Links with exactly one harness (fuzz_jsonin.cpp or
+ * fuzz_load_classifier.cpp) into a plain binary that feeds every
+ * file under the given paths to the fuzz entry point once. This is
+ * what ctest runs (fuzz.replay_*): the committed seed corpora stay a
+ * regression suite on every compiler and sanitizer, including
+ * GCC-only hosts where libFuzzer itself is unavailable. The real
+ * coverage-guided binaries need -fsanitize=fuzzer (LOOKHD_FUZZ=ON).
+ *
+ * Exit status: 0 when every input was processed (a harness bug
+ * crashes the process, which is the failure signal), 2 on usage or
+ * I/O errors.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+namespace {
+
+bool
+replayFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "fuzz_replay: cannot read %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t *>(bytes.data()),
+        bytes.size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s corpus-dir-or-file...\n", argv[0]);
+        return 2;
+    }
+    std::size_t replayed = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::filesystem::path arg(argv[i]);
+        std::error_code ec;
+        if (std::filesystem::is_directory(arg, ec)) {
+            // Sorted for a deterministic replay order.
+            std::vector<std::filesystem::path> files;
+            for (const auto &entry :
+                 std::filesystem::recursive_directory_iterator(arg)) {
+                if (entry.is_regular_file())
+                    files.push_back(entry.path());
+            }
+            std::sort(files.begin(), files.end());
+            for (const auto &file : files) {
+                if (!replayFile(file))
+                    return 2;
+                ++replayed;
+            }
+        } else {
+            if (!replayFile(arg))
+                return 2;
+            ++replayed;
+        }
+    }
+    std::printf("fuzz_replay: %zu input(s) clean\n", replayed);
+    return 0;
+}

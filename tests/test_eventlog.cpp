@@ -5,10 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "obs/eventlog.hpp"
 #include "serve/jsonin.hpp"
@@ -155,6 +162,107 @@ TEST(EventLog, ResetZeroesCountersAndDropsEvents)
     EXPECT_EQ(log.totalEmitted(), 0u);
     EXPECT_EQ(log.totalDropped(), 0u);
     EXPECT_TRUE(flushLines(log).empty());
+}
+
+// ------------------------------------------------------ crash flush
+//
+// Regression coverage for the async-signal-safe crash path: the
+// signal handler must drain the rings without taking locks or
+// allocating (obs/eventlog.cpp, flushCrashToFd). These run under the
+// tsan preset too (EventLogCrash is in its test filter).
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+TEST(EventLogCrash, FlushCrashToFdWritesParsableJsonWithoutDraining)
+{
+    EventLog log(16);
+    log.emit(LogLevel::kInfo, "crash.first", {{"k", "v"}});
+    log.emit(LogLevel::kWarn, "crash.second",
+             {{"quote", "a \"q\" and\tcontrol"}});
+
+    const std::string path =
+        ::testing::TempDir() + "eventlog_crash_fd.jsonl";
+    std::remove(path.c_str());
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    EXPECT_TRUE(log.flushCrashToFd(fd));
+    ASSERT_EQ(::close(fd), 0);
+
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 2u);
+    for (const std::string &line : lines) {
+        std::string error;
+        const auto doc = serve::parseJson(line, error);
+        ASSERT_NE(doc, nullptr) << error << ": " << line;
+        EXPECT_NE(doc->find("event"), nullptr);
+    }
+    std::string error;
+    const auto second = serve::parseJson(lines[1], error);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->find("event")->string, "crash.second");
+    EXPECT_EQ(second->find("fields")->find("quote")->string,
+              "a \"q\" and\tcontrol");
+
+    // The crash path must not mutate ring state: a survivable caller
+    // can still drain normally afterwards.
+    EXPECT_EQ(flushLines(log).size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(EventLogCrash, FatalSignalFlushesGlobalLogInChildProcess)
+{
+    const std::string path =
+        ::testing::TempDir() + "eventlog_crash_signal.jsonl";
+    std::remove(path.c_str());
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: stage events in the global log, arm the crash
+        // flush, then die by an in-set fatal signal. SIGABRT is the
+        // portable choice: sanitizer runtimes leave it to user
+        // handlers by default, unlike SIGSEGV.
+        EventLog::global().emit(LogLevel::kError, "crash.dying",
+                                {{"pid", "child"}});
+        EventLog::installCrashFlush(path);
+        std::abort();
+    }
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    // The handler re-raises with SIG_DFL, so the child must NOT look
+    // like a clean exit.
+    EXPECT_FALSE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+    const auto lines = readLines(path);
+    ASSERT_GE(lines.size(), 2u) << "crash flush wrote no events";
+    bool sawMarker = false;
+    bool sawEvent = false;
+    for (const std::string &line : lines) {
+        std::string error;
+        const auto doc = serve::parseJson(line, error);
+        ASSERT_NE(doc, nullptr) << error << ": " << line;
+        const serve::JsonValue *event = doc->find("event");
+        ASSERT_NE(event, nullptr);
+        if (event->string == "eventlog.crash")
+            sawMarker = true;
+        if (event->string == "crash.dying")
+            sawEvent = true;
+    }
+    EXPECT_TRUE(sawMarker);
+    EXPECT_TRUE(sawEvent);
+    std::remove(path.c_str());
 }
 
 TEST(LogLevelName, NamesAreLowerCase)

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/synthetic.hpp"
@@ -203,5 +204,89 @@ TEST(QualityTelemetry, ClassifierEvaluateRecordsOutcomes)
 }
 
 #endif // LOOKHD_OBS_ENABLED
+
+// ------------------------------------------------------ concurrency
+//
+// The collectors are hammered from the serving worker pool, so their
+// internal locking has to be lossless. These run under the tsan
+// preset (QualityConcurrency is in its test filter).
+
+TEST(QualityConcurrency, MarginHistogramRecordsAreLossless)
+{
+    obs::MarginHistogram mh;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&mh, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                // Deterministic spread over all buckets, negatives
+                // included.
+                const double margin =
+                    (t % 2 == 0 ? 1.0 : -1.0) *
+                    (static_cast<double>(i % 25) / 20.0);
+                mh.record(margin);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(mh.count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    std::uint64_t bucketSum = 0;
+    for (std::size_t b = 0; b < obs::MarginHistogram::kNumBuckets;
+         ++b)
+        bucketSum += mh.bucket(b);
+    EXPECT_EQ(bucketSum, mh.count());
+}
+
+TEST(QualityConcurrency, ConfusionCountersGrowAndCountLosslessly)
+{
+    obs::ConfusionCounters cm;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cm, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                // Concurrent growth: class indices climb so the
+                // matrix resizes while other threads record.
+                cm.record(static_cast<std::size_t>(i % (t + 2)),
+                          static_cast<std::size_t>(i % 3));
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(cm.total(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    std::uint64_t cellSum = 0;
+    for (std::size_t truth = 0; truth < cm.numClasses(); ++truth)
+        for (std::size_t pred = 0; pred < cm.numClasses(); ++pred)
+            cellSum += cm.count(truth, pred);
+    EXPECT_EQ(cellSum, cm.total());
+}
+
+TEST(QualityConcurrency, FindOrCreateRacesYieldOneCollector)
+{
+    obs::QualityTelemetry q;
+    constexpr int kThreads = 8;
+    std::vector<obs::MarginHistogram *> handles(kThreads, nullptr);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&q, &handles, t] {
+            handles[static_cast<std::size_t>(t)] =
+                &q.margins("race.same_name");
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(handles[static_cast<std::size_t>(t)], handles[0]);
+}
 
 } // namespace

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Repo lint: every lock goes through the annotated wrappers.
+
+Clang's Thread Safety Analysis (the `tidy-tsa` preset,
+-Werror=thread-safety) can only prove what it can see, and it sees
+locks through the annotated capability types in
+src/util/thread_annotations.hpp: util::Mutex, util::MutexLock,
+util::CondVar. A raw std::mutex is invisible to the analysis, so any
+data it guards silently loses its compile-time protection.
+
+This lint keeps the wrapper layer airtight: it fails the build when a
+raw synchronization primitive appears anywhere outside the wrapper
+header itself --
+
+  - std::mutex / timed_mutex / recursive_mutex / shared_mutex
+  - std::lock_guard / unique_lock / scoped_lock / shared_lock
+  - std::condition_variable / condition_variable_any
+  - pthread_mutex_* / pthread_cond_*
+  - #include <mutex> / <condition_variable> / <shared_mutex>
+
+`src/util/thread_annotations.hpp` is the single allowed home for the
+raw primitives (mirroring how src/util/rng.* is the single home for
+raw random engines under lint_determinism.py). Atomics are fine
+anywhere: they carry no capability and TSA does not track them.
+
+Exit status: 0 clean, 1 violations (printed one per line as
+`path:line: message`). Run with --selftest to check the lint's own
+detection on embedded good/bad snippets.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Directories scanned for C++ sources.
+SCAN_DIRS = ["src", "tests", "bench", "examples", "tools"]
+
+# The single allowed home of raw synchronization primitives.
+ALLOWLIST = {
+    Path("src/util/thread_annotations.hpp"),
+}
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+WRAPPER_HINT = (
+    "use util::Mutex/MutexLock/CondVar from "
+    "util/thread_annotations.hpp so -Wthread-safety can see the lock"
+)
+
+BANNED = [
+    (re.compile(
+        r"\bstd::(mutex|timed_mutex|recursive_mutex"
+        r"|recursive_timed_mutex|shared_mutex|shared_timed_mutex)\b"),
+     f"raw std mutex type; {WRAPPER_HINT}"),
+    (re.compile(
+        r"\bstd::(lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+     f"raw std lock holder; {WRAPPER_HINT}"),
+    (re.compile(r"\bstd::condition_variable(_any)?\b"),
+     f"raw std condition variable; {WRAPPER_HINT}"),
+    (re.compile(r"\bpthread_(mutex|cond|rwlock)_"),
+     f"raw pthread synchronization; {WRAPPER_HINT}"),
+    (re.compile(r'#\s*include\s*<(mutex|condition_variable'
+                r'|shared_mutex)>'),
+     "include the wrappers (util/thread_annotations.hpp), not the raw "
+     "std synchronization headers"),
+]
+
+LINE_COMMENT_RE = re.compile(r"//[^\n]*")
+BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+STRING_RE = re.compile(r'"(?:[^"\\\n]|\\.)*"')
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string literals, preserving newlines so
+    reported line numbers stay accurate. Includes survive: the include
+    ban must see through them, and they are not strings to a lexer
+    that, like this one, never enters preprocessor context."""
+
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    text = BLOCK_COMMENT_RE.sub(blank, text)
+    text = LINE_COMMENT_RE.sub(blank, text)
+    # Angle-bracket includes are untouched by STRING_RE; quoted
+    # includes blank out, which is fine - local headers are checked
+    # as files in their own right.
+    text = STRING_RE.sub(blank, text)
+    return text
+
+
+def check_file(rel: Path, text: str) -> list[str]:
+    problems = []
+    code = strip_comments_and_strings(text)
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        for pattern, message in BANNED:
+            if pattern.search(line):
+                problems.append(f"{rel}:{lineno}: {message}")
+    return problems
+
+
+def run(root: Path) -> list[str]:
+    problems: list[str] = []
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in CPP_SUFFIXES or not path.is_file():
+                continue
+            rel = path.relative_to(root)
+            if rel in ALLOWLIST:
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            problems.extend(check_file(rel, text))
+    return problems
+
+
+# --- selftest --------------------------------------------------------
+
+BAD_SNIPPET = """\
+#include <mutex>
+#include <condition_variable>
+#include <shared_mutex>
+struct Bad {
+    std::mutex m;
+    std::recursive_mutex rm;
+    std::shared_mutex sm;
+    std::condition_variable cv;
+    std::condition_variable_any cva;
+    void f() {
+        const std::lock_guard<std::mutex> l(m);
+        std::unique_lock<std::mutex> u(m);
+        std::scoped_lock s(m);
+    }
+    pthread_mutex_t pm;
+    void g() { pthread_mutex_lock(&pm); }
+};
+"""
+
+GOOD_SNIPPET = """\
+#include "util/thread_annotations.hpp"
+struct Good {
+    util::Mutex m;
+    util::CondVar cv;
+    int x LOOKHD_GUARDED_BY(m) = 0;
+    void f() {
+        const util::MutexLock lock(m);
+        while (x == 0)
+            cv.wait(m);
+    }
+    // std::mutex in a comment is fine, as is "std::mutex" in a string
+    const char *s = "std::lock_guard<std::mutex>";
+};
+"""
+
+
+def selftest() -> int:
+    bad = check_file(Path("bad.cpp"), BAD_SNIPPET)
+    good = check_file(Path("good.cpp"), GOOD_SNIPPET)
+    # One finding per banned construct in the bad snippet; none in
+    # the good one. 12+ covers the headers, types, holders, CVs and
+    # the pthread pair without overfitting to exact line counts.
+    ok = len(bad) >= 12 and not good
+    if not ok:
+        print("lint_annotations selftest FAILED", file=sys.stderr)
+        print(f"bad snippet findings ({len(bad)}):", file=sys.stderr)
+        for p in bad:
+            print(f"  {p}", file=sys.stderr)
+        print(f"good snippet findings ({len(good)}):", file=sys.stderr)
+        for p in good:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"lint_annotations selftest: ok "
+          f"({len(bad)} findings in bad snippet, 0 in good)")
+    return 0
+
+
+def main() -> int:
+    if "--selftest" in sys.argv[1:]:
+        return selftest()
+    problems = run(REPO_ROOT)
+    if problems:
+        print(f"lint_annotations: {len(problems)} violation(s)",
+              file=sys.stderr)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    print("lint_annotations: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
