@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <set>
 
 #include "obs/json.hpp"
 #include "obs/quality.hpp"
@@ -14,11 +16,17 @@ namespace {
 /**
  * Shortest stable decimal rendering: integers without a fraction,
  * everything else with six significant digits (matching the ~5%
- * relative resolution of the log-scale histograms).
+ * relative resolution of the log-scale histograms). Non-finite
+ * values use the exposition format's exact spellings - printf's
+ * "nan"/"inf" would not parse as a sample value.
  */
 std::string
 formatValue(double v)
 {
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
     char buf[64];
     if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
         v > -1e15 && v < 1e15) {
@@ -55,11 +63,80 @@ typeLine(std::string &out, const std::string &family,
     out += "\n# TYPE " + family + ' ' + type + '\n';
 }
 
+/**
+ * typeLine() at the first occurrence of a family only. Labeled
+ * registry names (several entries sharing one Prometheus family)
+ * must not repeat HELP/TYPE; the format requires them once, before
+ * any sample of the family.
+ */
 void
-renderHistogram(std::string &out, const std::string &family,
+typeLineOnce(std::string &out, std::set<std::string> &emitted,
+             const std::string &family, const char *type,
+             std::string_view source)
+{
+    if (emitted.insert(family).second)
+        typeLine(out, family, type, source);
+}
+
+/**
+ * A registry name with an embedded Prometheus label set, e.g.
+ * `serve.stage{stage="parse"}`: base `serve.stage`, labels
+ * `stage="parse"`. Names without a brace pass through unchanged.
+ */
+struct LabeledName
+{
+    std::string base;
+    std::string labels;
+};
+
+LabeledName
+splitLabeledName(std::string_view name)
+{
+    const std::size_t brace = name.find('{');
+    if (brace == std::string_view::npos || name.back() != '}')
+        return {std::string(name), {}};
+    return {std::string(name.substr(0, brace)),
+            std::string(
+                name.substr(brace + 1, name.size() - brace - 2))};
+}
+
+/** `{a="x"}` for a sample line, or "" when there are no labels. */
+std::string
+labelSuffix(const std::string &labels)
+{
+    return labels.empty() ? std::string{} : '{' + labels + '}';
+}
+
+std::string
+mergeLabels(const std::string &labels, const std::string &extra)
+{
+    if (labels.empty())
+        return extra;
+    return labels + ',' + extra;
+}
+
+/**
+ * OpenMetrics exemplar suffix for one bucket line:
+ * ` # {trace_id="..."} value timestamp`. Classic-format scrapers
+ * that split on '#' see a comment; OpenMetrics scrapers link the
+ * bucket to the trace.
+ */
+void
+appendExemplar(std::string &out, const LatencyExemplar &ex)
+{
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(ex.wallMs) / 1000.0);
+    out += " # {trace_id=\"" + ex.traceId + "\"} " +
+           formatValue(ex.valueNs) + ' ' + ts;
+}
+
+void
+renderHistogram(std::string &out, std::set<std::string> &emitted,
+                const std::string &family, const std::string &labels,
                 std::string_view source, const LatencySnapshot &h)
 {
-    typeLine(out, family, "histogram", source);
+    typeLineOnce(out, emitted, family, "histogram", source);
     // Cumulative buckets over the populated range of the log-scale
     // bins (a subset of buckets plus +Inf is valid exposition and
     // keeps the scrape compact; 96 mostly-empty bins are not).
@@ -72,35 +149,53 @@ renderHistogram(std::string &out, const std::string &family,
             last = b;
         }
     }
+    const bool hasExemplars =
+        h.exemplars.size() == h.bucketCounts.size();
     std::uint64_t cumulative = 0;
     if (first < h.bucketCounts.size()) {
         for (std::size_t b = first; b <= last; ++b) {
             cumulative += h.bucketCounts[b];
-            out += family + "_bucket{le=\"" +
-                   formatValue(h.bucketUpperNs[b]) + "\"} " +
-                   formatValue(cumulative) + '\n';
+            out += family + "_bucket{" +
+                   mergeLabels(labels,
+                               "le=\"" +
+                                   formatValue(h.bucketUpperNs[b]) +
+                                   "\"") +
+                   "} " + formatValue(cumulative);
+            // The exemplar must satisfy value <= le; the top bin's
+            // clamped observations can exceed its edge, so skip those.
+            if (hasExemplars && !h.exemplars[b].traceId.empty() &&
+                h.exemplars[b].valueNs <= h.bucketUpperNs[b])
+                appendExemplar(out, h.exemplars[b]);
+            out += '\n';
         }
     }
-    out += family + "_bucket{le=\"+Inf\"} " + formatValue(h.count) +
-           '\n';
-    out += family + "_sum " + formatValue(h.sumNs) + '\n';
-    out += family + "_count " + formatValue(h.count) + '\n';
+    out += family + "_bucket{" + mergeLabels(labels, "le=\"+Inf\"") +
+           "} " + formatValue(h.count) + '\n';
+    out += family + "_sum" + labelSuffix(labels) + ' ' +
+           formatValue(h.sumNs) + '\n';
+    out += family + "_count" + labelSuffix(labels) + ' ' +
+           formatValue(h.count) + '\n';
 }
 
 void
-renderQuantiles(std::string &out, const std::string &base,
+renderQuantiles(std::string &out, std::set<std::string> &emitted,
+                const std::string &base, const std::string &labels,
                 std::string_view source, const LatencySnapshot &h)
 {
     const std::string family = base + "_quantile_ns";
-    typeLine(out, family, "gauge", source);
+    typeLineOnce(out, emitted, family, "gauge", source);
     for (const double q : {0.50, 0.90, 0.99}) {
-        out += family + "{quantile=\"" + formatValue(q) + "\"} " +
-               formatValue(h.percentileNs(q)) + '\n';
+        out += family + '{' +
+               mergeLabels(labels,
+                           "quantile=\"" + formatValue(q) + "\"") +
+               "} " + formatValue(h.percentileNs(q)) + '\n';
     }
-    typeLine(out, base + "_min_ns", "gauge", source);
-    out += base + "_min_ns " + formatValue(h.minNs) + '\n';
-    typeLine(out, base + "_max_ns", "gauge", source);
-    out += base + "_max_ns " + formatValue(h.maxNs) + '\n';
+    typeLineOnce(out, emitted, base + "_min_ns", "gauge", source);
+    out += base + "_min_ns" + labelSuffix(labels) + ' ' +
+           formatValue(h.minNs) + '\n';
+    typeLineOnce(out, emitted, base + "_max_ns", "gauge", source);
+    out += base + "_max_ns" + labelSuffix(labels) + ' ' +
+           formatValue(h.maxNs) + '\n';
 }
 
 void
@@ -166,22 +261,35 @@ renderPrometheus(const RegistrySnapshot &snap,
 {
     const std::string pre = std::string(prefix) + '_';
     std::string out;
+    // Families already given a HELP/TYPE pair: labeled registry
+    // names map several entries onto one family, and map iteration
+    // keeps those entries adjacent, so first-occurrence emission
+    // yields grouped, format-valid output.
+    std::set<std::string> emitted;
 
     for (const auto &[name, value] : snap.counters) {
+        const LabeledName ln = splitLabeledName(name);
         const std::string family =
-            pre + prometheusName(name) + "_total";
-        typeLine(out, family, "counter", name);
-        out += family + ' ' + formatValue(value) + '\n';
+            pre + prometheusName(ln.base) + "_total";
+        typeLineOnce(out, emitted, family, "counter", ln.base);
+        out += family + labelSuffix(ln.labels) + ' ' +
+               formatValue(value) + '\n';
     }
     for (const auto &[name, value] : snap.gauges) {
-        const std::string family = pre + prometheusName(name);
-        typeLine(out, family, "gauge", name);
-        out += family + ' ' + formatValue(value) + '\n';
+        const LabeledName ln = splitLabeledName(name);
+        const std::string family = pre + prometheusName(ln.base);
+        typeLineOnce(out, emitted, family, "gauge", ln.base);
+        out += family + labelSuffix(ln.labels) + ' ' +
+               formatValue(value) + '\n';
     }
     for (const auto &[name, hist] : snap.latency) {
-        const std::string base = pre + prometheusName(name) + "_ns";
-        renderHistogram(out, base, name, hist);
-        renderQuantiles(out, base, name, hist);
+        const LabeledName ln = splitLabeledName(name);
+        const std::string base =
+            pre + prometheusName(ln.base) + "_ns";
+        renderHistogram(out, emitted, base, ln.labels, ln.base,
+                        hist);
+        renderQuantiles(out, emitted, base, ln.labels, ln.base,
+                        hist);
     }
 
     if (!spans.empty()) {

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "obs/json.hpp"
@@ -14,6 +15,31 @@ namespace {
 constexpr double kLogLo = 0.0;
 constexpr double kLogHi = 12.0;
 constexpr std::size_t kLogBins = 96;
+
+/** Bin index of one observation, matching util::Histogram's
+ * equal-width layout over [kLogLo, kLogHi] (clamped edge bins). */
+std::size_t
+logBinIndex(std::uint64_t clampedNs)
+{
+    constexpr double kBinWidth = (kLogHi - kLogLo) / kLogBins;
+    const double logNs = std::log10(static_cast<double>(clampedNs));
+    if (logNs <= kLogLo)
+        return 0;
+    const auto bin =
+        static_cast<std::size_t>((logNs - kLogLo) / kBinWidth);
+    return std::min(bin, kLogBins - 1);
+}
+
+std::uint64_t
+wallMillisNow()
+{
+    // Exemplar timestamps only; src/obs/ is the lint-sanctioned
+    // home for system_clock (see tools/lint_determinism.py).
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
 
 } // namespace
 
@@ -32,6 +58,34 @@ LatencyHistogram::record(std::uint64_t ns)
     maxNs_ = std::max(maxNs_, clamped);
     sumNs_ += static_cast<double>(clamped);
     ++count_;
+}
+
+void
+LatencyHistogram::record(std::uint64_t ns,
+                         std::string_view exemplarTraceId)
+{
+    const std::uint64_t clamped = std::max<std::uint64_t>(ns, 1);
+    const util::MutexLock lock(mutex_);
+    hist_.add(std::log10(static_cast<double>(clamped)));
+    if (count_ == 0 || clamped < minNs_)
+        minNs_ = clamped;
+    maxNs_ = std::max(maxNs_, clamped);
+    sumNs_ += static_cast<double>(clamped);
+    ++count_;
+    if (!exemplars_.empty() && !exemplarTraceId.empty()) {
+        LatencyExemplar &slot = exemplars_[logBinIndex(clamped)];
+        slot.valueNs = static_cast<double>(clamped);
+        slot.wallMs = wallMillisNow();
+        slot.traceId = std::string(exemplarTraceId);
+    }
+}
+
+void
+LatencyHistogram::enableExemplars()
+{
+    const util::MutexLock lock(mutex_);
+    if (exemplars_.empty())
+        exemplars_.resize(kLogBins);
 }
 
 std::uint64_t
@@ -87,6 +141,7 @@ LatencyHistogram::snapshot() const
     snap.sumNs = sumNs_;
     for (std::size_t b = 0; b < hist_.bins(); ++b)
         snap.bucketCounts.push_back(hist_.count(b));
+    snap.exemplars = exemplars_;
     return snap;
 }
 
@@ -126,6 +181,10 @@ LatencyHistogram::reset()
     minNs_ = 0;
     maxNs_ = 0;
     sumNs_ = 0.0;
+    // Exemplar slots stay allocated (enableExemplars is sticky) but
+    // forget their contents.
+    for (LatencyExemplar &slot : exemplars_)
+        slot = LatencyExemplar{};
 }
 
 MetricRegistry &

@@ -92,6 +92,20 @@ class Gauge
 };
 
 /**
+ * One OpenMetrics exemplar: the last concrete observation retained
+ * for a histogram bin, linking the bucket to a trace id. An empty
+ * traceId means the slot has never been filled.
+ */
+struct LatencyExemplar
+{
+    double valueNs = 0.0;
+    /** Unix wall clock at the observation, ms. */
+    std::uint64_t wallMs = 0;
+    /** 32 lowercase hex chars (obs/reqtrace.hpp); "" = no exemplar. */
+    std::string traceId;
+};
+
+/**
  * Internally consistent copy of one LatencyHistogram, taken under
  * the histogram mutex in a single critical section: count equals the
  * sum of bucket counts, and min/max/sum/percentiles all describe the
@@ -109,6 +123,9 @@ struct LatencySnapshot
     std::vector<double> bucketUpperNs;
     /** Per-bin (non-cumulative) event counts; same length. */
     std::vector<std::uint64_t> bucketCounts;
+    /** Per-bin exemplars, same length as bucketCounts when the
+     * histogram has exemplars enabled; empty otherwise. */
+    std::vector<LatencyExemplar> exemplars;
 
     double meanNs() const;
 
@@ -135,6 +152,21 @@ class LatencyHistogram
     /** Record one duration. Zero durations count as 1 ns. */
     void record(std::uint64_t ns);
 
+    /**
+     * record() plus exemplar capture: when exemplars are enabled,
+     * the observation replaces its bin's exemplar slot (last write
+     * wins), wall-clock stamped. An empty @p exemplarTraceId leaves
+     * the slot untouched.
+     */
+    void record(std::uint64_t ns, std::string_view exemplarTraceId);
+
+    /**
+     * Allocate the per-bin exemplar slots (idempotent). Off by
+     * default: only serving-path histograms that receive trace ids
+     * pay the memory and the snapshot copy.
+     */
+    void enableExemplars();
+
     std::uint64_t count() const;
     /** Exact extrema / mean over everything recorded (0 if empty). */
     std::uint64_t minNs() const;
@@ -159,6 +191,8 @@ class LatencyHistogram
     std::uint64_t minNs_ LOOKHD_GUARDED_BY(mutex_) = 0;
     std::uint64_t maxNs_ LOOKHD_GUARDED_BY(mutex_) = 0;
     double sumNs_ LOOKHD_GUARDED_BY(mutex_) = 0.0;
+    /** kLogBins slots once enableExemplars() ran; empty before. */
+    std::vector<LatencyExemplar> exemplars_ LOOKHD_GUARDED_BY(mutex_);
 };
 
 /**

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
 
 #include "hdc/kernels.hpp"
 #include "hdc/similarity.hpp"
@@ -10,6 +14,7 @@
 #include "obs/exposition.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "serve/jsonin.hpp"
 #include "util/timer.hpp"
 
@@ -83,6 +88,9 @@ struct InferenceServer::Request
     std::vector<double> features;
     bool wantScores = false;
     std::uint64_t enqueueNs = 0;
+    /** processNanoseconds() when a worker popped this request. */
+    std::uint64_t popNs = 0;
+    obs::RequestContext ctx;
 };
 
 struct InferenceServer::WorkerState
@@ -94,6 +102,19 @@ struct InferenceServer::WorkerState
      * once per stuck batch instead of once per poll. */
     std::atomic<std::uint64_t> batchSeq{0};
     std::uint64_t lastTrippedBatch = 0; // watchdog-thread private
+
+    /** One in-flight request, published for /debug/inflight. */
+    struct InflightEntry
+    {
+        std::string trace; // 32 hex chars, or "" when untraced
+        std::string id;    // echoed request id as text
+        std::uint64_t enqueueNs = 0;
+    };
+
+    /** The batch being scored; set at batch start, cleared at end. */
+    util::Mutex inflightMutex;
+    std::vector<InflightEntry> inflightBatch
+        LOOKHD_GUARDED_BY(inflightMutex);
 };
 
 namespace {
@@ -110,14 +131,57 @@ writeId(obs::JsonWriter &w, IdKind kind, double number,
 
 std::string
 errorBody(IdKind kind, double number, const std::string &string,
-          const std::string &message)
+          const obs::TraceId &trace, const std::string &message)
 {
     obs::JsonWriter w;
     w.beginObject();
     writeId(w, kind, number, string);
+    if (!trace.zero())
+        w.kv("trace", obs::traceIdHex(trace));
     w.kv("error", message);
     w.endObject();
     return w.str();
+}
+
+/** The echoed request id as plain text ("" when absent). */
+std::string
+idText(IdKind kind, double number, const std::string &string)
+{
+    if (kind == IdKind::kString)
+        return string;
+    if (kind == IdKind::kNone)
+        return {};
+    char buf[32];
+    if (number ==
+            static_cast<double>(static_cast<long long>(number)) &&
+        number > -1e15 && number < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%g", number);
+    }
+    return buf;
+}
+
+/** Raw top1 - top2 score margin (0 with fewer than two classes). */
+double
+scoreMargin(const std::vector<double> &scores)
+{
+    if (scores.size() < 2)
+        return 0.0;
+    double top1 = scores[0];
+    double top2 = scores[1];
+    if (top2 > top1)
+        std::swap(top1, top2);
+    for (std::size_t i = 2; i < scores.size(); ++i) {
+        if (scores[i] > top1) {
+            top2 = top1;
+            top1 = scores[i];
+        } else if (scores[i] > top2) {
+            top2 = scores[i];
+        }
+    }
+    return top1 - top2;
 }
 
 } // namespace
@@ -126,6 +190,7 @@ InferenceServer::InferenceServer(Classifier classifier,
                                  ServeConfig config)
     : classifier_(std::move(classifier)),
       config_(config),
+      slowLog_(config.slowLogCapacity),
       requestsOk_(
           obs::MetricRegistry::global().counter("serve.requests")),
       requestsBad_(obs::MetricRegistry::global().counter(
@@ -141,6 +206,8 @@ InferenceServer::InferenceServer(Classifier classifier,
           "serve.connections")),
       watchdogTrips_(obs::MetricRegistry::global().counter(
           "serve.watchdog.trips")),
+      slowCaptured_(obs::MetricRegistry::global().counter(
+          "serve.slow.captured")),
       queueDepth_(
           obs::MetricRegistry::global().gauge("serve.queue.depth")),
       inflight_(obs::MetricRegistry::global().gauge("serve.inflight")),
@@ -158,6 +225,14 @@ InferenceServer::InferenceServer(Classifier classifier,
             "InferenceServer needs a fitted classifier");
     expectedFeatures_ =
         classifier_.encoder().chunks().numFeatures();
+    if constexpr (obs::kReqTraceCompiled) {
+        for (std::size_t s = 0; s < obs::kReqStageCount; ++s)
+            stageLatency_[s] =
+                &obs::MetricRegistry::global().latency(
+                    obs::reqStageMetricName(
+                        static_cast<obs::ReqStage>(s)));
+        requestLatency_.enableExemplars();
+    }
 }
 
 InferenceServer::~InferenceServer()
@@ -333,6 +408,7 @@ InferenceServer::handleRequestLine(
 {
     Request req;
     req.conn = conn;
+    req.ctx.startNs = util::Timer::processNanoseconds();
     std::string parseError;
     const std::unique_ptr<JsonValue> doc =
         parseJson(line, parseError);
@@ -351,6 +427,13 @@ InferenceServer::handleRequestLine(
             req.wantScores =
                 scores->type == JsonValue::Type::kBool &&
                 scores->boolean;
+        // A client-supplied trace id is protocol (echoed even in
+        // -DLOOKHD_OBS=OFF builds); a malformed one is ignored, not
+        // rejected - tracing must never fail a request.
+        if (const JsonValue *trace = doc->find("trace"))
+            if (trace->isString() &&
+                obs::parseTraceIdHex(trace->string, req.ctx.trace))
+                req.ctx.clientSupplied = true;
     }
 
     auto reject = [&](const std::string &message,
@@ -359,7 +442,8 @@ InferenceServer::handleRequestLine(
         obs::EventLog::global().emit(obs::LogLevel::kWarn, event,
                                      {{"error", message}});
         conn->writeLine(errorBody(req.idKind, req.idNumber,
-                                  req.idString, message));
+                                  req.idString, req.ctx.trace,
+                                  message));
     };
 
     if (!doc) {
@@ -390,7 +474,14 @@ InferenceServer::handleRequestLine(
         return;
     }
 
+    if constexpr (obs::kReqTraceCompiled) {
+        if (req.ctx.trace.zero())
+            req.ctx.trace = obs::makeTraceId();
+        req.ctx.span = obs::makeSpanId();
+    }
     req.enqueueNs = util::Timer::processNanoseconds();
+    req.ctx.setStage(obs::ReqStage::kParse,
+                     req.enqueueNs - req.ctx.startNs);
     {
         const util::MutexLock lock(queueMutex_);
         if (queue_.size() >= config_.queueCapacity) {
@@ -424,6 +515,7 @@ InferenceServer::workerLoop(std::size_t workerIndex)
                 util::Timer::processNanoseconds();
             batch.push_back(std::move(queue_.front()));
             queue_.pop_front();
+            batch.back().popNs = gatherStart;
             const auto deadline =
                 std::chrono::steady_clock::now() +
                 std::chrono::microseconds(config_.batchMaxDelayUs);
@@ -431,6 +523,8 @@ InferenceServer::workerLoop(std::size_t workerIndex)
                 if (!queue_.empty()) {
                     batch.push_back(std::move(queue_.front()));
                     queue_.pop_front();
+                    batch.back().popNs =
+                        util::Timer::processNanoseconds();
                     continue;
                 }
                 if (stopWorkers_.load(std::memory_order_acquire))
@@ -453,8 +547,31 @@ InferenceServer::processBatch(std::vector<Request> &batch,
 {
     state.batchSeq.fetch_add(1, std::memory_order_relaxed);
     state.stage.store("predict", std::memory_order_relaxed);
-    state.busySinceNs.store(util::Timer::processNanoseconds(),
+    const std::uint64_t batchStartNs =
+        util::Timer::processNanoseconds();
+    state.busySinceNs.store(batchStartNs,
                             std::memory_order_relaxed);
+    {
+        const util::MutexLock lock(state.inflightMutex);
+        state.inflightBatch.clear();
+        for (const Request &req : batch) {
+            WorkerState::InflightEntry entry;
+            if (!req.ctx.trace.zero())
+                entry.trace = obs::traceIdHex(req.ctx.trace);
+            entry.id = idText(req.idKind, req.idNumber,
+                              req.idString);
+            entry.enqueueNs = req.enqueueNs;
+            state.inflightBatch.push_back(std::move(entry));
+        }
+    }
+    for (Request &req : batch) {
+        req.ctx.setStage(obs::ReqStage::kQueue,
+                         req.popNs - req.enqueueNs);
+        req.ctx.setStage(obs::ReqStage::kBatchForm,
+                         batchStartNs - req.popNs);
+    }
+    if (config_.batchHook)
+        config_.batchHook(batch.size());
     batches_.add();
     batchLastSize_.set(static_cast<double>(batch.size()));
     inflight_.set(static_cast<double>(
@@ -478,21 +595,32 @@ InferenceServer::processBatch(std::vector<Request> &batch,
     for (const Request &req : batch)
         rows.emplace_back(req.features);
     std::vector<std::vector<double>> batchScores;
+    const std::uint64_t scoreStartNs =
+        util::Timer::processNanoseconds();
     {
         LOOKHD_SPAN("serve.predict", "serve");
         batchScores =
             classifier_.scoresBatch(rows, config_.predictThreads);
     }
+    const std::uint64_t scoreEndNs =
+        util::Timer::processNanoseconds();
 
+    // Serialize/write run back to back per request, so chaining one
+    // timestamp through the loop costs a single clock read per hop.
+    std::uint64_t t = scoreEndNs;
     for (std::size_t i = 0; i < batch.size(); ++i) {
         Request &req = batch[i];
         const std::vector<double> &scores = batchScores[i];
         const std::size_t pred = hdc::argmax(scores);
         LOOKHD_QUALITY_MARGIN("serve.predict", scores);
+        req.ctx.setStage(obs::ReqStage::kScore,
+                         scoreEndNs - scoreStartNs);
 
         obs::JsonWriter w;
         w.beginObject();
         writeId(w, req.idKind, req.idNumber, req.idString);
+        if (!req.ctx.trace.zero())
+            w.kv("trace", obs::traceIdHex(req.ctx.trace));
         w.kv("pred", static_cast<std::uint64_t>(pred));
         if (req.wantScores) {
             w.key("scores").beginArray();
@@ -501,16 +629,62 @@ InferenceServer::processBatch(std::vector<Request> &batch,
             w.endArray();
         }
         w.endObject();
+        const std::uint64_t serialized =
+            util::Timer::processNanoseconds();
+        req.ctx.setStage(obs::ReqStage::kSerialize, serialized - t);
 
         // Count before the response write: a client that has read
         // the answer must already see it in requestsServed() and
         // /metrics.
-        requestLatency_.record(util::Timer::processNanoseconds() -
-                               req.enqueueNs);
+        if constexpr (obs::kReqTraceCompiled) {
+            requestLatency_.record(serialized - req.enqueueNs,
+                                   obs::traceIdHex(req.ctx.trace));
+        } else {
+            requestLatency_.record(serialized - req.enqueueNs);
+        }
         requestsOk_.add();
         state.stage.store("respond", std::memory_order_relaxed);
         req.conn->writeLine(w.str());
         state.stage.store("predict", std::memory_order_relaxed);
+        const std::uint64_t written =
+            util::Timer::processNanoseconds();
+        req.ctx.setStage(obs::ReqStage::kWrite, written - serialized);
+        t = written;
+
+        if constexpr (obs::kReqTraceCompiled) {
+            if (stageLatency_[0] != nullptr)
+                for (std::size_t s = 0; s < obs::kReqStageCount;
+                     ++s)
+                    stageLatency_[s]->record(req.ctx.stageNs[s]);
+            const std::uint64_t totalNs = written - req.ctx.startNs;
+            bool capture = false;
+            obs::CaptureReason reason = obs::CaptureReason::kSlow;
+            if (config_.slowThresholdNs > 0 &&
+                totalNs >= config_.slowThresholdNs) {
+                capture = true;
+            } else if (config_.sampleEveryN > 0 &&
+                       sampleCounter_.fetch_add(
+                           1, std::memory_order_relaxed) %
+                               config_.sampleEveryN ==
+                           0) {
+                capture = true;
+                reason = obs::CaptureReason::kSampled;
+            }
+            if (capture) {
+                obs::SlowRequestRecord record;
+                record.ctx = req.ctx;
+                record.totalNs = totalNs;
+                record.batchSize = batch.size();
+                record.predictedClass =
+                    static_cast<std::uint64_t>(pred);
+                record.margin = scoreMargin(scores);
+                record.reason = reason;
+                record.clientId = idText(req.idKind, req.idNumber,
+                                         req.idString);
+                slowLog_.record(std::move(record));
+                slowCaptured_.add();
+            }
+        }
     }
 
     inflight_.set(static_cast<double>(
@@ -518,8 +692,100 @@ InferenceServer::processBatch(std::vector<Request> &batch,
             static_cast<std::int64_t>(batch.size()),
             std::memory_order_relaxed) -
         static_cast<std::int64_t>(batch.size())));
+    {
+        const util::MutexLock lock(state.inflightMutex);
+        state.inflightBatch.clear();
+    }
     state.busySinceNs.store(0, std::memory_order_relaxed);
     state.stage.store("idle", std::memory_order_relaxed);
+}
+
+std::string
+InferenceServer::debugRequestsBody() const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.kv("captured_total", slowLog_.totalCaptured());
+    w.key("records").beginArray();
+    for (const obs::SlowRequestRecord &r : slowLog_.snapshot())
+        obs::writeSlowRequestJson(w, r);
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string
+InferenceServer::debugInflightBody()
+{
+    const std::uint64_t now = util::Timer::processNanoseconds();
+    const auto ageNs = [now](std::uint64_t sinceNs) {
+        return sinceNs == 0 || sinceNs > now ? 0 : now - sinceNs;
+    };
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("queued").beginArray();
+    {
+        const util::MutexLock lock(queueMutex_);
+        for (const Request &req : queue_) {
+            w.beginObject();
+            if (!req.ctx.trace.zero())
+                w.kv("trace", obs::traceIdHex(req.ctx.trace));
+            w.kv("id", idText(req.idKind, req.idNumber,
+                              req.idString));
+            w.kv("age_ns", ageNs(req.enqueueNs));
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.key("workers").beginArray();
+    for (std::size_t i = 0; i < workerStates_.size(); ++i) {
+        WorkerState &state = *workerStates_[i];
+        const std::uint64_t busySince =
+            state.busySinceNs.load(std::memory_order_relaxed);
+        w.beginObject();
+        w.kv("worker", static_cast<std::uint64_t>(i));
+        w.kv("stage", std::string(state.stage.load(
+                          std::memory_order_relaxed)));
+        w.kv("busy_ns", ageNs(busySince));
+        w.key("batch").beginArray();
+        {
+            const util::MutexLock lock(state.inflightMutex);
+            for (const WorkerState::InflightEntry &entry :
+                 state.inflightBatch) {
+                w.beginObject();
+                if (!entry.trace.empty())
+                    w.kv("trace", entry.trace);
+                w.kv("id", entry.id);
+                w.kv("age_ns", ageNs(entry.enqueueNs));
+                w.endObject();
+            }
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string
+InferenceServer::debugTraceBody(const std::string &query)
+{
+    std::uint64_t ms = 50;
+    const std::size_t arg = query.find("ms=");
+    if (arg != std::string::npos)
+        ms = std::strtoull(query.c_str() + arg + 3, nullptr, 10);
+    ms = std::clamp<std::uint64_t>(ms, 1, 2000);
+    // Deliberately blocks the scrape thread for the capture window:
+    // one debug endpoint, one caller, bounded at 2 s.
+    const bool wasTracing = obs::tracing();
+    obs::setTracing(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    obs::setTracing(wasTracing);
+    std::ostringstream out;
+    obs::writeChromeTrace(out);
+    out << '\n';
+    return out.str();
 }
 
 void
@@ -554,6 +820,12 @@ InferenceServer::metricsLoop()
                         ? std::string::npos
                         : secondSpace - firstSpace - 1);
             }
+            std::string query;
+            const std::size_t questionMark = path.find('?');
+            if (questionMark != std::string::npos) {
+                query = path.substr(questionMark + 1);
+                path.resize(questionMark);
+            }
 
             std::string status = "200 OK";
             std::string contentType =
@@ -571,6 +843,15 @@ InferenceServer::metricsLoop()
             } else if (path == "/healthz") {
                 contentType = "text/plain; charset=utf-8";
                 body = "ok\n";
+            } else if (path == "/debug/requests") {
+                contentType = "application/json";
+                body = debugRequestsBody();
+            } else if (path == "/debug/inflight") {
+                contentType = "application/json";
+                body = debugInflightBody();
+            } else if (path == "/debug/trace") {
+                contentType = "application/json";
+                body = debugTraceBody(query);
             } else {
                 status = "404 Not Found";
                 contentType = "text/plain; charset=utf-8";

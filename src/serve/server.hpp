@@ -23,10 +23,25 @@
  * visible in /metrics.
  *
  * Scrape port (HTTP/1.0, close-per-request):
- *   GET /metrics       Prometheus text format v0.0.4 of the global
- *                      registry + span rollup (obs/exposition.hpp)
- *   GET /metrics.json  the JSON snapshot document
- *   GET /healthz       "ok"
+ *   GET /metrics         Prometheus text format v0.0.4 of the global
+ *                        registry + span rollup (obs/exposition.hpp)
+ *   GET /metrics.json    the JSON snapshot document
+ *   GET /healthz         "ok"
+ *   GET /debug/requests  recent slow/sampled requests with their
+ *                        full stage breakdown (obs/reqtrace.hpp)
+ *   GET /debug/inflight  currently queued + scoring requests, aged
+ *   GET /debug/trace?ms=N  time-boxed Chrome trace_event capture of
+ *                        live server spans (blocks the scrape
+ *                        thread for N ms by design)
+ *
+ * Request tracing: every request carries an obs::RequestContext
+ * (128-bit trace id from the request's `trace` field or generated
+ * server-side, echoed in the response) and stamps one duration per
+ * pipeline stage (parse/queue/batch_form/score/serialize/write).
+ * Stage durations feed per-stage histograms, exemplars on the
+ * request-latency histogram, and the SlowRequestLog. Under
+ * -DLOOKHD_OBS=OFF id generation and capture compile out; echo of a
+ * client-supplied trace id is protocol, so it stays.
  *
  * Telemetry: request accounting (serve.* counters/gauges and the
  * serve.request.latency histogram) writes the metric registry
@@ -45,15 +60,18 @@
 #ifndef LOOKHD_SERVE_SERVER_HPP
 #define LOOKHD_SERVE_SERVER_HPP
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "lookhd/classifier.hpp"
+#include "obs/reqtrace.hpp"
 #include "serve/net.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -100,6 +118,26 @@ struct ServeConfig
 
     /** Watchdog poll period. */
     std::uint64_t watchdogPeriodMs = 100;
+
+    /**
+     * End-to-end latency (parse start to response written) beyond
+     * which a request is captured in the SlowRequestLog. 0 disables
+     * threshold capture.
+     */
+    std::uint64_t slowThresholdNs = 100'000'000;
+
+    /** Also capture every Nth request ("sampled"). 0 disables. */
+    std::uint64_t sampleEveryN = 0;
+
+    /** SlowRequestLog records retained per writer thread. */
+    std::size_t slowLogCapacity = 256;
+
+    /**
+     * Test-only hook, run at the start of every batch with the batch
+     * size (on the worker thread, while the watchdog sees the worker
+     * busy). Lets tests stall a worker deterministically.
+     */
+    std::function<void(std::size_t)> batchHook;
 };
 
 /**
@@ -139,6 +177,9 @@ class InferenceServer
     /** Requests answered successfully since start. */
     std::uint64_t requestsServed() const;
 
+    /** The slow/sampled request capture ring (for tests/flushing). */
+    obs::SlowRequestLog &slowLog() { return slowLog_; }
+
   private:
     struct Connection;
     struct Request;
@@ -155,6 +196,11 @@ class InferenceServer
                            const std::string &line);
     void processBatch(std::vector<Request> &batch,
                       WorkerState &state);
+
+    /** /debug endpoint bodies, built on the scrape thread. */
+    std::string debugRequestsBody() const;
+    std::string debugInflightBody();
+    std::string debugTraceBody(const std::string &query);
 
     Classifier classifier_;
     const ServeConfig config_;
@@ -195,6 +241,14 @@ class InferenceServer
 
     std::vector<std::unique_ptr<WorkerState>> workerStates_;
 
+    obs::SlowRequestLog slowLog_;
+    /** 1-in-N sampling position (config_.sampleEveryN). */
+    std::atomic<std::uint64_t> sampleCounter_{0};
+    /** Per-stage latency histograms, ReqStage-indexed; null in
+     * -DLOOKHD_OBS=OFF builds (stage timing compiles out). */
+    std::array<obs::LatencyHistogram *, obs::kReqStageCount>
+        stageLatency_{};
+
     // Cached registry handles (resolved once; see obs/metrics.hpp).
     obs::Counter &requestsOk_;
     obs::Counter &requestsBad_;
@@ -204,6 +258,7 @@ class InferenceServer
     obs::Counter &batchedRequests_;
     obs::Counter &connectionsTotal_;
     obs::Counter &watchdogTrips_;
+    obs::Counter &slowCaptured_;
     obs::Gauge &queueDepth_;
     obs::Gauge &inflight_;
     obs::Gauge &connectionsOpen_;

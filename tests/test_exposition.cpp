@@ -202,6 +202,205 @@ TEST(LatencyQuantiles, TrackExactQuantilesWithinBinResolution)
     }
 }
 
+std::size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = text.find(needle);
+         pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+TEST(RenderPrometheus, EmptyHistogramRendersExplicitZeros)
+{
+    // A registered-but-never-recorded histogram must scrape as
+    // explicit zeros, not NaN/missing samples: dashboards and the
+    // format lint both choke on the latter.
+    RegistrySnapshot snap;
+    snap.latency["serve.stage"] = LatencySnapshot{};
+    const std::string out = renderPrometheus(snap);
+    EXPECT_NE(out.find("lookhd_serve_stage_ns_bucket{le=\"+Inf\"} "
+                       "0\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("lookhd_serve_stage_ns_sum 0\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("lookhd_serve_stage_ns_count 0\n"),
+              std::string::npos);
+    for (const char *q : {"0.5", "0.9", "0.99"}) {
+        EXPECT_NE(
+            out.find("lookhd_serve_stage_ns_quantile_ns{quantile=\"" +
+                     std::string(q) + "\"} 0\n"),
+            std::string::npos)
+            << "quantile " << q << " not an explicit 0:\n"
+            << out;
+    }
+    EXPECT_NE(out.find("lookhd_serve_stage_ns_min_ns 0\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("lookhd_serve_stage_ns_max_ns 0\n"),
+              std::string::npos);
+    EXPECT_EQ(out.find("NaN"), std::string::npos) << out;
+    EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+}
+
+TEST(RenderPrometheus, NonFiniteGaugesUseExpositionSpellings)
+{
+    RegistrySnapshot snap;
+    snap.gauges["broken"] = std::nan("");
+    snap.gauges["huge"] = HUGE_VAL;
+    const std::string out = renderPrometheus(snap);
+    EXPECT_NE(out.find("lookhd_broken NaN\n"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("lookhd_huge +Inf\n"), std::string::npos)
+        << out;
+    // printf's "nan"/"inf" spellings never parse as sample values.
+    EXPECT_EQ(out.find("lookhd_broken nan"), std::string::npos);
+    EXPECT_EQ(out.find("lookhd_huge inf"), std::string::npos);
+}
+
+TEST(RenderPrometheus, LabeledNamesShareOneFamilyTypeLine)
+{
+    RegistrySnapshot snap;
+    LatencySnapshot parse;
+    parse.count = 2;
+    parse.minNs = 10;
+    parse.maxNs = 20;
+    parse.sumNs = 30.0;
+    parse.bucketUpperNs = {100.0};
+    parse.bucketCounts = {2};
+    LatencySnapshot score = parse;
+    score.count = 3;
+    score.bucketCounts = {3};
+    snap.latency["serve.stage{stage=\"parse\"}"] = parse;
+    snap.latency["serve.stage{stage=\"score\"}"] = score;
+    snap.counters["serve.hits{route=\"a\"}"] = 1;
+    snap.counters["serve.hits{route=\"b\"}"] = 2;
+
+    const std::string out = renderPrometheus(snap);
+    EXPECT_EQ(countOccurrences(
+                  out, "# TYPE lookhd_serve_stage_ns histogram\n"),
+              1u)
+        << out;
+    EXPECT_EQ(countOccurrences(
+                  out, "# TYPE lookhd_serve_hits_total counter\n"),
+              1u)
+        << out;
+    EXPECT_NE(out.find("lookhd_serve_hits_total{route=\"a\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("lookhd_serve_hits_total{route=\"b\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("lookhd_serve_stage_ns_bucket{stage="
+                       "\"parse\",le=\"100\"} 2\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("lookhd_serve_stage_ns_bucket{stage="
+                       "\"score\",le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("lookhd_serve_stage_ns_sum{stage=\"parse\"} "
+                       "30\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("lookhd_serve_stage_ns_quantile_ns{stage="
+                       "\"parse\",quantile=\"0.5\"}"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("lookhd_serve_stage_ns_min_ns{stage="
+                       "\"score\"} 10\n"),
+              std::string::npos);
+}
+
+TEST(RenderPrometheus, BucketExemplarsRenderAndRespectLe)
+{
+    RegistrySnapshot snap;
+    LatencySnapshot h;
+    h.count = 3;
+    h.minNs = 90;
+    h.maxNs = 5000;
+    h.sumNs = 5990.0;
+    h.bucketUpperNs = {100.0, 1000.0};
+    h.bucketCounts = {1, 2};
+    h.exemplars.resize(2);
+    h.exemplars[0].valueNs = 90.0;
+    h.exemplars[0].wallMs = 1712345678123ULL;
+    h.exemplars[0].traceId = "00000000000000000000000000000001";
+    // Top-bin clamp: the observation exceeds the bin edge, so the
+    // renderer must drop the exemplar to keep value <= le.
+    h.exemplars[1].valueNs = 5000.0;
+    h.exemplars[1].wallMs = 1712345678123ULL;
+    h.exemplars[1].traceId = "00000000000000000000000000000002";
+    snap.latency["rpc.latency"] = h;
+
+    const std::string out = renderPrometheus(snap);
+    EXPECT_NE(out.find("lookhd_rpc_latency_ns_bucket{le=\"100\"} 1 "
+                       "# {trace_id=\"000000000000000000000000000000"
+                       "01\"} 90 1712345678.123\n"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("lookhd_rpc_latency_ns_bucket{le=\"1000\"} "
+                       "3\n"),
+              std::string::npos)
+        << "over-edge exemplar was not dropped:\n"
+        << out;
+    EXPECT_EQ(countOccurrences(out, "trace_id"), 1u);
+}
+
+TEST(LatencyHistogramExemplars, RecordKeepsLastTracePerBin)
+{
+    LatencyHistogram hist;
+    hist.record(500); // before enabling: no exemplar storage
+    EXPECT_TRUE(hist.snapshot().exemplars.empty());
+
+    hist.enableExemplars();
+    hist.record(500, "00000000000000000000000000000aaa");
+    hist.record(500, "00000000000000000000000000000bbb");
+    hist.record(7'000'000, "00000000000000000000000000000ccc");
+    const LatencySnapshot snap = hist.snapshot();
+    ASSERT_EQ(snap.exemplars.size(), snap.bucketCounts.size());
+    std::size_t filled = 0;
+    bool sawLastWriter = false;
+    for (const LatencyExemplar &ex : snap.exemplars) {
+        if (ex.traceId.empty())
+            continue;
+        ++filled;
+        EXPECT_GT(ex.wallMs, 0u);
+        // Same bin observed twice keeps the most recent trace.
+        sawLastWriter =
+            sawLastWriter ||
+            ex.traceId == "00000000000000000000000000000bbb";
+        EXPECT_NE(ex.traceId,
+                  "00000000000000000000000000000aaa");
+    }
+    EXPECT_EQ(filled, 2u);
+    EXPECT_TRUE(sawLastWriter);
+
+    RegistrySnapshot reg;
+    reg.latency["x"] = snap;
+    EXPECT_NE(renderPrometheus(reg).find("trace_id=\""),
+              std::string::npos);
+}
+
+TEST(SnapshotJson, EmptyHistogramQuantilesAreExplicitZeros)
+{
+    MetricRegistry reg;
+    reg.latency("never.recorded");
+    std::string error;
+    const auto doc = serve::parseJson(snapshotJson(reg), error);
+    ASSERT_NE(doc, nullptr) << error;
+    const serve::JsonValue *hist =
+        doc->find("registry")->find("latency")->find(
+            "never.recorded");
+    ASSERT_NE(hist, nullptr);
+    for (const char *key :
+         {"p50_ns", "p90_ns", "p99_ns", "mean_ns", "min_ns",
+          "max_ns", "count"}) {
+        const serve::JsonValue *v = hist->find(key);
+        ASSERT_NE(v, nullptr) << key;
+        ASSERT_TRUE(v->isNumber()) << key << " is not a number";
+        EXPECT_EQ(v->number, 0.0) << key;
+    }
+}
+
 TEST(SnapshotJson, HasRegistrySpanAndQualitySections)
 {
     MetricRegistry reg;

@@ -7,13 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/synthetic.hpp"
 #include "lookhd/classifier.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
 #include "serve/jsonin.hpp"
 #include "serve/net.hpp"
 #include "serve/server.hpp"
@@ -241,6 +245,188 @@ TEST_F(ServeTest, StopIsGracefulAndIdempotent)
     EXPECT_FALSE(server_->running());
     server_->stop(); // second stop is a no-op
     EXPECT_GE(server_->requestsServed(), 1u);
+}
+
+TEST_F(ServeTest, EchoesClientSuppliedTraceOnEveryBuild)
+{
+    // Trace echo is wire protocol, not instrumentation: it must
+    // hold under -DLOOKHD_OBS=OFF too.
+    const std::string trace =
+        "deadbeefdeadbeefdeadbeefdeadbeef";
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server_->port());
+    const auto doc = roundTrip(
+        stream, "{\"id\":7,\"trace\":\"" + trace +
+                    "\",\"features\":[0.5,0.5,0.5,0.5,0.5,0.5,"
+                    "0.5,0.5,0.5,0.5,0.5,0.5]}");
+    ASSERT_NE(doc, nullptr);
+    ASSERT_NE(doc->find("pred"), nullptr);
+    const serve::JsonValue *echoed = doc->find("trace");
+    ASSERT_NE(echoed, nullptr);
+    ASSERT_TRUE(echoed->isString());
+    EXPECT_EQ(echoed->string, trace);
+}
+
+TEST_F(ServeTest, MalformedTraceIsIgnoredNotRejected)
+{
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server_->port());
+    const auto doc = roundTrip(
+        stream, "{\"id\":8,\"trace\":\"nope\",\"features\":[0.5,"
+                "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5]}");
+    ASSERT_NE(doc, nullptr);
+    EXPECT_EQ(doc->find("error"), nullptr);
+    ASSERT_NE(doc->find("pred"), nullptr);
+    const serve::JsonValue *echoed = doc->find("trace");
+    if (obs::kReqTraceCompiled) {
+        // The unusable client id was replaced server-side.
+        ASSERT_NE(echoed, nullptr);
+        EXPECT_NE(echoed->string, "nope");
+        EXPECT_EQ(echoed->string.size(), 32u);
+    } else if (echoed != nullptr) {
+        EXPECT_NE(echoed->string, "nope");
+    }
+}
+
+TEST_F(ServeTest, ServerGeneratesTraceIdsWhenCompiled)
+{
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server_->port());
+    const std::vector<double> features(12, 0.25);
+    const auto doc = roundTrip(stream, requestLine(21, features));
+    ASSERT_NE(doc, nullptr);
+    const serve::JsonValue *trace = doc->find("trace");
+    if (!obs::kReqTraceCompiled) {
+        EXPECT_EQ(trace, nullptr);
+        return;
+    }
+    ASSERT_NE(trace, nullptr);
+    ASSERT_TRUE(trace->isString());
+    obs::TraceId parsed;
+    EXPECT_TRUE(obs::parseTraceIdHex(trace->string, parsed))
+        << trace->string;
+}
+
+TEST(ServeDebug, DebugEndpointsExposeCapturedRequests)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.batchMaxSize = 4;
+    cfg.batchMaxDelayUs = 100;
+    cfg.sampleEveryN = 1; // capture every request
+    cfg.slowThresholdNs = ~0ULL >> 1;
+    serve::InferenceServer server(trainedClassifier(), cfg);
+    server.start();
+
+    const std::string trace =
+        "0123456789abcdef0123456789abcdef";
+    {
+        serve::TcpStream stream =
+            serve::TcpStream::connect("127.0.0.1", server.port());
+        const auto doc = roundTrip(
+            stream, "{\"id\":99,\"trace\":\"" + trace +
+                        "\",\"features\":[0.5,0.5,0.5,0.5,0.5,"
+                        "0.5,0.5,0.5,0.5,0.5,0.5,0.5]}");
+        ASSERT_NE(doc, nullptr);
+        ASSERT_NE(doc->find("pred"), nullptr);
+    }
+
+    std::string status;
+    // The capture lands just after the response write; poll briefly.
+    std::string body;
+    bool captured = false;
+    const int attempts = obs::kReqTraceCompiled ? 100 : 1;
+    for (int i = 0; i < attempts && !captured; ++i) {
+        body = httpGet(server.metricsPort(), "/debug/requests",
+                       &status);
+        EXPECT_NE(status.find("200"), std::string::npos);
+        captured = body.find(trace) != std::string::npos;
+        if (!captured)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    std::string error;
+    const auto debugDoc = serve::parseJson(body, error);
+    ASSERT_NE(debugDoc, nullptr) << error << ": " << body;
+    ASSERT_NE(debugDoc->find("captured_total"), nullptr);
+    if (obs::kReqTraceCompiled) {
+        EXPECT_TRUE(captured)
+            << "/debug/requests never showed trace " << trace
+            << ": " << body;
+        EXPECT_GE(server.slowLog().totalCaptured(), 1u);
+        EXPECT_NE(body.find("\"reason\":\"sampled\""),
+                  std::string::npos);
+        EXPECT_NE(body.find("\"stages\""), std::string::npos);
+    } else {
+        EXPECT_EQ(debugDoc->find("captured_total")->number, 0.0);
+    }
+
+    const std::string inflight =
+        httpGet(server.metricsPort(), "/debug/inflight", &status);
+    EXPECT_NE(status.find("200"), std::string::npos);
+    const auto inflightDoc = serve::parseJson(inflight, error);
+    ASSERT_NE(inflightDoc, nullptr) << error << ": " << inflight;
+    EXPECT_NE(inflightDoc->find("queued"), nullptr);
+    EXPECT_NE(inflightDoc->find("workers"), nullptr);
+
+    const std::string traceBody =
+        httpGet(server.metricsPort(), "/debug/trace?ms=1", &status);
+    EXPECT_NE(status.find("200"), std::string::npos);
+    EXPECT_NE(traceBody.find("traceEvents"), std::string::npos);
+
+    server.stop();
+}
+
+TEST(ServeWatchdog, StallDumpFiresOncePerStuckBatch)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.batchMaxSize = 4;
+    cfg.batchMaxDelayUs = 100;
+    cfg.watchdogDeadlineMs = 50;
+    cfg.watchdogPeriodMs = 10;
+    // First batch stalls well past the deadline; the rest run free.
+    std::atomic<bool> stalled{false};
+    cfg.batchHook = [&stalled](std::size_t) {
+        if (!stalled.exchange(true))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(300));
+    };
+    serve::InferenceServer server(trainedClassifier(), cfg);
+    const std::uint64_t tripsBefore =
+        obs::MetricRegistry::global()
+            .counter("serve.watchdog.trips")
+            .value();
+    server.start();
+
+    const std::vector<double> features(12, 0.5);
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server.port());
+    {
+        const auto doc = roundTrip(stream, requestLine(1, features));
+        ASSERT_NE(doc, nullptr);
+        EXPECT_NE(doc->find("pred"), nullptr);
+    }
+    // The 300 ms stall spans many 10 ms watchdog polls past the
+    // 50 ms deadline, but the per-batch guard dumps exactly once.
+    const std::uint64_t tripsAfter =
+        obs::MetricRegistry::global()
+            .counter("serve.watchdog.trips")
+            .value();
+    EXPECT_EQ(tripsAfter - tripsBefore, 1u);
+
+    // The server recovered: the next request round-trips promptly.
+    {
+        const auto doc = roundTrip(stream, requestLine(2, features));
+        ASSERT_NE(doc, nullptr);
+        EXPECT_NE(doc->find("pred"), nullptr);
+    }
+    EXPECT_EQ(obs::MetricRegistry::global()
+                      .counter("serve.watchdog.trips")
+                      .value() -
+                  tripsBefore,
+              1u);
+    server.stop();
 }
 
 TEST(ServeLifecycle, EphemeralPortsAreDistinctAndNonzero)

@@ -1,7 +1,7 @@
 # CTest script: end-to-end round trip of the command-line tools.
 # Invoked as:
-#   cmake -DTRAIN=... -DPREDICT=... -DINFO=... -DWORKDIR=...
-#         -P cli_test.cmake
+#   cmake -DTRAIN=... -DPREDICT=... -DINFO=... -DSERVE=...
+#         -DLOADGEN=... -DWORKDIR=... -P cli_test.cmake
 
 # Deterministic two-class CSV: class from the sign of feature 0.
 set(csv "${WORKDIR}/cli_demo.csv")
@@ -80,6 +80,23 @@ if(NOT quality_doc MATCHES "\"margins\"" OR
     message(FATAL_ERROR
         "predict --quality-out lacks margins/confusion:\n${quality_doc}")
 endif()
+
+# --version must print the build identity (git rev + flags) and
+# exit 0, on every tool that serves or generates load too.
+foreach(tool TRAIN PREDICT SERVE LOADGEN)
+    execute_process(
+        COMMAND "${${tool}}" --version
+        OUTPUT_VARIABLE version_out RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${tool} --version failed (${rc})")
+    endif()
+    if(NOT version_out MATCHES "git-" OR
+       NOT version_out MATCHES "obs=" OR
+       NOT version_out MATCHES "sanitize=")
+        message(FATAL_ERROR
+            "${tool} --version lacks build identity:\n${version_out}")
+    endif()
+endforeach()
 
 # Error paths: bad model file must fail cleanly.
 execute_process(

@@ -6,7 +6,9 @@
  *   lookhd_loadgen --port PORT --features N
  *                  [--host 127.0.0.1] [--connections 4]
  *                  [--requests 1000] [--seed 42] [--burst 1]
- *                  [--lo 0] [--hi 1] [--quick] [--quiet]
+ *                  [--lo 0] [--hi 1] [--trace] [--slow-ms N]
+ *                  [--json-out FILE] [--quick] [--quiet]
+ *                  [--version]
  *
  * Opens --connections TCP connections, each running a closed loop:
  * send one {"id":k,"features":[...]} request, wait for the
@@ -19,6 +21,15 @@
  * and the connection index, uniform in [--lo,--hi]); responses are
  * checked for a "pred" field and a matching echoed id. --quick
  * shrinks the run for CI smoke (2 connections, 64 requests).
+ *
+ * --trace stamps every request with a client-generated 128-bit
+ * trace id (deterministic, from --seed) and checks the server
+ * echoes it back; a missing or wrong echo counts as an error.
+ * --slow-ms N prints one `loadgen.slow:` line per response slower
+ * than N ms, with its trace id, so slow client observations can be
+ * cross-referenced against the server's /debug/requests records
+ * and exemplars. --json-out writes the summary (and the slow list)
+ * as a JSON document for drivers.
  *
  * Prints a one-line machine-readable summary (client-side exact
  * quantiles, not the server's histogram estimate):
@@ -33,8 +44,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -44,6 +57,7 @@
 #include "serve/net.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -51,19 +65,52 @@ constexpr const char *kUsage =
     "usage: lookhd_loadgen --port PORT --features N\n"
     "                      [--host 127.0.0.1] [--connections 4]\n"
     "                      [--requests 1000] [--seed 42] [--burst 1]\n"
-    "                      [--lo 0] [--hi 1] [--quick] [--quiet]\n"
+    "                      [--lo 0] [--hi 1] [--trace] [--slow-ms N]\n"
+    "                      [--json-out FILE] [--quick] [--quiet]\n"
+    "                      [--version]\n"
     "\n"
     "Closed-loop load generator for lookhd_serve: each connection\n"
     "sends a request, waits for the response, repeats. --burst N\n"
     "pipelines N requests per round trip (fills server batches).\n"
     "Prints achieved QPS and client-side p50/p90/p99. Exits 0 iff\n"
-    "every request succeeded.\n";
+    "every request succeeded.\n"
+    "  --trace          stamp requests with client trace ids and\n"
+    "                   require the server to echo them\n"
+    "  --slow-ms N      print trace ids of responses slower than\n"
+    "                   N ms (loadgen.slow: lines)\n"
+    "  --json-out FILE  write the summary (with the slow list) as\n"
+    "                   JSON\n"
+    "  --version        print build identity and exit\n";
+
+/** One response slower than --slow-ms. */
+struct SlowResponse
+{
+    std::uint64_t id = 0;
+    std::string trace;
+    double us = 0.0;
+};
 
 struct WorkerResult
 {
     std::vector<double> latenciesUs;
+    std::vector<SlowResponse> slow;
     std::uint64_t errors = 0;
 };
+
+/** Deterministic 32-hex client trace id from the worker's stream. */
+std::string
+makeClientTraceHex(lookhd::util::Rng &rng)
+{
+    std::uint64_t hi = rng.next();
+    std::uint64_t lo = rng.next();
+    if (hi == 0 && lo == 0)
+        lo = 1; // all-zero is the protocol's "no trace" sentinel
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
 
 double
 exactQuantile(std::vector<double> &sorted, double p)
@@ -87,12 +134,15 @@ main(int argc, char **argv)
 {
     using namespace lookhd;
     try {
-        const tools::Args args(argc, argv,
-                               {"quick", "quiet", "help"});
+        const tools::Args args(
+            argc, argv,
+            {"quick", "quiet", "help", "trace", "version"});
         if (args.has("help")) {
             std::printf("%s", kUsage);
             return 0;
         }
+        if (tools::handleVersionFlag(args, "lookhd_loadgen"))
+            return 0;
 
         const std::string host = args.get("host", "127.0.0.1");
         const auto port = static_cast<std::uint16_t>(
@@ -115,6 +165,10 @@ main(int argc, char **argv)
             static_cast<std::size_t>(args.getInt("burst", 1)), 1);
         const double lo = args.getDouble("lo", 0.0);
         const double hi = args.getDouble("hi", 1.0);
+        const bool withTrace = args.has("trace");
+        const double slowUs =
+            static_cast<double>(args.getInt("slow-ms", 0)) * 1000.0;
+        const std::string json_out = args.get("json-out", "");
 
         std::atomic<std::size_t> nextRequest{0};
         std::vector<WorkerResult> results(connections);
@@ -148,11 +202,18 @@ main(int argc, char **argv)
                             return;
 
                         std::string payload;
+                        std::unordered_map<std::size_t, std::string>
+                            sentTraces;
                         for (const std::size_t k : ids) {
                             obs::JsonWriter w;
                             w.beginObject();
                             w.kv("id",
                                  static_cast<std::uint64_t>(k));
+                            if (withTrace) {
+                                std::string &trace = sentTraces[k];
+                                trace = makeClientTraceHex(rng);
+                                w.kv("trace", trace);
+                            }
                             w.key("features").beginArray();
                             for (std::size_t f = 0; f < features;
                                  ++f)
@@ -190,11 +251,35 @@ main(int argc, char **argv)
                                 expected.erase(static_cast<
                                                std::size_t>(
                                     id->number)) == 1;
+                            const serve::JsonValue *echoed =
+                                doc ? doc->find("trace") : nullptr;
+                            std::string echoedTrace;
+                            if (echoed != nullptr &&
+                                echoed->isString())
+                                echoedTrace = echoed->string;
+                            // --trace requires the server to echo
+                            // the exact id we stamped.
+                            bool traceMatches = true;
+                            if (withTrace && idMatches) {
+                                const auto sent = sentTraces.find(
+                                    static_cast<std::size_t>(
+                                        id->number));
+                                traceMatches =
+                                    sent != sentTraces.end() &&
+                                    echoedTrace == sent->second;
+                            }
                             if (pred == nullptr ||
-                                !pred->isNumber() || !idMatches)
+                                !pred->isNumber() || !idMatches ||
+                                !traceMatches) {
                                 ++result.errors;
-                            else
+                            } else {
                                 result.latenciesUs.push_back(us);
+                                if (slowUs > 0.0 && us >= slowUs)
+                                    result.slow.push_back(
+                                        {static_cast<std::uint64_t>(
+                                             id->number),
+                                         echoedTrace, us});
+                            }
                         }
                     }
                 } catch (const std::exception &) {
@@ -207,29 +292,69 @@ main(int argc, char **argv)
         const double elapsed = wall.seconds();
 
         std::vector<double> latencies;
+        std::vector<SlowResponse> slow;
         std::uint64_t errors = 0;
         for (const WorkerResult &result : results) {
             latencies.insert(latencies.end(),
                              result.latenciesUs.begin(),
                              result.latenciesUs.end());
+            slow.insert(slow.end(), result.slow.begin(),
+                        result.slow.end());
             errors += result.errors;
         }
         // Unanswered budget (a worker bailed early) counts as errors.
         if (latencies.size() + errors < totalRequests)
             errors = totalRequests - latencies.size();
         std::sort(latencies.begin(), latencies.end());
+        std::sort(slow.begin(), slow.end(),
+                  [](const SlowResponse &a, const SlowResponse &b) {
+                      return a.us > b.us;
+                  });
 
         const double qps =
             elapsed > 0.0
                 ? static_cast<double>(latencies.size()) / elapsed
                 : 0.0;
+        const double p50 = exactQuantile(latencies, 0.50);
+        const double p90 = exactQuantile(latencies, 0.90);
+        const double p99 = exactQuantile(latencies, 0.99);
         std::printf("loadgen: requests=%zu errors=%llu qps=%.1f "
                     "p50_us=%.1f p90_us=%.1f p99_us=%.1f\n",
                     latencies.size(),
                     static_cast<unsigned long long>(errors), qps,
-                    exactQuantile(latencies, 0.50),
-                    exactQuantile(latencies, 0.90),
-                    exactQuantile(latencies, 0.99));
+                    p50, p90, p99);
+        for (const SlowResponse &s : slow)
+            std::printf("loadgen.slow: id=%llu trace=%s us=%.1f\n",
+                        static_cast<unsigned long long>(s.id),
+                        s.trace.empty() ? "-" : s.trace.c_str(),
+                        s.us);
+
+        if (!json_out.empty()) {
+            obs::JsonWriter w;
+            w.beginObject();
+            w.kv("requests",
+                 static_cast<std::uint64_t>(latencies.size()));
+            w.kv("errors", errors);
+            w.kv("qps", qps);
+            w.kv("p50_us", p50);
+            w.kv("p90_us", p90);
+            w.kv("p99_us", p99);
+            w.key("slow").beginArray();
+            for (const SlowResponse &s : slow) {
+                w.beginObject();
+                w.kv("id", s.id);
+                w.kv("trace", s.trace);
+                w.kv("us", s.us);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+            std::ofstream out(json_out);
+            if (!out)
+                throw std::runtime_error("cannot write " +
+                                         json_out);
+            out << w.str() << "\n";
+        }
         if (!args.has("quiet") && errors > 0)
             std::fprintf(stderr,
                          "lookhd_loadgen: %llu request(s) failed\n",

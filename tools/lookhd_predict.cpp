@@ -28,6 +28,7 @@
 #include "hdc/similarity.hpp"
 #include "lookhd/serialize.hpp"
 #include "obs/obs.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -60,11 +61,14 @@ main(int argc, char **argv)
     using namespace lookhd;
     try {
         const tools::Args args(argc, argv,
-                               {"label-first", "quiet", "help"});
+                               {"label-first", "quiet", "help",
+                                "version"});
         if (args.has("help")) {
             std::printf("%s", kUsage);
             return 0;
         }
+        if (tools::handleVersionFlag(args, "lookhd_predict"))
+            return 0;
 
         const std::string trace_out = args.get("trace-out", "");
         if (!trace_out.empty())

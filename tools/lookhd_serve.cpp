@@ -8,9 +8,11 @@
  *                [--workers 2] [--batch-max 16] [--threads 1]
  *                [--batch-delay-us 200] [--queue-cap 1024]
  *                [--watchdog-ms 2000]
+ *                [--slow-ms 100] [--sample-every N]
+ *                [--slow-log slow.jsonl]
  *                [--event-log events.jsonl]
  *                [--metrics-out metrics.json]
- *                [--max-seconds N] [--quiet]
+ *                [--max-seconds N] [--quiet] [--version]
  *
  * Speaks newline-delimited JSON on the request port
  * ({"id":7,"features":[...]} -> {"id":7,"pred":1}) and HTTP on the
@@ -43,6 +45,7 @@
 #include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "util/timer.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -53,21 +56,29 @@ constexpr const char *kUsage =
     "                    [--threads 1]\n"
     "                    [--batch-delay-us 200] [--queue-cap 1024]\n"
     "                    [--watchdog-ms 2000]\n"
+    "                    [--slow-ms 100] [--sample-every N]\n"
+    "                    [--slow-log slow.jsonl]\n"
     "                    [--event-log events.jsonl]\n"
     "                    [--metrics-out metrics.json]\n"
-    "                    [--max-seconds N] [--quiet]\n"
+    "                    [--max-seconds N] [--quiet] [--version]\n"
     "\n"
     "Serves newline-delimited JSON inference requests on --port and\n"
     "Prometheus text format v0.0.4 on GET /metrics of\n"
-    "--metrics-port (plus /metrics.json and /healthz). Port 0 picks\n"
+    "--metrics-port (plus /metrics.json, /healthz, /debug/requests,\n"
+    "/debug/inflight and /debug/trace?ms=N). Port 0 picks\n"
     "a free port; both are announced on stdout. SIGTERM/SIGINT\n"
     "drains and exits 0.\n"
     "  --threads N         prediction threads per worker batch\n"
     "                      (1 = the worker alone, 0 = one per\n"
     "                      hardware thread); results are identical\n"
+    "  --slow-ms N         capture requests slower than N ms in the\n"
+    "                      slow-request log (0 disables)\n"
+    "  --sample-every N    also capture every Nth request\n"
+    "  --slow-log FILE     append captured requests as JSON lines\n"
     "  --event-log FILE    append JSON-lines request-scope events\n"
     "  --metrics-out FILE  dump the final metric registry as JSON\n"
-    "  --max-seconds N     self-terminate after N seconds (CI belt)\n";
+    "  --max-seconds N     self-terminate after N seconds (CI belt)\n"
+    "  --version           print build identity and exit\n";
 
 std::atomic<bool> gStopRequested{false};
 
@@ -84,11 +95,14 @@ main(int argc, char **argv)
 {
     using namespace lookhd;
     try {
-        const tools::Args args(argc, argv, {"quiet", "help"});
+        const tools::Args args(argc, argv,
+                               {"quiet", "help", "version"});
         if (args.has("help")) {
             std::printf("%s", kUsage);
             return 0;
         }
+        if (tools::handleVersionFlag(args, "lookhd_serve"))
+            return 0;
 
         serve::ServeConfig cfg;
         cfg.port =
@@ -107,6 +121,19 @@ main(int argc, char **argv)
             static_cast<std::size_t>(args.getInt("queue-cap", 1024));
         cfg.watchdogDeadlineMs = static_cast<std::uint64_t>(
             args.getInt("watchdog-ms", 2000));
+        cfg.slowThresholdNs =
+            static_cast<std::uint64_t>(
+                args.getInt("slow-ms", 100)) *
+            1'000'000ULL;
+        cfg.sampleEveryN = static_cast<std::uint64_t>(
+            args.getInt("sample-every", 0));
+
+        const std::string slow_log = args.get("slow-log", "");
+        if (!slow_log.empty()) {
+            std::ofstream truncate(slow_log, std::ios::trunc);
+            if (!truncate)
+                throw std::runtime_error("cannot write " + slow_log);
+        }
 
         const std::string event_log = args.get("event-log", "");
         if (!event_log.empty()) {
@@ -117,7 +144,7 @@ main(int argc, char **argv)
             obs::EventLog::installCrashFlush(event_log);
         }
 
-        obs::MetricRegistry::global().setLabel("app", "lookhd_serve");
+        tools::applyBuildInfoLabels("lookhd_serve");
         Classifier clf = loadClassifierFile(args.require("model"));
         obs::EventLog::global().emit(
             obs::LogLevel::kInfo, "serve.model.loaded",
@@ -135,6 +162,20 @@ main(int argc, char **argv)
         std::signal(SIGTERM, handleStopSignal);
         std::signal(SIGINT, handleStopSignal);
 
+        // Incremental slow-log flush: the seq watermark makes each
+        // append emit only records captured since the last flush.
+        std::uint64_t slowLogSeq = 0;
+        const auto flushSlowLog = [&] {
+            if (slow_log.empty())
+                return true;
+            std::ofstream out(slow_log, std::ios::app);
+            if (!out)
+                return false;
+            slowLogSeq =
+                server.slowLog().writeJsonLines(out, slowLogSeq);
+            return static_cast<bool>(out);
+        };
+
         const long max_seconds = args.getInt("max-seconds", 0);
         util::Timer uptime;
         while (!gStopRequested.load()) {
@@ -150,12 +191,15 @@ main(int argc, char **argv)
             }
             if (!event_log.empty())
                 obs::EventLog::global().flushToFile(event_log);
+            flushSlowLog();
         }
 
         server.stop();
         if (!event_log.empty() &&
             !obs::EventLog::global().flushToFile(event_log))
             throw std::runtime_error("cannot write " + event_log);
+        if (!flushSlowLog())
+            throw std::runtime_error("cannot write " + slow_log);
 
         const std::string metrics_out = args.get("metrics-out", "");
         if (!metrics_out.empty()) {

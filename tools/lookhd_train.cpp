@@ -34,6 +34,7 @@
 #include "hdc/similarity.hpp"
 #include "lookhd/serialize.hpp"
 #include "obs/obs.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -69,11 +70,13 @@ main(int argc, char **argv)
         const tools::Args args(
             argc, argv,
             {"linear", "per-feature", "no-compress", "label-first",
-             "quiet", "help"});
+             "quiet", "help", "version"});
         if (args.has("help")) {
             std::printf("%s", kUsage);
             return 0;
         }
+        if (tools::handleVersionFlag(args, "lookhd_train"))
+            return 0;
 
         const std::string trace_out = args.get("trace-out", "");
         if (!trace_out.empty())

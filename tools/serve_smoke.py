@@ -10,18 +10,27 @@ Round trip, in one process tree:
   3. drive it with lookhd_loadgen (``--quick`` by default here),
      pipelining requests with ``--burst`` so server-side batches
      actually fill,
-  4. scrape GET /metrics, lint it with validate_prometheus.check_text
-     and assert the request counter is nonzero, the latency
-     histogram has buckets, and the batched predict path was
-     exercised (at least one batch of size > 1),
-  5. scrape GET /metrics.json and assemble a ``lookhd-bench-v2``
+  4. send one traced request over a raw socket (client-chosen
+     128-bit trace id) and assert the response echoes the trace;
+     when the build has observability on, additionally assert the
+     request shows up in /debug/requests with a stage breakdown
+     whose sum does not exceed the client-observed latency (+5%
+     slack), that at least one latency bucket in /metrics carries
+     an OpenMetrics exemplar, and that /debug/inflight and
+     /debug/trace?ms=N answer sanely,
+  5. scrape GET /metrics, lint it with
+     validate_prometheus.check_text and assert the request counter
+     is nonzero, the latency histogram has buckets, and the batched
+     predict path was exercised (at least one batch of size > 1),
+  6. scrape GET /metrics.json and assemble a ``lookhd-bench-v2``
      BENCH_serve_smoke.json (server-side latency quantiles + client
      QPS in `metrics`) into --out-dir, validated with
      validate_bench_json.check_file so tools/bench_compare.py can
      diff serve latency across commits once a baseline is pinned,
-  6. SIGTERM the server and assert exit status 0 with the event log
+  7. SIGTERM the server and assert exit status 0 with the event log
      flushed (serve.start and serve.shutdown both present, every
-     line valid JSON).
+     line valid JSON); with observability on, the slow-request log
+     must hold the traced request as a valid JSON line.
 
 Usage:
     serve_smoke.py --train T --serve S --loadgen L
@@ -36,6 +45,7 @@ import argparse
 import json
 import re
 import signal
+import socket
 import subprocess
 import sys
 import time
@@ -54,6 +64,15 @@ LOADGEN_RE = re.compile(
     r"p50_us=([\d.]+) p90_us=([\d.]+) p99_us=([\d.]+)")
 
 FEATURES = 3
+
+# Client-chosen trace id for the hand-rolled traced request; easy to
+# spot in /debug/requests and the slow-request log.
+TRACE_HEX = "deadbeefdeadbeefdeadbeefdeadbeef"
+TRACE_REQ_ID = 424242
+
+EXEMPLAR_BUCKET_RE = re.compile(
+    r'_bucket\{[^}]*le="[^"]*"[^}]*\} \S+ '
+    r'# \{trace_id="[0-9a-f]{32}"\} \S+')
 
 
 class SmokeError(RuntimeError):
@@ -146,6 +165,122 @@ def check_prometheus(text: str) -> None:
             "no batch larger than one request was processed - the "
             "batched predict path was never exercised (burst "
             "pipelining broken?)")
+
+
+def traced_request(port: int) -> int:
+    """One raw-socket request with a client-supplied trace id.
+
+    Returns the client-observed latency in nanoseconds (send to
+    full response line). The trace echo is wire protocol and must
+    hold on every build, including -DLOOKHD_OBS=OFF.
+    """
+    request = {"id": TRACE_REQ_ID, "trace": TRACE_HEX,
+               "features": [1.5, 19.25, 3.0]}
+    payload = (json.dumps(request) + "\n").encode("utf-8")
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=10) as sock:
+        start = time.perf_counter_ns()
+        sock.sendall(payload)
+        buf = b""
+        while b"\n" not in buf:
+            chunk = sock.recv(4096)
+            if not chunk:
+                raise SmokeError("server closed the connection "
+                                 "before answering the traced "
+                                 "request")
+            buf += chunk
+        client_ns = time.perf_counter_ns() - start
+    response = json.loads(buf.split(b"\n", 1)[0].decode("utf-8"))
+    if response.get("id") != TRACE_REQ_ID:
+        raise SmokeError(f"traced request answered with wrong id: "
+                         f"{response}")
+    if response.get("trace") != TRACE_HEX:
+        raise SmokeError(
+            f"traced request did not echo the client trace id "
+            f"(sent {TRACE_HEX}, got {response.get('trace')!r})")
+    if "pred" not in response:
+        raise SmokeError(f"traced response has no prediction: "
+                         f"{response}")
+    return client_ns
+
+
+def check_debug_endpoints(metrics_port: int, client_ns: int,
+                          prom: str) -> None:
+    """Observability-on assertions: /debug/* and live exemplars."""
+    debug = json.loads(scrape(metrics_port, "/debug/requests"))
+    if debug.get("captured_total", 0) < 1:
+        raise SmokeError("/debug/requests captured_total is zero "
+                         "despite --sample-every 1")
+    record = next((r for r in debug.get("records", [])
+                   if r.get("trace") == TRACE_HEX), None)
+    if record is None:
+        raise SmokeError(
+            f"/debug/requests has no record for trace {TRACE_HEX} "
+            f"(records: {len(debug.get('records', []))})")
+    stages = record.get("stages", {})
+    for stage in ("parse", "queue", "batch_form", "score",
+                  "serialize", "write"):
+        if stage not in stages:
+            raise SmokeError(f"captured request lacks stage "
+                             f"'{stage}': {stages}")
+    stage_sum = sum(stages.values())
+    if stage_sum <= 0:
+        raise SmokeError(f"captured stage breakdown is empty: "
+                         f"{stages}")
+    # The stages are disjoint sub-intervals of the server's own
+    # request window, so their sum can never exceed total_ns.
+    if stage_sum > record["total_ns"]:
+        raise SmokeError(
+            f"stage breakdown sums to {stage_sum} ns, more than "
+            f"the request's own total {record['total_ns']} ns")
+    # Against the client clock the comparison is looser: the client
+    # timer stops the moment the kernel delivers the response, but
+    # the server stamps the write stage only after its send()
+    # returns, so server accounting overhangs the client window by
+    # the tail of that syscall. 5% relative plus a small absolute
+    # grace absorbs it (the absolute term matters on sanitizer
+    # builds, where syscalls are slow and the round trip is short).
+    grace_ns = 500_000
+    if stage_sum > client_ns * 1.05 + grace_ns:
+        raise SmokeError(
+            f"stage breakdown sums to {stage_sum} ns, more than "
+            f"the client-observed {client_ns} ns (+5% and "
+            f"{grace_ns} ns grace)")
+    if not EXEMPLAR_BUCKET_RE.search(prom):
+        raise SmokeError("/metrics has no exemplar-bearing "
+                         "histogram bucket")
+    inflight = json.loads(scrape(metrics_port, "/debug/inflight"))
+    for key in ("queued", "workers"):
+        if key not in inflight:
+            raise SmokeError(f"/debug/inflight lacks '{key}': "
+                             f"{inflight}")
+    trace_doc = json.loads(scrape(metrics_port,
+                                  "/debug/trace?ms=20"))
+    if "traceEvents" not in trace_doc:
+        raise SmokeError(f"/debug/trace returned no traceEvents: "
+                         f"{list(trace_doc)}")
+    print(f"serve_smoke: traced request captured "
+          f"(stages {stage_sum} ns vs client {client_ns} ns), "
+          f"/debug endpoints live")
+
+
+def check_slow_log(path: Path) -> None:
+    if not path.is_file():
+        raise SmokeError(f"slow-request log {path} was not written")
+    traced = False
+    for i, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SmokeError(
+                f"slow log line {i} is not valid JSON: {exc}")
+        traced = traced or record.get("trace") == TRACE_HEX
+    if not traced:
+        raise SmokeError(f"slow log never captured trace "
+                         f"{TRACE_HEX}")
 
 
 def emit_bench_json(snapshot: dict, loadgen: re.Match,
@@ -247,6 +382,7 @@ def main() -> int:
     csv = work / "serve_smoke.csv"
     model = work / "serve_smoke_model.bin"
     event_log = work / "serve_events.jsonl"
+    slow_log = work / "serve_slow.jsonl"
     write_csv(csv)
 
     run([args.train, "--input", str(csv), "--output", str(model),
@@ -256,7 +392,8 @@ def main() -> int:
     server = subprocess.Popen(
         [args.serve, "--model", str(model), "--port", "0",
          "--metrics-port", "0", "--workers", "2",
-         "--event-log", str(event_log), "--max-seconds", "240"],
+         "--event-log", str(event_log), "--max-seconds", "240",
+         "--sample-every", "1", "--slow-log", str(slow_log)],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
     try:
         port, metrics_port = wait_for_ports(server)
@@ -268,7 +405,7 @@ def main() -> int:
         # the multi-request-batch counter moved).
         loadgen_cmd = [args.loadgen, "--port", str(port),
                        "--features", str(FEATURES), "--seed", "42",
-                       "--burst", "8"]
+                       "--burst", "8", "--trace"]
         if args.quick:
             loadgen_cmd.append("--quick")
         loadgen_out = run(loadgen_cmd, "lookhd_loadgen")
@@ -281,6 +418,13 @@ def main() -> int:
                              f"{loadgen_out}")
         print(f"serve_smoke: {loadgen_out.strip()}")
 
+        # Traced request last so its slow-log record survives the
+        # loadgen flood and the /metrics scrape below can carry its
+        # exemplar.
+        client_ns = traced_request(port)
+        print(f"serve_smoke: traced request echoed "
+              f"{TRACE_HEX[:8]}… in {client_ns / 1e6:.2f} ms")
+
         health = scrape(metrics_port, "/healthz")
         if "ok" not in health:
             raise SmokeError(f"/healthz returned {health!r}")
@@ -288,6 +432,14 @@ def main() -> int:
         (work / "metrics.prom").write_text(prom, encoding="utf-8")
         check_prometheus(prom)
         print("serve_smoke: /metrics format lint clean")
+
+        obs_on = re.search(r'lookhd_build_info\{[^}]*obs="on"',
+                           prom) is not None
+        if obs_on:
+            check_debug_endpoints(metrics_port, client_ns, prom)
+        else:
+            print("serve_smoke: observability compiled out, "
+                  "skipping /debug and exemplar checks")
 
         snapshot = json.loads(scrape(metrics_port, "/metrics.json"))
         config = {
@@ -322,6 +474,10 @@ def main() -> int:
         raise SmokeError(f"lookhd_serve did not report a clean "
                          f"shutdown:\n{stdout}")
     events = check_event_log(event_log)
+    if obs_on:
+        check_slow_log(slow_log)
+        print("serve_smoke: slow-request log flushed with the "
+              "traced request")
     print(f"serve_smoke: clean shutdown, event log flushed "
           f"({events} events)")
     return 0

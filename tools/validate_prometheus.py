@@ -16,7 +16,11 @@ real Prometheus scraper:
   * every histogram has an ``le="+Inf"`` bucket, cumulative bucket
     counts are monotonically non-decreasing, ``_count`` equals the
     ``+Inf`` bucket, and ``_sum``/``_count`` are present,
-  * no duplicate sample (same name + label set).
+  * no duplicate sample (same name + label set),
+  * OpenMetrics exemplars (`` # {trace_id="..."} value timestamp``
+    appended to a sample) parse, appear only on histogram
+    ``_bucket`` or counter samples, keep their label set within 128
+    runes, and never exceed a finite bucket's ``le``.
 
 Usage:
     validate_prometheus.py FILE [FILE ...]   lint scrape dumps
@@ -87,6 +91,12 @@ def parse_labels(raw: str) -> tuple[dict[str, str] | None, str]:
     return labels, ""
 
 
+EXEMPLAR_RE = re.compile(r"^\{(.*)\} (\S+)(?: (\S+))?$")
+
+# OpenMetrics: combined length of exemplar label names + values.
+EXEMPLAR_MAX_RUNES = 128
+
+
 class Sample:
     def __init__(self, name: str, labels: dict[str, str],
                  value: float, line: int) -> None:
@@ -94,6 +104,9 @@ class Sample:
         self.labels = labels
         self.value = value
         self.line = line
+        # Exemplar value when the sample line carried a parseable
+        # ` # {...} value [ts]` suffix; None otherwise.
+        self.exemplar_value: float | None = None
 
 
 def base_name(name: str) -> str:
@@ -102,6 +115,35 @@ def base_name(name: str) -> str:
         if name.endswith(suffix):
             return name[:-len(suffix)]
     return name
+
+
+def parse_exemplar(raw: str, line_no: int, bad) -> float | None:
+    """Validate `{labels} value [ts]`; return the value or None."""
+    match = EXEMPLAR_RE.match(raw)
+    if not match:
+        bad(line_no, f"unparseable exemplar: {raw!r}")
+        return None
+    labels, err = parse_labels(match.group(1))
+    if labels is None:
+        bad(line_no, f"exemplar {err}")
+        return None
+    runes = sum(len(k) + len(v) for k, v in labels.items())
+    if runes > EXEMPLAR_MAX_RUNES:
+        bad(line_no, f"exemplar label set is {runes} runes "
+            f"(limit {EXEMPLAR_MAX_RUNES})")
+        return None
+    raw_value = match.group(2)
+    if not VALUE_RE.match(raw_value):
+        bad(line_no, f"bad exemplar value '{raw_value}'")
+        return None
+    if match.group(3) is not None:
+        try:
+            float(match.group(3))
+        except ValueError:
+            bad(line_no,
+                f"bad exemplar timestamp '{match.group(3)}'")
+            return None
+    return float(raw_value)
 
 
 def check_text(text: str, origin: str = "<text>") -> list[str]:
@@ -147,10 +189,21 @@ def check_text(text: str, origin: str = "<text>") -> list[str]:
             types[name] = kind
             continue
 
-        # Sample line: name[{labels}] value [timestamp]
+        # Sample line: name[{labels}] value [timestamp], optionally
+        # followed by an OpenMetrics exemplar:
+        #   ... # {trace_id="..."} value [timestamp]
+        # The ` # {` marker cannot occur inside the sample's own
+        # label set (label values never embed it in our renderer),
+        # so the first occurrence splits sample from exemplar.
+        exemplar_raw = None
+        body = line
+        marker = line.find(" # {")
+        if marker >= 0:
+            body = line[:marker]
+            exemplar_raw = line[marker + 3:]
         match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
                          r"(\{(.*)\})?\s+(\S+)(\s+-?[0-9]+)?\s*$",
-                         line)
+                         body)
         if not match:
             bad(line_no, f"unparseable sample line: {line!r}")
             continue
@@ -173,8 +226,11 @@ def check_text(text: str, origin: str = "<text>") -> list[str]:
         seen.add(key)
         sampled.add(name)
         sampled.add(base_name(name))
-        samples.append(Sample(name, labels, float(raw_value),
-                              line_no))
+        sample = Sample(name, labels, float(raw_value), line_no)
+        if exemplar_raw is not None:
+            ex_value = parse_exemplar(exemplar_raw, line_no, bad)
+            sample.exemplar_value = ex_value
+        samples.append(sample)
 
     # Per-metric semantic checks.
     by_base: dict[str, list[Sample]] = {}
@@ -188,6 +244,27 @@ def check_text(text: str, origin: str = "<text>") -> list[str]:
             # everything; a missing TYPE means the renderer broke.
             bad(group[0].line, f"metric '{base}' has no # TYPE")
             continue
+        for sample in group:
+            if sample.exemplar_value is None:
+                continue
+            if kind == "counter":
+                continue
+            if kind == "histogram" and \
+                    sample.name == base + "_bucket":
+                le = sample.labels.get("le", "")
+                if le != "+Inf":
+                    try:
+                        if sample.exemplar_value > float(le):
+                            bad(sample.line,
+                                f"exemplar value "
+                                f"{sample.exemplar_value:g} exceeds "
+                                f"bucket le=\"{le}\"")
+                    except ValueError:
+                        pass  # non-numeric le flagged below
+                continue
+            bad(sample.line,
+                f"exemplar on {kind} sample '{sample.name}' "
+                f"(allowed on counters and histogram buckets only)")
         if kind == "counter":
             for sample in group:
                 if not sample.name.endswith("_total"):
@@ -267,8 +344,17 @@ lookhd_serve_requests_total 64
 lookhd_serve_queue_depth 0
 # TYPE lookhd_serve_request_latency_ns histogram
 lookhd_serve_request_latency_ns_bucket{le="100000"} 10
-lookhd_serve_request_latency_ns_bucket{le="1000000"} 60
-lookhd_serve_request_latency_ns_bucket{le="+Inf"} 64
+lookhd_serve_request_latency_ns_bucket{le="1000000"} 60 # {trace_id="00000000000000000000000000000001"} 731000 1712345678.123
+lookhd_serve_request_latency_ns_bucket{le="+Inf"} 64 # {trace_id="00000000000000000000000000000002"} 2.5e+06
+# TYPE lookhd_serve_stage_ns histogram
+lookhd_serve_stage_ns_bucket{stage="parse",le="1000"} 3
+lookhd_serve_stage_ns_bucket{stage="parse",le="+Inf"} 4
+lookhd_serve_stage_ns_sum{stage="parse"} 4100
+lookhd_serve_stage_ns_count{stage="parse"} 4
+lookhd_serve_stage_ns_bucket{stage="score",le="1000"} 0
+lookhd_serve_stage_ns_bucket{stage="score",le="+Inf"} 4
+lookhd_serve_stage_ns_sum{stage="score"} 96000
+lookhd_serve_stage_ns_count{stage="score"} 4
 lookhd_serve_request_latency_ns_sum 5.1e+07
 lookhd_serve_request_latency_ns_count 64
 # TYPE lookhd_build_info gauge
@@ -299,6 +385,32 @@ BAD_DOCS = {
     "missing _sum": ("# TYPE h histogram\n"
                      "h_bucket{le=\"+Inf\"} 1\nh_count 1\n"),
     "no TYPE at all": "plain_metric 1\n",
+    "exemplar on gauge":
+        ("# TYPE g gauge\n"
+         "g 1 # {trace_id=\"ab\"} 1\n"),
+    "exemplar on histogram _sum":
+        ("# TYPE h histogram\n"
+         "h_bucket{le=\"+Inf\"} 1\n"
+         "h_sum 1 # {trace_id=\"ab\"} 1\nh_count 1\n"),
+    "exemplar value above le":
+        ("# TYPE h histogram\n"
+         "h_bucket{le=\"1000\"} 1 # {trace_id=\"ab\"} 2000\n"
+         "h_bucket{le=\"+Inf\"} 1\nh_sum 900\nh_count 1\n"),
+    "exemplar bad labels":
+        ("# TYPE c_total counter\n"
+         "c_total 1 # {trace-id=\"ab\"} 1\n"),
+    "exemplar bad value":
+        ("# TYPE c_total counter\n"
+         "c_total 1 # {trace_id=\"ab\"} xyz\n"),
+    "exemplar bad timestamp":
+        ("# TYPE c_total counter\n"
+         "c_total 1 # {trace_id=\"ab\"} 1 noon\n"),
+    "exemplar label set too long":
+        ("# TYPE c_total counter\n"
+         "c_total 1 # {trace_id=\"" + "a" * 128 + "\"} 1\n"),
+    "unparseable exemplar":
+        ("# TYPE c_total counter\n"
+         "c_total 1 # {trace_id=\"ab\"}\n"),
 }
 
 

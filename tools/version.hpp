@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared --version support for the CLI tools.
+ *
+ * Build identity (git revision, build type, sanitizer, observability
+ * gate) is injected by tools/CMakeLists.txt as compile definitions;
+ * the fallbacks below keep the header usable in builds that do not
+ * define them. The same fields feed the exposition `build_info`
+ * labels via applyBuildInfoLabels(), so `lookhd_serve --version` and
+ * the /metrics scrape agree about what binary is running.
+ */
+
+#ifndef LOOKHD_TOOLS_VERSION_HPP
+#define LOOKHD_TOOLS_VERSION_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "cli.hpp"
+#include "obs/metrics.hpp"
+
+#ifndef LOOKHD_GIT_REV
+#define LOOKHD_GIT_REV "unknown"
+#endif
+#ifndef LOOKHD_BUILD_TYPE
+#define LOOKHD_BUILD_TYPE "unknown"
+#endif
+#ifndef LOOKHD_SANITIZE_NAME
+#define LOOKHD_SANITIZE_NAME "none"
+#endif
+#ifndef LOOKHD_OBS_ENABLED
+#define LOOKHD_OBS_ENABLED 1
+#endif
+
+namespace lookhd::tools {
+
+inline const char *
+obsStateName()
+{
+    return LOOKHD_OBS_ENABLED != 0 ? "on" : "off";
+}
+
+/** One-line version string, e.g.
+ * "lookhd_serve git-1a2b3c4 (obs=on, build=Release, sanitize=none)". */
+inline std::string
+versionString(const std::string &app)
+{
+    return app + " git-" LOOKHD_GIT_REV " (obs=" +
+           obsStateName() +
+           ", build=" LOOKHD_BUILD_TYPE
+           ", sanitize=" LOOKHD_SANITIZE_NAME ")";
+}
+
+/**
+ * Export the build identity as registry labels, rendered into the
+ * Prometheus `build_info` sample and the JSON snapshot's labels map.
+ */
+inline void
+applyBuildInfoLabels(const std::string &app)
+{
+    obs::MetricRegistry &registry = obs::MetricRegistry::global();
+    registry.setLabel("app", app);
+    registry.setLabel("git_rev", LOOKHD_GIT_REV);
+    registry.setLabel("obs", obsStateName());
+    registry.setLabel("build_type", LOOKHD_BUILD_TYPE);
+    registry.setLabel("sanitize", LOOKHD_SANITIZE_NAME);
+}
+
+/** Print-and-exit handling for --version. @return true if handled. */
+inline bool
+handleVersionFlag(const Args &args, const std::string &app)
+{
+    if (!args.has("version"))
+        return false;
+    std::printf("%s\n", versionString(app).c_str());
+    return true;
+}
+
+} // namespace lookhd::tools
+
+#endif // LOOKHD_TOOLS_VERSION_HPP
