@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/quality.hpp"
@@ -177,25 +179,40 @@ renderHistogram(std::string &out, std::set<std::string> &emitted,
            formatValue(h.count) + '\n';
 }
 
+/** One latency-family member: its label set and snapshot. */
+using LatencyEntry = std::pair<LabeledName, const LatencySnapshot *>;
+
+/**
+ * Derived quantile/min/max gauges for every member of one latency
+ * family. Takes the whole group so each derived family's samples
+ * stay contiguous (the format requires all lines of a metric in one
+ * uninterrupted block; per-entry emission would interleave the
+ * min/max families across label sets).
+ */
 void
 renderQuantiles(std::string &out, std::set<std::string> &emitted,
-                const std::string &base, const std::string &labels,
-                std::string_view source, const LatencySnapshot &h)
+                const std::string &base, std::string_view source,
+                const std::vector<LatencyEntry> &group)
 {
     const std::string family = base + "_quantile_ns";
     typeLineOnce(out, emitted, family, "gauge", source);
-    for (const double q : {0.50, 0.90, 0.99}) {
-        out += family + '{' +
-               mergeLabels(labels,
-                           "quantile=\"" + formatValue(q) + "\"") +
-               "} " + formatValue(h.percentileNs(q)) + '\n';
+    for (const auto &[ln, h] : group) {
+        for (const double q : {0.50, 0.90, 0.99}) {
+            out += family + '{' +
+                   mergeLabels(ln.labels, "quantile=\"" +
+                                              formatValue(q) +
+                                              "\"") +
+                   "} " + formatValue(h->percentileNs(q)) + '\n';
+        }
     }
     typeLineOnce(out, emitted, base + "_min_ns", "gauge", source);
-    out += base + "_min_ns" + labelSuffix(labels) + ' ' +
-           formatValue(h.minNs) + '\n';
+    for (const auto &[ln, h] : group)
+        out += base + "_min_ns" + labelSuffix(ln.labels) + ' ' +
+               formatValue(h->minNs) + '\n';
     typeLineOnce(out, emitted, base + "_max_ns", "gauge", source);
-    out += base + "_max_ns" + labelSuffix(labels) + ' ' +
-           formatValue(h.maxNs) + '\n';
+    for (const auto &[ln, h] : group)
+        out += base + "_max_ns" + labelSuffix(ln.labels) + ' ' +
+               formatValue(h->maxNs) + '\n';
 }
 
 void
@@ -282,14 +299,29 @@ renderPrometheus(const RegistrySnapshot &snap,
         out += family + labelSuffix(ln.labels) + ' ' +
                formatValue(value) + '\n';
     }
-    for (const auto &[name, hist] : snap.latency) {
-        const LabeledName ln = splitLabeledName(name);
+    // Labeled latency names put several entries in one family, and
+    // each entry fans out into four Prometheus families (histogram,
+    // quantile, min, max). Collect the run of map-adjacent entries
+    // sharing a base first, then emit family by family, so every
+    // family's samples stay contiguous.
+    for (auto it = snap.latency.begin();
+         it != snap.latency.end();) {
+        std::vector<LatencyEntry> group;
+        const std::string groupBase =
+            splitLabeledName(it->first).base;
+        while (it != snap.latency.end()) {
+            LabeledName ln = splitLabeledName(it->first);
+            if (ln.base != groupBase)
+                break;
+            group.emplace_back(std::move(ln), &it->second);
+            ++it;
+        }
         const std::string base =
-            pre + prometheusName(ln.base) + "_ns";
-        renderHistogram(out, emitted, base, ln.labels, ln.base,
-                        hist);
-        renderQuantiles(out, emitted, base, ln.labels, ln.base,
-                        hist);
+            pre + prometheusName(groupBase) + "_ns";
+        for (const auto &[ln, hist] : group)
+            renderHistogram(out, emitted, base, ln.labels,
+                            ln.base, *hist);
+        renderQuantiles(out, emitted, base, groupBase, group);
     }
 
     if (!spans.empty()) {

@@ -9,6 +9,26 @@
 
 namespace lookhd::obs {
 
+// ------------------------------------------------------ MarginSnapshot
+
+static_assert(std::tuple_size<decltype(MarginSnapshot::buckets)>::value
+                  == MarginHistogram::kNumBuckets,
+              "MarginSnapshot bucket array must match the histogram");
+
+double
+MarginSnapshot::mean() const
+{
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double
+MarginSnapshot::negativeFraction() const
+{
+    return count == 0 ? 0.0
+                      : static_cast<double>(buckets[0]) /
+                            static_cast<double>(count);
+}
+
 // ----------------------------------------------------- MarginHistogram
 
 std::size_t
@@ -43,6 +63,19 @@ MarginHistogram::record(double margin)
     }
     sum_ += margin;
     ++count_;
+}
+
+MarginSnapshot
+MarginHistogram::snapshot() const
+{
+    const util::MutexLock lock(mutex_);
+    MarginSnapshot snap;
+    snap.count = count_;
+    snap.sum = sum_;
+    snap.min = count_ == 0 ? 0.0 : min_;
+    snap.max = count_ == 0 ? 0.0 : max_;
+    snap.buckets = buckets_;
+    return snap;
 }
 
 std::uint64_t

@@ -58,6 +58,27 @@ class JsonWriter;
  * A margin of exactly 0 lands in bucket 1 (the first non-negative
  * bucket), never in the misprediction bucket.
  */
+class MarginHistogram;
+
+/**
+ * Internally consistent copy of one MarginHistogram, taken under its
+ * mutex in a single critical section (count == sum of buckets, and
+ * sum/min/max describe the same observations). The read path for the
+ * windowed delta layer in obs/timeseries.hpp.
+ */
+struct MarginSnapshot
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, 22> buckets{};
+
+    double mean() const;
+    /** buckets[0] / count (0 when empty). */
+    double negativeFraction() const;
+};
+
 class MarginHistogram
 {
   public:
@@ -66,6 +87,9 @@ class MarginHistogram
 
     /** Record one margin observation. */
     void record(double margin);
+
+    /** One-lock consistent copy of the whole distribution. */
+    MarginSnapshot snapshot() const;
 
     std::uint64_t count() const;
     /** Observations with margin < 0 (bucket 0). */

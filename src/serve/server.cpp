@@ -43,6 +43,28 @@ rollupDump(std::size_t maxSites = 8)
     return out.empty() ? "(no spans)" : out;
 }
 
+/**
+ * Assemble one scrape-port HTTP/1.0 response. Every body is
+ * point-in-time telemetry, hence the unconditional
+ * Cache-Control: no-store. @p extraHeaders lines must be
+ * CRLF-terminated.
+ */
+std::string
+httpResponse(const std::string &status,
+             const std::string &contentType, const std::string &body,
+             const std::string &extraHeaders = {})
+{
+    std::string response = "HTTP/1.0 " + status + "\r\n";
+    response += "Content-Type: " + contentType + "\r\n";
+    response +=
+        "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    response += "Cache-Control: no-store\r\n";
+    response += extraHeaders;
+    response += "Connection: close\r\n\r\n";
+    response += body;
+    return response;
+}
+
 } // namespace
 
 /** Requests' echoed id: absent, numeric, or string. */
@@ -215,6 +237,8 @@ InferenceServer::InferenceServer(Classifier classifier,
           "serve.connections.open")),
       batchLastSize_(obs::MetricRegistry::global().gauge(
           "serve.batch.last_size")),
+      healthReady_(obs::MetricRegistry::global().gauge(
+          "serve.health.ready")),
       requestLatency_(obs::MetricRegistry::global().latency(
           "serve.request.latency")),
       batchGatherLatency_(obs::MetricRegistry::global().latency(
@@ -261,6 +285,18 @@ InferenceServer::start()
     acceptThread_ = std::thread([this] { acceptLoop(); });
     metricsThread_ = std::thread([this] { metricsLoop(); });
     watchdogThread_ = std::thread([this] { watchdogLoop(); });
+    lastOverloadNs_.store(0, std::memory_order_relaxed);
+    wasReady_.store(true, std::memory_order_relaxed);
+    healthReady_.set(1.0);
+    if constexpr (obs::kWindowsCompiled) {
+        if (config_.health.windowSeconds > 0.0) {
+            health_ = std::make_unique<obs::HealthMonitor>(
+                obs::MetricRegistry::global(),
+                obs::QualityTelemetry::global(), config_.health);
+            samplerThread_ =
+                std::thread([this] { samplerLoop(); });
+        }
+    }
 
     const std::size_t predictThreads =
         par::resolveThreads(config_.predictThreads);
@@ -292,6 +328,7 @@ InferenceServer::stop()
     //    running_ on a short timeout.
     running_.store(false, std::memory_order_release);
     watchdogCv_.notifyAll();
+    samplerCv_.notifyAll();
     if (acceptThread_.joinable())
         acceptThread_.join();
     requestListener_.close();
@@ -324,6 +361,8 @@ InferenceServer::stop()
     metricsListener_.close();
     if (watchdogThread_.joinable())
         watchdogThread_.join();
+    if (samplerThread_.joinable())
+        samplerThread_.join();
 
     {
         const util::MutexLock lock(connectionsMutex_);
@@ -485,6 +524,9 @@ InferenceServer::handleRequestLine(
     {
         const util::MutexLock lock(queueMutex_);
         if (queue_.size() >= config_.queueCapacity) {
+            lastOverloadNs_.store(
+                util::Timer::processNanoseconds(),
+                std::memory_order_relaxed);
             reject("overloaded", requestsOverload_,
                    "serve.overload");
             return;
@@ -601,6 +643,11 @@ InferenceServer::processBatch(std::vector<Request> &batch,
         LOOKHD_SPAN("serve.predict", "serve");
         batchScores =
             classifier_.scoresBatch(rows, config_.predictThreads);
+        // Load-testing aid: inflate the scoring stage so overload
+        // and latency-SLO scenarios reproduce deterministically.
+        if (config_.scoreDelayNs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(config_.scoreDelayNs));
     }
     const std::uint64_t scoreEndNs =
         util::Timer::processNanoseconds();
@@ -809,9 +856,11 @@ InferenceServer::metricsLoop()
             while (stream.readLine(header) && !header.empty()) {
             }
 
+            std::string method;
             std::string path = "/";
             const std::size_t firstSpace = requestLine.find(' ');
             if (firstSpace != std::string::npos) {
+                method = requestLine.substr(0, firstSpace);
                 const std::size_t secondSpace =
                     requestLine.find(' ', firstSpace + 1);
                 path = requestLine.substr(
@@ -825,6 +874,14 @@ InferenceServer::metricsLoop()
             if (questionMark != std::string::npos) {
                 query = path.substr(questionMark + 1);
                 path.resize(questionMark);
+            }
+
+            if (method != "GET") {
+                stream.sendAll(httpResponse(
+                    "405 Method Not Allowed",
+                    "text/plain; charset=utf-8",
+                    "method not allowed\n", "Allow: GET\r\n"));
+                continue;
             }
 
             std::string status = "200 OK";
@@ -841,8 +898,37 @@ InferenceServer::metricsLoop()
                            obs::MetricRegistry::global()) +
                        "\n";
             } else if (path == "/healthz") {
+                const Readiness r = checkReadiness();
+                if (r.ready) {
+                    contentType = "text/plain; charset=utf-8";
+                    body = "ok\n";
+                } else {
+                    status = "503 Service Unavailable";
+                    contentType = "application/json";
+                    obs::JsonWriter w;
+                    w.beginObject();
+                    w.kv("status", "unready");
+                    w.kv("reason", r.reason);
+                    w.endObject();
+                    body = w.str() + "\n";
+                }
+            } else if (path == "/livez") {
+                // Liveness, not readiness: the scrape loop
+                // answering IS the signal.
                 contentType = "text/plain; charset=utf-8";
                 body = "ok\n";
+            } else if (path == "/debug/health") {
+                contentType = "application/json";
+                body = debugHealthBody();
+            } else if (path == "/debug/windows") {
+                if (health_ == nullptr) {
+                    status = "404 Not Found";
+                    contentType = "text/plain; charset=utf-8";
+                    body = "window sampler disabled\n";
+                } else {
+                    contentType = "application/json";
+                    body = debugWindowsBody(query);
+                }
             } else if (path == "/debug/requests") {
                 contentType = "application/json";
                 body = debugRequestsBody();
@@ -858,16 +944,140 @@ InferenceServer::metricsLoop()
                 body = "not found\n";
             }
 
-            std::string response = "HTTP/1.0 " + status + "\r\n";
-            response += "Content-Type: " + contentType + "\r\n";
-            response += "Content-Length: " +
-                        std::to_string(body.size()) + "\r\n";
-            response += "Connection: close\r\n\r\n";
-            response += body;
-            stream.sendAll(response);
+            stream.sendAll(httpResponse(status, contentType, body));
         } catch (const NetError &) {
             // Scraper hung up mid-exchange; next scrape will do.
         }
+    }
+}
+
+InferenceServer::Readiness
+InferenceServer::checkReadiness()
+{
+    Readiness r;
+    const std::uint64_t now = util::Timer::processNanoseconds();
+    if (stopping_.load(std::memory_order_acquire) ||
+        !running_.load(std::memory_order_acquire)) {
+        r = {false, "draining"};
+    } else {
+        bool saturated = false;
+        {
+            const util::MutexLock lock(queueMutex_);
+            saturated = queue_.size() >= config_.queueCapacity;
+        }
+        const std::uint64_t lastOverload =
+            lastOverloadNs_.load(std::memory_order_relaxed);
+        const bool recentOverload =
+            config_.overloadHoldMs > 0 && lastOverload != 0 &&
+            now - lastOverload <
+                config_.overloadHoldMs * 1'000'000ULL;
+        bool stalled = false;
+        if (config_.watchdogDeadlineMs > 0) {
+            for (const auto &state : workerStates_) {
+                const std::uint64_t busySince =
+                    state->busySinceNs.load(
+                        std::memory_order_relaxed);
+                if (busySince != 0 &&
+                    now - busySince >= config_.watchdogDeadlineMs *
+                                           1'000'000ULL) {
+                    stalled = true;
+                    break;
+                }
+            }
+        }
+        if (saturated) {
+            r = {false, "queue_saturated"};
+        } else if (recentOverload) {
+            r = {false, "overloaded"};
+        } else if (stalled) {
+            r = {false, "watchdog_stalled"};
+        } else if (health_ != nullptr) {
+            const obs::HealthVerdict v = health_->verdict();
+            if (!v.ready)
+                r = {false, v.reason};
+        }
+    }
+
+    healthReady_.set(r.ready ? 1.0 : 0.0);
+    const bool was =
+        wasReady_.exchange(r.ready, std::memory_order_relaxed);
+    if (was != r.ready)
+        obs::EventLog::global().emit(
+            r.ready ? obs::LogLevel::kInfo : obs::LogLevel::kWarn,
+            r.ready ? "serve.health.ready" : "serve.health.unready",
+            {{"reason", r.reason}});
+    return r;
+}
+
+std::string
+InferenceServer::debugHealthBody()
+{
+    const Readiness r = checkReadiness();
+    const std::uint64_t now = util::Timer::processNanoseconds();
+    std::uint64_t queueDepth = 0;
+    {
+        const util::MutexLock lock(queueMutex_);
+        queueDepth = queue_.size();
+    }
+    const std::uint64_t lastOverload =
+        lastOverloadNs_.load(std::memory_order_relaxed);
+    obs::JsonWriter w;
+    w.beginObject();
+    w.kv("ready", r.ready);
+    w.kv("reason", r.reason);
+    w.key("protocol").beginObject();
+    w.kv("draining", stopping_.load(std::memory_order_acquire));
+    w.kv("queue_depth", queueDepth);
+    w.kv("queue_capacity",
+         static_cast<std::uint64_t>(config_.queueCapacity));
+    w.kv("overload_recent",
+         config_.overloadHoldMs > 0 && lastOverload != 0 &&
+             now - lastOverload <
+                 config_.overloadHoldMs * 1'000'000ULL);
+    w.kv("overload_hold_ms", config_.overloadHoldMs);
+    w.endObject();
+    if (health_ != nullptr) {
+        w.key("engine");
+        health_->writeHealthJson(w);
+    }
+    w.endObject();
+    return w.str() + "\n";
+}
+
+std::string
+InferenceServer::debugWindowsBody(const std::string &query)
+{
+    double seconds = 0.0; // 0 = everything retained
+    const std::size_t arg = query.find("s=");
+    if (arg != std::string::npos)
+        seconds = std::strtod(query.c_str() + arg + 2, nullptr);
+    obs::JsonWriter w;
+    health_->writeWindowsJson(w, seconds);
+    return w.str() + "\n";
+}
+
+void
+InferenceServer::samplerLoop()
+{
+    if (health_ == nullptr || config_.health.windowSeconds <= 0.0)
+        return;
+    const auto period =
+        std::chrono::microseconds(std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(
+                config_.health.windowSeconds * 1e6),
+            1000));
+    // Same interruptible-sleep shape as the watchdog: the loop-local
+    // mutex guards nothing, it satisfies the CondVar wait protocol.
+    util::Mutex sleepMutex;
+    const util::MutexLock sleepLock(sleepMutex);
+    while (running_.load(std::memory_order_acquire)) {
+        if (samplerCv_.waitFor(sleepMutex, period) ==
+            std::cv_status::no_timeout)
+            continue; // woken early (stop or spurious): recheck
+        if (!running_.load(std::memory_order_acquire))
+            break;
+        health_->sample(util::Timer::processNanoseconds(),
+                        obs::wallClockMs());
     }
 }
 

@@ -22,11 +22,20 @@
  * of back-pressuring the socket, so queue depth is bounded and
  * visible in /metrics.
  *
- * Scrape port (HTTP/1.0, close-per-request):
+ * Scrape port (HTTP/1.0, close-per-request, GET only - other
+ * methods get 405):
  *   GET /metrics         Prometheus text format v0.0.4 of the global
  *                        registry + span rollup (obs/exposition.hpp)
  *   GET /metrics.json    the JSON snapshot document
- *   GET /healthz         "ok"
+ *   GET /healthz         readiness: 200 "ok" when serving, 503 with
+ *                        a JSON {"status","reason"} body while
+ *                        draining, saturated, recently overloaded,
+ *                        stalled, or in violation of an SLO/drift
+ *                        rule (obs/health.hpp)
+ *   GET /livez           liveness: 200 while the scrape loop runs
+ *   GET /debug/health    full verdict: protocol state, per-rule
+ *                        burn rates, drift scores as JSON
+ *   GET /debug/windows?s=N  recent window series (last N seconds)
  *   GET /debug/requests  recent slow/sampled requests with their
  *                        full stage breakdown (obs/reqtrace.hpp)
  *   GET /debug/inflight  currently queued + scoring requests, aged
@@ -71,6 +80,7 @@
 #include <vector>
 
 #include "lookhd/classifier.hpp"
+#include "obs/health.hpp"
 #include "obs/reqtrace.hpp"
 #include "serve/net.hpp"
 #include "util/thread_annotations.hpp"
@@ -133,6 +143,31 @@ struct ServeConfig
     std::size_t slowLogCapacity = 256;
 
     /**
+     * Artificial per-batch delay added to the scoring stage. A load-
+     * testing aid (simulates heavier models so overload and
+     * latency-SLO scenarios reproduce deterministically); 0 in
+     * production.
+     */
+    std::uint64_t scoreDelayNs = 0;
+
+    /**
+     * After an overload rejection, /healthz stays unready this long
+     * even once the queue has space again: a load balancer polling
+     * between bursts should keep the instance drained, not flap.
+     * 0 disables the latch (only instantaneous saturation counts).
+     */
+    std::uint64_t overloadHoldMs = 2000;
+
+    /**
+     * Windowed health engine (sampler cadence, SLO objectives, drift
+     * detection; see obs/health.hpp). The sampler thread runs when
+     * health.windowSeconds > 0 and the obs layer is compiled in;
+     * protocol-level /healthz readiness (drain/overload/stall) works
+     * regardless.
+     */
+    obs::HealthConfig health;
+
+    /**
      * Test-only hook, run at the start of every batch with the batch
      * size (on the worker thread, while the watchdog sees the worker
      * busy). Lets tests stall a worker deterministically.
@@ -180,6 +215,27 @@ class InferenceServer
     /** The slow/sampled request capture ring (for tests/flushing). */
     obs::SlowRequestLog &slowLog() { return slowLog_; }
 
+    /** One /healthz readiness verdict. */
+    struct Readiness
+    {
+        bool ready = true;
+        /** "ok" | "draining" | "queue_saturated" | "overloaded" |
+         * "watchdog_stalled" | a HealthMonitor reason. */
+        std::string reason = "ok";
+    };
+
+    /**
+     * Compute the current readiness verdict (highest-priority
+     * violation wins: draining > queue_saturated > overloaded >
+     * watchdog_stalled > rule-engine reasons), update the
+     * serve.health.ready gauge, and log transitions. This is what
+     * GET /healthz serves; public for tests.
+     */
+    Readiness checkReadiness();
+
+    /** Windowed health engine; null when disabled or compiled out. */
+    obs::HealthMonitor *healthMonitor() { return health_.get(); }
+
   private:
     struct Connection;
     struct Request;
@@ -190,6 +246,7 @@ class InferenceServer
     void workerLoop(std::size_t workerIndex);
     void metricsLoop();
     void watchdogLoop();
+    void samplerLoop();
 
     /** Parse + validate one request line; enqueue or answer error. */
     void handleRequestLine(const std::shared_ptr<Connection> &conn,
@@ -201,6 +258,8 @@ class InferenceServer
     std::string debugRequestsBody() const;
     std::string debugInflightBody();
     std::string debugTraceBody(const std::string &query);
+    std::string debugHealthBody();
+    std::string debugWindowsBody(const std::string &query);
 
     Classifier classifier_;
     const ServeConfig config_;
@@ -220,10 +279,18 @@ class InferenceServer
      * watchdog waits on a loop-local mutex (nothing is guarded by
      * it, the sleep is the point). */
     util::CondVar watchdogCv_;
+    /** Same interruptible-sleep pattern for the window sampler. */
+    util::CondVar samplerCv_;
+    /** processNanoseconds() of the last overload rejection; feeds
+     * the overloadHoldMs readiness latch. 0 = never. */
+    std::atomic<std::uint64_t> lastOverloadNs_{0};
+    /** Last readiness published, for transition logging. */
+    std::atomic<bool> wasReady_{true};
 
     std::thread acceptThread_;
     std::thread metricsThread_;
     std::thread watchdogThread_;
+    std::thread samplerThread_;
     std::vector<std::thread> workerThreads_;
 
     util::Mutex connectionsMutex_;
@@ -240,6 +307,11 @@ class InferenceServer
     std::deque<Request> queue_ LOOKHD_GUARDED_BY(queueMutex_);
 
     std::vector<std::unique_ptr<WorkerState>> workerStates_;
+
+    /** Constructed in start() when windows are compiled in and
+     * config_.health.windowSeconds > 0; kept after stop() so the
+     * final state stays inspectable. */
+    std::unique_ptr<obs::HealthMonitor> health_;
 
     obs::SlowRequestLog slowLog_;
     /** 1-in-N sampling position (config_.sampleEveryN). */
@@ -263,6 +335,7 @@ class InferenceServer
     obs::Gauge &inflight_;
     obs::Gauge &connectionsOpen_;
     obs::Gauge &batchLastSize_;
+    obs::Gauge &healthReady_;
     obs::LatencyHistogram &requestLatency_;
     obs::LatencyHistogram &batchGatherLatency_;
 };

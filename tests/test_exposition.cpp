@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -308,6 +309,134 @@ TEST(RenderPrometheus, LabeledNamesShareOneFamilyTypeLine)
     EXPECT_NE(out.find("lookhd_serve_stage_ns_min_ns{stage="
                        "\"score\"} 10\n"),
               std::string::npos);
+}
+
+TEST(RenderPrometheus, LabeledLatencyFamiliesStayContiguous)
+{
+    // Two label sets in one latency family fan out into four
+    // Prometheus families (histogram + three derived gauges). The
+    // format requires every family's samples in one uninterrupted
+    // block, so all histogram children must precede all quantile
+    // samples, which precede all mins, which precede all maxes --
+    // never interleaved per label set.
+    RegistrySnapshot snap;
+    LatencySnapshot h;
+    h.count = 2;
+    h.minNs = 10;
+    h.maxNs = 20;
+    h.sumNs = 30.0;
+    h.bucketUpperNs = {100.0};
+    h.bucketCounts = {2};
+    snap.latency["serve.stage{stage=\"parse\"}"] = h;
+    snap.latency["serve.stage{stage=\"score\"}"] = h;
+
+    const std::string out = renderPrometheus(snap);
+    const auto pos = [&out](const std::string &needle) {
+        const std::size_t p = out.find(needle);
+        EXPECT_NE(p, std::string::npos) << needle << "\n" << out;
+        return p;
+    };
+    const std::size_t lastHistogram =
+        pos("lookhd_serve_stage_ns_count{stage=\"score\"} ");
+    const std::size_t firstQuantile =
+        pos("lookhd_serve_stage_ns_quantile_ns{stage=\"parse\"");
+    const std::size_t lastQuantile =
+        pos("lookhd_serve_stage_ns_quantile_ns{stage=\"score\","
+            "quantile=\"0.99\"} ");
+    const std::size_t firstMin =
+        pos("lookhd_serve_stage_ns_min_ns{stage=\"parse\"} ");
+    const std::size_t lastMin =
+        pos("lookhd_serve_stage_ns_min_ns{stage=\"score\"} ");
+    const std::size_t firstMax =
+        pos("lookhd_serve_stage_ns_max_ns{stage=\"parse\"} ");
+    EXPECT_LT(lastHistogram, firstQuantile) << out;
+    EXPECT_LT(lastQuantile, firstMin) << out;
+    EXPECT_LT(lastMin, firstMax) << out;
+    EXPECT_EQ(
+        countOccurrences(out,
+                         "# TYPE lookhd_serve_stage_ns_min_ns gauge"),
+        1u)
+        << out;
+}
+
+/**
+ * Value of the unique sample line `name<space>value` in a rendered
+ * exposition document, or NaN when absent.
+ */
+double
+promSample(const std::string &text, const std::string &name)
+{
+    const std::string needle = '\n' + name + ' ';
+    std::size_t pos = text.find(needle);
+    if (pos == std::string::npos) {
+        if (text.rfind(name + ' ', 0) != 0)
+            return std::nan("");
+        pos = static_cast<std::size_t>(-1);
+    }
+    const std::size_t start = pos + needle.size();
+    return std::strtod(text.c_str() + start, nullptr);
+}
+
+TEST(ExpositionParity, JsonAndPrometheusAgreeOnLiveRegistry)
+{
+    // /metrics.json and /metrics render the same snapshot through
+    // two independent serializers; a drift between them means one
+    // path dropped or double-counted a metric.
+    MetricRegistry reg;
+    reg.counter("serve.requests").add(42);
+    reg.counter("serve.requests.bad").add(5);
+    reg.counter("serve.hits{route=\"a\"}").add(7);
+    reg.gauge("serve.queue_depth").set(3.0);
+    LatencyHistogram &lat = reg.latency("serve.request.latency");
+    for (const std::uint64_t ns : {1000u, 2000u, 55000u, 900000u})
+        lat.record(ns);
+    reg.latency("serve.stage{stage=\"parse\"}").record(1500);
+
+    const std::string text = renderPrometheus(reg.snapshot());
+    std::string error;
+    const auto doc = serve::parseJson(snapshotJson(reg), error);
+    ASSERT_NE(doc, nullptr) << error;
+    const serve::JsonValue *registry = doc->find("registry");
+    ASSERT_NE(registry, nullptr);
+
+    const serve::JsonValue *counters = registry->find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_TRUE(counters->isObject());
+    for (const auto &[name, value] : counters->object) {
+        const std::size_t brace = name.find('{');
+        const std::string base =
+            brace == std::string::npos ? name
+                                       : name.substr(0, brace);
+        const std::string labels =
+            brace == std::string::npos ? std::string{}
+                                       : name.substr(brace);
+        const std::string sample =
+            "lookhd_" + prometheusName(base) + "_total" + labels;
+        EXPECT_EQ(promSample(text, sample), value.number)
+            << name << " -> " << sample << "\n"
+            << text;
+    }
+
+    const serve::JsonValue *latency = registry->find("latency");
+    ASSERT_NE(latency, nullptr);
+    ASSERT_TRUE(latency->isObject());
+    ASSERT_FALSE(latency->object.empty());
+    for (const auto &[name, hist] : latency->object) {
+        const serve::JsonValue *count = hist.find("count");
+        ASSERT_NE(count, nullptr) << name;
+        const std::size_t brace = name.find('{');
+        const std::string base =
+            brace == std::string::npos ? name
+                                       : name.substr(0, brace);
+        const std::string labels =
+            brace == std::string::npos ? std::string{}
+                                       : name.substr(brace);
+        const std::string sample = "lookhd_" + prometheusName(base) +
+                                   "_ns_count" + labels;
+        EXPECT_EQ(promSample(text, sample), count->number)
+            << name << " -> " << sample << "\n"
+            << text;
+    }
 }
 
 TEST(RenderPrometheus, BucketExemplarsRenderAndRespectLe)

@@ -75,20 +75,30 @@ roundTrip(serve::TcpStream &stream, const std::string &request)
     return doc;
 }
 
-/** Minimal HTTP/1.0 GET against the scrape port; returns the body. */
+/**
+ * Minimal HTTP/1.0 request against the scrape port; returns the
+ * body. Optionally surfaces the status line, the newline-joined
+ * response headers, and a non-GET method.
+ */
 std::string
 httpGet(std::uint16_t port, const std::string &path,
-        std::string *statusOut = nullptr)
+        std::string *statusOut = nullptr,
+        std::string *headersOut = nullptr,
+        const std::string &method = "GET")
 {
     serve::TcpStream stream =
         serve::TcpStream::connect("127.0.0.1", port);
-    EXPECT_TRUE(stream.sendAll("GET " + path + " HTTP/1.0\r\n\r\n"));
+    EXPECT_TRUE(stream.sendAll(method + " " + path +
+                               " HTTP/1.0\r\n\r\n"));
     std::string line;
     EXPECT_TRUE(stream.readLine(line));
     if (statusOut != nullptr)
         *statusOut = line;
     while (stream.readLine(line) && !line.empty()) {
-        // skip headers
+        if (headersOut != nullptr) {
+            *headersOut += line;
+            *headersOut += '\n';
+        }
     }
     std::string body;
     while (stream.readLine(line)) {
@@ -427,6 +437,203 @@ TEST(ServeWatchdog, StallDumpFiresOncePerStuckBatch)
                   tripsBefore,
               1u);
     server.stop();
+}
+
+TEST(ServeHttp, NonGetRejectedAndResponsesUncacheable)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    serve::InferenceServer server(trainedClassifier(), cfg);
+    server.start();
+
+    std::string status;
+    std::string headers;
+    httpGet(server.metricsPort(), "/metrics", &status, &headers,
+            "POST");
+    EXPECT_NE(status.find("405"), std::string::npos) << status;
+    EXPECT_NE(headers.find("Allow: GET"), std::string::npos)
+        << headers;
+
+    headers.clear();
+    const std::string body =
+        httpGet(server.metricsPort(), "/metrics", &status, &headers);
+    EXPECT_NE(status.find("200"), std::string::npos);
+    // Point-in-time telemetry must never be served from a cache.
+    EXPECT_NE(headers.find("Cache-Control: no-store"),
+              std::string::npos)
+        << headers;
+    EXPECT_FALSE(body.empty());
+
+    // Liveness is protocol-level: always 200 while the loop runs.
+    const std::string live =
+        httpGet(server.metricsPort(), "/livez", &status);
+    EXPECT_NE(status.find("200"), std::string::npos);
+    EXPECT_NE(live.find("ok"), std::string::npos);
+    server.stop();
+}
+
+TEST(ServeHealth, OverloadFlipsHealthzAndRecovers)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.batchMaxSize = 1;
+    cfg.batchMaxDelayUs = 100;
+    cfg.queueCapacity = 2;
+    cfg.scoreDelayNs = 5'000'000; // 5 ms per request
+    // Long enough that the unready episode stays latched while the
+    // probe loop below catches it, even under sanitizer slowdown.
+    cfg.overloadHoldMs = 2000;
+    cfg.health.windowSeconds = 0.0; // protocol readiness only
+    serve::InferenceServer server(trainedClassifier(), cfg);
+    server.start();
+
+    std::string status;
+    httpGet(server.metricsPort(), "/healthz", &status);
+    ASSERT_NE(status.find("200"), std::string::npos) << status;
+
+    // Burst far past queue capacity on one slow worker: some
+    // requests are rejected as overloaded, and /healthz must say so
+    // while the episode is live.
+    const std::vector<double> features(12, 0.5);
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server.port());
+    constexpr int kBurst = 40;
+    std::string burst;
+    for (int i = 0; i < kBurst; ++i)
+        burst += requestLine(static_cast<std::uint64_t>(i),
+                             features) +
+                 "\n";
+    ASSERT_TRUE(stream.sendAll(burst));
+
+    // sendAll returns before the connection thread has ingested the
+    // burst, so poll until the queue saturates; the overload hold
+    // keeps the verdict latched once a rejection lands.
+    std::string unready;
+    bool sawUnready = false;
+    for (int i = 0; i < 200 && !sawUnready; ++i) {
+        unready = httpGet(server.metricsPort(), "/healthz", &status);
+        sawUnready = status.find("503") != std::string::npos;
+        if (!sawUnready)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(sawUnready) << status;
+    std::string error;
+    const auto doc = serve::parseJson(unready, error);
+    ASSERT_NE(doc, nullptr) << error << ": " << unready;
+    ASSERT_NE(doc->find("reason"), nullptr);
+    const std::string reason = doc->find("reason")->string;
+    EXPECT_TRUE(reason == "queue_saturated" ||
+                reason == "overloaded")
+        << reason;
+
+    // Drain: every request gets a response (prediction or overload
+    // error) and at least one was rejected.
+    int overloaded = 0;
+    for (int i = 0; i < kBurst; ++i) {
+        std::string line;
+        ASSERT_TRUE(stream.readLine(line)) << "response " << i;
+        if (line.find("overloaded") != std::string::npos)
+            ++overloaded;
+    }
+    EXPECT_GT(overloaded, 0);
+
+    // Recovery: queue empty + overload hold expired -> ready again.
+    bool recovered = false;
+    for (int i = 0; i < 200 && !recovered; ++i) {
+        httpGet(server.metricsPort(), "/healthz", &status);
+        recovered = status.find("200") != std::string::npos;
+        if (!recovered)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(25));
+    }
+    EXPECT_TRUE(recovered) << "healthz stuck unready: " << status;
+    server.stop();
+}
+
+TEST(ServeHealth, DebugHealthAndWindowsEndpoints)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.health.windowSeconds = 0.05; // fast sampler for the test
+    serve::InferenceServer server(trainedClassifier(), cfg);
+    server.start();
+
+    const std::vector<double> features(12, 0.25);
+    {
+        serve::TcpStream stream =
+            serve::TcpStream::connect("127.0.0.1", server.port());
+        for (std::uint64_t i = 0; i < 5; ++i)
+            ASSERT_NE(roundTrip(stream, requestLine(i, features)),
+                      nullptr);
+    }
+
+    std::string status;
+    std::string error;
+    if constexpr (obs::kWindowsCompiled) {
+        ASSERT_NE(server.healthMonitor(), nullptr);
+        // Wait for the sampler to close at least two windows.
+        for (int i = 0;
+             i < 300 && server.healthMonitor()->windowsSampled() < 2;
+             ++i)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        EXPECT_GE(server.healthMonitor()->windowsSampled(), 2u);
+
+        const std::string windows = httpGet(
+            server.metricsPort(), "/debug/windows?s=60", &status);
+        EXPECT_NE(status.find("200"), std::string::npos);
+        const auto windowsDoc = serve::parseJson(windows, error);
+        ASSERT_NE(windowsDoc, nullptr) << error << ": " << windows;
+        ASSERT_NE(windowsDoc->find("windows"), nullptr);
+        EXPECT_GE(windowsDoc->find("windows")->array.size(), 1u);
+
+        const std::string prom =
+            httpGet(server.metricsPort(), "/metrics");
+        EXPECT_NE(prom.find("lookhd_window_seq"),
+                  std::string::npos);
+        EXPECT_NE(prom.find("lookhd_drift_psi"), std::string::npos);
+        EXPECT_NE(prom.find("lookhd_serve_health_ok"),
+                  std::string::npos);
+    } else {
+        EXPECT_EQ(server.healthMonitor(), nullptr);
+        httpGet(server.metricsPort(), "/debug/windows", &status);
+        EXPECT_NE(status.find("404"), std::string::npos) << status;
+    }
+
+    const std::string health =
+        httpGet(server.metricsPort(), "/debug/health", &status);
+    EXPECT_NE(status.find("200"), std::string::npos);
+    const auto healthDoc = serve::parseJson(health, error);
+    ASSERT_NE(healthDoc, nullptr) << error << ": " << health;
+    ASSERT_NE(healthDoc->find("ready"), nullptr);
+    ASSERT_NE(healthDoc->find("protocol"), nullptr);
+    EXPECT_NE(healthDoc->find("protocol")->find("queue_capacity"),
+              nullptr);
+    if constexpr (obs::kWindowsCompiled) {
+        const serve::JsonValue *engine = healthDoc->find("engine");
+        ASSERT_NE(engine, nullptr) << health;
+        EXPECT_NE(engine->find("rules"), nullptr);
+        EXPECT_NE(engine->find("drift"), nullptr);
+    }
+    server.stop();
+}
+
+TEST(ServeHealth, CheckReadinessReportsDrainOnStop)
+{
+    serve::ServeConfig cfg;
+    cfg.workers = 1;
+    serve::InferenceServer server(trainedClassifier(), cfg);
+    server.start();
+    EXPECT_TRUE(server.checkReadiness().ready);
+    server.stop();
+    // After stop the scrape port is gone, but the readiness logic
+    // itself must report draining (this is what a scrape racing the
+    // shutdown would have seen).
+    const serve::InferenceServer::Readiness r =
+        server.checkReadiness();
+    EXPECT_FALSE(r.ready);
+    EXPECT_EQ(r.reason, "draining");
 }
 
 TEST(ServeLifecycle, EphemeralPortsAreDistinctAndNonzero)

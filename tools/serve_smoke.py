@@ -30,7 +30,14 @@ Round trip, in one process tree:
   7. SIGTERM the server and assert exit status 0 with the event log
      flushed (serve.start and serve.shutdown both present, every
      line valid JSON); with observability on, the slow-request log
-     must hold the traced request as a valid JSON line.
+     must hold the traced request as a valid JSON line,
+  8. degraded phase: start a second, deliberately under-provisioned
+     server (1 slow worker, queue capacity 4), burst far past queue
+     capacity, and assert /healthz flips to 503 with a
+     machine-readable reason, /debug/health agrees (both bodies are
+     saved to --workdir for CI artifact upload), and readiness
+     recovers to 200 once the queue drains and the overload hold
+     expires.
 
 Usage:
     serve_smoke.py --train T --serve S --loadgen L
@@ -132,6 +139,23 @@ def scrape(port: int, route: str) -> str:
         try:
             with urllib.request.urlopen(url, timeout=10) as resp:
                 return resp.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            last = exc
+            time.sleep(0.1)
+    raise SmokeError(f"cannot scrape {url}: {last}")
+
+
+def scrape_status(port: int, route: str) -> tuple[int, str]:
+    """Like scrape(), but a non-2xx status (503 from an unready
+    /healthz) is a result, not an error."""
+    url = f"http://127.0.0.1:{port}{route}"
+    last: Exception | None = None
+    for _ in range(20):
+        try:
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                return resp.status, resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8")
         except (urllib.error.URLError, OSError) as exc:
             last = exc
             time.sleep(0.1)
@@ -367,6 +391,101 @@ def check_event_log(path: Path) -> int:
     return len(events)
 
 
+def degraded_phase(serve_bin: str, model: Path, work: Path) -> None:
+    """Readiness-lifecycle scenario on a second server instance.
+
+    One slow worker (5 ms per request via --score-delay-us) behind a
+    4-deep queue, burst 400 pipelined requests: /healthz must flip
+    to 503 with a machine-readable reason while the episode is live,
+    /debug/health must agree, and the verdict must recover to 200
+    after the queue drains and the overload hold expires. Both
+    /debug/health bodies land in the workdir so CI uploads them as
+    artifacts.
+    """
+    server = subprocess.Popen(
+        [serve_bin, "--model", str(model), "--port", "0",
+         "--metrics-port", "0", "--workers", "1",
+         "--batch-max", "1", "--queue-cap", "4",
+         "--score-delay-us", "5000", "--window-s", "1",
+         "--slo-error-rate", "0.01", "--overload-hold-ms", "1500",
+         "--max-seconds", "120"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        port, metrics_port = wait_for_ports(server)
+        status, _ = scrape_status(metrics_port, "/healthz")
+        if status != 200:
+            raise SmokeError(f"degraded-phase server starts "
+                             f"unready ({status})")
+
+        # Burst far past queue capacity; responses stay unread while
+        # /healthz is polled so the episode is observed live.
+        burst = 400
+        request = {"id": 1, "features": [1.5, 19.25, 3.0]}
+        payload = (json.dumps(request) + "\n").encode("utf-8") * burst
+        degraded = None
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=10) as sock:
+            sock.sendall(payload)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and degraded is None:
+                status, body = scrape_status(metrics_port,
+                                             "/healthz")
+                if status == 503:
+                    degraded = json.loads(body)
+                else:
+                    time.sleep(0.05)
+            if degraded is None:
+                raise SmokeError(
+                    "/healthz never flipped to 503 during a burst "
+                    "past queue capacity")
+            if degraded.get("status") != "unready" or \
+                    not degraded.get("reason"):
+                raise SmokeError(f"503 body is not "
+                                 f"machine-readable: {degraded}")
+            debug = scrape(metrics_port, "/debug/health")
+            (work / "debug_health_degraded.json").write_text(
+                debug, encoding="utf-8")
+            if not json.loads(debug).get("reason"):
+                raise SmokeError(f"/debug/health lacks a reason "
+                                 f"while degraded: {debug}")
+            # Read every response so the server can go idle.
+            buf = b""
+            while buf.count(b"\n") < burst:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                buf += chunk
+        overloads = sum(
+            1 for line in buf.decode("utf-8").splitlines()
+            if "overloaded" in line)
+        if overloads == 0:
+            raise SmokeError("no request was rejected as "
+                             "overloaded despite the burst")
+
+        recovered = False
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and not recovered:
+            status, _ = scrape_status(metrics_port, "/healthz")
+            recovered = status == 200
+            if not recovered:
+                time.sleep(0.25)
+        if not recovered:
+            raise SmokeError("/healthz did not recover to 200 "
+                             "within 30s of the queue draining")
+        (work / "debug_health_recovered.json").write_text(
+            scrape(metrics_port, "/debug/health"),
+            encoding="utf-8")
+        print(f"serve_smoke: degraded phase OK "
+              f"(reason={degraded['reason']}, {overloads} overload "
+              f"rejections, recovered to ready)")
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--train", required=True)
@@ -425,9 +544,11 @@ def main() -> int:
         print(f"serve_smoke: traced request echoed "
               f"{TRACE_HEX[:8]}… in {client_ns / 1e6:.2f} ms")
 
-        health = scrape(metrics_port, "/healthz")
-        if "ok" not in health:
-            raise SmokeError(f"/healthz returned {health!r}")
+        status, health = scrape_status(metrics_port, "/healthz")
+        if status != 200 or "ok" not in health:
+            raise SmokeError(
+                f"/healthz returned {status} {health!r} on a "
+                f"healthy server")
         prom = scrape(metrics_port, "/metrics")
         (work / "metrics.prom").write_text(prom, encoding="utf-8")
         check_prometheus(prom)
@@ -480,6 +601,7 @@ def main() -> int:
               "traced request")
     print(f"serve_smoke: clean shutdown, event log flushed "
           f"({events} events)")
+    degraded_phase(args.serve, model, work)
     return 0
 
 

@@ -17,6 +17,14 @@ real Prometheus scraper:
     counts are monotonically non-decreasing, ``_count`` equals the
     ``+Inf`` bucket, and ``_sum``/``_count`` are present,
   * no duplicate sample (same name + label set),
+  * gauge samples are finite (a NaN or +/-Inf gauge means the
+    renderer exposed an uninitialized or divided-by-zero value;
+    Prometheus would ingest it and silently poison dashboards),
+  * all samples of one metric family are contiguous -- once another
+    family's samples begin, an earlier family must not reappear
+    (histogram ``_bucket``/``_sum``/``_count`` children fold into
+    their parent family for this check, and per the format a family
+    name must not occur in two separate blocks),
   * OpenMetrics exemplars (`` # {trace_id="..."} value timestamp``
     appended to a sample) parse, appear only on histogram
     ``_bucket`` or counter samples, keep their label set within 128
@@ -35,6 +43,7 @@ Exit status: 0 clean, 1 violations (printed as `path:line: message`).
 
 from __future__ import annotations
 
+import math
 import re
 import sys
 from pathlib import Path
@@ -117,6 +126,16 @@ def base_name(name: str) -> str:
     return name
 
 
+def family_of(name: str, types: dict[str, str]) -> str:
+    """Metric family a sample belongs to. Histogram children fold
+    into their parent, but a name with its own ``# TYPE`` is a family
+    in its own right -- a gauge may legitimately end in ``_count``
+    (e.g. ``lookhd_window_margin_count``)."""
+    if name in types:
+        return name
+    return base_name(name)
+
+
 def parse_exemplar(raw: str, line_no: int, bad) -> float | None:
     """Validate `{labels} value [ts]`; return the value or None."""
     match = EXEMPLAR_RE.match(raw)
@@ -153,6 +172,10 @@ def check_text(text: str, origin: str = "<text>") -> list[str]:
     samples: list[Sample] = []
     seen: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
     sampled: set[str] = set()
+    # Contiguity bookkeeping: the family currently emitting samples,
+    # and families whose block has been closed by a later family.
+    current_family: str | None = None
+    closed_families: set[str] = set()
 
     def bad(line_no: int, message: str) -> None:
         problems.append(f"{origin}:{line_no}: {message}")
@@ -224,8 +247,17 @@ def check_text(text: str, origin: str = "<text>") -> list[str]:
             bad(line_no, f"duplicate sample for '{name}' "
                 f"with identical labels")
         seen.add(key)
+        family = family_of(name, types)
+        if family != current_family:
+            if family in closed_families:
+                bad(line_no, f"samples for family '{family}' are "
+                    f"not contiguous (family reappears after other "
+                    f"families' samples)")
+            if current_family is not None:
+                closed_families.add(current_family)
+            current_family = family
         sampled.add(name)
-        sampled.add(base_name(name))
+        sampled.add(family)
         sample = Sample(name, labels, float(raw_value), line_no)
         if exemplar_raw is not None:
             ex_value = parse_exemplar(exemplar_raw, line_no, bad)
@@ -235,7 +267,8 @@ def check_text(text: str, origin: str = "<text>") -> list[str]:
     # Per-metric semantic checks.
     by_base: dict[str, list[Sample]] = {}
     for sample in samples:
-        by_base.setdefault(base_name(sample.name), []).append(sample)
+        by_base.setdefault(family_of(sample.name, types),
+                           []).append(sample)
 
     for base, group in by_base.items():
         kind = types.get(base)
@@ -265,6 +298,13 @@ def check_text(text: str, origin: str = "<text>") -> list[str]:
             bad(sample.line,
                 f"exemplar on {kind} sample '{sample.name}' "
                 f"(allowed on counters and histogram buckets only)")
+        if kind == "gauge":
+            for sample in group:
+                if math.isnan(sample.value) or \
+                        math.isinf(sample.value):
+                    bad(sample.line,
+                        f"gauge '{sample.name}' sample is "
+                        f"non-finite ({sample.value})")
         if kind == "counter":
             for sample in group:
                 if not sample.name.endswith("_total"):
@@ -342,10 +382,14 @@ GOOD_DOC = """\
 lookhd_serve_requests_total 64
 # TYPE lookhd_serve_queue_depth gauge
 lookhd_serve_queue_depth 0
+# TYPE lookhd_window_margin_count gauge
+lookhd_window_margin_count 17
 # TYPE lookhd_serve_request_latency_ns histogram
 lookhd_serve_request_latency_ns_bucket{le="100000"} 10
 lookhd_serve_request_latency_ns_bucket{le="1000000"} 60 # {trace_id="00000000000000000000000000000001"} 731000 1712345678.123
 lookhd_serve_request_latency_ns_bucket{le="+Inf"} 64 # {trace_id="00000000000000000000000000000002"} 2.5e+06
+lookhd_serve_request_latency_ns_sum 5.1e+07
+lookhd_serve_request_latency_ns_count 64
 # TYPE lookhd_serve_stage_ns histogram
 lookhd_serve_stage_ns_bucket{stage="parse",le="1000"} 3
 lookhd_serve_stage_ns_bucket{stage="parse",le="+Inf"} 4
@@ -355,8 +399,6 @@ lookhd_serve_stage_ns_bucket{stage="score",le="1000"} 0
 lookhd_serve_stage_ns_bucket{stage="score",le="+Inf"} 4
 lookhd_serve_stage_ns_sum{stage="score"} 96000
 lookhd_serve_stage_ns_count{stage="score"} 4
-lookhd_serve_request_latency_ns_sum 5.1e+07
-lookhd_serve_request_latency_ns_count 64
 # TYPE lookhd_build_info gauge
 lookhd_build_info{app="lookhd_serve",note="a\\\\b \\"q\\" \\n"} 1
 """
@@ -385,6 +427,15 @@ BAD_DOCS = {
     "missing _sum": ("# TYPE h histogram\n"
                      "h_bucket{le=\"+Inf\"} 1\nh_count 1\n"),
     "no TYPE at all": "plain_metric 1\n",
+    "NaN gauge": "# TYPE g gauge\ng NaN\n",
+    "Inf gauge": "# TYPE g gauge\ng +Inf\n",
+    "family not contiguous":
+        ("# TYPE a gauge\na 1\n# TYPE b gauge\nb{x=\"1\"} 2\n"
+         "a{x=\"1\"} 3\n"),
+    "histogram family not contiguous":
+        ("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n"
+         "# TYPE g gauge\ng 1\n"
+         "h_count 1\n"),
     "exemplar on gauge":
         ("# TYPE g gauge\n"
          "g 1 # {trace_id=\"ab\"} 1\n"),
