@@ -22,6 +22,7 @@
 #include "lookhd/classifier.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "util/table.hpp"
 
 namespace lookhd::bench {
@@ -103,6 +104,10 @@ banner(const std::string &what)
  *   --trace-out F    also record spans and write a Chrome trace
  *   --perf           attach perf_event counters to spans (Linux;
  *                    silently absent when the kernel refuses)
+ *   --profile-out F  sample the bench with the CPU profiler
+ *                    (obs/profiler.hpp) and write speedscope JSON
+ *                    (.json) or collapsed stacks (anything else)
+ *   --profile-hz N   profiler sampling rate (default 99)
  */
 class BenchReporter
 {
@@ -124,6 +129,11 @@ class BenchReporter
                 gitRev_ = next();
             else if (arg == "--trace-out")
                 traceOut_ = next();
+            else if (arg == "--profile-out")
+                profileOut_ = next();
+            else if (arg == "--profile-hz")
+                profileHz_ = std::strtoul(next().c_str(), nullptr,
+                                          10);
             else if (arg == "--quick")
                 quick_ = true;
             else if (arg == "--perf")
@@ -135,6 +145,13 @@ class BenchReporter
             obs::setTracing(true);
         if (perf_)
             obs::setPerfCounters(true);
+        if (!profileOut_.empty()) {
+            obs::Profiler::registerCurrentThread();
+            obs::ProfileOptions opts;
+            if (profileHz_ > 0)
+                opts.hz = static_cast<unsigned>(profileHz_);
+            obs::Profiler::global().start(opts);
+        }
     }
 
     ~BenchReporter()
@@ -234,6 +251,28 @@ class BenchReporter
             std::fprintf(stderr, "BenchReporter: cannot write %s\n",
                          traceOut_.c_str());
         }
+
+        if (!profileOut_.empty()) {
+            obs::Profiler &profiler = obs::Profiler::global();
+            profiler.stop();
+            const obs::ProfileReport report = profiler.collect();
+            const bool speedscope =
+                profileOut_.size() >= 5 &&
+                profileOut_.compare(profileOut_.size() - 5, 5,
+                                    ".json") == 0;
+            const std::string doc =
+                speedscope ? report.speedscopeJson() + "\n"
+                           : report.collapsed();
+            std::FILE *pf = std::fopen(profileOut_.c_str(), "w");
+            if (pf == nullptr) {
+                std::fprintf(stderr,
+                             "BenchReporter: cannot write %s\n",
+                             profileOut_.c_str());
+            } else {
+                std::fputs(doc.c_str(), pf);
+                std::fclose(pf);
+            }
+        }
     }
 
   private:
@@ -250,6 +289,8 @@ class BenchReporter
     std::string outDir_;
     std::string gitRev_ = "unknown";
     std::string traceOut_;
+    std::string profileOut_;
+    unsigned long profileHz_ = 0;
     bool quick_ = false;
     bool perf_ = false;
     bool written_ = false;

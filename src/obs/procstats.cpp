@@ -1,0 +1,351 @@
+#include "obs/procstats.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <sys/resource.h>
+#endif
+
+// ---------------------------------------------------------------------------
+// Heap-allocation counters.
+//
+// Gate: the global operator new/delete replacement is an opt-in
+// overhead (-DLOOKHD_OBS) and must never be built under ASan/TSan,
+// whose runtimes interpose malloc and own the allocation bookkeeping
+// (replacing new on top of their interceptors breaks both).
+// ---------------------------------------------------------------------------
+
+#ifndef LOOKHD_OBS_ENABLED
+#define LOOKHD_OBS_ENABLED 1
+#endif
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define LOOKHD_PROCSTATS_SANITIZED 1
+#endif
+#if !defined(LOOKHD_PROCSTATS_SANITIZED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) ||                               \
+    __has_feature(thread_sanitizer) ||                                \
+    __has_feature(memory_sanitizer)
+#define LOOKHD_PROCSTATS_SANITIZED 1
+#endif
+#endif
+#ifndef LOOKHD_PROCSTATS_SANITIZED
+#define LOOKHD_PROCSTATS_SANITIZED 0
+#endif
+
+#define LOOKHD_ALLOC_HOOK                                             \
+    (LOOKHD_OBS_ENABLED && !LOOKHD_PROCSTATS_SANITIZED)
+
+namespace {
+
+// Constant-initialized: the replaced operators run before any static
+// constructor, so these must need no dynamic initialization.
+std::atomic<std::uint64_t> gAllocBytes{0};
+std::atomic<std::uint64_t> gAllocCount{0};
+std::atomic<std::uint64_t> gFreeCount{0};
+
+#if LOOKHD_ALLOC_HOOK
+
+void *
+countedAlloc(std::size_t size)
+{
+    void *p = std::malloc(size);
+    if (p != nullptr) {
+        gAllocBytes.fetch_add(size, std::memory_order_relaxed);
+        gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    }
+    return p;
+}
+
+void *
+countedAllocAligned(std::size_t size, std::size_t align)
+{
+    // Round the request up: aligned_alloc requires size to be a
+    // multiple of the alignment, operator new does not.
+    const std::size_t rounded = (size + align - 1) / align * align;
+    void *p = std::aligned_alloc(align, rounded);
+    if (p != nullptr) {
+        gAllocBytes.fetch_add(size, std::memory_order_relaxed);
+        gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    }
+    return p;
+}
+
+void
+countedFree(void *p)
+{
+    if (p == nullptr)
+        return;
+    gFreeCount.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+}
+
+#endif // LOOKHD_ALLOC_HOOK
+
+} // namespace
+
+#if LOOKHD_ALLOC_HOOK
+
+// The replacement set. Minimal conforming behavior: the throwing
+// forms raise bad_alloc on exhaustion (no new_handler loop - nothing
+// in this repo installs one), the nothrow and sized/aligned forms
+// forward to the two helpers above.
+
+void *
+operator new(std::size_t size)
+{
+    void *p = countedAlloc(size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = countedAllocAligned(
+        size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return countedAllocAligned(
+        size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return countedAllocAligned(
+        size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete(void *p, std::align_val_t,
+                const std::nothrow_t &) noexcept
+{
+    countedFree(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t,
+                  const std::nothrow_t &) noexcept
+{
+    countedFree(p);
+}
+
+#endif // LOOKHD_ALLOC_HOOK
+
+namespace lookhd::obs {
+
+namespace {
+
+#if defined(__linux__)
+
+/** Parse one "Key:   123 kB" value out of /proc/self/status. */
+std::uint64_t
+statusValue(const char *line)
+{
+    const char *p = std::strchr(line, ':');
+    if (p == nullptr)
+        return 0;
+    ++p;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    return std::strtoull(p, nullptr, 10);
+}
+
+void
+readProcStatus(ProcessStats &out)
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr)
+        return;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        if (std::strncmp(line, "VmRSS:", 6) == 0)
+            out.rssBytes = statusValue(line) * 1024;
+        else if (std::strncmp(line, "VmHWM:", 6) == 0)
+            out.rssHwmBytes = statusValue(line) * 1024;
+        else if (std::strncmp(line, "Threads:", 8) == 0)
+            out.threads = statusValue(line);
+    }
+    std::fclose(f);
+}
+
+std::uint64_t
+countOpenFds()
+{
+    DIR *dir = ::opendir("/proc/self/fd");
+    if (dir == nullptr)
+        return 0;
+    std::uint64_t n = 0;
+    while (const struct dirent *entry = ::readdir(dir)) {
+        if (entry->d_name[0] != '.')
+            ++n;
+    }
+    ::closedir(dir);
+    // Exclude the directory handle used for the count itself.
+    return n > 0 ? n - 1 : 0;
+}
+
+#endif // __linux__
+
+} // namespace
+
+ProcessStats
+readProcessStats()
+{
+    ProcessStats stats;
+#if defined(__linux__)
+    readProcStatus(stats);
+    stats.openFds = countOpenFds();
+    struct rusage usage;
+    std::memset(&usage, 0, sizeof(usage));
+    if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+        stats.minorFaults =
+            static_cast<std::uint64_t>(usage.ru_minflt);
+        stats.majorFaults =
+            static_cast<std::uint64_t>(usage.ru_majflt);
+        stats.voluntaryCtxSwitches =
+            static_cast<std::uint64_t>(usage.ru_nvcsw);
+        stats.involuntaryCtxSwitches =
+            static_cast<std::uint64_t>(usage.ru_nivcsw);
+    }
+#endif
+    stats.allocBytes = gAllocBytes.load(std::memory_order_relaxed);
+    stats.allocCount = gAllocCount.load(std::memory_order_relaxed);
+    stats.freeCount = gFreeCount.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void
+publishProcessGauges()
+{
+    const ProcessStats stats = readProcessStats();
+    MetricRegistry &registry = MetricRegistry::global();
+    // Handles stay valid forever; resolve the names once.
+    static Gauge &rss = registry.gauge("process.rss_bytes");
+    static Gauge &hwm = registry.gauge("process.rss_hwm_bytes");
+    static Gauge &threads = registry.gauge("process.threads");
+    static Gauge &fds = registry.gauge("process.open_fds");
+    static Gauge &minor = registry.gauge("process.minor_faults");
+    static Gauge &major = registry.gauge("process.major_faults");
+    static Gauge &vcsw =
+        registry.gauge("process.ctx_switches{kind=\"voluntary\"}");
+    static Gauge &ivcsw =
+        registry.gauge("process.ctx_switches{kind=\"involuntary\"}");
+    static Gauge &allocBytes = registry.gauge("process.alloc_bytes");
+    static Gauge &allocCount = registry.gauge("process.alloc_count");
+    static Gauge &freeCount = registry.gauge("process.free_count");
+    rss.set(static_cast<double>(stats.rssBytes));
+    hwm.set(static_cast<double>(stats.rssHwmBytes));
+    threads.set(static_cast<double>(stats.threads));
+    fds.set(static_cast<double>(stats.openFds));
+    minor.set(static_cast<double>(stats.minorFaults));
+    major.set(static_cast<double>(stats.majorFaults));
+    vcsw.set(static_cast<double>(stats.voluntaryCtxSwitches));
+    ivcsw.set(static_cast<double>(stats.involuntaryCtxSwitches));
+    allocBytes.set(static_cast<double>(stats.allocBytes));
+    allocCount.set(static_cast<double>(stats.allocCount));
+    freeCount.set(static_cast<double>(stats.freeCount));
+}
+
+} // namespace lookhd::obs

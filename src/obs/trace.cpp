@@ -7,6 +7,7 @@
 
 #include "obs/json.hpp"
 #include "obs/perfcounters.hpp"
+#include "obs/profiler.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
@@ -271,6 +272,7 @@ TraceSpan::TraceSpan(SpanSite &site)
     ThreadTrace &tt = threadTrace();
     parent_ = tt.current;
     tt.current = this;
+    profilerPublishSite(site_);
     depth_ = parent_ ? parent_->depth_ + 1 : 0;
     startNs_ = util::Timer::processNanoseconds();
     // Span-opt-in hardware sampling: one relaxed load when off.
@@ -302,6 +304,7 @@ TraceSpan::~TraceSpan()
         parent_->childNs_ += dur;
     ThreadTrace &tt = threadTrace();
     tt.current = parent_;
+    profilerPublishSite(parent_ ? parent_->site_ : nullptr);
     if (tracing())
         tt.push({site_, startNs_, dur, depth_});
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 
 namespace lookhd::par {
@@ -99,6 +100,9 @@ void
 ThreadPool::workerLoop()
 {
     tOnWorker = true;
+    // Pool workers burn most of the process CPU; make them visible
+    // to the sampling profiler (no-op when compiled out).
+    obs::Profiler::registerCurrentThread();
     while (true) {
         std::shared_ptr<Job> job;
         {

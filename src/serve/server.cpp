@@ -14,6 +14,8 @@
 #include "obs/exposition.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/procstats.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "serve/jsonin.hpp"
 #include "util/timer.hpp"
@@ -421,6 +423,7 @@ InferenceServer::acceptLoop()
 void
 InferenceServer::connectionLoop(std::shared_ptr<Connection> conn)
 {
+    obs::Profiler::registerCurrentThread();
     obs::EventLog::global().emit(obs::LogLevel::kDebug,
                                  "serve.conn.open");
     try {
@@ -428,7 +431,11 @@ InferenceServer::connectionLoop(std::shared_ptr<Connection> conn)
         while (conn->stream.readLine(line)) {
             if (line.empty())
                 continue;
+            // Reader threads burn CPU only while parsing/enqueuing;
+            // attribute those samples to the parse stage.
+            obs::profilerPublishStage(obs::ReqStage::kParse);
             handleRequestLine(conn, line);
+            obs::profilerPublishStage(obs::kProfileStageNone);
         }
     } catch (const NetError &) {
         // Peer vanished mid-read; nothing to answer.
@@ -540,9 +547,11 @@ InferenceServer::handleRequestLine(
 void
 InferenceServer::workerLoop(std::size_t workerIndex)
 {
+    obs::Profiler::registerCurrentThread();
     WorkerState &state = *workerStates_[workerIndex];
     while (true) {
         std::vector<Request> batch;
+        obs::profilerPublishStage(obs::ReqStage::kBatchForm);
         {
             const util::MutexLock lock(queueMutex_);
             // Explicit wait loop (not a predicate lambda) so the
@@ -639,6 +648,7 @@ InferenceServer::processBatch(std::vector<Request> &batch,
     std::vector<std::vector<double>> batchScores;
     const std::uint64_t scoreStartNs =
         util::Timer::processNanoseconds();
+    obs::profilerPublishStage(obs::ReqStage::kScore);
     {
         LOOKHD_SPAN("serve.predict", "serve");
         batchScores =
@@ -655,6 +665,7 @@ InferenceServer::processBatch(std::vector<Request> &batch,
     // Serialize/write run back to back per request, so chaining one
     // timestamp through the loop costs a single clock read per hop.
     std::uint64_t t = scoreEndNs;
+    obs::profilerPublishStage(obs::ReqStage::kSerialize);
     for (std::size_t i = 0; i < batch.size(); ++i) {
         Request &req = batch[i];
         const std::vector<double> &scores = batchScores[i];
@@ -691,7 +702,9 @@ InferenceServer::processBatch(std::vector<Request> &batch,
         }
         requestsOk_.add();
         state.stage.store("respond", std::memory_order_relaxed);
+        obs::profilerPublishStage(obs::ReqStage::kWrite);
         req.conn->writeLine(w.str());
+        obs::profilerPublishStage(obs::ReqStage::kSerialize);
         state.stage.store("predict", std::memory_order_relaxed);
         const std::uint64_t written =
             util::Timer::processNanoseconds();
@@ -745,6 +758,7 @@ InferenceServer::processBatch(std::vector<Request> &batch,
     }
     state.busySinceNs.store(0, std::memory_order_relaxed);
     state.stage.store("idle", std::memory_order_relaxed);
+    obs::profilerPublishStage(obs::kProfileStageNone);
 }
 
 std::string
@@ -835,9 +849,54 @@ InferenceServer::debugTraceBody(const std::string &query)
     return out.str();
 }
 
+std::string
+InferenceServer::debugProfileBody(const std::string &query,
+                                  std::string &status,
+                                  std::string &contentType)
+{
+    if (!obs::kProfilerCompiled) {
+        status = "404 Not Found";
+        contentType = "text/plain; charset=utf-8";
+        return "profiler disabled in this build\n";
+    }
+    double seconds = 2.0;
+    unsigned hz = obs::kProfilerDefaultHz;
+    const std::size_t secondsArg = query.find("seconds=");
+    if (secondsArg != std::string::npos)
+        seconds = std::strtod(query.c_str() + secondsArg + 8,
+                              nullptr);
+    const std::size_t hzArg = query.find("hz=");
+    if (hzArg != std::string::npos)
+        hz = static_cast<unsigned>(std::strtoul(
+            query.c_str() + hzArg + 3, nullptr, 10));
+    // Like /debug/trace, the capture deliberately blocks the scrape
+    // thread for the window; clamp so a typo cannot park it.
+    seconds = std::clamp(seconds, 0.1, 30.0);
+    hz = std::clamp(hz, 1u, 1000u);
+    const bool speedscope =
+        query.find("format=speedscope") != std::string::npos;
+
+    const obs::ProfileReport report =
+        obs::Profiler::global().profileFor(seconds, hz);
+    if (report.hz == 0) {
+        // start() refused: a session (another scrape, or a
+        // --profile-out run) is already sampling.
+        status = "503 Service Unavailable";
+        contentType = "text/plain; charset=utf-8";
+        return "profiler busy\n";
+    }
+    if (speedscope) {
+        contentType = "application/json";
+        return report.speedscopeJson() + "\n";
+    }
+    contentType = "text/plain; charset=utf-8";
+    return report.collapsed();
+}
+
 void
 InferenceServer::metricsLoop()
 {
+    obs::Profiler::registerCurrentThread();
     while (running_.load(std::memory_order_acquire)) {
         TcpStream stream;
         try {
@@ -889,10 +948,14 @@ InferenceServer::metricsLoop()
                 "text/plain; version=0.0.4; charset=utf-8";
             std::string body;
             if (path == "/metrics") {
+                // Resource gauges refresh per scrape so Prometheus
+                // never reads a stale sampler-period value.
+                obs::publishProcessGauges();
                 body = obs::renderPrometheus(
                     obs::MetricRegistry::global().snapshot(),
                     obs::spanRollup());
             } else if (path == "/metrics.json") {
+                obs::publishProcessGauges();
                 contentType = "application/json";
                 body = obs::snapshotJson(
                            obs::MetricRegistry::global()) +
@@ -938,6 +1001,8 @@ InferenceServer::metricsLoop()
             } else if (path == "/debug/trace") {
                 contentType = "application/json";
                 body = debugTraceBody(query);
+            } else if (path == "/debug/profile") {
+                body = debugProfileBody(query, status, contentType);
             } else {
                 status = "404 Not Found";
                 contentType = "text/plain; charset=utf-8";
@@ -1078,6 +1143,7 @@ InferenceServer::samplerLoop()
             break;
         health_->sample(util::Timer::processNanoseconds(),
                         obs::wallClockMs());
+        obs::publishProcessGauges();
     }
 }
 

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Acceptance check for the sampling profiler's cost: with a session
+ * running at the default 99 Hz, Classifier::predict must run within
+ * 5% of its unprofiled cost (the issue budget for on-demand
+ * sampling). The idle budget (<1% with the profiler compiled in but
+ * no session running) needs no timed test: an idle profiler arms no
+ * timer, so no SIGPROF ever fires and the only residual cost is two
+ * relaxed thread-local stores per span/stage transition - the same
+ * instrumentation already gated by ObsOverhead's 2% test.
+ *
+ * Same anti-noise playbook as test_obs_overhead.cpp: interleaved
+ * profiled/unprofiled batches, min-of-trials, several attempts, and
+ * a widened threshold on debug/sanitized builds (signal delivery
+ * under sanitizer runtimes is far more expensive than in release).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "data/apps.hpp"
+#include "data/synthetic.hpp"
+#include "lookhd/classifier.hpp"
+#include "obs/profiler.hpp"
+#include "util/timer.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define LOOKHD_TEST_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define LOOKHD_TEST_SANITIZED 1
+#endif
+
+namespace {
+
+using namespace lookhd;
+
+#if defined(NDEBUG) && !defined(LOOKHD_TEST_SANITIZED)
+constexpr double kMaxOverhead = 0.05; // the issue's 5% @ 99 Hz budget
+#else
+constexpr double kMaxOverhead = 0.30;
+#endif
+
+/** Seconds for one full pass of predict() over the test split. */
+double
+batchSeconds(const Classifier &clf, const data::TrainTest &tt)
+{
+    util::Timer timer;
+    std::size_t sink = 0;
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        sink += clf.predict(tt.test.row(i));
+    const double s = timer.seconds();
+    EXPECT_LT(sink, tt.test.size() * 1000);
+    return s;
+}
+
+struct Mins
+{
+    double unprofiled;
+    double profiled;
+};
+
+/** Min-of-trials over interleaved unprofiled/profiled batches. */
+Mins
+measure(const Classifier &clf, const data::TrainTest &tt,
+        std::size_t trials)
+{
+    obs::Profiler &profiler = obs::Profiler::global();
+    Mins m{1e9, 1e9};
+    for (std::size_t t = 0; t < trials; ++t) {
+        m.unprofiled = std::min(m.unprofiled, batchSeconds(clf, tt));
+        obs::ProfileOptions opts;
+        opts.hz = obs::kProfilerDefaultHz;
+        EXPECT_TRUE(profiler.start(opts));
+        m.profiled = std::min(m.profiled, batchSeconds(clf, tt));
+        profiler.stop();
+        profiler.collect(); // keep rings and pending state drained
+    }
+    return m;
+}
+
+TEST(ProfilerOverhead, SamplingWithinBudget)
+{
+    if (!obs::kProfilerCompiled)
+        GTEST_SKIP() << "profiler compiled out";
+    const data::AppSpec app = data::paperApps()[0];
+    const data::TrainTest tt = data::makeTrainTest(
+        app.synthetic(7), 40 * app.numClasses, 60 * app.numClasses);
+    ClassifierConfig cfg;
+    cfg.dim = 2000;
+    cfg.quantLevels = app.lookhdQ;
+    cfg.chunkSize = app.chunkSize;
+    cfg.retrainEpochs = 2;
+    Classifier clf(cfg);
+    clf.fit(tt.train);
+
+    obs::Profiler::registerCurrentThread();
+    batchSeconds(clf, tt); // warm caches before timing anything
+
+    double best_overhead = 1e9;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        const Mins m = measure(clf, tt, 5);
+        ASSERT_GT(m.unprofiled, 0.0);
+        const double overhead = m.profiled / m.unprofiled - 1.0;
+        best_overhead = std::min(best_overhead, overhead);
+        if (best_overhead <= kMaxOverhead)
+            break;
+    }
+    EXPECT_LE(best_overhead, kMaxOverhead)
+        << "Classifier::predict under 99 Hz sampling is "
+        << 100.0 * best_overhead
+        << "% slower than unprofiled (budget "
+        << 100.0 * kMaxOverhead << "%)";
+}
+
+} // namespace

@@ -32,6 +32,35 @@ foreach(tool TRAIN PREDICT)
     endif()
 endforeach()
 
+# The profiler flags must stay documented on every tool that can
+# record a profile (train/predict/serve plus the bench harness).
+foreach(tool TRAIN PREDICT SERVE)
+    execute_process(
+        COMMAND "${${tool}}" --help
+        OUTPUT_VARIABLE help_out RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${tool} --help failed (${rc})")
+    endif()
+    if(NOT help_out MATCHES "--profile-out" OR
+       NOT help_out MATCHES "--profile-hz")
+        message(FATAL_ERROR
+            "${tool} --help does not document the profiler flags:"
+            "\n${help_out}")
+    endif()
+endforeach()
+
+# lookhd_info has flags too: --help must print usage and exit 0.
+execute_process(
+    COMMAND "${INFO}" --help
+    OUTPUT_VARIABLE help_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "INFO --help failed (${rc})")
+endif()
+if(NOT help_out MATCHES "usage: lookhd_info")
+    message(FATAL_ERROR
+        "INFO --help does not print usage:\n${help_out}")
+endif()
+
 set(train_quality "${WORKDIR}/cli_train_quality.json")
 execute_process(
     COMMAND "${TRAIN}" --input "${csv}" --output "${model}"
@@ -83,7 +112,7 @@ endif()
 
 # --version must print the build identity (git rev + flags) and
 # exit 0, on every tool that serves or generates load too.
-foreach(tool TRAIN PREDICT SERVE LOADGEN)
+foreach(tool TRAIN PREDICT INFO SERVE LOADGEN)
     execute_process(
         COMMAND "${${tool}}" --version
         OUTPUT_VARIABLE version_out RESULT_VARIABLE rc)

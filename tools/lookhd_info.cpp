@@ -3,20 +3,38 @@
  * lookhd_info: inspect a saved LookHD model.
  *
  * Usage:
- *   lookhd_info --model model.bin
+ *   lookhd_info --model model.bin [--help] [--version]
  */
 
 #include <cstdio>
 
 #include "cli.hpp"
 #include "lookhd/serialize.hpp"
+#include "version.hpp"
+
+namespace {
+
+constexpr const char *kUsage =
+    "usage: lookhd_info --model model.bin [--help] [--version]\n"
+    "\n"
+    "Prints the configuration, geometry and deployed size of a saved\n"
+    "LookHD model.\n"
+    "  --version           print build identity and exit\n";
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace lookhd;
     try {
-        const tools::Args args(argc, argv, {});
+        const tools::Args args(argc, argv, {"help", "version"});
+        if (args.has("help")) {
+            std::printf("%s", kUsage);
+            return 0;
+        }
+        if (tools::handleVersionFlag(args, "lookhd_info"))
+            return 0;
         const Classifier clf =
             loadClassifierFile(args.require("model"));
         const ClassifierConfig &cfg = clf.config();

@@ -9,6 +9,7 @@
  *                  [--metrics-out metrics.json]
  *                  [--quality-out quality.json]
  *                  [--trace-out trace.json]
+ *                  [--profile-out profile.txt] [--profile-hz 99]
  *
  * Prints one predicted class index per input row. When the CSV
  * carries labels (it must, structurally), accuracy and macro-F1 are
@@ -28,6 +29,7 @@
 #include "hdc/similarity.hpp"
 #include "lookhd/serialize.hpp"
 #include "obs/obs.hpp"
+#include "profile_cli.hpp"
 #include "version.hpp"
 
 namespace {
@@ -39,6 +41,8 @@ constexpr const char *kUsage =
     "                      [--metrics-out metrics.json]\n"
     "                      [--quality-out quality.json]\n"
     "                      [--trace-out trace.json]\n"
+    "                      [--profile-out profile.txt]\n"
+    "                      [--profile-hz 99]\n"
     "\n"
     "Prints one predicted class index per row; accuracy/macro-F1 go\n"
     "to stderr.\n"
@@ -51,7 +55,11 @@ constexpr const char *kUsage =
     "                      counters + margin histograms) as JSON;\n"
     "                      sections are empty when the build has\n"
     "                      observability compiled out\n"
-    "  --trace-out FILE    record spans, write a Chrome trace\n";
+    "  --trace-out FILE    record spans, write a Chrome trace\n"
+    "  --profile-out FILE  sample the run with the CPU profiler and\n"
+    "                      write speedscope JSON (.json) or\n"
+    "                      collapsed stacks (anything else)\n"
+    "  --profile-hz N      profiler sampling rate (default 99)\n";
 
 } // namespace
 
@@ -73,6 +81,9 @@ main(int argc, char **argv)
         const std::string trace_out = args.get("trace-out", "");
         if (!trace_out.empty())
             obs::setTracing(true);
+        const std::string profile_out = args.get("profile-out", "");
+        tools::startProfile(profile_out,
+                            args.getInt("profile-hz", 0));
 
         const Classifier clf =
             loadClassifierFile(args.require("model"));
@@ -144,6 +155,7 @@ main(int argc, char **argv)
         if (!trace_out.empty() &&
             !obs::writeChromeTraceFile(trace_out))
             throw std::runtime_error("cannot write " + trace_out);
+        tools::writeProfile(profile_out);
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "lookhd_predict: %s\n", e.what());

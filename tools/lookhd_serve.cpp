@@ -46,6 +46,7 @@
 #include "obs/eventlog.hpp"
 #include "obs/obs.hpp"
 #include "obs/quality.hpp"
+#include "profile_cli.hpp"
 #include "serve/jsonin.hpp"
 #include "serve/server.hpp"
 #include "util/timer.hpp"
@@ -70,13 +71,16 @@ constexpr const char *kUsage =
     "                    [--drift-warmup 3] [--drift-ref q.json]\n"
     "                    [--overload-hold-ms 2000]\n"
     "                    [--score-delay-us 0]\n"
+    "                    [--profile-out profile.txt]\n"
+    "                    [--profile-hz 99]\n"
     "                    [--max-seconds N] [--quiet] [--version]\n"
     "\n"
     "Serves newline-delimited JSON inference requests on --port and\n"
     "Prometheus text format v0.0.4 on GET /metrics of\n"
     "--metrics-port (plus /metrics.json, /healthz, /livez,\n"
     "/debug/health, /debug/windows?s=N, /debug/requests,\n"
-    "/debug/inflight and /debug/trace?ms=N). Port 0 picks\n"
+    "/debug/inflight, /debug/trace?ms=N and\n"
+    "/debug/profile?seconds=N&hz=H). Port 0 picks\n"
     "a free port; both are announced on stdout. SIGTERM/SIGINT\n"
     "drains and exits 0.\n"
     "  --threads N         prediction threads per worker batch\n"
@@ -107,6 +111,11 @@ constexpr const char *kUsage =
     "                      an overload rejection\n"
     "  --score-delay-us N  artificial per-batch scoring delay\n"
     "                      (load-testing aid)\n"
+    "  --profile-out FILE  profile the whole serve run and write\n"
+    "                      speedscope JSON (.json) or collapsed\n"
+    "                      stacks on shutdown (while it runs,\n"
+    "                      /debug/profile answers 503)\n"
+    "  --profile-hz N      profiler sampling rate (default 99)\n"
     "  --max-seconds N     self-terminate after N seconds (CI belt)\n"
     "  --version           print build identity and exit\n";
 
@@ -259,6 +268,12 @@ main(int argc, char **argv)
             {{"path", args.require("model")},
              {"bytes", std::to_string(clf.modelSizeBytes())}});
 
+        // Start the continuous session before the server threads so
+        // they arm their timers as they register.
+        const std::string profile_out = args.get("profile-out", "");
+        tools::startProfile(profile_out,
+                            args.getInt("profile-hz", 0));
+
         serve::InferenceServer server(std::move(clf), cfg);
         server.start();
         std::printf("lookhd_serve: listening on 127.0.0.1:%u\n",
@@ -300,9 +315,12 @@ main(int argc, char **argv)
             if (!event_log.empty())
                 obs::EventLog::global().flushToFile(event_log);
             flushSlowLog();
+            if (!profile_out.empty())
+                obs::Profiler::global().drain();
         }
 
         server.stop();
+        tools::writeProfile(profile_out);
         if (!event_log.empty() &&
             !obs::EventLog::global().flushToFile(event_log))
             throw std::runtime_error("cannot write " + event_log);

@@ -12,6 +12,7 @@
  *                [--metrics-out metrics.json]
  *                [--quality-out quality.json]
  *                [--trace-out trace.json]
+ *                [--profile-out profile.txt] [--profile-hz 99]
  *
  * --metrics-out dumps the obs metric registry (counters, gauges,
  * latency histograms) as JSON after training; --quality-out dumps
@@ -34,6 +35,7 @@
 #include "hdc/similarity.hpp"
 #include "lookhd/serialize.hpp"
 #include "obs/obs.hpp"
+#include "profile_cli.hpp"
 #include "version.hpp"
 
 namespace {
@@ -48,6 +50,8 @@ constexpr const char *kUsage =
     "                    [--metrics-out metrics.json]\n"
     "                    [--quality-out quality.json]\n"
     "                    [--trace-out trace.json]\n"
+    "                    [--profile-out profile.txt]\n"
+    "                    [--profile-hz 99]\n"
     "\n"
     "Trains a LookHD classifier on the CSV and writes the model.\n"
     "  --threads N         counter-training threads (1 = serial,\n"
@@ -58,7 +62,11 @@ constexpr const char *kUsage =
     "                      confusion counters + margin histograms)\n"
     "                      as JSON; sections are empty when the\n"
     "                      build has observability compiled out\n"
-    "  --trace-out FILE    record spans, write a Chrome trace\n";
+    "  --trace-out FILE    record spans, write a Chrome trace\n"
+    "  --profile-out FILE  sample the run with the CPU profiler and\n"
+    "                      write speedscope JSON (.json) or\n"
+    "                      collapsed stacks (anything else)\n"
+    "  --profile-hz N      profiler sampling rate (default 99)\n";
 
 } // namespace
 
@@ -81,6 +89,9 @@ main(int argc, char **argv)
         const std::string trace_out = args.get("trace-out", "");
         if (!trace_out.empty())
             obs::setTracing(true);
+        const std::string profile_out = args.get("profile-out", "");
+        tools::startProfile(profile_out,
+                            args.getInt("profile-hz", 0));
 
         data::CsvOptions csv;
         csv.labelColumn = args.has("label-first")
@@ -169,6 +180,7 @@ main(int argc, char **argv)
         if (!trace_out.empty() &&
             !obs::writeChromeTraceFile(trace_out))
             throw std::runtime_error("cannot write " + trace_out);
+        tools::writeProfile(profile_out);
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "lookhd_train: %s\n", e.what());

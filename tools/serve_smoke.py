@@ -27,11 +27,21 @@ Round trip, in one process tree:
      QPS in `metrics`) into --out-dir, validated with
      validate_bench_json.check_file so tools/bench_compare.py can
      diff serve latency across commits once a baseline is pinned,
-  7. SIGTERM the server and assert exit status 0 with the event log
+  7. profile phase: restart loadgen traffic in the background and
+     scrape ``/debug/profile?seconds=2`` while the server is busy;
+     the collapsed stacks must lint clean (validate_profile), fit
+     the seconds x hz x threads CPU-time sampling bound, and show
+     the kernel scoring path (``scoresBatch``/``similarityBatch``)
+     in at least one hot frame; the speedscope flavor must parse
+     and both must carry the right Content-Type (text/plain vs
+     application/json). The collapsed profile lands in --out-dir
+     for CI artifact upload. Skipped with a notice when the build
+     answers 404 (profiler compiled out),
+  8. SIGTERM the server and assert exit status 0 with the event log
      flushed (serve.start and serve.shutdown both present, every
      line valid JSON); with observability on, the slow-request log
      must hold the traced request as a valid JSON line,
-  8. degraded phase: start a second, deliberately under-provisioned
+  9. degraded phase: start a second, deliberately under-provisioned
      server (1 slow worker, queue capacity 4), burst far past queue
      capacity, and assert /healthz flips to 503 with a
      machine-readable reason, /debug/health agrees (both bodies are
@@ -62,6 +72,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 import validate_bench_json  # noqa: E402
+import validate_profile  # noqa: E402
 import validate_prometheus  # noqa: E402
 
 PORT_RE = re.compile(
@@ -76,6 +87,14 @@ FEATURES = 3
 # spot in /debug/requests and the slow-request log.
 TRACE_HEX = "deadbeefdeadbeefdeadbeefdeadbeef"
 TRACE_REQ_ID = 424242
+
+# Profile-phase sampling parameters. The bound check needs a busy-
+# thread ceiling: 2 workers + 2 loadgen connection threads + metrics
+# + sampler + main, rounded up for headroom (CPU-clock timers cannot
+# oversample a thread, so a loose ceiling stays a real check).
+PROFILE_SECONDS = 2
+PROFILE_HZ = 199
+PROFILE_MAX_BUSY_THREADS = 8
 
 EXEMPLAR_BUCKET_RE = re.compile(
     r'_bucket\{[^}]*le="[^"]*"[^}]*\} \S+ '
@@ -160,6 +179,122 @@ def scrape_status(port: int, route: str) -> tuple[int, str]:
             last = exc
             time.sleep(0.1)
     raise SmokeError(f"cannot scrape {url}: {last}")
+
+
+def scrape_typed(port: int, route: str) -> tuple[int, str, str]:
+    """Scrape returning (status, Content-Type, body).
+
+    Non-2xx HTTP statuses are results (the profile phase keys off
+    404 = profiler compiled out); only connection failures retry.
+    """
+    url = f"http://127.0.0.1:{port}{route}"
+    last: Exception | None = None
+    for _ in range(20):
+        try:
+            with urllib.request.urlopen(url, timeout=60) as resp:
+                return (resp.status,
+                        resp.headers.get("Content-Type", ""),
+                        resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return (exc.code, exc.headers.get("Content-Type", ""),
+                    exc.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError) as exc:
+            last = exc
+            time.sleep(0.1)
+    raise SmokeError(f"cannot scrape {url}: {last}")
+
+
+def profile_phase(loadgen_bin: str, port: int, metrics_port: int,
+                  out_dir: Path, work: Path) -> None:
+    """Sample the busy server's CPU through /debug/profile.
+
+    A background loadgen keeps the workers scoring for the whole
+    sampling window; it is torn down once the scrapes are done (the
+    request budget is effectively unbounded).
+    """
+    loadgen = subprocess.Popen(
+        [loadgen_bin, "--port", str(port), "--features",
+         str(FEATURES), "--seed", "7", "--connections", "2",
+         "--burst", "8", "--requests", "100000000", "--quiet"],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        status, ctype, body = scrape_typed(
+            metrics_port,
+            f"/debug/profile?seconds={PROFILE_SECONDS}"
+            f"&hz={PROFILE_HZ}")
+        if status == 404:
+            print("serve_smoke: profiler compiled out, skipping "
+                  "profile phase")
+            return
+        if status != 200:
+            raise SmokeError(f"/debug/profile returned {status}: "
+                             f"{body[:200]}")
+        if not ctype.startswith("text/plain"):
+            raise SmokeError(
+                f"collapsed /debug/profile Content-Type is "
+                f"{ctype!r}, expected text/plain")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        collapsed = out_dir / "serve_profile.collapsed"
+        collapsed.write_text(body, encoding="utf-8")
+        try:
+            stacks, total = validate_profile.parse_collapsed(body)
+            validate_profile.check_bound(
+                total, PROFILE_SECONDS, PROFILE_HZ,
+                PROFILE_MAX_BUSY_THREADS)
+        except validate_profile.ProfileError as exc:
+            raise SmokeError(
+                f"collapsed profile failed lint: {exc}")
+        frames = [f for fs, _ in stacks for f in fs]
+        if not any("scoresBatch" in f or "similarityBatch" in f
+                   for f in frames):
+            raise SmokeError(
+                "no profile frame shows the kernel scoring path "
+                "(scoresBatch/similarityBatch) despite loadgen "
+                f"traffic; {total} samples in {len(stacks)} stacks")
+
+        status, ctype, body = scrape_typed(
+            metrics_port,
+            "/debug/profile?seconds=1&hz=99&format=speedscope")
+        if status != 200:
+            raise SmokeError(
+                f"speedscope /debug/profile returned {status}: "
+                f"{body[:200]}")
+        if not ctype.startswith("application/json"):
+            raise SmokeError(
+                f"speedscope /debug/profile Content-Type is "
+                f"{ctype!r}, expected application/json")
+        try:
+            validate_profile.parse_speedscope(body)
+        except validate_profile.ProfileError as exc:
+            raise SmokeError(
+                f"speedscope profile failed lint: {exc}")
+        (work / "serve_profile.speedscope.json").write_text(
+            body, encoding="utf-8")
+
+        # collect() folded the session's stage tallies into the
+        # registry; the scrape must now carry the profiler families
+        # and still pass the Prometheus format lint.
+        prom = scrape(metrics_port, "/metrics")
+        problems = validate_prometheus.check_text(prom, "/metrics")
+        if problems:
+            raise SmokeError(
+                "/metrics failed format lint after profiling:\n" +
+                "\n".join(problems))
+        for family in ("lookhd_profile_stage_cpu_ns{stage=\"score\"}",
+                       "lookhd_profile_samples",
+                       "lookhd_process_rss_bytes"):
+            if family not in prom:
+                raise SmokeError(f"/metrics lacks {family} after a "
+                                 f"profile session")
+        print(f"serve_smoke: profile phase OK ({total} samples, "
+              f"{len(stacks)} stacks, kernel scoring frame hot, "
+              f"stage gauges scraping clean, wrote {collapsed})")
+    finally:
+        loadgen.terminate()
+        try:
+            loadgen.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            loadgen.kill()
 
 
 def check_prometheus(text: str) -> None:
@@ -572,6 +707,9 @@ def main() -> int:
         bench = emit_bench_json(snapshot, summary, config,
                                 args.out_dir, args.quick)
         print(f"serve_smoke: wrote {bench}")
+
+        profile_phase(args.loadgen, port, metrics_port,
+                      args.out_dir, work)
     except Exception:
         server.send_signal(signal.SIGTERM)
         try:
