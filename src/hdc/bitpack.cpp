@@ -18,6 +18,17 @@ PackedHv::PackedHv(const BipolarHv &hv)
 
 PackedHv::PackedHv(Dim d) : dim_(d), words_((d + 63) / 64, 0) {}
 
+PackedHv::PackedHv(Dim d, std::vector<std::uint64_t> words)
+    : dim_(d), words_(std::move(words))
+{
+    LOOKHD_CHECK(words_.size() == (dim_ + 63) / 64,
+                 "packed word count does not match dimensionality");
+    LOOKHD_CHECK(dim_ % 64 == 0 || words_.empty() ||
+                     (words_.back() &
+                      ~kernels::tailMask64(dim_)) == 0,
+                 "packed tail bits must be zero");
+}
+
 int
 PackedHv::at(std::size_t i) const
 {
@@ -95,14 +106,9 @@ dot(const IntHv &query, const PackedHv &packed)
 {
     LOOKHD_CHECK(query.size() == packed.dim(),
                  "dimensionality mismatch");
-    std::int64_t sum = 0;
-    const auto &words = packed.data();
-    for (std::size_t i = 0; i < query.size(); ++i) {
-        const bool positive =
-            (words[i / 64] >> (i % 64)) & 1;
-        sum += positive ? query[i] : -query[i];
-    }
-    return sum;
+    return kernels::dotIntPackedWords(query.data(),
+                                      packed.data().data(),
+                                      query.size());
 }
 
 } // namespace lookhd::hdc

@@ -33,6 +33,14 @@ class PackedHv
     /** All-zero-bits (all -1) hypervector of dimension d. */
     explicit PackedHv(Dim d);
 
+    /**
+     * Adopt raw words (deserialization). @p words must hold exactly
+     * ceil(d / 64) entries and the unused tail bits of the last word
+     * must be zero (contract violation otherwise - a loader turns
+     * that into its own error domain).
+     */
+    PackedHv(Dim d, std::vector<std::uint64_t> words);
+
     Dim dim() const { return dim_; }
     std::size_t words() const { return words_.size(); }
 

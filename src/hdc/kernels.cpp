@@ -39,6 +39,28 @@ dotIntI8Scalar(const std::int32_t *a, const std::int8_t *signs,
     return sum;
 }
 
+std::int64_t
+dotI8I8Scalar(const std::int8_t *a, const std::int8_t *b,
+              std::size_t n)
+{
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += static_cast<std::int64_t>(a[i]) * b[i];
+    return sum;
+}
+
+std::int64_t
+dotIntPackedWordsScalar(const std::int32_t *q,
+                        const std::uint64_t *words, std::size_t n)
+{
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool positive = (words[i / 64] >> (i % 64)) & 1u;
+        sum += positive ? q[i] : -static_cast<std::int64_t>(q[i]);
+    }
+    return sum;
+}
+
 double
 dotIntRealScalar(const std::int32_t *q, const double *row,
                  std::size_t n)
@@ -130,11 +152,31 @@ similarityBatchScalar(const std::int32_t *const *queries,
                 dotIntRealScalar(queries[q], rows[r], n);
 }
 
+void
+scoresBatchI8Scalar(const std::int8_t *const *queries,
+                    std::size_t numQueries,
+                    const std::int8_t *const *rows,
+                    std::size_t numRows, std::size_t n,
+                    std::int64_t *out)
+{
+    for (std::size_t q = 0; q < numQueries; ++q)
+        for (std::size_t r = 0; r < numRows; ++r)
+            out[q * numRows + r] = dotI8I8Scalar(queries[q], rows[r], n);
+}
+
 constexpr detail::KernelTable kScalarTable = {
-    Impl::kScalar,        dotIntScalar,      dotIntI8Scalar,
-    dotIntRealScalar,     dotRealI8Scalar,   mulIntRealScalar,
-    addSignedI8Scalar,    matchCountWordsScalar,
+    Impl::kScalar,
+    dotIntScalar,
+    dotIntI8Scalar,
+    dotI8I8Scalar,
+    dotIntPackedWordsScalar,
+    dotIntRealScalar,
+    dotRealI8Scalar,
+    mulIntRealScalar,
+    addSignedI8Scalar,
+    matchCountWordsScalar,
     similarityBatchScalar,
+    scoresBatchI8Scalar,
 };
 
 const detail::KernelTable *
@@ -145,6 +187,10 @@ tableFor(Impl impl)
         return &kScalarTable;
     case Impl::kAvx2:
         return detail::avx2Table();
+    case Impl::kAvx512:
+        return detail::avx512Table();
+    case Impl::kNeon:
+        return detail::neonTable();
     }
     return nullptr;
 }
@@ -154,8 +200,12 @@ const detail::KernelTable *
 bestTable()
 {
     static const detail::KernelTable *best = [] {
+        if (const detail::KernelTable *avx512 = detail::avx512Table())
+            return avx512;
         if (const detail::KernelTable *avx2 = detail::avx2Table())
             return avx2;
+        if (const detail::KernelTable *neon = detail::neonTable())
+            return neon;
         return &kScalarTable;
     }();
     return best;
@@ -175,6 +225,16 @@ active()
 
 } // namespace
 
+namespace detail {
+
+const KernelTable *
+scalarTable()
+{
+    return &kScalarTable;
+}
+
+} // namespace detail
+
 const char *
 implName(Impl impl)
 {
@@ -183,6 +243,10 @@ implName(Impl impl)
         return "scalar";
     case Impl::kAvx2:
         return "avx2";
+    case Impl::kAvx512:
+        return "avx512";
+    case Impl::kNeon:
+        return "neon";
     }
     return "unknown";
 }
@@ -229,6 +293,19 @@ dotIntI8(const std::int32_t *a, const std::int8_t *signs,
     return active().dotIntI8(a, signs, n);
 }
 
+std::int64_t
+dotI8I8(const std::int8_t *a, const std::int8_t *b, std::size_t n)
+{
+    return active().dotI8I8(a, b, n);
+}
+
+std::int64_t
+dotIntPackedWords(const std::int32_t *q, const std::uint64_t *words,
+                  std::size_t n)
+{
+    return active().dotIntPackedWords(q, words, n);
+}
+
 double
 dotIntReal(const std::int32_t *q, const double *row, std::size_t n)
 {
@@ -270,6 +347,15 @@ similarityBatch(const std::int32_t *const *queries,
 {
     active().similarityBatch(queries, numQueries, rows, numRows, n,
                              out);
+}
+
+void
+scoresBatchI8(const std::int8_t *const *queries,
+              std::size_t numQueries, const std::int8_t *const *rows,
+              std::size_t numRows, std::size_t n, std::int64_t *out)
+{
+    active().scoresBatchI8(queries, numQueries, rows, numRows, n,
+                           out);
 }
 
 } // namespace lookhd::hdc::kernels

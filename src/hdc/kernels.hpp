@@ -1,6 +1,7 @@
 /**
  * @file
- * Runtime-dispatched similarity/encoding kernels (scalar + AVX2).
+ * Runtime-dispatched similarity/encoding kernels (scalar, AVX2,
+ * AVX-512, NEON).
  *
  * Every hot inner loop of the classifier funnels through this one
  * table of kernels so there is exactly one implementation (per
@@ -8,6 +9,10 @@
  * single-sample paths share bit-identical arithmetic:
  *
  *  - dotInt / dotIntI8: exact int64 dot products over int32 rows;
+ *  - dotI8I8 / scoresBatchI8: exact int32xint8 dot products over
+ *    quantized int8 class rows (the quantized serving path);
+ *  - dotIntPackedWords: exact signed dot of an int32 query against a
+ *    sign-packed bit row (the binary-model cosine numerator);
  *  - dotIntReal / dotRealI8 / similarityBatch: double accumulations
  *    used by class scoring;
  *  - mulIntReal / addSignedI8: the element-wise product and the
@@ -17,9 +22,9 @@
  *    Hamming similarity (deduplicated from bitpack.cpp).
  *
  * Dispatch: the best implementation the CPU supports is chosen once
- * at first use (AVX2 when the binary carries the AVX2 translation
- * unit and the CPU reports avx2+popcnt, scalar otherwise). Tests pin
- * an implementation with forceImpl().
+ * at first use (AVX-512 > AVX2 > NEON > scalar, each gated on the
+ * matching translation unit being compiled in and the CPU reporting
+ * the feature). Tests pin an implementation with forceImpl().
  *
  * Determinism contract: integer kernels are exact, so every
  * implementation returns identical bits trivially. The double
@@ -28,7 +33,10 @@
  * then a sequential tail for n % 4 elements, with no FMA contraction
  * - which is precisely what a 4-wide AVX2 register computes. Scalar
  * and AVX2 therefore agree bit-for-bit, and batch results equal
- * single-query results by construction.
+ * single-query results by construction. (The AVX-512 table reuses
+ * the AVX2 double kernels verbatim; its 512-bit code covers only the
+ * exact integer kernels, so widening dispatch cannot perturb float
+ * scores.)
  */
 
 #ifndef LOOKHD_HDC_KERNELS_HPP
@@ -44,9 +52,11 @@ enum class Impl
 {
     kScalar = 0,
     kAvx2 = 1,
+    kAvx512 = 2,
+    kNeon = 3,
 };
 
-/** Human-readable name ("scalar", "avx2"). */
+/** Human-readable name ("scalar", "avx2", "avx512", "neon"). */
 const char *implName(Impl impl);
 
 /** Whether @p impl is compiled in and runnable on this CPU. */
@@ -81,6 +91,21 @@ std::int64_t dotInt(const std::int32_t *a, const std::int32_t *b,
 /** Exact sum of a[i] * signs[i] (signs are +-1 bipolar bytes). */
 std::int64_t dotIntI8(const std::int32_t *a, const std::int8_t *signs,
                       std::size_t n);
+
+/** Exact sum of a[i] * b[i] over two int8 rows (quantized scoring). */
+std::int64_t dotI8I8(const std::int8_t *a, const std::int8_t *b,
+                     std::size_t n);
+
+/**
+ * Exact signed dot of an int32 query against a sign-packed row:
+ * sum over i < n of (bit i of words set ? +q[i] : -q[i]). Bit i
+ * lives in words[i / 64] >> (i % 64); bits at and above n are
+ * ignored. The integer numerator behind every IntHv-vs-PackedHv
+ * cosine (deduplicated from bitpack.cpp).
+ */
+std::int64_t dotIntPackedWords(const std::int32_t *q,
+                               const std::uint64_t *words,
+                               std::size_t n);
 
 /** Sum of double(q[i]) * row[i], 4-lane accumulation contract. */
 double dotIntReal(const std::int32_t *q, const double *row,
@@ -119,6 +144,17 @@ void similarityBatch(const std::int32_t *const *queries,
                      const double *const *rows, std::size_t numRows,
                      std::size_t n, double *out);
 
+/**
+ * Score numQueries int8 query rows against numRows int8 class rows
+ * in one exact pass: out[q * numRows + r] = dotI8I8(queries[q],
+ * rows[r], n). Bit-identical to the single-query kernel (integer
+ * arithmetic; no rounding anywhere).
+ */
+void scoresBatchI8(const std::int8_t *const *queries,
+                   std::size_t numQueries,
+                   const std::int8_t *const *rows, std::size_t numRows,
+                   std::size_t n, std::int64_t *out);
+
 namespace detail {
 
 /** One implementation's function table (internal; see kernels.cpp). */
@@ -129,6 +165,11 @@ struct KernelTable
                            std::size_t);
     std::int64_t (*dotIntI8)(const std::int32_t *,
                              const std::int8_t *, std::size_t);
+    std::int64_t (*dotI8I8)(const std::int8_t *, const std::int8_t *,
+                            std::size_t);
+    std::int64_t (*dotIntPackedWords)(const std::int32_t *,
+                                      const std::uint64_t *,
+                                      std::size_t);
     double (*dotIntReal)(const std::int32_t *, const double *,
                          std::size_t);
     double (*dotRealI8)(const double *, const std::int8_t *,
@@ -143,10 +184,29 @@ struct KernelTable
     void (*similarityBatch)(const std::int32_t *const *, std::size_t,
                             const double *const *, std::size_t,
                             std::size_t, double *);
+    void (*scoresBatchI8)(const std::int8_t *const *, std::size_t,
+                          const std::int8_t *const *, std::size_t,
+                          std::size_t, std::int64_t *);
 };
+
+/** The always-available scalar reference table. */
+const KernelTable *scalarTable();
 
 /** AVX2 table, or nullptr when not compiled in / not supported. */
 const KernelTable *avx2Table();
+
+/**
+ * AVX-512 table, or nullptr when not compiled in / not supported.
+ * Gated on avx512{f,bw,dq,vl}; within the table, matchCountWords
+ * additionally upgrades itself to the VPOPCNTDQ variant when the CPU
+ * has it (both variants are integer-exact, so the choice is
+ * invisible to results). Double kernels are shared with the AVX2
+ * table to keep one float accumulation order per ISA family.
+ */
+const KernelTable *avx512Table();
+
+/** NEON table, or nullptr when not compiled in (non-aarch64). */
+const KernelTable *neonTable();
 
 } // namespace detail
 

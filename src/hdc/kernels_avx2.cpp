@@ -100,6 +100,78 @@ dotIntI8Avx2(const std::int32_t *a, const std::int8_t *signs,
     return sum;
 }
 
+std::int64_t
+dotI8I8Avx2(const std::int8_t *a, const std::int8_t *b,
+            std::size_t n)
+{
+    // 16 int8 per step: sign-extend both sides to int16 and let
+    // vpmaddwd produce eight int32 pair-sums (each at most
+    // 2 * 127 * 127 = 32258). The epi32 accumulator is widened into
+    // the int64 total every kBlock steps, long before a lane can
+    // reach INT32_MAX (32258 * 66570 overflows; kBlock << that).
+    constexpr std::size_t kBlock = 8192;
+    std::int64_t sum = 0;
+    std::size_t i = 0;
+    const std::size_t n16 = n & ~std::size_t{15};
+    while (i < n16) {
+        const std::size_t stop =
+            std::min(n16, i + kBlock * std::size_t{16});
+        __m256i acc = _mm256_setzero_si256();
+        for (; i < stop; i += 16) {
+            const __m256i a16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(a + i)));
+            const __m256i b16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(b + i)));
+            acc = _mm256_add_epi32(acc,
+                                   _mm256_madd_epi16(a16, b16));
+        }
+        alignas(32) std::int32_t lanes[8];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+        for (const std::int32_t lane : lanes)
+            sum += lane;
+    }
+    for (; i < n; ++i)
+        sum += static_cast<std::int64_t>(a[i]) * b[i];
+    return sum;
+}
+
+std::int64_t
+dotIntPackedWordsAvx2(const std::int32_t *q,
+                      const std::uint64_t *words, std::size_t n)
+{
+    // Four elements per step: the nibble of packed sign bits selects
+    // a +-1 int32 quadruple from the LUT; the multiply-accumulate
+    // then mirrors dotIntI8Avx2 (widen to int64 lanes, vpmuldq), so
+    // negation happens in 64-bit exactly like the scalar reference.
+    alignas(16) static constexpr std::int32_t kSignLut[16][4] = {
+        {-1, -1, -1, -1}, {+1, -1, -1, -1}, {-1, +1, -1, -1},
+        {+1, +1, -1, -1}, {-1, -1, +1, -1}, {+1, -1, +1, -1},
+        {-1, +1, +1, -1}, {+1, +1, +1, -1}, {-1, -1, -1, +1},
+        {+1, -1, -1, +1}, {-1, +1, -1, +1}, {+1, +1, -1, +1},
+        {-1, -1, +1, +1}, {+1, -1, +1, +1}, {-1, +1, +1, +1},
+        {+1, +1, +1, +1}};
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (; i < n4; i += 4) {
+        const unsigned nibble =
+            static_cast<unsigned>(words[i / 64] >> (i % 64)) & 0xfu;
+        const __m256i s64 = _mm256_cvtepi32_epi64(_mm_load_si128(
+            reinterpret_cast<const __m128i *>(kSignLut[nibble])));
+        const __m256i q64 = _mm256_cvtepi32_epi64(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(q + i)));
+        acc = _mm256_add_epi64(acc, _mm256_mul_epi32(q64, s64));
+    }
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::int64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i) {
+        const bool positive = (words[i / 64] >> (i % 64)) & 1u;
+        sum += positive ? q[i] : -static_cast<std::int64_t>(q[i]);
+    }
+    return sum;
+}
+
 double
 dotIntRealAvx2(const std::int32_t *q, const double *row,
                std::size_t n)
@@ -230,11 +302,34 @@ similarityBatchAvx2(const std::int32_t *const *queries,
     }
 }
 
+void
+scoresBatchI8Avx2(const std::int8_t *const *queries,
+                  std::size_t numQueries,
+                  const std::int8_t *const *rows, std::size_t numRows,
+                  std::size_t n, std::int64_t *out)
+{
+    // Integer arithmetic is exact, so per-pair delegation to the
+    // single-query kernel is bit-identical by construction; the int8
+    // rows are 8x denser than the double path, so memory re-streaming
+    // per query is cheap.
+    for (std::size_t q = 0; q < numQueries; ++q)
+        for (std::size_t r = 0; r < numRows; ++r)
+            out[q * numRows + r] = dotI8I8Avx2(queries[q], rows[r], n);
+}
+
 constexpr detail::KernelTable kAvx2Table = {
-    Impl::kAvx2,        dotIntAvx2,      dotIntI8Avx2,
-    dotIntRealAvx2,     dotRealI8Avx2,   mulIntRealAvx2,
-    addSignedI8Avx2,    matchCountWordsAvx2,
+    Impl::kAvx2,
+    dotIntAvx2,
+    dotIntI8Avx2,
+    dotI8I8Avx2,
+    dotIntPackedWordsAvx2,
+    dotIntRealAvx2,
+    dotRealI8Avx2,
+    mulIntRealAvx2,
+    addSignedI8Avx2,
+    matchCountWordsAvx2,
     similarityBatchAvx2,
+    scoresBatchI8Avx2,
 };
 
 bool

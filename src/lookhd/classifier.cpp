@@ -177,10 +177,25 @@ Classifier::scores(std::span<const double> features) const
     LOOKHD_SPAN("classifier.predict", "search");
     LOOKHD_COUNT_ADD("classifier.predict.calls", 1);
     const hdc::IntHv query = encoder_->encode(features);
-    std::vector<double> out = compressed_ ? compressed_->scores(query)
-                                          : model_->scores(query);
+    std::vector<double> out =
+        precision_ != Precision::kFloat64
+            ? quantizedScores(query)
+            : (compressed_ ? compressed_->scores(query)
+                           : model_->scores(query));
     LOOKHD_QUALITY_MARGIN("classifier.predict", out);
     return out;
+}
+
+std::vector<double>
+Classifier::quantizedScores(const hdc::IntHv &query) const
+{
+    LOOKHD_CHECK(quantized_, "no quantized serving forms attached");
+    const hdc::IntHv *q = &query;
+    // A batch of one: the quantized batch kernels score each query
+    // independently, so this is bit-identical to the batched path.
+    return precision_ == Precision::kInt8
+               ? quantized_->scoresBatchI8(&q, 1)
+               : quantized_->scoresBatchBinary(&q, 1);
 }
 
 std::vector<std::vector<double>>
@@ -207,7 +222,13 @@ Classifier::scoresBatch(std::span<const std::span<const double>> rows,
             queries[i - lo] = &encoded[i];
         }
         const std::vector<double> flat =
-            compressed_
+            precision_ == Precision::kInt8
+                ? quantized_->scoresBatchI8(queries.data(),
+                                            queries.size())
+            : precision_ == Precision::kBinary
+                ? quantized_->scoresBatchBinary(queries.data(),
+                                                queries.size())
+            : compressed_
                 ? compressed_->scoresBatch(queries.data(),
                                            queries.size())
                 : model_->scoresBatch(queries.data(), queries.size());
@@ -273,6 +294,57 @@ Classifier::modelSizeBytes() const
     if (compressed_)
         return compressed_->sizeBytes();
     return model_->sizeBytes();
+}
+
+void
+Classifier::quantize()
+{
+    LOOKHD_CHECK(fitted(), "classifier not fitted");
+    // Quantize the uncompressed normalized prototypes whenever they
+    // exist: sign-binarizing a key-bound compressed-group product
+    // throws away the magnitude structure that cancels the other
+    // grouped classes' interference, costing tens of accuracy
+    // points, while the per-class prototypes quantize within the
+    // 1% budget (gated by bench_quantized_predict). The compressed
+    // fallback only serves models restored without prototypes.
+    if (model_) {
+        model_->normalize();
+        quantized_ = std::make_shared<const QuantizedServingModel>(
+            QuantizedServingModel::fromClassModel(*model_));
+        return;
+    }
+    quantized_ = std::make_shared<const QuantizedServingModel>(
+        QuantizedServingModel::fromCompressedModel(*compressed_));
+}
+
+const QuantizedServingModel &
+Classifier::quantizedModel() const
+{
+    LOOKHD_CHECK(quantized_, "no quantized serving forms attached");
+    return *quantized_;
+}
+
+void
+Classifier::attachQuantized(std::shared_ptr<const QuantizedServingModel> q)
+{
+    LOOKHD_CHECK(fitted(), "classifier not fitted");
+    LOOKHD_CHECK(q != nullptr, "cannot attach a null quantized model");
+    LOOKHD_CHECK(q->dim() == config_.dim,
+                 "quantized model dimensionality mismatch");
+    const std::size_t k = compressed_ ? compressed_->numClasses()
+                                      : model_->numClasses();
+    LOOKHD_CHECK(q->numClasses() == k,
+                 "quantized model class count mismatch");
+    quantized_ = std::move(q);
+}
+
+void
+Classifier::setServingPrecision(Precision p)
+{
+    LOOKHD_CHECK(fitted(), "classifier not fitted");
+    if (p != Precision::kFloat64 && !quantized_)
+        quantize();
+    precision_ = p;
 }
 
 const LookupEncoder &

@@ -28,6 +28,7 @@
 #include "hdc/trainer.hpp"
 #include "lookhd/compressed_model.hpp"
 #include "lookhd/counter_trainer.hpp"
+#include "lookhd/quantized_inference.hpp"
 #include "lookhd/retrainer.hpp"
 
 namespace lookhd {
@@ -172,6 +173,37 @@ class Classifier
     /** Deployed model size in bytes. @pre fitted(). */
     std::size_t modelSizeBytes() const;
 
+    // --- Quantized serving ---
+
+    /**
+     * Build (or rebuild) the int8 + binary serving forms from the
+     * trained model (the compressed model when present, else the
+     * normalized uncompressed one). @pre fitted().
+     */
+    void quantize();
+
+    /** Whether quantized serving forms are attached. */
+    bool hasQuantized() const { return quantized_ != nullptr; }
+
+    /** The attached serving forms. @pre hasQuantized(). */
+    const QuantizedServingModel &quantizedModel() const;
+
+    /**
+     * Attach restored serving forms (deserialization). Shapes must
+     * match the classifier's dimensionality and class count.
+     */
+    void attachQuantized(std::shared_ptr<const QuantizedServingModel> q);
+
+    /**
+     * Select the arithmetic scores()/scoresBatch() serve with.
+     * kInt8/kBinary build the quantized forms on demand when none
+     * are attached yet. @pre fitted().
+     */
+    void setServingPrecision(Precision p);
+
+    /** Currently selected serving arithmetic. */
+    Precision servingPrecision() const { return precision_; }
+
     // --- Access to the trained pieces (experiments, tests) ---
 
     const LookupEncoder &encoder() const;
@@ -185,6 +217,10 @@ class Classifier
     const quant::QuantizerBank &quantizerBank() const;
 
   private:
+    /** Quantized-path scores of one encoded query (batch of one). */
+    std::vector<double>
+    quantizedScores(const hdc::IntHv &query) const;
+
     ClassifierConfig config_;
     std::shared_ptr<const hdc::LevelMemory> levels_;
     std::shared_ptr<const quant::Quantizer> quantizer_;
@@ -192,6 +228,8 @@ class Classifier
     std::unique_ptr<LookupEncoder> encoder_;
     std::optional<hdc::ClassModel> model_;
     std::optional<CompressedModel> compressed_;
+    std::shared_ptr<const QuantizedServingModel> quantized_;
+    Precision precision_ = Precision::kFloat64;
     std::vector<double> retrainHistory_;
 };
 

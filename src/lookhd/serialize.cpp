@@ -13,7 +13,19 @@ namespace lookhd {
 namespace {
 
 constexpr char kMagic[4] = {'L', 'K', 'H', 'D'};
-constexpr std::uint8_t kVersion = 1;
+// v1: everything through the retrain history. v2 appends the
+// quantized serving forms (int8 + binary class rows) behind a
+// presence byte, a section magic, and an FNV-1a checksum; v1 files
+// still load (they simply carry no quantized forms).
+constexpr std::uint8_t kVersion = 2;
+constexpr std::uint8_t kMinVersion = 1;
+
+// The quantized section's own magic and format bitmask (bit 0: int8
+// rows, bit 1: packed binary rows). Both forms are always written
+// together today; the mask exists so future formats can be added
+// without another version bump.
+constexpr char kQuantMagic[4] = {'Q', 'N', 'T', 'Z'};
+constexpr std::uint8_t kQuantFormats = 3;
 
 // Sanity caps applied to header fields before any allocation, so an
 // absurd or hostile header cannot trigger a multi-gigabyte reserve or
@@ -160,6 +172,172 @@ readIntHv(std::istream &in)
     return hv;
 }
 
+// --- Quantized section checksum (FNV-1a 64) ---
+//
+// The quantized rows are the only payload whose corruption would NOT
+// be caught by cross-field consistency checks (any byte pattern is a
+// plausible int8 row), so the section carries its own checksum,
+// computed streaming on both sides.
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t hash, const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+/** writeBytes that folds everything written into a running hash. */
+struct ChecksumWriter
+{
+    std::ostream &out;
+    std::uint64_t hash = kFnvOffset;
+
+    void
+    bytes(const void *data, std::size_t size)
+    {
+        writeBytes(out, data, size);
+        hash = fnv1a(hash, data, size);
+    }
+    void
+    u8(std::uint8_t v)
+    {
+        bytes(&v, 1);
+    }
+    void
+    u64(std::uint64_t v)
+    {
+        std::uint8_t b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        bytes(b, 8);
+    }
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        u64(bits);
+    }
+};
+
+/** readBytes that folds everything read into a running hash. */
+struct ChecksumReader
+{
+    std::istream &in;
+    std::uint64_t hash = kFnvOffset;
+
+    void
+    bytes(void *data, std::size_t size)
+    {
+        readBytes(in, data, size);
+        hash = fnv1a(hash, data, size);
+    }
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v;
+        bytes(&v, 1);
+        return v;
+    }
+    std::uint64_t
+    u64()
+    {
+        std::uint8_t b[8];
+        bytes(b, 8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return v;
+    }
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+};
+
+void
+writeQuantizedSection(std::ostream &out, const QuantizedServingModel &qm)
+{
+    writeU8(out, 1);
+    ChecksumWriter cw{out};
+    cw.bytes(kQuantMagic, 4);
+    cw.u8(kQuantFormats);
+    cw.u64(qm.numClasses());
+    cw.u64(qm.dim());
+    cw.bytes(qm.int8Rows().data(), qm.int8Rows().size());
+    for (const double s : qm.scales())
+        cw.f64(s);
+    for (const hdc::PackedHv &row : qm.binaryRows())
+        for (const std::uint64_t w : row.data())
+            cw.u64(w);
+    writeU64(out, cw.hash);
+}
+
+std::shared_ptr<const QuantizedServingModel>
+readQuantizedSection(std::istream &in, std::uint64_t dim,
+                     std::uint64_t classes)
+{
+    const std::uint8_t present = readU8(in);
+    if (present > 1)
+        throw SerializeError("invalid quantized-presence flag");
+    if (present == 0)
+        return nullptr;
+
+    ChecksumReader cr{in};
+    char magic[4];
+    cr.bytes(magic, 4);
+    if (std::memcmp(magic, kQuantMagic, 4) != 0)
+        throw SerializeError("quantized section magic mismatch");
+    const std::uint8_t formats = cr.u8();
+    if (formats != kQuantFormats)
+        throw SerializeError("unsupported quantized precision tag");
+    const std::uint64_t k = cr.u64();
+    if (k != classes)
+        throw SerializeError("quantized class count mismatch");
+    const std::uint64_t qdim = cr.u64();
+    if (qdim != dim)
+        throw SerializeError(
+            "quantized dimensionality does not match header");
+
+    // Shapes are pinned to the already-validated model's, so these
+    // allocations are bounded by what the models already hold.
+    std::vector<std::int8_t> rows(k * dim);
+    cr.bytes(rows.data(), rows.size());
+    std::vector<double> scales(k);
+    for (auto &s : scales)
+        s = cr.f64();
+    const std::size_t words = (dim + 63) / 64;
+    std::vector<hdc::PackedHv> binary;
+    binary.reserve(k);
+    for (std::uint64_t c = 0; c < k; ++c) {
+        std::vector<std::uint64_t> w(words);
+        for (auto &word : w)
+            word = cr.u64();
+        // PackedHv's adoption ctor rejects nonzero tail bits; the
+        // surrounding loadClassifier() maps the contract violation
+        // into SerializeError.
+        binary.emplace_back(dim, std::move(w));
+    }
+
+    const std::uint64_t expected = cr.hash;
+    if (readU64(in) != expected)
+        throw SerializeError("quantized section checksum mismatch");
+
+    return std::make_shared<const QuantizedServingModel>(
+        dim, std::move(rows), std::move(scales), std::move(binary));
+}
+
 } // namespace
 
 void
@@ -237,6 +415,22 @@ saveClassifier(const Classifier &clf, std::ostream &out)
     }
 
     writeDoubles(out, clf.retrainHistory());
+
+    // v2: quantized serving forms, derived from the trained model at
+    // save time (reusing already-attached forms when present, so a
+    // load-save round trip is byte-stable).
+    if (clf.hasQuantized()) {
+        writeQuantizedSection(out, clf.quantizedModel());
+    } else {
+        // Same source Classifier::quantize() prefers: the
+        // uncompressed normalized prototypes (always serialized
+        // above, so always present here). Deriving from the
+        // compressed group hypervectors instead would wreck the
+        // binary form's accuracy - see quantize().
+        writeQuantizedSection(
+            out, QuantizedServingModel::fromClassModel(
+                     clf.uncompressedModel()));
+    }
 }
 
 namespace {
@@ -248,7 +442,8 @@ loadClassifierImpl(std::istream &in)
     readBytes(in, magic, 4);
     if (std::memcmp(magic, kMagic, 4) != 0)
         throw SerializeError("not a LookHD model file");
-    if (readU8(in) != kVersion)
+    const std::uint8_t version = readU8(in);
+    if (version < kMinVersion || version > kVersion)
         throw SerializeError("unsupported model version");
 
     ClassifierConfig cfg;
@@ -388,11 +583,21 @@ loadClassifierImpl(std::istream &in)
 
     auto history = readDoubles(in, kMaxHistory);
 
-    return Classifier::restore(std::move(cfg), std::move(levels),
-                               std::move(quantizer), std::move(bank),
-                               std::move(encoder), std::move(model),
-                               std::move(compressed),
-                               std::move(history));
+    std::shared_ptr<const QuantizedServingModel> quantized;
+    if (version >= 2) {
+        const std::uint64_t classes = compressed
+                                          ? compressed->numClasses()
+                                          : model->numClasses();
+        quantized = readQuantizedSection(in, cfg.dim, classes);
+    }
+
+    Classifier clf = Classifier::restore(
+        std::move(cfg), std::move(levels), std::move(quantizer),
+        std::move(bank), std::move(encoder), std::move(model),
+        std::move(compressed), std::move(history));
+    if (quantized)
+        clf.attachQuantized(std::move(quantized));
+    return clf;
 }
 
 } // namespace

@@ -226,6 +226,8 @@ InferenceServer::InferenceServer(Classifier classifier,
           "serve.batches.multi")),
       batchedRequests_(obs::MetricRegistry::global().counter(
           "serve.requests.batched")),
+      quantizedRequests_(obs::MetricRegistry::global().counter(
+          "serve.requests.quantized")),
       connectionsTotal_(obs::MetricRegistry::global().counter(
           "serve.connections")),
       watchdogTrips_(obs::MetricRegistry::global().counter(
@@ -249,6 +251,10 @@ InferenceServer::InferenceServer(Classifier classifier,
     if (!classifier_.fitted())
         throw std::invalid_argument(
             "InferenceServer needs a fitted classifier");
+    if (config_.precision != "auto" &&
+        !precisionFromName(config_.precision).has_value())
+        throw std::invalid_argument(
+            "unknown serving precision: " + config_.precision);
     expectedFeatures_ =
         classifier_.encoder().chunks().numFeatures();
     if constexpr (obs::kReqTraceCompiled) {
@@ -271,6 +277,21 @@ InferenceServer::start()
 {
     if (started_.exchange(true))
         throw std::logic_error("InferenceServer started twice");
+
+    // Resolve the serving precision before any worker can score:
+    // "auto" takes the int8 path whenever the model ships quantized
+    // forms, and falls back to the exact float path otherwise.
+    // Explicit "int8"/"binary" on a model without attached forms
+    // quantizes on the spot (setServingPrecision builds them).
+    Precision precision = Precision::kFloat64;
+    if (config_.precision == "auto") {
+        precision = classifier_.hasQuantized() ? Precision::kInt8
+                                               : Precision::kFloat64;
+    } else {
+        precision = *precisionFromName(config_.precision);
+    }
+    classifier_.setServingPrecision(precision);
+
     requestListener_ = TcpListener::bind(config_.port);
     metricsListener_ = TcpListener::bind(config_.metricsPort);
     running_.store(true, std::memory_order_release);
@@ -305,6 +326,9 @@ InferenceServer::start()
     obs::MetricRegistry::global().setLabel(
         "kernel",
         hdc::kernels::implName(hdc::kernels::activeImpl()));
+    obs::MetricRegistry::global().setLabel(
+        "precision",
+        precisionName(classifier_.servingPrecision()));
     obs::MetricRegistry::global()
         .gauge("serve.predict.threads")
         .set(static_cast<double>(predictThreads));
@@ -638,6 +662,9 @@ InferenceServer::processBatch(std::vector<Request> &batch,
         batchedRequests_.add(
             static_cast<std::uint64_t>(batch.size()));
     }
+    if (classifier_.servingPrecision() != Precision::kFloat64)
+        quantizedRequests_.add(
+            static_cast<std::uint64_t>(batch.size()));
 
     // One batched kernel pass over the whole batch; bit-identical to
     // per-request classifier_.scores() (see Classifier::scoresBatch).

@@ -127,6 +127,16 @@ struct ServeConfig
     /** Max wait to fill a batch beyond its first request. */
     std::uint64_t batchMaxDelayUs = 200;
 
+    /**
+     * Serving arithmetic: "auto" (int8 when the loaded model carries
+     * quantized forms, float64 otherwise), or an explicit "float64",
+     * "int8", "binary". Explicit quantized choices build the forms
+     * on demand when the model lacks them. The resolved choice is
+     * exported as the "precision" label on /metrics and decides
+     * which kernel path Classifier::scoresBatch takes per batch.
+     */
+    std::string precision = "auto";
+
     /** Bounded request queue; beyond this, reject as overloaded. */
     std::size_t queueCapacity = 1024;
 
@@ -341,6 +351,7 @@ class InferenceServer
     obs::Counter &batches_;
     obs::Counter &multiBatches_;
     obs::Counter &batchedRequests_;
+    obs::Counter &quantizedRequests_;
     obs::Counter &connectionsTotal_;
     obs::Counter &watchdogTrips_;
     obs::Counter &slowCaptured_;

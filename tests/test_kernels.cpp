@@ -44,7 +44,8 @@ availableImpls()
 {
     std::vector<kernels::Impl> impls;
     for (kernels::Impl impl :
-         {kernels::Impl::kScalar, kernels::Impl::kAvx2})
+         {kernels::Impl::kScalar, kernels::Impl::kAvx2,
+          kernels::Impl::kAvx512, kernels::Impl::kNeon})
         if (kernels::implAvailable(impl))
             impls.push_back(impl);
     return impls;

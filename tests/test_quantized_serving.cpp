@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Classifier-level tests for quantized serving: precision routing
+ * through scores()/scoresBatch(), batch-vs-single bit identity,
+ * cross-impl bit identity of the quantized paths, agreement of the
+ * quantized predictions with the float path, and the attach /
+ * on-demand-build lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "hdc/kernels.hpp"
+#include "lookhd/classifier.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace lookhd;
+namespace kernels = lookhd::hdc::kernels;
+
+data::TrainTest
+problem(std::uint64_t seed = 7)
+{
+    data::SyntheticSpec spec;
+    spec.numFeatures = 23;
+    spec.numClasses = 5;
+    spec.classSeparation = 1.2;
+    spec.informativeFraction = 0.7;
+    spec.seed = seed;
+    return data::makeTrainTest(spec, 300, 120);
+}
+
+ClassifierConfig
+config(bool compress = true)
+{
+    ClassifierConfig cfg;
+    cfg.dim = 1000;
+    cfg.quantLevels = 4;
+    cfg.chunkSize = 5;
+    cfg.retrainEpochs = 3;
+    cfg.compressModel = compress;
+    return cfg;
+}
+
+std::vector<std::span<const double>>
+rowsOf(const data::Dataset &ds, std::size_t count)
+{
+    std::vector<std::span<const double>> rows;
+    for (std::size_t i = 0; i < count && i < ds.size(); ++i)
+        rows.push_back(ds.row(i));
+    return rows;
+}
+
+TEST(QuantizedServing, PrecisionRoutingAndLifecycle)
+{
+    const auto tt = problem();
+    Classifier clf(config());
+    EXPECT_THROW(clf.setServingPrecision(Precision::kInt8),
+                 util::ContractViolation); // unfitted
+    clf.fit(tt.train);
+
+    EXPECT_EQ(clf.servingPrecision(), Precision::kFloat64);
+    EXPECT_FALSE(clf.hasQuantized());
+
+    // Selecting a quantized precision builds the forms on demand.
+    clf.setServingPrecision(Precision::kInt8);
+    EXPECT_TRUE(clf.hasQuantized());
+    EXPECT_EQ(clf.servingPrecision(), Precision::kInt8);
+
+    clf.setServingPrecision(Precision::kBinary);
+    EXPECT_EQ(clf.servingPrecision(), Precision::kBinary);
+
+    // Back to float: quantized forms stay attached but unused.
+    clf.setServingPrecision(Precision::kFloat64);
+    EXPECT_TRUE(clf.hasQuantized());
+    EXPECT_EQ(clf.servingPrecision(), Precision::kFloat64);
+}
+
+TEST(QuantizedServing, QuantizedScoresDifferFromFloatButAgree)
+{
+    const auto tt = problem(11);
+    Classifier clf(config());
+    clf.fit(tt.train);
+
+    const auto floatScores = clf.scores(tt.test.row(0));
+    std::vector<std::size_t> floatPred;
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        floatPred.push_back(clf.predict(tt.test.row(i)));
+
+    // int8: small quantization error, predictions should almost
+    // always agree with the float path on a separable problem.
+    clf.setServingPrecision(Precision::kInt8);
+    const auto i8Scores = clf.scores(tt.test.row(0));
+    ASSERT_EQ(i8Scores.size(), floatScores.size());
+    std::size_t i8Agree = 0;
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        i8Agree += clf.predict(tt.test.row(i)) == floatPred[i];
+    EXPECT_GE(static_cast<double>(i8Agree) /
+                  static_cast<double>(tt.test.size()),
+              0.95)
+        << i8Agree << "/" << tt.test.size();
+
+    // binary drops magnitude information; still close on this
+    // problem but allowed a wider band.
+    clf.setServingPrecision(Precision::kBinary);
+    std::size_t binAgree = 0;
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        binAgree += clf.predict(tt.test.row(i)) == floatPred[i];
+    EXPECT_GE(static_cast<double>(binAgree) /
+                  static_cast<double>(tt.test.size()),
+              0.80)
+        << binAgree << "/" << tt.test.size();
+}
+
+TEST(QuantizedServing, BatchMatchesSingleBitwise)
+{
+    for (const bool compress : {true, false}) {
+        const auto tt = problem(13);
+        Classifier clf(config(compress));
+        clf.fit(tt.train);
+        const auto rows = rowsOf(tt.test, 32);
+
+        for (const Precision p :
+             {Precision::kInt8, Precision::kBinary}) {
+            clf.setServingPrecision(p);
+            for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+                const auto batch = clf.scoresBatch(rows, threads);
+                ASSERT_EQ(batch.size(), rows.size());
+                for (std::size_t i = 0; i < rows.size(); ++i)
+                    EXPECT_EQ(batch[i], clf.scores(rows[i]))
+                        << "compress=" << compress
+                        << " precision=" << precisionName(p)
+                        << " threads=" << threads << " row " << i;
+            }
+        }
+    }
+}
+
+TEST(QuantizedServing, QuantizedScoresBitIdenticalAcrossImpls)
+{
+    const auto tt = problem(17);
+    Classifier clf(config());
+    clf.fit(tt.train);
+    const auto rows = rowsOf(tt.test, 8);
+
+    for (const Precision p :
+         {Precision::kInt8, Precision::kBinary}) {
+        clf.setServingPrecision(p);
+        kernels::forceImpl(kernels::Impl::kScalar);
+        const auto reference = clf.scoresBatch(rows);
+        kernels::clearForcedImpl();
+        for (const kernels::Impl impl :
+             {kernels::Impl::kScalar, kernels::Impl::kAvx2,
+              kernels::Impl::kAvx512, kernels::Impl::kNeon}) {
+            if (!kernels::implAvailable(impl))
+                continue;
+            kernels::forceImpl(impl);
+            const auto got = clf.scoresBatch(rows);
+            kernels::clearForcedImpl();
+            EXPECT_EQ(got, reference)
+                << "precision=" << precisionName(p)
+                << " impl=" << kernels::implName(impl);
+        }
+    }
+}
+
+TEST(QuantizedServing, PredictBatchConsistentWithScores)
+{
+    const auto tt = problem(19);
+    Classifier clf(config());
+    clf.fit(tt.train);
+    clf.setServingPrecision(Precision::kInt8);
+    const auto rows = rowsOf(tt.test, 16);
+    const auto preds = clf.predictBatch(rows);
+    ASSERT_EQ(preds.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(preds[i], clf.predict(rows[i])) << "row " << i;
+}
+
+TEST(QuantizedServing, AttachValidatesShapes)
+{
+    const auto tt = problem(23);
+    Classifier clf(config());
+    clf.fit(tt.train);
+    clf.quantize();
+    const QuantizedServingModel &good = clf.quantizedModel();
+
+    // Wrong dimensionality.
+    {
+        const hdc::Dim wrongDim = good.dim() + 64;
+        std::vector<std::int8_t> rows(
+            good.numClasses() * wrongDim, 1);
+        std::vector<hdc::PackedHv> binary(good.numClasses(),
+                                          hdc::PackedHv(wrongDim));
+        auto bad = std::make_shared<const QuantizedServingModel>(
+            wrongDim, std::move(rows),
+            std::vector<double>(good.numClasses(), 1.0),
+            std::move(binary));
+        EXPECT_THROW(clf.attachQuantized(bad),
+                     util::ContractViolation);
+    }
+    // Wrong class count.
+    {
+        const std::size_t wrongK = good.numClasses() + 1;
+        std::vector<std::int8_t> rows(wrongK * good.dim(), 1);
+        std::vector<hdc::PackedHv> binary(wrongK,
+                                          hdc::PackedHv(good.dim()));
+        auto bad = std::make_shared<const QuantizedServingModel>(
+            good.dim(), std::move(rows),
+            std::vector<double>(wrongK, 1.0), std::move(binary));
+        EXPECT_THROW(clf.attachQuantized(bad),
+                     util::ContractViolation);
+    }
+    // Null.
+    EXPECT_THROW(clf.attachQuantized(nullptr),
+                 util::ContractViolation);
+}
+
+TEST(QuantizedServing, UncompressedModelQuantizes)
+{
+    const auto tt = problem(29);
+    Classifier clf(config(/*compress=*/false));
+    clf.fit(tt.train);
+    clf.setServingPrecision(Precision::kInt8);
+    ASSERT_TRUE(clf.hasQuantized());
+    EXPECT_EQ(clf.quantizedModel().dim(), clf.config().dim);
+
+    // Predictions still mostly agree with the float path.
+    clf.setServingPrecision(Precision::kFloat64);
+    std::vector<std::size_t> floatPred;
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        floatPred.push_back(clf.predict(tt.test.row(i)));
+    clf.setServingPrecision(Precision::kInt8);
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < tt.test.size(); ++i)
+        agree += clf.predict(tt.test.row(i)) == floatPred[i];
+    EXPECT_GE(static_cast<double>(agree) /
+                  static_cast<double>(tt.test.size()),
+              0.95)
+        << agree << "/" << tt.test.size();
+}
+
+TEST(QuantizedServing, PrecisionNamesRoundTrip)
+{
+    for (const Precision p : {Precision::kFloat64, Precision::kInt8,
+                              Precision::kBinary}) {
+        const auto back = precisionFromName(precisionName(p));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, p);
+    }
+    EXPECT_FALSE(precisionFromName("float32").has_value());
+    EXPECT_FALSE(precisionFromName("").has_value());
+    EXPECT_FALSE(precisionFromName("INT8").has_value());
+}
+
+} // namespace

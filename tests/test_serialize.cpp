@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -336,6 +337,245 @@ TEST(SerializeHardening, InvalidModelFlagsRejected)
     // stream: valid header, then EOF, still must throw (not crash).
     std::stringstream in(full.substr(0, 67));
     EXPECT_THROW(loadClassifier(in), SerializeError);
+}
+
+// --- v2 quantized section ---
+//
+// Trailing byte layout appended by saveClassifier (v2), for the
+// smallConfig() model (k = 4 classes, dim = 500, 8 packed words):
+//   [presence u8][magic "QNTZ"][formats u8][k u64][dim u64]
+//   [int8 rows k*dim][scales k*8][packed words k*words*8][fnv u64]
+
+constexpr std::size_t kQuantClasses = 4;
+constexpr std::size_t kQuantDim = 500;
+
+std::size_t
+quantSectionSize(std::size_t k = kQuantClasses,
+                 std::size_t dim = kQuantDim)
+{
+    const std::size_t words = (dim + 63) / 64;
+    return 1 + 4 + 1 + 8 + 8 + k * dim + k * 8 + k * words * 8 + 8;
+}
+
+TEST(SerializeQuantized, RoundTripQuantizedFormsBitIdentical)
+{
+    const auto tt = smallProblem(31);
+    Classifier original(smallConfig());
+    original.fit(tt.train);
+    original.quantize();
+
+    std::stringstream buffer;
+    saveClassifier(original, buffer);
+    Classifier restored = loadClassifier(buffer);
+
+    ASSERT_TRUE(restored.hasQuantized());
+    const QuantizedServingModel &a = original.quantizedModel();
+    const QuantizedServingModel &b = restored.quantizedModel();
+    EXPECT_EQ(a.int8Rows(), b.int8Rows());
+    EXPECT_EQ(a.scales(), b.scales());
+    ASSERT_EQ(a.binaryRows().size(), b.binaryRows().size());
+    for (std::size_t c = 0; c < a.binaryRows().size(); ++c)
+        EXPECT_EQ(a.binaryRows()[c], b.binaryRows()[c]) << "row " << c;
+
+    // Bit-identical quantized scores through the classifier, both
+    // arithmetic modes.
+    Classifier mutableOriginal(smallConfig());
+    mutableOriginal.fit(tt.train);
+    mutableOriginal.quantize();
+    for (const Precision p : {Precision::kInt8, Precision::kBinary}) {
+        mutableOriginal.setServingPrecision(p);
+        restored.setServingPrecision(p);
+        for (std::size_t i = 0; i < 20; ++i) {
+            const auto sa = mutableOriginal.scores(tt.test.row(i));
+            const auto sb = restored.scores(tt.test.row(i));
+            EXPECT_EQ(sa, sb)
+                << "precision " << precisionName(p) << " row " << i;
+        }
+    }
+}
+
+TEST(SerializeQuantized, SaveDerivesQuantizedFormsWhenNotAttached)
+{
+    // Saving a classifier that never called quantize() still writes
+    // the section; the loaded model has forms identical to an
+    // explicit quantize() on the original.
+    const auto tt = smallProblem(37);
+    Classifier original(smallConfig());
+    original.fit(tt.train);
+    ASSERT_FALSE(original.hasQuantized());
+
+    std::stringstream buffer;
+    saveClassifier(original, buffer);
+    ASSERT_FALSE(original.hasQuantized()); // save must not mutate
+    const Classifier restored = loadClassifier(buffer);
+    ASSERT_TRUE(restored.hasQuantized());
+
+    original.quantize();
+    EXPECT_EQ(original.quantizedModel().int8Rows(),
+              restored.quantizedModel().int8Rows());
+    EXPECT_EQ(original.quantizedModel().scales(),
+              restored.quantizedModel().scales());
+}
+
+TEST(SerializeQuantized, LoadSaveRoundTripIsByteStable)
+{
+    const auto tt = smallProblem(41);
+    Classifier original(smallConfig());
+    original.fit(tt.train);
+    std::stringstream first;
+    saveClassifier(original, first);
+
+    const Classifier restored = loadClassifier(first);
+    std::stringstream second;
+    saveClassifier(restored, second);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(SerializeQuantized, V1BlobWithoutSectionStillLoads)
+{
+    // Forward compatibility with pre-quantization files: strip the
+    // appended section, mark the blob version 1, and the model must
+    // load with no quantized forms attached (and build them on
+    // demand when a quantized precision is requested).
+    const std::string full = fittedBlob(43);
+    ASSERT_GT(full.size(), quantSectionSize());
+    std::string v1 = full.substr(0, full.size() - quantSectionSize());
+    v1[4] = 1;
+    std::stringstream in(v1);
+    Classifier restored = loadClassifier(in);
+    EXPECT_TRUE(restored.fitted());
+    EXPECT_FALSE(restored.hasQuantized());
+
+    restored.setServingPrecision(Precision::kInt8);
+    EXPECT_TRUE(restored.hasQuantized());
+    const auto tt = smallProblem(43);
+    restored.predict(tt.test.row(0)); // smoke: quantized path works
+}
+
+TEST(SerializeQuantized, AbsentSectionInV2BlobLoads)
+{
+    // A v2 blob whose presence byte says "no section" is valid.
+    const std::string full = fittedBlob(47);
+    std::string blob =
+        full.substr(0, full.size() - quantSectionSize());
+    blob.push_back('\0'); // presence = 0
+    std::stringstream in(blob);
+    const Classifier restored = loadClassifier(in);
+    EXPECT_TRUE(restored.fitted());
+    EXPECT_FALSE(restored.hasQuantized());
+}
+
+TEST(SerializeQuantized, CorruptSectionsRejected)
+{
+    const std::string full = fittedBlob(53);
+    const std::size_t presenceOff = full.size() - quantSectionSize();
+
+    const auto expectRejected = [](std::string blob,
+                                   const char *what) {
+        std::stringstream in(std::move(blob));
+        EXPECT_THROW(loadClassifier(in), SerializeError) << what;
+    };
+
+    {
+        std::string blob = full;
+        blob[presenceOff] = 2;
+        expectRejected(std::move(blob), "invalid presence flag");
+    }
+    {
+        std::string blob = full;
+        blob[presenceOff + 1] = 'X'; // magic
+        expectRejected(std::move(blob), "magic mismatch");
+    }
+    {
+        std::string blob = full;
+        blob[presenceOff + 5] =
+            static_cast<char>(0xFF); // formats tag
+        expectRejected(std::move(blob), "bad precision tag");
+    }
+    {
+        // Class-count word disagrees with the restored model.
+        std::string blob = full;
+        patchU64(blob, presenceOff + 6, kQuantClasses + 1);
+        expectRejected(std::move(blob), "class count mismatch");
+    }
+    {
+        // Dimensionality word disagrees with the header.
+        std::string blob = full;
+        patchU64(blob, presenceOff + 14, kQuantDim + 64);
+        expectRejected(std::move(blob), "dim mismatch");
+    }
+    {
+        // Single bit flip inside an int8 row: caught by the FNV
+        // checksum (no cross-field check could see it).
+        std::string blob = full;
+        blob[presenceOff + 22 + 100] =
+            static_cast<char>(blob[presenceOff + 22 + 100] ^ 0x10);
+        expectRejected(std::move(blob), "row bitflip");
+    }
+    {
+        // Bit flip in the stored checksum itself.
+        std::string blob = full;
+        blob.back() = static_cast<char>(blob.back() ^ 1);
+        expectRejected(std::move(blob), "checksum bitflip");
+    }
+    {
+        // Truncation inside the section.
+        expectRejected(full.substr(0, presenceOff + 30),
+                       "truncated section");
+    }
+    {
+        // Truncation right before the trailing checksum.
+        expectRejected(full.substr(0, full.size() - 1),
+                       "truncated checksum");
+    }
+}
+
+TEST(SerializeQuantized, ServingModelCtorRejectsCorruptParts)
+{
+    const hdc::Dim dim = 65;
+    const std::size_t k = 2;
+    std::vector<std::int8_t> rows(k * dim, 1);
+    std::vector<double> scales(k, 0.5);
+    std::vector<hdc::PackedHv> binary(k, hdc::PackedHv(dim));
+
+    EXPECT_NO_THROW(
+        QuantizedServingModel(dim, rows, scales, binary));
+
+    {
+        auto bad = rows;
+        bad[17] = -128; // never produced by quantization
+        EXPECT_THROW(
+            QuantizedServingModel(dim, bad, scales, binary),
+            util::ContractViolation);
+    }
+    {
+        auto bad = scales;
+        bad[1] = 0.0;
+        EXPECT_THROW(
+            QuantizedServingModel(dim, rows, bad, binary),
+            util::ContractViolation);
+    }
+    {
+        auto bad = scales;
+        bad[0] = std::numeric_limits<double>::infinity();
+        EXPECT_THROW(
+            QuantizedServingModel(dim, rows, bad, binary),
+            util::ContractViolation);
+    }
+    {
+        auto bad = rows;
+        bad.pop_back(); // shape mismatch
+        EXPECT_THROW(
+            QuantizedServingModel(dim, bad, scales, binary),
+            util::ContractViolation);
+    }
+    {
+        auto bad = binary;
+        bad[0] = hdc::PackedHv(dim + 1); // row dim mismatch
+        EXPECT_THROW(
+            QuantizedServingModel(dim, rows, scales, bad),
+            util::ContractViolation);
+    }
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <string>
@@ -242,6 +243,199 @@ TEST_F(ServeTest, MetricsEndpointsServeSnapshotAndHealth)
 
     httpGet(server_->metricsPort(), "/nope", &status);
     EXPECT_NE(status.find("404"), std::string::npos);
+}
+
+/** Parse the value of a bare `name <value>` sample line. */
+double
+promSample(const std::string &prom, const std::string &name)
+{
+    const std::string needle = name + ' ';
+    std::size_t pos = 0;
+    while ((pos = prom.find(needle, pos)) != std::string::npos) {
+        if (pos == 0 || prom[pos - 1] == '\n')
+            return std::stod(prom.substr(pos + needle.size()));
+        ++pos;
+    }
+    return -1.0;
+}
+
+TEST(ServeQuantized, Int8PathServesMatchingPredictions)
+{
+    // The same trained model, served quantized: responses must match
+    // the local int8 path bit-for-bit (the server's exact
+    // arithmetic). Agreement with the float path is only approximate
+    // here: quantized forms derive from the uncompressed prototypes
+    // while this compressed model's float path scores lossy group
+    // superpositions, so we assert a fixed-seed agreement rate.
+    Classifier reference = trainedClassifier();
+    Classifier quantizedRef = trainedClassifier();
+    quantizedRef.setServingPrecision(Precision::kInt8);
+
+    serve::ServeConfig cfg;
+    cfg.port = 0;
+    cfg.metricsPort = 0;
+    cfg.workers = 2;
+    cfg.batchMaxSize = 8;
+    cfg.batchMaxDelayUs = 100;
+    cfg.precision = "int8";
+    serve::InferenceServer server(trainedClassifier(), cfg);
+    server.start();
+
+    data::SyntheticSpec spec;
+    spec.numFeatures = 12;
+    spec.numClasses = 3;
+    spec.seed = 99;
+    const data::Dataset probes =
+        data::SyntheticProblem(spec).sample(20);
+
+    const std::string before =
+        httpGet(server.metricsPort(), "/metrics");
+    const double quantizedBefore =
+        promSample(before, "lookhd_serve_requests_quantized_total");
+
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server.port());
+    std::size_t floatAgreement = 0;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        const auto row = probes.row(i);
+        const std::vector<double> features(row.begin(), row.end());
+        const auto doc = roundTrip(stream, requestLine(i, features));
+        ASSERT_NE(doc, nullptr);
+        const serve::JsonValue *pred = doc->find("pred");
+        ASSERT_NE(pred, nullptr);
+        ASSERT_TRUE(pred->isNumber());
+        // Exact agreement with the local int8 path (same arithmetic,
+        // bit-identical across kernels)...
+        EXPECT_EQ(static_cast<std::size_t>(pred->number),
+                  quantizedRef.predict(row))
+            << "probe " << i;
+        // ...and approximate agreement with the float path.
+        if (static_cast<std::size_t>(pred->number) ==
+            reference.predict(row))
+            ++floatAgreement;
+    }
+    EXPECT_GE(floatAgreement, probes.size() * 7 / 10)
+        << "int8 serving diverged from the float path on "
+        << (probes.size() - floatAgreement) << " of " << probes.size()
+        << " probes";
+
+    // The quantized path must have fired, visibly: the counter moved
+    // by the number of requests, and the build-info labels pin the
+    // serving kernel and precision.
+    const std::string prom =
+        httpGet(server.metricsPort(), "/metrics");
+    const double quantizedAfter =
+        promSample(prom, "lookhd_serve_requests_quantized_total");
+    EXPECT_GE(quantizedAfter,
+              std::max(0.0, quantizedBefore) +
+                  static_cast<double>(probes.size()));
+    EXPECT_NE(prom.find("precision=\"int8\""), std::string::npos)
+        << prom.substr(0, 400);
+    EXPECT_NE(prom.find("kernel=\""), std::string::npos);
+
+    server.stop();
+}
+
+TEST(ServeQuantized, AutoModeSelectsInt8WhenFormsAttached)
+{
+    Classifier clf = trainedClassifier();
+    clf.quantize();
+
+    serve::ServeConfig cfg;
+    cfg.port = 0;
+    cfg.metricsPort = 0;
+    cfg.workers = 1;
+    cfg.precision = "auto";
+    serve::InferenceServer server(std::move(clf), cfg);
+    server.start();
+
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server.port());
+    const std::vector<double> features(12, 0.5);
+    ASSERT_NE(roundTrip(stream, requestLine(1, features)), nullptr);
+
+    const std::string prom =
+        httpGet(server.metricsPort(), "/metrics");
+    EXPECT_NE(prom.find("precision=\"int8\""), std::string::npos);
+    server.stop();
+}
+
+TEST(ServeQuantized, AutoModeStaysFloatWithoutForms)
+{
+    serve::ServeConfig cfg;
+    cfg.port = 0;
+    cfg.metricsPort = 0;
+    cfg.workers = 1;
+    cfg.precision = "auto";
+    serve::InferenceServer server(trainedClassifier(), cfg);
+    server.start();
+
+    const std::string before =
+        httpGet(server.metricsPort(), "/metrics");
+    const double quantizedBefore =
+        promSample(before, "lookhd_serve_requests_quantized_total");
+
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server.port());
+    const std::vector<double> features(12, 0.5);
+    ASSERT_NE(roundTrip(stream, requestLine(1, features)), nullptr);
+
+    const std::string prom =
+        httpGet(server.metricsPort(), "/metrics");
+    EXPECT_NE(prom.find("precision=\"float64\""),
+              std::string::npos);
+    // Float traffic must not advance the quantized counter.
+    EXPECT_EQ(promSample(prom, "lookhd_serve_requests_quantized_total"),
+              quantizedBefore);
+    server.stop();
+}
+
+TEST(ServeQuantized, BinaryPrecisionServes)
+{
+    serve::ServeConfig cfg;
+    cfg.port = 0;
+    cfg.metricsPort = 0;
+    cfg.workers = 1;
+    cfg.precision = "binary";
+    serve::InferenceServer server(trainedClassifier(), cfg);
+    server.start();
+
+    Classifier binaryRef = trainedClassifier();
+    binaryRef.setServingPrecision(Precision::kBinary);
+
+    serve::TcpStream stream =
+        serve::TcpStream::connect("127.0.0.1", server.port());
+    data::SyntheticSpec spec;
+    spec.numFeatures = 12;
+    spec.numClasses = 3;
+    spec.seed = 101;
+    const data::Dataset probes =
+        data::SyntheticProblem(spec).sample(10);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        const auto row = probes.row(i);
+        const std::vector<double> features(row.begin(), row.end());
+        const auto doc = roundTrip(stream, requestLine(i, features));
+        ASSERT_NE(doc, nullptr);
+        const serve::JsonValue *pred = doc->find("pred");
+        ASSERT_NE(pred, nullptr);
+        EXPECT_EQ(static_cast<std::size_t>(pred->number),
+                  binaryRef.predict(row))
+            << "probe " << i;
+    }
+    const std::string prom =
+        httpGet(server.metricsPort(), "/metrics");
+    EXPECT_NE(prom.find("precision=\"binary\""), std::string::npos);
+    server.stop();
+}
+
+TEST(ServeQuantized, UnknownPrecisionRejectedAtConstruction)
+{
+    serve::ServeConfig cfg;
+    cfg.port = 0;
+    cfg.metricsPort = 0;
+    cfg.precision = "int4";
+    EXPECT_THROW(serve::InferenceServer(trainedClassifier(), cfg),
+                 std::invalid_argument);
 }
 
 TEST_F(ServeTest, StopIsGracefulAndIdempotent)

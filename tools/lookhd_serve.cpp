@@ -6,6 +6,7 @@
  *   lookhd_serve --model model.bin
  *                [--port 7070] [--metrics-port 7071]
  *                [--workers 2] [--batch-max 16] [--threads 1]
+ *                [--precision auto]
  *                [--batch-delay-us 200] [--queue-cap 1024]
  *                [--watchdog-ms 2000]
  *                [--slow-ms 100] [--sample-every N]
@@ -58,7 +59,7 @@ constexpr const char *kUsage =
     "usage: lookhd_serve --model model.bin\n"
     "                    [--port 7070] [--metrics-port 7071]\n"
     "                    [--workers 2] [--batch-max 16]\n"
-    "                    [--threads 1]\n"
+    "                    [--threads 1] [--precision auto]\n"
     "                    [--batch-delay-us 200] [--queue-cap 1024]\n"
     "                    [--watchdog-ms 2000]\n"
     "                    [--slow-ms 100] [--sample-every N]\n"
@@ -86,6 +87,11 @@ constexpr const char *kUsage =
     "  --threads N         prediction threads per worker batch\n"
     "                      (1 = the worker alone, 0 = one per\n"
     "                      hardware thread); results are identical\n"
+    "  --precision P       serving arithmetic: auto (int8 when the\n"
+    "                      model carries quantized forms, float64\n"
+    "                      otherwise), float64, int8, or binary;\n"
+    "                      exported as the precision label on\n"
+    "                      /metrics\n"
     "  --slow-ms N         capture requests slower than N ms in the\n"
     "                      slow-request log (0 disables)\n"
     "  --sample-every N    also capture every Nth request\n"
@@ -213,6 +219,7 @@ main(int argc, char **argv)
             static_cast<std::size_t>(args.getInt("batch-max", 16));
         cfg.predictThreads =
             static_cast<std::size_t>(args.getInt("threads", 1));
+        cfg.precision = args.get("precision", "auto");
         cfg.batchMaxDelayUs = static_cast<std::uint64_t>(
             args.getInt("batch-delay-us", 200));
         cfg.queueCapacity =

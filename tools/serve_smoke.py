@@ -47,7 +47,13 @@ Round trip, in one process tree:
      machine-readable reason, /debug/health agrees (both bodies are
      saved to --workdir for CI artifact upload), and readiness
      recovers to 200 once the queue drains and the overload hold
-     expires.
+     expires,
+ 10. quantized phase: serve the same model with --precision float64
+     and --precision int8, drive both with the same fixed query
+     set, and assert the quantized predictions match the float ones
+     query for query, serve.requests.quantized covers the whole set
+     on the int8 server (and stays zero on the float one), and the
+     build-info labels pin kernel and precision.
 
 Usage:
     serve_smoke.py --train T --serve S --loadgen L
@@ -621,6 +627,112 @@ def degraded_phase(serve_bin: str, model: Path, work: Path) -> None:
             server.kill()
 
 
+def _predictions(port: int, queries: list[list[float]]) -> list[int]:
+    """Predicted class per query over one pipelined connection."""
+    payload = "".join(
+        json.dumps({"id": i, "features": q}) + "\n"
+        for i, q in enumerate(queries)).encode("utf-8")
+    preds: dict[int, int] = {}
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=10) as sock:
+        sock.sendall(payload)
+        buf = b""
+        while buf.count(b"\n") < len(queries):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    for line in buf.decode("utf-8").splitlines():
+        doc = json.loads(line)
+        if "pred" not in doc:
+            raise SmokeError(f"quantized-phase error response: "
+                             f"{line}")
+        preds[doc["id"]] = doc["pred"]
+    if len(preds) != len(queries):
+        raise SmokeError(f"quantized phase got {len(preds)} "
+                         f"responses for {len(queries)} queries")
+    return [preds[i] for i in range(len(queries))]
+
+
+def quantized_phase(serve_bin: str, model: Path, work: Path) -> None:
+    """Binary-first serving scenario on the trained model.
+
+    Serve the same model twice -- once forced to the float64 path,
+    once with --precision int8 -- and drive both with the same fixed
+    query set: the quantized predictions must match the float ones
+    query for query, the quantized server's /metrics must show the
+    serve.requests.quantized counter covering the whole set plus
+    kernel/precision build-info labels, and the float server must
+    leave the counter untouched. The int8 /metrics body lands in the
+    workdir for CI artifact upload.
+    """
+    queries = [[1.5 + (i % 5), 19.25 - (i % 3) * 10.0, float(i % 7)]
+               for i in range(40)]
+    results: dict[str, list[int]] = {}
+    for precision in ("float64", "int8"):
+        server = subprocess.Popen(
+            [serve_bin, "--model", str(model), "--port", "0",
+             "--metrics-port", "0", "--workers", "2",
+             "--precision", precision, "--max-seconds", "120"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+        try:
+            port, metrics_port = wait_for_ports(server)
+            results[precision] = _predictions(port, queries)
+            prom = scrape(metrics_port, "/metrics")
+        finally:
+            server.send_signal(signal.SIGTERM)
+            try:
+                server.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                server.kill()
+
+        problems = validate_prometheus.check_text(
+            prom, f"/metrics ({precision})")
+        if problems:
+            raise SmokeError(
+                "quantized-phase /metrics failed format lint:\n" +
+                "\n".join(problems))
+        label = re.search(
+            r'lookhd_build_info\{[^}]*precision="([^"]*)"', prom)
+        if not label or label.group(1) != precision:
+            raise SmokeError(
+                f"build_info precision label is "
+                f"{label.group(1) if label else 'missing'!r}, "
+                f"expected {precision!r}")
+        if not re.search(r'lookhd_build_info\{[^}]*kernel="\w+"',
+                         prom):
+            raise SmokeError("build_info lacks a kernel label")
+        counter = re.search(
+            r"^lookhd_serve_requests_quantized_total\s+(\d+)",
+            prom, re.M)
+        if not counter:
+            raise SmokeError("/metrics lacks the "
+                             "serve.requests.quantized counter")
+        quantized = int(counter.group(1))
+        if precision == "int8":
+            (work / "metrics_quantized.prom").write_text(
+                prom, encoding="utf-8")
+            if quantized < len(queries):
+                raise SmokeError(
+                    f"quantized counter {quantized} < "
+                    f"{len(queries)} served requests: the int8 "
+                    f"path did not fire")
+        elif quantized != 0:
+            raise SmokeError(f"float64 serving advanced the "
+                             f"quantized counter to {quantized}")
+
+    mismatches = sum(
+        1 for a, b in zip(results["float64"], results["int8"])
+        if a != b)
+    if mismatches:
+        raise SmokeError(
+            f"{mismatches}/{len(queries)} quantized predictions "
+            f"diverge from the float path on fixed queries")
+    print(f"serve_smoke: quantized phase OK ({len(queries)} "
+          f"queries, int8 == float64, counter and labels present)")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--train", required=True)
@@ -740,6 +852,7 @@ def main() -> int:
     print(f"serve_smoke: clean shutdown, event log flushed "
           f"({events} events)")
     degraded_phase(args.serve, model, work)
+    quantized_phase(args.serve, model, work)
     return 0
 
 

@@ -75,6 +75,13 @@ BENCH_RULES = {
                     "speedup_batch_vs_scalar"),
         "config": ("kernel", "threads", "dim", "classes"),
     },
+    "quantized_predict": {
+        "metrics": ("accuracy_float64", "accuracy_int8",
+                    "accuracy_binary", "accuracy_delta_int8",
+                    "accuracy_delta_binary",
+                    "speedup_int8_vs_float64", "results_identical"),
+        "config": ("kernel", "dim", "classes"),
+    },
 }
 
 
